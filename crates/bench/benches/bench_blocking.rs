@@ -1,0 +1,31 @@
+//! Criterion: Token Blocking, Block Purging and Block Filtering throughput
+//! (the substrate behind Table 3).
+
+use blast_blocking::filtering::BlockFiltering;
+use blast_blocking::purging::BlockPurging;
+use blast_blocking::token_blocking::TokenBlocking;
+use blast_datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_blocking(c: &mut Criterion) {
+    let spec = clean_clean_preset(CleanCleanPreset::Ar1).scaled(0.25);
+    let (input, _) = generate_clean_clean(&spec);
+    let blocks = TokenBlocking::new().build(&input);
+
+    let mut g = c.benchmark_group("blocking");
+    g.sample_size(10);
+    g.bench_function("token_blocking/ar1_quarter", |b| {
+        b.iter(|| TokenBlocking::new().build(black_box(&input)))
+    });
+    g.bench_function("purging/ar1_quarter", |b| {
+        b.iter(|| BlockPurging::new().purge(black_box(&blocks)))
+    });
+    g.bench_function("filtering/ar1_quarter", |b| {
+        b.iter(|| BlockFiltering::new().filter(black_box(&blocks)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

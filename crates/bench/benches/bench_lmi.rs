@@ -1,0 +1,49 @@
+//! Criterion: attribute-match induction — exact all-pairs LMI vs LSH-LMI vs
+//! AC (the Tables 5–6 scalability story).
+
+use blast_core::schema::attribute_profile::AttributeProfiles;
+use blast_core::schema::candidates::CandidateSource;
+use blast_core::schema::extraction::{InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor};
+use blast_datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
+use blast_datamodel::tokenizer::Tokenizer;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_lmi(c: &mut Criterion) {
+    // A small dbp slice: hundreds of pooled attributes.
+    let spec = clean_clean_preset(CleanCleanPreset::DbpScaled).scaled(0.02);
+    let (input, _) = generate_clean_clean(&spec);
+    let profiles = AttributeProfiles::build(&input, &Tokenizer::new());
+
+    let mut g = c.benchmark_group("attribute_match_induction");
+    g.sample_size(10);
+    for (label, algorithm) in [
+        ("lmi", InductionAlgorithm::Lmi),
+        ("ac", InductionAlgorithm::AttributeClustering),
+    ] {
+        g.bench_function(format!("{label}/all_pairs"), |b| {
+            b.iter(|| {
+                LooseSchemaExtractor::new(LooseSchemaConfig {
+                    algorithm,
+                    ..Default::default()
+                })
+                .extract_from_profiles(&profiles)
+                .clusters
+            })
+        });
+        g.bench_function(format!("{label}/lsh"), |b| {
+            b.iter(|| {
+                LooseSchemaExtractor::new(LooseSchemaConfig {
+                    algorithm,
+                    candidates: CandidateSource::lsh_default(),
+                    ..Default::default()
+                })
+                .extract_from_profiles(&profiles)
+                .clusters
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lmi);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion: MinHash signatures and banding (the §3.1.2 pre-processing,
+//! behind Tables 5–6).
+
+use blast_lsh::banding::BandingIndex;
+use blast_lsh::minhash::MinHasher;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_lsh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsh");
+    g.sample_size(20);
+
+    let hasher = MinHasher::new(150, 42);
+    let tokens: Vec<u32> = (0..500).map(|i| i * 7 % 10_000).collect();
+    g.bench_function("minhash/500_tokens_150_hashes", |b| {
+        b.iter(|| hasher.signature(black_box(tokens.iter().copied())))
+    });
+
+    // 400 columns of 200 tokens each.
+    let signatures: Vec<_> = (0..400u32)
+        .map(|i| hasher.signature((i * 37..i * 37 + 200).map(|x| x % 5000)))
+        .collect();
+    g.bench_function("banding/index_400_columns", |b| {
+        b.iter(|| {
+            let mut idx = BandingIndex::new(30, 5);
+            for (i, s) in signatures.iter().enumerate() {
+                idx.insert(i as u32, s);
+            }
+            idx.candidate_pairs().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lsh);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion: the end-to-end BLAST pipeline per dataset flavour (the
+//! headline tₒ of Tables 4–5).
+
+use blast_core::config::BlastConfig;
+use blast_core::pipeline::BlastPipeline;
+use blast_datagen::{
+    clean_clean_preset, dirty_preset, generate_clean_clean, generate_dirty, CleanCleanPreset,
+    DirtyPreset,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    let (ar1, _) = generate_clean_clean(&clean_clean_preset(CleanCleanPreset::Ar1).scaled(0.25));
+    g.bench_function("blast/ar1_quarter", |b| {
+        b.iter(|| BlastPipeline::new(BlastConfig::default()).run(black_box(&ar1)).pairs.len())
+    });
+
+    let (prd, _) = generate_clean_clean(&clean_clean_preset(CleanCleanPreset::Prd).scaled(0.25));
+    g.bench_function("blast/prd_quarter", |b| {
+        b.iter(|| BlastPipeline::new(BlastConfig::default()).run(black_box(&prd)).pairs.len())
+    });
+
+    let (census, _) = generate_dirty(&dirty_preset(DirtyPreset::Census).scaled(0.25));
+    g.bench_function("blast/census_quarter_dirty", |b| {
+        b.iter(|| BlastPipeline::new(BlastConfig::default()).run(black_box(&census)).pairs.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: edge-weighting ablation — the five traditional schemes vs
+//! BLAST's χ² and χ²·h (the design choice behind Fig. 8), measured as a
+//! full-graph weighting pass.
+
+use blast_blocking::filtering::BlockFiltering;
+use blast_blocking::purging::BlockPurging;
+use blast_blocking::token_blocking::TokenBlocking;
+use blast_core::schema::extraction::{LooseSchemaConfig, LooseSchemaExtractor};
+use blast_core::weighting::ChiSquaredWeigher;
+use blast_datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
+use blast_graph::pruning::common::fold_edges;
+use blast_graph::weights::{EdgeWeigher, WeightingScheme};
+use blast_graph::GraphContext;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_weighting(c: &mut Criterion) {
+    let spec = clean_clean_preset(CleanCleanPreset::Ar1).scaled(0.25);
+    let (input, _) = generate_clean_clean(&spec);
+    let info = LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract(&input);
+    let blocks = {
+        let b = TokenBlocking::new().build_with(&input, &info.partitioning);
+        BlockFiltering::new().filter(&BlockPurging::new().purge(&b))
+    };
+    let entropies = info.partitioning.block_entropies(&blocks);
+    let mut ctx = GraphContext::new(&blocks).with_block_entropies(entropies);
+    ctx.ensure_degrees();
+
+    let mut g = c.benchmark_group("weighting_full_graph_pass");
+    g.sample_size(10);
+    let sum_weights = |weigher: &dyn EdgeWeigher| {
+        fold_edges(&ctx, weigher, || 0.0f64, |acc, _, _, w| *acc += w, |a, b| a + b)
+    };
+    for scheme in WeightingScheme::ALL {
+        g.bench_function(scheme.name(), |b| b.iter(|| sum_weights(&scheme)));
+    }
+    g.bench_function("chi2", |b| {
+        b.iter(|| sum_weights(&ChiSquaredWeigher::without_entropy()))
+    });
+    g.bench_function("chi2_entropy", |b| {
+        b.iter(|| sum_weights(&ChiSquaredWeigher::new()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_weighting);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Figure 10 (PC vs LSH threshold, glue cluster disabled).
+fn main() {
+    print!("{}", blast_bench::experiments::fig10(blast_bench::scale()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (the LSH S-curve, r = 5, b = 30).
+fn main() {
+    print!("{}", blast_bench::experiments::fig5());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 8 (component ablation: wnp / chi / wsh / bch).
+fn main() {
+    print!("{}", blast_bench::experiments::fig8(blast_bench::scale()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 9 (LMI vs Attribute Clustering).
+fn main() {
+    print!("{}", blast_bench::experiments::fig9(blast_bench::scale()));
+}

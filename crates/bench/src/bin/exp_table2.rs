@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (dataset characteristics).
+fn main() {
+    print!("{}", blast_bench::experiments::table2(blast_bench::scale()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (block collection characteristics, T vs L, before
+//! and after purging+filtering).
+fn main() {
+    print!("{}", blast_bench::experiments::table3(blast_bench::scale()));
+}

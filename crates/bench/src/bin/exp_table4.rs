@@ -1,0 +1,4 @@
+//! Regenerates Table 4 (the ar1/ar2/prd/mov meta-blocking comparison).
+fn main() {
+    print!("{}", blast_bench::experiments::table4(blast_bench::scale()));
+}

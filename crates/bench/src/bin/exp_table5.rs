@@ -1,0 +1,4 @@
+//! Regenerates Table 5 (the dbp comparison with LSH-starred variants).
+fn main() {
+    print!("{}", blast_bench::experiments::table5(blast_bench::scale()));
+}

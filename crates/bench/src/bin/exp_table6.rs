@@ -1,0 +1,4 @@
+//! Regenerates Table 6 (LMI run time vs LSH threshold).
+fn main() {
+    print!("{}", blast_bench::experiments::table6(blast_bench::scale()));
+}

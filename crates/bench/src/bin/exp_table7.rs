@@ -1,0 +1,4 @@
+//! Regenerates Table 7 (dirty ER: census, cora, cddb).
+fn main() {
+    print!("{}", blast_bench::experiments::table7(blast_bench::scale()));
+}

@@ -1,0 +1,31 @@
+//! Runs the whole experiment suite (every table and figure) in sequence.
+//! Honours `BLAST_SCALE` (default 1.0).
+
+use std::time::Instant;
+
+type Section = (&'static str, Box<dyn Fn() -> String>);
+
+fn main() {
+    let scale = blast_bench::scale();
+    let t0 = Instant::now();
+    println!("# BLAST experiment suite (BLAST_SCALE = {scale})\n");
+    let sections: Vec<Section> = vec![
+        ("Table 2", Box::new(move || blast_bench::experiments::table2(scale))),
+        ("Table 3", Box::new(move || blast_bench::experiments::table3(scale))),
+        ("Table 4", Box::new(move || blast_bench::experiments::table4(scale))),
+        ("Table 5", Box::new(move || blast_bench::experiments::table5(scale))),
+        ("Table 6", Box::new(move || blast_bench::experiments::table6(scale))),
+        ("Table 7", Box::new(move || blast_bench::experiments::table7(scale))),
+        ("Figure 5", Box::new(blast_bench::experiments::fig5)),
+        ("Figure 8", Box::new(move || blast_bench::experiments::fig8(scale))),
+        ("Figure 9", Box::new(move || blast_bench::experiments::fig9(scale))),
+        ("Figure 10", Box::new(move || blast_bench::experiments::fig10(scale))),
+    ];
+    for (name, f) in sections {
+        let t = Instant::now();
+        let body = f();
+        println!("{body}");
+        eprintln!("[{name} done in {:.1?}]", t.elapsed());
+    }
+    eprintln!("[suite done in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,518 @@
+//! One function per table/figure of the paper's evaluation.
+
+use crate::methods::{
+    prepare, run_blast, run_blast_weighted_cnp, run_supervised, run_traditional_avg,
+    MethodResult, PreparedDataset,
+};
+use blast_blocking::filtering::BlockFiltering;
+use blast_blocking::purging::BlockPurging;
+use blast_blocking::token_blocking::TokenBlocking;
+use blast_core::pruning::BlastPruning;
+use blast_core::schema::attribute_profile::AttributeProfiles;
+use blast_core::schema::candidates::CandidateSource;
+use blast_core::schema::extraction::{InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor};
+use blast_core::weighting::{ChiSquaredWeigher, WsEntropyWeigher};
+use blast_datagen::stats::DatasetStats;
+use blast_datagen::{
+    clean_clean_preset, dirty_preset, generate_clean_clean, generate_dirty, CleanCleanPreset,
+    DirtyPreset,
+};
+use blast_datamodel::tokenizer::Tokenizer;
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::weights::{EdgeWeigher, WeightingScheme};
+use blast_graph::GraphContext;
+use blast_metrics::quality::{evaluate_blocks, evaluate_pairs};
+use blast_metrics::report::fmt_card;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn prepare_preset(preset: CleanCleanPreset, scale: f64) -> PreparedDataset {
+    let spec = clean_clean_preset(preset).scaled(scale);
+    let (input, gt) = generate_clean_clean(&spec);
+    prepare(input, gt, LooseSchemaConfig::default())
+}
+
+/// Table 2: dataset characteristics.
+pub fn table2(scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Table 2 — dataset characteristics (scale {scale})");
+    let _ = writeln!(
+        out,
+        "{:>5} | {:^21} | {:^13} | {:^21} | {:>8}",
+        "", "|E1| - |E2|", "|A1| - |A2|", "nvp", "|D_E|"
+    );
+    for preset in CleanCleanPreset::ALL {
+        let spec = clean_clean_preset(preset).scaled(scale);
+        let (input, gt) = generate_clean_clean(&spec);
+        let stats = DatasetStats::of(&input, &gt);
+        let _ = writeln!(out, "{}", stats.table2_row(preset.label()));
+    }
+    for preset in DirtyPreset::ALL {
+        let spec = dirty_preset(preset).scaled(scale);
+        let (input, gt) = generate_dirty(&spec);
+        let stats = DatasetStats::of(&input, &gt);
+        let _ = writeln!(out, "{}", stats.table2_row(preset.label()));
+    }
+    out
+}
+
+/// Table 3: Token Blocking alone ("T") vs with LMI ("L"), before and after
+/// Block Purging + Block Filtering.
+pub fn table3(scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Table 3 — block collections (scale {scale})");
+    let _ = writeln!(
+        out,
+        "{:>5} {:>2} | {:>7} {:>10} {:>10} | {:>7} {:>10} {:>10}",
+        "", "", "PC(%)", "PQ(%)", "|Bo|", "PC(%)", "PQ(%)", "|Bf|"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} | {:^29} | {:^29}",
+        "", "baseline", "after purging+filtering"
+    );
+    for preset in CleanCleanPreset::ALL {
+        let spec = clean_clean_preset(preset).scaled(scale);
+        let (input, gt) = generate_clean_clean(&spec);
+        let info = LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract(&input);
+        for (tag, blocks) in [
+            ("T", TokenBlocking::new().build(&input)),
+            ("L", TokenBlocking::new().build_with(&input, &info.partitioning)),
+        ] {
+            let q0 = evaluate_blocks(&blocks, &gt);
+            let cleaned = BlockFiltering::new().filter(&BlockPurging::new().purge(&blocks));
+            let q1 = evaluate_blocks(&cleaned, &gt);
+            let _ = writeln!(
+                out,
+                "{:>5} {:>2} | {:>7.1} {:>10.2e} {:>10} | {:>7.1} {:>10.2e} {:>10}",
+                preset.label(),
+                tag,
+                q0.pc * 100.0,
+                q0.pq * 100.0,
+                fmt_card(q0.comparisons),
+                q1.pc * 100.0,
+                q1.pq * 100.0,
+                fmt_card(q1.comparisons),
+            );
+        }
+    }
+    out
+}
+
+/// The Table 4/5 row set for one prepared dataset.
+fn comparison_rows(prepared: &PreparedDataset, schema_config: LooseSchemaConfig, blast_label: &str) -> Vec<MethodResult> {
+    let mut rows = Vec::new();
+    for (algorithm, label) in [
+        (PruningAlgorithm::Wnp1, "wnp1"),
+        (PruningAlgorithm::Wnp2, "wnp2"),
+    ] {
+        rows.push(run_traditional_avg(
+            &format!("{label} T"),
+            &prepared.blocks_t,
+            algorithm,
+            &prepared.gt,
+            0.0,
+        ));
+        rows.push(run_traditional_avg(
+            &format!("{label} L"),
+            &prepared.blocks_l,
+            algorithm,
+            &prepared.gt,
+            prepared.l_seconds,
+        ));
+    }
+    for (algorithm, label) in [
+        (PruningAlgorithm::Cnp1, "cnp1"),
+        (PruningAlgorithm::Cnp2, "cnp2"),
+    ] {
+        rows.push(run_traditional_avg(
+            &format!("{label} T"),
+            &prepared.blocks_t,
+            algorithm,
+            &prepared.gt,
+            0.0,
+        ));
+        rows.push(run_traditional_avg(
+            &format!("{label} L"),
+            &prepared.blocks_l,
+            algorithm,
+            &prepared.gt,
+            prepared.l_seconds,
+        ));
+        rows.push(run_blast_weighted_cnp(
+            &format!("{label} Lchi2h"),
+            prepared,
+            algorithm,
+        ));
+    }
+    rows.push(run_supervised(prepared));
+    rows.push(run_blast(prepared, schema_config, blast_label));
+    rows
+}
+
+/// Table 4: the full comparison on ar1, ar2, prd, mov.
+pub fn table4(scale: f64) -> String {
+    let mut out = String::new();
+    for preset in [
+        CleanCleanPreset::Ar1,
+        CleanCleanPreset::Ar2,
+        CleanCleanPreset::Prd,
+        CleanCleanPreset::Mov,
+    ] {
+        let prepared = prepare_preset(preset, scale);
+        let _ = writeln!(
+            out,
+            "## Table 4 ({}) — scale {scale}, |D_E| = {}",
+            preset.label(),
+            prepared.gt.len()
+        );
+        let _ = writeln!(out, "{}", MethodResult::header());
+        for row in comparison_rows(&prepared, LooseSchemaConfig::default(), "Blast") {
+            let _ = writeln!(out, "{}", row.row());
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Table 5: the dbp comparison, including the LSH-starred variants.
+pub fn table5(scale: f64) -> String {
+    let mut out = String::new();
+    let prepared = prepare_preset(CleanCleanPreset::DbpScaled, scale);
+    let _ = writeln!(
+        out,
+        "## Table 5 (dbp, scaled) — scale {scale}, |D_E| = {}",
+        prepared.gt.len()
+    );
+    let _ = writeln!(out, "{}", MethodResult::header());
+    for row in comparison_rows(&prepared, LooseSchemaConfig::default(), "Blast") {
+        let _ = writeln!(out, "{}", row.row());
+    }
+
+    // Starred variants: LSH-based LMI.
+    let lsh_config = LooseSchemaConfig {
+        candidates: CandidateSource::lsh_default(),
+        ..Default::default()
+    };
+    let spec = clean_clean_preset(CleanCleanPreset::DbpScaled).scaled(scale);
+    let (input, gt) = generate_clean_clean(&spec);
+    let prepared_star = prepare(input, gt, lsh_config.clone());
+    for (algorithm, label) in [
+        (PruningAlgorithm::Wnp1, "wnp1 L*"),
+        (PruningAlgorithm::Wnp2, "wnp2 L*"),
+        (PruningAlgorithm::Cnp1, "cnp1 L*"),
+        (PruningAlgorithm::Cnp2, "cnp2 L*"),
+    ] {
+        let row = run_traditional_avg(
+            label,
+            &prepared_star.blocks_l,
+            algorithm,
+            &prepared_star.gt,
+            prepared_star.l_seconds,
+        );
+        let _ = writeln!(out, "{}", row.row());
+    }
+    let row = run_blast(&prepared_star, lsh_config, "Blast*");
+    let _ = writeln!(out, "{}", row.row());
+    out
+}
+
+/// Table 6: LMI run time vs LSH threshold (dbp).
+pub fn table6(scale: f64) -> String {
+    let mut out = String::new();
+    let spec = clean_clean_preset(CleanCleanPreset::DbpScaled).scaled(scale);
+    let (input, _) = generate_clean_clean(&spec);
+    let profiles = AttributeProfiles::build(&input, &Tokenizer::new());
+    let _ = writeln!(
+        out,
+        "## Table 6 — LMI run time vs LSH threshold (dbp, scale {scale}, {} attributes)",
+        profiles.len()
+    );
+    let _ = writeln!(out, "{:>10} {:>12} {:>12} {:>10}", "threshold", "candidates", "time(s)", "clusters");
+
+    // "—" column: exact all-pairs LMI.
+    let t0 = Instant::now();
+    let info = LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract_from_profiles(&profiles);
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>12.3} {:>10}",
+        "-",
+        info.candidate_pairs,
+        t0.elapsed().as_secs_f64(),
+        info.clusters
+    );
+
+    for threshold in [0.10, 0.22, 0.32, 0.41, 0.55, 0.64] {
+        let t0 = Instant::now();
+        let info = LooseSchemaExtractor::new(LooseSchemaConfig {
+            candidates: CandidateSource::lsh_with_threshold(150, threshold, 0xb1a57),
+            ..Default::default()
+        })
+        .extract_from_profiles(&profiles);
+        let _ = writeln!(
+            out,
+            "{:>10.2} {:>12} {:>12.3} {:>10}",
+            threshold,
+            info.candidate_pairs,
+            t0.elapsed().as_secs_f64(),
+            info.clusters
+        );
+    }
+    out
+}
+
+/// Table 7: dirty ER (census, cora, cddb) — BLAST vs traditional WNP/CNP,
+/// all in combination with LMI (the paper's footnote 13).
+pub fn table7(scale: f64) -> String {
+    let mut out = String::new();
+    for preset in DirtyPreset::ALL {
+        let spec = dirty_preset(preset).scaled(scale);
+        let (input, gt) = generate_dirty(&spec);
+        let prepared = prepare(input, gt, LooseSchemaConfig::default());
+        let _ = writeln!(
+            out,
+            "## Table 7 ({}) — scale {scale}: {} profiles, {} matches, {} attrs, {} LMI clusters",
+            preset.label(),
+            prepared.input.total_profiles(),
+            prepared.gt.len(),
+            match &prepared.input {
+                blast_datamodel::input::ErInput::Dirty(d) => d.attribute_count(),
+                _ => 0,
+            },
+            prepared.schema.clusters,
+        );
+        let _ = writeln!(out, "{}", MethodResult::header());
+        let blast_row = run_blast(&prepared, LooseSchemaConfig::default(), "Blast");
+        let _ = writeln!(out, "{}", blast_row.row());
+        for (algorithm, label) in [
+            (PruningAlgorithm::Wnp1, "wnp1"),
+            (PruningAlgorithm::Wnp2, "wnp2"),
+            (PruningAlgorithm::Cnp1, "cnp1"),
+            (PruningAlgorithm::Cnp2, "cnp2"),
+        ] {
+            let row = run_traditional_avg(
+                label,
+                &prepared.blocks_l,
+                algorithm,
+                &prepared.gt,
+                prepared.l_seconds,
+            );
+            let _ = writeln!(out, "{}", row.row());
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Figure 5: the LSH S-curve for r = 5, b = 30.
+pub fn fig5() -> String {
+    use blast_lsh::scurve::SCurve;
+    let mut out = String::new();
+    let curve = SCurve::sample(5, 30, 20);
+    let _ = writeln!(
+        out,
+        "## Figure 5 — LSH S-curve (r = 5, b = 30), threshold ≈ {:.3}",
+        curve.threshold()
+    );
+    for (s, p) in &curve.points {
+        let bar = "#".repeat((p * 50.0).round() as usize);
+        let _ = writeln!(out, "  s={s:>5.2}  P={p:>7.4}  {bar}");
+    }
+    out
+}
+
+/// Figure 8: component ablation — classical WNP vs chi (χ² only) vs wsh
+/// (traditional schemes × entropy) vs bch (full BLAST), on the L blocks.
+pub fn fig8(scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Figure 8 — BLAST component ablation (scale {scale})");
+    let _ = writeln!(
+        out,
+        "{:>5} {:>6} | {:>8} {:>8} {:>8} {:>8}",
+        "", "", "wnp", "chi", "wsh", "bch"
+    );
+    for preset in CleanCleanPreset::ALL {
+        let prepared = prepare_preset(preset, scale);
+        let blocks = &prepared.blocks_l;
+        let entropies = prepared.schema.partitioning.block_entropies(blocks);
+        let ctx = GraphContext::new(blocks).with_block_entropies(entropies);
+
+        // wnp: average of wnp1 and wnp2 over the 5 traditional schemes.
+        let mut wnp_pc = 0.0;
+        let mut wnp_pq = 0.0;
+        for algorithm in [PruningAlgorithm::Wnp1, PruningAlgorithm::Wnp2] {
+            let r = run_traditional_avg("", blocks, algorithm, &prepared.gt, 0.0);
+            wnp_pc += r.quality.pc / 2.0;
+            wnp_pq += r.quality.pq / 2.0;
+        }
+
+        // chi: BLAST pruning, χ² without the entropy factor.
+        let retained = BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::without_entropy());
+        let chi = evaluate_pairs(retained.pairs(), &prepared.gt);
+
+        // wsh: BLAST pruning, traditional schemes × entropy (averaged).
+        let mut wsh_pc = 0.0;
+        let mut wsh_pq = 0.0;
+        for scheme in WeightingScheme::ALL {
+            let mut ctx_ws = GraphContext::new(blocks).with_block_entropies(
+                prepared.schema.partitioning.block_entropies(blocks),
+            );
+            if scheme.requires_degrees() {
+                ctx_ws.ensure_degrees();
+            }
+            let retained = BlastPruning::new().prune(&ctx_ws, &WsEntropyWeigher::new(scheme));
+            let q = evaluate_pairs(retained.pairs(), &prepared.gt);
+            wsh_pc += q.pc / 5.0;
+            wsh_pq += q.pq / 5.0;
+        }
+
+        // bch: full BLAST weighting.
+        let retained = BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::new());
+        let bch = evaluate_pairs(retained.pairs(), &prepared.gt);
+
+        let _ = writeln!(
+            out,
+            "{:>5} {:>6} | {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            preset.label(),
+            "PC(%)",
+            wnp_pc * 100.0,
+            chi.pc * 100.0,
+            wsh_pc * 100.0,
+            bch.pc * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:>5} {:>6} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            "",
+            "PQ(%)",
+            wnp_pq * 100.0,
+            chi.pq * 100.0,
+            wsh_pq * 100.0,
+            bch.pq * 100.0
+        );
+    }
+    out
+}
+
+/// Figure 9: LMI vs AC — PC of BLAST with each induction algorithm, and
+/// ΔPQ(AC → LMI).
+pub fn fig9(scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Figure 9 — LMI vs AC (scale {scale})");
+    let _ = writeln!(
+        out,
+        "{:>5} | {:>9} {:>9} | {:>9} {:>9} | {:>8}",
+        "", "PC lmi(%)", "PC ac(%)", "PQ lmi(%)", "PQ ac(%)", "dPQ(%)"
+    );
+    for preset in CleanCleanPreset::ALL {
+        let spec = clean_clean_preset(preset).scaled(scale);
+        let run = |algorithm: InductionAlgorithm| {
+            let (input, gt) = generate_clean_clean(&spec);
+            let config = LooseSchemaConfig {
+                algorithm,
+                ..Default::default()
+            };
+            let prepared = prepare(input, gt, config.clone());
+            let r = run_blast(&prepared, config, "");
+            r.quality
+        };
+        let lmi = run(InductionAlgorithm::Lmi);
+        let ac = run(InductionAlgorithm::AttributeClustering);
+        let dpq = if ac.pq > 0.0 {
+            (lmi.pq - ac.pq) / ac.pq * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:>5} | {:>9.2} {:>9.2} | {:>9.3} {:>9.3} | {:>+8.2}",
+            preset.label(),
+            lmi.pc * 100.0,
+            ac.pc * 100.0,
+            lmi.pq * 100.0,
+            ac.pq * 100.0,
+            dpq
+        );
+    }
+    out
+}
+
+/// Figure 10: PC of LSH-LMI Token Blocking (glue cluster disabled) vs LSH
+/// threshold (dbp).
+pub fn fig10(scale: f64) -> String {
+    let mut out = String::new();
+    let spec = clean_clean_preset(CleanCleanPreset::DbpScaled).scaled(scale);
+    let (input, gt) = generate_clean_clean(&spec);
+    let profiles = AttributeProfiles::build(&input, &Tokenizer::new());
+    let _ = writeln!(
+        out,
+        "## Figure 10 — PC vs LSH threshold, glue cluster disabled (dbp, scale {scale})"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>10} {:>10} {:>8}",
+        "threshold", "(r,b)", "clusters", "PC(%)", "time(s)"
+    );
+    for threshold in [0.10, 0.22, 0.32, 0.41, 0.55, 0.64, 0.80] {
+        let candidates = CandidateSource::lsh_with_threshold(150, threshold, 0xf16);
+        let (r, b) = match &candidates {
+            CandidateSource::Lsh { rows, bands, .. } => (*rows, *bands),
+            _ => unreachable!(),
+        };
+        let t0 = Instant::now();
+        let info = LooseSchemaExtractor::new(LooseSchemaConfig {
+            candidates,
+            glue: false,
+            ..Default::default()
+        })
+        .extract_from_profiles(&profiles);
+        let blocks = TokenBlocking::new().build_with(&input, &info.partitioning);
+        let q = evaluate_blocks(&blocks, &gt);
+        let _ = writeln!(
+            out,
+            "{:>10.2} {:>8} {:>10} {:>10.2} {:>8.3}",
+            threshold,
+            format!("({r},{b})"),
+            info.clusters,
+            q.pc * 100.0,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: f64 = 0.02;
+
+    #[test]
+    fn table2_renders_all_presets() {
+        let t = table2(TINY);
+        for label in ["ar1", "ar2", "prd", "mov", "dbp", "census", "cora", "cddb"] {
+            assert!(t.contains(label), "missing {label} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table3_has_t_and_l_rows() {
+        let t = table3(TINY);
+        assert!(t.matches(" T |").count() >= 5, "{t}");
+        assert!(t.matches(" L |").count() >= 5, "{t}");
+    }
+
+    #[test]
+    fn fig5_renders_curve() {
+        let f = fig5();
+        assert!(f.contains("threshold"));
+        assert!(f.lines().count() > 20);
+    }
+
+    #[test]
+    fn table7_runs_dirty_presets() {
+        let t = table7(0.05);
+        assert!(t.contains("census"));
+        assert!(t.contains("Blast"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Block Filtering (§4.1, following \[20\]).
+//!
+//! Block Filtering restructures a block collection by removing each profile
+//! from the blocks that are *least important for it*: a profile's blocks are
+//! ranked by comparison cardinality (smaller blocks are more distinctive),
+//! and the profile is kept only in the top `ratio` fraction. The paper
+//! filters out the 20 % least significant blocks per profile (ratio = 0.8),
+//! reporting that this "almost does not affect PC".
+
+use crate::block::Block;
+use crate::collection::BlockCollection;
+use crate::index::ProfileBlockIndex;
+
+/// Removes each profile from its largest (least significant) blocks.
+#[derive(Debug, Clone)]
+pub struct BlockFiltering {
+    ratio: f64,
+}
+
+impl Default for BlockFiltering {
+    /// The paper's configuration: keep each profile in the 80 % smallest of
+    /// its blocks.
+    fn default() -> Self {
+        Self { ratio: 0.8 }
+    }
+}
+
+impl BlockFiltering {
+    /// Filtering with the paper's ratio (0.8).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Filtering keeping `ratio` of each profile's blocks (in `(0, 1]`).
+    pub fn with_ratio(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
+        Self { ratio }
+    }
+
+    /// Returns the filtered collection. Block order is preserved; blocks
+    /// that no longer imply any comparison are dropped.
+    pub fn filter(&self, blocks: &BlockCollection) -> BlockCollection {
+        let index = ProfileBlockIndex::build(blocks);
+        let clean_clean = blocks.is_clean_clean();
+
+        // Pre-compute each block's cardinality once.
+        let cardinalities: Vec<u64> = blocks
+            .blocks()
+            .iter()
+            .map(|b| b.cardinality(clean_clean))
+            .collect();
+
+        // For every profile, rank its blocks by (cardinality asc, id asc)
+        // and schedule removal from the blocks beyond the kept prefix.
+        let mut removals: Vec<Vec<u32>> = vec![Vec::new(); blocks.len()];
+        let mut ranked: Vec<u32> = Vec::new();
+        for p in 0..index.profile_count() as u32 {
+            let bs = index.blocks_of(p);
+            if bs.is_empty() {
+                continue;
+            }
+            let keep = ((bs.len() as f64) * self.ratio).ceil() as usize;
+            if keep >= bs.len() {
+                continue;
+            }
+            ranked.clear();
+            ranked.extend_from_slice(bs);
+            ranked.sort_unstable_by_key(|&b| (cardinalities[b as usize], b));
+            for &b in &ranked[keep..] {
+                removals[b as usize].push(p);
+            }
+        }
+
+        let kept: Vec<Block> = blocks
+            .blocks()
+            .iter()
+            .enumerate()
+            .filter_map(|(bid, block)| {
+                let to_remove = &mut removals[bid];
+                if to_remove.is_empty() {
+                    return Some(block.clone());
+                }
+                to_remove.sort_unstable();
+                let profiles: Vec<_> = block
+                    .profiles
+                    .iter()
+                    .filter(|p| to_remove.binary_search(&p.0).is_err())
+                    .copied()
+                    .collect();
+                let rebuilt = Block::new(
+                    block.label.clone(),
+                    block.cluster,
+                    profiles,
+                    blocks.separator(),
+                );
+                rebuilt.is_valid(clean_clean).then_some(rebuilt)
+            })
+            .collect();
+
+        blocks.with_blocks(kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::ClusterId;
+    use blast_datamodel::entity::ProfileId;
+
+    fn ids(v: &[u32]) -> Vec<ProfileId> {
+        v.iter().map(|&i| ProfileId(i)).collect()
+    }
+
+    #[test]
+    fn removes_profile_from_largest_blocks() {
+        // Profile 0 sits in 5 blocks of growing size; ratio 0.8 keeps it in
+        // the 4 smallest.
+        let blocks = vec![
+            Block::new("b0", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+            Block::new("b1", ClusterId::GLUE, ids(&[0, 1, 2]), u32::MAX),
+            Block::new("b2", ClusterId::GLUE, ids(&[0, 1, 2, 3]), u32::MAX),
+            Block::new("b3", ClusterId::GLUE, ids(&[0, 1, 2, 3, 4]), u32::MAX),
+            Block::new("b4", ClusterId::GLUE, ids(&[0, 1, 2, 3, 4, 5]), u32::MAX),
+        ];
+        let c = BlockCollection::new(blocks, false, 6, 6);
+        let filtered = BlockFiltering::new().filter(&c);
+        let b4 = filtered.block_by_label("b4").unwrap();
+        // All 6 profiles have b4 as their largest block, and all have ≥2
+        // blocks except 4 and 5.
+        assert!(!b4.profiles.contains(&ProfileId(0)));
+        assert!(!b4.profiles.contains(&ProfileId(1)));
+        // Profile 5 has a single block → kept everywhere.
+        assert!(b4.profiles.contains(&ProfileId(5)));
+    }
+
+    #[test]
+    fn ratio_one_is_identity() {
+        let blocks = vec![
+            Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 2]), u32::MAX),
+            Block::new("b1", ClusterId::GLUE, ids(&[1, 2, 3]), u32::MAX),
+        ];
+        let c = BlockCollection::new(blocks, false, 4, 4);
+        let filtered = BlockFiltering::with_ratio(1.0).filter(&c);
+        assert_eq!(filtered.aggregate_cardinality(), c.aggregate_cardinality());
+        assert_eq!(filtered.len(), c.len());
+    }
+
+    #[test]
+    fn filtering_never_adds_comparisons() {
+        let blocks = vec![
+            Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 2, 3, 4]), u32::MAX),
+            Block::new("b1", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+            Block::new("b2", ClusterId::GLUE, ids(&[2, 3]), u32::MAX),
+        ];
+        let c = BlockCollection::new(blocks, false, 5, 5);
+        let filtered = BlockFiltering::with_ratio(0.5).filter(&c);
+        assert!(filtered.aggregate_cardinality() <= c.aggregate_cardinality());
+        // Filtering only removes profiles from blocks; every surviving
+        // (block label, profile) membership existed before.
+        for b in filtered.blocks() {
+            let orig = c.block_by_label(&b.label).unwrap();
+            for p in &b.profiles {
+                assert!(orig.profiles.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_blocks_dropped_after_filtering() {
+        // b_big loses both members (each has 2 smaller blocks), leaving an
+        // empty/singleton block that must disappear.
+        let blocks = vec![
+            Block::new("s1", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+            Block::new("s2", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+            Block::new("s3", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+            Block::new("s4", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+            Block::new("big", ClusterId::GLUE, ids(&[0, 1, 2]), u32::MAX),
+        ];
+        let c = BlockCollection::new(blocks, false, 3, 3);
+        let filtered = BlockFiltering::new().filter(&c);
+        // 5 blocks × 0.8 = 4 kept per profile 0/1 → both removed from "big";
+        // profile 2 alone cannot form a comparison.
+        assert!(filtered.block_by_label("big").is_none());
+    }
+
+    #[test]
+    fn clean_clean_split_recomputed() {
+        let blocks = vec![
+            Block::new("k", ClusterId::GLUE, ids(&[0, 1, 2, 3]), 2),
+            Block::new("s1", ClusterId::GLUE, ids(&[0, 2]), 2),
+            Block::new("s2", ClusterId::GLUE, ids(&[0, 2]), 2),
+            Block::new("s3", ClusterId::GLUE, ids(&[0, 3]), 2),
+            Block::new("s4", ClusterId::GLUE, ids(&[0, 3]), 2),
+        ];
+        let c = BlockCollection::new(blocks, true, 2, 4);
+        let filtered = BlockFiltering::new().filter(&c);
+        for b in filtered.blocks() {
+            let split = b.profiles.partition_point(|p| p.0 < 2) as u32;
+            assert_eq!(b.split, split, "split must stay consistent");
+        }
+    }
+}

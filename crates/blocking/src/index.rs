@@ -1,0 +1,188 @@
+//! CSR profile → block index.
+//!
+//! Several components need "which blocks contain profile p": Block
+//! Filtering, blocking-graph construction (node-centric edge enumeration),
+//! and PC evaluation (a ground-truth pair is detected iff the block lists of
+//! its profiles intersect). The index is a compressed-sparse-row layout:
+//! one offsets vector and one flat block-id vector.
+
+use crate::collection::BlockCollection;
+
+/// CSR index from global profile id to the (sorted) ids of the blocks
+/// containing it.
+#[derive(Debug, Clone)]
+pub struct ProfileBlockIndex {
+    offsets: Vec<u32>,
+    block_ids: Vec<u32>,
+}
+
+impl ProfileBlockIndex {
+    /// Builds the index for `blocks`.
+    pub fn build(blocks: &BlockCollection) -> Self {
+        let n = blocks.total_profiles() as usize;
+        let mut counts = vec![0u32; n + 1];
+        for b in blocks.blocks() {
+            for p in &b.profiles {
+                counts[p.index() + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut block_ids = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        for (bid, b) in blocks.blocks().iter().enumerate() {
+            for p in &b.profiles {
+                let slot = cursor[p.index()];
+                block_ids[slot as usize] = bid as u32;
+                cursor[p.index()] += 1;
+            }
+        }
+        // Block ids are appended in increasing bid order, so each profile's
+        // slice is already sorted.
+        Self { offsets, block_ids }
+    }
+
+    /// The sorted block ids containing profile `p`.
+    #[inline]
+    pub fn blocks_of(&self, p: u32) -> &[u32] {
+        let start = self.offsets[p as usize] as usize;
+        let end = self.offsets[p as usize + 1] as usize;
+        &self.block_ids[start..end]
+    }
+
+    /// Number of blocks containing `p` (the |Bᵢ| of §3.3.1's contingency
+    /// table).
+    #[inline]
+    pub fn block_count(&self, p: u32) -> u32 {
+        self.offsets[p as usize + 1] - self.offsets[p as usize]
+    }
+
+    /// Number of profiles covered by the index.
+    #[inline]
+    pub fn profile_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of block assignments (Σ_b |b|; the quantity the CNP/CEP
+    /// cardinality thresholds are derived from).
+    #[inline]
+    pub fn total_assignments(&self) -> u64 {
+        self.block_ids.len() as u64
+    }
+
+    /// Size of the intersection of the block lists of `a` and `b`
+    /// (the contingency-table n₁₁ = |Bᵢ ∩ Bⱼ|).
+    pub fn common_blocks(&self, a: u32, b: u32) -> u32 {
+        let (mut x, mut y) = (self.blocks_of(a), self.blocks_of(b));
+        if x.len() > y.len() {
+            std::mem::swap(&mut x, &mut y);
+        }
+        let mut n = 0;
+        let mut j = 0;
+        for &bx in x {
+            while j < y.len() && y[j] < bx {
+                j += 1;
+            }
+            if j == y.len() {
+                break;
+            }
+            if y[j] == bx {
+                n += 1;
+                j += 1;
+            }
+        }
+        n
+    }
+
+    /// Whether profiles `a` and `b` co-occur in at least one block (i.e. the
+    /// pair is *detected* by the block collection).
+    pub fn co_occur(&self, a: u32, b: u32) -> bool {
+        self.common_blocks(a, b) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::key::ClusterId;
+    use blast_datamodel::entity::ProfileId;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<ProfileId> {
+        v.iter().map(|&i| ProfileId(i)).collect()
+    }
+
+    fn sample() -> BlockCollection {
+        let blocks = vec![
+            Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 3]), u32::MAX),
+            Block::new("b1", ClusterId::GLUE, ids(&[1, 2]), u32::MAX),
+            Block::new("b2", ClusterId::GLUE, ids(&[0, 1, 2, 3]), u32::MAX),
+        ];
+        BlockCollection::new(blocks, false, 4, 4)
+    }
+
+    #[test]
+    fn blocks_of_lists_memberships_sorted() {
+        let idx = ProfileBlockIndex::build(&sample());
+        assert_eq!(idx.blocks_of(0), &[0, 2]);
+        assert_eq!(idx.blocks_of(1), &[0, 1, 2]);
+        assert_eq!(idx.blocks_of(2), &[1, 2]);
+        assert_eq!(idx.blocks_of(3), &[0, 2]);
+        assert_eq!(idx.block_count(1), 3);
+        assert_eq!(idx.total_assignments(), 9);
+    }
+
+    #[test]
+    fn common_blocks_intersects() {
+        let idx = ProfileBlockIndex::build(&sample());
+        assert_eq!(idx.common_blocks(0, 1), 2);
+        assert_eq!(idx.common_blocks(0, 2), 1);
+        assert!(idx.co_occur(2, 3));
+        assert_eq!(idx.common_blocks(0, 3), 2);
+    }
+
+    #[test]
+    fn profile_without_blocks() {
+        let blocks = vec![Block::new("b0", ClusterId::GLUE, ids(&[0, 2]), u32::MAX)];
+        let c = BlockCollection::new(blocks, false, 3, 3);
+        let idx = ProfileBlockIndex::build(&c);
+        assert_eq!(idx.blocks_of(1), &[] as &[u32]);
+        assert!(!idx.co_occur(0, 1));
+        assert!(idx.co_occur(0, 2));
+    }
+
+    proptest! {
+        /// common_blocks must agree with a naive set intersection.
+        #[test]
+        fn prop_common_blocks_matches_naive(
+            memberships in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..12, 0..8), 1..12)
+        ) {
+            // memberships[b] = set of profiles in block b
+            let blocks: Vec<Block> = memberships
+                .iter()
+                .enumerate()
+                .map(|(i, set)| Block::new(
+                    format!("b{i}"),
+                    ClusterId::GLUE,
+                    set.iter().map(|&p| ProfileId(p)).collect(),
+                    u32::MAX,
+                ))
+                .collect();
+            let c = BlockCollection::new(blocks, false, 12, 12);
+            let idx = ProfileBlockIndex::build(&c);
+            for a in 0u32..12 {
+                for b in 0u32..12 {
+                    let naive = memberships
+                        .iter()
+                        .filter(|m| m.contains(&a) && m.contains(&b))
+                        .count() as u32;
+                    prop_assert_eq!(idx.common_blocks(a, b), naive);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Blocking-key disambiguation.
+//!
+//! A schema-agnostic blocking key is a token; a *loosely schema-aware* key
+//! is a (token, attribute-cluster) pair (§3.2). The [`KeyDisambiguator`]
+//! trait abstracts over where the cluster comes from: the trivial
+//! single-cluster case (plain Token Blocking), the loose attribute
+//! partitioning produced by LMI/AC (in `blast-core`), or a manual schema
+//! alignment (Standard Blocking).
+
+use blast_datamodel::entity::{AttributeId, SourceId};
+
+/// Identifier of an attribute cluster. By convention cluster 0 is the *glue
+/// cluster* gathering all attributes with no confidently-similar partner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// The glue cluster (id 0).
+    pub const GLUE: ClusterId = ClusterId(0);
+
+    /// The cluster id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Maps an attribute to the cluster its blocking keys belong to.
+///
+/// Returning `None` excludes the attribute from blocking entirely — used by
+/// the Fig. 10 experiments where the glue cluster is disabled and unclustered
+/// attributes are discarded.
+pub trait KeyDisambiguator {
+    /// Cluster of `(source, attribute)`, or `None` to skip the attribute.
+    fn cluster_of(&self, source: SourceId, attribute: AttributeId) -> Option<ClusterId>;
+
+    /// Total number of clusters (cluster ids are `0..cluster_count()`).
+    fn cluster_count(&self) -> usize;
+}
+
+/// The trivial disambiguator: every attribute in one cluster — plain
+/// schema-agnostic Token Blocking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleCluster;
+
+impl KeyDisambiguator for SingleCluster {
+    #[inline]
+    fn cluster_of(&self, _source: SourceId, _attribute: AttributeId) -> Option<ClusterId> {
+        Some(ClusterId::GLUE)
+    }
+
+    fn cluster_count(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_datamodel::interner::Symbol;
+
+    #[test]
+    fn single_cluster_maps_everything_to_glue() {
+        let d = SingleCluster;
+        assert_eq!(d.cluster_of(SourceId(0), Symbol(3)), Some(ClusterId::GLUE));
+        assert_eq!(d.cluster_of(SourceId(1), Symbol(9)), Some(ClusterId::GLUE));
+        assert_eq!(d.cluster_count(), 1);
+    }
+}

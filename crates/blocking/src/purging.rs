@@ -1,0 +1,243 @@
+//! Block Purging (§4.1).
+//!
+//! "Block Purging discards all the blocks that contain more than half of the
+//! entity profiles in the collection, corresponding to highly frequent
+//! blocking keys (e.g. stop-words)." A comparison-cardinality cap is also
+//! provided for workloads where a few oversized-but-below-half blocks would
+//! still dominate ‖B‖.
+
+use crate::collection::BlockCollection;
+
+/// Removes oversized blocks from a collection.
+#[derive(Debug, Clone)]
+pub struct BlockPurging {
+    max_profile_fraction: f64,
+    max_comparisons: Option<u64>,
+}
+
+impl Default for BlockPurging {
+    /// The paper's rule: drop blocks covering more than half the profiles.
+    fn default() -> Self {
+        Self {
+            max_profile_fraction: 0.5,
+            max_comparisons: None,
+        }
+    }
+}
+
+impl BlockPurging {
+    /// The paper's configuration (fraction 0.5, no comparison cap).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum fraction of the collection's profiles a block may
+    /// contain.
+    pub fn max_profile_fraction(mut self, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        self.max_profile_fraction = fraction;
+        self
+    }
+
+    /// Additionally drops blocks implying more than `cap` comparisons.
+    pub fn max_comparisons(mut self, cap: u64) -> Self {
+        self.max_comparisons = Some(cap);
+        self
+    }
+
+    /// Returns the purged collection (order of surviving blocks preserved).
+    pub fn purge(&self, blocks: &BlockCollection) -> BlockCollection {
+        let max_profiles = (blocks.total_profiles() as f64 * self.max_profile_fraction) as usize;
+        let kept: Vec<_> = blocks
+            .blocks()
+            .iter()
+            .filter(|b| {
+                b.len() <= max_profiles
+                    && self
+                        .max_comparisons
+                        .is_none_or(|cap| blocks.block_cardinality(b) <= cap)
+            })
+            .cloned()
+            .collect();
+        blocks.with_blocks(kept)
+    }
+}
+
+/// Adaptive, comparison-based purging in the spirit of \[18\]'s Block
+/// Purging: instead of a fixed size cap, pick the largest block-cardinality
+/// level whose *marginal* cost stays proportionate.
+///
+/// Blocks are grouped by ‖b‖ into ascending levels; levels are admitted
+/// while the level's marginal comparisons-per-assignment stays below
+/// `smoothing ×` the running average of the admitted levels. Oversized
+/// outlier blocks (stop-word keys) fail this test and are purged, without
+/// having to know the collection size.
+#[derive(Debug, Clone)]
+pub struct CardinalityPurging {
+    smoothing: f64,
+}
+
+impl Default for CardinalityPurging {
+    fn default() -> Self {
+        Self { smoothing: 2.0 }
+    }
+}
+
+impl CardinalityPurging {
+    /// The default smoothing factor (2.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A custom smoothing factor (> 1; higher keeps more blocks).
+    pub fn with_smoothing(smoothing: f64) -> Self {
+        assert!(smoothing > 1.0, "smoothing must exceed 1");
+        Self { smoothing }
+    }
+
+    /// The maximum admitted block cardinality for `blocks` (`None` when
+    /// there is nothing to purge).
+    pub fn threshold(&self, blocks: &BlockCollection) -> Option<u64> {
+        // Distinct cardinality levels ascending, with aggregate comparisons
+        // and block assignments per level.
+        let mut levels: std::collections::BTreeMap<u64, (u64, u64)> = Default::default();
+        for b in blocks.blocks() {
+            let cardinality = blocks.block_cardinality(b);
+            if cardinality == 0 {
+                continue;
+            }
+            let e = levels.entry(cardinality).or_insert((0, 0));
+            e.0 += cardinality;
+            e.1 += b.len() as u64;
+        }
+        if levels.is_empty() {
+            return None;
+        }
+        let mut admitted_comparisons = 0u64;
+        let mut admitted_assignments = 0u64;
+        let mut threshold = 0u64;
+        for (cardinality, (comparisons, assignments)) in levels {
+            if admitted_assignments > 0 {
+                let marginal = comparisons as f64 / assignments as f64;
+                let average = admitted_comparisons as f64 / admitted_assignments as f64;
+                if marginal > self.smoothing * average {
+                    break;
+                }
+            }
+            admitted_comparisons += comparisons;
+            admitted_assignments += assignments;
+            threshold = cardinality;
+        }
+        Some(threshold)
+    }
+
+    /// Returns the purged collection.
+    pub fn purge(&self, blocks: &BlockCollection) -> BlockCollection {
+        let Some(threshold) = self.threshold(blocks) else {
+            return blocks.with_blocks(blocks.blocks().to_vec());
+        };
+        let kept = blocks
+            .blocks()
+            .iter()
+            .filter(|b| blocks.block_cardinality(b) <= threshold)
+            .cloned()
+            .collect();
+        blocks.with_blocks(kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::key::ClusterId;
+    use blast_datamodel::entity::ProfileId;
+
+    fn ids(n: u32) -> Vec<ProfileId> {
+        (0..n).map(ProfileId).collect()
+    }
+
+    fn collection(block_sizes: &[u32], total: u32) -> BlockCollection {
+        let blocks = block_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Block::new(format!("b{i}"), ClusterId::GLUE, ids(s), u32::MAX))
+            .collect();
+        BlockCollection::new(blocks, false, total, total)
+    }
+
+    #[test]
+    fn drops_blocks_over_half_the_collection() {
+        let c = collection(&[2, 5, 6, 10], 10);
+        let purged = BlockPurging::new().purge(&c);
+        // total=10 → max 5 profiles per block.
+        let labels: Vec<&str> = purged.blocks().iter().map(|b| &*b.label).collect();
+        assert_eq!(labels, vec!["b0", "b1"]);
+    }
+
+    #[test]
+    fn comparison_cap_is_independent() {
+        let c = collection(&[2, 4], 100);
+        // C(4,2)=6 comparisons > cap 5 → b1 dropped even though |b| ≪ half.
+        let purged = BlockPurging::new().max_comparisons(5).purge(&c);
+        assert_eq!(purged.len(), 1);
+        assert_eq!(&*purged.blocks()[0].label, "b0");
+    }
+
+    #[test]
+    fn stopword_block_example() {
+        // A "the" block containing 90 of 100 profiles is purged; a name
+        // block of 3 survives.
+        let c = collection(&[90, 3], 100);
+        let purged = BlockPurging::new().purge(&c);
+        assert_eq!(purged.len(), 1);
+        assert_eq!(purged.blocks()[0].len(), 3);
+    }
+
+    #[test]
+    fn noop_when_all_blocks_small() {
+        let c = collection(&[2, 3, 4], 100);
+        let purged = BlockPurging::new().purge(&c);
+        assert_eq!(purged.len(), 3);
+        assert_eq!(purged.aggregate_cardinality(), c.aggregate_cardinality());
+    }
+
+    #[test]
+    fn cardinality_purging_drops_outlier_blocks() {
+        // Many small blocks plus one gigantic stop-word block: the marginal
+        // comparisons-per-assignment of the big level explodes.
+        let mut sizes = vec![2u32; 50];
+        sizes.extend([3, 3, 3]);
+        sizes.push(80); // C(80,2) = 3160 comparisons for 80 assignments
+        let c = collection(&sizes, 100);
+        let purged = CardinalityPurging::new().purge(&c);
+        assert_eq!(purged.len(), 53);
+        assert!(purged.blocks().iter().all(|b| b.len() <= 3));
+    }
+
+    #[test]
+    fn cardinality_purging_keeps_homogeneous_collections() {
+        let c = collection(&[2, 2, 3, 3, 4], 100);
+        let purged = CardinalityPurging::new().purge(&c);
+        assert_eq!(purged.len(), 5, "no outlier level → nothing purged");
+    }
+
+    #[test]
+    fn cardinality_purging_empty_collection() {
+        let c = collection(&[], 10);
+        assert!(CardinalityPurging::new().threshold(&c).is_none());
+        assert!(CardinalityPurging::new().purge(&c).is_empty());
+    }
+
+    #[test]
+    fn smoothing_controls_aggressiveness() {
+        let mut sizes = vec![2u32; 20];
+        sizes.push(10);
+        let c = collection(&sizes, 100);
+        // Lenient smoothing keeps the 10-profile block, strict drops it.
+        let lenient = CardinalityPurging::with_smoothing(100.0).purge(&c);
+        assert_eq!(lenient.len(), 21);
+        let strict = CardinalityPurging::with_smoothing(1.5).purge(&c);
+        assert_eq!(strict.len(), 20);
+    }
+}

@@ -1,0 +1,143 @@
+//! Diagnostics: summary statistics of a block collection.
+//!
+//! A library user tuning purging/filtering needs to see what their blocks
+//! look like before and after each step — sizes, comparison mass, the skew
+//! that stop-word keys introduce.
+
+use crate::collection::BlockCollection;
+
+/// Summary statistics of a block collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStats {
+    /// Number of blocks |B|.
+    pub blocks: usize,
+    /// Aggregate comparisons ‖B‖.
+    pub comparisons: u64,
+    /// Total block assignments Σ|b|.
+    pub assignments: u64,
+    /// Size of the largest block.
+    pub max_block_size: usize,
+    /// Mean block size.
+    pub mean_block_size: f64,
+    /// Share of ‖B‖ contributed by the single largest-cardinality block.
+    pub top_block_comparison_share: f64,
+    /// Average number of blocks per profile (the redundancy the CNP/CEP
+    /// budgets derive from).
+    pub blocks_per_profile: f64,
+}
+
+impl BlockStats {
+    /// Computes the statistics of `blocks`.
+    pub fn of(blocks: &BlockCollection) -> Self {
+        let n = blocks.len();
+        let comparisons = blocks.aggregate_cardinality();
+        let assignments: u64 = blocks.blocks().iter().map(|b| b.len() as u64).sum();
+        let max_block_size = blocks.blocks().iter().map(|b| b.len()).max().unwrap_or(0);
+        let top_cardinality = blocks
+            .blocks()
+            .iter()
+            .map(|b| blocks.block_cardinality(b))
+            .max()
+            .unwrap_or(0);
+        Self {
+            blocks: n,
+            comparisons,
+            assignments,
+            max_block_size,
+            mean_block_size: if n == 0 { 0.0 } else { assignments as f64 / n as f64 },
+            top_block_comparison_share: if comparisons == 0 {
+                0.0
+            } else {
+                top_cardinality as f64 / comparisons as f64
+            },
+            blocks_per_profile: if blocks.total_profiles() == 0 {
+                0.0
+            } else {
+                assignments as f64 / blocks.total_profiles() as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for BlockStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} blocks, ‖B‖ = {}, Σ|b| = {}, max |b| = {}, mean |b| = {:.1}, \
+             top-block share = {:.1}%, blocks/profile = {:.1}",
+            self.blocks,
+            self.comparisons,
+            self.assignments,
+            self.max_block_size,
+            self.mean_block_size,
+            self.top_block_comparison_share * 100.0,
+            self.blocks_per_profile
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::key::ClusterId;
+    use blast_datamodel::entity::ProfileId;
+
+    fn ids(n: u32) -> Vec<ProfileId> {
+        (0..n).map(ProfileId).collect()
+    }
+
+    #[test]
+    fn computes_summary() {
+        let blocks = BlockCollection::new(
+            vec![
+                Block::new("a", ClusterId::GLUE, ids(2), u32::MAX), // 1 comparison
+                Block::new("b", ClusterId::GLUE, ids(4), u32::MAX), // 6 comparisons
+            ],
+            false,
+            10,
+            10,
+        );
+        let s = BlockStats::of(&blocks);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.comparisons, 7);
+        assert_eq!(s.assignments, 6);
+        assert_eq!(s.max_block_size, 4);
+        assert!((s.mean_block_size - 3.0).abs() < 1e-12);
+        assert!((s.top_block_comparison_share - 6.0 / 7.0).abs() < 1e-12);
+        assert!((s.blocks_per_profile - 0.6).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("2 blocks"), "{text}");
+    }
+
+    #[test]
+    fn empty_collection() {
+        let blocks = BlockCollection::new(vec![], true, 0, 0);
+        let s = BlockStats::of(&blocks);
+        assert_eq!(s.blocks, 0);
+        assert_eq!(s.comparisons, 0);
+        assert_eq!(s.mean_block_size, 0.0);
+        assert_eq!(s.blocks_per_profile, 0.0);
+    }
+
+    /// Purging must visibly reduce the top-block share — the diagnostic this
+    /// module exists for.
+    #[test]
+    fn purging_shows_up_in_stats() {
+        use crate::purging::BlockPurging;
+        let blocks = BlockCollection::new(
+            vec![
+                Block::new("stop", ClusterId::GLUE, ids(9), u32::MAX),
+                Block::new("name", ClusterId::GLUE, ids(2), u32::MAX),
+            ],
+            false,
+            10,
+            10,
+        );
+        let before = BlockStats::of(&blocks);
+        let after = BlockStats::of(&BlockPurging::new().purge(&blocks));
+        assert!(after.max_block_size < before.max_block_size);
+        assert!(after.comparisons < before.comparisons);
+        assert!(after.mean_block_size < before.mean_block_size);
+    }
+}

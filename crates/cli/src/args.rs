@@ -1,0 +1,100 @@
+//! Minimal `--key value` / `--flag` argument parsing (no external deps).
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: `--key value` pairs and bare `--flags`.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an argument list. Every option must start with `--`; an
+    /// option followed by another option (or nothing) is a flag.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected an option, got {:?}", argv[i]))?;
+            if key.is_empty() {
+                return Err("empty option name".to_string());
+            }
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    args.values.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    args.flags.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// An optional float option.
+    pub fn get_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        self.values
+            .get(key)
+            .map(|s| s.parse().map_err(|_| format!("--{key} expects a number, got {s:?}")))
+            .transpose()
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = Args::parse(&s(&["--d1", "a.csv", "--no-glue", "--c", "2.5"])).unwrap();
+        assert_eq!(a.required("d1").unwrap(), "a.csv");
+        assert!(a.flag("no-glue"));
+        assert_eq!(a.get_f64("c").unwrap(), Some(2.5));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        assert!(Args::parse(&s(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_reports_option_name() {
+        let a = Args::parse(&[]).unwrap();
+        let err = a.required("gt").unwrap_err();
+        assert!(err.contains("--gt"));
+    }
+
+    #[test]
+    fn bad_number_reports_value() {
+        let a = Args::parse(&s(&["--c", "abc"])).unwrap();
+        assert!(a.get_f64("c").is_err());
+    }
+}

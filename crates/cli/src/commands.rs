@@ -1,0 +1,268 @@
+//! The sub-command implementations.
+
+use crate::args::Args;
+use blast_core::config::BlastConfig;
+use blast_core::pipeline::BlastPipeline;
+use blast_core::schema::candidates::CandidateSource;
+use blast_core::schema::extraction::{InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor};
+use blast_datagen::{
+    clean_clean_preset, dirty_preset, generate_clean_clean, generate_dirty, CleanCleanPreset,
+    DirtyPreset,
+};
+use blast_datamodel::collection::EntityCollection;
+use blast_datamodel::entity::SourceId;
+use blast_datamodel::ground_truth::GroundTruth;
+use blast_datamodel::input::ErInput;
+use blast_io::collection::{read_collection, write_collection, CollectionReadOptions};
+use blast_io::ground_truth::{read_ground_truth, write_ground_truth};
+use blast_io::pairs::write_pairs;
+use blast_metrics::quality::evaluate_pairs;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::path::Path;
+
+fn open(path: &str) -> Result<BufReader<File>, String> {
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| format!("cannot open {path}: {e}"))
+}
+
+fn create(path: &str) -> Result<BufWriter<File>, String> {
+    File::create(path)
+        .map(BufWriter::new)
+        .map_err(|e| format!("cannot create {path}: {e}"))
+}
+
+fn read_options(args: &Args) -> CollectionReadOptions {
+    CollectionReadOptions {
+        id_column: args.get("id-column").map(str::to_string),
+    }
+}
+
+fn load_clean_clean(args: &Args) -> Result<ErInput, String> {
+    let options = read_options(args);
+    let d1 = read_collection(&mut open(args.required("d1")?)?, SourceId(0), &options)
+        .map_err(|e| format!("reading --d1: {e}"))?;
+    let d2 = read_collection(&mut open(args.required("d2")?)?, SourceId(1), &options)
+        .map_err(|e| format!("reading --d2: {e}"))?;
+    Ok(ErInput::clean_clean(d1, d2))
+}
+
+fn schema_config(args: &Args) -> Result<LooseSchemaConfig, String> {
+    let algorithm = match args.get("algorithm") {
+        None | Some("lmi") => InductionAlgorithm::Lmi,
+        Some("ac") => InductionAlgorithm::AttributeClustering,
+        Some(other) => return Err(format!("--algorithm must be lmi or ac, got {other:?}")),
+    };
+    let candidates = match args.get_f64("lsh-threshold")? {
+        None => CandidateSource::AllPairs,
+        Some(t) => {
+            if !(0.0..=1.0).contains(&t) {
+                return Err(format!("--lsh-threshold must be in [0,1], got {t}"));
+            }
+            CandidateSource::lsh_with_threshold(150, t, 0xB1A57)
+        }
+    };
+    Ok(LooseSchemaConfig {
+        algorithm,
+        candidates,
+        glue: !args.flag("no-glue"),
+        alpha: args.get_f64("alpha")?.unwrap_or(0.9),
+        ..Default::default()
+    })
+}
+
+fn blast_config(args: &Args) -> Result<BlastConfig, String> {
+    let mut config = BlastConfig {
+        schema: schema_config(args)?,
+        ..BlastConfig::default()
+    };
+    if let Some(c) = args.get_f64("c")? {
+        config.c = c;
+    }
+    if let Some(d) = args.get_f64("d")? {
+        config.d = d;
+    }
+    if args.flag("no-entropy") {
+        config.use_entropy = false;
+    }
+    Ok(config)
+}
+
+fn run_pipeline(args: &Args, input: ErInput) -> Result<String, String> {
+    let config = blast_config(args)?;
+    let outcome = BlastPipeline::new(config).run(&input);
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "profiles: {}  blocks (after cleaning): {}  retained comparisons: {}",
+        input.total_profiles(),
+        outcome.blocks.len(),
+        outcome.pairs.len()
+    );
+    let _ = writeln!(
+        report,
+        "schema: {} clusters over {} attributes",
+        outcome.schema.clusters, outcome.schema.columns
+    );
+    for (phase, duration) in outcome.timings.phases() {
+        let _ = writeln!(report, "  {phase}: {duration:.2?}");
+    }
+
+    if let Some(gt_path) = args.get("gt") {
+        let gt = read_ground_truth(&mut open(gt_path)?, &input)
+            .map_err(|e| format!("reading --gt: {e}"))?;
+        let q = evaluate_pairs(outcome.pairs.pairs(), &gt);
+        let _ = writeln!(
+            report,
+            "PC = {:.2}%  PQ = {:.2}%  F1 = {:.4}  (|D_E| = {})",
+            q.pc * 100.0,
+            q.pq * 100.0,
+            q.f1,
+            gt.len()
+        );
+    }
+
+    if let Some(out_path) = args.get("out") {
+        let mut out = create(out_path)?;
+        write_pairs(&mut out, &outcome.pairs, &input).map_err(|e| format!("writing --out: {e}"))?;
+        out.flush().map_err(|e| e.to_string())?;
+        let _ = writeln!(report, "pairs written to {out_path}");
+    }
+    Ok(report)
+}
+
+/// `blast block`: clean-clean ER over two CSVs.
+pub fn block(args: &Args) -> Result<String, String> {
+    let input = load_clean_clean(args)?;
+    run_pipeline(args, input)
+}
+
+/// `blast dedup`: dirty ER over one CSV.
+pub fn dedup(args: &Args) -> Result<String, String> {
+    let options = read_options(args);
+    let d = read_collection(&mut open(args.required("input")?)?, SourceId(0), &options)
+        .map_err(|e| format!("reading --input: {e}"))?;
+    run_pipeline(args, ErInput::dirty(d))
+}
+
+/// `blast schema`: print the loose schema information of two sources.
+pub fn schema(args: &Args) -> Result<String, String> {
+    let input = load_clean_clean(args)?;
+    let config = schema_config(args)?;
+    let info = LooseSchemaExtractor::new(config).extract(&input);
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{} attributes, {} candidate pairs compared, {} clusters (+ glue)",
+        info.columns, info.candidate_pairs, info.clusters
+    );
+    // Group attribute names per cluster for display.
+    let ErInput::CleanClean { d1, d2 } = &input else {
+        unreachable!("schema loads clean-clean input")
+    };
+    let collections: [&EntityCollection; 2] = [d1, d2];
+    let mut members: Vec<Vec<String>> = vec![Vec::new(); info.partitioning.cluster_count()];
+    for (si, coll) in collections.iter().enumerate() {
+        for attr in coll.attribute_ids() {
+            use blast_blocking::key::KeyDisambiguator;
+            if let Some(c) = info.partitioning.cluster_of(SourceId(si as u8), attr) {
+                members[c.index()].push(format!("s{si}.{}", coll.attribute_name(attr)));
+            }
+        }
+    }
+    for (cid, (names, entropy)) in members
+        .iter()
+        .zip(info.partitioning.entropies())
+        .enumerate()
+    {
+        let label = if cid == 0 { "glue   " } else { "cluster" };
+        let _ = writeln!(
+            report,
+            "{label} #{cid} (H̄ = {entropy:.2}): {}",
+            if names.is_empty() { "-".to_string() } else { names.join(", ") }
+        );
+    }
+    Ok(report)
+}
+
+/// `blast evaluate`: PC/PQ/F1 of a pairs file against a ground truth.
+pub fn evaluate(args: &Args) -> Result<String, String> {
+    let input = load_clean_clean(args)?;
+    let gt = read_ground_truth(&mut open(args.required("gt")?)?, &input)
+        .map_err(|e| format!("reading --gt: {e}"))?;
+    // A pairs file is structurally a ground-truth file: reuse the reader.
+    let predicted = read_ground_truth(&mut open(args.required("pairs")?)?, &input)
+        .map_err(|e| format!("reading --pairs: {e}"))?;
+    let pairs: Vec<_> = predicted.iter().collect();
+    let q = evaluate_pairs(&pairs, &gt);
+    Ok(format!(
+        "comparisons = {}  detected = {}  PC = {:.2}%  PQ = {:.2}%  F1 = {:.4}\n",
+        pairs.len(),
+        q.detected,
+        q.pc * 100.0,
+        q.pq * 100.0,
+        q.f1
+    ))
+}
+
+/// `blast generate`: write a synthetic benchmark to CSV files.
+pub fn generate(args: &Args) -> Result<String, String> {
+    let preset = args.required("preset")?;
+    let scale = args.get_f64("scale")?.unwrap_or(1.0);
+    let out_dir = args.required("out-dir")?;
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+    let dir = Path::new(out_dir);
+
+    let write_to = |name: &str, f: &dyn Fn(&mut BufWriter<File>) -> std::io::Result<()>| {
+        let path = dir.join(name);
+        let mut out = BufWriter::new(
+            File::create(&path).map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+        );
+        f(&mut out).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        out.flush().map_err(|e| e.to_string())
+    };
+
+    let clean = CleanCleanPreset::ALL.iter().find(|p| p.label() == preset);
+    let dirty = DirtyPreset::ALL.iter().find(|p| p.label() == preset);
+    match (clean, dirty) {
+        (Some(&p), _) => {
+            let spec = clean_clean_preset(p).scaled(scale);
+            let (input, gt) = generate_clean_clean(&spec);
+            let ErInput::CleanClean { d1, d2 } = &input else {
+                unreachable!()
+            };
+            write_to("d1.csv", &|out| write_collection(out, d1))?;
+            write_to("d2.csv", &|out| write_collection(out, d2))?;
+            write_to("gt.csv", &|out| write_ground_truth(out, &gt, &input))?;
+            Ok(format!(
+                "wrote {preset} (scale {scale}) to {out_dir}: |E1| = {}, |E2| = {}, |D_E| = {}\n",
+                d1.len(),
+                d2.len(),
+                gt.len()
+            ))
+        }
+        (_, Some(&p)) => {
+            let spec = dirty_preset(p).scaled(scale);
+            let (input, gt) = generate_dirty(&spec);
+            let ErInput::Dirty(d) = &input else { unreachable!() };
+            write_to("data.csv", &|out| write_collection(out, d))?;
+            write_to("gt.csv", &|out| write_ground_truth(out, &gt, &input))?;
+            Ok(format!(
+                "wrote {preset} (scale {scale}) to {out_dir}: |E| = {}, |D_E| = {}\n",
+                d.len(),
+                gt.len()
+            ))
+        }
+        _ => Err(format!(
+            "unknown preset {preset:?} (expected ar1|ar2|prd|mov|dbp|census|cora|cddb)"
+        )),
+    }
+}
+
+/// `GroundTruth` needs to be nameable above.
+#[allow(unused)]
+fn _type_check(gt: GroundTruth) {}

@@ -1,0 +1,86 @@
+//! The `blast` command-line tool: run the BLAST pipeline on CSV data,
+//! inspect the loose schema information, evaluate pair files, and generate
+//! the synthetic benchmarks.
+//!
+//! ```text
+//! blast block    --d1 a.csv --d2 b.csv --out pairs.csv [--gt gt.csv] [options]
+//! blast dedup    --input data.csv --out pairs.csv [--gt gt.csv] [options]
+//! blast schema   --d1 a.csv --d2 b.csv
+//! blast evaluate --d1 a.csv --d2 b.csv --pairs pairs.csv --gt gt.csv
+//! blast generate --preset ar1 --scale 0.1 --out-dir bench-data/
+//! ```
+//!
+//! The library half exposes the commands as functions returning their
+//! textual report, so integration tests drive them without spawning
+//! processes.
+
+pub mod args;
+pub mod commands;
+
+use args::Args;
+
+/// Entry point shared by `main` and the tests: parses `argv` (without the
+/// program name) and runs the sub-command, returning the report to print.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let (command, rest) = argv
+        .split_first()
+        .ok_or_else(|| format!("no command given\n\n{}", usage()))?;
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "block" => commands::block(&args),
+        "dedup" => commands::dedup(&args),
+        "schema" => commands::schema(&args),
+        "evaluate" => commands::evaluate(&args),
+        "generate" => commands::generate(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+blast — loosely schema-aware (meta-)blocking for entity resolution
+
+USAGE:
+  blast block    --d1 A.csv --d2 B.csv [--out pairs.csv] [--gt gt.csv]
+                 [--id-column NAME] [--c 2.0] [--d 2.0] [--no-entropy]
+                 [--algorithm lmi|ac] [--lsh-threshold 0.5] [--no-glue]
+  blast dedup    --input DATA.csv [--out pairs.csv] [--gt gt.csv] [options]
+  blast schema   --d1 A.csv --d2 B.csv [--algorithm lmi|ac] [--lsh-threshold T]
+  blast evaluate --d1 A.csv --d2 B.csv --pairs pairs.csv --gt gt.csv
+  blast generate --preset ar1|ar2|prd|mov|dbp|census|cora|cddb
+                 [--scale 1.0] --out-dir DIR
+
+Input CSVs are headered: one row per profile, one column per attribute,
+the first column (or --id-column) is the record id. Ground truth is a
+two-column headerless CSV of record ids."
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn no_command_is_an_error_with_usage() {
+        let err = run(&[]).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = run(&s(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&s(&["help"])).unwrap();
+        assert!(out.contains("blast block"));
+    }
+}

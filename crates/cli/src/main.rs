@@ -1,0 +1,12 @@
+//! The `blast` binary: see [`blast_cli::usage`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match blast_cli::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

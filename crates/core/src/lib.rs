@@ -1,0 +1,33 @@
+//! # blast-core — the BLAST contribution (§3)
+//!
+//! Blast (Blocking with Loosely-Aware Schema Techniques) is a holistic
+//! loosely schema-aware (meta-)blocking approach for entity resolution. This
+//! crate implements its three phases (Fig. 4):
+//!
+//! 1. **Loose schema information extraction** ([`schema`]): the
+//!    attribute-match induction task — LMI (Algorithm 1) or the Attribute
+//!    Clustering baseline — optionally preceded by the LSH candidate step,
+//!    plus Shannon-entropy extraction per attribute cluster.
+//! 2. **Loosely schema-aware blocking**: Token Blocking whose keys are
+//!    disambiguated by the attribute partitioning (implemented in
+//!    `blast-blocking`, driven from here).
+//! 3. **Loosely schema-aware meta-blocking** ([`weighting`], [`pruning`]):
+//!    a blocking graph weighted by Pearson's χ² over the block co-occurrence
+//!    contingency table, scaled by the aggregate entropy of the shared
+//!    blocking keys, pruned with BLAST's degree-independent local-maximum
+//!    thresholds.
+//!
+//! [`pipeline`] wires the phases together for clean-clean and dirty ER.
+
+pub mod config;
+pub mod pipeline;
+pub mod pruning;
+pub mod schema;
+pub mod weighting;
+
+pub use config::BlastConfig;
+pub use pipeline::{BlastOutcome, BlastPipeline};
+pub use pruning::BlastPruning;
+pub use schema::extraction::{InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor, LooseSchemaInfo};
+pub use schema::partitioning::AttributePartitioning;
+pub use weighting::{ChiSquaredWeigher, WsEntropyWeigher};

@@ -1,0 +1,148 @@
+//! Attribute Clustering (AC) — the attribute-match induction baseline of
+//! \[18\], compared against LMI in §4.3.
+//!
+//! AC links every attribute to its single most-similar attribute (if any
+//! similarity is positive) and takes connected components. The difference
+//! from LMI: AC groups "attributes similar to other similar attributes"
+//! (transitive chains through best-match links), while LMI's
+//! mutual-candidate rule yields cohesive clusters.
+
+use crate::schema::attribute_profile::AttributeProfiles;
+use crate::schema::similarity::jaccard_sorted;
+use crate::schema::union_find::UnionFind;
+use blast_datamodel::parallel::{default_threads, parallel_map};
+
+/// The Attribute Clustering algorithm of \[18\].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttributeClustering;
+
+impl AttributeClustering {
+    /// Creates the algorithm (no parameters: AC always links to the single
+    /// best match).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Clusters the attribute columns reachable through `candidates`.
+    /// Returns clusters of column indices (each with ≥ 2 members), sorted.
+    pub fn cluster(&self, profiles: &AttributeProfiles, candidates: &[(u32, u32)]) -> Vec<Vec<u32>> {
+        let n = profiles.len();
+        if n == 0 || candidates.is_empty() {
+            return Vec::new();
+        }
+        let cols = profiles.columns();
+        let threads = default_threads(candidates.len());
+        let sims = parallel_map(candidates, threads, |&(i, j)| {
+            jaccard_sorted(&cols[i as usize].tokens, &cols[j as usize].tokens)
+        });
+
+        // Best match per column (ties → smaller index, deterministic).
+        let mut best: Vec<(f64, u32)> = vec![(0.0, u32::MAX); n];
+        for (&(i, j), &s) in candidates.iter().zip(&sims) {
+            if s <= 0.0 {
+                continue;
+            }
+            if s > best[i as usize].0 || (s == best[i as usize].0 && j < best[i as usize].1) {
+                best[i as usize] = (s, j);
+            }
+            if s > best[j as usize].0 || (s == best[j as usize].0 && i < best[j as usize].1) {
+                best[j as usize] = (s, i);
+            }
+        }
+
+        let mut uf = UnionFind::new(n);
+        for (i, &(s, j)) in best.iter().enumerate() {
+            if s > 0.0 && j != u32::MAX {
+                uf.union(i as u32, j);
+            }
+        }
+        uf.components(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::candidates::CandidateSource;
+    use crate::schema::lmi::Lmi;
+    use blast_datamodel::collection::EntityCollection;
+    use blast_datamodel::entity::SourceId;
+    use blast_datamodel::input::ErInput;
+    use blast_datamodel::tokenizer::Tokenizer;
+
+    fn profiles_from(pairs1: &[(&str, &str)], pairs2: &[(&str, &str)]) -> AttributeProfiles {
+        let mut d1 = EntityCollection::new(SourceId(0));
+        d1.push_pairs("x", pairs1.iter().copied());
+        let mut d2 = EntityCollection::new(SourceId(1));
+        d2.push_pairs("y", pairs2.iter().copied());
+        AttributeProfiles::build(&ErInput::clean_clean(d1, d2), &Tokenizer::new())
+    }
+
+    #[test]
+    fn links_best_matches() {
+        let profiles = profiles_from(
+            &[("title", "entity resolution blocking"), ("year", "2016")],
+            &[("paper", "entity resolution blocking meta"), ("date", "2016")],
+        );
+        let candidates = CandidateSource::AllPairs.pairs(&profiles);
+        let clusters = AttributeClustering::new().cluster(&profiles, &candidates);
+        // title↔paper and year↔date both cluster.
+        assert_eq!(clusters.len(), 2);
+        for c in &clusters {
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn zero_similarity_stays_singleton() {
+        let profiles = profiles_from(&[("a", "x y z")], &[("b", "p q r")]);
+        let candidates = CandidateSource::AllPairs.pairs(&profiles);
+        assert!(AttributeClustering::new().cluster(&profiles, &candidates).is_empty());
+    }
+
+    /// §4.3: AC chains through best-match links where LMI stays cohesive —
+    /// a hub weakly similar to one side and strongly to another drags all
+    /// three together under AC, but LMI separates them.
+    #[test]
+    fn ac_chains_where_lmi_is_cohesive() {
+        let mut d1 = EntityCollection::new(SourceId(0));
+        d1.push_pairs(
+            "x",
+            [
+                ("strong", "t1 t2 t3 t4 t5 t6 t7 t8"),
+                // weak's *only* positive similarity is to hub (1 shared token).
+                ("weak", "t1 w2 w3 w4 w5 w6 w7 w8"),
+            ],
+        );
+        let mut d2 = EntityCollection::new(SourceId(1));
+        d2.push_pairs("y", [("hub", "t1 t2 t3 t4 t5 t6 t7 t8")]);
+        let profiles = AttributeProfiles::build(&ErInput::clean_clean(d1, d2), &Tokenizer::new());
+        let candidates = CandidateSource::AllPairs.pairs(&profiles);
+
+        // AC: weak's best match is hub (J = 1/15 > 0) → 3-cluster.
+        let ac = AttributeClustering::new().cluster(&profiles, &candidates);
+        assert_eq!(ac.len(), 1);
+        assert_eq!(ac[0].len(), 3, "AC chains weak into the cluster");
+
+        // LMI: hub's candidates only include strong (weak ≪ α·maxSim) →
+        // cohesive 2-cluster.
+        let lmi = Lmi::new().cluster(&profiles, &candidates);
+        assert_eq!(lmi.len(), 1);
+        assert_eq!(lmi[0].len(), 2, "LMI keeps the cohesive pair only");
+    }
+
+    #[test]
+    fn identical_results_when_matches_are_clean() {
+        // With clean 1:1 attribute correspondences AC and LMI agree — the
+        // paper's observation that on large datasets behaviour is similar.
+        let profiles = profiles_from(
+            &[("name", "ann bob carl dan"), ("city", "rome paris london")],
+            &[("label", "ann bob carl dan"), ("town", "rome paris london")],
+        );
+        let candidates = CandidateSource::AllPairs.pairs(&profiles);
+        let ac = AttributeClustering::new().cluster(&profiles, &candidates);
+        let lmi = Lmi::new().cluster(&profiles, &candidates);
+        assert_eq!(ac, lmi);
+        assert_eq!(ac.len(), 2);
+    }
+}

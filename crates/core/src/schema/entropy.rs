@@ -1,0 +1,96 @@
+//! Shannon entropy extraction (§3.1.3, Definition 3).
+//!
+//! "The higher the entropy of an attribute, the more significant is the
+//! observation of a particular value for that attribute." BLAST computes
+//! H(X) = −Σ p(x)·log p(x) over each attribute's token distribution, then
+//! characterises each attribute cluster Cₖ with the aggregate entropy
+//! H̄(Cₖ) = mean of its members' entropies.
+
+/// Shannon entropy (log₂) of a discrete distribution given as raw counts.
+/// Zero counts are ignored; an empty/degenerate distribution has entropy 0.
+pub fn shannon_entropy(counts: impl IntoIterator<Item = u64>) -> f64 {
+    let counts: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    let mut h = 0.0;
+    for c in counts {
+        let p = c as f64 / total;
+        h -= p * p.log2();
+    }
+    // -0.0 from single-value distributions.
+    if h == 0.0 {
+        0.0
+    } else {
+        h
+    }
+}
+
+/// Aggregate entropy of a cluster: the mean of its members' entropies
+/// (H̄(Cₖ) = 1/|Cₖ| · Σ H(Aⱼ)).
+pub fn aggregate_entropy(member_entropies: &[f64]) -> f64 {
+    if member_entropies.is_empty() {
+        0.0
+    } else {
+        member_entropies.iter().sum::<f64>() / member_entropies.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_distribution_maximises() {
+        // 2 equiprobable values → 1 bit; 100 → log2(100).
+        assert!((shannon_entropy([1, 1]) - 1.0).abs() < 1e-12);
+        let h100 = shannon_entropy(vec![7u64; 100]);
+        assert!((h100 - 100f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_attribute_has_zero_entropy() {
+        assert_eq!(shannon_entropy([42]), 0.0);
+        assert_eq!(shannon_entropy([]), 0.0);
+        assert_eq!(shannon_entropy([0, 0, 5]), 0.0);
+        assert!(shannon_entropy([42]).is_sign_positive(), "no -0.0");
+    }
+
+    /// The paper's intuition: "year of birth is less informative than name"
+    /// because it has fewer distinct values.
+    #[test]
+    fn names_beat_years() {
+        // 50 distinct names vs 30 distinct years with a skew.
+        let names = shannon_entropy(vec![2u64; 50]);
+        let mut years = vec![1u64; 30];
+        years[0] = 40; // many people born the same year
+        let years = shannon_entropy(years);
+        assert!(names > years);
+    }
+
+    #[test]
+    fn aggregate_is_mean() {
+        // Figure 3a: cluster1 (name) 3.5, cluster2 2.0.
+        assert!((aggregate_entropy(&[3.0, 4.0]) - 3.5).abs() < 1e-12);
+        assert_eq!(aggregate_entropy(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_entropy_nonneg_and_bounded(counts in proptest::collection::vec(1u64..1000, 1..30)) {
+            let h = shannon_entropy(counts.clone());
+            prop_assert!(h >= 0.0);
+            prop_assert!(h <= (counts.len() as f64).log2() + 1e-9, "≤ log2(n) for n outcomes");
+        }
+
+        #[test]
+        fn prop_entropy_invariant_to_scaling(counts in proptest::collection::vec(1u64..100, 1..12), k in 1u64..50) {
+            let h1 = shannon_entropy(counts.clone());
+            let h2 = shannon_entropy(counts.iter().map(|c| c * k));
+            prop_assert!((h1 - h2).abs() < 1e-9);
+        }
+    }
+}

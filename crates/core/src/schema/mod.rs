@@ -1,0 +1,25 @@
+//! Loose schema information extraction (§3.1).
+//!
+//! The *loose schema information* consists of (a) the **attributes
+//! partitioning** — non-overlapping clusters of attributes whose values are
+//! similar across the two sources — and (b) the **aggregate entropy** of
+//! each cluster. Neither uses attribute names or any external semantics:
+//! everything is computed from the attribute *values* (§2.1's
+//! attribute-match induction).
+
+pub mod ac;
+pub mod attribute_profile;
+pub mod candidates;
+pub mod entropy;
+pub mod extraction;
+pub mod lmi;
+pub mod partitioning;
+pub mod similarity;
+pub mod union_find;
+
+pub use ac::AttributeClustering;
+pub use attribute_profile::{AttributeColumn, AttributeProfiles};
+pub use candidates::CandidateSource;
+pub use extraction::{InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor, LooseSchemaInfo};
+pub use lmi::Lmi;
+pub use partitioning::AttributePartitioning;

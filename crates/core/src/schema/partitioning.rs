@@ -1,0 +1,212 @@
+//! The attributes partitioning: the first half of the loose schema
+//! information (§3.1), plus the aggregate entropy of each cluster.
+//!
+//! The partitioning implements [`KeyDisambiguator`], so Token Blocking can
+//! split keys per cluster (phase 2), and maps every block to its cluster's
+//! aggregate entropy for the χ²·h weighting (phase 3).
+
+use crate::schema::attribute_profile::AttributeProfiles;
+use crate::schema::entropy::aggregate_entropy;
+use blast_blocking::collection::BlockCollection;
+use blast_blocking::key::{ClusterId, KeyDisambiguator};
+use blast_datamodel::entity::{AttributeId, SourceId};
+use blast_datamodel::hash::FastMap;
+
+/// A non-overlapping partitioning of the attribute name space with
+/// per-cluster aggregate entropies. Cluster 0 is the glue cluster.
+#[derive(Debug, Clone)]
+pub struct AttributePartitioning {
+    map: FastMap<(SourceId, AttributeId), ClusterId>,
+    /// Aggregate entropy per cluster id (index 0 = glue).
+    entropies: Vec<f64>,
+    /// Members per cluster id.
+    sizes: Vec<u32>,
+    glue_enabled: bool,
+}
+
+impl AttributePartitioning {
+    /// Builds the partitioning from induction clusters (column-index
+    /// groups). Attributes in no cluster go to the glue cluster when
+    /// `glue` is true, and are excluded from blocking otherwise (§4.4).
+    pub fn from_clusters(profiles: &AttributeProfiles, clusters: &[Vec<u32>], glue: bool) -> Self {
+        let n_clusters = clusters.len() + 1; // + glue
+        let mut map = FastMap::default();
+        let mut member_entropies: Vec<Vec<f64>> = vec![Vec::new(); n_clusters];
+        let mut clustered = vec![false; profiles.len()];
+
+        for (k, members) in clusters.iter().enumerate() {
+            let cid = ClusterId(k as u32 + 1);
+            for &col in members {
+                let column = &profiles.columns()[col as usize];
+                map.insert((column.source, column.attribute), cid);
+                member_entropies[cid.index()].push(column.entropy);
+                clustered[col as usize] = true;
+            }
+        }
+        for (col, column) in profiles.columns().iter().enumerate() {
+            if !clustered[col] {
+                if glue {
+                    map.insert((column.source, column.attribute), ClusterId::GLUE);
+                }
+                member_entropies[0].push(column.entropy);
+            }
+        }
+
+        let sizes = member_entropies.iter().map(|m| m.len() as u32).collect();
+        let entropies = member_entropies
+            .iter()
+            .map(|m| aggregate_entropy(m))
+            .collect();
+        Self {
+            map,
+            entropies,
+            sizes,
+            glue_enabled: glue,
+        }
+    }
+
+    /// The trivial partitioning: every attribute in the glue cluster
+    /// (schema-agnostic blocking with entropy still usable).
+    pub fn trivial(profiles: &AttributeProfiles) -> Self {
+        Self::from_clusters(profiles, &[], true)
+    }
+
+    /// Number of clusters including the glue cluster.
+    pub fn cluster_count(&self) -> usize {
+        self.entropies.len()
+    }
+
+    /// Number of non-glue clusters (the paper's "k clusters with LMI").
+    pub fn induced_clusters(&self) -> usize {
+        self.entropies.len() - 1
+    }
+
+    /// The aggregate entropy H̄(Cₖ).
+    pub fn entropy_of(&self, cluster: ClusterId) -> f64 {
+        self.entropies[cluster.index()]
+    }
+
+    /// All aggregate entropies, indexed by cluster id.
+    pub fn entropies(&self) -> &[f64] {
+        &self.entropies
+    }
+
+    /// Cluster sizes, indexed by cluster id.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Whether unclustered attributes are kept (glue) or dropped.
+    pub fn glue_enabled(&self) -> bool {
+        self.glue_enabled
+    }
+
+    /// Per-block entropy factors for a block collection built with this
+    /// partitioning: each block's cluster's aggregate entropy (the h(bᵢ) of
+    /// §3.1.3).
+    pub fn block_entropies(&self, blocks: &BlockCollection) -> Vec<f64> {
+        blocks
+            .blocks()
+            .iter()
+            .map(|b| self.entropy_of(b.cluster))
+            .collect()
+    }
+}
+
+impl KeyDisambiguator for AttributePartitioning {
+    fn cluster_of(&self, source: SourceId, attribute: AttributeId) -> Option<ClusterId> {
+        match self.map.get(&(source, attribute)) {
+            Some(&c) => Some(c),
+            None if self.glue_enabled => Some(ClusterId::GLUE),
+            None => None,
+        }
+    }
+
+    fn cluster_count(&self) -> usize {
+        self.entropies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_datamodel::collection::EntityCollection;
+    use blast_datamodel::input::ErInput;
+    use blast_datamodel::tokenizer::Tokenizer;
+
+    fn profiles() -> (AttributeProfiles, ErInput) {
+        let mut d1 = EntityCollection::new(SourceId(0));
+        d1.push_pairs("a", [("name", "john ellen mary susan"), ("year", "1985 1985")]);
+        let mut d2 = EntityCollection::new(SourceId(1));
+        d2.push_pairs("b", [("full name", "john ellen mary bob"), ("date", "1985")]);
+        let input = ErInput::clean_clean(d1, d2);
+        let p = AttributeProfiles::build(&input, &Tokenizer::new());
+        (p, input)
+    }
+
+    #[test]
+    fn clusters_get_sequential_ids_and_entropies() {
+        let (profiles, _) = profiles();
+        // Cluster = {col0 = (0,name), col2 = (1,full name)}.
+        let part = AttributePartitioning::from_clusters(&profiles, &[vec![0, 2]], true);
+        assert_eq!(part.cluster_count(), 2);
+        assert_eq!(part.induced_clusters(), 1);
+        // name entropy = 2 bits (4 uniform), full name = 2 bits; year (2×
+        // same token) = 0, date = 0 → glue aggregate 0.
+        assert!((part.entropy_of(ClusterId(1)) - 2.0).abs() < 1e-9);
+        assert_eq!(part.entropy_of(ClusterId::GLUE), 0.0);
+        assert_eq!(part.sizes(), &[2, 2]);
+    }
+
+    #[test]
+    fn disambiguates_clustered_and_glue_attributes() {
+        let (profiles, input) = profiles();
+        let part = AttributePartitioning::from_clusters(&profiles, &[vec![0, 2]], true);
+        let ErInput::CleanClean { d1, d2 } = &input else { unreachable!() };
+        let name = d1.attribute_id("name").unwrap();
+        let year = d1.attribute_id("year").unwrap();
+        let full = d2.attribute_id("full name").unwrap();
+        assert_eq!(part.cluster_of(SourceId(0), name), Some(ClusterId(1)));
+        assert_eq!(part.cluster_of(SourceId(1), full), Some(ClusterId(1)));
+        assert_eq!(part.cluster_of(SourceId(0), year), Some(ClusterId::GLUE));
+    }
+
+    #[test]
+    fn glue_disabled_excludes_unclustered() {
+        let (profiles, input) = profiles();
+        let part = AttributePartitioning::from_clusters(&profiles, &[vec![0, 2]], false);
+        let ErInput::CleanClean { d1, .. } = &input else { unreachable!() };
+        let year = d1.attribute_id("year").unwrap();
+        assert_eq!(part.cluster_of(SourceId(0), year), None);
+        assert!(!part.glue_enabled());
+    }
+
+    #[test]
+    fn trivial_partitioning_is_single_glue() {
+        let (profiles, input) = profiles();
+        let part = AttributePartitioning::trivial(&profiles);
+        assert_eq!(part.cluster_count(), 1);
+        let ErInput::CleanClean { d1, .. } = &input else { unreachable!() };
+        let name = d1.attribute_id("name").unwrap();
+        assert_eq!(part.cluster_of(SourceId(0), name), Some(ClusterId::GLUE));
+        // Glue entropy = mean of all four attribute entropies = (2+0+2+0)/4.
+        assert!((part.entropy_of(ClusterId::GLUE) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_entropies_follow_clusters() {
+        use blast_blocking::token_blocking::TokenBlocking;
+        let (profiles, input) = profiles();
+        let part = AttributePartitioning::from_clusters(&profiles, &[vec![0, 2]], true);
+        let blocks = TokenBlocking::new().build_with(&input, &part);
+        let ents = part.block_entropies(&blocks);
+        assert_eq!(ents.len(), blocks.len());
+        for (b, e) in blocks.blocks().iter().zip(&ents) {
+            assert_eq!(*e, part.entropy_of(b.cluster));
+        }
+        // The shared "1985" token in the glue cluster must carry entropy 0;
+        // name tokens carry 2 bits.
+        let name_block = blocks.block_by_label("john#c1").expect("name cluster block");
+        assert!((part.entropy_of(name_block.cluster) - 2.0).abs() < 1e-9);
+    }
+}

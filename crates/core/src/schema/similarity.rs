@@ -1,0 +1,93 @@
+//! Similarity measure for attribute profiles (§2.1).
+//!
+//! LMI uses the Jaccard coefficient over the binary token vectors — with
+//! binary presence, `Tᵢ·Tⱼ` is the intersection size and `|Tᵢ|²` the set
+//! size, so footnote 5's formula reduces to |∩| / |∪|.
+
+/// Jaccard coefficient of two sorted, deduplicated id slices.
+pub fn jaccard_sorted(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Size of the intersection of two sorted id slices.
+pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    
+
+    #[test]
+    fn basic_cases() {
+        assert_eq!(jaccard_sorted(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard_sorted(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard_sorted(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard_sorted(&[], &[]), 0.0);
+        assert_eq!(jaccard_sorted(&[1], &[]), 0.0);
+    }
+
+    #[test]
+    fn intersection_counts() {
+        assert_eq!(intersection_size(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_set_arithmetic(
+            a in proptest::collection::btree_set(0u32..60, 0..30),
+            b in proptest::collection::btree_set(0u32..60, 0..30),
+        ) {
+            let va: Vec<u32> = a.iter().copied().collect();
+            let vb: Vec<u32> = b.iter().copied().collect();
+            let inter = a.intersection(&b).count();
+            let union = a.union(&b).count();
+            prop_assert_eq!(intersection_size(&va, &vb), inter);
+            let expected = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+            prop_assert!((jaccard_sorted(&va, &vb) - expected).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_symmetric(
+            a in proptest::collection::btree_set(0u32..40, 0..20),
+            b in proptest::collection::btree_set(0u32..40, 0..20),
+        ) {
+            let va: Vec<u32> = a.iter().copied().collect();
+            let vb: Vec<u32> = b.iter().copied().collect();
+            prop_assert_eq!(jaccard_sorted(&va, &vb), jaccard_sorted(&vb, &va));
+        }
+    }
+}

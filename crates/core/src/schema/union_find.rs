@@ -1,0 +1,114 @@
+//! Disjoint-set forest for the connected-components step of LMI/AC
+//! (Algorithm 1, line 17).
+
+/// Union–find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// The connected components with at least `min_size` members, each
+    /// sorted, in deterministic order (by smallest member).
+    pub fn components(&mut self, min_size: usize) -> Vec<Vec<u32>> {
+        let n = self.parent.len();
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for x in 0..n as u32 {
+            let root = self.find(x);
+            groups[root as usize].push(x);
+        }
+        let mut out: Vec<Vec<u32>> = groups
+            .into_iter()
+            .filter(|g| g.len() >= min_size)
+            .collect();
+        out.sort_unstable_by_key(|g| g[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unions_form_components() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(4, 5);
+        let comps = uf.components(2);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![4, 5]]);
+        // Singletons excluded with min_size=2; included with 1.
+        let comps = uf.components(1);
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_components_partition(edges in proptest::collection::vec((0u32..20, 0u32..20), 0..40)) {
+            let mut uf = UnionFind::new(20);
+            for (a, b) in edges {
+                uf.union(a, b);
+            }
+            let comps = uf.components(1);
+            let mut all: Vec<u32> = comps.into_iter().flatten().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..20).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_connectivity_transitive(chain in proptest::collection::vec(0u32..10, 2..10)) {
+            let mut uf = UnionFind::new(10);
+            for w in chain.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+            prop_assert_eq!(uf.find(chain[0]), uf.find(*chain.last().unwrap()));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Clean-clean dataset generation: two duplicate-free sources over a shared
+//! pool of canonical entities, with per-source schemas and noise.
+
+use crate::domain::Domain;
+use crate::schema_map::SourceSpec;
+use crate::vocab::Vocabularies;
+use crate::zipf::Zipf;
+use blast_datamodel::collection::EntityCollection;
+use blast_datamodel::entity::{ProfileId, SourceId};
+use blast_datamodel::ground_truth::GroundTruth;
+use blast_datamodel::hash::fx_hash_one;
+use blast_datamodel::input::ErInput;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Specification of a clean-clean benchmark.
+#[derive(Debug, Clone)]
+pub struct CleanCleanSpec {
+    /// Dataset label (reports).
+    pub name: &'static str,
+    /// The entity domain.
+    pub domain: Domain,
+    /// Entities present in both sources (the matches, |D_E|).
+    pub shared: usize,
+    /// Entities only in source 1.
+    pub only1: usize,
+    /// Entities only in source 2.
+    pub only2: usize,
+    /// Source 1 schema view + noise.
+    pub source1: SourceSpec,
+    /// Source 2 schema view + noise.
+    pub source2: SourceSpec,
+    /// Master seed (vocabularies, entities, noise all derive from it).
+    pub seed: u64,
+}
+
+impl CleanCleanSpec {
+    /// Scales all entity counts by `factor` (for quick tests and CI-sized
+    /// experiment runs). Keeps at least one shared entity.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.shared = ((self.shared as f64 * factor) as usize).max(1);
+        self.only1 = (self.only1 as f64 * factor) as usize;
+        self.only2 = (self.only2 as f64 * factor) as usize;
+        self
+    }
+}
+
+/// Generates the two collections and the ground truth.
+///
+/// Entity ids: `0..shared` live in both sources, `shared..shared+only1`
+/// only in source 1, the rest only in source 2. Each source renders its own
+/// noisy view of the canonical entity, so matched profiles are similar but
+/// never identical.
+pub fn generate_clean_clean(spec: &CleanCleanSpec) -> (ErInput, GroundTruth) {
+    let vocab = Vocabularies::new(spec.seed);
+    let zipf = Zipf::new(vocab.words.len(), 1.05);
+
+    let total_entities = spec.shared + spec.only1 + spec.only2;
+    let canonical: Vec<_> = (0..total_entities)
+        .map(|e| {
+            let mut rng = StdRng::seed_from_u64(fx_hash_one(&(spec.seed, "entity", e)));
+            spec.domain.generate(&vocab, &zipf, &mut rng)
+        })
+        .collect();
+
+    let mut d1 = EntityCollection::new(SourceId(0));
+    for (e, entity) in canonical.iter().enumerate().take(spec.shared + spec.only1) {
+        let mut rng = StdRng::seed_from_u64(fx_hash_one(&(spec.seed, "s1", e)));
+        let p = spec.source1.render(&format!("d1-{e}"), entity, &mut d1, &mut rng);
+        d1.push(p);
+    }
+
+    let mut d2 = EntityCollection::new(SourceId(1));
+    let mut gt = GroundTruth::new();
+    let d1_len = d1.len() as u32;
+    let d2_entities = (0..spec.shared).chain(spec.shared + spec.only1..total_entities);
+    for (d2_pos, e) in d2_entities.enumerate() {
+        let mut rng = StdRng::seed_from_u64(fx_hash_one(&(spec.seed, "s2", e)));
+        let p = spec.source2.render(&format!("d2-{e}"), &canonical[e], &mut d2, &mut rng);
+        d2.push(p);
+        if e < spec.shared {
+            gt.insert(ProfileId(e as u32), ProfileId(d1_len + d2_pos as u32));
+        }
+    }
+
+    (ErInput::clean_clean(d1, d2), gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::schema_map::FieldMapping;
+
+    fn small_spec() -> CleanCleanSpec {
+        CleanCleanSpec {
+            name: "test",
+            domain: Domain::Bibliographic,
+            shared: 50,
+            only1: 10,
+            only2: 5,
+            source1: SourceSpec {
+                mappings: vec![
+                    FieldMapping::Rename("title"),
+                    FieldMapping::Rename("authors"),
+                    FieldMapping::Rename("venue"),
+                    FieldMapping::Rename("year"),
+                ],
+                noise: NoiseModel::light(),
+            },
+            source2: SourceSpec {
+                mappings: vec![
+                    FieldMapping::Rename("name"),
+                    FieldMapping::Rename("writers"),
+                    FieldMapping::Rename("booktitle"),
+                    FieldMapping::Rename("date"),
+                ],
+                noise: NoiseModel::light(),
+            },
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn sizes_match_spec() {
+        let (input, gt) = generate_clean_clean(&small_spec());
+        let ErInput::CleanClean { d1, d2 } = &input else { unreachable!() };
+        assert_eq!(d1.len(), 60);
+        assert_eq!(d2.len(), 55);
+        assert_eq!(gt.len(), 50);
+        assert_eq!(d1.attribute_count(), 4);
+        assert_eq!(d2.attribute_count(), 4);
+    }
+
+    #[test]
+    fn ground_truth_ids_are_valid_and_cross_source() {
+        let (input, gt) = generate_clean_clean(&small_spec());
+        let sep = input.separator();
+        for (a, b) in gt.iter() {
+            assert!(a.0 < sep);
+            assert!(b.0 >= sep);
+            assert!((b.0 as usize) < input.total_profiles());
+        }
+    }
+
+    #[test]
+    fn matching_profiles_share_tokens() {
+        let (input, gt) = generate_clean_clean(&small_spec());
+        use blast_datamodel::tokenizer::Tokenizer;
+        let t = Tokenizer::new();
+        let mut total_overlap = 0usize;
+        for (a, b) in gt.iter() {
+            let mut ta = std::collections::HashSet::new();
+            for (_, v) in &input.profile(a).values {
+                t.for_each_token(v, |tok| {
+                    ta.insert(tok.to_string());
+                });
+            }
+            let mut shared = 0;
+            for (_, v) in &input.profile(b).values {
+                t.for_each_token(v, |tok| {
+                    if ta.contains(tok) {
+                        shared += 1;
+                    }
+                });
+            }
+            total_overlap += usize::from(shared >= 2);
+        }
+        // Nearly every match must share ≥2 tokens (token blocking PC ≈ 1).
+        assert!(
+            total_overlap >= 48,
+            "only {total_overlap}/50 matches share ≥2 tokens"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = generate_clean_clean(&small_spec());
+        let (b, _) = generate_clean_clean(&small_spec());
+        let ErInput::CleanClean { d1: a1, .. } = &a else { unreachable!() };
+        let ErInput::CleanClean { d1: b1, .. } = &b else { unreachable!() };
+        assert_eq!(a1.profiles()[0], b1.profiles()[0]);
+        assert_eq!(a1.nvp(), b1.nvp());
+    }
+
+    #[test]
+    fn scaled_shrinks() {
+        let spec = small_spec().scaled(0.1);
+        assert_eq!(spec.shared, 5);
+        let (input, gt) = generate_clean_clean(&spec);
+        assert_eq!(gt.len(), 5);
+        assert!(input.total_profiles() < 15);
+    }
+}

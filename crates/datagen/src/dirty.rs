@@ -1,0 +1,171 @@
+//! Dirty dataset generation: one collection containing duplicate clusters
+//! (§4.5's census / cora / cddb settings).
+
+use crate::domain::Domain;
+use crate::schema_map::SourceSpec;
+use crate::vocab::Vocabularies;
+use crate::zipf::Zipf;
+use blast_datamodel::collection::EntityCollection;
+use blast_datamodel::entity::{ProfileId, SourceId};
+use blast_datamodel::ground_truth::GroundTruth;
+use blast_datamodel::hash::fx_hash_one;
+use blast_datamodel::input::ErInput;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Specification of a dirty benchmark.
+#[derive(Debug, Clone)]
+pub struct DirtySpec {
+    /// Dataset label.
+    pub name: &'static str,
+    /// The entity domain.
+    pub domain: Domain,
+    /// Number of canonical entities.
+    pub entities: usize,
+    /// Total number of profiles (≥ entities). The surplus is distributed as
+    /// evenly as possible, so cluster sizes are ⌈profiles/entities⌉ or the
+    /// floor — cora-style heavy duplication uses profiles ≫ entities.
+    pub profiles: usize,
+    /// The (single) source view + noise: every profile is an independent
+    /// corruption of its canonical entity.
+    pub source: SourceSpec,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl DirtySpec {
+    /// Scales entity/profile counts by `factor`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.entities = ((self.entities as f64 * factor) as usize).max(1);
+        self.profiles = ((self.profiles as f64 * factor) as usize).max(self.entities);
+        self
+    }
+}
+
+/// Generates the dirty collection and its ground truth (all within-cluster
+/// pairs). Profile order is shuffled so duplicates are not adjacent.
+pub fn generate_dirty(spec: &DirtySpec) -> (ErInput, GroundTruth) {
+    assert!(spec.profiles >= spec.entities, "need at least one profile per entity");
+    let vocab = Vocabularies::new(spec.seed);
+    let zipf = Zipf::new(vocab.words.len(), 1.05);
+
+    // Cluster sizes: distribute the surplus round-robin.
+    let base = spec.profiles / spec.entities;
+    let extra = spec.profiles % spec.entities;
+    // Entity of each profile slot, then shuffled.
+    let mut owners: Vec<u32> = (0..spec.entities as u32)
+        .flat_map(|e| {
+            let size = base + usize::from((e as usize) < extra);
+            std::iter::repeat_n(e, size)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(fx_hash_one(&(spec.seed, "shuffle")));
+    owners.shuffle(&mut rng);
+
+    let canonical: Vec<_> = (0..spec.entities)
+        .map(|e| {
+            let mut rng = StdRng::seed_from_u64(fx_hash_one(&(spec.seed, "entity", e)));
+            spec.domain.generate(&vocab, &zipf, &mut rng)
+        })
+        .collect();
+
+    let mut d = EntityCollection::new(SourceId(0));
+    let mut members: Vec<Vec<ProfileId>> = vec![Vec::new(); spec.entities];
+    for (i, &owner) in owners.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(fx_hash_one(&(spec.seed, "profile", i)));
+        let p = spec
+            .source
+            .render(&format!("p{i}"), &canonical[owner as usize], &mut d, &mut rng);
+        d.push(p);
+        members[owner as usize].push(ProfileId(i as u32));
+    }
+
+    let mut gt = GroundTruth::new();
+    for cluster in members {
+        for (i, &a) in cluster.iter().enumerate() {
+            for &b in &cluster[i + 1..] {
+                gt.insert(a, b);
+            }
+        }
+    }
+
+    (ErInput::dirty(d), gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::schema_map::FieldMapping;
+
+    fn spec(entities: usize, profiles: usize) -> DirtySpec {
+        DirtySpec {
+            name: "t",
+            domain: Domain::Person,
+            entities,
+            profiles,
+            source: SourceSpec {
+                mappings: vec![
+                    FieldMapping::Rename("first"),
+                    FieldMapping::Rename("last"),
+                    FieldMapping::Rename("street"),
+                    FieldMapping::Rename("city"),
+                    FieldMapping::Rename("zip"),
+                ],
+                noise: NoiseModel::medium(),
+            },
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn census_shape_pairs() {
+        // 700 entities over 1000 profiles → 300 clusters of 2 → 300 matches.
+        let (input, gt) = generate_dirty(&spec(700, 1000));
+        assert_eq!(input.total_profiles(), 1000);
+        assert_eq!(gt.len(), 300);
+    }
+
+    #[test]
+    fn cora_shape_heavy_clusters() {
+        // 29 entities over 1015 profiles → clusters of 35 →
+        // 29·C(35,2) = 29·595 = 17255 matches (Table 7's 17k).
+        let (_, gt) = generate_dirty(&spec(29, 1015));
+        assert_eq!(gt.len(), 29 * (35 * 34) / 2);
+    }
+
+    #[test]
+    fn ground_truth_is_transitive_within_clusters() {
+        let (_, gt) = generate_dirty(&spec(10, 30));
+        // Every profile belongs to exactly one cluster of 3 → each profile
+        // matches exactly 2 others.
+        let mut degree = std::collections::HashMap::new();
+        for (a, b) in gt.iter() {
+            *degree.entry(a).or_insert(0) += 1;
+            *degree.entry(b).or_insert(0) += 1;
+        }
+        assert!(degree.values().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn duplicates_are_not_identical_but_similar() {
+        let (input, gt) = generate_dirty(&spec(50, 100));
+        let mut identical = 0;
+        for (a, b) in gt.iter().take(50) {
+            if input.profile(a).values == input.profile(b).values {
+                identical += 1;
+            }
+        }
+        assert!(identical < 25, "noise must differentiate most duplicates");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, ga) = generate_dirty(&spec(20, 50));
+        let (b, gb) = generate_dirty(&spec(20, 50));
+        assert_eq!(a.profile(ProfileId(0)), b.profile(ProfileId(0)));
+        assert_eq!(ga.len(), gb.len());
+    }
+}

@@ -1,0 +1,206 @@
+//! The per-source corruption model.
+//!
+//! Two sources describing the same entity never agree exactly: tokens get
+//! dropped or reordered, words abbreviated ("John" → "J."), characters
+//! mistyped, years reformatted ("1985" → "85"), whole values lost. The
+//! noise model applies these independently so matched profiles still share
+//! most distinctive tokens (keeping token-blocking PC high) while exact
+//! equality is rare.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Per-source noise probabilities (all per-token unless stated).
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    /// Drop a token.
+    pub token_drop: f64,
+    /// Swap a token with its successor (applied in one pass).
+    pub token_swap: f64,
+    /// Replace one character of a token (creates unseen tokens).
+    pub typo: f64,
+    /// Abbreviate a token to its first letter.
+    pub abbreviate: f64,
+    /// Reformat a 4-digit number to its last two digits ("1985" → "85").
+    pub numeric_truncate: f64,
+    /// Drop a whole field value (per value).
+    pub value_missing: f64,
+}
+
+impl NoiseModel {
+    /// No corruption at all.
+    pub fn clean() -> Self {
+        Self {
+            token_drop: 0.0,
+            token_swap: 0.0,
+            typo: 0.0,
+            abbreviate: 0.0,
+            numeric_truncate: 0.0,
+            value_missing: 0.0,
+        }
+    }
+
+    /// Curated, well-maintained source (DBLP/ACM-like).
+    pub fn light() -> Self {
+        Self {
+            token_drop: 0.02,
+            token_swap: 0.01,
+            typo: 0.01,
+            abbreviate: 0.02,
+            numeric_truncate: 0.05,
+            value_missing: 0.02,
+        }
+    }
+
+    /// Web-extracted source (Scholar-like): aggressive.
+    pub fn heavy() -> Self {
+        Self {
+            token_drop: 0.12,
+            token_swap: 0.05,
+            typo: 0.04,
+            abbreviate: 0.10,
+            numeric_truncate: 0.30,
+            value_missing: 0.12,
+        }
+    }
+
+    /// Middle ground (product catalogues, user-edited data).
+    pub fn medium() -> Self {
+        Self {
+            token_drop: 0.06,
+            token_swap: 0.03,
+            typo: 0.02,
+            abbreviate: 0.05,
+            numeric_truncate: 0.15,
+            value_missing: 0.06,
+        }
+    }
+
+    /// Whether the whole value should be dropped.
+    pub fn drops_value(&self, rng: &mut StdRng) -> bool {
+        self.value_missing > 0.0 && rng.random_range(0.0..1.0) < self.value_missing
+    }
+
+    /// Applies token-level noise to a value, returning the corrupted value
+    /// (possibly empty when all tokens drop).
+    pub fn corrupt(&self, value: &str, rng: &mut StdRng) -> String {
+        let mut tokens: Vec<String> = value.split_whitespace().map(str::to_string).collect();
+
+        // Per-token mutations.
+        let mut i = 0;
+        while i < tokens.len() {
+            if tokens.len() > 1 && rng.random_range(0.0..1.0) < self.token_drop {
+                tokens.remove(i);
+                continue;
+            }
+            let tok = &mut tokens[i];
+            if tok.len() == 4
+                && tok.chars().all(|c| c.is_ascii_digit())
+                && rng.random_range(0.0..1.0) < self.numeric_truncate
+            {
+                *tok = tok[2..].to_string();
+            } else if tok.len() > 2 && rng.random_range(0.0..1.0) < self.abbreviate {
+                let first = tok.chars().next().expect("non-empty token");
+                *tok = format!("{first}.");
+            } else if tok.len() > 2 && rng.random_range(0.0..1.0) < self.typo {
+                let pos = rng.random_range(0..tok.chars().count());
+                *tok = tok
+                    .chars()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        if i == pos && c.is_ascii_alphabetic() {
+                            if c == 'z' || c == 'Z' {
+                                (c as u8 - 1) as char
+                            } else {
+                                (c as u8 + 1) as char
+                            }
+                        } else {
+                            c
+                        }
+                    })
+                    .collect();
+            }
+            i += 1;
+        }
+
+        // Adjacent swaps.
+        if tokens.len() > 1 {
+            for i in 0..tokens.len() - 1 {
+                if rng.random_range(0.0..1.0) < self.token_swap {
+                    tokens.swap(i, i + 1);
+                }
+            }
+        }
+        tokens.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = NoiseModel::clean();
+        assert_eq!(n.corrupt("john abram jr 1985", &mut rng), "john abram jr 1985");
+        assert!(!n.drops_value(&mut rng));
+    }
+
+    #[test]
+    fn heavy_noise_preserves_most_tokens() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = NoiseModel::heavy();
+        let original = "alpha beta gamma delta epsilon zeta eta theta iota kappa";
+        let mut preserved = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let corrupted = n.corrupt(original, &mut rng);
+            let set: std::collections::HashSet<&str> = corrupted.split(' ').collect();
+            for t in original.split(' ') {
+                total += 1;
+                if set.contains(t) {
+                    preserved += 1;
+                }
+            }
+        }
+        let frac = preserved as f64 / total as f64;
+        // drop .12 + typo .04 + abbreviate .10 → ≈ 0.74 kept intact.
+        assert!((0.6..0.9).contains(&frac), "preserved {frac}");
+    }
+
+    #[test]
+    fn numeric_truncation_shortens_years() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = NoiseModel {
+            numeric_truncate: 1.0,
+            ..NoiseModel::clean()
+        };
+        assert_eq!(n.corrupt("1985", &mut rng), "85");
+        // Non-4-digit tokens untouched.
+        assert_eq!(n.corrupt("198", &mut rng), "198");
+    }
+
+    #[test]
+    fn abbreviation_keeps_initial() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = NoiseModel {
+            abbreviate: 1.0,
+            ..NoiseModel::clean()
+        };
+        assert_eq!(n.corrupt("john", &mut rng), "j.");
+    }
+
+    #[test]
+    fn last_token_never_fully_lost() {
+        // token_drop keeps at least one token.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = NoiseModel {
+            token_drop: 1.0,
+            ..NoiseModel::clean()
+        };
+        let out = n.corrupt("a b c d", &mut rng);
+        assert_eq!(out.split(' ').count(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-source schema views.
+//!
+//! Two sources rarely agree on schema: attributes are renamed, split
+//! ("name" → "name1"/"name2", the paper's Fig. 1), merged, scattered across
+//! huge heterogeneous property pools (DBpedia), or exploded into indexed
+//! columns (cddb's track01…track99). A [`SourceSpec`] maps each canonical
+//! field through one [`FieldMapping`] and corrupts values with its
+//! [`NoiseModel`].
+
+use crate::domain::CanonicalEntity;
+use crate::noise::NoiseModel;
+use blast_datamodel::collection::EntityCollection;
+use blast_datamodel::entity::EntityProfile;
+use blast_datamodel::hash::fx_hash_one;
+use rand::rngs::StdRng;
+
+/// How one canonical field appears in a source's schema.
+#[derive(Debug, Clone)]
+pub enum FieldMapping {
+    /// The field becomes a single attribute with this name.
+    Rename(&'static str),
+    /// The field's tokens are distributed over these attributes in
+    /// contiguous chunks ("John Abram Jr" → name1 = "John Abram",
+    /// name2 = "Jr").
+    Split(&'static [&'static str]),
+    /// The field is appended to a shared attribute (several fields may
+    /// merge into the same name, e.g. "work info").
+    MergeInto(&'static str),
+    /// Each value lands in one of `variants` pooled attributes chosen by
+    /// hashing the value's first token — stable across sources, so similar
+    /// kinds gather in corresponding attributes (DBpedia-style property
+    /// space).
+    Pool {
+        /// Attribute-name prefix (source-specific).
+        prefix: &'static str,
+        /// Number of pooled attribute names.
+        variants: u32,
+    },
+    /// The i-th value becomes attribute `{prefix}{i:02}` (cddb tracks).
+    Indexed(&'static str),
+    /// The source does not expose this field.
+    Drop,
+}
+
+/// One source's schema view + noise.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// One mapping per canonical field (same order as
+    /// `Domain::field_names`).
+    pub mappings: Vec<FieldMapping>,
+    /// The corruption model of this source.
+    pub noise: NoiseModel,
+}
+
+impl SourceSpec {
+    /// Renders a canonical entity as a profile of this source, interning
+    /// attribute names into `collection` and corrupting values with `rng`.
+    pub fn render(
+        &self,
+        external_id: &str,
+        entity: &CanonicalEntity,
+        collection: &mut EntityCollection,
+        rng: &mut StdRng,
+    ) -> EntityProfile {
+        let mut profile = EntityProfile::new(external_id);
+        for (field_values, mapping) in entity.fields.iter().zip(&self.mappings) {
+            for (vi, value) in field_values.iter().enumerate() {
+                if self.noise.drops_value(rng) {
+                    continue;
+                }
+                let corrupted = self.noise.corrupt(value, rng);
+                if corrupted.is_empty() {
+                    continue;
+                }
+                match mapping {
+                    FieldMapping::Rename(name) => {
+                        let attr = collection.attribute(name);
+                        profile.push(attr, corrupted);
+                    }
+                    FieldMapping::MergeInto(name) => {
+                        let attr = collection.attribute(name);
+                        profile.push(attr, corrupted);
+                    }
+                    FieldMapping::Split(parts) => {
+                        let tokens: Vec<&str> = corrupted.split(' ').collect();
+                        let chunk = tokens.len().div_ceil(parts.len()).max(1);
+                        for (part, piece) in parts.iter().zip(tokens.chunks(chunk)) {
+                            let attr = collection.attribute(part);
+                            profile.push(attr, piece.join(" "));
+                        }
+                    }
+                    FieldMapping::Pool { prefix, variants } => {
+                        let first = corrupted.split(' ').next().unwrap_or("");
+                        let k = fx_hash_one(&first) % *variants as u64;
+                        let attr = collection.attribute(&format!("{prefix}{k}"));
+                        profile.push(attr, corrupted);
+                    }
+                    FieldMapping::Indexed(prefix) => {
+                        let attr = collection.attribute(&format!("{prefix}{vi:02}"));
+                        profile.push(attr, corrupted);
+                    }
+                    FieldMapping::Drop => {}
+                }
+            }
+        }
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::vocab::Vocabularies;
+    use crate::zipf::Zipf;
+    use blast_datamodel::entity::SourceId;
+    use rand::SeedableRng;
+
+    fn entity(domain: Domain, seed: u64) -> CanonicalEntity {
+        let vocab = Vocabularies::new(1);
+        let zipf = Zipf::new(vocab.words.len(), 1.05);
+        let mut rng = StdRng::seed_from_u64(seed);
+        domain.generate(&vocab, &zipf, &mut rng)
+    }
+
+    #[test]
+    fn rename_and_drop() {
+        let e = entity(Domain::Bibliographic, 1);
+        let spec = SourceSpec {
+            mappings: vec![
+                FieldMapping::Rename("title"),
+                FieldMapping::Rename("authors"),
+                FieldMapping::Drop,
+                FieldMapping::Rename("year"),
+            ],
+            noise: NoiseModel::clean(),
+        };
+        let mut coll = EntityCollection::new(SourceId(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = spec.render("x", &e, &mut coll, &mut rng);
+        assert_eq!(p.nvp(), 3);
+        assert_eq!(coll.attribute_count(), 3);
+        assert!(coll.attribute_id("venue").is_none());
+    }
+
+    #[test]
+    fn split_distributes_tokens() {
+        let e = CanonicalEntity {
+            fields: vec![vec!["john abram jr".to_string()]],
+        };
+        let spec = SourceSpec {
+            mappings: vec![FieldMapping::Split(&["name1", "name2"])],
+            noise: NoiseModel::clean(),
+        };
+        let mut coll = EntityCollection::new(SourceId(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = spec.render("x", &e, &mut coll, &mut rng);
+        let n1 = coll.attribute_id("name1").unwrap();
+        let n2 = coll.attribute_id("name2").unwrap();
+        assert_eq!(p.values_of(n1).next(), Some("john abram"));
+        assert_eq!(p.values_of(n2).next(), Some("jr"));
+    }
+
+    #[test]
+    fn indexed_explodes_multivalues() {
+        let e = CanonicalEntity {
+            fields: vec![vec!["one".into(), "two".into(), "three".into()]],
+        };
+        let spec = SourceSpec {
+            mappings: vec![FieldMapping::Indexed("track")],
+            noise: NoiseModel::clean(),
+        };
+        let mut coll = EntityCollection::new(SourceId(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = spec.render("x", &e, &mut coll, &mut rng);
+        assert_eq!(p.nvp(), 3);
+        assert!(coll.attribute_id("track00").is_some());
+        assert!(coll.attribute_id("track02").is_some());
+    }
+
+    #[test]
+    fn pool_routes_same_kind_to_same_attribute() {
+        let e = CanonicalEntity {
+            fields: vec![vec!["k7 alpha beta".into(), "k7 gamma delta".into(), "k9 x".into()]],
+        };
+        let spec = SourceSpec {
+            mappings: vec![FieldMapping::Pool {
+                prefix: "p",
+                variants: 1000,
+            }],
+            noise: NoiseModel::clean(),
+        };
+        let mut coll = EntityCollection::new(SourceId(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = spec.render("x", &e, &mut coll, &mut rng);
+        assert_eq!(p.nvp(), 3);
+        // The two k7 facts share an attribute; k9 gets its own.
+        assert_eq!(coll.attribute_count(), 2);
+    }
+
+    #[test]
+    fn merge_collects_fields() {
+        let e = CanonicalEntity {
+            fields: vec![vec!["retailer".into()], vec!["new york".into()]],
+        };
+        let spec = SourceSpec {
+            mappings: vec![FieldMapping::MergeInto("info"), FieldMapping::MergeInto("info")],
+            noise: NoiseModel::clean(),
+        };
+        let mut coll = EntityCollection::new(SourceId(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = spec.render("x", &e, &mut coll, &mut rng);
+        assert_eq!(coll.attribute_count(), 1);
+        assert_eq!(p.nvp(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Dataset characteristics — the columns of Table 2.
+
+use blast_datamodel::ground_truth::GroundTruth;
+use blast_datamodel::input::ErInput;
+
+/// The Table 2 characteristics of a generated dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// |E1| (and the only size for dirty inputs).
+    pub e1: usize,
+    /// |E2| (0 for dirty inputs).
+    pub e2: usize,
+    /// |A1|.
+    pub a1: usize,
+    /// |A2| (0 for dirty inputs).
+    pub a2: usize,
+    /// nvp of source 1.
+    pub nvp1: usize,
+    /// nvp of source 2 (0 for dirty inputs).
+    pub nvp2: usize,
+    /// |D_E|.
+    pub duplicates: usize,
+}
+
+impl DatasetStats {
+    /// Computes the characteristics of `input` with ground truth `gt`.
+    pub fn of(input: &ErInput, gt: &GroundTruth) -> Self {
+        match input {
+            ErInput::CleanClean { d1, d2 } => Self {
+                e1: d1.len(),
+                e2: d2.len(),
+                a1: d1.attribute_count(),
+                a2: d2.attribute_count(),
+                nvp1: d1.nvp(),
+                nvp2: d2.nvp(),
+                duplicates: gt.len(),
+            },
+            ErInput::Dirty(d) => Self {
+                e1: d.len(),
+                e2: 0,
+                a1: d.attribute_count(),
+                a2: 0,
+                nvp1: d.nvp(),
+                nvp2: 0,
+                duplicates: gt.len(),
+            },
+        }
+    }
+
+    /// Formats the stats as a Table 2 row.
+    pub fn table2_row(&self, label: &str) -> String {
+        if self.e2 > 0 {
+            format!(
+                "{label:>5} | {:>9} - {:<9} | {:>6} - {:<6} | {:>9} - {:<9} | {:>8}",
+                self.e1, self.e2, self.a1, self.a2, self.nvp1, self.nvp2, self.duplicates
+            )
+        } else {
+            format!(
+                "{label:>5} | {:>9} {:<11} | {:>6} {:<8} | {:>9} {:<11} | {:>8}",
+                self.e1, "", self.a1, "", self.nvp1, "", self.duplicates
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_datamodel::collection::EntityCollection;
+    use blast_datamodel::entity::{ProfileId, SourceId};
+
+    #[test]
+    fn computes_clean_clean_stats() {
+        let mut d1 = EntityCollection::new(SourceId(0));
+        d1.push_pairs("a", [("x", "1"), ("y", "2")]);
+        let mut d2 = EntityCollection::new(SourceId(1));
+        d2.push_pairs("b", [("z", "3")]);
+        let mut gt = GroundTruth::new();
+        gt.insert(ProfileId(0), ProfileId(1));
+        let stats = DatasetStats::of(&ErInput::clean_clean(d1, d2), &gt);
+        assert_eq!(stats.e1, 1);
+        assert_eq!(stats.e2, 1);
+        assert_eq!(stats.a1, 2);
+        assert_eq!(stats.a2, 1);
+        assert_eq!(stats.nvp1, 2);
+        assert_eq!(stats.duplicates, 1);
+        assert!(stats.table2_row("t").contains('|'));
+    }
+
+    #[test]
+    fn computes_dirty_stats() {
+        let mut d = EntityCollection::new(SourceId(0));
+        d.push_pairs("a", [("x", "1")]);
+        d.push_pairs("b", [("x", "2")]);
+        let stats = DatasetStats::of(&ErInput::dirty(d), &GroundTruth::new());
+        assert_eq!(stats.e1, 2);
+        assert_eq!(stats.e2, 0);
+        assert_eq!(stats.duplicates, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Zipf-distributed sampling.
+//!
+//! Real-world token frequencies are heavy-tailed: a handful of words appear
+//! everywhere (producing the huge, noisy blocks Block Purging removes) and a
+//! long tail of rare words discriminates entities. The sampler precomputes
+//! the CDF once and draws by binary search.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A Zipf(n, s) sampler over ranks `0..n` (rank 0 most frequent).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution with `n` ranks and exponent `s` (s ≈ 1 for
+    /// natural language).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s=1, n=1000: P(rank<10) ≈ H(10)/H(1000) ≈ 2.93/7.49 ≈ 0.39.
+        let frac = head as f64 / N as f64;
+        assert!((0.3..0.5).contains(&frac), "head fraction {frac}");
+    }
+
+    #[test]
+    fn samples_cover_range() {
+        let z = Zipf::new(5, 0.8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..2000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all ranks eventually sampled");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(100, 1.1);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,112 @@
+//! Entity profiles: the paper's §2 model.
+//!
+//! An *entity profile* is a tuple of a unique identifier and a set of
+//! name–value pairs ⟨a, v⟩. Attribute names are interned per collection
+//! (see [`crate::collection::EntityCollection`]); values are free text.
+
+use crate::interner::Symbol;
+
+/// Identifier of a profile. In an [`crate::input::ErInput`] profile ids are
+/// *global*: clean-clean inputs number the first collection `0..|E1|` and the
+/// second `|E1|..|E1|+|E2|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProfileId(pub u32);
+
+impl ProfileId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an attribute *within one collection* (an interned attribute
+/// name). The pair `(SourceId, AttributeId)` is globally unambiguous.
+pub type AttributeId = Symbol;
+
+/// Which collection a profile/attribute belongs to (0 or 1; dirty ER uses 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub u8);
+
+/// An entity profile: external identifier plus name–value pairs.
+///
+/// Multiple pairs may share the same attribute (multi-valued attributes are
+/// common in Web data, e.g. several `actor` values on a movie profile).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EntityProfile {
+    /// Identifier carried over from the original data source (used to join
+    /// with ground truth, never for indexing).
+    pub external_id: Box<str>,
+    /// The ⟨attribute, value⟩ pairs of this profile.
+    pub values: Vec<(AttributeId, Box<str>)>,
+}
+
+impl EntityProfile {
+    /// Creates a profile with the given external id and no values.
+    pub fn new(external_id: impl Into<Box<str>>) -> Self {
+        Self {
+            external_id: external_id.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends a name–value pair.
+    pub fn push(&mut self, attribute: AttributeId, value: impl Into<Box<str>>) {
+        self.values.push((attribute, value.into()));
+    }
+
+    /// Number of name–value pairs (the paper's `nvp` contribution of this
+    /// profile).
+    #[inline]
+    pub fn nvp(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the values of a given attribute.
+    pub fn values_of(&self, attribute: AttributeId) -> impl Iterator<Item = &str> {
+        self.values
+            .iter()
+            .filter(move |(a, _)| *a == attribute)
+            .map(|(_, v)| &**v)
+    }
+
+    /// Whether the profile has no values at all (profiles with only missing
+    /// data; generators may produce them and blocking must tolerate them).
+    #[inline]
+    pub fn is_blank(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query_values() {
+        let name = Symbol(0);
+        let year = Symbol(1);
+        let mut p = EntityProfile::new("p1");
+        p.push(name, "John Abram Jr");
+        p.push(year, "1985");
+        p.push(name, "J. Abram");
+        assert_eq!(p.nvp(), 3);
+        let names: Vec<_> = p.values_of(name).collect();
+        assert_eq!(names, vec!["John Abram Jr", "J. Abram"]);
+        assert_eq!(p.values_of(year).count(), 1);
+        assert!(!p.is_blank());
+    }
+
+    #[test]
+    fn blank_profile() {
+        let p = EntityProfile::new("empty");
+        assert!(p.is_blank());
+        assert_eq!(p.nvp(), 0);
+    }
+
+    #[test]
+    fn profile_id_ordering_matches_numeric() {
+        assert!(ProfileId(3) < ProfileId(10));
+        assert_eq!(ProfileId(7).index(), 7);
+    }
+}

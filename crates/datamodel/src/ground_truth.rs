@@ -1,0 +1,157 @@
+//! Ground truth: the set of known duplicate pairs `D_E` (§2).
+
+use crate::entity::ProfileId;
+use crate::hash::FastSet;
+
+/// A set of matching profile pairs, stored with normalised order
+/// (`min(id), max(id)`), over the *global* profile-id space of an
+/// [`crate::input::ErInput`].
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    pairs: FastSet<(ProfileId, ProfileId)>,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalises a pair to `(min, max)`.
+    #[inline]
+    pub fn normalise(a: ProfileId, b: ProfileId) -> (ProfileId, ProfileId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Records that `a` and `b` match. Self-pairs are ignored.
+    pub fn insert(&mut self, a: ProfileId, b: ProfileId) {
+        if a != b {
+            self.pairs.insert(Self::normalise(a, b));
+        }
+    }
+
+    /// Whether `a` and `b` are a known match.
+    #[inline]
+    pub fn is_match(&self, a: ProfileId, b: ProfileId) -> bool {
+        self.pairs.contains(&Self::normalise(a, b))
+    }
+
+    /// The number of known duplicates (the paper's |D_E|).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no matches are recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over all matching pairs (normalised order).
+    pub fn iter(&self) -> impl Iterator<Item = (ProfileId, ProfileId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Splits the ground truth deterministically into (train, test) by taking
+    /// every k-th pair (sorted) into the training set until `fraction` of the
+    /// matches is reached — used by supervised meta-blocking (§4.1.1 uses
+    /// 10 % of the matched profiles as training data).
+    pub fn split_train(&self, fraction: f64) -> (GroundTruth, GroundTruth) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let mut sorted: Vec<_> = self.pairs.iter().copied().collect();
+        sorted.sort_unstable();
+        let n_train = ((sorted.len() as f64) * fraction).round() as usize;
+        let stride = sorted
+            .len()
+            .checked_div(n_train)
+            .map_or(usize::MAX, |s| s.max(1));
+        let mut train = GroundTruth::new();
+        let mut test = GroundTruth::new();
+        for (i, (a, b)) in sorted.into_iter().enumerate() {
+            if i % stride == 0 && train.len() < n_train {
+                train.insert(a, b);
+            } else {
+                test.insert(a, b);
+            }
+        }
+        (train, test)
+    }
+}
+
+impl FromIterator<(ProfileId, ProfileId)> for GroundTruth {
+    fn from_iter<T: IntoIterator<Item = (ProfileId, ProfileId)>>(iter: T) -> Self {
+        let mut gt = GroundTruth::new();
+        for (a, b) in iter {
+            gt.insert(a, b);
+        }
+        gt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_normalises_and_dedupes() {
+        let mut gt = GroundTruth::new();
+        gt.insert(ProfileId(5), ProfileId(2));
+        gt.insert(ProfileId(2), ProfileId(5));
+        assert_eq!(gt.len(), 1);
+        assert!(gt.is_match(ProfileId(5), ProfileId(2)));
+        assert!(gt.is_match(ProfileId(2), ProfileId(5)));
+        assert!(!gt.is_match(ProfileId(2), ProfileId(3)));
+    }
+
+    #[test]
+    fn self_pairs_ignored() {
+        let mut gt = GroundTruth::new();
+        gt.insert(ProfileId(1), ProfileId(1));
+        assert!(gt.is_empty());
+    }
+
+    #[test]
+    fn split_train_respects_fraction() {
+        let gt: GroundTruth = (0..100u32)
+            .map(|i| (ProfileId(i), ProfileId(i + 1000)))
+            .collect();
+        let (train, test) = gt.split_train(0.1);
+        assert_eq!(train.len(), 10);
+        assert_eq!(train.len() + test.len(), 100);
+        // Disjoint.
+        for p in train.iter() {
+            assert!(!test.is_match(p.0, p.1));
+        }
+    }
+
+    #[test]
+    fn split_train_zero_and_one() {
+        let gt: GroundTruth = (0..10u32).map(|i| (ProfileId(i), ProfileId(i + 100))).collect();
+        let (train, test) = gt.split_train(0.0);
+        assert_eq!(train.len(), 0);
+        assert_eq!(test.len(), 10);
+        let (train, test) = gt.split_train(1.0);
+        assert_eq!(train.len(), 10);
+        assert_eq!(test.len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_partitions(pairs in proptest::collection::hash_set((0u32..500, 500u32..1000), 0..60), frac in 0.0f64..1.0) {
+            let gt: GroundTruth = pairs.iter().map(|&(a, b)| (ProfileId(a), ProfileId(b))).collect();
+            let total = gt.len();
+            let (train, test) = gt.split_train(frac);
+            prop_assert_eq!(train.len() + test.len(), total);
+            for p in train.iter() {
+                prop_assert!(gt.is_match(p.0, p.1));
+                prop_assert!(!test.is_match(p.0, p.1));
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The two ER settings of the paper (§2): clean-clean and dirty.
+//!
+//! Profiles get a single *global* id space so blocks, graphs and ground
+//! truth can refer to any profile with one `ProfileId`: clean-clean inputs
+//! number the first collection `0..|E1|` and the second `|E1|..|E1|+|E2|`
+//! (the "dataset separator" idiom of the reference framework).
+
+use crate::collection::EntityCollection;
+use crate::entity::{EntityProfile, ProfileId, SourceId};
+
+/// An entity-resolution input: either two duplicate-free collections
+/// (clean-clean ER) or a single collection containing duplicates (dirty ER).
+#[derive(Debug, Clone)]
+pub enum ErInput {
+    /// Two duplicate-free collections; only cross-collection pairs are
+    /// candidate matches.
+    CleanClean {
+        /// First collection (global ids `0..d1.len()`).
+        d1: EntityCollection,
+        /// Second collection (global ids `d1.len()..`).
+        d2: EntityCollection,
+    },
+    /// A single collection with duplicates; all pairs are candidates.
+    Dirty(EntityCollection),
+}
+
+impl ErInput {
+    /// Builds a clean-clean input.
+    pub fn clean_clean(d1: EntityCollection, d2: EntityCollection) -> Self {
+        ErInput::CleanClean { d1, d2 }
+    }
+
+    /// Builds a dirty input.
+    pub fn dirty(d: EntityCollection) -> Self {
+        ErInput::Dirty(d)
+    }
+
+    /// Whether this is a clean-clean input.
+    pub fn is_clean_clean(&self) -> bool {
+        matches!(self, ErInput::CleanClean { .. })
+    }
+
+    /// Total number of profiles across all collections.
+    pub fn total_profiles(&self) -> usize {
+        match self {
+            ErInput::CleanClean { d1, d2 } => d1.len() + d2.len(),
+            ErInput::Dirty(d) => d.len(),
+        }
+    }
+
+    /// For clean-clean inputs, the global id where the second collection
+    /// starts (`|E1|`); for dirty inputs, the collection size (i.e. no
+    /// profile lies at or beyond the separator).
+    pub fn separator(&self) -> u32 {
+        match self {
+            ErInput::CleanClean { d1, .. } => d1.len() as u32,
+            ErInput::Dirty(d) => d.len() as u32,
+        }
+    }
+
+    /// The source a global profile id belongs to.
+    #[inline]
+    pub fn source_of(&self, id: ProfileId) -> SourceId {
+        match self {
+            ErInput::CleanClean { d1, .. } => {
+                if (id.0 as usize) < d1.len() {
+                    SourceId(0)
+                } else {
+                    SourceId(1)
+                }
+            }
+            ErInput::Dirty(_) => SourceId(0),
+        }
+    }
+
+    /// Resolves a global profile id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn profile(&self, id: ProfileId) -> &EntityProfile {
+        match self {
+            ErInput::CleanClean { d1, d2 } => {
+                let i = id.index();
+                if i < d1.len() {
+                    &d1.profiles()[i]
+                } else {
+                    &d2.profiles()[i - d1.len()]
+                }
+            }
+            ErInput::Dirty(d) => &d.profiles()[id.index()],
+        }
+    }
+
+    /// The collection a source id refers to.
+    pub fn collection(&self, source: SourceId) -> &EntityCollection {
+        match self {
+            ErInput::CleanClean { d1, d2 } => match source.0 {
+                0 => d1,
+                1 => d2,
+                _ => panic!("clean-clean input has sources 0 and 1, got {}", source.0),
+            },
+            ErInput::Dirty(d) => {
+                assert_eq!(source.0, 0, "dirty input has a single source 0");
+                d
+            }
+        }
+    }
+
+    /// Iterates `(global id, source, profile)` over every profile.
+    pub fn iter_profiles(&self) -> impl Iterator<Item = (ProfileId, SourceId, &EntityProfile)> {
+        let (first, second): (&EntityCollection, Option<&EntityCollection>) = match self {
+            ErInput::CleanClean { d1, d2 } => (d1, Some(d2)),
+            ErInput::Dirty(d) => (d, None),
+        };
+        let sep = first.len();
+        first
+            .profiles()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProfileId(i as u32), SourceId(0), p))
+            .chain(second.into_iter().flat_map(move |d2| {
+                d2.profiles()
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, p)| (ProfileId((sep + i) as u32), SourceId(1), p))
+            }))
+    }
+
+    /// Whether two global ids form a valid comparison in this setting
+    /// (cross-collection for clean-clean, any distinct pair for dirty).
+    #[inline]
+    pub fn comparable(&self, a: ProfileId, b: ProfileId) -> bool {
+        if a == b {
+            return false;
+        }
+        match self {
+            ErInput::CleanClean { d1, .. } => {
+                let sep = d1.len() as u32;
+                (a.0 < sep) != (b.0 < sep)
+            }
+            ErInput::Dirty(_) => true,
+        }
+    }
+
+    /// Number of comparisons of the naive (brute-force) solution:
+    /// `|E1|·|E2|` for clean-clean, `C(|E|,2)` for dirty (§2).
+    pub fn naive_comparisons(&self) -> u64 {
+        match self {
+            ErInput::CleanClean { d1, d2 } => d1.len() as u64 * d2.len() as u64,
+            ErInput::Dirty(d) => {
+                let n = d.len() as u64;
+                n * n.saturating_sub(1) / 2
+            }
+        }
+    }
+
+    /// Total name–value pairs across all collections.
+    pub fn nvp(&self) -> usize {
+        match self {
+            ErInput::CleanClean { d1, d2 } => d1.nvp() + d2.nvp(),
+            ErInput::Dirty(d) => d.nvp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_collections() -> (EntityCollection, EntityCollection) {
+        let mut d1 = EntityCollection::new(SourceId(0));
+        d1.push_pairs("a1", [("name", "John")]);
+        d1.push_pairs("a2", [("name", "Ellen")]);
+        let mut d2 = EntityCollection::new(SourceId(1));
+        d2.push_pairs("b1", [("full name", "John Abram")]);
+        (d1, d2)
+    }
+
+    #[test]
+    fn global_ids_span_both_collections() {
+        let (d1, d2) = two_collections();
+        let input = ErInput::clean_clean(d1, d2);
+        assert_eq!(input.total_profiles(), 3);
+        assert_eq!(input.separator(), 2);
+        assert_eq!(input.source_of(ProfileId(0)), SourceId(0));
+        assert_eq!(input.source_of(ProfileId(2)), SourceId(1));
+        assert_eq!(input.profile(ProfileId(2)).external_id.as_ref(), "b1");
+    }
+
+    #[test]
+    fn comparable_respects_setting() {
+        let (d1, d2) = two_collections();
+        let cc = ErInput::clean_clean(d1.clone(), d2);
+        assert!(cc.comparable(ProfileId(0), ProfileId(2)));
+        assert!(!cc.comparable(ProfileId(0), ProfileId(1)));
+        assert!(!cc.comparable(ProfileId(0), ProfileId(0)));
+
+        let dirty = ErInput::dirty(d1);
+        assert!(dirty.comparable(ProfileId(0), ProfileId(1)));
+        assert!(!dirty.comparable(ProfileId(1), ProfileId(1)));
+    }
+
+    #[test]
+    fn naive_comparisons_formulas() {
+        let (d1, d2) = two_collections();
+        let cc = ErInput::clean_clean(d1.clone(), d2);
+        assert_eq!(cc.naive_comparisons(), 2);
+        let dirty = ErInput::dirty(d1);
+        assert_eq!(dirty.naive_comparisons(), 1);
+    }
+
+    #[test]
+    fn iter_profiles_yields_global_order() {
+        let (d1, d2) = two_collections();
+        let input = ErInput::clean_clean(d1, d2);
+        let ids: Vec<u32> = input.iter_profiles().map(|(id, _, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let sources: Vec<u8> = input.iter_profiles().map(|(_, s, _)| s.0).collect();
+        assert_eq!(sources, vec![0, 0, 1]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Compact string interning.
+//!
+//! Tokens and attribute names are resolved to dense `u32` [`Symbol`]s once,
+//! so all downstream structures (blocks, attribute profiles, MinHash inputs)
+//! operate on integers. The interner stores each string exactly once and
+//! indexes it by its Fx hash, resolving the rare collisions by comparing the
+//! actual strings.
+
+use crate::hash::{fx_hash_one, FastMap};
+
+/// A dense id for an interned string. Symbols are assigned sequentially
+/// starting from zero, so they can be used directly as vector indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The symbol as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner mapping strings to dense [`Symbol`]s and back.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    // hash → candidate symbol list (usually length 1).
+    by_hash: FastMap<u64, Vec<u32>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner sized for roughly `capacity` distinct strings.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            strings: Vec::with_capacity(capacity),
+            by_hash: FastMap::with_capacity_and_hasher(capacity, Default::default()),
+        }
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        let hash = fx_hash_one(&s);
+        if let Some(candidates) = self.by_hash.get(&hash) {
+            for &idx in candidates {
+                if &*self.strings[idx as usize] == s {
+                    return Symbol(idx);
+                }
+            }
+        }
+        let idx = u32::try_from(self.strings.len()).expect("interner overflow (> u32::MAX strings)");
+        self.strings.push(s.into());
+        self.by_hash.entry(hash).or_default().push(idx);
+        Symbol(idx)
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        let hash = fx_hash_one(&s);
+        self.by_hash.get(&hash).and_then(|candidates| {
+            candidates
+                .iter()
+                .copied()
+                .find(|&idx| &*self.strings[idx as usize] == s)
+                .map(Symbol)
+        })
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol was not produced by this interner.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no string has been interned yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(Symbol, &str)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("abram");
+        let b = i.intern("abram");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_resolve() {
+        let mut i = Interner::new();
+        let a = i.intern("ellen");
+        let b = i.intern("smith");
+        assert_eq!(a, Symbol(0));
+        assert_eq!(b, Symbol(1));
+        assert_eq!(i.resolve(a), "ellen");
+        assert_eq!(i.resolve(b), "smith");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_insertion_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("c");
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intern_resolve_roundtrip(strings in proptest::collection::vec(".{0,12}", 0..50)) {
+            let mut i = Interner::new();
+            let syms: Vec<_> = strings.iter().map(|s| i.intern(s)).collect();
+            for (s, sym) in strings.iter().zip(&syms) {
+                prop_assert_eq!(i.resolve(*sym), s.as_str());
+            }
+            // Distinct strings get distinct symbols; equal strings get equal ones.
+            for (a, sa) in strings.iter().zip(&syms) {
+                for (b, sb) in strings.iter().zip(&syms) {
+                    prop_assert_eq!(a == b, sa == sb);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_len_counts_distinct(strings in proptest::collection::vec("[a-c]{0,3}", 0..40)) {
+            let mut i = Interner::new();
+            for s in &strings {
+                i.intern(s);
+            }
+            let distinct: std::collections::HashSet<_> = strings.iter().collect();
+            prop_assert_eq!(i.len(), distinct.len());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal scoped-thread parallel helpers (crossbeam-based).
+//!
+//! The heavy loops in this workspace — attribute-pair similarity and
+//! node-centric graph weighting — are embarrassingly parallel over disjoint
+//! index ranges. These helpers split a range into contiguous chunks, run a
+//! worker per chunk on scoped threads, and return the per-chunk results in
+//! order, so callers can merge deterministically regardless of thread
+//! scheduling.
+
+/// Number of worker threads to use: the available parallelism, capped so
+/// tiny inputs don't pay thread-spawn overhead.
+pub fn default_threads(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Below ~4k items per thread the spawn overhead dominates.
+    hw.min(items / 4096 + 1).max(1)
+}
+
+/// Splits `0..len` into at most `threads` contiguous chunks and runs
+/// `worker(chunk_range)` for each on scoped threads. Results are returned in
+/// chunk order (deterministic merge).
+pub fn parallel_ranges<R, F>(len: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || len == 0 {
+        return vec![worker(0..len)];
+    }
+    let chunk = len.div_ceil(threads);
+    let ranges: Vec<_> = (0..len)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(len))
+        .collect();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(ranges.len());
+    results.resize_with(ranges.len(), || None);
+    crossbeam::scope(|scope| {
+        for (slot, range) in results.iter_mut().zip(ranges) {
+            let worker = &worker;
+            scope.spawn(move |_| {
+                *slot = Some(worker(range));
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    results.into_iter().map(|r| r.expect("worker ran")).collect()
+}
+
+/// Parallel map over a slice: applies `f` to every element, preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let chunks = parallel_ranges(items.len(), threads, |range| {
+        items[range].iter().map(&f).collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        let parts = parallel_ranges(100, 7, |r| r.collect::<Vec<usize>>());
+        let all: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty() {
+        let parts = parallel_ranges(5, 1, |r| r.len());
+        assert_eq!(parts, vec![5]);
+        let parts = parallel_ranges(0, 4, |r| r.len());
+        assert_eq!(parts, vec![0]);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let doubled = parallel_map(&data, 4, |x| x * 2);
+        assert_eq!(doubled.len(), data.len());
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn default_threads_reasonable() {
+        assert_eq!(default_threads(0), 1);
+        assert!(default_threads(10) >= 1);
+        assert!(default_threads(1_000_000) >= 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Value-transformation functions (the paper's §2.1 `τ`).
+//!
+//! The default transformation is the one BLAST uses: split attribute values
+//! into maximal alphanumeric runs and lowercase them. Optional stop-word
+//! removal, a minimum token length and character q-grams (the alternative
+//! blocking keys mentioned in §3.2) are supported.
+
+use crate::hash::FastSet;
+
+/// Configurable tokenizer implementing the paper's value transformation
+/// function `τ`.
+///
+/// ```
+/// use blast_datamodel::tokenizer::Tokenizer;
+/// let t = Tokenizer::new();
+/// assert_eq!(t.tokens("Abram st. 30 NY"), vec!["abram", "st", "30", "ny"]);
+/// let q = Tokenizer::new().with_qgrams(3);
+/// assert_eq!(q.tokens("abcd"), vec!["abc", "bcd"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    lowercase: bool,
+    min_token_len: usize,
+    stopwords: Option<FastSet<Box<str>>>,
+    qgram: Option<usize>,
+}
+
+impl Default for Tokenizer {
+    /// The BLAST default: lowercased alphanumeric tokens, no stop-word
+    /// removal (the paper deliberately applies *no* text pre-processing,
+    /// §4.1), every token length accepted.
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            min_token_len: 1,
+            stopwords: None,
+            qgram: None,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// The default BLAST tokenizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keeps the original character case (the paper's example figures keep
+    /// case; matching is unaffected as long as both sides agree).
+    pub fn preserve_case(mut self) -> Self {
+        self.lowercase = false;
+        self
+    }
+
+    /// Drops tokens shorter than `len` characters.
+    pub fn min_token_len(mut self, len: usize) -> Self {
+        self.min_token_len = len;
+        self
+    }
+
+    /// Enables stop-word removal with the given list (matched after
+    /// lowercasing when lowercasing is enabled).
+    pub fn with_stopwords<I, S>(mut self, words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let set = words
+            .into_iter()
+            .map(|w| {
+                let w = w.as_ref();
+                if self.lowercase {
+                    w.to_lowercase().into_boxed_str()
+                } else {
+                    Box::from(w)
+                }
+            })
+            .collect();
+        self.stopwords = Some(set);
+        self
+    }
+
+    /// Emits overlapping character q-grams of each token instead of whole
+    /// tokens (q ≥ 2); tokens shorter than `q` are emitted unchanged.
+    pub fn with_qgrams(mut self, q: usize) -> Self {
+        assert!(q >= 2, "q-grams need q >= 2");
+        self.qgram = Some(q);
+        self
+    }
+
+    /// Calls `f` for every token extracted from `value`.
+    ///
+    /// Tokens are maximal runs of alphanumeric characters; everything else
+    /// is a separator (so `"Abram st. 30 NY"` yields `abram`, `st`, `30`,
+    /// `ny` with the default configuration).
+    pub fn for_each_token(&self, value: &str, mut f: impl FnMut(&str)) {
+        let mut scratch = String::new();
+        for raw in value.split(|c: char| !c.is_alphanumeric()) {
+            if raw.is_empty() {
+                continue;
+            }
+            let tok: &str = if self.lowercase && raw.chars().any(|c| c.is_uppercase()) {
+                scratch.clear();
+                for c in raw.chars() {
+                    for lc in c.to_lowercase() {
+                        scratch.push(lc);
+                    }
+                }
+                &scratch
+            } else {
+                raw
+            };
+            if tok.chars().count() < self.min_token_len {
+                continue;
+            }
+            if let Some(stop) = &self.stopwords {
+                if stop.contains(tok) {
+                    continue;
+                }
+            }
+            match self.qgram {
+                None => f(tok),
+                Some(q) => emit_qgrams(tok, q, &mut f),
+            }
+        }
+    }
+
+    /// Collects the tokens of `value` into a vector (convenience; the
+    /// hot paths use [`Self::for_each_token`] to avoid allocation).
+    pub fn tokens(&self, value: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.for_each_token(value, |t| out.push(t.to_string()));
+        out
+    }
+}
+
+/// Emits the overlapping character q-grams of `tok`; if the token is shorter
+/// than `q`, the token itself is emitted.
+fn emit_qgrams(tok: &str, q: usize, f: &mut impl FnMut(&str)) {
+    let chars: Vec<(usize, char)> = tok.char_indices().collect();
+    if chars.len() < q {
+        f(tok);
+        return;
+    }
+    for start in 0..=chars.len() - q {
+        let from = chars[start].0;
+        let to = if start + q < chars.len() {
+            chars[start + q].0
+        } else {
+            tok.len()
+        };
+        f(&tok[from..to]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumeric_and_lowercases() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokens("Abram st. 30 NY"), vec!["abram", "st", "30", "ny"]);
+        assert_eq!(t.tokens("May 10 1985"), vec!["may", "10", "1985"]);
+    }
+
+    #[test]
+    fn preserve_case_keeps_original() {
+        let t = Tokenizer::new().preserve_case();
+        assert_eq!(t.tokens("John Abram Jr"), vec!["John", "Abram", "Jr"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_values_yield_nothing() {
+        let t = Tokenizer::new();
+        assert!(t.tokens("").is_empty());
+        assert!(t.tokens("--- ... !!!").is_empty());
+    }
+
+    #[test]
+    fn min_token_len_filters() {
+        let t = Tokenizer::new().min_token_len(3);
+        assert_eq!(t.tokens("a bb ccc dddd"), vec!["ccc", "dddd"]);
+    }
+
+    #[test]
+    fn stopwords_removed_after_lowercasing() {
+        let t = Tokenizer::new().with_stopwords(["The", "of"]);
+        assert_eq!(t.tokens("The Lord of the Rings"), vec!["lord", "rings"]);
+    }
+
+    #[test]
+    fn qgrams_of_token() {
+        let t = Tokenizer::new().with_qgrams(3);
+        assert_eq!(t.tokens("abcd"), vec!["abc", "bcd"]);
+        // shorter than q: emitted unchanged
+        assert_eq!(t.tokens("ab"), vec!["ab"]);
+    }
+
+    #[test]
+    fn unicode_tokens_survive() {
+        let t = Tokenizer::new();
+        assert_eq!(t.tokens("Modène–Émilie"), vec!["modène", "émilie"]);
+    }
+
+    #[test]
+    fn figure1_profile_p2_tokens() {
+        // Profile p2 of Figure 1a, mail attribute.
+        let t = Tokenizer::new();
+        assert_eq!(t.tokens("Abram st. 30 NY"), vec!["abram", "st", "30", "ny"]);
+    }
+}

@@ -1,0 +1,369 @@
+//! The implicit blocking graph.
+
+use blast_blocking::collection::BlockCollection;
+use blast_blocking::index::ProfileBlockIndex;
+use blast_datamodel::entity::ProfileId;
+use blast_datamodel::hash::FastMap;
+use blast_datamodel::parallel::{default_threads, parallel_ranges};
+
+/// Per-edge accumulator gathered while scanning a node's blocks: everything
+/// any weighting scheme needs about the pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EdgeAccum {
+    /// Number of shared blocks |B_ij| (CBS and the contingency n₁₁).
+    pub common_blocks: u32,
+    /// Σ over shared blocks of 1/‖b‖ (ARCS).
+    pub arcs: f64,
+    /// Σ over shared blocks of the block's entropy factor (BLAST's h(B_uv)
+    /// numerator; 1 per block when no entropies are attached).
+    pub entropy_sum: f64,
+}
+
+/// The blocking graph of a block collection, kept implicit: adjacency is
+/// enumerated on demand from the profile→block index.
+#[derive(Debug)]
+pub struct GraphContext<'a> {
+    blocks: &'a BlockCollection,
+    index: ProfileBlockIndex,
+    /// ‖b‖ per block, as f64 for the ARCS reciprocal.
+    cardinalities: Vec<f64>,
+    /// Optional per-block entropy factor (aggregate entropy of the block
+    /// key's attribute cluster — attached by `blast-core`).
+    entropies: Option<Vec<f64>>,
+    /// Node degrees (distinct neighbours), computed by
+    /// [`GraphContext::ensure_degrees`]; needed by EJS.
+    degrees: Option<Vec<u32>>,
+    /// Total number of edges, computed together with `degrees`.
+    total_edges: Option<u64>,
+    threads: usize,
+}
+
+impl<'a> GraphContext<'a> {
+    /// Builds the context (CSR index + block cardinalities).
+    pub fn new(blocks: &'a BlockCollection) -> Self {
+        let index = ProfileBlockIndex::build(blocks);
+        let clean = blocks.is_clean_clean();
+        let cardinalities = blocks
+            .blocks()
+            .iter()
+            .map(|b| b.cardinality(clean) as f64)
+            .collect();
+        let threads = default_threads(blocks.total_profiles() as usize);
+        Self {
+            blocks,
+            index,
+            cardinalities,
+            entropies: None,
+            degrees: None,
+            total_edges: None,
+            threads,
+        }
+    }
+
+    /// Attaches a per-block entropy factor (one value per block, aligned
+    /// with `blocks.blocks()`).
+    pub fn with_block_entropies(mut self, entropies: Vec<f64>) -> Self {
+        assert_eq!(
+            entropies.len(),
+            self.blocks.len(),
+            "one entropy per block required"
+        );
+        self.entropies = Some(entropies);
+        self
+    }
+
+    /// Overrides the number of worker threads (1 = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The underlying block collection.
+    #[inline]
+    pub fn blocks(&self) -> &BlockCollection {
+        self.blocks
+    }
+
+    /// The profile→block index.
+    #[inline]
+    pub fn index(&self) -> &ProfileBlockIndex {
+        &self.index
+    }
+
+    /// Number of worker threads used by graph passes.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total number of blocks |B|.
+    #[inline]
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Total number of profiles (nodes, including isolated ones).
+    #[inline]
+    pub fn total_profiles(&self) -> u32 {
+        self.blocks.total_profiles()
+    }
+
+    /// |Bᵢ|: number of blocks containing node `p`.
+    #[inline]
+    pub fn node_blocks(&self, p: u32) -> u32 {
+        self.index.block_count(p)
+    }
+
+    /// Node degree (requires [`GraphContext::ensure_degrees`]).
+    #[inline]
+    pub fn degree(&self, p: u32) -> u32 {
+        self.degrees.as_ref().expect("call ensure_degrees() first")[p as usize]
+    }
+
+    /// Total edge count (requires [`GraphContext::ensure_degrees`]).
+    #[inline]
+    pub fn total_edges(&self) -> u64 {
+        self.total_edges.expect("call ensure_degrees() first")
+    }
+
+    /// Whether degrees are available.
+    #[inline]
+    pub fn has_degrees(&self) -> bool {
+        self.degrees.is_some()
+    }
+
+    /// The nodes that *own* edge enumeration: for clean-clean graphs every
+    /// edge has exactly one endpoint in the first collection, so enumerating
+    /// from `0..separator` visits each edge once; dirty graphs enumerate all
+    /// nodes and keep `v > u`.
+    pub fn edge_owner_range(&self) -> std::ops::Range<u32> {
+        if self.blocks.is_clean_clean() {
+            0..self.blocks.separator()
+        } else {
+            0..self.total_profiles()
+        }
+    }
+
+    /// Accumulates the adjacency of `node` into `map` (cleared first):
+    /// neighbour id → [`EdgeAccum`].
+    pub fn accumulate_neighbors(&self, node: u32, map: &mut FastMap<u32, EdgeAccum>) {
+        map.clear();
+        let clean = self.blocks.is_clean_clean();
+        let sep = self.blocks.separator();
+        for &bid in self.index.blocks_of(node) {
+            let block = &self.blocks.blocks()[bid as usize];
+            let inv = 1.0 / self.cardinalities[bid as usize];
+            let ent = self.entropies.as_ref().map_or(1.0, |e| e[bid as usize]);
+            let neighbours: &[ProfileId] = if clean {
+                if node < sep {
+                    block.inner2()
+                } else {
+                    block.inner1()
+                }
+            } else {
+                &block.profiles
+            };
+            for &p in neighbours {
+                if p.0 == node {
+                    continue;
+                }
+                let e = map.entry(p.0).or_default();
+                e.common_blocks += 1;
+                e.arcs += inv;
+                e.entropy_sum += ent;
+            }
+        }
+    }
+
+    /// Collects the adjacency of `node` sorted by neighbour id
+    /// (deterministic order for float accumulation and tie-breaking).
+    pub fn neighbors_sorted(
+        &self,
+        node: u32,
+        scratch: &mut FastMap<u32, EdgeAccum>,
+        out: &mut Vec<(u32, EdgeAccum)>,
+    ) {
+        self.accumulate_neighbors(node, scratch);
+        out.clear();
+        out.extend(scratch.iter().map(|(&v, &acc)| (v, acc)));
+        out.sort_unstable_by_key(|(v, _)| *v);
+    }
+
+    /// Computes node degrees and the total edge count (one full adjacency
+    /// pass, parallelised).
+    pub fn ensure_degrees(&mut self) {
+        if self.degrees.is_some() {
+            return;
+        }
+        let n = self.total_profiles() as usize;
+        let chunks = parallel_ranges(n, self.threads, |range| {
+            let mut scratch: FastMap<u32, EdgeAccum> = FastMap::default();
+            let mut degrees = Vec::with_capacity(range.len());
+            for node in range {
+                self.accumulate_neighbors(node as u32, &mut scratch);
+                degrees.push(scratch.len() as u32);
+            }
+            degrees
+        });
+        let mut degrees = Vec::with_capacity(n);
+        for c in chunks {
+            degrees.extend(c);
+        }
+        let sum: u64 = degrees.iter().map(|&d| d as u64).sum();
+        self.total_edges = Some(sum / 2);
+        self.degrees = Some(degrees);
+    }
+
+    /// Convenience (tests/diagnostics): the accumulator of one edge, if it
+    /// exists.
+    pub fn edge(&self, u: u32, v: u32) -> Option<EdgeAccum> {
+        let mut map = FastMap::default();
+        self.accumulate_neighbors(u, &mut map);
+        map.get(&v).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_blocking::block::Block;
+    use blast_blocking::key::ClusterId;
+    use blast_blocking::token_blocking::TokenBlocking;
+    use blast_datamodel::collection::EntityCollection;
+    use blast_datamodel::entity::SourceId;
+    use blast_datamodel::input::ErInput;
+
+    fn ids(v: &[u32]) -> Vec<ProfileId> {
+        v.iter().map(|&i| ProfileId(i)).collect()
+    }
+
+    /// The Figure 1a profiles (dirty input).
+    fn figure1_blocks() -> BlockCollection {
+        let mut d = EntityCollection::new(SourceId(0));
+        d.push_pairs(
+            "p1",
+            [
+                ("Name", "John Abram Jr"),
+                ("profession", "car seller"),
+                ("year", "1985"),
+                ("Addr.", "Main street"),
+            ],
+        );
+        d.push_pairs(
+            "p2",
+            [
+                ("FirstName", "Ellen"),
+                ("SecondName", "Smith"),
+                ("year", "85"),
+                ("occupation", "retail"),
+                ("mail", "Abram st. 30 NY"),
+            ],
+        );
+        d.push_pairs(
+            "p3",
+            [
+                ("name1", "Jon Jr"),
+                ("name2", "Abram"),
+                ("birth year", "85"),
+                ("job", "car retail"),
+                ("Loc", "Main st."),
+            ],
+        );
+        d.push_pairs(
+            "p4",
+            [
+                ("full name", "Ellen Smith"),
+                ("b. date", "May 10 1985"),
+                ("work info", "retailer"),
+                ("loc", "Abram street NY"),
+            ],
+        );
+        TokenBlocking::new().build(&ErInput::dirty(d))
+    }
+
+    /// Table 1's example values: for (p1, p3) in the Figure 1b collection,
+    /// n₁₁ = 4 shared blocks, |B₁| = 6, |B₃| = 7, |B| = 12.
+    #[test]
+    fn figure1_contingency_counts() {
+        let blocks = figure1_blocks();
+        let ctx = GraphContext::new(&blocks);
+        assert_eq!(ctx.total_blocks(), 12);
+        let acc = ctx.edge(0, 2).expect("p1–p3 edge exists");
+        assert_eq!(acc.common_blocks, 4); // car, main, abram, jr
+        assert_eq!(ctx.node_blocks(0), 6); // 1985 car main abram street jr
+        assert_eq!(ctx.node_blocks(2), 7); // car main abram jr 85 st retail
+    }
+
+    /// Figure 1c: the blocking graph over the Figure 1b blocks, with
+    /// co-occurrence counts as weights.
+    #[test]
+    fn figure1_graph_weights() {
+        let blocks = figure1_blocks();
+        let ctx = GraphContext::new(&blocks);
+        assert_eq!(ctx.edge(0, 2).unwrap().common_blocks, 4); // p1-p3: car, main, abram, jr
+        assert_eq!(ctx.edge(1, 3).unwrap().common_blocks, 4); // p2-p4: ellen, smith, ny, abram
+        assert_eq!(ctx.edge(1, 2).unwrap().common_blocks, 4); // p2-p3: abram, 85, st, retail
+        assert_eq!(ctx.edge(0, 3).unwrap().common_blocks, 3); // p1-p4: 1985, abram, street
+        assert_eq!(ctx.edge(0, 1).unwrap().common_blocks, 1); // p1-p2: abram
+        assert_eq!(ctx.edge(2, 3).unwrap().common_blocks, 1); // p3-p4: abram
+    }
+
+    #[test]
+    fn degrees_and_edge_count() {
+        let blocks = figure1_blocks();
+        let mut ctx = GraphContext::new(&blocks);
+        ctx.ensure_degrees();
+        // Figure 1c is a complete graph over 4 nodes: 6 edges, degree 3.
+        assert_eq!(ctx.total_edges(), 6);
+        for p in 0..4 {
+            assert_eq!(ctx.degree(p), 3);
+        }
+    }
+
+    #[test]
+    fn clean_clean_adjacency_is_bipartite() {
+        let b = vec![
+            Block::new("k1", ClusterId::GLUE, ids(&[0, 1, 2, 3]), 2),
+            Block::new("k2", ClusterId::GLUE, ids(&[0, 2]), 2),
+        ];
+        let blocks = BlockCollection::new(b, true, 2, 4);
+        let ctx = GraphContext::new(&blocks);
+        let mut map = FastMap::default();
+        ctx.accumulate_neighbors(0, &mut map);
+        // Node 0 (E1) only sees nodes 2, 3 (E2) — never node 1.
+        let mut neigh: Vec<u32> = map.keys().copied().collect();
+        neigh.sort_unstable();
+        assert_eq!(neigh, vec![2, 3]);
+        assert_eq!(map[&2].common_blocks, 2);
+        assert_eq!(map[&3].common_blocks, 1);
+    }
+
+    #[test]
+    fn arcs_accumulates_reciprocal_cardinalities() {
+        let b = vec![
+            // ‖b‖ = 2·1 = 2 and ‖b‖ = 1·1 = 1.
+            Block::new("k1", ClusterId::GLUE, ids(&[0, 1, 2]), 2),
+            Block::new("k2", ClusterId::GLUE, ids(&[0, 2]), 2),
+        ];
+        let blocks = BlockCollection::new(b, true, 2, 3);
+        let ctx = GraphContext::new(&blocks);
+        let acc = ctx.edge(0, 2).unwrap();
+        assert!((acc.arcs - (0.5 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropies_flow_into_accumulator() {
+        let b = vec![
+            Block::new("k1", ClusterId::GLUE, ids(&[0, 1]), 1),
+            Block::new("k2", ClusterId::GLUE, ids(&[0, 1]), 1),
+        ];
+        let blocks = BlockCollection::new(b, true, 1, 2);
+        let ctx = GraphContext::new(&blocks).with_block_entropies(vec![3.5, 2.0]);
+        let acc = ctx.edge(0, 1).unwrap();
+        assert_eq!(acc.common_blocks, 2);
+        assert!((acc.entropy_sum - 5.5).abs() < 1e-12);
+        // Without entropies the factor defaults to 1 per block.
+        let ctx = GraphContext::new(&blocks);
+        assert!((ctx.edge(0, 1).unwrap().entropy_sum - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! Blocking-graph substrate and baseline (traditional) meta-blocking.
+//!
+//! A block collection induces a *blocking graph* G_B (§2.2): profiles are
+//! nodes, an edge connects two profiles co-occurring in ≥1 block, and edge
+//! weights capture match likelihood. The graph is never materialised — it is
+//! enumerated node-centrically from the CSR profile→block index, which is
+//! how the reference implementations scale.
+//!
+//! * [`context`] — [`context::GraphContext`]: the implicit graph (index,
+//!   block cardinalities, per-block entropy hooks, node degrees).
+//! * [`weights`] — the five traditional weighting schemes of \[20\]
+//!   (ARCS, CBS, ECBS, JS, EJS) behind the [`weights::EdgeWeigher`] trait,
+//!   which `blast-core` also implements for its χ²·entropy weighting.
+//! * [`pruning`] — WEP, CEP, redefined/reciprocal WNP and CNP.
+//! * [`meta`] — [`meta::MetaBlocker`]: scheme × pruning in one call.
+//! * [`retained`] — the retained comparisons (the restructured block
+//!   collection: one block per surviving pair).
+
+pub mod context;
+pub mod meta;
+pub mod pruning;
+pub mod retained;
+pub mod weights;
+
+pub use context::{EdgeAccum, GraphContext};
+pub use meta::{MetaBlocker, PruningAlgorithm};
+pub use retained::RetainedPairs;
+pub use weights::{EdgeWeigher, WeightingScheme};

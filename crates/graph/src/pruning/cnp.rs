@@ -1,0 +1,186 @@
+//! Cardinality Node Pruning: per-node top-k retention (§2.2, \[20\]).
+//!
+//! k defaults to the average number of block assignments per profile,
+//! k = max(1, ⌊Σ_b |b| / |E|⌋) — the convention of the reference
+//! implementation. cnp₁ (redefined) keeps an edge in the top-k of either
+//! endpoint; cnp₂ (reciprocal) requires both.
+
+use crate::context::GraphContext;
+use crate::pruning::common::node_pass;
+use crate::pruning::NodeCentricMode;
+use crate::retained::RetainedPairs;
+use crate::weights::EdgeWeigher;
+use blast_datamodel::entity::ProfileId;
+
+/// Cardinality Node Pruning (per-node top-k).
+#[derive(Debug, Clone, Copy)]
+pub struct Cnp {
+    /// How the two-list ambiguity is resolved.
+    pub mode: NodeCentricMode,
+    /// Optional explicit k; when `None`, k = max(1, ⌊Σ|b| / |E|⌋).
+    pub k: Option<usize>,
+}
+
+impl Cnp {
+    /// cnp₁ with the default k.
+    pub fn redefined() -> Self {
+        Self {
+            mode: NodeCentricMode::Redefined,
+            k: None,
+        }
+    }
+
+    /// cnp₂ with the default k.
+    pub fn reciprocal() -> Self {
+        Self {
+            mode: NodeCentricMode::Reciprocal,
+            k: None,
+        }
+    }
+
+    /// Overrides k.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// The per-node retention budget for this graph.
+    pub fn budget(&self, ctx: &GraphContext<'_>) -> usize {
+        self.k.unwrap_or_else(|| {
+            let profiles = ctx.total_profiles().max(1) as u64;
+            ((ctx.index().total_assignments() / profiles) as usize).max(1)
+        })
+    }
+
+    /// The top-k neighbour list of every node (weight desc, id asc).
+    fn top_k_lists(
+        &self,
+        ctx: &GraphContext<'_>,
+        weigher: &dyn EdgeWeigher,
+        k: usize,
+    ) -> Vec<Vec<u32>> {
+        node_pass(ctx, weigher, |_, adj| {
+            if adj.is_empty() {
+                return Vec::new();
+            }
+            let mut ranked: Vec<(u32, f64)> = adj.to_vec();
+            // Weight descending; neighbour id ascending for determinism.
+            ranked.sort_unstable_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("no NaN weights")
+                    .then(a.0.cmp(&b.0))
+            });
+            ranked.truncate(k);
+            ranked.into_iter().map(|(v, _)| v).collect()
+        })
+    }
+
+    /// Prunes the graph.
+    pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+        let k = self.budget(ctx);
+        let lists = self.top_k_lists(ctx, weigher, k);
+        let mut pairs: Vec<(ProfileId, ProfileId)> = Vec::new();
+        match self.mode {
+            NodeCentricMode::Redefined => {
+                // Union of directed retentions.
+                for (u, list) in lists.iter().enumerate() {
+                    for &v in list {
+                        pairs.push((ProfileId(u as u32), ProfileId(v)));
+                    }
+                }
+            }
+            NodeCentricMode::Reciprocal => {
+                // Edge kept iff each endpoint lists the other.
+                for (u, list) in lists.iter().enumerate() {
+                    let u = u as u32;
+                    for &v in list {
+                        if v > u && lists[v as usize].contains(&u) {
+                            pairs.push((ProfileId(u), ProfileId(v)));
+                        }
+                    }
+                }
+            }
+        }
+        RetainedPairs::new(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::WeightingScheme;
+    use blast_blocking::block::Block;
+    use blast_blocking::collection::BlockCollection;
+    use blast_blocking::key::ClusterId;
+
+    fn ids(v: &[u32]) -> Vec<ProfileId> {
+        v.iter().map(|&i| ProfileId(i)).collect()
+    }
+
+    /// CBS weights: (0,1)=3, (0,2)=2, (0,3)=1, (1,2)=1 … built from stacked
+    /// pair blocks plus one big block.
+    fn blocks() -> BlockCollection {
+        let b = vec![
+            Block::new("all", ClusterId::GLUE, ids(&[0, 1, 2, 3]), u32::MAX),
+            Block::new("p01a", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+            Block::new("p01b", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+            Block::new("p02", ClusterId::GLUE, ids(&[0, 2]), u32::MAX),
+        ];
+        BlockCollection::new(b, false, 4, 4)
+    }
+
+    #[test]
+    fn redefined_k1_keeps_best_edge_per_node() {
+        let b = blocks();
+        let ctx = GraphContext::new(&b);
+        let retained = Cnp::redefined().with_k(1).prune(&ctx, &WeightingScheme::Cbs);
+        // node 0 → 1 (w=3); node 1 → 0; node 2 → 0 (w=2); node 3 → 0 (w=1,
+        // ties with 1,2 at w=1 broken by id → 0). Union: (0,1),(0,2),(0,3).
+        assert_eq!(retained.len(), 3);
+        assert!(retained.contains(ProfileId(0), ProfileId(1)));
+        assert!(retained.contains(ProfileId(0), ProfileId(2)));
+        assert!(retained.contains(ProfileId(0), ProfileId(3)));
+    }
+
+    #[test]
+    fn reciprocal_k1_requires_mutual_top() {
+        let b = blocks();
+        let ctx = GraphContext::new(&b);
+        let retained = Cnp::reciprocal().with_k(1).prune(&ctx, &WeightingScheme::Cbs);
+        // Only (0,1) is mutual: 0's best is 1 and 1's best is 0.
+        assert_eq!(retained.len(), 1);
+        assert!(retained.contains(ProfileId(0), ProfileId(1)));
+    }
+
+    #[test]
+    fn reciprocal_subset_of_redefined() {
+        let b = blocks();
+        let ctx = GraphContext::new(&b);
+        for k in 1..4 {
+            let r1 = Cnp::redefined().with_k(k).prune(&ctx, &WeightingScheme::Cbs);
+            let r2 = Cnp::reciprocal().with_k(k).prune(&ctx, &WeightingScheme::Cbs);
+            assert!(r2.len() <= r1.len());
+            for (a, bb) in r2.iter() {
+                assert!(r1.contains(a, bb));
+            }
+        }
+    }
+
+    #[test]
+    fn default_budget_is_mean_assignments() {
+        let b = blocks();
+        let ctx = GraphContext::new(&b);
+        // assignments = 4 + 2 + 2 + 2 = 10, profiles = 4 → k = 2.
+        assert_eq!(Cnp::redefined().budget(&ctx), 2);
+    }
+
+    #[test]
+    fn large_k_keeps_whole_graph() {
+        let b = blocks();
+        let ctx = GraphContext::new(&b);
+        let retained = Cnp::redefined().with_k(10).prune(&ctx, &WeightingScheme::Cbs);
+        // Graph has edges (0,1),(0,2),(0,3),(1,2),(1,3),(2,3) from "all"
+        // plus the pair blocks → complete graph on 4 nodes.
+        assert_eq!(retained.len(), 6);
+    }
+}

@@ -1,0 +1,106 @@
+//! Weight Edge Pruning: discard every edge below a single global threshold
+//! Θ, the mean edge weight (§2.2, \[20\]).
+
+use crate::context::GraphContext;
+use crate::pruning::common::{collect_edges, fold_edges, pair};
+use crate::retained::RetainedPairs;
+use crate::weights::EdgeWeigher;
+
+/// Weight Edge Pruning with the mean-weight global threshold.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Wep;
+
+impl Wep {
+    /// Prunes the graph, retaining edges with weight ≥ Θ (mean weight).
+    pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+        let (count, sum) = fold_edges(
+            ctx,
+            weigher,
+            || (0u64, 0.0f64),
+            |acc, _, _, w| {
+                acc.0 += 1;
+                acc.1 += w;
+            },
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
+        if count == 0 {
+            return RetainedPairs::default();
+        }
+        let theta = sum / count as f64;
+        let pairs = collect_edges(ctx, weigher, |u, v, w| (w >= theta).then(|| pair(u, v)));
+        RetainedPairs::new(pairs)
+    }
+
+    /// The global threshold this scheme would use (diagnostics).
+    pub fn threshold(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> Option<f64> {
+        let (count, sum) = fold_edges(
+            ctx,
+            weigher,
+            || (0u64, 0.0f64),
+            |acc, _, _, w| {
+                acc.0 += 1;
+                acc.1 += w;
+            },
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
+        (count > 0).then(|| sum / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::WeightingScheme;
+    use blast_blocking::block::Block;
+    use blast_blocking::collection::BlockCollection;
+    use blast_blocking::key::ClusterId;
+    use blast_datamodel::entity::ProfileId;
+
+    fn ids(v: &[u32]) -> Vec<ProfileId> {
+        v.iter().map(|&i| ProfileId(i)).collect()
+    }
+
+    /// CBS weights: (0,1) = 3, (0,2) = 1, (1,2) = 1 → Θ = 5/3.
+    fn blocks() -> BlockCollection {
+        let b = vec![
+            Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 2]), u32::MAX),
+            Block::new("b1", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+            Block::new("b2", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+        ];
+        BlockCollection::new(b, false, 3, 3)
+    }
+
+    #[test]
+    fn retains_edges_at_or_above_mean() {
+        let blocks = blocks();
+        let ctx = GraphContext::new(&blocks);
+        let retained = Wep.prune(&ctx, &WeightingScheme::Cbs);
+        assert_eq!(retained.len(), 1);
+        assert!(retained.contains(ProfileId(0), ProfileId(1)));
+    }
+
+    #[test]
+    fn threshold_is_mean() {
+        let blocks = blocks();
+        let ctx = GraphContext::new(&blocks);
+        let theta = Wep.threshold(&ctx, &WeightingScheme::Cbs).unwrap();
+        assert!((theta - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let blocks = BlockCollection::new(vec![], false, 3, 3);
+        let ctx = GraphContext::new(&blocks);
+        assert!(Wep.prune(&ctx, &WeightingScheme::Cbs).is_empty());
+        assert!(Wep.threshold(&ctx, &WeightingScheme::Cbs).is_none());
+    }
+
+    #[test]
+    fn uniform_weights_retain_everything() {
+        let b = vec![Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 2]), u32::MAX)];
+        let blocks = BlockCollection::new(b, false, 3, 3);
+        let ctx = GraphContext::new(&blocks);
+        let retained = Wep.prune(&ctx, &WeightingScheme::Cbs);
+        assert_eq!(retained.len(), 3); // all weights equal the mean
+    }
+}

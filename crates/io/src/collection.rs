@@ -1,0 +1,182 @@
+//! Reading/writing entity collections as headered CSV.
+//!
+//! Layout: the header row names the attributes; each following row is one
+//! profile. One column (by default the first, or any column named by the
+//! caller) carries the external id. Empty cells produce no name–value pair
+//! (missing values).
+
+use crate::csv;
+use blast_datamodel::collection::EntityCollection;
+use blast_datamodel::entity::{EntityProfile, SourceId};
+use std::io::{self, BufRead, Write};
+
+/// Options for [`read_collection`].
+#[derive(Debug, Clone, Default)]
+pub struct CollectionReadOptions {
+    /// Name of the id column (default: the first column).
+    pub id_column: Option<String>,
+}
+
+/// Reads a collection from headered CSV.
+pub fn read_collection(
+    reader: &mut impl BufRead,
+    source: SourceId,
+    options: &CollectionReadOptions,
+) -> io::Result<EntityCollection> {
+    let rows = csv::read(reader)?;
+    let mut collection = EntityCollection::new(source);
+    let Some((header, body)) = rows.split_first() else {
+        return Ok(collection);
+    };
+    let id_idx = match &options.id_column {
+        None => 0,
+        Some(name) => header
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("no column named {name:?}")))?,
+    };
+    let attrs: Vec<_> = header
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (i, collection.attribute(name)))
+        .collect();
+
+    for (line, row) in body.iter().enumerate() {
+        if row.len() > header.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("row {} has {} fields, header has {}", line + 2, row.len(), header.len()),
+            ));
+        }
+        let external_id = row
+            .get(id_idx)
+            .map(|s| s.as_str())
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("row{}", line + 2));
+        let mut profile = EntityProfile::new(external_id);
+        for &(col, attr) in &attrs {
+            if col == id_idx {
+                continue;
+            }
+            if let Some(value) = row.get(col) {
+                if !value.is_empty() {
+                    profile.push(attr, value.as_str());
+                }
+            }
+        }
+        collection.push(profile);
+    }
+    Ok(collection)
+}
+
+/// Writes a collection as headered CSV (multi-valued attributes joined with
+/// `"; "`; the id column is written first as `_id`).
+pub fn write_collection(out: &mut impl Write, collection: &EntityCollection) -> io::Result<()> {
+    let attrs: Vec<_> = collection.attribute_ids().collect();
+    let mut header = vec!["_id"];
+    for &a in &attrs {
+        header.push(collection.attribute_name(a));
+    }
+    csv::write_record(out, &header)?;
+    for profile in collection.profiles() {
+        let mut fields: Vec<String> = vec![profile.external_id.to_string()];
+        for &a in &attrs {
+            let values: Vec<&str> = profile.values_of(a).collect();
+            fields.push(values.join("; "));
+        }
+        let refs: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
+        csv::write_record(out, &refs)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    const SAMPLE: &str = "\
+id,title,year\n\
+p1,\"Entity Resolution, a survey\",2016\n\
+p2,Schema Matching,\n\
+p3,,2014\n";
+
+    fn read(text: &str, options: &CollectionReadOptions) -> EntityCollection {
+        read_collection(&mut BufReader::new(text.as_bytes()), SourceId(0), options).unwrap()
+    }
+
+    #[test]
+    fn reads_profiles_and_attributes() {
+        let c = read(SAMPLE, &CollectionReadOptions::default());
+        assert_eq!(c.len(), 3);
+        // id column is not an attribute value; title+year only.
+        assert_eq!(c.profiles()[0].nvp(), 2);
+        assert_eq!(c.profiles()[0].external_id.as_ref(), "p1");
+        // Empty cells are missing values.
+        assert_eq!(c.profiles()[1].nvp(), 1);
+        assert_eq!(c.profiles()[2].nvp(), 1);
+    }
+
+    #[test]
+    fn named_id_column() {
+        let text = "title,key\nFoo,k1\n";
+        let c = read(
+            text,
+            &CollectionReadOptions {
+                id_column: Some("key".to_string()),
+            },
+        );
+        assert_eq!(c.profiles()[0].external_id.as_ref(), "k1");
+        assert_eq!(c.profiles()[0].nvp(), 1);
+    }
+
+    #[test]
+    fn missing_id_column_errors() {
+        let text = "a,b\n1,2\n";
+        let err = read_collection(
+            &mut BufReader::new(text.as_bytes()),
+            SourceId(0),
+            &CollectionReadOptions {
+                id_column: Some("nope".to_string()),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_row_errors() {
+        let text = "a,b\n1,2,3\n";
+        let err = read_collection(
+            &mut BufReader::new(text.as_bytes()),
+            SourceId(0),
+            &CollectionReadOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let c = read(SAMPLE, &CollectionReadOptions::default());
+        let mut buf = Vec::new();
+        write_collection(&mut buf, &c).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let c2 = read(
+            &text,
+            &CollectionReadOptions {
+                id_column: Some("_id".to_string()),
+            },
+        );
+        assert_eq!(c2.len(), c.len());
+        assert_eq!(c2.nvp(), c.nvp());
+        assert_eq!(c2.profiles()[0].external_id, c.profiles()[0].external_id);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_collection() {
+        let c = read("", &CollectionReadOptions::default());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! File I/O for the BLAST workspace: a dependency-free CSV layer plus
+//! loaders/writers for the domain types.
+//!
+//! The paper's benchmarks ship as record files with one column per
+//! attribute; this crate lets a user run BLAST on their own data:
+//!
+//! * [`csv`] — a minimal RFC-4180 reader/writer (quoted fields, embedded
+//!   separators/newlines, escaped quotes).
+//! * [`collection`] — read an [`blast_datamodel::EntityCollection`] from a
+//!   headered CSV (one row per profile, one column per attribute, an id
+//!   column), and write one back.
+//! * [`ground_truth`] — read/write match pairs as two-column CSVs of
+//!   external ids.
+//! * [`pairs`] — write retained comparisons with external ids resolved.
+
+pub mod collection;
+pub mod csv;
+pub mod ground_truth;
+pub mod pairs;
+
+pub use collection::{read_collection, write_collection, CollectionReadOptions};
+pub use ground_truth::{read_ground_truth, write_ground_truth};
+pub use pairs::write_pairs;

@@ -1,0 +1,40 @@
+//! Writing retained comparisons with external ids resolved — the file a
+//! downstream entity-matching stage consumes.
+
+use crate::csv;
+use blast_datamodel::input::ErInput;
+use blast_graph::retained::RetainedPairs;
+use std::io::{self, Write};
+
+/// Writes the retained pairs as a two-column CSV of external ids (the order
+/// of [`RetainedPairs`] — sorted by global id — is preserved).
+pub fn write_pairs(out: &mut impl Write, pairs: &RetainedPairs, input: &ErInput) -> io::Result<()> {
+    for (a, b) in pairs.iter() {
+        csv::write_record(
+            out,
+            &[&input.profile(a).external_id, &input.profile(b).external_id],
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_datamodel::collection::EntityCollection;
+    use blast_datamodel::entity::{ProfileId, SourceId};
+
+    #[test]
+    fn writes_external_ids() {
+        let mut d1 = EntityCollection::new(SourceId(0));
+        d1.push_pairs("left-1", [("x", "1")]);
+        let mut d2 = EntityCollection::new(SourceId(1));
+        d2.push_pairs("right,1", [("y", "1")]);
+        let input = ErInput::clean_clean(d1, d2);
+        let pairs = RetainedPairs::new(vec![(ProfileId(0), ProfileId(1))]);
+        let mut buf = Vec::new();
+        write_pairs(&mut buf, &pairs, &input).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "left-1,\"right,1\"\n");
+    }
+}

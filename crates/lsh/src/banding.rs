@@ -1,0 +1,168 @@
+//! The banding technique \[11\]: signatures are split into `b` bands of `r`
+//! rows; two columns are *candidates* iff they are identical in at least one
+//! band.
+
+use crate::minhash::Signature;
+use blast_datamodel::hash::{FastMap, FastSet, FxHasher};
+use std::hash::{Hash, Hasher};
+
+/// An LSH banding index over MinHash signatures.
+///
+/// Columns (attributes) are added with dense ids; [`BandingIndex::candidate_pairs`]
+/// returns every pair of columns colliding in some band, each pair reported
+/// once.
+#[derive(Debug, Clone)]
+pub struct BandingIndex {
+    bands: usize,
+    rows: usize,
+    /// One bucket map per band: band-hash → column ids.
+    buckets: Vec<FastMap<u64, Vec<u32>>>,
+}
+
+impl BandingIndex {
+    /// Creates an index with `bands` bands of `rows` rows each. Signatures
+    /// inserted later must have length ≥ `bands·rows` (extra components are
+    /// ignored).
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands > 0 && rows > 0, "bands and rows must be positive");
+        Self {
+            bands,
+            rows,
+            buckets: vec![FastMap::default(); bands],
+        }
+    }
+
+    /// Number of bands.
+    #[inline]
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Rows per band.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Inserts the signature of column `id`.
+    ///
+    /// # Panics
+    /// Panics if the signature is shorter than `bands·rows`.
+    pub fn insert(&mut self, id: u32, signature: &Signature) {
+        assert!(
+            signature.len() >= self.bands * self.rows,
+            "signature length {} < bands*rows {}",
+            signature.len(),
+            self.bands * self.rows
+        );
+        for (band, bucket) in self.buckets.iter_mut().enumerate() {
+            let slice = &signature[band * self.rows..(band + 1) * self.rows];
+            let mut h = FxHasher::default();
+            slice.hash(&mut h);
+            bucket.entry(h.finish()).or_default().push(id);
+        }
+    }
+
+    /// Every pair of columns colliding in at least one band, each reported
+    /// once with the smaller id first, in deterministic (sorted) order.
+    pub fn candidate_pairs(&self) -> Vec<(u32, u32)> {
+        let mut seen: FastSet<(u32, u32)> = FastSet::default();
+        for bucket in &self.buckets {
+            for cols in bucket.values() {
+                if cols.len() < 2 {
+                    continue;
+                }
+                for (i, &a) in cols.iter().enumerate() {
+                    for &b in &cols[i + 1..] {
+                        let pair = if a < b { (a, b) } else { (b, a) };
+                        seen.insert(pair);
+                    }
+                }
+            }
+        }
+        let mut pairs: Vec<_> = seen.into_iter().collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Candidate pairs restricted to one column from each side of
+    /// `separator` (clean-clean attribute-match induction compares only
+    /// cross-collection attribute pairs). Pairs are `(left, right)` with
+    /// `left < separator ≤ right`.
+    pub fn candidate_pairs_bipartite(&self, separator: u32) -> Vec<(u32, u32)> {
+        self.candidate_pairs()
+            .into_iter()
+            .filter_map(|(a, b)| {
+                if a < separator && b >= separator {
+                    Some((a, b))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+
+    #[test]
+    fn identical_signatures_always_collide() {
+        let mh = MinHasher::new(20, 5);
+        let sig = mh.signature(vec![1u32, 2, 3, 4, 5]);
+        let mut idx = BandingIndex::new(4, 5);
+        idx.insert(0, &sig);
+        idx.insert(1, &sig);
+        assert_eq!(idx.candidate_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_collide() {
+        let mh = MinHasher::new(150, 5);
+        let mut idx = BandingIndex::new(30, 5);
+        idx.insert(0, &mh.signature(0u32..40));
+        idx.insert(1, &mh.signature(10_000u32..10_040));
+        assert!(idx.candidate_pairs().is_empty());
+    }
+
+    #[test]
+    fn similar_sets_collide_with_r5_b30() {
+        // Jaccard ≈ 0.82 ≫ threshold ≈ 0.5 for (r=5, b=30): collision
+        // probability ≈ 1 − (1 − 0.82⁵)³⁰ ≈ 0.9999998.
+        let mh = MinHasher::new(150, 99);
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (10..100).collect(); // |∩|=90, |∪|=100
+        let mut idx = BandingIndex::new(30, 5);
+        idx.insert(0, &mh.signature(a));
+        idx.insert(1, &mh.signature(b));
+        assert_eq!(idx.candidate_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn bipartite_filter_keeps_cross_pairs_only() {
+        let mh = MinHasher::new(20, 5);
+        let sig = mh.signature(vec![1u32, 2, 3]);
+        let mut idx = BandingIndex::new(4, 5);
+        // Columns 0,1 on the left of separator 2; column 2 on the right.
+        idx.insert(0, &sig);
+        idx.insert(1, &sig);
+        idx.insert(2, &sig);
+        let all = idx.candidate_pairs();
+        assert_eq!(all.len(), 3);
+        let cross = idx.candidate_pairs_bipartite(2);
+        assert_eq!(cross, vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn pair_reported_once_despite_multiple_band_collisions() {
+        let mh = MinHasher::new(150, 3);
+        let sig = mh.signature(vec![7u32, 8, 9]);
+        let mut idx = BandingIndex::new(30, 5);
+        idx.insert(5, &sig);
+        idx.insert(3, &sig);
+        // Identical in all 30 bands, but one pair reported, normalised.
+        assert_eq!(idx.candidate_pairs(), vec![(3, 5)]);
+    }
+}

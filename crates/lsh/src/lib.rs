@@ -1,0 +1,17 @@
+//! Locality-Sensitive Hashing substrate (§3.1.2).
+//!
+//! BLAST's attribute-match induction compares the token sets of every pair
+//! of attributes — O(N₁·N₂) — which is infeasible when sources have
+//! thousands of attributes. The LSH pre-processing step sketches each
+//! attribute's token set with [`minhash`] signatures, indexes the signatures
+//! with the [`banding`] technique, and emits only the colliding pairs as
+//! candidates. [`scurve`] implements the collision-probability curve
+//! `1 − (1 − sʳ)ᵇ` and the threshold estimate `(1/b)^{1/r}` of Fig. 5.
+
+pub mod banding;
+pub mod minhash;
+pub mod scurve;
+
+pub use banding::BandingIndex;
+pub use minhash::{MinHasher, Signature};
+pub use scurve::{collision_probability, estimate_threshold, params_for_threshold, SCurve};

@@ -1,0 +1,177 @@
+//! MinHash signatures over interned token sets.
+//!
+//! With the binary attribute-representation model of §2.1 (an attribute is
+//! the set of tokens appearing in its values), the probability that two
+//! columns share a minhash value equals their Jaccard similarity [4, 11].
+//! We implement the standard "one universal hash per permutation" variant:
+//! `hᵢ(x) = (aᵢ·x + bᵢ) mod p`, `p = 2⁶¹ − 1`, taking the minimum over the
+//! set's token ids.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Mersenne prime 2⁶¹−1: large enough for 32-bit token-id universes and
+/// cheap to reduce by.
+const PRIME: u64 = (1u64 << 61) - 1;
+
+/// A MinHash signature: one minimum per hash function.
+pub type Signature = Vec<u64>;
+
+/// A family of `n` universal hash functions producing MinHash signatures.
+///
+/// ```
+/// use blast_lsh::minhash::MinHasher;
+/// let mh = MinHasher::new(128, 42);
+/// let a = mh.signature(vec![1u32, 2, 3, 4]);
+/// let b = mh.signature(vec![1u32, 2, 3, 9]);
+/// let est = MinHasher::estimate_jaccard(&a, &b);
+/// assert!((est - 0.6).abs() < 0.25); // true Jaccard = 3/5
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    coeffs: Vec<(u64, u64)>,
+}
+
+impl MinHasher {
+    /// Creates `n` hash functions with deterministic seeding.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "at least one hash function required");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coeffs = (0..n)
+            .map(|_| {
+                // a must be non-zero mod p.
+                let a = rng.random_range(1..PRIME);
+                let b = rng.random_range(0..PRIME);
+                (a, b)
+            })
+            .collect();
+        Self { coeffs }
+    }
+
+    /// Number of hash functions (signature length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Whether the family is empty (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Computes the signature of a token set given as an iterator of ids.
+    /// An empty set yields the all-`u64::MAX` signature (never collides in
+    /// banding with non-empty sets only by chance ≈ 0).
+    pub fn signature(&self, tokens: impl IntoIterator<Item = u32> + Clone) -> Signature {
+        let mut sig = vec![u64::MAX; self.coeffs.len()];
+        for tok in tokens {
+            let x = tok as u128;
+            for (slot, &(a, b)) in sig.iter_mut().zip(&self.coeffs) {
+                let h = ((a as u128 * x + b as u128) % PRIME as u128) as u64;
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        sig
+    }
+
+    /// Estimates the Jaccard similarity of two sets from their signatures
+    /// (fraction of agreeing components).
+    pub fn estimate_jaccard(a: &Signature, b: &Signature) -> f64 {
+        assert_eq!(a.len(), b.len(), "signatures must have equal length");
+        if a.is_empty() {
+            return 0.0;
+        }
+        let agree = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        agree as f64 / a.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn true_jaccard(a: &BTreeSet<u32>, b: &BTreeSet<u32>) -> f64 {
+        let inter = a.intersection(b).count() as f64;
+        let union = a.union(b).count() as f64;
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    #[test]
+    fn identical_sets_have_identical_signatures() {
+        let mh = MinHasher::new(64, 42);
+        let s1 = mh.signature(vec![1u32, 5, 9, 200]);
+        let s2 = mh.signature(vec![200u32, 9, 5, 1]); // order irrelevant
+        assert_eq!(s1, s2);
+        assert_eq!(MinHasher::estimate_jaccard(&s1, &s2), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_collide() {
+        let mh = MinHasher::new(128, 7);
+        let s1 = mh.signature(0u32..50);
+        let s2 = mh.signature(1000u32..1050);
+        assert!(MinHasher::estimate_jaccard(&s1, &s2) < 0.1);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        // Two sets with Jaccard exactly 1/3: |∩|=25, |∪|=75.
+        let a: BTreeSet<u32> = (0..50).collect();
+        let b: BTreeSet<u32> = (25..75).collect();
+        let expected = true_jaccard(&a, &b);
+        assert!((expected - 1.0 / 3.0).abs() < 1e-12);
+
+        let mh = MinHasher::new(512, 123);
+        let sa = mh.signature(a.iter().copied().collect::<Vec<_>>());
+        let sb = mh.signature(b.iter().copied().collect::<Vec<_>>());
+        let est = MinHasher::estimate_jaccard(&sa, &sb);
+        // 512 hashes → s.e. ≈ sqrt(J(1−J)/512) ≈ 0.021; allow 4σ.
+        assert!(
+            (est - expected).abs() < 0.085,
+            "estimate {est} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = MinHasher::new(16, 99).signature(vec![3u32, 1, 4]);
+        let b = MinHasher::new(16, 99).signature(vec![3u32, 1, 4]);
+        assert_eq!(a, b);
+        let c = MinHasher::new(16, 100).signature(vec![3u32, 1, 4]);
+        assert_ne!(a, c, "different seed should give a different family");
+    }
+
+    #[test]
+    fn empty_set_signature() {
+        let mh = MinHasher::new(8, 1);
+        let s = mh.signature(Vec::<u32>::new());
+        assert!(s.iter().all(|&v| v == u64::MAX));
+    }
+
+    proptest! {
+        /// MinHash estimate must be within a loose statistical bound of the
+        /// true Jaccard for random sets.
+        #[test]
+        fn prop_estimate_close_to_jaccard(
+            a in proptest::collection::btree_set(0u32..300, 1..80),
+            b in proptest::collection::btree_set(0u32..300, 1..80),
+        ) {
+            let mh = MinHasher::new(256, 2024);
+            let sa = mh.signature(a.iter().copied().collect::<Vec<_>>());
+            let sb = mh.signature(b.iter().copied().collect::<Vec<_>>());
+            let est = MinHasher::estimate_jaccard(&sa, &sb);
+            let truth = true_jaccard(&a, &b);
+            // 256 hashes → s.e. ≤ 0.032; 5σ bound keeps flakiness ≈ 0.
+            prop_assert!((est - truth).abs() < 0.16, "est={est} truth={truth}");
+        }
+    }
+}

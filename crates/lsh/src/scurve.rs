@@ -1,0 +1,134 @@
+//! The LSH S-curve (§3.1.2, Fig. 5).
+//!
+//! With `b` bands of `r` rows, two sets with Jaccard similarity `s` become
+//! candidates with probability `1 − (1 − sʳ)ᵇ`. The curve's inflection is
+//! approximated by the threshold `t ≈ (1/b)^{1/r}`; the paper's example
+//! (r = 5, b = 30) gives t ≈ 0.506.
+
+/// Probability that two columns with Jaccard similarity `s` collide in at
+/// least one of `b` bands of `r` rows.
+pub fn collision_probability(s: f64, rows: usize, bands: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&s), "similarity must be in [0,1]");
+    1.0 - (1.0 - s.powi(rows as i32)).powi(bands as i32)
+}
+
+/// The similarity threshold approximated by `(1/b)^{1/r}`.
+pub fn estimate_threshold(rows: usize, bands: usize) -> f64 {
+    (1.0 / bands as f64).powf(1.0 / rows as f64)
+}
+
+/// Picks `(rows, bands)` whose estimated threshold is closest to `target`,
+/// given a signature budget of `n` hash functions. Ties prefer more rows
+/// (steeper curve → fewer false positives).
+pub fn params_for_threshold(n: usize, target: f64) -> (usize, usize) {
+    assert!(n > 0, "need at least one hash function");
+    assert!((0.0..=1.0).contains(&target), "target must be in [0,1]");
+    let mut best = (1usize, n.max(1));
+    let mut best_err = f64::INFINITY;
+    for rows in 1..=n {
+        let bands = n / rows;
+        if bands == 0 {
+            break;
+        }
+        let err = (estimate_threshold(rows, bands) - target).abs();
+        // Strictly-better, or equal with more rows.
+        if err < best_err - 1e-12 || (err < best_err + 1e-12 && rows > best.0) {
+            best_err = err;
+            best = (rows, bands);
+        }
+    }
+    best
+}
+
+/// A sampled S-curve, as plotted in Fig. 5.
+#[derive(Debug, Clone)]
+pub struct SCurve {
+    /// Rows per band.
+    pub rows: usize,
+    /// Number of bands.
+    pub bands: usize,
+    /// `(similarity, collision probability)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl SCurve {
+    /// Samples the curve at `steps + 1` evenly spaced similarities in \[0,1\].
+    pub fn sample(rows: usize, bands: usize, steps: usize) -> Self {
+        assert!(steps > 0);
+        let points = (0..=steps)
+            .map(|i| {
+                let s = i as f64 / steps as f64;
+                (s, collision_probability(s, rows, bands))
+            })
+            .collect();
+        Self { rows, bands, points }
+    }
+
+    /// The estimated threshold of this configuration.
+    pub fn threshold(&self) -> f64 {
+        estimate_threshold(self.rows, self.bands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure5_threshold_approx_half() {
+        // The paper: "choosing b = 30 and r = 5, the attribute pairs that
+        // have a Jaccard similarity greater than ~0.5 are considered".
+        let t = estimate_threshold(5, 30);
+        assert!((t - 0.506).abs() < 0.01, "threshold {t} should be ≈ 0.506");
+    }
+
+    #[test]
+    fn curve_endpoints() {
+        assert_eq!(collision_probability(0.0, 5, 30), 0.0);
+        assert!((collision_probability(1.0, 5, 30) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s_shape_around_threshold() {
+        // Well below the threshold: near 0; well above: near 1.
+        assert!(collision_probability(0.2, 5, 30) < 0.01);
+        assert!(collision_probability(0.8, 5, 30) > 0.999);
+    }
+
+    #[test]
+    fn sampled_curve_is_monotone() {
+        let curve = SCurve::sample(5, 30, 100);
+        for w in curve.points.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        assert_eq!(curve.points.len(), 101);
+    }
+
+    #[test]
+    fn params_for_threshold_finds_figure5_shape() {
+        let (rows, bands) = params_for_threshold(150, 0.5);
+        let t = estimate_threshold(rows, bands);
+        assert!((t - 0.5).abs() < 0.05, "({rows},{bands}) → {t}");
+        assert!(rows * bands <= 150);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probability_monotone_in_similarity(
+            r in 1usize..8, b in 1usize..40,
+            s1 in 0.0f64..1.0, s2 in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+            prop_assert!(
+                collision_probability(lo, r, b) <= collision_probability(hi, r, b) + 1e-12
+            );
+        }
+
+        #[test]
+        fn prop_threshold_in_unit_interval(r in 1usize..10, b in 1usize..60) {
+            let t = estimate_threshold(r, b);
+            prop_assert!((0.0..=1.0).contains(&t));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Entity resolution output: the transitive closure of the match graph.
+//!
+//! Matching is pairwise, but entities are equivalence classes — two profiles
+//! matched to the same third profile refer to the same entity even if they
+//! were never compared. Connected components of the match graph give the
+//! resolved entities.
+
+use blast_datamodel::entity::ProfileId;
+
+/// Groups profiles into resolved entities: the connected components of the
+/// match graph, each sorted; singletons are omitted. Components are ordered
+/// by their smallest member.
+pub fn resolve_entities(
+    matches: &[(ProfileId, ProfileId)],
+    total_profiles: usize,
+) -> Vec<Vec<ProfileId>> {
+    // Local union–find (the schema one lives in blast-core; kept separate so
+    // the matcher crate stays independent of it).
+    let mut parent: Vec<u32> = (0..total_profiles as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let next = parent[parent[x as usize] as usize];
+            parent[x as usize] = next;
+            x = next;
+        }
+        x
+    }
+    for &(a, b) in matches {
+        let (ra, rb) = (find(&mut parent, a.0), find(&mut parent, b.0));
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi as usize] = lo;
+        }
+    }
+    let mut groups: Vec<Vec<ProfileId>> = vec![Vec::new(); total_profiles];
+    for p in 0..total_profiles as u32 {
+        let root = find(&mut parent, p);
+        groups[root as usize].push(ProfileId(p));
+    }
+    groups.retain(|g| g.len() > 1);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(a: u32, b: u32) -> (ProfileId, ProfileId) {
+        (ProfileId(a), ProfileId(b))
+    }
+
+    #[test]
+    fn transitive_closure_merges_chains() {
+        // a–b and b–c matched, a–c never compared → one entity {a,b,c}.
+        let clusters = resolve_entities(&[p(0, 1), p(1, 2)], 5);
+        assert_eq!(clusters, vec![vec![ProfileId(0), ProfileId(1), ProfileId(2)]]);
+    }
+
+    #[test]
+    fn separate_components_stay_apart() {
+        let clusters = resolve_entities(&[p(0, 1), p(2, 3)], 5);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![ProfileId(0), ProfileId(1)]);
+        assert_eq!(clusters[1], vec![ProfileId(2), ProfileId(3)]);
+    }
+
+    #[test]
+    fn no_matches_no_entities() {
+        assert!(resolve_entities(&[], 10).is_empty());
+    }
+
+    proptest! {
+        /// Every matched pair ends up in the same cluster, clusters are
+        /// disjoint, and no singleton clusters are reported.
+        #[test]
+        fn prop_components_consistent(
+            matches in proptest::collection::vec((0u32..30, 0u32..30), 0..40)
+        ) {
+            let pairs: Vec<_> = matches
+                .iter()
+                .filter(|(a, b)| a != b)
+                .map(|&(a, b)| p(a, b))
+                .collect();
+            let clusters = resolve_entities(&pairs, 30);
+            let mut owner = vec![usize::MAX; 30];
+            for (ci, c) in clusters.iter().enumerate() {
+                prop_assert!(c.len() > 1);
+                for m in c {
+                    prop_assert_eq!(owner[m.index()], usize::MAX, "disjoint clusters");
+                    owner[m.index()] = ci;
+                }
+            }
+            for (a, b) in pairs {
+                prop_assert_eq!(owner[a.index()], owner[b.index()]);
+                prop_assert_ne!(owner[a.index()], usize::MAX);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Matching-stage quality: precision/recall/F1 of the *matcher's* output
+//! (unlike PC/PQ, which evaluate the blocking surrogates).
+
+use blast_datamodel::entity::ProfileId;
+use blast_datamodel::ground_truth::GroundTruth;
+
+/// Precision/recall/F1 of a set of predicted matches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchQuality {
+    /// Fraction of predicted matches that are true matches.
+    pub precision: f64,
+    /// Fraction of true matches that were predicted.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+    /// True positives.
+    pub true_positives: u64,
+}
+
+/// Evaluates predicted matches against the ground truth.
+pub fn evaluate_matches(predicted: &[(ProfileId, ProfileId)], gt: &GroundTruth) -> MatchQuality {
+    let tp = predicted.iter().filter(|&&(a, b)| gt.is_match(a, b)).count() as u64;
+    let precision = if predicted.is_empty() {
+        0.0
+    } else {
+        tp as f64 / predicted.len() as f64
+    };
+    let recall = if gt.is_empty() {
+        0.0
+    } else {
+        tp as f64 / gt.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    MatchQuality {
+        precision,
+        recall,
+        f1,
+        true_positives: tp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: u32, b: u32) -> (ProfileId, ProfileId) {
+        (ProfileId(a), ProfileId(b))
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let gt: GroundTruth = [p(0, 1), p(2, 3)].into_iter().collect();
+        let q = evaluate_matches(&[p(0, 1), p(2, 3)], &gt);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1, 1.0);
+    }
+
+    #[test]
+    fn partial_prediction() {
+        let gt: GroundTruth = [p(0, 1), p(2, 3)].into_iter().collect();
+        let q = evaluate_matches(&[p(0, 1), p(4, 5)], &gt);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 0.5);
+        assert_eq!(q.true_positives, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let gt: GroundTruth = [p(0, 1)].into_iter().collect();
+        let q = evaluate_matches(&[], &gt);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.f1, 0.0);
+        let q = evaluate_matches(&[p(0, 1)], &GroundTruth::new());
+        assert_eq!(q.recall, 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! A simple entity-matching stage on top of BLAST's blocking.
+//!
+//! BLAST is "independent of the entity resolution algorithm employed" (§2);
+//! its output is the set of comparisons worth executing. This crate supplies
+//! the matcher the paper itself uses to quantify the time saved (§4.2.2):
+//! "profiles are treated as strings, without considering metadata; we
+//! compute the Jaccard coefficient of the profiles" — plus the transitive
+//! closure that turns matched pairs into resolved entities.
+//!
+//! * [`similarity`] — profile-level token Jaccard (with cached token sets).
+//! * [`matcher`] — threshold classification over a comparison set.
+//! * [`clustering`] — connected components of the match graph → entity
+//!   clusters.
+//! * [`evaluation`] — precision/recall/F1 of the *matching* output (not the
+//!   blocking surrogates).
+
+pub mod clustering;
+pub mod evaluation;
+pub mod matcher;
+pub mod similarity;
+
+pub use clustering::resolve_entities;
+pub use evaluation::{evaluate_matches, MatchQuality};
+pub use matcher::{JaccardMatcher, MatchDecision};
+pub use similarity::ProfileTokens;

@@ -1,0 +1,106 @@
+//! Profile-level similarity: each profile as the set of its tokens
+//! (schema-free, §4.2.2's footnote: "profiles are treated as strings").
+
+use blast_datamodel::entity::ProfileId;
+use blast_datamodel::input::ErInput;
+use blast_datamodel::interner::Interner;
+use blast_datamodel::tokenizer::Tokenizer;
+
+/// Pre-tokenised profiles: one sorted token-id set per profile, so pair
+/// similarity is a linear merge.
+#[derive(Debug, Clone)]
+pub struct ProfileTokens {
+    sets: Vec<Vec<u32>>,
+}
+
+impl ProfileTokens {
+    /// Tokenises every profile of the input once.
+    pub fn build(input: &ErInput, tokenizer: &Tokenizer) -> Self {
+        let mut interner = Interner::new();
+        let mut sets = vec![Vec::new(); input.total_profiles()];
+        for (pid, _, profile) in input.iter_profiles() {
+            let set = &mut sets[pid.index()];
+            for (_, value) in &profile.values {
+                tokenizer.for_each_token(value, |tok| set.push(interner.intern(tok).0));
+            }
+            set.sort_unstable();
+            set.dedup();
+        }
+        Self { sets }
+    }
+
+    /// The sorted token ids of a profile.
+    #[inline]
+    pub fn tokens(&self, p: ProfileId) -> &[u32] {
+        &self.sets[p.index()]
+    }
+
+    /// Jaccard coefficient of two profiles' token sets.
+    pub fn jaccard(&self, a: ProfileId, b: ProfileId) -> f64 {
+        let (sa, sb) = (self.tokens(a), self.tokens(b));
+        if sa.is_empty() && sb.is_empty() {
+            return 0.0;
+        }
+        let mut inter = 0usize;
+        let (mut i, mut j) = (0, 0);
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        inter as f64 / (sa.len() + sb.len() - inter) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_datamodel::collection::EntityCollection;
+    use blast_datamodel::entity::SourceId;
+
+    fn input() -> ErInput {
+        let mut d = EntityCollection::new(SourceId(0));
+        d.push_pairs("a", [("x", "alpha beta gamma"), ("y", "delta")]);
+        d.push_pairs("b", [("z", "alpha beta gamma delta")]);
+        d.push_pairs("c", [("x", "unrelated words here")]);
+        ErInput::dirty(d)
+    }
+
+    #[test]
+    fn identical_token_sets_score_one() {
+        let pt = ProfileTokens::build(&input(), &Tokenizer::new());
+        // a and b have the same tokens through different attributes.
+        assert_eq!(pt.jaccard(ProfileId(0), ProfileId(1)), 1.0);
+    }
+
+    #[test]
+    fn disjoint_profiles_score_zero() {
+        let pt = ProfileTokens::build(&input(), &Tokenizer::new());
+        assert_eq!(pt.jaccard(ProfileId(0), ProfileId(2)), 0.0);
+    }
+
+    #[test]
+    fn duplicate_tokens_counted_once() {
+        let mut d = EntityCollection::new(SourceId(0));
+        d.push_pairs("a", [("x", "rose rose rose")]);
+        d.push_pairs("b", [("x", "rose")]);
+        let pt = ProfileTokens::build(&ErInput::dirty(d), &Tokenizer::new());
+        assert_eq!(pt.jaccard(ProfileId(0), ProfileId(1)), 1.0);
+    }
+
+    #[test]
+    fn empty_profiles_are_zero() {
+        let mut d = EntityCollection::new(SourceId(0));
+        d.push(blast_datamodel::entity::EntityProfile::new("blank"));
+        d.push_pairs("b", [("x", "token")]);
+        let pt = ProfileTokens::build(&ErInput::dirty(d), &Tokenizer::new());
+        assert_eq!(pt.jaccard(ProfileId(0), ProfileId(1)), 0.0);
+        assert_eq!(pt.jaccard(ProfileId(0), ProfileId(0)), 0.0);
+    }
+}

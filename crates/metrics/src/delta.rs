@@ -1,0 +1,54 @@
+//! The Δ comparisons of §4: relative change of PC/PQ between a baseline
+//! block collection B and a compared collection B′.
+//!
+//! ΔPC(B,B′) = (PC(B′) − PC(B)) / PC(B); positive values mean B′ (by the
+//! paper's convention, BLAST) performs better.
+
+/// Relative PC change from `baseline` to `compared`.
+pub fn delta_pc(baseline: f64, compared: f64) -> f64 {
+    if baseline == 0.0 {
+        if compared == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (compared - baseline) / baseline
+    }
+}
+
+/// Relative PQ change from `baseline` to `compared`.
+pub fn delta_pq(baseline: f64, compared: f64) -> f64 {
+    delta_pc(baseline, compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_when_compared_wins() {
+        assert!((delta_pc(0.5, 0.6) - 0.2).abs() < 1e-12);
+        assert!(delta_pq(0.001, 0.1) > 0.0);
+    }
+
+    #[test]
+    fn negative_when_compared_loses() {
+        // The paper: ΔPC in the range (0 %, −6 %) for all datasets.
+        let d = delta_pc(1.0, 0.94);
+        assert!((d + 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_edge_cases() {
+        assert_eq!(delta_pc(0.0, 0.0), 0.0);
+        assert_eq!(delta_pc(0.0, 0.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn paper_scale_pq_gain() {
+        // "+14,511 %" style gains: PQ 0.18 % → 26.3 %.
+        let d = delta_pq(0.0018, 0.263);
+        assert!(d > 100.0, "two-order-of-magnitude gain, Δ = {d}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Blocking-quality metrics (§2): Pair Completeness, Pair Quality, F1, and
+//! the Δ comparisons used throughout the evaluation (§4).
+//!
+//! PC and PQ are *surrogates* of recall and precision for block collections:
+//! PC(B) = |D_B|/|D_E| (fraction of known duplicates co-occurring in ≥1
+//! block), PQ(B) = |D_B|/‖B‖ (useful fraction of the comparisons). Both are
+//! computed without enumerating comparisons: PC intersects the block lists
+//! of each ground-truth pair (CSR index), ‖B‖ is arithmetic.
+
+pub mod delta;
+pub mod quality;
+pub mod report;
+pub mod timing;
+
+pub use delta::{delta_pc, delta_pq};
+pub use quality::{evaluate_blocks, evaluate_pairs, BlockQuality};
+pub use report::{fmt_card, fmt_pct};
+pub use timing::Stopwatch;

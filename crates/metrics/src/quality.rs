@@ -1,0 +1,224 @@
+//! PC / PQ / F1 evaluation of block collections and retained-pair sets.
+
+use blast_blocking::collection::BlockCollection;
+use blast_blocking::index::ProfileBlockIndex;
+use blast_datamodel::entity::ProfileId;
+use blast_datamodel::ground_truth::GroundTruth;
+
+/// The quality of a block collection (or restructured comparison set)
+/// against a ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockQuality {
+    /// Pair Completeness |D_B|/|D_E| — recall surrogate.
+    pub pc: f64,
+    /// Pair Quality |D_B|/‖B‖ — precision surrogate.
+    pub pq: f64,
+    /// Harmonic mean of PC and PQ.
+    pub f1: f64,
+    /// |D_B|: ground-truth pairs detected (co-occurring in ≥1 block).
+    pub detected: u64,
+    /// |D_E|: total ground-truth pairs.
+    pub total_duplicates: u64,
+    /// ‖B‖: aggregate comparison cardinality.
+    pub comparisons: u64,
+}
+
+impl std::fmt::Display for BlockQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PC = {:.2}%, PQ = {:.4}%, F1 = {:.4} ({} of {} duplicates in {} comparisons)",
+            self.pc * 100.0,
+            self.pq * 100.0,
+            self.f1,
+            self.detected,
+            self.total_duplicates,
+            self.comparisons
+        )
+    }
+}
+
+impl BlockQuality {
+    /// Assembles the metrics from raw counts.
+    pub fn from_counts(detected: u64, total_duplicates: u64, comparisons: u64) -> Self {
+        let pc = if total_duplicates == 0 {
+            0.0
+        } else {
+            detected as f64 / total_duplicates as f64
+        };
+        let pq = if comparisons == 0 {
+            0.0
+        } else {
+            detected as f64 / comparisons as f64
+        };
+        let f1 = if pc + pq == 0.0 {
+            0.0
+        } else {
+            2.0 * pc * pq / (pc + pq)
+        };
+        Self {
+            pc,
+            pq,
+            f1,
+            detected,
+            total_duplicates,
+            comparisons,
+        }
+    }
+}
+
+/// Evaluates a block collection: PC by intersecting the block lists of each
+/// ground-truth pair, ‖B‖ arithmetically — no comparison enumeration, so
+/// this works even for ‖B‖ in the 10¹² range (Table 3's dbp baseline).
+pub fn evaluate_blocks(blocks: &BlockCollection, gt: &GroundTruth) -> BlockQuality {
+    let index = ProfileBlockIndex::build(blocks);
+    let detected = gt
+        .iter()
+        .filter(|&(a, b)| index.co_occur(a.0, b.0))
+        .count() as u64;
+    BlockQuality::from_counts(detected, gt.len() as u64, blocks.aggregate_cardinality())
+}
+
+/// Evaluates a set of retained comparisons (meta-blocking output): each pair
+/// is one comparison, pairs are unique by construction.
+///
+/// ```
+/// use blast_datamodel::entity::ProfileId;
+/// use blast_datamodel::ground_truth::GroundTruth;
+/// use blast_metrics::quality::evaluate_pairs;
+///
+/// let gt: GroundTruth = [(ProfileId(0), ProfileId(2))].into_iter().collect();
+/// let pairs = [(ProfileId(0), ProfileId(2)), (ProfileId(1), ProfileId(2))];
+/// let q = evaluate_pairs(&pairs, &gt);
+/// assert_eq!(q.pc, 1.0);  // the match is retained
+/// assert_eq!(q.pq, 0.5);  // half the comparisons are useful
+/// ```
+pub fn evaluate_pairs(pairs: &[(ProfileId, ProfileId)], gt: &GroundTruth) -> BlockQuality {
+    let detected = pairs.iter().filter(|&&(a, b)| gt.is_match(a, b)).count() as u64;
+    BlockQuality::from_counts(detected, gt.len() as u64, pairs.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_blocking::block::Block;
+    use blast_blocking::key::ClusterId;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<ProfileId> {
+        v.iter().map(|&i| ProfileId(i)).collect()
+    }
+
+    fn gt(pairs: &[(u32, u32)]) -> GroundTruth {
+        pairs
+            .iter()
+            .map(|&(a, b)| (ProfileId(a), ProfileId(b)))
+            .collect()
+    }
+
+    #[test]
+    fn perfect_blocking() {
+        // Blocks exactly the two matching pairs.
+        let blocks = BlockCollection::new(
+            vec![
+                Block::new("x", ClusterId::GLUE, ids(&[0, 2]), 2),
+                Block::new("y", ClusterId::GLUE, ids(&[1, 3]), 2),
+            ],
+            true,
+            2,
+            4,
+        );
+        let q = evaluate_blocks(&blocks, &gt(&[(0, 2), (1, 3)]));
+        assert_eq!(q.pc, 1.0);
+        assert_eq!(q.pq, 1.0);
+        assert_eq!(q.f1, 1.0);
+        assert_eq!(q.detected, 2);
+    }
+
+    #[test]
+    fn redundant_comparisons_hurt_pq_not_pc() {
+        // The same matching pair in three blocks: PC = 1, PQ = 1/3.
+        let blocks = BlockCollection::new(
+            vec![
+                Block::new("a", ClusterId::GLUE, ids(&[0, 2]), 2),
+                Block::new("b", ClusterId::GLUE, ids(&[0, 2]), 2),
+                Block::new("c", ClusterId::GLUE, ids(&[0, 2]), 2),
+            ],
+            true,
+            2,
+            4,
+        );
+        let q = evaluate_blocks(&blocks, &gt(&[(0, 2)]));
+        assert_eq!(q.pc, 1.0);
+        assert!((q.pq - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_duplicates_lower_pc() {
+        let blocks = BlockCollection::new(
+            vec![Block::new("a", ClusterId::GLUE, ids(&[0, 2]), 2)],
+            true,
+            2,
+            4,
+        );
+        let q = evaluate_blocks(&blocks, &gt(&[(0, 2), (1, 3)]));
+        assert_eq!(q.pc, 0.5);
+        assert_eq!(q.detected, 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let blocks = BlockCollection::new(vec![], true, 2, 4);
+        let q = evaluate_blocks(&blocks, &gt(&[(0, 2)]));
+        assert_eq!(q.pc, 0.0);
+        assert_eq!(q.pq, 0.0);
+        assert_eq!(q.f1, 0.0);
+        let q = evaluate_pairs(&[], &gt(&[(0, 2)]));
+        assert_eq!(q.pq, 0.0);
+    }
+
+    #[test]
+    fn pairs_evaluation() {
+        let pairs = vec![
+            (ProfileId(0), ProfileId(2)),
+            (ProfileId(0), ProfileId(3)),
+            (ProfileId(1), ProfileId(3)),
+            (ProfileId(1), ProfileId(2)),
+        ];
+        let q = evaluate_pairs(&pairs, &gt(&[(0, 2), (1, 3)]));
+        assert_eq!(q.pc, 1.0);
+        assert_eq!(q.pq, 0.5);
+        let expected_f1 = 2.0 * 1.0 * 0.5 / 1.5;
+        assert!((q.f1 - expected_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = BlockQuality::from_counts(9, 10, 100);
+        let s = q.to_string();
+        assert!(s.contains("PC = 90.00%"), "{s}");
+        assert!(s.contains("9 of 10"), "{s}");
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let q = BlockQuality::from_counts(50, 100, 1000);
+        // PC = .5, PQ = .05 → F1 = 2·.5·.05/.55
+        assert!((q.f1 - 2.0 * 0.5 * 0.05 / 0.55).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_bounded(detected in 0u64..100, extra_dupes in 0u64..100, extra_cmp in 0u64..1000) {
+            let q = BlockQuality::from_counts(
+                detected,
+                detected + extra_dupes,
+                detected + extra_cmp,
+            );
+            prop_assert!((0.0..=1.0).contains(&q.pc));
+            prop_assert!((0.0..=1.0).contains(&q.pq));
+            prop_assert!((0.0..=1.0).contains(&q.f1));
+            prop_assert!(q.f1 <= q.pc.max(q.pq) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Wall-clock measurement of the overhead time tₒ reported in Tables 4–7.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch accumulating named phases.
+#[derive(Debug, Clone, Default)]
+pub struct Stopwatch {
+    phases: Vec<(String, Duration)>,
+}
+
+impl Stopwatch {
+    /// Creates an empty stopwatch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f`, recording it under `name`, and returns its result.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.phases.push((name.to_string(), start.elapsed()));
+        out
+    }
+
+    /// Records an externally measured duration.
+    pub fn record(&mut self, name: &str, elapsed: Duration) {
+        self.phases.push((name.to_string(), elapsed));
+    }
+
+    /// Total time across all phases (the tₒ column).
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Duration of one phase (the last record with that name).
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// All recorded phases in order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Total in seconds, for table printing.
+    pub fn total_secs(&self) -> f64 {
+        self.total().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_phases_and_totals() {
+        let mut sw = Stopwatch::new();
+        let x = sw.time("work", || 21 * 2);
+        assert_eq!(x, 42);
+        sw.record("extra", Duration::from_millis(5));
+        assert!(sw.phase("work").is_some());
+        assert_eq!(sw.phase("extra"), Some(Duration::from_millis(5)));
+        assert!(sw.total() >= Duration::from_millis(5));
+        assert_eq!(sw.phases().len(), 2);
+    }
+
+    #[test]
+    fn missing_phase_is_none() {
+        let sw = Stopwatch::new();
+        assert!(sw.phase("nope").is_none());
+        assert_eq!(sw.total(), Duration::ZERO);
+    }
+}

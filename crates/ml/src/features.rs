@@ -1,0 +1,74 @@
+//! Schema-agnostic edge features for supervised meta-blocking.
+//!
+//! Following \[19\], every candidate comparison (edge) is described by
+//! graph-derived features only — no schema knowledge: the five traditional
+//! edge weights and the block counts of the two endpoints.
+
+use blast_graph::context::{EdgeAccum, GraphContext};
+use blast_graph::weights::{EdgeWeigher, WeightingScheme};
+
+/// Number of features per edge.
+pub const FEATURE_COUNT: usize = 7;
+
+/// Computes the feature vector of edge (u, v):
+/// `[ARCS, JS, EJS, CBS, ECBS, |B_u|, |B_v|]`.
+///
+/// Requires [`GraphContext::ensure_degrees`] (EJS).
+pub fn edge_features(ctx: &GraphContext<'_>, u: u32, v: u32, acc: &EdgeAccum) -> [f64; FEATURE_COUNT] {
+    let mut out = [0.0; FEATURE_COUNT];
+    for (slot, scheme) in out.iter_mut().zip(WeightingScheme::ALL) {
+        *slot = scheme.weight(ctx, u, v, acc);
+    }
+    // Local block counts, symmetrised (min, max) so the feature doesn't
+    // depend on which endpoint sits in which collection.
+    let bu = ctx.node_blocks(u) as f64;
+    let bv = ctx.node_blocks(v) as f64;
+    out[5] = bu.min(bv);
+    out[6] = bu.max(bv);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_blocking::block::Block;
+    use blast_blocking::collection::BlockCollection;
+    use blast_blocking::key::ClusterId;
+    use blast_datamodel::entity::ProfileId;
+
+    fn ids(v: &[u32]) -> Vec<ProfileId> {
+        v.iter().map(|&i| ProfileId(i)).collect()
+    }
+
+    fn ctx_blocks() -> BlockCollection {
+        let blocks = vec![
+            Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 2]), u32::MAX),
+            Block::new("b1", ClusterId::GLUE, ids(&[0, 1]), u32::MAX),
+        ];
+        BlockCollection::new(blocks, false, 3, 3)
+    }
+
+    #[test]
+    fn features_match_schemes() {
+        let blocks = ctx_blocks();
+        let mut ctx = GraphContext::new(&blocks);
+        ctx.ensure_degrees();
+        let acc = ctx.edge(0, 1).unwrap();
+        let f = edge_features(&ctx, 0, 1, &acc);
+        for (i, scheme) in WeightingScheme::ALL.iter().enumerate() {
+            assert_eq!(f[i], scheme.weight(&ctx, 0, 1, &acc), "{}", scheme.name());
+        }
+        assert_eq!(f[5], 2.0); // min(|B_0|, |B_1|)
+        assert_eq!(f[6], 2.0);
+    }
+
+    #[test]
+    fn features_symmetric_in_endpoints() {
+        let blocks = ctx_blocks();
+        let mut ctx = GraphContext::new(&blocks);
+        ctx.ensure_degrees();
+        let a01 = ctx.edge(0, 1).unwrap();
+        let a10 = ctx.edge(1, 0).unwrap();
+        assert_eq!(edge_features(&ctx, 0, 1, &a01), edge_features(&ctx, 1, 0, &a10));
+    }
+}

@@ -1,0 +1,22 @@
+//! Supervised meta-blocking \[19\] — the learned baseline of §4.1.1.
+//!
+//! Each blocking-graph edge gets a vector of schema-agnostic features (the
+//! five traditional weighting schemes plus the endpoints' block counts); a
+//! linear SVM is trained on edges labelled from a fraction of the ground
+//! truth (the paper uses 10 % of the matches) and the retained comparisons
+//! are the positively classified edges — a WEP-style global decision, since
+//! WNP is incompatible with supervised meta-blocking.
+//!
+//! The SVM is implemented from scratch ([`svm`]): hinge loss, L2
+//! regularisation, Pegasos-style SGD — the same decision family (linear
+//! kernel) the reference reports as best and fastest.
+
+pub mod features;
+pub mod scaler;
+pub mod supervised;
+pub mod svm;
+
+pub use features::{edge_features, FEATURE_COUNT};
+pub use scaler::StandardScaler;
+pub use supervised::{SupervisedConfig, SupervisedMetaBlocking};
+pub use svm::{LinearSvm, SvmParams};

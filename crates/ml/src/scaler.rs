@@ -1,0 +1,90 @@
+//! Feature standardisation (zero mean, unit variance) — linear SVMs are
+//! scale-sensitive and the raw features span orders of magnitude
+//! (JS ∈ \[0,1\] vs block counts in the thousands).
+
+/// Per-dimension standardiser fitted on training data.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on `rows` (all rows must share a
+    /// dimension). Constant dimensions get σ = 1 so they standardise to 0.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on no data");
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in rows {
+            for (m, x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for row in rows {
+            for ((v, x), m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Standardises a row in place.
+    pub fn transform(&self, row: &mut [f64]) {
+        for ((x, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardises_to_zero_mean_unit_var() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let mut transformed: Vec<Vec<f64>> = rows.clone();
+        for r in &mut transformed {
+            scaler.transform(r);
+        }
+        for d in 0..2 {
+            let mean: f64 = transformed.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = transformed.iter().map(|r| r[d] * r[d]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let rows = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let mut r = vec![7.0];
+        scaler.transform(&mut r);
+        assert_eq!(r[0], 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Supervised meta-blocking \[19\]: train on labelled edges, retain the edges
+//! the classifier accepts.
+//!
+//! Training data: the edges whose pairs appear in the training ground truth
+//! are positives; an equally sized, deterministically sampled set of other
+//! edges are negatives (the problem is wildly imbalanced otherwise).
+//! Classification is a global (WEP-style) decision per edge — \[19\] notes
+//! node-centric thresholds are incompatible with a global classifier.
+
+use crate::features::{edge_features, FEATURE_COUNT};
+use crate::scaler::StandardScaler;
+use crate::svm::{LinearSvm, SvmParams};
+use blast_blocking::collection::BlockCollection;
+use blast_datamodel::entity::ProfileId;
+use blast_datamodel::ground_truth::GroundTruth;
+use blast_datamodel::hash::fx_hash_one;
+use blast_graph::context::GraphContext;
+use blast_graph::pruning::common::collect_edge_accums;
+use blast_graph::retained::RetainedPairs;
+
+/// Configuration of supervised meta-blocking.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisedConfig {
+    /// Fraction of the ground-truth matches used for training (the paper
+    /// uses 10 %).
+    pub train_fraction: f64,
+    /// SVM hyper-parameters.
+    pub svm: SvmParams,
+    /// Deterministic seed for negative sampling.
+    pub seed: u64,
+}
+
+impl Default for SupervisedConfig {
+    fn default() -> Self {
+        Self {
+            train_fraction: 0.1,
+            svm: SvmParams::default(),
+            seed: 0xB1A57,
+        }
+    }
+}
+
+/// The supervised meta-blocking baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SupervisedMetaBlocking {
+    /// Configuration.
+    pub config: SupervisedConfig,
+}
+
+impl SupervisedMetaBlocking {
+    /// With the paper's configuration (10 % training matches).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restructures `blocks`. Returns the retained comparisons and the
+    /// training ground truth used, so evaluation can exclude it (the paper
+    /// evaluates on the full ground truth; we return it for flexibility).
+    pub fn run(&self, blocks: &BlockCollection, gt: &GroundTruth) -> (RetainedPairs, GroundTruth) {
+        let (train, _) = gt.split_train(self.config.train_fraction);
+        let mut ctx = GraphContext::new(blocks);
+        ctx.ensure_degrees();
+
+        // Pass 1: features of positives; deterministic hash-sampled
+        // negatives (~4× the expected positives to be safe, trimmed after).
+        let n_train = train.len().max(1);
+        let total_edges: u64 = ctx.total_edges().max(1);
+        // Sampling probability aiming at 4·n_train negatives.
+        let p_scaled = ((4 * n_train) as f64 / total_edges as f64).min(1.0);
+        let p_threshold = (p_scaled * u32::MAX as f64) as u64;
+        let seed = self.config.seed;
+
+        #[derive(Clone)]
+        enum Sample {
+            Pos([f64; FEATURE_COUNT]),
+            Neg([f64; FEATURE_COUNT], u64),
+        }
+        let samples: Vec<Sample> = {
+            let train = &train;
+            let ctx_ref = &ctx;
+            collect_edge_accums(ctx_ref, move |u, v, acc| {
+                if train.is_match(ProfileId(u), ProfileId(v)) {
+                    Some(Sample::Pos(edge_features(ctx_ref, u, v, acc)))
+                } else if gt.is_match(ProfileId(u), ProfileId(v)) {
+                    // A match outside the training split: its label is not
+                    // available to the learner — never use it as a negative.
+                    None
+                } else {
+                    let h = fx_hash_one(&(seed, u, v));
+                    if (h & u32::MAX as u64) <= p_threshold {
+                        Some(Sample::Neg(edge_features(ctx_ref, u, v, acc), h))
+                    } else {
+                        None
+                    }
+                }
+            })
+        };
+
+        let mut positives: Vec<[f64; FEATURE_COUNT]> = Vec::new();
+        let mut negatives: Vec<([f64; FEATURE_COUNT], u64)> = Vec::new();
+        for s in samples {
+            match s {
+                Sample::Pos(f) => positives.push(f),
+                Sample::Neg(f, h) => negatives.push((f, h)),
+            }
+        }
+        if positives.is_empty() || negatives.is_empty() {
+            // Degenerate input: nothing to learn from — retain everything.
+            let pairs = collect_edge_accums(&ctx, |u, v, _| Some((ProfileId(u), ProfileId(v))));
+            return (RetainedPairs::new(pairs), train);
+        }
+        // Balance classes deterministically (sort negatives by hash).
+        negatives.sort_unstable_by_key(|(_, h)| *h);
+        negatives.truncate(positives.len().max(8));
+
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(positives.len() + negatives.len());
+        let mut labels: Vec<i8> = Vec::with_capacity(rows.capacity());
+        for f in &positives {
+            rows.push(f.to_vec());
+            labels.push(1);
+        }
+        for (f, _) in &negatives {
+            rows.push(f.to_vec());
+            labels.push(-1);
+        }
+        let scaler = StandardScaler::fit(&rows);
+        for r in &mut rows {
+            scaler.transform(r);
+        }
+        let svm = LinearSvm::train(&rows, &labels, self.config.svm);
+
+        // Pass 2: classify every edge.
+        let pairs = {
+            let ctx_ref = &ctx;
+            let scaler = &scaler;
+            let svm = &svm;
+            collect_edge_accums(ctx_ref, move |u, v, acc| {
+                let mut f = edge_features(ctx_ref, u, v, acc).to_vec();
+                scaler.transform(&mut f);
+                svm.predict(&f).then_some((ProfileId(u), ProfileId(v)))
+            })
+        };
+        (RetainedPairs::new(pairs), train)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_blocking::block::Block;
+    use blast_blocking::key::ClusterId;
+
+    fn ids(v: &[u32]) -> Vec<ProfileId> {
+        v.iter().map(|&i| ProfileId(i)).collect()
+    }
+
+    /// A clean-clean collection where matching pairs (i, i+n) share many
+    /// blocks and non-matching pairs share one noisy block.
+    fn blocks_and_gt(n: u32) -> (BlockCollection, GroundTruth) {
+        let mut blocks = Vec::new();
+        let mut gt = GroundTruth::new();
+        for i in 0..n {
+            for r in 0..4 {
+                blocks.push(Block::new(
+                    format!("m{i}_{r}"),
+                    ClusterId::GLUE,
+                    ids(&[i, n + i]),
+                    n,
+                ));
+            }
+            gt.insert(ProfileId(i), ProfileId(n + i));
+            // Noise: i also co-occurs once with a non-match.
+            blocks.push(Block::new(
+                format!("noise{i}"),
+                ClusterId::GLUE,
+                ids(&[i, n + (i + 1) % n]),
+                n,
+            ));
+        }
+        (BlockCollection::new(blocks, true, n, 2 * n), gt)
+    }
+
+    #[test]
+    fn learns_to_separate_matches_from_noise() {
+        let (blocks, gt) = blocks_and_gt(60);
+        let (retained, _train) = SupervisedMetaBlocking::new().run(&blocks, &gt);
+        let detected = retained
+            .iter()
+            .filter(|&(a, b)| gt.is_match(a, b))
+            .count();
+        // High recall on matches…
+        assert!(detected as f64 / gt.len() as f64 > 0.9, "recall {detected}/{}", gt.len());
+        // …and most noise edges rejected.
+        let noise_kept = retained.len() - detected;
+        assert!(
+            noise_kept < retained.len() / 2,
+            "too much noise survived: {noise_kept}/{}",
+            retained.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (blocks, gt) = blocks_and_gt(40);
+        let (a, _) = SupervisedMetaBlocking::new().run(&blocks, &gt);
+        let (b, _) = SupervisedMetaBlocking::new().run(&blocks, &gt);
+        assert_eq!(a.pairs(), b.pairs());
+    }
+
+    #[test]
+    fn empty_ground_truth_degrades_gracefully() {
+        let (blocks, _) = blocks_and_gt(10);
+        let (retained, _) = SupervisedMetaBlocking::new().run(&blocks, &GroundTruth::new());
+        // No labels → everything retained (no information to prune on).
+        assert!(!retained.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end CLI workflow: generate a benchmark to CSV, run `blast block`
+//! on the files, evaluate the produced pairs — the full adoption path a
+//! downstream user takes, driven through the library entry points.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blast-cli-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[String]) -> String {
+    blast_cli::run(args).unwrap_or_else(|e| panic!("cli failed: {e}"))
+}
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(|x| x.to_string()).collect()
+}
+
+#[test]
+fn generate_block_evaluate_roundtrip() {
+    let dir = temp_dir("roundtrip");
+    let d = dir.to_str().unwrap();
+
+    // 1. Generate a small ar1-style benchmark.
+    let report = run(&s(&["generate", "--preset", "ar1", "--scale", "0.05", "--out-dir", d]));
+    assert!(report.contains("wrote ar1"), "{report}");
+    assert!(dir.join("d1.csv").exists());
+    assert!(dir.join("gt.csv").exists());
+
+    // 2. Run BLAST on the CSVs.
+    let pairs_path = dir.join("pairs.csv");
+    let report = run(&s(&[
+        "block",
+        "--d1", &format!("{d}/d1.csv"),
+        "--d2", &format!("{d}/d2.csv"),
+        "--id-column", "_id",
+        "--gt", &format!("{d}/gt.csv"),
+        "--out", pairs_path.to_str().unwrap(),
+    ]));
+    assert!(report.contains("PC ="), "{report}");
+    assert!(report.contains("pairs written"), "{report}");
+
+    // The inline evaluation should show strong quality on ar1.
+    let pc: f64 = report
+        .lines()
+        .find(|l| l.starts_with("PC ="))
+        .and_then(|l| l.split('%').next())
+        .and_then(|l| l.trim_start_matches("PC =").trim().parse().ok())
+        .expect("parse PC");
+    assert!(pc > 90.0, "PC {pc} too low:\n{report}");
+
+    // 3. Evaluate the written pairs file independently.
+    let report = run(&s(&[
+        "evaluate",
+        "--d1", &format!("{d}/d1.csv"),
+        "--d2", &format!("{d}/d2.csv"),
+        "--id-column", "_id",
+        "--pairs", pairs_path.to_str().unwrap(),
+        "--gt", &format!("{d}/gt.csv"),
+    ]));
+    assert!(report.contains("F1 ="), "{report}");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn schema_command_prints_clusters() {
+    let dir = temp_dir("schema");
+    let d = dir.to_str().unwrap();
+    run(&s(&["generate", "--preset", "ar1", "--scale", "0.05", "--out-dir", d]));
+    let report = run(&s(&[
+        "schema",
+        "--d1", &format!("{d}/d1.csv"),
+        "--d2", &format!("{d}/d2.csv"),
+        "--id-column", "_id",
+    ]));
+    assert!(report.contains("cluster #1"), "{report}");
+    assert!(report.contains("s0.title"), "{report}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dedup_command_runs_dirty_er() {
+    let dir = temp_dir("dedup");
+    let d = dir.to_str().unwrap();
+    run(&s(&["generate", "--preset", "census", "--scale", "0.2", "--out-dir", d]));
+    let report = run(&s(&[
+        "dedup",
+        "--input", &format!("{d}/data.csv"),
+        "--id-column", "_id",
+        "--gt", &format!("{d}/gt.csv"),
+    ]));
+    assert!(report.contains("retained comparisons"), "{report}");
+    assert!(report.contains("PC ="), "{report}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_preset_is_reported() {
+    let dir = temp_dir("bad");
+    let err = blast_cli::run(&s(&[
+        "generate",
+        "--preset", "nope",
+        "--out-dir", dir.to_str().unwrap(),
+    ]))
+    .unwrap_err();
+    assert!(err.contains("unknown preset"));
+    let _ = fs::remove_dir_all(&dir);
+}

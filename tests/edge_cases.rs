@@ -1,0 +1,112 @@
+//! Failure injection and degenerate inputs: the pipeline must degrade
+//! gracefully, never panic.
+
+use blast::blocking::TokenBlocking;
+use blast::core::pipeline::{BlastConfig, BlastPipeline};
+use blast::datamodel::{EntityCollection, EntityProfile, ErInput, SourceId};
+
+#[test]
+fn empty_collections() {
+    let input = ErInput::clean_clean(
+        EntityCollection::new(SourceId(0)),
+        EntityCollection::new(SourceId(1)),
+    );
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+    assert!(outcome.pairs.is_empty());
+    assert_eq!(outcome.schema.columns, 0);
+}
+
+#[test]
+fn one_side_empty() {
+    let mut d1 = EntityCollection::new(SourceId(0));
+    d1.push_pairs("a", [("name", "john smith")]);
+    let input = ErInput::clean_clean(d1, EntityCollection::new(SourceId(1)));
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+    assert!(outcome.pairs.is_empty(), "no cross-source comparisons possible");
+}
+
+#[test]
+fn blank_profiles_are_tolerated() {
+    let mut d1 = EntityCollection::new(SourceId(0));
+    d1.push(EntityProfile::new("blank1"));
+    d1.push_pairs("a", [("name", "shared token here")]);
+    let mut d2 = EntityCollection::new(SourceId(1));
+    d2.push(EntityProfile::new("blank2"));
+    d2.push_pairs("b", [("label", "shared token here")]);
+    let input = ErInput::clean_clean(d1, d2);
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+    // Blank profiles can never be blocked; the real pair can survive.
+    for (a, b) in outcome.pairs.iter() {
+        assert_ne!(input.profile(a).external_id.as_ref(), "blank1");
+        assert_ne!(input.profile(b).external_id.as_ref(), "blank2");
+    }
+}
+
+#[test]
+fn all_identical_profiles() {
+    // Every profile identical: blocks cover everything, purging wipes the
+    // oversized blocks; the pipeline must not panic either way.
+    let mut d = EntityCollection::new(SourceId(0));
+    for i in 0..20 {
+        d.push_pairs(&format!("p{i}"), [("x", "same same same")]);
+    }
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&ErInput::dirty(d));
+    // With every block covering the full collection, purging removes them
+    // all → no comparisons (precision-first behaviour, not a crash).
+    assert!(outcome.pairs.is_empty());
+}
+
+#[test]
+fn symbol_only_and_unicode_values() {
+    let mut d1 = EntityCollection::new(SourceId(0));
+    d1.push_pairs("a", [("name", "!!! ··· ***"), ("t", "Modène 1985 ↔ Émilie")]);
+    let mut d2 = EntityCollection::new(SourceId(1));
+    d2.push_pairs("b", [("name", "§§§"), ("t", "modène 1985 émilie")]);
+    d2.push_pairs("c", [("name", "unrelated"), ("t", "totally different words")]);
+    let input = ErInput::clean_clean(d1, d2);
+    let blocks = TokenBlocking::new().build(&input);
+    assert!(blocks.block_by_label("modène").is_some(), "unicode tokens must block");
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+    let _ = outcome.pairs.len(); // no panic is the contract here
+}
+
+#[test]
+fn very_long_values() {
+    let long_value = "tok ".repeat(5_000);
+    let mut d1 = EntityCollection::new(SourceId(0));
+    d1.push_pairs("a", [("text", &*long_value), ("id", "alpha beta")]);
+    let mut d2 = EntityCollection::new(SourceId(1));
+    d2.push_pairs("b", [("text", &*long_value), ("id", "alpha beta")]);
+    let input = ErInput::clean_clean(d1, d2);
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+    let _ = outcome.pairs.len();
+}
+
+#[test]
+fn duplicate_external_ids_do_not_confuse_blocking() {
+    let mut d1 = EntityCollection::new(SourceId(0));
+    d1.push_pairs("same-id", [("name", "first profile tokens")]);
+    d1.push_pairs("same-id", [("name", "second profile tokens")]);
+    let mut d2 = EntityCollection::new(SourceId(1));
+    d2.push_pairs("same-id", [("name", "first profile tokens")]);
+    let input = ErInput::clean_clean(d1, d2);
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+    // Blocking operates on global ids, not external ids.
+    for (a, b) in outcome.pairs.iter() {
+        assert!(a.0 < 2 && b.0 == 2);
+    }
+}
+
+#[test]
+fn single_attribute_sources() {
+    let mut d1 = EntityCollection::new(SourceId(0));
+    let mut d2 = EntityCollection::new(SourceId(1));
+    for i in 0..30 {
+        d1.push_pairs(&format!("a{i}"), [("text", &*format!("record number {i} alpha"))]);
+        d2.push_pairs(&format!("b{i}"), [("body", &*format!("record number {i} alpha"))]);
+    }
+    let input = ErInput::clean_clean(d1, d2);
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+    assert!(outcome.schema.clusters <= 1);
+    assert!(!outcome.pairs.is_empty());
+}

@@ -1,0 +1,138 @@
+//! Cross-crate invariants, property-tested on randomly generated inputs.
+
+use blast::blocking::{BlockFiltering, BlockPurging, TokenBlocking};
+use blast::core::pipeline::{BlastConfig, BlastPipeline};
+use blast::datamodel::{EntityCollection, ErInput, GroundTruth, ProfileId, SourceId};
+use blast::metrics::{evaluate_blocks, evaluate_pairs};
+use proptest::prelude::*;
+
+/// Random small clean-clean inputs: profiles with 1–4 attributes drawn from
+/// tiny vocabularies so blocks actually form.
+fn arb_input() -> impl Strategy<Value = (ErInput, GroundTruth)> {
+    let word = prop_oneof![
+        Just("alpha"), Just("beta"), Just("gamma"), Just("delta"),
+        Just("epsilon"), Just("zeta"), Just("one"), Just("two"),
+    ];
+    let value = proptest::collection::vec(word, 1..4).prop_map(|ws| ws.join(" "));
+    let profile = proptest::collection::vec(value, 1..4);
+    let side = proptest::collection::vec(profile, 1..8);
+    (side.clone(), side, proptest::collection::vec((0u32..8, 0u32..8), 0..6)).prop_map(
+        |(s1, s2, matches)| {
+            let attrs = ["name", "info", "place", "misc"];
+            let mut d1 = EntityCollection::new(SourceId(0));
+            for (i, values) in s1.iter().enumerate() {
+                d1.push_pairs(
+                    &format!("a{i}"),
+                    values.iter().enumerate().map(|(j, v)| (attrs[j % 4], v.as_str())),
+                );
+            }
+            let mut d2 = EntityCollection::new(SourceId(1));
+            for (i, values) in s2.iter().enumerate() {
+                d2.push_pairs(
+                    &format!("b{i}"),
+                    values.iter().enumerate().map(|(j, v)| (attrs[j % 4], v.as_str())),
+                );
+            }
+            let sep = d1.len() as u32;
+            let total2 = d2.len() as u32;
+            let mut gt = GroundTruth::new();
+            for (a, b) in matches {
+                if a < sep && b < total2 {
+                    gt.insert(ProfileId(a), ProfileId(sep + b));
+                }
+            }
+            (ErInput::clean_clean(d1, d2), gt)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The pipeline never panics and always produces valid cross-separator
+    /// pairs, whatever the input.
+    #[test]
+    fn pipeline_robust_on_arbitrary_inputs((input, gt) in arb_input()) {
+        let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+        let sep = input.separator();
+        for (a, b) in outcome.pairs.iter() {
+            prop_assert!(a.0 < sep);
+            prop_assert!(b.0 >= sep);
+            prop_assert!((b.0 as usize) < input.total_profiles());
+        }
+        // Metrics are well-defined.
+        let q = evaluate_pairs(outcome.pairs.pairs(), &gt);
+        prop_assert!((0.0..=1.0).contains(&q.pc));
+        prop_assert!((0.0..=1.0).contains(&q.pq));
+    }
+
+    /// Purging and filtering never *add* comparisons and never increase PC.
+    #[test]
+    fn cleaning_is_monotone((input, gt) in arb_input()) {
+        let blocks = TokenBlocking::new().build(&input);
+        let purged = BlockPurging::new().purge(&blocks);
+        let filtered = BlockFiltering::new().filter(&purged);
+
+        prop_assert!(purged.aggregate_cardinality() <= blocks.aggregate_cardinality());
+        prop_assert!(filtered.aggregate_cardinality() <= purged.aggregate_cardinality());
+
+        let q0 = evaluate_blocks(&blocks, &gt);
+        let q1 = evaluate_blocks(&purged, &gt);
+        let q2 = evaluate_blocks(&filtered, &gt);
+        prop_assert!(q1.detected <= q0.detected);
+        prop_assert!(q2.detected <= q1.detected);
+    }
+
+    /// Meta-blocking never retains more comparisons than the blocks imply,
+    /// and never any redundant pair.
+    #[test]
+    fn meta_blocking_shrinks_comparisons((input, _gt) in arb_input()) {
+        use blast::graph::{MetaBlocker, PruningAlgorithm, WeightingScheme};
+        let blocks = TokenBlocking::new().build(&input);
+        let distinct_upper = blocks.aggregate_cardinality();
+        for algorithm in PruningAlgorithm::ALL {
+            let retained = MetaBlocker::new(WeightingScheme::Cbs, algorithm).run(&blocks);
+            prop_assert!(retained.len() as u64 <= distinct_upper);
+            // RetainedPairs is sorted+deduped: verify strictly increasing.
+            let pairs = retained.pairs();
+            for w in pairs.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}
+
+/// Deterministic reruns produce identical outputs (the whole stack is
+/// seeded and the parallel merges are ordered).
+#[test]
+fn end_to_end_determinism() {
+    use blast::datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
+    let spec = clean_clean_preset(CleanCleanPreset::Prd).scaled(0.1);
+    let (input, _) = generate_clean_clean(&spec);
+    let a = BlastPipeline::new(BlastConfig::default()).run(&input);
+    let b = BlastPipeline::new(BlastConfig::default()).run(&input);
+    assert_eq!(a.pairs.pairs(), b.pairs.pairs());
+    assert_eq!(a.schema.clusters, b.schema.clusters);
+}
+
+/// Graph passes return bit-identical results regardless of the worker-thread
+/// count (per-node float accumulation is ordered, chunk merges are ordered).
+#[test]
+fn graph_results_independent_of_thread_count() {
+    use blast::core::pruning::BlastPruning;
+    use blast::core::weighting::ChiSquaredWeigher;
+    use blast::datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
+    use blast::graph::GraphContext;
+
+    let spec = clean_clean_preset(CleanCleanPreset::Ar1).scaled(0.05);
+    let (input, _) = generate_clean_clean(&spec);
+    let blocks = TokenBlocking::new().build(&input);
+    let run = |threads: usize| {
+        let ctx = GraphContext::new(&blocks).with_threads(threads);
+        BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::without_entropy())
+    };
+    let single = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(single.pairs(), run(threads).pairs(), "threads = {threads}");
+    }
+}

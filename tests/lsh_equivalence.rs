@@ -1,0 +1,95 @@
+//! §4.2.2 / §4.4: the LSH-based step cuts the attribute-pair comparisons
+//! drastically while leaving the extraction results (and hence PC/PQ)
+//! intact, as long as the threshold stays below the similarity of true
+//! attribute correspondences.
+
+use blast::core::pipeline::{BlastConfig, BlastPipeline};
+use blast::core::schema::attribute_profile::AttributeProfiles;
+use blast::core::schema::candidates::CandidateSource;
+use blast::core::schema::extraction::{LooseSchemaConfig, LooseSchemaExtractor};
+use blast::datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
+use blast::datamodel::Tokenizer;
+use blast::metrics::evaluate_pairs;
+
+#[test]
+fn lsh_lmi_reproduces_exact_lmi_quality() {
+    let spec = clean_clean_preset(CleanCleanPreset::Ar1).scaled(0.1);
+    let (input, gt) = generate_clean_clean(&spec);
+
+    let exact = BlastPipeline::new(BlastConfig::default()).run(&input);
+    let lsh = BlastPipeline::new(BlastConfig {
+        schema: LooseSchemaConfig {
+            candidates: CandidateSource::lsh_default(),
+            ..Default::default()
+        },
+        ..BlastConfig::default()
+    })
+    .run(&input);
+
+    assert_eq!(
+        exact.schema.clusters, lsh.schema.clusters,
+        "identical attribute correspondences (J = 1 pairs are always candidates)"
+    );
+    let q_exact = evaluate_pairs(exact.pairs.pairs(), &gt);
+    let q_lsh = evaluate_pairs(lsh.pairs.pairs(), &gt);
+    assert!(
+        (q_exact.pc - q_lsh.pc).abs() < 1e-9,
+        "PC identical: {} vs {}",
+        q_exact.pc,
+        q_lsh.pc
+    );
+    assert!(
+        (q_exact.pq - q_lsh.pq).abs() < 1e-9,
+        "PQ identical: {} vs {}",
+        q_exact.pq,
+        q_lsh.pq
+    );
+}
+
+#[test]
+fn lsh_reduces_candidate_pairs_by_orders_of_magnitude() {
+    // The dbp-style pooled property space is where LSH matters.
+    let spec = clean_clean_preset(CleanCleanPreset::DbpScaled).scaled(0.02);
+    let (input, _) = generate_clean_clean(&spec);
+    let profiles = AttributeProfiles::build(&input, &Tokenizer::new());
+
+    let all = CandidateSource::AllPairs.pairs(&profiles).len();
+    let lsh = CandidateSource::lsh_default().pairs(&profiles).len();
+    assert!(
+        (lsh as f64) < (all as f64) / 100.0,
+        "LSH candidates {lsh} should be ≪ all pairs {all}"
+    );
+}
+
+/// Fig. 10's mechanism: with the glue cluster disabled, raising the LSH
+/// threshold beyond the similarity of true correspondences destroys PC.
+#[test]
+fn high_threshold_without_glue_loses_recall() {
+    use blast::blocking::TokenBlocking;
+    use blast::metrics::evaluate_blocks;
+
+    let spec = clean_clean_preset(CleanCleanPreset::Ar2).scaled(0.01);
+    let (input, gt) = generate_clean_clean(&spec);
+
+    let pc_at = |threshold: f64| {
+        let info = LooseSchemaExtractor::new(LooseSchemaConfig {
+            candidates: CandidateSource::lsh_with_threshold(150, threshold, 7),
+            glue: false,
+            ..Default::default()
+        })
+        .extract(&input);
+        let blocks = TokenBlocking::new().build_with(&input, &info.partitioning);
+        evaluate_blocks(&blocks, &gt).pc
+    };
+
+    let pc_low = pc_at(0.10);
+    let pc_high = pc_at(0.90);
+    assert!(
+        pc_low > pc_high || pc_low > 0.9,
+        "low threshold PC {pc_low} should dominate high-threshold PC {pc_high}"
+    );
+    assert!(
+        pc_high < 0.999,
+        "a 0.9 threshold must exclude noisy correspondences, PC {pc_high}"
+    );
+}

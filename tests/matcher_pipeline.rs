@@ -1,0 +1,71 @@
+//! Blocking → matching → clustering: the complete ER stack, asserting that
+//! BLAST's pruning does not cost matching quality (§4.2.2's claim).
+
+use blast::core::pipeline::{BlastConfig, BlastPipeline};
+use blast::datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
+use blast::matcher::{evaluate_matches, resolve_entities, JaccardMatcher};
+
+#[test]
+fn matching_on_blast_pairs_equals_matching_on_blocks() {
+    let spec = clean_clean_preset(CleanCleanPreset::Ar1).scaled(0.05);
+    let (input, gt) = generate_clean_clean(&spec);
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+    let matcher = JaccardMatcher::new(0.35);
+
+    let on_blocks = matcher.match_blocks(&input, &outcome.blocks);
+    let on_pairs = matcher.match_pairs(&input, &outcome.pairs);
+
+    let q_blocks = evaluate_matches(&on_blocks.matches, &gt);
+    let q_pairs = evaluate_matches(&on_pairs.matches, &gt);
+
+    // Far fewer comparisons…
+    assert!(
+        on_pairs.comparisons * 5 < on_blocks.comparisons,
+        "{} vs {}",
+        on_pairs.comparisons,
+        on_blocks.comparisons
+    );
+    // …at (near-)identical recall: BLAST prunes comparisons the matcher
+    // would reject anyway.
+    assert!(
+        q_pairs.recall >= q_blocks.recall - 0.02,
+        "recall {} vs {}",
+        q_pairs.recall,
+        q_blocks.recall
+    );
+    // Precision can only improve when superfluous comparisons are gone.
+    assert!(q_pairs.precision >= q_blocks.precision - 1e-9);
+}
+
+#[test]
+fn resolved_entities_cover_matched_pairs() {
+    let spec = clean_clean_preset(CleanCleanPreset::Ar1).scaled(0.05);
+    let (input, _) = generate_clean_clean(&spec);
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+    let decision = JaccardMatcher::new(0.35).match_pairs(&input, &outcome.pairs);
+    let clusters = resolve_entities(&decision.matches, input.total_profiles());
+
+    let mut owner = vec![usize::MAX; input.total_profiles()];
+    for (ci, cluster) in clusters.iter().enumerate() {
+        for p in cluster {
+            owner[p.index()] = ci;
+        }
+    }
+    for (a, b) in &decision.matches {
+        assert_eq!(owner[a.index()], owner[b.index()]);
+        assert_ne!(owner[a.index()], usize::MAX);
+    }
+}
+
+#[test]
+fn threshold_monotonicity() {
+    let spec = clean_clean_preset(CleanCleanPreset::Prd).scaled(0.1);
+    let (input, _) = generate_clean_clean(&spec);
+    let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
+    let mut last = usize::MAX;
+    for threshold in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let decision = JaccardMatcher::new(threshold).match_pairs(&input, &outcome.pairs);
+        assert!(decision.matches.len() <= last, "matches must shrink as the threshold rises");
+        last = decision.matches.len();
+    }
+}

@@ -1,0 +1,55 @@
+//! q-grams as blocking keys (§3.2: "other blocking techniques, e.g.
+//! employing q-grams instead of tokens, can be adapted to this scope").
+//! q-grams survive typos that break whole-token keys.
+
+use blast::blocking::TokenBlocking;
+use blast::datamodel::{EntityCollection, ErInput, ProfileId, SourceId, Tokenizer};
+use blast::metrics::evaluate_blocks;
+use blast::datamodel::GroundTruth;
+
+fn typo_input() -> (ErInput, GroundTruth) {
+    let mut d1 = EntityCollection::new(SourceId(0));
+    let mut d2 = EntityCollection::new(SourceId(1));
+    // Every value typo'd on the other side: zero shared whole tokens.
+    let rows = [
+        ("panasonic lumix", "panasonyc lumyx"),
+        ("kawasaki ninja", "kavasaki nindja"),
+        ("continental tyre", "continentol tyres"),
+    ];
+    let mut gt = GroundTruth::new();
+    for (i, (a, b)) in rows.iter().enumerate() {
+        d1.push_pairs(&format!("a{i}"), [("name", *a)]);
+        d2.push_pairs(&format!("b{i}"), [("name", *b)]);
+        gt.insert(ProfileId(i as u32), ProfileId((rows.len() + i) as u32));
+    }
+    (ErInput::clean_clean(d1, d2), gt)
+}
+
+#[test]
+fn token_blocking_misses_typos_qgrams_recover_them() {
+    let (input, gt) = typo_input();
+
+    // Whole tokens: every key differs → nothing co-occurs.
+    let tokens = TokenBlocking::new().build(&input);
+    let q_tokens = evaluate_blocks(&tokens, &gt);
+    assert_eq!(q_tokens.pc, 0.0, "typos break whole-token keys");
+
+    // Trigram keys: the unchanged character runs still collide.
+    let qgrams = TokenBlocking::with_tokenizer(Tokenizer::new().with_qgrams(3)).build(&input);
+    let q_qgrams = evaluate_blocks(&qgrams, &gt);
+    assert_eq!(q_qgrams.pc, 1.0, "q-grams must recover all typo'd matches");
+}
+
+#[test]
+fn qgram_blocks_compose_with_meta_blocking() {
+    use blast::core::pruning::BlastPruning;
+    use blast::core::weighting::ChiSquaredWeigher;
+    use blast::graph::GraphContext;
+
+    let (input, gt) = typo_input();
+    let blocks = TokenBlocking::with_tokenizer(Tokenizer::new().with_qgrams(3)).build(&input);
+    let ctx = GraphContext::new(&blocks);
+    let retained = BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::without_entropy());
+    let detected = retained.iter().filter(|&(a, b)| gt.is_match(a, b)).count();
+    assert_eq!(detected, gt.len(), "meta-blocking keeps the q-gram matches");
+}
