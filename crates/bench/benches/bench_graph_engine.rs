@@ -1,0 +1,67 @@
+//! Criterion: dense scratch-array engine vs the hashmap-baseline traversal
+//! on a Zipf-skewed dirty collection (cora-style heavy duplication), plus
+//! the node-centric pass and the fused WEP/CEP pruners that run on it.
+
+use blast_bench::graph_engine::{baseline_collect_weighted_edges, baseline_wep_prune};
+use blast_blocking::filtering::BlockFiltering;
+use blast_blocking::purging::BlockPurging;
+use blast_blocking::token_blocking::TokenBlocking;
+use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::pruning::common::{collect_weighted_edges, node_pass};
+use blast_graph::weights::WeightingScheme;
+use blast_graph::GraphContext;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_graph_engine(c: &mut Criterion) {
+    // ×4: the default BLAST_SCALE=0.25 lands on the full cora preset.
+    let spec = dirty_preset(DirtyPreset::Cora).scaled(blast_bench::scale() * 4.0);
+    let (input, _) = generate_dirty(&spec);
+    let blocks = {
+        let b = TokenBlocking::new().build(&input);
+        BlockFiltering::new().filter(&BlockPurging::new().purge(&b))
+    };
+    let ctx = GraphContext::new(&blocks);
+
+    let mut g = c.benchmark_group("graph_engine");
+    g.sample_size(10);
+    g.bench_function("edges_hashmap_baseline", |b| {
+        b.iter(|| baseline_collect_weighted_edges(&ctx, &WeightingScheme::Arcs).len())
+    });
+    g.bench_function("edges_dense_scratch", |b| {
+        b.iter(|| collect_weighted_edges(&ctx, &WeightingScheme::Arcs).len())
+    });
+    // Single-threaded comparison isolates the accumulator swap from the
+    // work-stealing scheduling gain.
+    let ctx1 = GraphContext::new(&blocks).with_threads(1);
+    g.bench_function("edges_hashmap_baseline_1thread", |b| {
+        b.iter(|| baseline_collect_weighted_edges(&ctx1, &WeightingScheme::Arcs).len())
+    });
+    g.bench_function("edges_dense_scratch_1thread", |b| {
+        b.iter(|| collect_weighted_edges(&ctx1, &WeightingScheme::Arcs).len())
+    });
+    g.bench_function("node_pass_dense", |b| {
+        b.iter(|| node_pass(&ctx, &WeightingScheme::Cbs, |_, adj| adj.len()))
+    });
+    g.bench_function("wep_hashmap_baseline", |b| {
+        b.iter(|| baseline_wep_prune(&ctx, &WeightingScheme::Cbs).len())
+    });
+    g.bench_function("wep_fused", |b| {
+        b.iter(|| {
+            PruningAlgorithm::Wep
+                .prune(&ctx, &WeightingScheme::Cbs)
+                .len()
+        })
+    });
+    g.bench_function("cep_fused", |b| {
+        b.iter(|| {
+            PruningAlgorithm::Cep
+                .prune(&ctx, &WeightingScheme::Cbs)
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_engine);
+criterion_main!(benches);

@@ -16,17 +16,32 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let (ar1, _) = generate_clean_clean(&clean_clean_preset(CleanCleanPreset::Ar1).scaled(0.25));
     g.bench_function("blast/ar1_quarter", |b| {
-        b.iter(|| BlastPipeline::new(BlastConfig::default()).run(black_box(&ar1)).pairs.len())
+        b.iter(|| {
+            BlastPipeline::new(BlastConfig::default())
+                .run(black_box(&ar1))
+                .pairs
+                .len()
+        })
     });
 
     let (prd, _) = generate_clean_clean(&clean_clean_preset(CleanCleanPreset::Prd).scaled(0.25));
     g.bench_function("blast/prd_quarter", |b| {
-        b.iter(|| BlastPipeline::new(BlastConfig::default()).run(black_box(&prd)).pairs.len())
+        b.iter(|| {
+            BlastPipeline::new(BlastConfig::default())
+                .run(black_box(&prd))
+                .pairs
+                .len()
+        })
     });
 
     let (census, _) = generate_dirty(&dirty_preset(DirtyPreset::Census).scaled(0.25));
     g.bench_function("blast/census_quarter_dirty", |b| {
-        b.iter(|| BlastPipeline::new(BlastConfig::default()).run(black_box(&census)).pairs.len())
+        b.iter(|| {
+            BlastPipeline::new(BlastConfig::default())
+                .run(black_box(&census))
+                .pairs
+                .len()
+        })
     });
     g.finish();
 }

@@ -28,7 +28,13 @@ fn bench_weighting(c: &mut Criterion) {
     let mut g = c.benchmark_group("weighting_full_graph_pass");
     g.sample_size(10);
     let sum_weights = |weigher: &dyn EdgeWeigher| {
-        fold_edges(&ctx, weigher, || 0.0f64, |acc, _, _, w| *acc += w, |a, b| a + b)
+        fold_edges(
+            &ctx,
+            weigher,
+            || 0.0f64,
+            |acc, _, _, w| *acc += w,
+            |a, b| a + b,
+        )
     };
     for scheme in WeightingScheme::ALL {
         g.bench_function(scheme.name(), |b| b.iter(|| sum_weights(&scheme)));

@@ -16,17 +16,22 @@ fn main() {
     let scale = blast_bench::scale();
     let spec = clean_clean_preset(CleanCleanPreset::Ar1).scaled(scale * 0.5);
     let (input, gt) = generate_clean_clean(&spec);
-    println!("## Ablations (ar1 at scale {}, |D_E| = {})", scale * 0.5, gt.len());
+    println!(
+        "## Ablations (ar1 at scale {}, |D_E| = {})",
+        scale * 0.5,
+        gt.len()
+    );
 
     // --- c / d sweep -----------------------------------------------------
     println!("\n### Pruning constants (θᵢ = Mᵢ/c, θᵢⱼ = (θᵢ+θⱼ)/d)");
-    println!("{:>5} {:>5} {:>8} {:>8} {:>8} {:>9}", "c", "d", "PC(%)", "PQ(%)", "F1", "|B|");
+    println!(
+        "{:>5} {:>5} {:>8} {:>8} {:>8} {:>9}",
+        "c", "d", "PC(%)", "PQ(%)", "F1", "|B|"
+    );
     for c in [1.0, 1.5, 2.0, 3.0, 5.0] {
         for d in [1.0, 2.0, 4.0] {
-            let outcome = BlastPipeline::new(
-                BlastConfig::default().with_pruning_constants(c, d),
-            )
-            .run(&input);
+            let outcome =
+                BlastPipeline::new(BlastConfig::default().with_pruning_constants(c, d)).run(&input);
             let q = evaluate_pairs(outcome.pairs.pairs(), &gt);
             println!(
                 "{c:>5.1} {d:>5.1} {:>8.2} {:>8.2} {:>8.3} {:>9}",
@@ -62,13 +67,28 @@ fn main() {
     println!("\n### Block Purging policy (on the LMI blocks, before filtering)");
     let info = LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract(&input);
     let blocks = TokenBlocking::new().build_with(&input, &info.partitioning);
-    type Policy<'a> = (&'a str, Box<dyn Fn() -> blast_blocking::BlockCollection + 'a>);
+    type Policy<'a> = (
+        &'a str,
+        Box<dyn Fn() -> blast_blocking::BlockCollection + 'a>,
+    );
     let policies: [Policy<'_>; 3] = [
-        ("none", Box::new(|| blocks.with_blocks(blocks.blocks().to_vec()))),
-        ("half-collection (paper)", Box::new(|| BlockPurging::new().purge(&blocks))),
-        ("cardinality-adaptive [18]", Box::new(|| CardinalityPurging::new().purge(&blocks))),
+        (
+            "none",
+            Box::new(|| blocks.with_blocks(blocks.blocks().to_vec())),
+        ),
+        (
+            "half-collection (paper)",
+            Box::new(|| BlockPurging::new().purge(&blocks)),
+        ),
+        (
+            "cardinality-adaptive [18]",
+            Box::new(|| CardinalityPurging::new().purge(&blocks)),
+        ),
     ];
-    println!("{:<26} {:>8} {:>10} {:>10}", "policy", "PC(%)", "PQ(%)", "|B|");
+    println!(
+        "{:<26} {:>8} {:>10} {:>10}",
+        "policy", "PC(%)", "PQ(%)", "|B|"
+    );
     for (name, purge) in policies {
         let purged = BlockFiltering::new().filter(&purge());
         let q = evaluate_blocks(&purged, &gt);

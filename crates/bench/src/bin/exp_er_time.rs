@@ -17,7 +17,11 @@ fn main() {
         "{:<6} {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10} {:>8}",
         "", "cmp(blocks)", "time", "F1", "cmp(Blast)", "time", "F1", "speedup"
     );
-    for preset in [CleanCleanPreset::Ar1, CleanCleanPreset::Prd, CleanCleanPreset::Mov] {
+    for preset in [
+        CleanCleanPreset::Ar1,
+        CleanCleanPreset::Prd,
+        CleanCleanPreset::Mov,
+    ] {
         let spec = clean_clean_preset(preset).scaled(scale * 0.5);
         let (input, gt) = generate_clean_clean(&spec);
         let pipeline = BlastPipeline::new(BlastConfig::default());

@@ -1,0 +1,157 @@
+//! Graph-engine throughput benchmark: seeds the repo's perf trajectory.
+//!
+//! Measures, on a Zipf-skewed dirty collection (cora-style heavy
+//! duplication):
+//!
+//! * the dense scratch-array engine vs the pre-engine hashmap baseline
+//!   (edge materialisation throughput, multi- and single-threaded), and
+//! * edges/second for every weighting scheme × pruning algorithm through
+//!   the fused passes.
+//!
+//! Writes `BENCH_graph.json` to the working directory (machine-readable,
+//! compared across PRs) and prints a human summary. `BLAST_SCALE` scales
+//! the collection like the other `exp_*` runners.
+
+use blast_bench::graph_engine::{
+    baseline_collect_weighted_edges, baseline_wep_prune, best_time, edges_per_sec,
+};
+use blast_blocking::filtering::BlockFiltering;
+use blast_blocking::purging::BlockPurging;
+use blast_blocking::token_blocking::TokenBlocking;
+use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::pruning::common::collect_weighted_edges;
+use blast_graph::weights::{EdgeWeigher, WeightingScheme};
+use blast_graph::GraphContext;
+use std::fmt::Write as _;
+
+const RUNS: usize = 5;
+
+fn main() {
+    let scale = blast_bench::scale();
+    // ×4 so the default BLAST_SCALE=0.25 lands on the full cora preset —
+    // the engine comparison needs a graph big enough to leave the caches.
+    let spec = dirty_preset(DirtyPreset::Cora).scaled(scale * 4.0);
+    let (input, _) = generate_dirty(&spec);
+    let blocks = {
+        let b = TokenBlocking::new().build(&input);
+        BlockFiltering::new().filter(&BlockPurging::new().purge(&b))
+    };
+    let mut ctx = GraphContext::new(&blocks);
+    ctx.ensure_degrees();
+    let edges = ctx.total_edges();
+    let threads = ctx.threads();
+
+    println!("## Graph-engine throughput (Zipf-skewed `cora` preset, scale {scale})");
+    println!(
+        "profiles = {}, blocks = {}, edges = {edges}, threads = {threads}",
+        ctx.total_profiles(),
+        ctx.total_blocks()
+    );
+
+    // Headline: a full WEP pruning call, old engine (fold + collect, two
+    // hashmap traversals) vs the fused single-traversal dense engine.
+    let t_wep_base = best_time(RUNS, || {
+        baseline_wep_prune(&ctx, &WeightingScheme::Arcs).len()
+    });
+    let t_wep_fused = best_time(RUNS, || {
+        PruningAlgorithm::Wep
+            .prune(&ctx, &WeightingScheme::Arcs)
+            .len()
+    });
+    let wep_base_eps = edges_per_sec(edges, t_wep_base);
+    let wep_fused_eps = edges_per_sec(edges, t_wep_fused);
+    let speedup = wep_fused_eps / wep_base_eps;
+
+    // Secondary: raw edge materialisation (one traversal each), isolating
+    // the accumulator swap from the pass fusion.
+    let t_base = best_time(RUNS, || {
+        baseline_collect_weighted_edges(&ctx, &WeightingScheme::Arcs)
+    });
+    let t_dense = best_time(RUNS, || {
+        collect_weighted_edges(&ctx, &WeightingScheme::Arcs)
+    });
+    let eps_base = edges_per_sec(edges, t_base);
+    let eps_dense = edges_per_sec(edges, t_dense);
+    let mat_speedup = eps_dense / eps_base;
+
+    println!();
+    println!("engine comparison (ARCS weighting, best of {RUNS}, {threads} thread(s)):");
+    println!(
+        "  WEP pruning call, hashmap baseline   {:>12.0} edges/s",
+        wep_base_eps
+    );
+    println!(
+        "  WEP pruning call, fused dense engine {:>12.0} edges/s  → {speedup:.2}×",
+        wep_fused_eps
+    );
+    println!(
+        "  edge materialisation, hashmap        {:>12.0} edges/s",
+        eps_base
+    );
+    println!(
+        "  edge materialisation, dense scratch  {:>12.0} edges/s  → {mat_speedup:.2}×",
+        eps_dense
+    );
+
+    // Scheme × pruning matrix through the fused engine passes.
+    println!();
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}   (edges/s)",
+        "", "wep", "cep", "wnp1", "wnp2", "cnp1", "cnp2"
+    );
+    let mut matrix = Vec::new();
+    for scheme in WeightingScheme::ALL {
+        let mut ctx = GraphContext::new(&blocks);
+        if scheme.requires_degrees() {
+            ctx.ensure_degrees();
+        }
+        let mut row_cells = String::new();
+        for algorithm in PruningAlgorithm::ALL {
+            let t = best_time(RUNS, || algorithm.prune(&ctx, &scheme).len());
+            let eps = edges_per_sec(edges, t);
+            write!(row_cells, " {:>10.0}", eps).unwrap();
+            matrix.push((scheme.name(), algorithm.label(), t.as_secs_f64() * 1e3, eps));
+        }
+        println!("{:<6}{row_cells}", scheme.name());
+    }
+
+    // BENCH_graph.json — hand-rolled (the workspace has no serde).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"preset\": \"cora\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"profiles\": {},", ctx.total_profiles());
+    let _ = writeln!(json, "  \"blocks\": {},", ctx.total_blocks());
+    let _ = writeln!(json, "  \"edges\": {edges},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"engine\": {{");
+    let _ = writeln!(
+        json,
+        "    \"wep_hashmap_edges_per_sec\": {wep_base_eps:.0},"
+    );
+    let _ = writeln!(json, "    \"wep_fused_edges_per_sec\": {wep_fused_eps:.0},");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "    \"materialise_hashmap_edges_per_sec\": {eps_base:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"materialise_dense_edges_per_sec\": {eps_dense:.0},"
+    );
+    let _ = writeln!(json, "    \"materialise_speedup\": {mat_speedup:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"pruning\": [");
+    for (i, (scheme, algorithm, millis, eps)) in matrix.iter().enumerate() {
+        let comma = if i + 1 == matrix.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"scheme\": \"{scheme}\", \"algorithm\": \"{algorithm}\", \"millis\": {millis:.3}, \"edges_per_sec\": {eps:.0}}}{comma}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_graph.json", &json).expect("write BENCH_graph.json");
+    println!();
+    println!("wrote BENCH_graph.json");
+}

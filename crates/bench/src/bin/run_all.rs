@@ -10,16 +10,43 @@ fn main() {
     let t0 = Instant::now();
     println!("# BLAST experiment suite (BLAST_SCALE = {scale})\n");
     let sections: Vec<Section> = vec![
-        ("Table 2", Box::new(move || blast_bench::experiments::table2(scale))),
-        ("Table 3", Box::new(move || blast_bench::experiments::table3(scale))),
-        ("Table 4", Box::new(move || blast_bench::experiments::table4(scale))),
-        ("Table 5", Box::new(move || blast_bench::experiments::table5(scale))),
-        ("Table 6", Box::new(move || blast_bench::experiments::table6(scale))),
-        ("Table 7", Box::new(move || blast_bench::experiments::table7(scale))),
+        (
+            "Table 2",
+            Box::new(move || blast_bench::experiments::table2(scale)),
+        ),
+        (
+            "Table 3",
+            Box::new(move || blast_bench::experiments::table3(scale)),
+        ),
+        (
+            "Table 4",
+            Box::new(move || blast_bench::experiments::table4(scale)),
+        ),
+        (
+            "Table 5",
+            Box::new(move || blast_bench::experiments::table5(scale)),
+        ),
+        (
+            "Table 6",
+            Box::new(move || blast_bench::experiments::table6(scale)),
+        ),
+        (
+            "Table 7",
+            Box::new(move || blast_bench::experiments::table7(scale)),
+        ),
         ("Figure 5", Box::new(blast_bench::experiments::fig5)),
-        ("Figure 8", Box::new(move || blast_bench::experiments::fig8(scale))),
-        ("Figure 9", Box::new(move || blast_bench::experiments::fig9(scale))),
-        ("Figure 10", Box::new(move || blast_bench::experiments::fig10(scale))),
+        (
+            "Figure 8",
+            Box::new(move || blast_bench::experiments::fig8(scale)),
+        ),
+        (
+            "Figure 9",
+            Box::new(move || blast_bench::experiments::fig9(scale)),
+        ),
+        (
+            "Figure 10",
+            Box::new(move || blast_bench::experiments::fig10(scale)),
+        ),
     ];
     for (name, f) in sections {
         let t = Instant::now();

@@ -1,8 +1,8 @@
 //! One function per table/figure of the paper's evaluation.
 
 use crate::methods::{
-    prepare, run_blast, run_blast_weighted_cnp, run_supervised, run_traditional_avg,
-    MethodResult, PreparedDataset,
+    prepare, run_blast, run_blast_weighted_cnp, run_supervised, run_traditional_avg, MethodResult,
+    PreparedDataset,
 };
 use blast_blocking::filtering::BlockFiltering;
 use blast_blocking::purging::BlockPurging;
@@ -77,7 +77,10 @@ pub fn table3(scale: f64) -> String {
         let info = LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract(&input);
         for (tag, blocks) in [
             ("T", TokenBlocking::new().build(&input)),
-            ("L", TokenBlocking::new().build_with(&input, &info.partitioning)),
+            (
+                "L",
+                TokenBlocking::new().build_with(&input, &info.partitioning),
+            ),
         ] {
             let q0 = evaluate_blocks(&blocks, &gt);
             let cleaned = BlockFiltering::new().filter(&BlockPurging::new().purge(&blocks));
@@ -100,7 +103,11 @@ pub fn table3(scale: f64) -> String {
 }
 
 /// The Table 4/5 row set for one prepared dataset.
-fn comparison_rows(prepared: &PreparedDataset, schema_config: LooseSchemaConfig, blast_label: &str) -> Vec<MethodResult> {
+fn comparison_rows(
+    prepared: &PreparedDataset,
+    schema_config: LooseSchemaConfig,
+    blast_label: &str,
+) -> Vec<MethodResult> {
     let mut rows = Vec::new();
     for (algorithm, label) in [
         (PruningAlgorithm::Wnp1, "wnp1"),
@@ -228,11 +235,16 @@ pub fn table6(scale: f64) -> String {
         "## Table 6 — LMI run time vs LSH threshold (dbp, scale {scale}, {} attributes)",
         profiles.len()
     );
-    let _ = writeln!(out, "{:>10} {:>12} {:>12} {:>10}", "threshold", "candidates", "time(s)", "clusters");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>12} {:>10}",
+        "threshold", "candidates", "time(s)", "clusters"
+    );
 
     // "—" column: exact all-pairs LMI.
     let t0 = Instant::now();
-    let info = LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract_from_profiles(&profiles);
+    let info =
+        LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract_from_profiles(&profiles);
     let _ = writeln!(
         out,
         "{:>10} {:>12} {:>12.3} {:>10}",
@@ -325,7 +337,10 @@ pub fn fig5() -> String {
 /// (traditional schemes × entropy) vs bch (full BLAST), on the L blocks.
 pub fn fig8(scale: f64) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Figure 8 — BLAST component ablation (scale {scale})");
+    let _ = writeln!(
+        out,
+        "## Figure 8 — BLAST component ablation (scale {scale})"
+    );
     let _ = writeln!(
         out,
         "{:>5} {:>6} | {:>8} {:>8} {:>8} {:>8}",
@@ -354,9 +369,8 @@ pub fn fig8(scale: f64) -> String {
         let mut wsh_pc = 0.0;
         let mut wsh_pq = 0.0;
         for scheme in WeightingScheme::ALL {
-            let mut ctx_ws = GraphContext::new(blocks).with_block_entropies(
-                prepared.schema.partitioning.block_entropies(blocks),
-            );
+            let mut ctx_ws = GraphContext::new(blocks)
+                .with_block_entropies(prepared.schema.partitioning.block_entropies(blocks));
             if scheme.requires_degrees() {
                 ctx_ws.ensure_degrees();
             }

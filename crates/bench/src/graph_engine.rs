@@ -1,0 +1,143 @@
+//! Hashmap-baseline traversal and measurement helpers for the graph-engine
+//! benchmarks (`benches/bench_graph_engine.rs` and the `exp_graph_bench`
+//! runner).
+//!
+//! The baseline reproduces the pre-engine code path exactly: per-node
+//! `FastMap<u32, EdgeAccum>` accumulation (via the reference
+//! [`GraphContext::accumulate_neighbors`]), a sort of the materialised
+//! adjacency, and contiguous one-chunk-per-thread scheduling
+//! ([`parallel_ranges`]). Comparing it against
+//! [`blast_graph::traversal::collect_weighted_edges`] isolates what the
+//! dense scratch-array engine and work-stealing scheduling buy.
+
+use blast_datamodel::hash::FastMap;
+use blast_datamodel::parallel::parallel_ranges;
+use blast_graph::context::EdgeAccum;
+use blast_graph::weights::EdgeWeigher;
+use blast_graph::GraphContext;
+use std::time::{Duration, Instant};
+
+/// The pre-engine edge materialisation: hashmap adjacency + sort per node,
+/// contiguous chunk scheduling. Output is identical to
+/// [`blast_graph::traversal::collect_weighted_edges`].
+pub fn baseline_collect_weighted_edges(
+    ctx: &GraphContext<'_>,
+    weigher: &dyn EdgeWeigher,
+) -> Vec<(u32, u32, f64)> {
+    let owners = ctx.edge_owner_range();
+    let n = (owners.end - owners.start) as usize;
+    let base = owners.start;
+    let clean = ctx.blocks().is_clean_clean();
+    let chunks = parallel_ranges(n, ctx.threads(), |range| {
+        let mut scratch: FastMap<u32, EdgeAccum> = FastMap::default();
+        let mut adj: Vec<(u32, EdgeAccum)> = Vec::new();
+        let mut out = Vec::new();
+        for off in range {
+            let u = base + off as u32;
+            ctx.accumulate_neighbors(u, &mut scratch);
+            adj.clear();
+            adj.extend(scratch.iter().map(|(&v, &acc)| (v, acc)));
+            adj.sort_unstable_by_key(|(v, _)| *v);
+            for &(v, acc) in adj.iter() {
+                if !clean && v <= u {
+                    continue;
+                }
+                out.push((u, v, weigher.weight(ctx, u, v, &acc)));
+            }
+        }
+        out
+    });
+    let mut out = Vec::new();
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// The pre-engine WEP pruning call: one full hashmap traversal to fold the
+/// global mean weight, then a second full hashmap traversal to collect the
+/// retained pairs — exactly the `fold_edges` + `collect_edges` structure the
+/// fused single-traversal [`blast_graph::pruning::Wep`] replaced.
+pub fn baseline_wep_prune(ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> Vec<(u32, u32)> {
+    // Pass 1: fold (count, sum) — materialises nothing, like the old
+    // `fold_edges`.
+    let owners = ctx.edge_owner_range();
+    let n = (owners.end - owners.start) as usize;
+    let base = owners.start;
+    let clean = ctx.blocks().is_clean_clean();
+    let folds = parallel_ranges(n, ctx.threads(), |range| {
+        let mut scratch: FastMap<u32, EdgeAccum> = FastMap::default();
+        let mut adj: Vec<(u32, EdgeAccum)> = Vec::new();
+        let (mut count, mut sum) = (0u64, 0.0f64);
+        for off in range {
+            let u = base + off as u32;
+            ctx.accumulate_neighbors(u, &mut scratch);
+            adj.clear();
+            adj.extend(scratch.iter().map(|(&v, &acc)| (v, acc)));
+            adj.sort_unstable_by_key(|(v, _)| *v);
+            for &(v, acc) in adj.iter() {
+                if !clean && v <= u {
+                    continue;
+                }
+                count += 1;
+                sum += weigher.weight(ctx, u, v, &acc);
+            }
+        }
+        (count, sum)
+    });
+    let (count, sum) = folds
+        .into_iter()
+        .fold((0u64, 0.0f64), |a, b| (a.0 + b.0, a.1 + b.1));
+    if count == 0 {
+        return Vec::new();
+    }
+    let theta = sum / count as f64;
+    // Pass 2: re-traverse, collecting the retained pairs.
+    baseline_collect_weighted_edges(ctx, weigher)
+        .into_iter()
+        .filter(|&(_, _, w)| w >= theta)
+        .map(|(u, v, _)| (u, v))
+        .collect()
+}
+
+/// Best-of-`runs` wall-clock time of `f`.
+pub fn best_time<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Edges per second for `edges` edges processed in `elapsed`.
+pub fn edges_per_sec(edges: u64, elapsed: Duration) -> f64 {
+    edges as f64 / elapsed.as_secs_f64().max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_blocking::filtering::BlockFiltering;
+    use blast_blocking::token_blocking::TokenBlocking;
+    use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
+    use blast_graph::pruning::common::collect_weighted_edges;
+    use blast_graph::weights::WeightingScheme;
+
+    #[test]
+    fn baseline_and_engine_agree() {
+        let spec = dirty_preset(DirtyPreset::Census).scaled(0.05);
+        let (input, _) = generate_dirty(&spec);
+        let blocks = BlockFiltering::new().filter(&TokenBlocking::new().build(&input));
+        let ctx = GraphContext::new(&blocks);
+        let baseline = baseline_collect_weighted_edges(&ctx, &WeightingScheme::Arcs);
+        let engine = collect_weighted_edges(&ctx, &WeightingScheme::Arcs);
+        assert_eq!(baseline.len(), engine.len());
+        for (b, e) in baseline.iter().zip(&engine) {
+            assert_eq!(b.0, e.0);
+            assert_eq!(b.1, e.1);
+            assert_eq!(b.2.to_bits(), e.2.to_bits(), "edge ({}, {})", b.0, b.1);
+        }
+    }
+}

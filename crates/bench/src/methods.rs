@@ -69,7 +69,11 @@ pub struct PreparedDataset {
 }
 
 /// Builds the T and L block collections the §4.1 workflow compares.
-pub fn prepare(input: ErInput, gt: GroundTruth, schema_config: LooseSchemaConfig) -> PreparedDataset {
+pub fn prepare(
+    input: ErInput,
+    gt: GroundTruth,
+    schema_config: LooseSchemaConfig,
+) -> PreparedDataset {
     use blast_blocking::filtering::BlockFiltering;
     use blast_blocking::purging::BlockPurging;
     use blast_blocking::token_blocking::TokenBlocking;
@@ -144,7 +148,10 @@ pub fn run_blast_weighted_cnp(
     algorithm: PruningAlgorithm,
 ) -> MethodResult {
     let t0 = Instant::now();
-    let entropies = prepared.schema.partitioning.block_entropies(&prepared.blocks_l);
+    let entropies = prepared
+        .schema
+        .partitioning
+        .block_entropies(&prepared.blocks_l);
     let ctx = GraphContext::new(&prepared.blocks_l).with_block_entropies(entropies);
     let retained = MetaBlocker::prune_context(&ctx, &ChiSquaredWeigher::new(), algorithm);
     let seconds = t0.elapsed().as_secs_f64() + prepared.l_seconds;
@@ -172,7 +179,11 @@ pub fn run_supervised(prepared: &PreparedDataset) -> MethodResult {
 }
 
 /// The full BLAST pipeline.
-pub fn run_blast(prepared: &PreparedDataset, schema_config: LooseSchemaConfig, label: &str) -> MethodResult {
+pub fn run_blast(
+    prepared: &PreparedDataset,
+    schema_config: LooseSchemaConfig,
+    label: &str,
+) -> MethodResult {
     let t0 = Instant::now();
     let outcome = BlastPipeline::new(BlastConfig {
         schema: schema_config,
@@ -200,7 +211,13 @@ mod tests {
         let (input, gt) = generate_clean_clean(&spec);
         let prepared = prepare(input, gt, LooseSchemaConfig::default());
 
-        let r1 = run_traditional_avg("wnp1 T", &prepared.blocks_t, PruningAlgorithm::Wnp1, &prepared.gt, 0.0);
+        let r1 = run_traditional_avg(
+            "wnp1 T",
+            &prepared.blocks_t,
+            PruningAlgorithm::Wnp1,
+            &prepared.gt,
+            0.0,
+        );
         assert!(r1.quality.pc > 0.5);
         let r2 = run_blast_weighted_cnp("cnp1 chi2h", &prepared, PruningAlgorithm::Cnp1);
         assert!(r2.quality.pc > 0.5);

@@ -32,7 +32,10 @@ impl Block {
         profiles: Vec<ProfileId>,
         separator: u32,
     ) -> Self {
-        debug_assert!(profiles.windows(2).all(|w| w[0] < w[1]), "profiles must be sorted+unique");
+        debug_assert!(
+            profiles.windows(2).all(|w| w[0] < w[1]),
+            "profiles must be sorted+unique"
+        );
         let split = profiles.partition_point(|p| p.0 < separator) as u32;
         Self {
             label: label.into(),

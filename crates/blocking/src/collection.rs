@@ -74,7 +74,10 @@ impl BlockCollection {
 
     /// Aggregate cardinality ‖B‖ = Σ ‖bᵢ‖ (§2).
     pub fn aggregate_cardinality(&self) -> u64 {
-        self.blocks.iter().map(|b| b.cardinality(self.clean_clean)).sum()
+        self.blocks
+            .iter()
+            .map(|b| b.cardinality(self.clean_clean))
+            .sum()
     }
 
     /// Comparison cardinality of one block under this collection's setting.

@@ -34,7 +34,10 @@ impl BlockPurging {
     /// Sets the maximum fraction of the collection's profiles a block may
     /// contain.
     pub fn max_profile_fraction(mut self, fraction: f64) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0,1]"
+        );
         self.max_profile_fraction = fraction;
         self
     }

@@ -113,10 +113,19 @@ mod tests {
 
     fn bibliographic() -> (EntityCollection, EntityCollection) {
         let mut d1 = EntityCollection::new(SourceId(0));
-        d1.push_pairs("a1", [("title", "entity resolution survey"), ("venue", "vldb")]);
+        d1.push_pairs(
+            "a1",
+            [("title", "entity resolution survey"), ("venue", "vldb")],
+        );
         let mut d2 = EntityCollection::new(SourceId(1));
-        d2.push_pairs("b1", [("paper", "entity resolution survey"), ("booktitle", "vldb")]);
-        d2.push_pairs("b2", [("paper", "survey of nothing"), ("booktitle", "icde")]);
+        d2.push_pairs(
+            "b1",
+            [("paper", "entity resolution survey"), ("booktitle", "vldb")],
+        );
+        d2.push_pairs(
+            "b2",
+            [("paper", "survey of nothing"), ("booktitle", "icde")],
+        );
         (d1, d2)
     }
 
@@ -124,8 +133,14 @@ mod tests {
     fn aligned_attributes_share_blocks() {
         let (d1, d2) = bibliographic();
         let mut alignment = SchemaAlignment::new();
-        alignment.align([(SourceId(0), "title"), (SourceId(1), "paper")], &[&d1, &d2]);
-        alignment.align([(SourceId(0), "venue"), (SourceId(1), "booktitle")], &[&d1, &d2]);
+        alignment.align(
+            [(SourceId(0), "title"), (SourceId(1), "paper")],
+            &[&d1, &d2],
+        );
+        alignment.align(
+            [(SourceId(0), "venue"), (SourceId(1), "booktitle")],
+            &[&d1, &d2],
+        );
         let input = ErInput::clean_clean(d1, d2);
         let blocks = StandardBlocking::new().build(&input, &alignment);
 
@@ -154,14 +169,20 @@ mod tests {
     fn unaligned_excluded_by_default_kept_on_request() {
         let (d1, d2) = bibliographic();
         let mut alignment = SchemaAlignment::new();
-        alignment.align([(SourceId(0), "title"), (SourceId(1), "paper")], &[&d1, &d2]);
+        alignment.align(
+            [(SourceId(0), "title"), (SourceId(1), "paper")],
+            &[&d1, &d2],
+        );
         let input = ErInput::clean_clean(d1.clone(), d2.clone());
         let blocks = StandardBlocking::new().build(&input, &alignment);
         // venue/booktitle tokens generate nothing.
         assert!(blocks.block_by_label("vldb#c0").is_none());
 
         let mut alignment = SchemaAlignment::new().keep_unaligned();
-        alignment.align([(SourceId(0), "title"), (SourceId(1), "paper")], &[&d1, &d2]);
+        alignment.align(
+            [(SourceId(0), "title"), (SourceId(1), "paper")],
+            &[&d1, &d2],
+        );
         let input = ErInput::clean_clean(d1, d2);
         let blocks = StandardBlocking::new().build(&input, &alignment);
         assert!(blocks.block_by_label("vldb#c0").is_some());

@@ -44,7 +44,11 @@ impl BlockStats {
             comparisons,
             assignments,
             max_block_size,
-            mean_block_size: if n == 0 { 0.0 } else { assignments as f64 / n as f64 },
+            mean_block_size: if n == 0 {
+                0.0
+            } else {
+                assignments as f64 / n as f64
+            },
             top_block_comparison_share: if comparisons == 0 {
                 0.0
             } else {

@@ -56,7 +56,11 @@ impl TokenBlocking {
     /// Blocking with keys disambiguated by `disambiguator` (loosely
     /// schema-aware blocking when the disambiguator is an attribute
     /// partitioning).
-    pub fn build_with(&self, input: &ErInput, disambiguator: &impl KeyDisambiguator) -> BlockCollection {
+    pub fn build_with(
+        &self,
+        input: &ErInput,
+        disambiguator: &impl KeyDisambiguator,
+    ) -> BlockCollection {
         let multi_cluster = disambiguator.cluster_count() > 1;
         let mut tokens = Interner::new();
         // (cluster, token) → sorted posting list of global profile ids.
@@ -82,7 +86,8 @@ impl TokenBlocking {
 
         // Deterministic block order: (cluster, token id). Token ids follow
         // first-appearance order, which is itself deterministic.
-        let mut entries: Vec<((ClusterId, Symbol), Vec<ProfileId>)> = postings.into_iter().collect();
+        let mut entries: Vec<((ClusterId, Symbol), Vec<ProfileId>)> =
+            postings.into_iter().collect();
         entries.sort_unstable_by_key(|((c, t), _)| (*c, *t));
 
         let clean_clean = input.is_clean_clean();
@@ -100,7 +105,12 @@ impl TokenBlocking {
             })
             .collect();
 
-        BlockCollection::new(blocks, clean_clean, separator, input.total_profiles() as u32)
+        BlockCollection::new(
+            blocks,
+            clean_clean,
+            separator,
+            input.total_profiles() as u32,
+        )
     }
 }
 
@@ -238,15 +248,28 @@ mod tests {
         // Figure 2: clustering the name attributes separates "Abram" as a
         // person name from "Abram" as a street name.
         let input = figure1_input();
-        let ErInput::Dirty(d) = &input else { unreachable!() };
-        let name_attrs: Vec<_> = ["Name", "FirstName", "SecondName", "name1", "name2", "full name"]
-            .iter()
-            .map(|n| (SourceId(0), d.attribute_id(n).unwrap()))
-            .collect();
+        let ErInput::Dirty(d) = &input else {
+            unreachable!()
+        };
+        let name_attrs: Vec<_> = [
+            "Name",
+            "FirstName",
+            "SecondName",
+            "name1",
+            "name2",
+            "full name",
+        ]
+        .iter()
+        .map(|n| (SourceId(0), d.attribute_id(n).unwrap()))
+        .collect();
         let blocks = TokenBlocking::new().build_with(&input, &TwoClusters { name_attrs });
 
-        let abram_name = blocks.block_by_label("abram#c1").expect("name-cluster abram block");
-        let abram_other = blocks.block_by_label("abram#c0").expect("glue-cluster abram block");
+        let abram_name = blocks
+            .block_by_label("abram#c1")
+            .expect("name-cluster abram block");
+        let abram_other = blocks
+            .block_by_label("abram#c0")
+            .expect("glue-cluster abram block");
         let name_ids: Vec<u32> = abram_name.profiles.iter().map(|p| p.0).collect();
         let other_ids: Vec<u32> = abram_other.profiles.iter().map(|p| p.0).collect();
         // p1 (Name) and p3 (name2) use Abram as a person name; p2 (mail) and
@@ -263,7 +286,11 @@ mod tests {
 
         fn arb_dirty_input() -> impl Strategy<Value = ErInput> {
             let word = prop_oneof![
-                Just("alpha"), Just("beta"), Just("gamma"), Just("delta"), Just("x1"),
+                Just("alpha"),
+                Just("beta"),
+                Just("gamma"),
+                Just("delta"),
+                Just("x1"),
             ];
             let value = proptest::collection::vec(word, 1..4).prop_map(|w| w.join(" "));
             let profile = proptest::collection::vec(value, 1..3);
@@ -272,9 +299,10 @@ mod tests {
                 for (i, values) in profiles.iter().enumerate() {
                     d.push_pairs(
                         &format!("p{i}"),
-                        values.iter().enumerate().map(|(j, v)| {
-                            (["a", "b", "c"][j % 3], v.as_str())
-                        }),
+                        values
+                            .iter()
+                            .enumerate()
+                            .map(|(j, v)| (["a", "b", "c"][j % 3], v.as_str())),
                     );
                 }
                 ErInput::dirty(d)
@@ -341,7 +369,11 @@ mod tests {
     fn excluded_attributes_produce_no_keys() {
         struct ExcludeAll;
         impl KeyDisambiguator for ExcludeAll {
-            fn cluster_of(&self, _: SourceId, _: blast_datamodel::entity::AttributeId) -> Option<ClusterId> {
+            fn cluster_of(
+                &self,
+                _: SourceId,
+                _: blast_datamodel::entity::AttributeId,
+            ) -> Option<ClusterId> {
                 None
             }
             fn cluster_count(&self) -> usize {

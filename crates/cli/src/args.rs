@@ -53,7 +53,10 @@ impl Args {
     pub fn get_f64(&self, key: &str) -> Result<Option<f64>, String> {
         self.values
             .get(key)
-            .map(|s| s.parse().map_err(|_| format!("--{key} expects a number, got {s:?}")))
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("--{key} expects a number, got {s:?}"))
+            })
             .transpose()
     }
 

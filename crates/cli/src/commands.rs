@@ -183,7 +183,11 @@ pub fn schema(args: &Args) -> Result<String, String> {
         let _ = writeln!(
             report,
             "{label} #{cid} (H̄ = {entropy:.2}): {}",
-            if names.is_empty() { "-".to_string() } else { names.join(", ") }
+            if names.is_empty() {
+                "-".to_string()
+            } else {
+                names.join(", ")
+            }
         );
     }
     Ok(report)
@@ -248,7 +252,9 @@ pub fn generate(args: &Args) -> Result<String, String> {
         (_, Some(&p)) => {
             let spec = dirty_preset(p).scaled(scale);
             let (input, gt) = generate_dirty(&spec);
-            let ErInput::Dirty(d) = &input else { unreachable!() };
+            let ErInput::Dirty(d) = &input else {
+                unreachable!()
+            };
             write_to("data.csv", &|out| write_collection(out, d))?;
             write_to("gt.csv", &|out| write_ground_truth(out, &gt, &input))?;
             Ok(format!(

@@ -28,6 +28,8 @@ pub mod weighting;
 pub use config::BlastConfig;
 pub use pipeline::{BlastOutcome, BlastPipeline};
 pub use pruning::BlastPruning;
-pub use schema::extraction::{InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor, LooseSchemaInfo};
+pub use schema::extraction::{
+    InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor, LooseSchemaInfo,
+};
 pub use schema::partitioning::AttributePartitioning;
 pub use weighting::{ChiSquaredWeigher, WsEntropyWeigher};

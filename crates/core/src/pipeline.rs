@@ -130,10 +130,26 @@ mod tests {
     /// profiles for the statistics to be meaningful.
     fn scenario() -> (ErInput, GroundTruth) {
         let names = [
-            "john abram", "ellen smith", "mary jones", "bob dylan", "susan boyle",
-            "carl sagan", "ada lovelace", "alan turing", "grace hopper", "tim lee",
-            "rosa parks", "amelia earhart", "nikola tesla", "marie curie", "isaac newton",
-            "charles darwin", "jane austen", "mark twain", "emily bronte", "oscar wilde",
+            "john abram",
+            "ellen smith",
+            "mary jones",
+            "bob dylan",
+            "susan boyle",
+            "carl sagan",
+            "ada lovelace",
+            "alan turing",
+            "grace hopper",
+            "tim lee",
+            "rosa parks",
+            "amelia earhart",
+            "nikola tesla",
+            "marie curie",
+            "isaac newton",
+            "charles darwin",
+            "jane austen",
+            "mark twain",
+            "emily bronte",
+            "oscar wilde",
         ];
         let cities = ["rome", "paris", "london", "berlin", "madrid"];
         let mut d1 = EntityCollection::new(SourceId(0));
@@ -195,7 +211,9 @@ mod tests {
     fn dirty_pipeline_runs() {
         // Fold both sources into one dirty collection.
         let (input, gt) = scenario();
-        let ErInput::CleanClean { d1, d2 } = input else { unreachable!() };
+        let ErInput::CleanClean { d1, d2 } = input else {
+            unreachable!()
+        };
         let mut d = EntityCollection::new(SourceId(0));
         for p in d1.profiles() {
             let pairs: Vec<(&str, &str)> = p
@@ -221,7 +239,9 @@ mod tests {
     #[test]
     fn disabling_cleaning_keeps_more_blocks() {
         let (input, _) = scenario();
-        let with = BlastPipeline::new(BlastConfig::default()).build_blocks(&input).0;
+        let with = BlastPipeline::new(BlastConfig::default())
+            .build_blocks(&input)
+            .0;
         let without = BlastPipeline::new(BlastConfig::default().without_block_cleaning())
             .build_blocks(&input)
             .0;

@@ -43,7 +43,10 @@ impl BlastPruning {
     pub fn thresholds(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> Vec<f64> {
         let c = self.c;
         node_pass(ctx, weigher, move |_, adj| {
-            let max = adj.iter().map(|(_, w)| *w).fold(f64::NEG_INFINITY, f64::max);
+            let max = adj
+                .iter()
+                .map(|(_, w)| *w)
+                .fold(f64::NEG_INFINITY, f64::max);
             if max.is_finite() {
                 max / c
             } else {
@@ -72,7 +75,11 @@ impl BlastPruning {
         &self,
         ctx: &GraphContext<'_>,
         weigher: &dyn EdgeWeigher,
-    ) -> Vec<(blast_datamodel::entity::ProfileId, blast_datamodel::entity::ProfileId, f64)> {
+    ) -> Vec<(
+        blast_datamodel::entity::ProfileId,
+        blast_datamodel::entity::ProfileId,
+        f64,
+    )> {
         let thresholds = self.thresholds(ctx, weigher);
         let d = self.d;
         let mut scored = collect_edges(ctx, weigher, |u, v, w| {
@@ -208,7 +215,13 @@ mod tests {
         let ctx = GraphContext::new(&blocks);
         struct ZeroWeigher;
         impl EdgeWeigher for ZeroWeigher {
-            fn weight(&self, _: &GraphContext<'_>, _: u32, _: u32, _: &blast_graph::context::EdgeAccum) -> f64 {
+            fn weight(
+                &self,
+                _: &GraphContext<'_>,
+                _: u32,
+                _: u32,
+                _: &blast_graph::context::EdgeAccum,
+            ) -> f64 {
                 0.0
             }
         }
@@ -264,7 +277,13 @@ mod tests {
         let retained = BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::without_entropy());
         assert!(retained.contains(ProfileId(0), ProfileId(2)), "p1–p3 kept");
         assert!(retained.contains(ProfileId(1), ProfileId(3)), "p2–p4 kept");
-        assert!(!retained.contains(ProfileId(0), ProfileId(1)), "p1–p2 pruned");
-        assert!(!retained.contains(ProfileId(2), ProfileId(3)), "p3–p4 pruned");
+        assert!(
+            !retained.contains(ProfileId(0), ProfileId(1)),
+            "p1–p2 pruned"
+        );
+        assert!(
+            !retained.contains(ProfileId(2), ProfileId(3)),
+            "p3–p4 pruned"
+        );
     }
 }

@@ -25,7 +25,11 @@ impl AttributeClustering {
 
     /// Clusters the attribute columns reachable through `candidates`.
     /// Returns clusters of column indices (each with ≥ 2 members), sorted.
-    pub fn cluster(&self, profiles: &AttributeProfiles, candidates: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    pub fn cluster(
+        &self,
+        profiles: &AttributeProfiles,
+        candidates: &[(u32, u32)],
+    ) -> Vec<Vec<u32>> {
         let n = profiles.len();
         if n == 0 || candidates.is_empty() {
             return Vec::new();
@@ -82,7 +86,10 @@ mod tests {
     fn links_best_matches() {
         let profiles = profiles_from(
             &[("title", "entity resolution blocking"), ("year", "2016")],
-            &[("paper", "entity resolution blocking meta"), ("date", "2016")],
+            &[
+                ("paper", "entity resolution blocking meta"),
+                ("date", "2016"),
+            ],
         );
         let candidates = CandidateSource::AllPairs.pairs(&profiles);
         let clusters = AttributeClustering::new().cluster(&profiles, &candidates);
@@ -97,7 +104,9 @@ mod tests {
     fn zero_similarity_stays_singleton() {
         let profiles = profiles_from(&[("a", "x y z")], &[("b", "p q r")]);
         let candidates = CandidateSource::AllPairs.pairs(&profiles);
-        assert!(AttributeClustering::new().cluster(&profiles, &candidates).is_empty());
+        assert!(AttributeClustering::new()
+            .cluster(&profiles, &candidates)
+            .is_empty());
     }
 
     /// §4.3: AC chains through best-match links where LMI stays cohesive —

@@ -170,7 +170,10 @@ mod tests {
         let year_col = &profiles.columns()[1];
         assert!((name_col.entropy - 1.5).abs() < 1e-12);
         assert_eq!(year_col.entropy, 0.0);
-        assert!(name_col.entropy > year_col.entropy, "names more informative than years");
+        assert!(
+            name_col.entropy > year_col.entropy,
+            "names more informative than years"
+        );
     }
 
     #[test]

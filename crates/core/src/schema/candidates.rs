@@ -113,9 +113,15 @@ mod tests {
 
     fn bipartite_profiles() -> AttributeProfiles {
         let mut d1 = EntityCollection::new(SourceId(0));
-        d1.push_pairs("a", [("name", "alpha beta gamma delta"), ("year", "1999 2000")]);
+        d1.push_pairs(
+            "a",
+            [("name", "alpha beta gamma delta"), ("year", "1999 2000")],
+        );
         let mut d2 = EntityCollection::new(SourceId(1));
-        d2.push_pairs("b", [("label", "alpha beta gamma delta"), ("price", "42 43")]);
+        d2.push_pairs(
+            "b",
+            [("label", "alpha beta gamma delta"), ("price", "42 43")],
+        );
         AttributeProfiles::build(&ErInput::clean_clean(d1, d2), &Tokenizer::new())
     }
 
@@ -154,7 +160,10 @@ mod tests {
             }),
             "the identical pair must be a candidate: {pairs:?}"
         );
-        assert!(pairs.len() <= 2, "dissimilar pairs should be filtered: {pairs:?}");
+        assert!(
+            pairs.len() <= 2,
+            "dissimilar pairs should be filtered: {pairs:?}"
+        );
     }
 
     #[test]

@@ -98,7 +98,8 @@ impl LooseSchemaExtractor {
                 AttributeClustering::new().cluster(profiles, &candidates)
             }
         };
-        let partitioning = AttributePartitioning::from_clusters(profiles, &clusters, self.config.glue);
+        let partitioning =
+            AttributePartitioning::from_clusters(profiles, &clusters, self.config.glue);
         LooseSchemaInfo {
             partitioning,
             columns: profiles.len(),
@@ -121,7 +122,10 @@ mod tests {
             d1.push_pairs(
                 &format!("a{i}"),
                 [
-                    ("title", &*format!("entity resolution study number {i} alpha beta")),
+                    (
+                        "title",
+                        &*format!("entity resolution study number {i} alpha beta"),
+                    ),
                     ("venue", &*format!("conf{}", i % 3)),
                     ("year", &*format!("{}", 1990 + i % 10)),
                 ],
@@ -129,7 +133,10 @@ mod tests {
             d2.push_pairs(
                 &format!("b{i}"),
                 [
-                    ("paper", &*format!("entity resolution study number {i} alpha beta")),
+                    (
+                        "paper",
+                        &*format!("entity resolution study number {i} alpha beta"),
+                    ),
                     ("booktitle", &*format!("conf{}", i % 3)),
                     ("date", &*format!("{}", 1990 + i % 10)),
                 ],
@@ -140,7 +147,8 @@ mod tests {
 
     #[test]
     fn lmi_extraction_finds_the_three_correspondences() {
-        let info = LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract(&bibliographic());
+        let info =
+            LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract(&bibliographic());
         assert_eq!(info.columns, 6);
         assert_eq!(info.candidate_pairs, 9);
         assert_eq!(info.clusters, 3, "title↔paper, venue↔booktitle, year↔date");
@@ -179,14 +187,24 @@ mod tests {
         for i in 0..20 {
             d.push_pairs(
                 &format!("p{i}"),
-                [("name", &*format!("person {i} common tokens here")), ("age", &*format!("{}", 20 + i))],
+                [
+                    ("name", &*format!("person {i} common tokens here")),
+                    ("age", &*format!("{}", 20 + i)),
+                ],
             );
             d.push_pairs(
                 &format!("q{i}"),
-                [("label", &*format!("person {i} common tokens here")), ("years", &*format!("{}", 20 + i))],
+                [
+                    ("label", &*format!("person {i} common tokens here")),
+                    ("years", &*format!("{}", 20 + i)),
+                ],
             );
         }
-        let info = LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract(&ErInput::dirty(d));
-        assert!(info.clusters >= 1, "name↔label must cluster in dirty mode too");
+        let info =
+            LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract(&ErInput::dirty(d));
+        assert!(
+            info.clusters >= 1,
+            "name↔label must cluster in dirty mode too"
+        );
     }
 }

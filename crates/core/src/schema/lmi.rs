@@ -40,7 +40,11 @@ impl Lmi {
 
     /// Clusters the attribute columns reachable through `candidates`.
     /// Returns clusters of column indices (each with ≥ 2 members), sorted.
-    pub fn cluster(&self, profiles: &AttributeProfiles, candidates: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    pub fn cluster(
+        &self,
+        profiles: &AttributeProfiles,
+        candidates: &[(u32, u32)],
+    ) -> Vec<Vec<u32>> {
         let n = profiles.len();
         if n == 0 || candidates.is_empty() {
             return Vec::new();
@@ -107,9 +111,18 @@ mod tests {
         let mut d1 = EntityCollection::new(SourceId(0));
         d1.push_pairs(
             "a1",
-            [("name", "john abram ellen smith mary jones"), ("addr", "main st 30 ny")],
+            [
+                ("name", "john abram ellen smith mary jones"),
+                ("addr", "main st 30 ny"),
+            ],
         );
-        d1.push_pairs("a2", [("name", "bob dylan susan boyle"), ("addr", "elm street 12 la")]);
+        d1.push_pairs(
+            "a2",
+            [
+                ("name", "bob dylan susan boyle"),
+                ("addr", "elm street 12 la"),
+            ],
+        );
         let mut d2 = EntityCollection::new(SourceId(1));
         d2.push_pairs(
             "b1",
@@ -120,7 +133,10 @@ mod tests {
         );
         d2.push_pairs(
             "b2",
-            [("full name", "dylan susan boyle"), ("occupation", "car seller")],
+            [
+                ("full name", "dylan susan boyle"),
+                ("occupation", "car seller"),
+            ],
         );
         AttributeProfiles::build(&ErInput::clean_clean(d1, d2), &Tokenizer::new())
     }
@@ -130,7 +146,11 @@ mod tests {
         let profiles = people();
         let candidates = CandidateSource::AllPairs.pairs(&profiles);
         let clusters = Lmi::new().cluster(&profiles, &candidates);
-        assert_eq!(clusters.len(), 1, "only name↔full name are similar: {clusters:?}");
+        assert_eq!(
+            clusters.len(),
+            1,
+            "only name↔full name are similar: {clusters:?}"
+        );
         let cluster = &clusters[0];
         let members: Vec<(&str, u8)> = cluster
             .iter()
@@ -178,7 +198,13 @@ mod tests {
     fn mutuality_prevents_weak_chaining() {
         let mut d1 = EntityCollection::new(SourceId(0));
         // a: strongly similar to hub; b: weakly similar to hub.
-        d1.push_pairs("x", [("a", "t1 t2 t3 t4 t5 t6 t7 t8"), ("b", "t1 u2 u3 u4 u5 u6 u7 u8")]);
+        d1.push_pairs(
+            "x",
+            [
+                ("a", "t1 t2 t3 t4 t5 t6 t7 t8"),
+                ("b", "t1 u2 u3 u4 u5 u6 u7 u8"),
+            ],
+        );
         let mut d2 = EntityCollection::new(SourceId(1));
         d2.push_pairs("y", [("hub", "t1 t2 t3 t4 t5 t6 t7 t8")]);
         let profiles = AttributeProfiles::build(&ErInput::clean_clean(d1, d2), &Tokenizer::new());

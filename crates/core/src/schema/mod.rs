@@ -20,6 +20,8 @@ pub mod union_find;
 pub use ac::AttributeClustering;
 pub use attribute_profile::{AttributeColumn, AttributeProfiles};
 pub use candidates::CandidateSource;
-pub use extraction::{InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor, LooseSchemaInfo};
+pub use extraction::{
+    InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor, LooseSchemaInfo,
+};
 pub use lmi::Lmi;
 pub use partitioning::AttributePartitioning;

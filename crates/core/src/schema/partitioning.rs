@@ -136,9 +136,15 @@ mod tests {
 
     fn profiles() -> (AttributeProfiles, ErInput) {
         let mut d1 = EntityCollection::new(SourceId(0));
-        d1.push_pairs("a", [("name", "john ellen mary susan"), ("year", "1985 1985")]);
+        d1.push_pairs(
+            "a",
+            [("name", "john ellen mary susan"), ("year", "1985 1985")],
+        );
         let mut d2 = EntityCollection::new(SourceId(1));
-        d2.push_pairs("b", [("full name", "john ellen mary bob"), ("date", "1985")]);
+        d2.push_pairs(
+            "b",
+            [("full name", "john ellen mary bob"), ("date", "1985")],
+        );
         let input = ErInput::clean_clean(d1, d2);
         let p = AttributeProfiles::build(&input, &Tokenizer::new());
         (p, input)
@@ -162,7 +168,9 @@ mod tests {
     fn disambiguates_clustered_and_glue_attributes() {
         let (profiles, input) = profiles();
         let part = AttributePartitioning::from_clusters(&profiles, &[vec![0, 2]], true);
-        let ErInput::CleanClean { d1, d2 } = &input else { unreachable!() };
+        let ErInput::CleanClean { d1, d2 } = &input else {
+            unreachable!()
+        };
         let name = d1.attribute_id("name").unwrap();
         let year = d1.attribute_id("year").unwrap();
         let full = d2.attribute_id("full name").unwrap();
@@ -175,7 +183,9 @@ mod tests {
     fn glue_disabled_excludes_unclustered() {
         let (profiles, input) = profiles();
         let part = AttributePartitioning::from_clusters(&profiles, &[vec![0, 2]], false);
-        let ErInput::CleanClean { d1, .. } = &input else { unreachable!() };
+        let ErInput::CleanClean { d1, .. } = &input else {
+            unreachable!()
+        };
         let year = d1.attribute_id("year").unwrap();
         assert_eq!(part.cluster_of(SourceId(0), year), None);
         assert!(!part.glue_enabled());
@@ -186,7 +196,9 @@ mod tests {
         let (profiles, input) = profiles();
         let part = AttributePartitioning::trivial(&profiles);
         assert_eq!(part.cluster_count(), 1);
-        let ErInput::CleanClean { d1, .. } = &input else { unreachable!() };
+        let ErInput::CleanClean { d1, .. } = &input else {
+            unreachable!()
+        };
         let name = d1.attribute_id("name").unwrap();
         assert_eq!(part.cluster_of(SourceId(0), name), Some(ClusterId::GLUE));
         // Glue entropy = mean of all four attribute entropies = (2+0+2+0)/4.
@@ -206,7 +218,9 @@ mod tests {
         }
         // The shared "1985" token in the glue cluster must carry entropy 0;
         // name tokens carry 2 bits.
-        let name_block = blocks.block_by_label("john#c1").expect("name cluster block");
+        let name_block = blocks
+            .block_by_label("john#c1")
+            .expect("name cluster block");
         assert!((part.entropy_of(name_block.cluster) - 2.0).abs() < 1e-9);
     }
 }

@@ -48,7 +48,6 @@ pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    
 
     #[test]
     fn basic_cases() {

@@ -53,10 +53,7 @@ impl UnionFind {
             let root = self.find(x);
             groups[root as usize].push(x);
         }
-        let mut out: Vec<Vec<u32>> = groups
-            .into_iter()
-            .filter(|g| g.len() >= min_size)
-            .collect();
+        let mut out: Vec<Vec<u32>> = groups.into_iter().filter(|g| g.len() >= min_size).collect();
         out.sort_unstable_by_key(|g| g[0]);
         out
     }

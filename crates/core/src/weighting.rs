@@ -25,9 +25,9 @@ pub fn chi_squared(common: f64, bu: f64, bv: f64, n: f64) -> f64 {
         return 0.0;
     }
     let observed = [
-        common,             // n11
-        bu - common,        // n12
-        bv - common,        // n21
+        common,               // n11
+        bu - common,          // n12
+        bv - common,          // n21
         n - bu - bv + common, // n22
     ];
     let rows = [bu, n - bu];
@@ -295,7 +295,10 @@ mod tests {
         );
         let ctx = GraphContext::new(&blocks);
         let acc = ctx.edge(0, 1).unwrap();
-        assert_eq!(ChiSquaredWeigher::without_entropy().weight(&ctx, 0, 1, &acc), 0.0);
+        assert_eq!(
+            ChiSquaredWeigher::without_entropy().weight(&ctx, 0, 1, &acc),
+            0.0
+        );
         // The raw statistic itself is positive — the guard is the weigher's.
         assert!(chi_squared(1.0, 3.0, 3.0, 4.0) > 0.0);
     }

@@ -67,7 +67,9 @@ pub fn generate_clean_clean(spec: &CleanCleanSpec) -> (ErInput, GroundTruth) {
     let mut d1 = EntityCollection::new(SourceId(0));
     for (e, entity) in canonical.iter().enumerate().take(spec.shared + spec.only1) {
         let mut rng = StdRng::seed_from_u64(fx_hash_one(&(spec.seed, "s1", e)));
-        let p = spec.source1.render(&format!("d1-{e}"), entity, &mut d1, &mut rng);
+        let p = spec
+            .source1
+            .render(&format!("d1-{e}"), entity, &mut d1, &mut rng);
         d1.push(p);
     }
 
@@ -77,7 +79,9 @@ pub fn generate_clean_clean(spec: &CleanCleanSpec) -> (ErInput, GroundTruth) {
     let d2_entities = (0..spec.shared).chain(spec.shared + spec.only1..total_entities);
     for (d2_pos, e) in d2_entities.enumerate() {
         let mut rng = StdRng::seed_from_u64(fx_hash_one(&(spec.seed, "s2", e)));
-        let p = spec.source2.render(&format!("d2-{e}"), &canonical[e], &mut d2, &mut rng);
+        let p = spec
+            .source2
+            .render(&format!("d2-{e}"), &canonical[e], &mut d2, &mut rng);
         d2.push(p);
         if e < spec.shared {
             gt.insert(ProfileId(e as u32), ProfileId(d1_len + d2_pos as u32));
@@ -125,7 +129,9 @@ mod tests {
     #[test]
     fn sizes_match_spec() {
         let (input, gt) = generate_clean_clean(&small_spec());
-        let ErInput::CleanClean { d1, d2 } = &input else { unreachable!() };
+        let ErInput::CleanClean { d1, d2 } = &input else {
+            unreachable!()
+        };
         assert_eq!(d1.len(), 60);
         assert_eq!(d2.len(), 55);
         assert_eq!(gt.len(), 50);
@@ -178,8 +184,12 @@ mod tests {
     fn deterministic() {
         let (a, _) = generate_clean_clean(&small_spec());
         let (b, _) = generate_clean_clean(&small_spec());
-        let ErInput::CleanClean { d1: a1, .. } = &a else { unreachable!() };
-        let ErInput::CleanClean { d1: b1, .. } = &b else { unreachable!() };
+        let ErInput::CleanClean { d1: a1, .. } = &a else {
+            unreachable!()
+        };
+        let ErInput::CleanClean { d1: b1, .. } = &b else {
+            unreachable!()
+        };
         assert_eq!(a1.profiles()[0], b1.profiles()[0]);
         assert_eq!(a1.nvp(), b1.nvp());
     }

@@ -47,7 +47,10 @@ impl DirtySpec {
 /// Generates the dirty collection and its ground truth (all within-cluster
 /// pairs). Profile order is shuffled so duplicates are not adjacent.
 pub fn generate_dirty(spec: &DirtySpec) -> (ErInput, GroundTruth) {
-    assert!(spec.profiles >= spec.entities, "need at least one profile per entity");
+    assert!(
+        spec.profiles >= spec.entities,
+        "need at least one profile per entity"
+    );
     let vocab = Vocabularies::new(spec.seed);
     let zipf = Zipf::new(vocab.words.len(), 1.05);
 
@@ -75,9 +78,12 @@ pub fn generate_dirty(spec: &DirtySpec) -> (ErInput, GroundTruth) {
     let mut members: Vec<Vec<ProfileId>> = vec![Vec::new(); spec.entities];
     for (i, &owner) in owners.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(fx_hash_one(&(spec.seed, "profile", i)));
-        let p = spec
-            .source
-            .render(&format!("p{i}"), &canonical[owner as usize], &mut d, &mut rng);
+        let p = spec.source.render(
+            &format!("p{i}"),
+            &canonical[owner as usize],
+            &mut d,
+            &mut rng,
+        );
         d.push(p);
         members[owner as usize].push(ProfileId(i as u32));
     }

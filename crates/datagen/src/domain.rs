@@ -51,8 +51,18 @@ impl Domain {
             Domain::Encyclopedia => &["label", "abstract", "facts"],
             Domain::Person => &["first", "last", "street", "city", "zip"],
             Domain::Reference => &[
-                "author1", "author2", "title", "venue", "volume", "pages", "year", "publisher",
-                "address", "editor", "month", "note",
+                "author1",
+                "author2",
+                "title",
+                "venue",
+                "volume",
+                "pages",
+                "year",
+                "publisher",
+                "address",
+                "editor",
+                "month",
+                "note",
             ],
             Domain::Music => &["artist", "title", "genre", "year", "tracks"],
         }
@@ -95,7 +105,11 @@ impl Domain {
                         title(6, 16, vocab, zipf, rng)
                     )],
                     vec![brand],
-                    vec![format!("{}.{:02}", rng.random_range(5..900), rng.random_range(0..100))],
+                    vec![format!(
+                        "{}.{:02}",
+                        rng.random_range(5..900),
+                        rng.random_range(0..100)
+                    )],
                 ]
             }
             Domain::Movie => vec![
@@ -156,11 +170,11 @@ impl Domain {
                 vec![vocab.brands[rng.random_range(0..vocab.brands.len())].clone()],
                 vec![vocab.cities[rng.random_range(0..vocab.cities.len())].clone()],
                 vec![vocab.person_name(rng)],
-                vec![
-                    ["jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"]
-                        [rng.random_range(0..12)]
-                    .to_string(),
-                ],
+                vec![[
+                    "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov",
+                    "dec",
+                ][rng.random_range(0..12)]
+                .to_string()],
                 vec![words(2, 5, vocab, zipf, rng)],
             ],
             Domain::Music => {
@@ -221,7 +235,11 @@ fn model_code(rng: &mut StdRng) -> String {
     let letters: String = (0..2)
         .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
         .collect();
-    format!("{letters}{}{}", rng.random_range(100..9999), (b'a' + rng.random_range(0..26u8)) as char)
+    format!(
+        "{letters}{}{}",
+        rng.random_range(100..9999),
+        (b'a' + rng.random_range(0..26u8)) as char
+    )
 }
 
 #[cfg(test)]
@@ -251,7 +269,10 @@ mod tests {
             assert_eq!(e.fields.len(), domain.field_names().len(), "{domain:?}");
             for (f, name) in e.fields.iter().zip(domain.field_names()) {
                 assert!(!f.is_empty(), "{domain:?}.{name} empty");
-                assert!(f.iter().all(|v| !v.is_empty()), "{domain:?}.{name} blank value");
+                assert!(
+                    f.iter().all(|v| !v.is_empty()),
+                    "{domain:?}.{name} blank value"
+                );
             }
         }
     }
@@ -280,14 +301,20 @@ mod tests {
             assert!(e.fields[4].len() >= 3);
             assert!(e.fields[4].len() <= 100);
         }
-        assert!(max > 30, "the skew should occasionally produce big albums, max {max}");
+        assert!(
+            max > 30,
+            "the skew should occasionally produce big albums, max {max}"
+        );
     }
 
     #[test]
     fn encyclopedia_facts_are_kind_tagged() {
         let e = generate(Domain::Encyclopedia, 5);
         for fact in &e.fields[2] {
-            assert!(fact.starts_with('k'), "fact {fact} must start with its kind tag");
+            assert!(
+                fact.starts_with('k'),
+                "fact {fact} must start with its kind tag"
+            );
         }
     }
 }

@@ -144,7 +144,10 @@ mod tests {
     fn clean_noise_is_identity() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = NoiseModel::clean();
-        assert_eq!(n.corrupt("john abram jr 1985", &mut rng), "john abram jr 1985");
+        assert_eq!(
+            n.corrupt("john abram jr 1985", &mut rng),
+            "john abram jr 1985"
+        );
         assert!(!n.drops_value(&mut rng));
     }
 

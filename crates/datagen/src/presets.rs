@@ -302,24 +302,35 @@ mod tests {
     #[test]
     fn ar1_matches_table2_shape() {
         let (input, gt) = generate_clean_clean(&clean_clean_preset(CleanCleanPreset::Ar1));
-        let ErInput::CleanClean { d1, d2 } = &input else { unreachable!() };
+        let ErInput::CleanClean { d1, d2 } = &input else {
+            unreachable!()
+        };
         assert_eq!(d1.len(), 2600);
         assert_eq!(d2.len(), 2300);
         assert_eq!(gt.len(), 2200);
         assert_eq!(d1.attribute_count(), 4);
         assert_eq!(d2.attribute_count(), 4);
         // nvp ≈ 4 per profile (Table 2: 10k / 9.2k).
-        assert!(d1.nvp() > 9_000 && d1.nvp() <= 10_400, "nvp1 = {}", d1.nvp());
+        assert!(
+            d1.nvp() > 9_000 && d1.nvp() <= 10_400,
+            "nvp1 = {}",
+            d1.nvp()
+        );
     }
 
     #[test]
     fn prd_is_sparse() {
         let (input, gt) = generate_clean_clean(&clean_clean_preset(CleanCleanPreset::Prd));
-        let ErInput::CleanClean { d1, d2 } = &input else { unreachable!() };
+        let ErInput::CleanClean { d1, d2 } = &input else {
+            unreachable!()
+        };
         assert_eq!(gt.len(), 1080);
         // Table 2: 2.6k / 2.3k nvp over 1.1k profiles ≈ 2.3 per profile.
         let per_profile = d1.nvp() as f64 / d1.len() as f64;
-        assert!((1.8..3.2).contains(&per_profile), "nvp/profile = {per_profile}");
+        assert!(
+            (1.8..3.2).contains(&per_profile),
+            "nvp/profile = {per_profile}"
+        );
         assert!(d2.nvp() < d2.len() * 4);
     }
 
@@ -337,7 +348,9 @@ mod tests {
     #[test]
     fn cddb_has_track_attribute_explosion() {
         let (input, gt) = generate_dirty(&dirty_preset(DirtyPreset::Cddb).scaled(0.1));
-        let ErInput::Dirty(d) = &input else { unreachable!() };
+        let ErInput::Dirty(d) = &input else {
+            unreachable!()
+        };
         assert!(
             d.attribute_count() > 40,
             "track columns should inflate |A|, got {}",

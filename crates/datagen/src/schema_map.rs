@@ -181,7 +181,11 @@ mod tests {
     #[test]
     fn pool_routes_same_kind_to_same_attribute() {
         let e = CanonicalEntity {
-            fields: vec![vec!["k7 alpha beta".into(), "k7 gamma delta".into(), "k9 x".into()]],
+            fields: vec![vec![
+                "k7 alpha beta".into(),
+                "k7 gamma delta".into(),
+                "k9 x".into(),
+            ]],
         };
         let spec = SourceSpec {
             mappings: vec![FieldMapping::Pool {
@@ -204,7 +208,10 @@ mod tests {
             fields: vec![vec!["retailer".into()], vec!["new york".into()]],
         };
         let spec = SourceSpec {
-            mappings: vec![FieldMapping::MergeInto("info"), FieldMapping::MergeInto("info")],
+            mappings: vec![
+                FieldMapping::MergeInto("info"),
+                FieldMapping::MergeInto("info"),
+            ],
             noise: NoiseModel::clean(),
         };
         let mut coll = EntityCollection::new(SourceId(0));

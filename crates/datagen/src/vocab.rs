@@ -6,10 +6,10 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 const SYLLABLES: &[&str] = &[
-    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke", "ki", "ko", "ku",
-    "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
-    "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu",
-    "va", "ve", "vi", "vo", "vu", "za", "ze", "zi", "zo", "zu", "ga", "gi", "go", "pa", "po",
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke", "ki", "ko", "ku", "la",
+    "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu", "ra", "re",
+    "ri", "ro", "ru", "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu", "va", "ve", "vi",
+    "vo", "vu", "za", "ze", "zi", "zo", "zu", "ga", "gi", "go", "pa", "po",
 ];
 
 /// Common function words: the Zipf head shared by most values (these create

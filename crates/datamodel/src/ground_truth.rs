@@ -132,7 +132,9 @@ mod tests {
 
     #[test]
     fn split_train_zero_and_one() {
-        let gt: GroundTruth = (0..10u32).map(|i| (ProfileId(i), ProfileId(i + 100))).collect();
+        let gt: GroundTruth = (0..10u32)
+            .map(|i| (ProfileId(i), ProfileId(i + 100)))
+            .collect();
         let (train, test) = gt.split_train(0.0);
         assert_eq!(train.len(), 0);
         assert_eq!(test.len(), 10);

@@ -53,7 +53,8 @@ impl Interner {
                 }
             }
         }
-        let idx = u32::try_from(self.strings.len()).expect("interner overflow (> u32::MAX strings)");
+        let idx =
+            u32::try_from(self.strings.len()).expect("interner overflow (> u32::MAX strings)");
         self.strings.push(s.into());
         self.by_hash.entry(hash).or_default().push(idx);
         Symbol(idx)

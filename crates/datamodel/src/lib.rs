@@ -16,9 +16,9 @@
 //!   (tokenization, lowercasing, optional stop-words, q-grams).
 //! * [`ground_truth`] — the set of known duplicate pairs used for
 //!   PC/PQ evaluation and for training supervised meta-blocking.
-//! * [`parallel`] — tiny crossbeam-based helpers to parallelise
-//!   embarrassingly parallel loops (attribute-pair similarity, node-centric
-//!   weighting).
+//! * [`parallel`] — tiny std-scoped-thread helpers (contiguous chunks and
+//!   a work-stealing scheduler) to parallelise embarrassingly parallel
+//!   loops (attribute-pair similarity, node-centric weighting).
 
 pub mod collection;
 pub mod entity;

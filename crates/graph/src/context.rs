@@ -1,10 +1,12 @@
 //! The implicit blocking graph.
 
+use crate::traversal::NodeScratch;
 use blast_blocking::collection::BlockCollection;
 use blast_blocking::index::ProfileBlockIndex;
 use blast_datamodel::entity::ProfileId;
 use blast_datamodel::hash::FastMap;
-use blast_datamodel::parallel::{default_threads, parallel_ranges};
+use blast_datamodel::parallel::default_threads;
+use std::sync::Mutex;
 
 /// Per-edge accumulator gathered while scanning a node's blocks: everything
 /// any weighting scheme needs about the pair.
@@ -36,6 +38,9 @@ pub struct GraphContext<'a> {
     /// Total number of edges, computed together with `degrees`.
     total_edges: Option<u64>,
     threads: usize,
+    /// Scratch reused by the [`GraphContext::edge`] diagnostics helper, so
+    /// repeated calls don't re-allocate a profile-sized array each time.
+    diag_scratch: Mutex<Option<NodeScratch>>,
 }
 
 impl<'a> GraphContext<'a> {
@@ -48,7 +53,9 @@ impl<'a> GraphContext<'a> {
             .iter()
             .map(|b| b.cardinality(clean) as f64)
             .collect();
-        let threads = default_threads(blocks.total_profiles() as usize);
+        // Graph passes do quadratic-ish work per node; the block-assignment
+        // count is a far better workload proxy than the profile count.
+        let threads = default_threads(index.total_assignments() as usize);
         Self {
             blocks,
             index,
@@ -57,6 +64,7 @@ impl<'a> GraphContext<'a> {
             degrees: None,
             total_edges: None,
             threads,
+            diag_scratch: Mutex::new(None),
         }
     }
 
@@ -144,8 +152,25 @@ impl<'a> GraphContext<'a> {
         }
     }
 
+    /// ‖b‖ per block as f64 (for the ARCS reciprocal).
+    #[inline]
+    pub(crate) fn cardinalities(&self) -> &[f64] {
+        &self.cardinalities
+    }
+
+    /// The per-block entropy factors, if attached.
+    #[inline]
+    pub(crate) fn entropies_opt(&self) -> Option<&[f64]> {
+        self.entropies.as_deref()
+    }
+
     /// Accumulates the adjacency of `node` into `map` (cleared first):
     /// neighbour id → [`EdgeAccum`].
+    ///
+    /// This is the **naive hashmap reference path**, kept for validation:
+    /// the hot engine is [`crate::traversal::NodeScratch`], whose dense
+    /// scratch array must stay bit-identical to this accumulation (the
+    /// property tests in [`crate::traversal`] compare the two).
     pub fn accumulate_neighbors(&self, node: u32, map: &mut FastMap<u32, EdgeAccum>) {
         map.clear();
         let clean = self.blocks.is_clean_clean();
@@ -175,51 +200,28 @@ impl<'a> GraphContext<'a> {
         }
     }
 
-    /// Collects the adjacency of `node` sorted by neighbour id
-    /// (deterministic order for float accumulation and tie-breaking).
-    pub fn neighbors_sorted(
-        &self,
-        node: u32,
-        scratch: &mut FastMap<u32, EdgeAccum>,
-        out: &mut Vec<(u32, EdgeAccum)>,
-    ) {
-        self.accumulate_neighbors(node, scratch);
-        out.clear();
-        out.extend(scratch.iter().map(|(&v, &acc)| (v, acc)));
-        out.sort_unstable_by_key(|(v, _)| *v);
-    }
-
     /// Computes node degrees and the total edge count (one full adjacency
-    /// pass, parallelised).
+    /// pass on the dense scratch engine, work-stealing parallelised). EJS
+    /// runs this as its only extra pass — the same
+    /// [`crate::traversal::NodeScratch`] machinery every other pass uses,
+    /// not a separate hashmap re-scan.
     pub fn ensure_degrees(&mut self) {
         if self.degrees.is_some() {
             return;
         }
-        let n = self.total_profiles() as usize;
-        let chunks = parallel_ranges(n, self.threads, |range| {
-            let mut scratch: FastMap<u32, EdgeAccum> = FastMap::default();
-            let mut degrees = Vec::with_capacity(range.len());
-            for node in range {
-                self.accumulate_neighbors(node as u32, &mut scratch);
-                degrees.push(scratch.len() as u32);
-            }
-            degrees
-        });
-        let mut degrees = Vec::with_capacity(n);
-        for c in chunks {
-            degrees.extend(c);
-        }
-        let sum: u64 = degrees.iter().map(|&d| d as u64).sum();
-        self.total_edges = Some(sum / 2);
+        let (degrees, total_edges) = crate::traversal::degrees_pass(self);
+        self.total_edges = Some(total_edges);
         self.degrees = Some(degrees);
     }
 
     /// Convenience (tests/diagnostics): the accumulator of one edge, if it
-    /// exists.
+    /// exists. Runs on the dense scratch engine; the scratch is cached so
+    /// repeated probes don't re-allocate.
     pub fn edge(&self, u: u32, v: u32) -> Option<EdgeAccum> {
-        let mut map = FastMap::default();
-        self.accumulate_neighbors(u, &mut map);
-        map.get(&v).copied()
+        let mut slot = self.diag_scratch.lock().expect("diag scratch poisoned");
+        let scratch = slot.get_or_insert_with(|| NodeScratch::new(self));
+        scratch.load(self, u);
+        scratch.get(v)
     }
 }
 

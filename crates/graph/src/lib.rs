@@ -8,6 +8,9 @@
 //!
 //! * [`context`] — [`context::GraphContext`]: the implicit graph (index,
 //!   block cardinalities, per-block entropy hooks, node degrees).
+//! * [`traversal`] — the dense scratch-array engine every pass runs on:
+//!   per-worker [`traversal::NodeScratch`] adjacency accumulation with
+//!   work-stealing scheduling, bit-exact across thread counts.
 //! * [`weights`] — the five traditional weighting schemes of \[20\]
 //!   (ARCS, CBS, ECBS, JS, EJS) behind the [`weights::EdgeWeigher`] trait,
 //!   which `blast-core` also implements for its χ²·entropy weighting.
@@ -20,9 +23,11 @@ pub mod context;
 pub mod meta;
 pub mod pruning;
 pub mod retained;
+pub mod traversal;
 pub mod weights;
 
 pub use context::{EdgeAccum, GraphContext};
 pub use meta::{MetaBlocker, PruningAlgorithm};
 pub use retained::RetainedPairs;
+pub use traversal::NodeScratch;
 pub use weights::{EdgeWeigher, WeightingScheme};

@@ -1,9 +1,15 @@
 //! Cardinality Edge Pruning: sort all edges by weight and keep the top K
 //! (§2.2, \[20\]). K defaults to half the total block assignments
 //! (K = ⌊Σ_b |b| / 2⌋), the convention of the reference implementation.
+//!
+//! Fused pass: the weighted edge list is materialised **once**; the top-K
+//! cutoff (`select_nth_unstable`), the strictly-above filter and the
+//! deterministic tie-break all run over that in-memory list. The old engine
+//! re-ran the full quadratic traversal up to four times (weights, all
+//! pairs, above-cutoff, at-cutoff).
 
 use crate::context::GraphContext;
-use crate::pruning::common::{collect_edges, pair};
+use crate::pruning::common::{collect_weighted_edges, pair};
 use crate::retained::RetainedPairs;
 use crate::weights::EdgeWeigher;
 use blast_datamodel::entity::ProfileId;
@@ -28,39 +34,44 @@ impl Cep {
 
     /// The comparison budget for this graph.
     pub fn budget(&self, ctx: &GraphContext<'_>) -> u64 {
-        self.k.unwrap_or_else(|| ctx.index().total_assignments() / 2)
+        self.k
+            .unwrap_or_else(|| ctx.index().total_assignments() / 2)
     }
 
     /// Prunes the graph, keeping the K heaviest edges (ties broken by
-    /// ascending (u, v) so results are deterministic).
+    /// ascending (u, v) so results are deterministic). Single traversal:
+    /// everything after the edge materialisation is in-memory.
     pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
         let k = self.budget(ctx) as usize;
         if k == 0 {
             return RetainedPairs::default();
         }
-        // Pass 1: all weights (chunk order is deterministic).
-        let mut weights = collect_edges(ctx, weigher, |_, _, w| Some(w));
-        if weights.len() <= k {
-            let pairs = collect_edges(ctx, weigher, |u, v, _| Some(pair(u, v)));
+        let edges = collect_weighted_edges(ctx, weigher);
+        if edges.len() <= k {
+            let pairs = edges.iter().map(|&(u, v, _)| pair(u, v)).collect();
             return RetainedPairs::new(pairs);
         }
         // K-th largest as cutoff.
+        let mut weights: Vec<f64> = edges.iter().map(|&(_, _, w)| w).collect();
         let idx = k - 1;
         let (_, cutoff, _) =
             weights.select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).expect("no NaN weights"));
         let cutoff = *cutoff;
         let strictly_above = weights.iter().filter(|&&w| w > cutoff).count();
-        let ties_wanted = k - strictly_above;
+        let mut ties_wanted = k - strictly_above;
 
-        // Pass 2: retain everything above the cutoff, plus the first
-        // `ties_wanted` edges at the cutoff in (u, v) order.
-        let above = collect_edges(ctx, weigher, |u, v, w| (w > cutoff).then(|| pair(u, v)));
-        let mut ties: Vec<(ProfileId, ProfileId)> =
-            collect_edges(ctx, weigher, |u, v, w| (w == cutoff).then(|| pair(u, v)));
-        ties.truncate(ties_wanted);
-
-        let mut pairs = above;
-        pairs.extend(ties);
+        // Retain everything above the cutoff, plus the first `ties_wanted`
+        // edges at the cutoff in (u, v) order (the edge list is already
+        // sorted ascending by (u, v)).
+        let mut pairs: Vec<(ProfileId, ProfileId)> = Vec::with_capacity(k);
+        for &(u, v, w) in &edges {
+            if w > cutoff {
+                pairs.push(pair(u, v));
+            } else if w == cutoff && ties_wanted > 0 {
+                pairs.push(pair(u, v));
+                ties_wanted -= 1;
+            }
+        }
         RetainedPairs::new(pairs)
     }
 }

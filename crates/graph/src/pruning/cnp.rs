@@ -133,7 +133,9 @@ mod tests {
     fn redefined_k1_keeps_best_edge_per_node() {
         let b = blocks();
         let ctx = GraphContext::new(&b);
-        let retained = Cnp::redefined().with_k(1).prune(&ctx, &WeightingScheme::Cbs);
+        let retained = Cnp::redefined()
+            .with_k(1)
+            .prune(&ctx, &WeightingScheme::Cbs);
         // node 0 → 1 (w=3); node 1 → 0; node 2 → 0 (w=2); node 3 → 0 (w=1,
         // ties with 1,2 at w=1 broken by id → 0). Union: (0,1),(0,2),(0,3).
         assert_eq!(retained.len(), 3);
@@ -146,7 +148,9 @@ mod tests {
     fn reciprocal_k1_requires_mutual_top() {
         let b = blocks();
         let ctx = GraphContext::new(&b);
-        let retained = Cnp::reciprocal().with_k(1).prune(&ctx, &WeightingScheme::Cbs);
+        let retained = Cnp::reciprocal()
+            .with_k(1)
+            .prune(&ctx, &WeightingScheme::Cbs);
         // Only (0,1) is mutual: 0's best is 1 and 1's best is 0.
         assert_eq!(retained.len(), 1);
         assert!(retained.contains(ProfileId(0), ProfileId(1)));
@@ -157,8 +161,12 @@ mod tests {
         let b = blocks();
         let ctx = GraphContext::new(&b);
         for k in 1..4 {
-            let r1 = Cnp::redefined().with_k(k).prune(&ctx, &WeightingScheme::Cbs);
-            let r2 = Cnp::reciprocal().with_k(k).prune(&ctx, &WeightingScheme::Cbs);
+            let r1 = Cnp::redefined()
+                .with_k(k)
+                .prune(&ctx, &WeightingScheme::Cbs);
+            let r2 = Cnp::reciprocal()
+                .with_k(k)
+                .prune(&ctx, &WeightingScheme::Cbs);
             assert!(r2.len() <= r1.len());
             for (a, bb) in r2.iter() {
                 assert!(r1.contains(a, bb));
@@ -178,7 +186,9 @@ mod tests {
     fn large_k_keeps_whole_graph() {
         let b = blocks();
         let ctx = GraphContext::new(&b);
-        let retained = Cnp::redefined().with_k(10).prune(&ctx, &WeightingScheme::Cbs);
+        let retained = Cnp::redefined()
+            .with_k(10)
+            .prune(&ctx, &WeightingScheme::Cbs);
         // Graph has edges (0,1),(0,2),(0,3),(1,2),(1,3),(2,3) from "all"
         // plus the pair blocks → complete graph on 4 nodes.
         assert_eq!(retained.len(), 6);

@@ -2,13 +2,30 @@
 //!
 //! Everything here is deterministic: nodes are processed in id order,
 //! adjacency lists are sorted by neighbour id before any floating-point
-//! accumulation, and per-chunk results are merged in chunk order.
+//! accumulation, and per-chunk results are merged in chunk order. All
+//! passes run on the dense scratch-array engine of [`crate::traversal`]
+//! with work-stealing scheduling; chunk geometry is independent of the
+//! thread count, so results — including float folds — are bit-identical
+//! across thread counts.
 
 use crate::context::GraphContext;
+use crate::traversal::{node_chunks, owner_chunks};
 use crate::weights::EdgeWeigher;
 use blast_datamodel::entity::ProfileId;
-use blast_datamodel::hash::FastMap;
-use blast_datamodel::parallel::parallel_ranges;
+
+/// Materialises every edge exactly once as `(u, v, weight)` in one
+/// traversal, in deterministic order (ascending `u`, then ascending `v`).
+///
+/// This is the fused-pass primitive behind WEP and CEP: global statistics
+/// (mean weight, top-K cutoff) and the retention filter both run over the
+/// materialised vector, so the quadratic adjacency build is paid **once**
+/// per pruning call instead of once per sub-pass.
+pub fn collect_weighted_edges(
+    ctx: &GraphContext<'_>,
+    weigher: &dyn EdgeWeigher,
+) -> Vec<(u32, u32, f64)> {
+    collect_edges(ctx, weigher, |u, v, w| Some((u, v, w)))
+}
 
 /// Runs `per_node(node, adjacency)` for every node (including isolated ones,
 /// which get an empty adjacency), returning the results indexed by node id.
@@ -19,20 +36,18 @@ where
     F: Fn(u32, &[(u32, f64)]) -> R + Sync,
 {
     let n = ctx.total_profiles() as usize;
-    let chunks = parallel_ranges(n, ctx.threads(), |range| {
-        let mut scratch = FastMap::default();
-        let mut adj = Vec::new();
-        let mut weighted: Vec<(u32, f64)> = Vec::new();
+    let chunks = node_chunks(ctx, n, |scratch, weighted, range| {
         let mut out = Vec::with_capacity(range.len());
         for node in range {
             let node = node as u32;
-            ctx.neighbors_sorted(node, &mut scratch, &mut adj);
+            scratch.load(ctx, node);
             weighted.clear();
             weighted.extend(
-                adj.iter()
-                    .map(|(v, acc)| (*v, weigher.weight(ctx, node, *v, acc))),
+                scratch
+                    .iter()
+                    .map(|(v, acc)| (v, weigher.weight(ctx, node, v, &acc))),
             );
-            out.push(per_node(node, &weighted));
+            out.push(per_node(node, weighted));
         }
         out
     });
@@ -51,18 +66,12 @@ where
     T: Send,
     F: Fn(u32, u32, f64) -> Option<T> + Sync,
 {
-    let owners = ctx.edge_owner_range();
-    let n = (owners.end - owners.start) as usize;
-    let base = owners.start;
     let clean = ctx.blocks().is_clean_clean();
-    let chunks = parallel_ranges(n, ctx.threads(), |range| {
-        let mut scratch = FastMap::default();
-        let mut adj = Vec::new();
+    let chunks = owner_chunks(ctx, |scratch, range| {
         let mut out = Vec::new();
-        for off in range {
-            let u = base + off as u32;
-            ctx.neighbors_sorted(u, &mut scratch, &mut adj);
-            for &(v, acc) in adj.iter() {
+        for u in range {
+            scratch.load(ctx, u);
+            for (v, acc) in scratch.iter() {
                 if !clean && v <= u {
                     continue; // dirty graphs see each edge from both ends
                 }
@@ -89,18 +98,12 @@ where
     T: Send,
     F: Fn(u32, u32, &crate::context::EdgeAccum) -> Option<T> + Sync,
 {
-    let owners = ctx.edge_owner_range();
-    let n = (owners.end - owners.start) as usize;
-    let base = owners.start;
     let clean = ctx.blocks().is_clean_clean();
-    let chunks = parallel_ranges(n, ctx.threads(), |range| {
-        let mut scratch = FastMap::default();
-        let mut adj = Vec::new();
+    let chunks = owner_chunks(ctx, |scratch, range| {
         let mut out = Vec::new();
-        for off in range {
-            let u = base + off as u32;
-            ctx.neighbors_sorted(u, &mut scratch, &mut adj);
-            for &(v, acc) in adj.iter() {
+        for u in range {
+            scratch.load(ctx, u);
+            for (v, acc) in scratch.iter() {
                 if !clean && v <= u {
                     continue;
                 }
@@ -119,7 +122,9 @@ where
 }
 
 /// Folds over every edge exactly once with a per-chunk accumulator, merging
-/// chunk accumulators in deterministic order.
+/// chunk accumulators in deterministic order. Chunk geometry is independent
+/// of the thread count, so even floating-point folds are bit-identical for
+/// any parallelism.
 pub fn fold_edges<A, I, F, M>(
     ctx: &GraphContext<'_>,
     weigher: &dyn EdgeWeigher,
@@ -133,18 +138,12 @@ where
     F: Fn(&mut A, u32, u32, f64) + Sync,
     M: Fn(A, A) -> A,
 {
-    let owners = ctx.edge_owner_range();
-    let n = (owners.end - owners.start) as usize;
-    let base = owners.start;
     let clean = ctx.blocks().is_clean_clean();
-    let chunks = parallel_ranges(n, ctx.threads(), |range| {
-        let mut scratch = FastMap::default();
-        let mut adj = Vec::new();
+    let chunks = owner_chunks(ctx, |scratch, range| {
         let mut acc = init();
-        for off in range {
-            let u = base + off as u32;
-            ctx.neighbors_sorted(u, &mut scratch, &mut adj);
-            for &(v, a) in adj.iter() {
+        for u in range {
+            scratch.load(ctx, u);
+            for (v, a) in scratch.iter() {
                 if !clean && v <= u {
                     continue;
                 }
@@ -230,8 +229,21 @@ mod tests {
         let blocks = dirty_triangle();
         let ctx1 = GraphContext::new(&blocks).with_threads(1);
         let ctx4 = GraphContext::new(&blocks).with_threads(4);
-        let e1 = collect_edges(&ctx1, &WeightingScheme::Arcs, |u, v, w| Some((u, v, w.to_bits())));
-        let e4 = collect_edges(&ctx4, &WeightingScheme::Arcs, |u, v, w| Some((u, v, w.to_bits())));
+        let e1 = collect_edges(&ctx1, &WeightingScheme::Arcs, |u, v, w| {
+            Some((u, v, w.to_bits()))
+        });
+        let e4 = collect_edges(&ctx4, &WeightingScheme::Arcs, |u, v, w| {
+            Some((u, v, w.to_bits()))
+        });
         assert_eq!(e1, e4);
+    }
+
+    #[test]
+    fn weighted_edges_match_collect() {
+        let blocks = dirty_triangle();
+        let ctx = GraphContext::new(&blocks);
+        let direct = collect_weighted_edges(&ctx, &WeightingScheme::Cbs);
+        let via_collect = collect_edges(&ctx, &WeightingScheme::Cbs, |u, v, w| Some((u, v, w)));
+        assert_eq!(direct, via_collect);
     }
 }

@@ -8,8 +8,10 @@
 //! * [`cnp`] — Cardinality Node Pruning: per-node top-k, again redefined
 //!   (cnp₁) and reciprocal (cnp₂).
 //!
-//! [`common`] hosts the two parallel passes everything is built from: a
-//! per-node adjacency pass and a deterministic edge enumeration. BLAST's own
+//! [`common`] hosts the parallel passes everything is built from — a
+//! per-node adjacency pass, a deterministic edge enumeration, and the fused
+//! single-traversal edge materialisation WEP/CEP run on — all executing on
+//! the dense scratch-array engine of [`crate::traversal`]. BLAST's own
 //! pruning (in `blast-core`) reuses them.
 
 pub mod cep;

@@ -1,8 +1,15 @@
 //! Weight Edge Pruning: discard every edge below a single global threshold
 //! Θ, the mean edge weight (§2.2, \[20\]).
+//!
+//! Fused pass: the weighted edge list is materialised **once** (a single
+//! adjacency traversal via [`collect_weighted_edges`]); the global mean and
+//! the retention filter both run over that in-memory list. The old engine
+//! re-ran the full quadratic traversal twice (`fold_edges` then
+//! `collect_edges`). The mean is summed sequentially in deterministic edge
+//! order, so Θ is bit-identical for every thread count.
 
 use crate::context::GraphContext;
-use crate::pruning::common::{collect_edges, fold_edges, pair};
+use crate::pruning::common::{collect_weighted_edges, pair};
 use crate::retained::RetainedPairs;
 use crate::weights::EdgeWeigher;
 
@@ -11,39 +18,34 @@ use crate::weights::EdgeWeigher;
 pub struct Wep;
 
 impl Wep {
+    /// The mean weight of a materialised edge list (`None` when empty) —
+    /// the single source of Θ for both [`Wep::prune`] and
+    /// [`Wep::threshold`].
+    fn mean_weight(edges: &[(u32, u32, f64)]) -> Option<f64> {
+        if edges.is_empty() {
+            return None;
+        }
+        let sum: f64 = edges.iter().map(|&(_, _, w)| w).sum();
+        Some(sum / edges.len() as f64)
+    }
+
     /// Prunes the graph, retaining edges with weight ≥ Θ (mean weight).
     pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
-        let (count, sum) = fold_edges(
-            ctx,
-            weigher,
-            || (0u64, 0.0f64),
-            |acc, _, _, w| {
-                acc.0 += 1;
-                acc.1 += w;
-            },
-            |a, b| (a.0 + b.0, a.1 + b.1),
-        );
-        if count == 0 {
+        let edges = collect_weighted_edges(ctx, weigher);
+        let Some(theta) = Self::mean_weight(&edges) else {
             return RetainedPairs::default();
-        }
-        let theta = sum / count as f64;
-        let pairs = collect_edges(ctx, weigher, |u, v, w| (w >= theta).then(|| pair(u, v)));
+        };
+        let pairs = edges
+            .iter()
+            .filter(|&&(_, _, w)| w >= theta)
+            .map(|&(u, v, _)| pair(u, v))
+            .collect();
         RetainedPairs::new(pairs)
     }
 
     /// The global threshold this scheme would use (diagnostics).
     pub fn threshold(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> Option<f64> {
-        let (count, sum) = fold_edges(
-            ctx,
-            weigher,
-            || (0u64, 0.0f64),
-            |acc, _, _, w| {
-                acc.0 += 1;
-                acc.1 += w;
-            },
-            |a, b| (a.0 + b.0, a.1 + b.1),
-        );
-        (count > 0).then(|| sum / count as f64)
+        Self::mean_weight(&collect_weighted_edges(ctx, weigher))
     }
 }
 

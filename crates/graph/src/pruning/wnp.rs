@@ -79,7 +79,12 @@ mod tests {
     /// A star around node 0 with CBS weights 4 (to 1) and 1 (to 2, 3):
     /// θ₀ = 2, θ₁ = 4, θ₂ = θ₃ = 1.
     fn star() -> BlockCollection {
-        let mut blocks = vec![Block::new("s", ClusterId::GLUE, ids(&[0, 1, 2, 3]), u32::MAX)];
+        let mut blocks = vec![Block::new(
+            "s",
+            ClusterId::GLUE,
+            ids(&[0, 1, 2, 3]),
+            u32::MAX,
+        )];
         for i in 0..3 {
             blocks.push(Block::new(
                 format!("h{i}"),
@@ -155,13 +160,18 @@ mod tests {
         let b = base_blocks(2);
         let ctx = GraphContext::new(&b);
         let t = Wnp::redefined().thresholds(&ctx, &WeightingScheme::Cbs);
-        assert!(t[0] < 2.0, "threshold dropped because of unrelated profiles");
+        assert!(
+            t[0] < 2.0,
+            "threshold dropped because of unrelated profiles"
+        );
     }
 
     #[test]
     fn empty_graph() {
         let blocks = BlockCollection::new(vec![], false, 2, 2);
         let ctx = GraphContext::new(&blocks);
-        assert!(Wnp::redefined().prune(&ctx, &WeightingScheme::Cbs).is_empty());
+        assert!(Wnp::redefined()
+            .prune(&ctx, &WeightingScheme::Cbs)
+            .is_empty());
     }
 }

@@ -1,0 +1,373 @@
+//! Dense scratch-array traversal engine for the implicit blocking graph.
+//!
+//! Node-centric meta-blocking spends essentially all of its time building
+//! per-node adjacency: for every block containing the node, for every
+//! co-occurring profile, bump that neighbour's [`EdgeAccum`]. The original
+//! engine kept the accumulators in a `FastMap<u32, EdgeAccum>` — one hash +
+//! probe per (node, neighbour, block) triple, plus a rehash whenever a hub
+//! node outgrew the table.
+//!
+//! [`NodeScratch`] replaces the map with a *dense scratch array*: each
+//! worker thread owns a `Vec<EdgeAccum>` sized to the profile count plus a
+//! `touched` list of the neighbour ids hit while scanning the current node.
+//! A neighbour update is then two direct array writes (`accum[v] += …`, and
+//! a push onto `touched` the first time `v` is seen), and only the small
+//! touched list is sorted to give the deterministic ascending-neighbour
+//! order the float accumulation and tie-breaking rely on.
+//!
+//! ## The scratch-reset invariant
+//!
+//! Between nodes the engine **never clears the whole array** — that would
+//! be O(|profiles|) per node and defeat the point. Instead it maintains the
+//! invariant that *every slot not listed in `touched` holds
+//! `EdgeAccum::default()`*: [`NodeScratch::load`] starts by resetting
+//! exactly the slots its previous node touched, so each load pays O(degree)
+//! regardless of the profile count. "Is this neighbour new?" is answered by
+//! `common_blocks == 0`, which is safe because every update increments
+//! `common_blocks` — a touched slot can never look untouched.
+//!
+//! Accumulation visits blocks in ascending block-id order (the CSR index
+//! keeps each profile's block list sorted), which is the same order the
+//! hashmap engine used — so `arcs` and `entropy_sum` are **bit-identical**
+//! to the reference path, not just approximately equal. The property tests
+//! in this module pin that equivalence.
+//!
+//! ## Scheduling
+//!
+//! The pass drivers ([`node_chunks`], [`owner_chunks`]) split the node range
+//! into fine-grained chunks claimed off an atomic counter
+//! ([`blast_datamodel::parallel::parallel_work_steal`]): Zipf-skewed
+//! collections concentrate the heavy hub nodes, and the contiguous
+//! one-chunk-per-thread split left most threads idle while one ground
+//! through the hub-dense stretch. Chunk geometry depends only on the range
+//! length — never the thread count — and chunk results are merged in chunk
+//! order, so every pass is bit-exact across thread counts.
+
+use crate::context::{EdgeAccum, GraphContext};
+use blast_datamodel::entity::ProfileId;
+use blast_datamodel::parallel::parallel_work_steal;
+
+/// A worker-local dense adjacency accumulator (see the module docs).
+#[derive(Debug)]
+pub struct NodeScratch {
+    /// One accumulator slot per profile; all-default except touched slots.
+    accum: Vec<EdgeAccum>,
+    /// Neighbour ids of the currently loaded node, sorted ascending after
+    /// [`NodeScratch::load`] returns.
+    touched: Vec<u32>,
+}
+
+impl NodeScratch {
+    /// A scratch able to hold the adjacency of any node of `ctx`.
+    pub fn new(ctx: &GraphContext<'_>) -> Self {
+        Self {
+            accum: vec![EdgeAccum::default(); ctx.total_profiles() as usize],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Loads the adjacency of `node`, resetting the previously loaded one.
+    /// Afterwards [`NodeScratch::iter`] yields `(neighbour, accum)` in
+    /// ascending neighbour order.
+    pub fn load(&mut self, ctx: &GraphContext<'_>, node: u32) {
+        for &v in &self.touched {
+            self.accum[v as usize] = EdgeAccum::default();
+        }
+        self.touched.clear();
+
+        let blocks = ctx.blocks();
+        let clean = blocks.is_clean_clean();
+        let sep = blocks.separator();
+        let all = blocks.blocks();
+        let cardinalities = ctx.cardinalities();
+        let entropies = ctx.entropies_opt();
+        for &bid in ctx.index().blocks_of(node) {
+            let block = &all[bid as usize];
+            let inv = 1.0 / cardinalities[bid as usize];
+            let ent = entropies.map_or(1.0, |e| e[bid as usize]);
+            let neighbours: &[ProfileId] = if clean {
+                if node < sep {
+                    block.inner2()
+                } else {
+                    block.inner1()
+                }
+            } else {
+                &block.profiles
+            };
+            for &p in neighbours {
+                if p.0 == node {
+                    continue;
+                }
+                let e = &mut self.accum[p.0 as usize];
+                if e.common_blocks == 0 {
+                    self.touched.push(p.0);
+                }
+                e.common_blocks += 1;
+                e.arcs += inv;
+                e.entropy_sum += ent;
+            }
+        }
+        self.touched.sort_unstable();
+    }
+
+    /// Number of neighbours of the loaded node.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether the loaded node is isolated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// The accumulator of neighbour `v`, if the loaded node has that edge.
+    /// Out-of-range ids are simply absent, like a hashmap miss.
+    #[inline]
+    pub fn get(&self, v: u32) -> Option<EdgeAccum> {
+        let acc = *self.accum.get(v as usize)?;
+        (acc.common_blocks > 0).then_some(acc)
+    }
+
+    /// The loaded adjacency in ascending neighbour order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (u32, EdgeAccum)> + '_ {
+        self.touched
+            .iter()
+            .map(move |&v| (v, self.accum[v as usize]))
+    }
+}
+
+/// Work-stealing chunk length for an `len`-node pass. A function of the
+/// range length only — **never** the thread count — so chunk-ordered merges
+/// (including floating-point folds) are bit-identical whatever the
+/// parallelism.
+#[inline]
+pub(crate) fn chunk_len(len: usize) -> usize {
+    (len / 128).clamp(32, 4096)
+}
+
+/// Runs `per_chunk(scratch, weighted_buf, chunk_range)` over `0..len` nodes
+/// with work-stealing scheduling and a per-worker [`NodeScratch`], returning
+/// per-chunk results in chunk order.
+pub(crate) fn node_chunks<R, F>(ctx: &GraphContext<'_>, len: usize, per_chunk: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut NodeScratch, &mut Vec<(u32, f64)>, std::ops::Range<usize>) -> R + Sync,
+{
+    parallel_work_steal(
+        len,
+        ctx.threads(),
+        chunk_len(len),
+        || (NodeScratch::new(ctx), Vec::new()),
+        |(scratch, weighted), range| per_chunk(scratch, weighted, range),
+    )
+}
+
+/// Like [`node_chunks`] but over the edge-owner range (the nodes that
+/// enumerate each edge exactly once); the chunk callback receives absolute
+/// node ids.
+pub(crate) fn owner_chunks<R, F>(ctx: &GraphContext<'_>, per_chunk: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut NodeScratch, std::ops::Range<u32>) -> R + Sync,
+{
+    let owners = ctx.edge_owner_range();
+    let len = (owners.end - owners.start) as usize;
+    let base = owners.start;
+    parallel_work_steal(
+        len,
+        ctx.threads(),
+        chunk_len(len),
+        || NodeScratch::new(ctx),
+        |scratch, range| {
+            per_chunk(
+                scratch,
+                (base + range.start as u32)..(base + range.end as u32),
+            )
+        },
+    )
+}
+
+/// One full adjacency pass computing node degrees and the total edge count.
+pub(crate) fn degrees_pass(ctx: &GraphContext<'_>) -> (Vec<u32>, u64) {
+    let n = ctx.total_profiles() as usize;
+    let chunks = node_chunks(ctx, n, |scratch, _, range| {
+        let mut degrees = Vec::with_capacity(range.len());
+        for node in range {
+            scratch.load(ctx, node as u32);
+            degrees.push(scratch.len() as u32);
+        }
+        degrees
+    });
+    let mut degrees = Vec::with_capacity(n);
+    for c in chunks {
+        degrees.extend(c);
+    }
+    let sum: u64 = degrees.iter().map(|&d| d as u64).sum();
+    (degrees, sum / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruning::common::collect_weighted_edges;
+    use crate::weights::WeightingScheme;
+    use blast_blocking::block::Block;
+    use blast_blocking::collection::BlockCollection;
+    use blast_blocking::key::ClusterId;
+    use blast_datamodel::hash::FastMap;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<ProfileId> {
+        v.iter().map(|&i| ProfileId(i)).collect()
+    }
+
+    /// The naive hashmap reference adjacency, identical to the pre-engine
+    /// implementation.
+    fn reference_adjacency(ctx: &GraphContext<'_>, node: u32) -> Vec<(u32, EdgeAccum)> {
+        let mut map: FastMap<u32, EdgeAccum> = FastMap::default();
+        ctx.accumulate_neighbors(node, &mut map);
+        let mut adj: Vec<(u32, EdgeAccum)> = map.into_iter().collect();
+        adj.sort_unstable_by_key(|(v, _)| *v);
+        adj
+    }
+
+    fn assert_scratch_matches_reference(blocks: &BlockCollection, entropies: Option<Vec<f64>>) {
+        let mut ctx = GraphContext::new(blocks);
+        if let Some(e) = entropies {
+            ctx = ctx.with_block_entropies(e);
+        }
+        let mut scratch = NodeScratch::new(&ctx);
+        for node in 0..ctx.total_profiles() {
+            scratch.load(&ctx, node);
+            let dense: Vec<(u32, EdgeAccum)> = scratch.iter().collect();
+            let reference = reference_adjacency(&ctx, node);
+            assert_eq!(
+                dense.len(),
+                reference.len(),
+                "neighbour count of node {node}"
+            );
+            for (&(dv, da), &(rv, ra)) in dense.iter().zip(&reference) {
+                assert_eq!(dv, rv, "neighbour set of node {node}");
+                assert_eq!(da.common_blocks, ra.common_blocks, "edge ({node},{dv})");
+                // Bit-exact, not approximate: same summation order.
+                assert_eq!(
+                    da.arcs.to_bits(),
+                    ra.arcs.to_bits(),
+                    "arcs of edge ({node},{dv})"
+                );
+                assert_eq!(
+                    da.entropy_sum.to_bits(),
+                    ra.entropy_sum.to_bits(),
+                    "entropy_sum of edge ({node},{dv})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_resets_between_nodes() {
+        let b = vec![
+            Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 2]), u32::MAX),
+            Block::new("b1", ClusterId::GLUE, ids(&[2, 3]), u32::MAX),
+        ];
+        let blocks = BlockCollection::new(b, false, 4, 4);
+        let ctx = GraphContext::new(&blocks);
+        let mut scratch = NodeScratch::new(&ctx);
+        scratch.load(&ctx, 0);
+        assert_eq!(
+            scratch.iter().map(|(v, _)| v).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        // Node 3 shares nothing with node 0; stale slots must be gone.
+        scratch.load(&ctx, 3);
+        assert_eq!(scratch.iter().map(|(v, _)| v).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(scratch.get(2).unwrap().common_blocks, 1);
+        assert!(scratch.get(1).is_none(), "slot 1 was reset");
+        // An empty reload leaves a clean scratch.
+        scratch.load(&ctx, 3);
+        assert_eq!(scratch.len(), 1);
+    }
+
+    #[test]
+    fn get_handles_out_of_range_ids() {
+        let b = vec![Block::new("b0", ClusterId::GLUE, ids(&[0, 1]), u32::MAX)];
+        let blocks = BlockCollection::new(b, false, 2, 2);
+        let ctx = GraphContext::new(&blocks);
+        let mut scratch = NodeScratch::new(&ctx);
+        scratch.load(&ctx, 0);
+        assert_eq!(scratch.get(1).unwrap().common_blocks, 1);
+        // A non-existent id is a miss, not a panic (hashmap semantics).
+        assert!(scratch.get(1_000_000).is_none());
+        assert!(ctx.edge(0, 1_000_000).is_none());
+    }
+
+    #[test]
+    fn collect_weighted_edges_is_sorted_and_unique() {
+        let b = vec![
+            Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 2, 3]), u32::MAX),
+            Block::new("b1", ClusterId::GLUE, ids(&[1, 3]), u32::MAX),
+        ];
+        let blocks = BlockCollection::new(b, false, 4, 4);
+        let ctx = GraphContext::new(&blocks);
+        let edges = collect_weighted_edges(&ctx, &WeightingScheme::Cbs);
+        let keys: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "deterministic order, each edge once");
+        assert_eq!(keys.len(), 6);
+    }
+
+    proptest! {
+        /// Dense adjacency ≡ naive hashmap reference on random dirty
+        /// collections: same neighbour sets, same `common_blocks`, bit-exact
+        /// `arcs` and `entropy_sum`.
+        #[test]
+        fn prop_dense_equals_hashmap_dirty(
+            memberships in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..24, 0..10), 1..24)
+        ) {
+            let blocks: Vec<Block> = memberships
+                .iter()
+                .enumerate()
+                .map(|(i, set)| Block::new(
+                    format!("b{i}"),
+                    ClusterId::GLUE,
+                    set.iter().map(|&p| ProfileId(p)).collect(),
+                    u32::MAX,
+                ))
+                .collect();
+            let n_entropies = blocks.len();
+            let collection = BlockCollection::new(blocks, false, 24, 24);
+            assert_scratch_matches_reference(&collection, None);
+            // And with per-block entropies attached.
+            let entropies: Vec<f64> = (0..n_entropies).map(|i| 0.5 + i as f64 * 0.25).collect();
+            assert_scratch_matches_reference(&collection, Some(entropies));
+        }
+
+        /// Same equivalence on clean-clean (bipartite) collections, where
+        /// the neighbour enumeration takes the inner1/inner2 path.
+        #[test]
+        fn prop_dense_equals_hashmap_clean_clean(
+            memberships in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..20, 0..8), 1..20)
+        ) {
+            let separator = 10u32;
+            let blocks: Vec<Block> = memberships
+                .iter()
+                .enumerate()
+                .map(|(i, set)| Block::new(
+                    format!("b{i}"),
+                    ClusterId::GLUE,
+                    set.iter().map(|&p| ProfileId(p)).collect(),
+                    separator,
+                ))
+                .collect();
+            let collection = BlockCollection::new(blocks, true, separator, 20);
+            assert_scratch_matches_reference(&collection, None);
+        }
+    }
+}

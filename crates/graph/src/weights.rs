@@ -200,7 +200,12 @@ mod tests {
     #[test]
     fn requires_degrees_only_for_ejs() {
         for s in WeightingScheme::ALL {
-            assert_eq!(s.requires_degrees(), s == WeightingScheme::Ejs, "{}", s.name());
+            assert_eq!(
+                s.requires_degrees(),
+                s == WeightingScheme::Ejs,
+                "{}",
+                s.name()
+            );
         }
     }
 

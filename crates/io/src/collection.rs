@@ -30,10 +30,12 @@ pub fn read_collection(
     };
     let id_idx = match &options.id_column {
         None => 0,
-        Some(name) => header
-            .iter()
-            .position(|h| h == name)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("no column named {name:?}")))?,
+        Some(name) => header.iter().position(|h| h == name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("no column named {name:?}"),
+            )
+        })?,
     };
     let attrs: Vec<_> = header
         .iter()
@@ -45,7 +47,12 @@ pub fn read_collection(
         if row.len() > header.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("row {} has {} fields, header has {}", line + 2, row.len(), header.len()),
+                format!(
+                    "row {} has {} fields, header has {}",
+                    line + 2,
+                    row.len(),
+                    header.len()
+                ),
             ));
         }
         let external_id = row

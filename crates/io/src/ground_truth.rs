@@ -15,7 +15,8 @@ use std::io::{self, BufRead, Write};
 pub fn external_id_index(input: &ErInput) -> FastMap<(u8, Box<str>), ProfileId> {
     let mut map: FastMap<(u8, Box<str>), ProfileId> = FastMap::default();
     for (pid, source, profile) in input.iter_profiles() {
-        map.entry((source.0, profile.external_id.clone())).or_insert(pid);
+        map.entry((source.0, profile.external_id.clone()))
+            .or_insert(pid);
     }
     map
 }
@@ -36,11 +37,19 @@ pub fn read_ground_truth(reader: &mut impl BufRead, input: &ErInput) -> io::Resu
             ));
         }
         let a = index.get(&(0, row[0].as_str().into())).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("unknown id {:?}", row[0]))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown id {:?}", row[0]),
+            )
         })?;
-        let b = index.get(&(second_source, row[1].as_str().into())).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("unknown id {:?}", row[1]))
-        })?;
+        let b = index
+            .get(&(second_source, row[1].as_str().into()))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown id {:?}", row[1]),
+                )
+            })?;
         gt.insert(*a, *b);
     }
     Ok(gt)
@@ -109,7 +118,8 @@ mod tests {
     #[test]
     fn roundtrip() {
         let input = input();
-        let gt = read_ground_truth(&mut BufReader::new("a1,b1\na2,b1\n".as_bytes()), &input).unwrap();
+        let gt =
+            read_ground_truth(&mut BufReader::new("a1,b1\na2,b1\n".as_bytes()), &input).unwrap();
         let mut buf = Vec::new();
         write_ground_truth(&mut buf, &gt, &input).unwrap();
         let text = String::from_utf8(buf).unwrap();

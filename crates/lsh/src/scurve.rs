@@ -61,7 +61,11 @@ impl SCurve {
                 (s, collision_probability(s, rows, bands))
             })
             .collect();
-        Self { rows, bands, points }
+        Self {
+            rows,
+            bands,
+            points,
+        }
     }
 
     /// The estimated threshold of this configuration.

@@ -54,7 +54,10 @@ mod tests {
     fn transitive_closure_merges_chains() {
         // a–b and b–c matched, a–c never compared → one entity {a,b,c}.
         let clusters = resolve_entities(&[p(0, 1), p(1, 2)], 5);
-        assert_eq!(clusters, vec![vec![ProfileId(0), ProfileId(1), ProfileId(2)]]);
+        assert_eq!(
+            clusters,
+            vec![vec![ProfileId(0), ProfileId(1), ProfileId(2)]]
+        );
     }
 
     #[test]

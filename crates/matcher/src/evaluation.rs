@@ -19,7 +19,10 @@ pub struct MatchQuality {
 
 /// Evaluates predicted matches against the ground truth.
 pub fn evaluate_matches(predicted: &[(ProfileId, ProfileId)], gt: &GroundTruth) -> MatchQuality {
-    let tp = predicted.iter().filter(|&&(a, b)| gt.is_match(a, b)).count() as u64;
+    let tp = predicted
+        .iter()
+        .filter(|&&(a, b)| gt.is_match(a, b))
+        .count() as u64;
     let precision = if predicted.is_empty() {
         0.0
     } else {

@@ -32,7 +32,10 @@ impl Default for JaccardMatcher {
 impl JaccardMatcher {
     /// A matcher with the given threshold.
     pub fn new(threshold: f64) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0,1]"
+        );
         Self { threshold }
     }
 
@@ -74,7 +77,10 @@ impl JaccardMatcher {
             }
         });
         matches.sort_unstable();
-        MatchDecision { matches, comparisons }
+        MatchDecision {
+            matches,
+            comparisons,
+        }
     }
 }
 
@@ -115,8 +121,18 @@ mod tests {
         let input = input();
         let blocks = BlockCollection::new(
             vec![
-                Block::new("k1", ClusterId::GLUE, vec![ProfileId(0), ProfileId(1)], u32::MAX),
-                Block::new("k2", ClusterId::GLUE, vec![ProfileId(0), ProfileId(1)], u32::MAX),
+                Block::new(
+                    "k1",
+                    ClusterId::GLUE,
+                    vec![ProfileId(0), ProfileId(1)],
+                    u32::MAX,
+                ),
+                Block::new(
+                    "k2",
+                    ClusterId::GLUE,
+                    vec![ProfileId(0), ProfileId(1)],
+                    u32::MAX,
+                ),
             ],
             false,
             3,

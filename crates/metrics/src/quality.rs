@@ -72,10 +72,7 @@ impl BlockQuality {
 /// this works even for ‖B‖ in the 10¹² range (Table 3's dbp baseline).
 pub fn evaluate_blocks(blocks: &BlockCollection, gt: &GroundTruth) -> BlockQuality {
     let index = ProfileBlockIndex::build(blocks);
-    let detected = gt
-        .iter()
-        .filter(|&(a, b)| index.co_occur(a.0, b.0))
-        .count() as u64;
+    let detected = gt.iter().filter(|&(a, b)| index.co_occur(a.0, b.0)).count() as u64;
     BlockQuality::from_counts(detected, gt.len() as u64, blocks.aggregate_cardinality())
 }
 

@@ -14,7 +14,12 @@ pub const FEATURE_COUNT: usize = 7;
 /// `[ARCS, JS, EJS, CBS, ECBS, |B_u|, |B_v|]`.
 ///
 /// Requires [`GraphContext::ensure_degrees`] (EJS).
-pub fn edge_features(ctx: &GraphContext<'_>, u: u32, v: u32, acc: &EdgeAccum) -> [f64; FEATURE_COUNT] {
+pub fn edge_features(
+    ctx: &GraphContext<'_>,
+    u: u32,
+    v: u32,
+    acc: &EdgeAccum,
+) -> [f64; FEATURE_COUNT] {
     let mut out = [0.0; FEATURE_COUNT];
     for (slot, scheme) in out.iter_mut().zip(WeightingScheme::ALL) {
         *slot = scheme.weight(ctx, u, v, acc);
@@ -69,6 +74,9 @@ mod tests {
         ctx.ensure_degrees();
         let a01 = ctx.edge(0, 1).unwrap();
         let a10 = ctx.edge(1, 0).unwrap();
-        assert_eq!(edge_features(&ctx, 0, 1, &a01), edge_features(&ctx, 1, 0, &a10));
+        assert_eq!(
+            edge_features(&ctx, 0, 1, &a01),
+            edge_features(&ctx, 1, 0, &a10)
+        );
     }
 }

@@ -184,12 +184,13 @@ mod tests {
     fn learns_to_separate_matches_from_noise() {
         let (blocks, gt) = blocks_and_gt(60);
         let (retained, _train) = SupervisedMetaBlocking::new().run(&blocks, &gt);
-        let detected = retained
-            .iter()
-            .filter(|&(a, b)| gt.is_match(a, b))
-            .count();
+        let detected = retained.iter().filter(|&(a, b)| gt.is_match(a, b)).count();
         // High recall on matches…
-        assert!(detected as f64 / gt.len() as f64 > 0.9, "recall {detected}/{}", gt.len());
+        assert!(
+            detected as f64 / gt.len() as f64 > 0.9,
+            "recall {detected}/{}",
+            gt.len()
+        );
         // …and most noise edges rejected.
         let noise_kept = retained.len() - detected;
         assert!(

@@ -46,8 +46,14 @@ impl LinearSvm {
         assert!(!rows.is_empty(), "empty training set");
         assert_eq!(rows.len(), labels.len(), "one label per row");
         let dim = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == dim), "inconsistent dimensions");
-        assert!(labels.iter().all(|&y| y == 1 || y == -1), "labels must be ±1");
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "inconsistent dimensions"
+        );
+        assert!(
+            labels.iter().all(|&y| y == 1 || y == -1),
+            "labels must be ±1"
+        );
 
         let mut w = vec![0.0f64; dim];
         let mut b = 0.0f64;
@@ -76,7 +82,10 @@ impl LinearSvm {
                 }
             }
         }
-        Self { weights: w, bias: b }
+        Self {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// The decision value w·x + b.
@@ -143,7 +152,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let rows = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.1, 0.0], vec![1.0, 0.9]];
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.1, 0.0],
+            vec![1.0, 0.9],
+        ];
         let labels = vec![-1, 1, -1, 1];
         let a = LinearSvm::train(&rows, &labels, SvmParams::default());
         let b = LinearSvm::train(&rows, &labels, SvmParams::default());
@@ -156,7 +170,14 @@ mod tests {
         // Both classes on the positive axis, separated at x = 5.
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
         let labels: Vec<i8> = (0..100).map(|i| if i >= 50 { 1 } else { -1 }).collect();
-        let svm = LinearSvm::train(&rows, &labels, SvmParams { epochs: 80, ..Default::default() });
+        let svm = LinearSvm::train(
+            &rows,
+            &labels,
+            SvmParams {
+                epochs: 80,
+                ..Default::default()
+            },
+        );
         assert!(!svm.predict(&[1.0]));
         assert!(svm.predict(&[9.0]));
     }

@@ -35,7 +35,10 @@ fn main() {
     })
     .build_blocks(&input);
 
-    println!("\n{:<22} {:>7} {:>7} {:>7} {:>9} {:>8}", "method", "PC%", "PQ%", "F1", "‖B‖", "t(s)");
+    println!(
+        "\n{:<22} {:>7} {:>7} {:>7} {:>9} {:>8}",
+        "method", "PC%", "PQ%", "F1", "‖B‖", "t(s)"
+    );
     for algorithm in [
         PruningAlgorithm::Wnp1,
         PruningAlgorithm::Wnp2,

@@ -42,7 +42,10 @@ fn main() {
 
     // 3. Transitive closure turns pairwise matches into resolved entities.
     let entities = resolve_entities(&decision.matches, input.total_profiles());
-    println!("resolved {} multi-profile entities; first three:", entities.len());
+    println!(
+        "resolved {} multi-profile entities; first three:",
+        entities.len()
+    );
     for cluster in entities.iter().take(3) {
         let ids: Vec<&str> = cluster
             .iter()

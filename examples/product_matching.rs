@@ -49,12 +49,13 @@ fn main() {
     // §3.3.2: "a higher value for c can achieve higher PC, but at the
     // expense of PQ."
     println!("\nSweep of the local-threshold constant c:");
-    println!("{:>6} {:>8} {:>8} {:>8} {:>9}", "c", "PC%", "PQ%", "F1", "‖B‖");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>9}",
+        "c", "PC%", "PQ%", "F1", "‖B‖"
+    );
     for c in [1.0, 1.5, 2.0, 3.0, 5.0, 10.0] {
-        let outcome = BlastPipeline::new(
-            BlastConfig::default().with_pruning_constants(c, 2.0),
-        )
-        .run(&input);
+        let outcome =
+            BlastPipeline::new(BlastConfig::default().with_pruning_constants(c, 2.0)).run(&input);
         let q = evaluate_pairs(outcome.pairs.pairs(), &gt);
         println!(
             "{c:>6.1} {:>8} {:>8} {:>8.3} {:>9}",

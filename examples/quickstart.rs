@@ -63,7 +63,10 @@ fn main() {
 
     // ---- Figure 1b: Token Blocking --------------------------------------
     let blocks = TokenBlocking::new().build(&input);
-    println!("Figure 1b — Token Blocking produced {} blocks:", blocks.len());
+    println!(
+        "Figure 1b — Token Blocking produced {} blocks:",
+        blocks.len()
+    );
     for b in blocks.blocks() {
         let members: Vec<String> = b.profiles.iter().map(|p| format!("p{}", p.0 + 1)).collect();
         println!("  {:<8} {{{}}}", b.label, members.join(", "));
@@ -109,7 +112,10 @@ fn main() {
     let entropies = info.partitioning.block_entropies(&blocks_l);
     let ctx = GraphContext::new(&blocks_l).with_block_entropies(entropies);
     let retained = BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::new());
-    println!("\nBLAST meta-blocking retained {} comparison(s):", retained.len());
+    println!(
+        "\nBLAST meta-blocking retained {} comparison(s):",
+        retained.len()
+    );
     for (a, b) in retained.iter() {
         println!("  p{} ↔ p{}", a.0 + 1, b.0 + 1);
     }

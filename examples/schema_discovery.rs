@@ -6,7 +6,9 @@
 
 use blast::core::schema::attribute_profile::AttributeProfiles;
 use blast::core::schema::candidates::CandidateSource;
-use blast::core::schema::extraction::{InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor};
+use blast::core::schema::extraction::{
+    InductionAlgorithm, LooseSchemaConfig, LooseSchemaExtractor,
+};
 use blast::datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
 use blast::datamodel::Tokenizer;
 use blast::lsh::scurve::SCurve;
@@ -49,7 +51,10 @@ fn main() {
             pairs.len(),
             t.elapsed()
         );
-        for algorithm in [InductionAlgorithm::Lmi, InductionAlgorithm::AttributeClustering] {
+        for algorithm in [
+            InductionAlgorithm::Lmi,
+            InductionAlgorithm::AttributeClustering,
+        ] {
             let t = Instant::now();
             let info = LooseSchemaExtractor::new(LooseSchemaConfig {
                 algorithm,

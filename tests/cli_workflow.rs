@@ -26,7 +26,15 @@ fn generate_block_evaluate_roundtrip() {
     let d = dir.to_str().unwrap();
 
     // 1. Generate a small ar1-style benchmark.
-    let report = run(&s(&["generate", "--preset", "ar1", "--scale", "0.05", "--out-dir", d]));
+    let report = run(&s(&[
+        "generate",
+        "--preset",
+        "ar1",
+        "--scale",
+        "0.05",
+        "--out-dir",
+        d,
+    ]));
     assert!(report.contains("wrote ar1"), "{report}");
     assert!(dir.join("d1.csv").exists());
     assert!(dir.join("gt.csv").exists());
@@ -35,11 +43,16 @@ fn generate_block_evaluate_roundtrip() {
     let pairs_path = dir.join("pairs.csv");
     let report = run(&s(&[
         "block",
-        "--d1", &format!("{d}/d1.csv"),
-        "--d2", &format!("{d}/d2.csv"),
-        "--id-column", "_id",
-        "--gt", &format!("{d}/gt.csv"),
-        "--out", pairs_path.to_str().unwrap(),
+        "--d1",
+        &format!("{d}/d1.csv"),
+        "--d2",
+        &format!("{d}/d2.csv"),
+        "--id-column",
+        "_id",
+        "--gt",
+        &format!("{d}/gt.csv"),
+        "--out",
+        pairs_path.to_str().unwrap(),
     ]));
     assert!(report.contains("PC ="), "{report}");
     assert!(report.contains("pairs written"), "{report}");
@@ -56,11 +69,16 @@ fn generate_block_evaluate_roundtrip() {
     // 3. Evaluate the written pairs file independently.
     let report = run(&s(&[
         "evaluate",
-        "--d1", &format!("{d}/d1.csv"),
-        "--d2", &format!("{d}/d2.csv"),
-        "--id-column", "_id",
-        "--pairs", pairs_path.to_str().unwrap(),
-        "--gt", &format!("{d}/gt.csv"),
+        "--d1",
+        &format!("{d}/d1.csv"),
+        "--d2",
+        &format!("{d}/d2.csv"),
+        "--id-column",
+        "_id",
+        "--pairs",
+        pairs_path.to_str().unwrap(),
+        "--gt",
+        &format!("{d}/gt.csv"),
     ]));
     assert!(report.contains("F1 ="), "{report}");
 
@@ -71,12 +89,23 @@ fn generate_block_evaluate_roundtrip() {
 fn schema_command_prints_clusters() {
     let dir = temp_dir("schema");
     let d = dir.to_str().unwrap();
-    run(&s(&["generate", "--preset", "ar1", "--scale", "0.05", "--out-dir", d]));
+    run(&s(&[
+        "generate",
+        "--preset",
+        "ar1",
+        "--scale",
+        "0.05",
+        "--out-dir",
+        d,
+    ]));
     let report = run(&s(&[
         "schema",
-        "--d1", &format!("{d}/d1.csv"),
-        "--d2", &format!("{d}/d2.csv"),
-        "--id-column", "_id",
+        "--d1",
+        &format!("{d}/d1.csv"),
+        "--d2",
+        &format!("{d}/d2.csv"),
+        "--id-column",
+        "_id",
     ]));
     assert!(report.contains("cluster #1"), "{report}");
     assert!(report.contains("s0.title"), "{report}");
@@ -87,12 +116,23 @@ fn schema_command_prints_clusters() {
 fn dedup_command_runs_dirty_er() {
     let dir = temp_dir("dedup");
     let d = dir.to_str().unwrap();
-    run(&s(&["generate", "--preset", "census", "--scale", "0.2", "--out-dir", d]));
+    run(&s(&[
+        "generate",
+        "--preset",
+        "census",
+        "--scale",
+        "0.2",
+        "--out-dir",
+        d,
+    ]));
     let report = run(&s(&[
         "dedup",
-        "--input", &format!("{d}/data.csv"),
-        "--id-column", "_id",
-        "--gt", &format!("{d}/gt.csv"),
+        "--input",
+        &format!("{d}/data.csv"),
+        "--id-column",
+        "_id",
+        "--gt",
+        &format!("{d}/gt.csv"),
     ]));
     assert!(report.contains("retained comparisons"), "{report}");
     assert!(report.contains("PC ="), "{report}");
@@ -104,8 +144,10 @@ fn bad_preset_is_reported() {
     let dir = temp_dir("bad");
     let err = blast_cli::run(&s(&[
         "generate",
-        "--preset", "nope",
-        "--out-dir", dir.to_str().unwrap(),
+        "--preset",
+        "nope",
+        "--out-dir",
+        dir.to_str().unwrap(),
     ]))
     .unwrap_err();
     assert!(err.contains("unknown preset"));

@@ -22,7 +22,10 @@ fn one_side_empty() {
     d1.push_pairs("a", [("name", "john smith")]);
     let input = ErInput::clean_clean(d1, EntityCollection::new(SourceId(1)));
     let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
-    assert!(outcome.pairs.is_empty(), "no cross-source comparisons possible");
+    assert!(
+        outcome.pairs.is_empty(),
+        "no cross-source comparisons possible"
+    );
 }
 
 #[test]
@@ -59,13 +62,22 @@ fn all_identical_profiles() {
 #[test]
 fn symbol_only_and_unicode_values() {
     let mut d1 = EntityCollection::new(SourceId(0));
-    d1.push_pairs("a", [("name", "!!! ··· ***"), ("t", "Modène 1985 ↔ Émilie")]);
+    d1.push_pairs(
+        "a",
+        [("name", "!!! ··· ***"), ("t", "Modène 1985 ↔ Émilie")],
+    );
     let mut d2 = EntityCollection::new(SourceId(1));
     d2.push_pairs("b", [("name", "§§§"), ("t", "modène 1985 émilie")]);
-    d2.push_pairs("c", [("name", "unrelated"), ("t", "totally different words")]);
+    d2.push_pairs(
+        "c",
+        [("name", "unrelated"), ("t", "totally different words")],
+    );
     let input = ErInput::clean_clean(d1, d2);
     let blocks = TokenBlocking::new().build(&input);
-    assert!(blocks.block_by_label("modène").is_some(), "unicode tokens must block");
+    assert!(
+        blocks.block_by_label("modène").is_some(),
+        "unicode tokens must block"
+    );
     let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
     let _ = outcome.pairs.len(); // no panic is the contract here
 }
@@ -102,8 +114,14 @@ fn single_attribute_sources() {
     let mut d1 = EntityCollection::new(SourceId(0));
     let mut d2 = EntityCollection::new(SourceId(1));
     for i in 0..30 {
-        d1.push_pairs(&format!("a{i}"), [("text", &*format!("record number {i} alpha"))]);
-        d2.push_pairs(&format!("b{i}"), [("body", &*format!("record number {i} alpha"))]);
+        d1.push_pairs(
+            &format!("a{i}"),
+            [("text", &*format!("record number {i} alpha"))],
+        );
+        d2.push_pairs(
+            &format!("b{i}"),
+            [("body", &*format!("record number {i} alpha"))],
+        );
     }
     let input = ErInput::clean_clean(d1, d2);
     let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);

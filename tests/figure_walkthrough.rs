@@ -65,8 +65,14 @@ fn figure2_abram_disambiguation() {
         .map(|b| b.profiles.iter().map(|p| p.0).collect())
         .collect();
     assert_eq!(abram_blocks.len(), 2, "Abram must split into two blocks");
-    assert!(abram_blocks.contains(&vec![0, 2]), "person-name Abram = {{p1, p3}}");
-    assert!(abram_blocks.contains(&vec![1, 3]), "street-name Abram = {{p2, p4}}");
+    assert!(
+        abram_blocks.contains(&vec![0, 2]),
+        "person-name Abram = {{p1, p3}}"
+    );
+    assert!(
+        abram_blocks.contains(&vec![1, 3]),
+        "street-name Abram = {{p2, p4}}"
+    );
 }
 
 /// Figure 3c: the full pipeline retains exactly the two matching
@@ -75,9 +81,19 @@ fn figure2_abram_disambiguation() {
 fn figure3_final_graph() {
     let input = figure1_input();
     let outcome = BlastPipeline::new(BlastConfig::default()).run(&input);
-    assert!(outcome.pairs.contains(ProfileId(0), ProfileId(2)), "p1–p3 kept");
-    assert!(outcome.pairs.contains(ProfileId(1), ProfileId(3)), "p2–p4 kept");
-    assert_eq!(outcome.pairs.len(), 2, "every superfluous comparison removed");
+    assert!(
+        outcome.pairs.contains(ProfileId(0), ProfileId(2)),
+        "p1–p3 kept"
+    );
+    assert!(
+        outcome.pairs.contains(ProfileId(1), ProfileId(3)),
+        "p2–p4 kept"
+    );
+    assert_eq!(
+        outcome.pairs.len(),
+        2,
+        "every superfluous comparison removed"
+    );
 }
 
 /// The same walkthrough without the loose schema information keeps at least

@@ -10,27 +10,43 @@ use proptest::prelude::*;
 /// tiny vocabularies so blocks actually form.
 fn arb_input() -> impl Strategy<Value = (ErInput, GroundTruth)> {
     let word = prop_oneof![
-        Just("alpha"), Just("beta"), Just("gamma"), Just("delta"),
-        Just("epsilon"), Just("zeta"), Just("one"), Just("two"),
+        Just("alpha"),
+        Just("beta"),
+        Just("gamma"),
+        Just("delta"),
+        Just("epsilon"),
+        Just("zeta"),
+        Just("one"),
+        Just("two"),
     ];
     let value = proptest::collection::vec(word, 1..4).prop_map(|ws| ws.join(" "));
     let profile = proptest::collection::vec(value, 1..4);
     let side = proptest::collection::vec(profile, 1..8);
-    (side.clone(), side, proptest::collection::vec((0u32..8, 0u32..8), 0..6)).prop_map(
-        |(s1, s2, matches)| {
+    (
+        side.clone(),
+        side,
+        proptest::collection::vec((0u32..8, 0u32..8), 0..6),
+    )
+        .prop_map(|(s1, s2, matches)| {
             let attrs = ["name", "info", "place", "misc"];
             let mut d1 = EntityCollection::new(SourceId(0));
             for (i, values) in s1.iter().enumerate() {
                 d1.push_pairs(
                     &format!("a{i}"),
-                    values.iter().enumerate().map(|(j, v)| (attrs[j % 4], v.as_str())),
+                    values
+                        .iter()
+                        .enumerate()
+                        .map(|(j, v)| (attrs[j % 4], v.as_str())),
                 );
             }
             let mut d2 = EntityCollection::new(SourceId(1));
             for (i, values) in s2.iter().enumerate() {
                 d2.push_pairs(
                     &format!("b{i}"),
-                    values.iter().enumerate().map(|(j, v)| (attrs[j % 4], v.as_str())),
+                    values
+                        .iter()
+                        .enumerate()
+                        .map(|(j, v)| (attrs[j % 4], v.as_str())),
                 );
             }
             let sep = d1.len() as u32;
@@ -42,8 +58,7 @@ fn arb_input() -> impl Strategy<Value = (ErInput, GroundTruth)> {
                 }
             }
             (ErInput::clean_clean(d1, d2), gt)
-        },
-    )
+        })
 }
 
 proptest! {

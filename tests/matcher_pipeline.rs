@@ -65,7 +65,10 @@ fn threshold_monotonicity() {
     let mut last = usize::MAX;
     for threshold in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let decision = JaccardMatcher::new(threshold).match_pairs(&input, &outcome.pairs);
-        assert!(decision.matches.len() <= last, "matches must shrink as the threshold rises");
+        assert!(
+            decision.matches.len() <= last,
+            "matches must shrink as the threshold rises"
+        );
         last = decision.matches.len();
     }
 }

@@ -112,7 +112,11 @@ fn blast_competitive_with_supervised() {
     let outcome = pipeline.run(&input);
     let blast_q = evaluate_pairs(outcome.pairs.pairs(), &gt);
 
-    assert!(sup_q.pc > 0.5, "supervised should find most matches, PC {}", sup_q.pc);
+    assert!(
+        sup_q.pc > 0.5,
+        "supervised should find most matches, PC {}",
+        sup_q.pc
+    );
     assert!(
         blast_q.f1 >= sup_q.f1 * 0.8,
         "BLAST F1 {} should be within 20 % of supervised F1 {}",
@@ -135,6 +139,9 @@ fn retained_pairs_are_a_valid_restructuring() {
     let sep = input.separator();
     for (a, b) in outcome.pairs.iter() {
         assert!(a.0 < sep && b.0 >= sep, "pair crosses the separator");
-        assert!(index.co_occur(a.0, b.0), "retained pair must come from a block");
+        assert!(
+            index.co_occur(a.0, b.0),
+            "retained pair must come from a block"
+        );
     }
 }

@@ -3,9 +3,9 @@
 //! q-grams survive typos that break whole-token keys.
 
 use blast::blocking::TokenBlocking;
+use blast::datamodel::GroundTruth;
 use blast::datamodel::{EntityCollection, ErInput, ProfileId, SourceId, Tokenizer};
 use blast::metrics::evaluate_blocks;
-use blast::datamodel::GroundTruth;
 
 fn typo_input() -> (ErInput, GroundTruth) {
     let mut d1 = EntityCollection::new(SourceId(0));

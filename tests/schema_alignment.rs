@@ -3,7 +3,9 @@
 //! alignment, so loosely schema-aware blocking and Standard Blocking yield
 //! the same blocks — and the same PC/PQ.
 
-use blast::blocking::{BlockFiltering, BlockPurging, SchemaAlignment, StandardBlocking, TokenBlocking};
+use blast::blocking::{
+    BlockFiltering, BlockPurging, SchemaAlignment, StandardBlocking, TokenBlocking,
+};
 use blast::core::schema::extraction::{LooseSchemaConfig, LooseSchemaExtractor};
 use blast::datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
 use blast::datamodel::{ErInput, SourceId};
@@ -56,7 +58,10 @@ fn lmi_partitioning_matches_manual_alignment_on_ar1() {
         q_standard.pq,
         q_loose.pq
     );
-    assert_eq!(standard.aggregate_cardinality(), loose.aggregate_cardinality());
+    assert_eq!(
+        standard.aggregate_cardinality(),
+        loose.aggregate_cardinality()
+    );
 }
 
 /// The loosely schema-aware blocks ("L") dominate plain Token Blocking
@@ -73,7 +78,12 @@ fn lmi_blocking_improves_over_token_blocking() {
     let q_t = evaluate_blocks(&t_blocks, &gt);
     let q_l = evaluate_blocks(&l_blocks, &gt);
 
-    assert!(q_l.pq >= q_t.pq, "L PQ {} must be ≥ T PQ {}", q_l.pq, q_t.pq);
+    assert!(
+        q_l.pq >= q_t.pq,
+        "L PQ {} must be ≥ T PQ {}",
+        q_l.pq,
+        q_t.pq
+    );
     assert!(
         q_l.pc >= q_t.pc - 0.01,
         "L PC {} must not drop below T PC {}",

@@ -1,0 +1,140 @@
+//! Collection strategies: `vec`, `btree_set`, `hash_set`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+use std::ops::Range;
+
+/// A `Vec` whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` with size drawn from `size` (best effort when the element
+/// domain is smaller than the requested size).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+        let target = rng.random_range(self.size.clone());
+        let mut set = BTreeSet::new();
+        // Collisions shrink the set; retry a bounded number of times so tiny
+        // element domains still terminate.
+        for _ in 0..target * 4 + 8 {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+/// A `HashSet` with size drawn from `size` (best effort, like
+/// [`btree_set`]).
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size }
+}
+
+/// See [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+        let target = rng.random_range(self.size.clone());
+        let mut set = HashSet::new();
+        for _ in 0..target * 4 + 8 {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_size_and_elements() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = vec(0u32..5, 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn sets_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = btree_set(0u32..12, 0..8);
+        let h = hash_set((0u32..5, 0u32..5), 0..60);
+        for _ in 0..100 {
+            assert!(b.generate(&mut rng).len() < 8);
+            // Domain has only 25 tuples: size saturates gracefully.
+            assert!(h.generate(&mut rng).len() <= 25);
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_strings() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = vec(vec("[a-b]{1,2}", 1..3), 1..4);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty());
+    }
+}

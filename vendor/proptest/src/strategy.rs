@@ -1,0 +1,183 @@
+//! The [`Strategy`] trait and core combinators.
+//!
+//! A strategy simply generates a value from an RNG — no shrink trees. All
+//! combinators are `Clone` so strategies can be reused in several
+//! compositions (the upstream idiom `side.clone()`).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::rc::Rc;
+
+/// Generates random values of an associated type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies ([`crate::prop_oneof!`]).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<V> Union<V> {
+    /// Builds the union; `choices` must be non-empty.
+    pub fn new(choices: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        Self(choices)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let i = rng.random_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// String literals act as regex strategies (subset; see [`crate::string`]).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = (0u32..10, 5usize..6).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((5..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_choice() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Union::new(vec![Just("a").boxed(), Just("b").boxed()]);
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                "a" => seen_a = true,
+                _ => seen_b = true,
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+}

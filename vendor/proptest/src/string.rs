@@ -1,0 +1,150 @@
+//! Tiny regex-pattern string generator.
+//!
+//! Upstream proptest treats `&str` strategies as full regexes. The tests in
+//! this workspace only use patterns of the shape `ATOM{m,n}` where `ATOM`
+//! is `.` or a character class `[...]` (with literal characters, escapes and
+//! `a-b` ranges), so that is all this parser supports. Unsupported syntax
+//! panics loudly rather than generating something subtly wrong.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Characters `.` draws from: printable ASCII plus a couple of multibyte
+/// letters so UTF-8 handling gets exercised (upstream `.` also excludes
+/// newlines).
+fn dot_alphabet() -> Vec<char> {
+    let mut chars: Vec<char> = (' '..='~').collect();
+    chars.extend(['é', 'ü', 'ß', 'λ']);
+    chars
+}
+
+fn parse_class(pattern: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut alphabet = Vec::new();
+    while i < pattern.len() && pattern[i] != ']' {
+        let c = if pattern[i] == '\\' {
+            i += 1;
+            match pattern.get(i) {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('r') => '\r',
+                Some(&c) => c,
+                None => panic!("dangling escape in character class"),
+            }
+        } else {
+            pattern[i]
+        };
+        // `a-b` range (a `-` between two characters; trailing `-` is literal).
+        if i + 2 < pattern.len() && pattern[i + 1] == '-' && pattern[i + 2] != ']' {
+            let end = pattern[i + 2];
+            assert!(c <= end, "inverted range {c}-{end} in character class");
+            alphabet.extend(c..=end);
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < pattern.len(), "unterminated character class");
+    (alphabet, i + 1) // past the ']'
+}
+
+fn parse_repeat(pattern: &[char], i: usize) -> (usize, usize, usize) {
+    if i < pattern.len() && pattern[i] == '{' {
+        let close = pattern[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .expect("unterminated {m,n} repetition")
+            + i;
+        let body: String = pattern[i + 1..close].iter().collect();
+        let (m, n) = match body.split_once(',') {
+            Some((m, n)) => (
+                m.parse().expect("bad lower bound in {m,n}"),
+                n.parse().expect("bad upper bound in {m,n}"),
+            ),
+            None => {
+                let k = body.parse().expect("bad count in {k}");
+                (k, k)
+            }
+        };
+        (m, n, close + 1)
+    } else {
+        (1, 1, i)
+    }
+}
+
+/// Generates one string matching `pattern` (the supported subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (alphabet, next) = match chars[i] {
+            '.' => (dot_alphabet(), i + 1),
+            '[' => parse_class(&chars, i + 1),
+            '\\' => {
+                let c = match chars.get(i + 1) {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(&c) => c,
+                    None => panic!("dangling escape in pattern"),
+                };
+                (vec![c], i + 2)
+            }
+            c => (vec![c], i + 1),
+        };
+        let (min, max, next) = parse_repeat(&chars, next);
+        let len = if min == max {
+            min
+        } else {
+            rng.random_range(min..=max)
+        };
+        for _ in 0..len {
+            out.push(alphabet[rng.random_range(0..alphabet.len())]);
+        }
+        i = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_range_and_escapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[ -~éü\n\"]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            for c in s.chars() {
+                assert!(
+                    (' '..='~').contains(&c) || ['é', 'ü', '\n', '"'].contains(&c),
+                    "{c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simple_class_and_dot() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-c]{0,3}", &mut rng);
+            assert!(s.chars().count() <= 3);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let d = generate_from_pattern(".{0,12}", &mut rng);
+            assert!(d.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    fn lengths_cover_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lens: Vec<usize> = (0..300)
+            .map(|_| generate_from_pattern("x{1,4}", &mut rng).len())
+            .collect();
+        assert!(lens.contains(&1) && lens.contains(&4));
+        assert!(lens.iter().all(|&l| (1..=4).contains(&l)));
+    }
+}

@@ -1,0 +1,41 @@
+//! Case scheduling for the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suite quick while
+        // still exercising the generators broadly.
+        Self { cases: 64 }
+    }
+}
+
+/// Marker for a `prop_assume!` rejection — the case is skipped.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// The deterministic RNG for one case of one property: seeded from the test
+/// name and case index so every property sees an independent stream and
+/// failures reproduce exactly.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64)
+}
