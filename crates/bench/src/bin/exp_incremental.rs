@@ -1,0 +1,230 @@
+//! Incremental repair vs full recompute across micro-batch sizes.
+//!
+//! Seeds the incremental pipeline with half of a Zipf-skewed dirty
+//! collection, then streams the rest in micro-batches of varying size. For
+//! every configuration it measures
+//!
+//! * **incremental**: `insert` + `commit` (dirty-neighbourhood repair) per
+//!   micro-batch, and
+//! * **full recompute**: what a batch deployment must do at the same
+//!   commit points — re-run Token Blocking, purging, filtering and pruning
+//!   on the whole collection.
+//!
+//! Both paths produce bit-identical candidate sets (asserted at the end of
+//! every run — the subsystem's contract). Writes `BENCH_incremental.json`
+//! and prints a human summary. `BLAST_SCALE` scales the collection like the
+//! other `exp_*` runners.
+
+use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
+use blast_datamodel::entity::SourceId;
+use blast_datamodel::input::ErInput;
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::weights::{EdgeWeigher, WeightingScheme};
+use blast_graph::GraphContext;
+use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The streamed tail is capped so size-1 micro-batches stay tractable.
+const MAX_STREAMED: usize = 192;
+
+struct RunResult {
+    scheme: &'static str,
+    pruning: String,
+    batch_size: usize,
+    commits: usize,
+    incremental_secs: f64,
+    full_secs: f64,
+    speedup: f64,
+    final_candidates: usize,
+}
+
+fn run_config(
+    rows: &[(String, Vec<(String, String)>)],
+    scheme: WeightingScheme,
+    pruning: IncrementalPruning,
+    batch_size: usize,
+) -> RunResult {
+    let seed_len = rows.len() / 2;
+    let streamed = (rows.len() - seed_len).min(MAX_STREAMED);
+
+    let mut pipeline = IncrementalPipeline::dirty(scheme, pruning, CleaningConfig::default());
+    for (id, pairs) in &rows[..seed_len] {
+        pipeline.insert(
+            SourceId(0),
+            id,
+            pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
+        );
+    }
+    pipeline.commit();
+
+    // Incremental path: insert + repair per micro-batch.
+    let mut commits = 0usize;
+    let t0 = Instant::now();
+    for chunk in rows[seed_len..seed_len + streamed].chunks(batch_size) {
+        for (id, pairs) in chunk {
+            pipeline.insert(
+                SourceId(0),
+                id,
+                pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
+            );
+        }
+        pipeline.commit();
+        commits += 1;
+    }
+    let incremental_secs = t0.elapsed().as_secs_f64();
+
+    // Full-recompute path: the same commit schedule, each commit a batch
+    // re-run over the whole collection so far.
+    let full_prune = |input: &ErInput, pipeline: &IncrementalPipeline| {
+        let blocks = pipeline.batch_blocks(input);
+        let mut ctx = GraphContext::new(&blocks);
+        if scheme.requires_degrees() {
+            ctx.ensure_degrees();
+        }
+        pruning.batch_prune(&ctx, &scheme).len()
+    };
+    let mut store = IncrementalPipeline::dirty(scheme, pruning, CleaningConfig::default());
+    for (id, pairs) in &rows[..seed_len] {
+        store.insert(
+            SourceId(0),
+            id,
+            pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
+        );
+    }
+    let t0 = Instant::now();
+    for chunk in rows[seed_len..seed_len + streamed].chunks(batch_size) {
+        for (id, pairs) in chunk {
+            store.insert(
+                SourceId(0),
+                id,
+                pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
+            );
+        }
+        let input = store.materialize();
+        std::hint::black_box(full_prune(&input, &store));
+    }
+    let full_secs = t0.elapsed().as_secs_f64();
+
+    // Contract check: the incremental candidate set equals a batch run on
+    // the final collection.
+    assert_eq!(
+        pipeline.retained().pairs(),
+        pipeline.batch_retained().pairs(),
+        "batch-equivalence violated for {} / {}",
+        scheme.name(),
+        pruning.label()
+    );
+
+    RunResult {
+        scheme: scheme.name(),
+        pruning: pruning.label(),
+        batch_size,
+        commits,
+        incremental_secs,
+        full_secs,
+        speedup: full_secs / incremental_secs.max(1e-12),
+        final_candidates: pipeline.retained().len(),
+    }
+}
+
+fn main() {
+    let scale = blast_bench::scale();
+    let spec = dirty_preset(DirtyPreset::Census).scaled(scale * 2.0);
+    let (input, _) = generate_dirty(&spec);
+    let ErInput::Dirty(d) = &input else {
+        unreachable!()
+    };
+    // Freeze the rows as (external id, [(attr, value)]) so every
+    // configuration replays the identical stream.
+    let rows: Vec<(String, Vec<(String, String)>)> = d
+        .profiles()
+        .iter()
+        .map(|p| {
+            (
+                p.external_id.to_string(),
+                p.values
+                    .iter()
+                    .map(|(a, v)| (d.attribute_name(*a).to_string(), v.to_string()))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    println!(
+        "## Incremental repair vs full recompute (census preset, scale {scale}, {} profiles, {} streamed)",
+        rows.len(),
+        (rows.len() - rows.len() / 2).min(MAX_STREAMED),
+    );
+    println!(
+        "{:<6} {:<6} {:>6} {:>8} {:>12} {:>12} {:>9}",
+        "scheme", "prune", "batch", "commits", "incr(s)", "full(s)", "speedup"
+    );
+
+    let configs: [(WeightingScheme, IncrementalPruning); 3] = [
+        (
+            WeightingScheme::Cbs,
+            IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        ),
+        (
+            WeightingScheme::Cbs,
+            IncrementalPruning::Traditional(PruningAlgorithm::Wep),
+        ),
+        (
+            WeightingScheme::Js,
+            IncrementalPruning::Traditional(PruningAlgorithm::Wnp2),
+        ),
+    ];
+    let batch_sizes = [1usize, 8, 64];
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for &(scheme, pruning) in &configs {
+        for &batch_size in &batch_sizes {
+            let r = run_config(&rows, scheme, pruning, batch_size);
+            println!(
+                "{:<6} {:<6} {:>6} {:>8} {:>12.4} {:>12.4} {:>8.2}x",
+                r.scheme,
+                r.pruning,
+                r.batch_size,
+                r.commits,
+                r.incremental_secs,
+                r.full_secs,
+                r.speedup
+            );
+            results.push(r);
+        }
+    }
+
+    // BENCH_incremental.json — hand-rolled (the workspace has no serde).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"preset\": \"census\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"profiles\": {},", rows.len());
+    let _ = writeln!(json, "  \"seeded\": {},", rows.len() / 2);
+    let _ = writeln!(
+        json,
+        "  \"streamed\": {},",
+        (rows.len() - rows.len() / 2).min(MAX_STREAMED)
+    );
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"scheme\": \"{}\", \"pruning\": \"{}\", \"batch_size\": {}, \"commits\": {}, \"incremental_secs\": {:.6}, \"full_recompute_secs\": {:.6}, \"speedup\": {:.3}, \"final_candidates\": {}}}{comma}",
+            r.scheme,
+            r.pruning,
+            r.batch_size,
+            r.commits,
+            r.incremental_secs,
+            r.full_secs,
+            r.speedup,
+            r.final_candidates,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+    println!();
+    println!("wrote BENCH_incremental.json");
+}

@@ -1,8 +1,8 @@
 //! One function per table/figure of the paper's evaluation.
 
 use crate::methods::{
-    prepare, run_blast, run_blast_weighted_cnp, run_supervised, run_traditional_avg, MethodResult,
-    PreparedDataset,
+    prepare, run_blast, run_blast_weighted_cnp, run_supervised, run_traditional_avg,
+    run_traditional_sweep, MethodResult, PreparedDataset,
 };
 use blast_blocking::filtering::BlockFiltering;
 use blast_blocking::purging::BlockPurging;
@@ -102,52 +102,42 @@ pub fn table3(scale: f64) -> String {
     out
 }
 
-/// The Table 4/5 row set for one prepared dataset.
+/// The Table 4/5 row set for one prepared dataset. The four traditional
+/// prunings share one materialised edge list per scheme per block
+/// collection (T and L) instead of re-traversing per configuration.
 fn comparison_rows(
     prepared: &PreparedDataset,
     schema_config: LooseSchemaConfig,
     blast_label: &str,
 ) -> Vec<MethodResult> {
+    const ALGS: [PruningAlgorithm; 4] = [
+        PruningAlgorithm::Wnp1,
+        PruningAlgorithm::Wnp2,
+        PruningAlgorithm::Cnp1,
+        PruningAlgorithm::Cnp2,
+    ];
+    let t_rows = run_traditional_sweep(&prepared.blocks_t, &ALGS, &prepared.gt, 0.0, |a| {
+        format!("{} T", a.label())
+    });
+    let l_rows = run_traditional_sweep(
+        &prepared.blocks_l,
+        &ALGS,
+        &prepared.gt,
+        prepared.l_seconds,
+        |a| format!("{} L", a.label()),
+    );
+
     let mut rows = Vec::new();
-    for (algorithm, label) in [
-        (PruningAlgorithm::Wnp1, "wnp1"),
-        (PruningAlgorithm::Wnp2, "wnp2"),
-    ] {
-        rows.push(run_traditional_avg(
-            &format!("{label} T"),
-            &prepared.blocks_t,
-            algorithm,
-            &prepared.gt,
-            0.0,
-        ));
-        rows.push(run_traditional_avg(
-            &format!("{label} L"),
-            &prepared.blocks_l,
-            algorithm,
-            &prepared.gt,
-            prepared.l_seconds,
-        ));
+    for i in 0..2 {
+        // wnp1, wnp2
+        rows.push(t_rows[i].clone());
+        rows.push(l_rows[i].clone());
     }
-    for (algorithm, label) in [
-        (PruningAlgorithm::Cnp1, "cnp1"),
-        (PruningAlgorithm::Cnp2, "cnp2"),
-    ] {
-        rows.push(run_traditional_avg(
-            &format!("{label} T"),
-            &prepared.blocks_t,
-            algorithm,
-            &prepared.gt,
-            0.0,
-        ));
-        rows.push(run_traditional_avg(
-            &format!("{label} L"),
-            &prepared.blocks_l,
-            algorithm,
-            &prepared.gt,
-            prepared.l_seconds,
-        ));
+    for (i, algorithm) in [(2, PruningAlgorithm::Cnp1), (3, PruningAlgorithm::Cnp2)] {
+        rows.push(t_rows[i].clone());
+        rows.push(l_rows[i].clone());
         rows.push(run_blast_weighted_cnp(
-            &format!("{label} Lchi2h"),
+            &format!("{} Lchi2h", algorithm.label()),
             prepared,
             algorithm,
         ));
@@ -204,19 +194,19 @@ pub fn table5(scale: f64) -> String {
     let spec = clean_clean_preset(CleanCleanPreset::DbpScaled).scaled(scale);
     let (input, gt) = generate_clean_clean(&spec);
     let prepared_star = prepare(input, gt, lsh_config.clone());
-    for (algorithm, label) in [
-        (PruningAlgorithm::Wnp1, "wnp1 L*"),
-        (PruningAlgorithm::Wnp2, "wnp2 L*"),
-        (PruningAlgorithm::Cnp1, "cnp1 L*"),
-        (PruningAlgorithm::Cnp2, "cnp2 L*"),
-    ] {
-        let row = run_traditional_avg(
-            label,
-            &prepared_star.blocks_l,
-            algorithm,
-            &prepared_star.gt,
-            prepared_star.l_seconds,
-        );
+    let star_rows = run_traditional_sweep(
+        &prepared_star.blocks_l,
+        &[
+            PruningAlgorithm::Wnp1,
+            PruningAlgorithm::Wnp2,
+            PruningAlgorithm::Cnp1,
+            PruningAlgorithm::Cnp2,
+        ],
+        &prepared_star.gt,
+        prepared_star.l_seconds,
+        |a| format!("{} L*", a.label()),
+    );
+    for row in star_rows {
         let _ = writeln!(out, "{}", row.row());
     }
     let row = run_blast(&prepared_star, lsh_config, "Blast*");
@@ -296,19 +286,21 @@ pub fn table7(scale: f64) -> String {
         let _ = writeln!(out, "{}", MethodResult::header());
         let blast_row = run_blast(&prepared, LooseSchemaConfig::default(), "Blast");
         let _ = writeln!(out, "{}", blast_row.row());
-        for (algorithm, label) in [
-            (PruningAlgorithm::Wnp1, "wnp1"),
-            (PruningAlgorithm::Wnp2, "wnp2"),
-            (PruningAlgorithm::Cnp1, "cnp1"),
-            (PruningAlgorithm::Cnp2, "cnp2"),
-        ] {
-            let row = run_traditional_avg(
-                label,
-                &prepared.blocks_l,
-                algorithm,
-                &prepared.gt,
-                prepared.l_seconds,
-            );
+        // One materialised edge list per scheme, shared by all four
+        // prunings.
+        let rows = run_traditional_sweep(
+            &prepared.blocks_l,
+            &[
+                PruningAlgorithm::Wnp1,
+                PruningAlgorithm::Wnp2,
+                PruningAlgorithm::Cnp1,
+                PruningAlgorithm::Cnp2,
+            ],
+            &prepared.gt,
+            prepared.l_seconds,
+            |a| a.label().to_string(),
+        );
+        for row in rows {
             let _ = writeln!(out, "{}", row.row());
         }
         let _ = writeln!(out);

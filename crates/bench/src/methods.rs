@@ -102,7 +102,8 @@ pub fn prepare(
 }
 
 /// Traditional meta-blocking averaged over the five weighting schemes —
-/// the "wnp1/wnp2/cnp1/cnp2 × T/L" rows.
+/// the "wnp1/wnp2/cnp1/cnp2 × T/L" rows. One-algorithm convenience over
+/// [`run_traditional_sweep`].
 pub fn run_traditional_avg(
     label: &str,
     blocks: &BlockCollection,
@@ -110,35 +111,87 @@ pub fn run_traditional_avg(
     gt: &GroundTruth,
     extra_seconds: f64,
 ) -> MethodResult {
-    let mut pc = 0.0;
-    let mut pq = 0.0;
-    let mut f1 = 0.0;
-    let mut comparisons = 0u64;
-    let mut seconds = 0.0;
-    let n = WeightingScheme::ALL.len() as f64;
+    run_traditional_sweep(blocks, &[algorithm], gt, extra_seconds, |_| {
+        label.to_string()
+    })
+    .pop()
+    .expect("one algorithm, one row")
+}
+
+/// The scheme × pruning sweep with the materialised edge list **reused**:
+/// per weighting scheme the quadratic adjacency traversal runs once
+/// (`collect_weighted_edges`), and every pruning algorithm's decision stage
+/// runs over that in-memory list (`PruningAlgorithm::prune_edges` —
+/// identical results to the per-call traversals it replaces). Degrees are
+/// computed once for EJS instead of once per algorithm. Returned rows are
+/// ordered like `algorithms`; per-row seconds charge each algorithm its
+/// decision time plus an even share of the shared traversals.
+pub fn run_traditional_sweep(
+    blocks: &BlockCollection,
+    algorithms: &[PruningAlgorithm],
+    gt: &GroundTruth,
+    extra_seconds: f64,
+    label: impl Fn(PruningAlgorithm) -> String,
+) -> Vec<MethodResult> {
+    let n_schemes = WeightingScheme::ALL.len() as f64;
+    let share = algorithms.len() as f64;
+
+    let t0 = Instant::now();
+    let mut ctx = GraphContext::new(blocks);
+    // Degrees once for the whole sweep (EJS is among the schemes).
+    ctx.ensure_degrees();
+    let shared_setup = t0.elapsed().as_secs_f64() / share;
+
+    struct Acc {
+        pc: f64,
+        pq: f64,
+        f1: f64,
+        comparisons: u64,
+        seconds: f64,
+    }
+    let mut accs: Vec<Acc> = algorithms
+        .iter()
+        .map(|_| Acc {
+            pc: 0.0,
+            pq: 0.0,
+            f1: 0.0,
+            comparisons: 0,
+            seconds: shared_setup,
+        })
+        .collect();
+
     for scheme in WeightingScheme::ALL {
         let t0 = Instant::now();
-        let retained = MetaBlocker::new(scheme, algorithm).run(blocks);
-        seconds += t0.elapsed().as_secs_f64();
-        let q = evaluate_pairs(retained.pairs(), gt);
-        pc += q.pc / n;
-        pq += q.pq / n;
-        f1 += q.f1 / n;
-        comparisons += retained.len() as u64;
+        let edges = blast_graph::pruning::common::collect_weighted_edges(&ctx, &scheme);
+        let materialise = t0.elapsed().as_secs_f64() / share;
+        for (acc, &algorithm) in accs.iter_mut().zip(algorithms) {
+            let t1 = Instant::now();
+            let retained = algorithm.prune_edges(&ctx, &edges);
+            acc.seconds += t1.elapsed().as_secs_f64() + materialise;
+            let q = evaluate_pairs(retained.pairs(), gt);
+            acc.pc += q.pc / n_schemes;
+            acc.pq += q.pq / n_schemes;
+            acc.f1 += q.f1 / n_schemes;
+            acc.comparisons += retained.len() as u64;
+        }
     }
-    MethodResult {
-        label: label.to_string(),
-        quality: BlockQuality {
-            pc,
-            pq,
-            f1,
-            detected: 0,
-            total_duplicates: gt.len() as u64,
-            comparisons: comparisons / WeightingScheme::ALL.len() as u64,
-        },
-        seconds: seconds / n + extra_seconds,
-        comparisons: comparisons / WeightingScheme::ALL.len() as u64,
-    }
+
+    accs.iter()
+        .zip(algorithms)
+        .map(|(acc, &algorithm)| MethodResult {
+            label: label(algorithm),
+            quality: BlockQuality {
+                pc: acc.pc,
+                pq: acc.pq,
+                f1: acc.f1,
+                detected: 0,
+                total_duplicates: gt.len() as u64,
+                comparisons: acc.comparisons / WeightingScheme::ALL.len() as u64,
+            },
+            seconds: acc.seconds / n_schemes + extra_seconds,
+            comparisons: acc.comparisons / WeightingScheme::ALL.len() as u64,
+        })
+        .collect()
 }
 
 /// Traditional CNP with BLAST's χ²·h weighting — the "Blast Lχ²ₕ" rows.
@@ -228,5 +281,49 @@ mod tests {
         // Rows render.
         assert!(MethodResult::header().contains("PC"));
         assert!(r4.row().contains("Blast"));
+    }
+
+    /// The shared-edge-list sweep must reproduce the per-call path exactly
+    /// (quality and retained counts; only the timing amortisation differs).
+    #[test]
+    fn sweep_matches_individual_runs() {
+        let spec = clean_clean_preset(CleanCleanPreset::Ar1).scaled(0.03);
+        let (input, gt) = generate_clean_clean(&spec);
+        let prepared = prepare(input, gt, LooseSchemaConfig::default());
+        let algorithms = [
+            PruningAlgorithm::Wep,
+            PruningAlgorithm::Cep,
+            PruningAlgorithm::Wnp1,
+            PruningAlgorithm::Wnp2,
+            PruningAlgorithm::Cnp1,
+            PruningAlgorithm::Cnp2,
+        ];
+        let swept =
+            run_traditional_sweep(&prepared.blocks_t, &algorithms, &prepared.gt, 0.0, |a| {
+                a.label().to_string()
+            });
+        for (row, &algorithm) in swept.iter().zip(&algorithms) {
+            let mut pc = 0.0;
+            let mut comparisons = 0u64;
+            for scheme in WeightingScheme::ALL {
+                let retained = MetaBlocker::new(scheme, algorithm).run(&prepared.blocks_t);
+                pc += evaluate_pairs(retained.pairs(), &prepared.gt).pc
+                    / WeightingScheme::ALL.len() as f64;
+                comparisons += retained.len() as u64;
+            }
+            assert!(
+                (row.quality.pc - pc).abs() < 1e-12,
+                "{}: PC {} vs {}",
+                algorithm.label(),
+                row.quality.pc,
+                pc
+            );
+            assert_eq!(
+                row.comparisons,
+                comparisons / WeightingScheme::ALL.len() as u64,
+                "{}",
+                algorithm.label()
+            );
+        }
     }
 }

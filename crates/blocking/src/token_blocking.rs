@@ -84,11 +84,17 @@ impl TokenBlocking {
             }
         }
 
-        // Deterministic block order: (cluster, token id). Token ids follow
-        // first-appearance order, which is itself deterministic.
+        // Canonical block order: (cluster, token string). Unlike token-id
+        // (first-appearance) order, this is independent of the insertion
+        // history, so an incrementally maintained index can reproduce the
+        // exact same collection — block ids included — from any mutation
+        // sequence (the batch-equivalence contract of `blast-incremental`).
         let mut entries: Vec<((ClusterId, Symbol), Vec<ProfileId>)> =
             postings.into_iter().collect();
-        entries.sort_unstable_by_key(|((c, t), _)| (*c, *t));
+        entries.sort_unstable_by(|((ca, ta), _), ((cb, tb), _)| {
+            ca.cmp(cb)
+                .then_with(|| tokens.resolve(*ta).cmp(tokens.resolve(*tb)))
+        });
 
         let clean_clean = input.is_clean_clean();
         let separator = input.separator();
@@ -197,6 +203,18 @@ mod tests {
             let got: Vec<u32> = b.profiles.iter().map(|p| p.0).collect();
             assert_eq!(&got, profiles, "block {label}");
         }
+    }
+
+    /// Block order must be a pure function of the block *set* (sorted by
+    /// cluster, then label), never of the insertion history — the
+    /// incremental index relies on reproducing it exactly.
+    #[test]
+    fn block_order_is_canonical() {
+        let blocks = TokenBlocking::new().build(&figure1_input());
+        let labels: Vec<&str> = blocks.blocks().iter().map(|b| &*b.label).collect();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(labels, sorted);
     }
 
     #[test]

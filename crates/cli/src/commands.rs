@@ -213,6 +213,134 @@ pub fn evaluate(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// `blast stream`: replay a dirty CSV as micro-batches through the
+/// incremental pipeline, reporting the candidate-pair delta per batch.
+pub fn stream(args: &Args) -> Result<String, String> {
+    use blast_graph::meta::PruningAlgorithm;
+    use blast_graph::weights::{EdgeWeigher as _, WeightingScheme};
+    use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+
+    let options = read_options(args);
+    let d = read_collection(&mut open(args.required("input")?)?, SourceId(0), &options)
+        .map_err(|e| format!("reading --input: {e}"))?;
+    let batch_size = match args.get("batch-size") {
+        None => 64usize,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(b) if b >= 1 => b,
+            _ => return Err(format!("--batch-size must be an integer ≥ 1, got {raw:?}")),
+        },
+    };
+    let pruning = match args.get("pruning") {
+        None | Some("blast") => IncrementalPruning::blast(),
+        Some(label) => PruningAlgorithm::ALL
+            .iter()
+            .find(|a| a.label() == label)
+            .map(|&a| IncrementalPruning::Traditional(a))
+            .ok_or_else(|| {
+                format!("--pruning must be blast|wep|cep|wnp1|wnp2|cnp1|cnp2, got {label:?}")
+            })?,
+    };
+    let scheme = match args.get("scheme") {
+        None => None, // χ² for blast pruning, CBS otherwise
+        Some(name) => Some(
+            WeightingScheme::ALL
+                .iter()
+                .find(|s| s.name().eq_ignore_ascii_case(name))
+                .copied()
+                .ok_or_else(|| format!("--scheme must be arcs|cbs|ecbs|js|ejs, got {name:?}"))?,
+        ),
+    };
+    let cleaning = if args.flag("no-cleaning") {
+        CleaningConfig::none()
+    } else {
+        CleaningConfig::default()
+    };
+
+    let mut pipeline = match (scheme, pruning) {
+        (Some(s), p) => IncrementalPipeline::dirty(s, p, cleaning),
+        (None, p @ IncrementalPruning::Blast { .. }) => IncrementalPipeline::dirty(
+            blast_core::weighting::ChiSquaredWeigher::without_entropy(),
+            p,
+            cleaning,
+        ),
+        (None, p) => IncrementalPipeline::dirty(WeightingScheme::Cbs, p, cleaning),
+    };
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "streaming {} profiles in micro-batches of {batch_size} ({:?})",
+        d.len(),
+        pipeline
+    );
+    let mut added_total = 0usize;
+    let mut retracted_total = 0usize;
+    let mut batch_no = 0usize;
+    for chunk in d.profiles().chunks(batch_size) {
+        for profile in chunk {
+            let pairs: Vec<(&str, &str)> = profile
+                .values
+                .iter()
+                .map(|(a, v)| (d.attribute_name(*a), &**v))
+                .collect();
+            pipeline.insert(SourceId(0), &profile.external_id, pairs);
+        }
+        let out = pipeline.commit();
+        batch_no += 1;
+        added_total += out.delta.added.len();
+        retracted_total += out.delta.retracted.len();
+        let _ = writeln!(
+            report,
+            "batch {batch_no:>4}: +{:<6} -{:<6} candidates = {:<8} blocks = {:<7} dirty nodes = {}{}",
+            out.delta.added.len(),
+            out.delta.retracted.len(),
+            out.retained_len,
+            out.blocks,
+            out.stats.dirty_nodes,
+            if out.stats.full { " (full)" } else { "" },
+        );
+    }
+    let _ = writeln!(
+        report,
+        "total: {added_total} added, {retracted_total} retracted, {} final candidates",
+        pipeline.retained().len()
+    );
+
+    if args.flag("verify") {
+        let batch = pipeline.batch_retained();
+        if batch.pairs() == pipeline.retained().pairs() {
+            let _ = writeln!(
+                report,
+                "verify: incremental == batch ({} pairs)",
+                batch.len()
+            );
+        } else {
+            return Err(format!(
+                "verify FAILED: incremental {} pairs vs batch {} pairs",
+                pipeline.retained().len(),
+                batch.len()
+            ));
+        }
+    }
+
+    if let Some(gt_path) = args.get("gt") {
+        let input = pipeline.materialize();
+        let gt = read_ground_truth(&mut open(gt_path)?, &input)
+            .map_err(|e| format!("reading --gt: {e}"))?;
+        let q = evaluate_pairs(pipeline.retained().pairs(), &gt);
+        let _ = writeln!(
+            report,
+            "PC = {:.2}%  PQ = {:.2}%  F1 = {:.4}  (|D_E| = {})",
+            q.pc * 100.0,
+            q.pq * 100.0,
+            q.f1,
+            gt.len()
+        );
+    }
+
+    Ok(report)
+}
+
 /// `blast generate`: write a synthetic benchmark to CSV files.
 pub fn generate(args: &Args) -> Result<String, String> {
     let preset = args.required("preset")?;

@@ -5,6 +5,7 @@
 //! ```text
 //! blast block    --d1 a.csv --d2 b.csv --out pairs.csv [--gt gt.csv] [options]
 //! blast dedup    --input data.csv --out pairs.csv [--gt gt.csv] [options]
+//! blast stream   --input data.csv --batch-size 64 [--pruning wnp1] [--verify]
 //! blast schema   --d1 a.csv --d2 b.csv
 //! blast evaluate --d1 a.csv --d2 b.csv --pairs pairs.csv --gt gt.csv
 //! blast generate --preset ar1 --scale 0.1 --out-dir bench-data/
@@ -29,6 +30,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     match command.as_str() {
         "block" => commands::block(&args),
         "dedup" => commands::dedup(&args),
+        "stream" => commands::stream(&args),
         "schema" => commands::schema(&args),
         "evaluate" => commands::evaluate(&args),
         "generate" => commands::generate(&args),
@@ -47,6 +49,9 @@ USAGE:
                  [--id-column NAME] [--c 2.0] [--d 2.0] [--no-entropy]
                  [--algorithm lmi|ac] [--lsh-threshold 0.5] [--no-glue]
   blast dedup    --input DATA.csv [--out pairs.csv] [--gt gt.csv] [options]
+  blast stream   --input DATA.csv [--batch-size 64] [--gt gt.csv]
+                 [--pruning blast|wep|cep|wnp1|wnp2|cnp1|cnp2]
+                 [--scheme arcs|cbs|ecbs|js|ejs] [--no-cleaning] [--verify]
   blast schema   --d1 A.csv --d2 B.csv [--algorithm lmi|ac] [--lsh-threshold T]
   blast evaluate --d1 A.csv --d2 B.csv --pairs pairs.csv --gt gt.csv
   blast generate --preset ar1|ar2|prd|mov|dbp|census|cora|cddb

@@ -15,7 +15,7 @@
 //! co-occurrences in informative blocks weigh more.
 
 use blast_graph::context::{EdgeAccum, GraphContext};
-use blast_graph::weights::{EdgeWeigher, WeightingScheme};
+use blast_graph::weights::{EdgeWeigher, WeightDeps, WeightingScheme};
 
 /// Computes Pearson's χ² for the contingency table with n₁₁ = `common`,
 /// marginals `bu` = |B_u|, `bv` = |B_v| and total `n` = |B|. Cells with zero
@@ -99,6 +99,11 @@ impl EdgeWeigher for ChiSquaredWeigher {
         }
     }
 
+    fn global_deps(&self) -> WeightDeps {
+        // The contingency table reads |B_u|, |B_v| and |B|.
+        WeightDeps::ALL
+    }
+
     fn name(&self) -> &'static str {
         if self.use_entropy {
             "chi2·h"
@@ -132,6 +137,12 @@ impl EdgeWeigher for WsEntropyWeigher {
 
     fn requires_degrees(&self) -> bool {
         self.scheme.requires_degrees()
+    }
+
+    fn global_deps(&self) -> WeightDeps {
+        // The entropy factor reads only the accumulator; the globals are the
+        // wrapped scheme's.
+        self.scheme.global_deps()
     }
 
     fn name(&self) -> &'static str {

@@ -42,11 +42,18 @@ impl Cep {
     /// ascending (u, v) so results are deterministic). Single traversal:
     /// everything after the edge materialisation is in-memory.
     pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
-        let k = self.budget(ctx) as usize;
+        Self::prune_edges(self.budget(ctx), &collect_weighted_edges(ctx, weigher))
+    }
+
+    /// The selection stage alone, over an already-materialised weighted edge
+    /// list in canonical `(u, v)` ascending order with the comparison budget
+    /// `k` (see [`Cep::budget`]). Shared by sweeps and incremental repair;
+    /// identical cutoff and tie-break semantics to [`Cep::prune`].
+    pub fn prune_edges(k: u64, edges: &[(u32, u32, f64)]) -> RetainedPairs {
+        let k = k as usize;
         if k == 0 {
             return RetainedPairs::default();
         }
-        let edges = collect_weighted_edges(ctx, weigher);
         if edges.len() <= k {
             let pairs = edges.iter().map(|&(u, v, _)| pair(u, v)).collect();
             return RetainedPairs::new(pairs);
@@ -64,7 +71,7 @@ impl Cep {
         // edges at the cutoff in (u, v) order (the edge list is already
         // sorted ascending by (u, v)).
         let mut pairs: Vec<(ProfileId, ProfileId)> = Vec::with_capacity(k);
-        for &(u, v, w) in &edges {
+        for &(u, v, w) in edges {
             if w > cutoff {
                 pairs.push(pair(u, v));
             } else if w == cutoff && ties_wanted > 0 {

@@ -11,6 +11,52 @@ use crate::pruning::NodeCentricMode;
 use crate::retained::RetainedPairs;
 use crate::weights::EdgeWeigher;
 use blast_datamodel::entity::ProfileId;
+use std::collections::BinaryHeap;
+
+/// A heap entry ordered so that the heap's *maximum* is the candidate to
+/// evict first: lower weight is "greater", ties broken by *higher*
+/// neighbour id (the retained ranking is weight desc, id asc).
+struct Evictee(u32, f64);
+
+impl PartialEq for Evictee {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Evictee {}
+impl PartialOrd for Evictee {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Evictee {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .1
+            .partial_cmp(&self.1)
+            .expect("no NaN weights")
+            .then(self.0.cmp(&other.0))
+    }
+}
+
+/// The top-k neighbours of one adjacency under the (weight desc, id asc)
+/// ranking, via a bounded binary heap: O(d log k) instead of the O(d log d)
+/// full sort, which matters on hub nodes whose degree dwarfs k. Exactly the
+/// first k entries of the fully sorted ranking, boundary ties included.
+pub fn top_k_neighbours(adj: &[(u32, f64)], k: usize) -> Vec<u32> {
+    if k == 0 || adj.is_empty() {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Evictee> = BinaryHeap::with_capacity(k + 1);
+    for &(v, w) in adj {
+        heap.push(Evictee(v, w));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    // Ascending `Evictee` order is best-first: weight desc, id asc.
+    heap.into_sorted_vec().into_iter().map(|e| e.0).collect()
+}
 
 /// Cardinality Node Pruning (per-node top-k).
 #[derive(Debug, Clone, Copy)]
@@ -59,26 +105,27 @@ impl Cnp {
         weigher: &dyn EdgeWeigher,
         k: usize,
     ) -> Vec<Vec<u32>> {
-        node_pass(ctx, weigher, |_, adj| {
-            if adj.is_empty() {
-                return Vec::new();
-            }
-            let mut ranked: Vec<(u32, f64)> = adj.to_vec();
-            // Weight descending; neighbour id ascending for determinism.
-            ranked.sort_unstable_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .expect("no NaN weights")
-                    .then(a.0.cmp(&b.0))
-            });
-            ranked.truncate(k);
-            ranked.into_iter().map(|(v, _)| v).collect()
-        })
+        node_pass(ctx, weigher, |_, adj| top_k_neighbours(adj, k))
     }
 
-    /// Prunes the graph.
-    pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
-        let k = self.budget(ctx);
-        let lists = self.top_k_lists(ctx, weigher, k);
+    /// The top-k neighbour lists derived from an already-materialised
+    /// weighted edge list in canonical `(u, v)` ascending order: each edge
+    /// feeds both endpoints' rankings. The ranking's total order makes the
+    /// lists independent of the feeding order, so they equal the adjacency
+    /// pass exactly.
+    pub fn lists_from_edges(n_nodes: usize, k: usize, edges: &[(u32, u32, f64)]) -> Vec<Vec<u32>> {
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_nodes];
+        for &(u, v, w) in edges {
+            adj[u as usize].push((v, w));
+            adj[v as usize].push((u, w));
+        }
+        adj.iter().map(|a| top_k_neighbours(a, k)).collect()
+    }
+
+    /// Combines per-node top-k lists into the retained comparisons under
+    /// this variant's mode. Shared by [`Cnp::prune`], the from-edges sweep
+    /// path and incremental repair.
+    pub fn retained_from_lists(&self, lists: &[Vec<u32>]) -> RetainedPairs {
         let mut pairs: Vec<(ProfileId, ProfileId)> = Vec::new();
         match self.mode {
             NodeCentricMode::Redefined => {
@@ -102,6 +149,23 @@ impl Cnp {
             }
         }
         RetainedPairs::new(pairs)
+    }
+
+    /// Prunes the graph.
+    pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+        let k = self.budget(ctx);
+        let lists = self.top_k_lists(ctx, weigher, k);
+        self.retained_from_lists(&lists)
+    }
+
+    /// Pruning over a materialised edge list (`k` from [`Cnp::budget`]).
+    pub fn prune_edges(
+        &self,
+        n_nodes: usize,
+        k: usize,
+        edges: &[(u32, u32, f64)],
+    ) -> RetainedPairs {
+        self.retained_from_lists(&Self::lists_from_edges(n_nodes, k, edges))
     }
 }
 
@@ -180,6 +244,87 @@ mod tests {
         let ctx = GraphContext::new(&b);
         // assignments = 4 + 2 + 2 + 2 = 10, profiles = 4 → k = 2.
         assert_eq!(Cnp::redefined().budget(&ctx), 2);
+    }
+
+    /// The reference ranking the bounded heap must reproduce exactly.
+    fn reference_top_k(adj: &[(u32, f64)], k: usize) -> Vec<u32> {
+        let mut ranked: Vec<(u32, f64)> = adj.to_vec();
+        ranked.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("no NaN weights")
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked.into_iter().map(|(v, _)| v).collect()
+    }
+
+    /// Tie-break stability: with many equal weights at the k-boundary, the
+    /// bounded heap must keep exactly the lowest-id tied neighbours, in the
+    /// same order as the full sort-and-truncate it replaced.
+    #[test]
+    fn bounded_heap_tie_breaks_match_full_sort() {
+        // 8 neighbours, weights 2,1,1,1,1,1,1,3 — the k=3 boundary cuts
+        // through a six-way tie at weight 1.
+        let adj: Vec<(u32, f64)> = vec![
+            (10, 2.0),
+            (4, 1.0),
+            (9, 1.0),
+            (2, 1.0),
+            (7, 1.0),
+            (3, 1.0),
+            (8, 1.0),
+            (5, 3.0),
+        ];
+        for k in 0..=adj.len() + 1 {
+            assert_eq!(
+                top_k_neighbours(&adj, k),
+                reference_top_k(&adj, k),
+                "k = {k}"
+            );
+        }
+        // k=3 keeps the two heavy edges plus the lowest-id weight-1 tie.
+        assert_eq!(top_k_neighbours(&adj, 3), vec![5, 10, 2]);
+    }
+
+    mod heap_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Bounded heap ≡ full sort-and-truncate on random adjacencies;
+            /// small integer weights force plenty of ties.
+            #[test]
+            fn prop_bounded_heap_matches_sort(
+                raw in proptest::collection::vec((0u32..64, 0u32..5), 0..40)
+            ) {
+                // Dedup neighbour ids (an adjacency lists each once).
+                let mut seen = std::collections::BTreeSet::new();
+                let adj: Vec<(u32, f64)> = raw
+                    .into_iter()
+                    .filter(|(v, _)| seen.insert(*v))
+                    .map(|(v, w)| (v, w as f64))
+                    .collect();
+                for k in [0usize, 1, 2, 3, 5, 100] {
+                    prop_assert_eq!(top_k_neighbours(&adj, k), reference_top_k(&adj, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_edges_matches_prune() {
+        use crate::pruning::common::collect_weighted_edges;
+        let b = blocks();
+        let ctx = GraphContext::new(&b);
+        let edges = collect_weighted_edges(&ctx, &WeightingScheme::Cbs);
+        for cnp in [Cnp::redefined(), Cnp::reciprocal()] {
+            for k in 1..4 {
+                let cnp = cnp.with_k(k);
+                let a = cnp.prune(&ctx, &WeightingScheme::Cbs);
+                let b2 = cnp.prune_edges(ctx.total_profiles() as usize, k, &edges);
+                assert_eq!(a, b2);
+            }
+        }
     }
 
     #[test]

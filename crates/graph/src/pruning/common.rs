@@ -9,9 +9,10 @@
 //! across thread counts.
 
 use crate::context::GraphContext;
-use crate::traversal::{node_chunks, owner_chunks};
+use crate::traversal::{chunk_len, node_chunks, owner_chunks, NodeScratch};
 use crate::weights::EdgeWeigher;
 use blast_datamodel::entity::ProfileId;
+use blast_datamodel::parallel::parallel_work_steal;
 
 /// Materialises every edge exactly once as `(u, v, weight)` in one
 /// traversal, in deterministic order (ascending `u`, then ascending `v`).
@@ -55,6 +56,111 @@ where
     for c in chunks {
         out.extend(c);
     }
+    out
+}
+
+/// Like [`node_pass`] but restricted to `nodes` (the dirty-neighbourhood
+/// entry point of incremental repair): runs `per_node(node, adjacency)` for
+/// exactly the listed nodes, returning results aligned with `nodes`. The
+/// per-node adjacency is computed on the same dense scratch engine as the
+/// full pass, so results are bit-identical to the corresponding slots of
+/// [`node_pass`].
+pub fn node_pass_subset<R, F>(
+    ctx: &GraphContext<'_>,
+    weigher: &dyn EdgeWeigher,
+    nodes: &[u32],
+    per_node: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u32, &[(u32, f64)]) -> R + Sync,
+{
+    let len = nodes.len();
+    let chunks = parallel_work_steal(
+        len,
+        ctx.threads(),
+        chunk_len(len),
+        || (NodeScratch::new(ctx), Vec::new()),
+        |(scratch, weighted): &mut (NodeScratch, Vec<(u32, f64)>), range| {
+            let mut out = Vec::with_capacity(range.len());
+            for i in range {
+                let node = nodes[i];
+                scratch.load(ctx, node);
+                weighted.clear();
+                weighted.extend(
+                    scratch
+                        .iter()
+                        .map(|(v, acc)| (v, weigher.weight(ctx, node, v, &acc))),
+                );
+                out.push(per_node(node, weighted));
+            }
+            out
+        },
+    );
+    let mut out = Vec::with_capacity(len);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Materialises exactly the weighted edges with at least one endpoint in the
+/// marked set (the dirty-neighbourhood counterpart of
+/// [`collect_weighted_edges`]): each such edge appears once, in canonical
+/// owner orientation, sorted ascending by `(u, v)`, with the weight computed
+/// from the same accumulation path as the full pass (bit-identical).
+///
+/// `nodes` lists the marked node ids and `mask` is the corresponding
+/// membership bitmap over all profiles (`mask[n] == nodes.contains(&n)`).
+pub fn collect_edges_touching(
+    ctx: &GraphContext<'_>,
+    weigher: &dyn EdgeWeigher,
+    nodes: &[u32],
+    mask: &[bool],
+) -> Vec<(u32, u32, f64)> {
+    let clean = ctx.blocks().is_clean_clean();
+    let sep = ctx.blocks().separator();
+    let len = nodes.len();
+    let chunks = parallel_work_steal(
+        len,
+        ctx.threads(),
+        chunk_len(len),
+        || NodeScratch::new(ctx),
+        |scratch: &mut NodeScratch, range| {
+            let mut out = Vec::new();
+            for i in range {
+                let d = nodes[i];
+                scratch.load(ctx, d);
+                for (v, acc) in scratch.iter() {
+                    // Canonical owner orientation: the E1-side endpoint for
+                    // clean-clean graphs, the smaller id for dirty ones.
+                    let (owner, other) = if clean {
+                        if d < sep {
+                            (d, v)
+                        } else {
+                            (v, d)
+                        }
+                    } else if d < v {
+                        (d, v)
+                    } else {
+                        (v, d)
+                    };
+                    // Emit from the owner endpoint when it is marked;
+                    // otherwise from the marked non-owner (exactly once).
+                    if owner != d && mask[owner as usize] {
+                        continue;
+                    }
+                    out.push((owner, other, weigher.weight(ctx, owner, other, &acc)));
+                }
+            }
+            out
+        },
+    );
+    let mut out: Vec<(u32, u32, f64)> = Vec::new();
+    for c in chunks {
+        out.extend(c);
+    }
+    out.sort_unstable_by_key(|&(u, v, _)| (u, v));
     out
 }
 
@@ -236,6 +342,60 @@ mod tests {
             Some((u, v, w.to_bits()))
         });
         assert_eq!(e1, e4);
+    }
+
+    #[test]
+    fn subset_pass_matches_full_pass_slots() {
+        let blocks = dirty_triangle();
+        let ctx = GraphContext::new(&blocks);
+        let full = node_pass(&ctx, &WeightingScheme::Arcs, |n, adj| {
+            (
+                n,
+                adj.iter()
+                    .map(|&(v, w)| (v, w.to_bits()))
+                    .collect::<Vec<_>>(),
+            )
+        });
+        let subset = node_pass_subset(&ctx, &WeightingScheme::Arcs, &[2, 0], |n, adj| {
+            (
+                n,
+                adj.iter()
+                    .map(|&(v, w)| (v, w.to_bits()))
+                    .collect::<Vec<_>>(),
+            )
+        });
+        assert_eq!(subset[0], full[2]);
+        assert_eq!(subset[1], full[0]);
+    }
+
+    #[test]
+    fn touching_with_full_mask_is_collect() {
+        let blocks = dirty_triangle();
+        let ctx = GraphContext::new(&blocks);
+        let all: Vec<u32> = (0..3).collect();
+        let mask = vec![true; 3];
+        let touching = collect_edges_touching(&ctx, &WeightingScheme::Arcs, &all, &mask);
+        let full = collect_weighted_edges(&ctx, &WeightingScheme::Arcs);
+        assert_eq!(touching.len(), full.len());
+        for (a, b) in touching.iter().zip(&full) {
+            assert_eq!((a.0, a.1), (b.0, b.1));
+            assert_eq!(a.2.to_bits(), b.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn touching_with_partial_mask_is_incident_subset() {
+        let blocks = dirty_triangle();
+        let ctx = GraphContext::new(&blocks);
+        let mask = vec![false, false, true];
+        let touching = collect_edges_touching(&ctx, &WeightingScheme::Cbs, &[2], &mask);
+        let expect: Vec<(u32, u32)> = collect_weighted_edges(&ctx, &WeightingScheme::Cbs)
+            .into_iter()
+            .filter(|&(u, v, _)| mask[u as usize] || mask[v as usize])
+            .map(|(u, v, _)| (u, v))
+            .collect();
+        let got: Vec<(u32, u32)> = touching.iter().map(|&(u, v, _)| (u, v)).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

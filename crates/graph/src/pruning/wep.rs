@@ -31,8 +31,17 @@ impl Wep {
 
     /// Prunes the graph, retaining edges with weight ≥ Θ (mean weight).
     pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
-        let edges = collect_weighted_edges(ctx, weigher);
-        let Some(theta) = Self::mean_weight(&edges) else {
+        Self::prune_edges(&collect_weighted_edges(ctx, weigher))
+    }
+
+    /// The retention stage alone, over an already-materialised weighted edge
+    /// list in canonical `(u, v)` ascending order. Callers that keep the
+    /// edge list around — scheme × pruning sweeps, incremental repair —
+    /// reuse it here instead of paying the adjacency traversal again; the
+    /// mean is summed in list order, so Θ is bit-identical to
+    /// [`Wep::prune`].
+    pub fn prune_edges(edges: &[(u32, u32, f64)]) -> RetainedPairs {
+        let Some(theta) = Self::mean_weight(edges) else {
             return RetainedPairs::default();
         };
         let pairs = edges

@@ -61,6 +61,47 @@ impl Wnp {
         });
         RetainedPairs::new(pairs)
     }
+
+    /// The per-node thresholds derived from an already-materialised weighted
+    /// edge list in canonical `(u, v)` ascending order. For each node the
+    /// incident weights are accumulated in the same ascending-neighbour
+    /// order as the adjacency pass of [`Wnp::thresholds`], so the means are
+    /// bit-identical (edges `(x, n)` with `x < n` precede the `(n, v)` run,
+    /// both ascending).
+    pub fn thresholds_from_edges(n_nodes: usize, edges: &[(u32, u32, f64)]) -> Vec<f64> {
+        let mut sums = vec![0.0f64; n_nodes];
+        let mut counts = vec![0u32; n_nodes];
+        for &(u, v, w) in edges {
+            sums[u as usize] += w;
+            counts[u as usize] += 1;
+            sums[v as usize] += w;
+            counts[v as usize] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { f64::INFINITY } else { s / c as f64 })
+            .collect()
+    }
+
+    /// The retention stage alone, over a materialised edge list and
+    /// per-node thresholds (from [`Wnp::thresholds`] or
+    /// [`Wnp::thresholds_from_edges`]). Shared by sweeps and incremental
+    /// repair.
+    pub fn prune_edges(&self, thresholds: &[f64], edges: &[(u32, u32, f64)]) -> RetainedPairs {
+        let pairs = edges
+            .iter()
+            .filter(|&&(u, v, w)| {
+                let pass_u = w >= thresholds[u as usize];
+                let pass_v = w >= thresholds[v as usize];
+                match self.mode {
+                    NodeCentricMode::Redefined => pass_u || pass_v,
+                    NodeCentricMode::Reciprocal => pass_u && pass_v,
+                }
+            })
+            .map(|&(u, v, _)| pair(u, v))
+            .collect();
+        RetainedPairs::new(pairs)
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,22 @@ impl RetainedPairs {
         Self { pairs }
     }
 
+    /// Wraps a pair list that is **already normalised** (each pair smaller
+    /// id first, sorted ascending, unique) without re-sorting — the hot
+    /// path for incremental repair, which merges two sorted retained sets
+    /// per micro-batch. The invariant is debug-asserted.
+    pub fn from_sorted(pairs: Vec<(ProfileId, ProfileId)>) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0] < w[1]),
+            "pairs must be sorted and unique"
+        );
+        debug_assert!(
+            pairs.iter().all(|p| p.0 < p.1),
+            "pairs must be smaller id first"
+        );
+        Self { pairs }
+    }
+
     /// The retained pairs (sorted, unique, smaller id first).
     #[inline]
     pub fn pairs(&self) -> &[(ProfileId, ProfileId)] {
@@ -86,6 +102,14 @@ mod tests {
 
     fn p(a: u32, b: u32) -> (ProfileId, ProfileId) {
         (ProfileId(a), ProfileId(b))
+    }
+
+    #[test]
+    fn from_sorted_trusts_normalised_input() {
+        let pairs = vec![p(0, 1), p(1, 3), p(2, 5)];
+        let r = RetainedPairs::from_sorted(pairs.clone());
+        assert_eq!(r.pairs(), &pairs[..]);
+        assert_eq!(r, RetainedPairs::new(pairs));
     }
 
     #[test]

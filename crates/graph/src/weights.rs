@@ -13,6 +13,39 @@
 
 use crate::context::{EdgeAccum, GraphContext};
 
+/// The *global* graph statistics a weighting formula reads besides the
+/// per-edge accumulator. Incremental repair uses this to decide how far a
+/// mutation's dirtiness propagates: a scheme reading only the accumulator
+/// (CBS, ARCS) is repaired from the mutated blocks alone, one reading
+/// per-node block counts (JS) additionally dirties the neighbourhoods of
+/// nodes whose block list changed, and one reading the total block count
+/// (ECBS, χ²) forces a full re-weighting whenever |B| moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightDeps {
+    /// Reads |B_u| / |B_v| (the per-node block counts).
+    pub node_blocks: bool,
+    /// Reads |B| (the total block count).
+    pub total_blocks: bool,
+}
+
+impl WeightDeps {
+    /// Accumulator-only weighting (CBS, ARCS).
+    pub const NONE: WeightDeps = WeightDeps {
+        node_blocks: false,
+        total_blocks: false,
+    };
+    /// Reads the per-node block counts but not |B| (JS).
+    pub const NODE_BLOCKS: WeightDeps = WeightDeps {
+        node_blocks: true,
+        total_blocks: false,
+    };
+    /// Reads everything — the conservative default for custom weighers.
+    pub const ALL: WeightDeps = WeightDeps {
+        node_blocks: true,
+        total_blocks: true,
+    };
+}
+
 /// Computes the weight of one edge from its accumulator and the graph
 /// context. Implemented by the five traditional schemes here and by
 /// `blast-core`'s χ²·entropy weigher.
@@ -23,6 +56,14 @@ pub trait EdgeWeigher: Sync {
     /// Whether [`GraphContext::ensure_degrees`] must run before weighting.
     fn requires_degrees(&self) -> bool {
         false
+    }
+
+    /// The global statistics this weigher's formula reads (drives the
+    /// dirtiness propagation of incremental repair). The default is the
+    /// conservative [`WeightDeps::ALL`], which is always sound: unknown
+    /// weighers fall back to full re-weighting when global statistics move.
+    fn global_deps(&self) -> WeightDeps {
+        WeightDeps::ALL
     }
 
     /// Short name for reports.
@@ -97,6 +138,16 @@ impl EdgeWeigher for WeightingScheme {
 
     fn requires_degrees(&self) -> bool {
         matches!(self, WeightingScheme::Ejs)
+    }
+
+    fn global_deps(&self) -> WeightDeps {
+        match self {
+            WeightingScheme::Arcs | WeightingScheme::Cbs => WeightDeps::NONE,
+            WeightingScheme::Js => WeightDeps::NODE_BLOCKS,
+            // EJS additionally requires degrees, which forces a full
+            // recompute on any adjacency change regardless of these flags.
+            WeightingScheme::Ecbs | WeightingScheme::Ejs => WeightDeps::ALL,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -207,6 +258,23 @@ mod tests {
                 s.name()
             );
         }
+    }
+
+    #[test]
+    fn global_deps_match_formulas() {
+        assert_eq!(WeightingScheme::Cbs.global_deps(), WeightDeps::NONE);
+        assert_eq!(WeightingScheme::Arcs.global_deps(), WeightDeps::NONE);
+        assert_eq!(WeightingScheme::Js.global_deps(), WeightDeps::NODE_BLOCKS);
+        assert_eq!(WeightingScheme::Ecbs.global_deps(), WeightDeps::ALL);
+        assert_eq!(WeightingScheme::Ejs.global_deps(), WeightDeps::ALL);
+        // Custom weighers default to the conservative ALL.
+        struct Custom;
+        impl EdgeWeigher for Custom {
+            fn weight(&self, _: &GraphContext<'_>, _: u32, _: u32, _: &EdgeAccum) -> f64 {
+                1.0
+            }
+        }
+        assert_eq!(Custom.global_deps(), WeightDeps::ALL);
     }
 
     #[test]

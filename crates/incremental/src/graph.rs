@@ -1,0 +1,476 @@
+//! Dirty-neighbourhood meta-blocking repair.
+//!
+//! After a micro-batch, most of the blocking graph is untouched: an edge's
+//! accumulator changes only through a block that contains *both* endpoints,
+//! and such blocks make both endpoints graph-dirty. The repair therefore
+//! recomputes per-node pruning artefacts (thresholds, top-k lists) and edge
+//! weights **only** for the dirty nodes on the dense scratch engine, reuses
+//! the cached artefacts of everyone else, and re-runs the cheap in-memory
+//! decision stage globally. The result is bit-identical to a from-scratch
+//! batch run on the final collection:
+//!
+//! * weights of edges between two clean nodes are unchanged bitwise (same
+//!   accumulator, same per-node statistics, same summation order);
+//! * recomputed weights use the exact accumulation path of the batch pass;
+//! * whenever a *global* statistic a scheme reads moved in a way that the
+//!   dirty set cannot bound — |B| for χ²/ECBS, degrees for EJS, a changed
+//!   default k for CNP — the repair soundly degrades to a full recompute
+//!   (`dirty = all`), which is still the identical code path.
+//!
+//! Dirtiness propagation is scheme-aware via
+//! [`EdgeWeigher::global_deps`]: schemes reading per-node block counts
+//! (JS, χ²) additionally dirty the co-members of every node whose cleaned
+//! block list changed, because all of that node's incident edge weights
+//! moved even where the accumulators did not.
+
+use blast_core::pruning::BlastPruning;
+use blast_datamodel::entity::ProfileId;
+use blast_graph::context::GraphContext;
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::pruning::common::{
+    collect_edges_touching, collect_weighted_edges, node_pass_subset,
+};
+use blast_graph::pruning::{cnp, Cep, Cnp, NodeCentricMode, Wep, Wnp};
+use blast_graph::retained::RetainedPairs;
+use blast_graph::weights::EdgeWeigher;
+
+/// The pruning variant an incremental pipeline maintains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IncrementalPruning {
+    /// One of the six traditional variants (wep, cep, wnp₁/₂, cnp₁/₂).
+    Traditional(PruningAlgorithm),
+    /// BLAST's pruning (θᵢ = Mᵢ/c, θᵢⱼ = (θᵢ+θⱼ)/d).
+    Blast {
+        /// Local threshold divisor.
+        c: f64,
+        /// Pair threshold divisor.
+        d: f64,
+    },
+}
+
+impl IncrementalPruning {
+    /// BLAST pruning with the paper's constants (c = d = 2).
+    pub fn blast() -> Self {
+        IncrementalPruning::Blast { c: 2.0, d: 2.0 }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            IncrementalPruning::Traditional(a) => a.label().to_string(),
+            IncrementalPruning::Blast { .. } => "blast".to_string(),
+        }
+    }
+
+    /// The batch counterpart this variant must stay bit-identical to.
+    pub fn batch_prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+        match self {
+            IncrementalPruning::Traditional(a) => a.prune(ctx, weigher),
+            IncrementalPruning::Blast { c, d } => {
+                BlastPruning::with_constants(*c, *d).prune(ctx, weigher)
+            }
+        }
+    }
+}
+
+/// The candidate-pair delta one micro-batch produced.
+#[derive(Debug, Clone, Default)]
+pub struct PairDelta {
+    /// Comparisons entering the candidate set (sorted, smaller id first).
+    pub added: Vec<(ProfileId, ProfileId)>,
+    /// Comparisons leaving the candidate set (sorted, smaller id first).
+    pub retracted: Vec<(ProfileId, ProfileId)>,
+}
+
+impl PairDelta {
+    /// Whether the candidate set did not move.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.retracted.is_empty()
+    }
+}
+
+/// Diagnostics of one repair pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepairStats {
+    /// Nodes whose neighbourhood was recomputed.
+    pub dirty_nodes: usize,
+    /// Whether the pass degraded to a full recompute.
+    pub full: bool,
+}
+
+/// What the cleaning stage reports into the repair.
+#[derive(Debug, Default)]
+pub struct DirtyScope {
+    /// Graph-dirty nodes (cleaned co-occurrence changed). Sorted.
+    pub nodes: Vec<u32>,
+    /// Nodes whose cleaned block list (|B_u|) changed. Sorted.
+    pub lists_changed: Vec<u32>,
+    /// Whether the cleaned |B| moved.
+    pub total_blocks_changed: bool,
+}
+
+/// The incremental meta-blocker: cached per-node artefacts + retained set.
+#[derive(Debug)]
+pub struct IncrementalMetaBlocker {
+    pruning: IncrementalPruning,
+    /// Per-node thresholds (WNP: mean, BLAST: max/c). Empty otherwise.
+    thresholds: Vec<f64>,
+    /// Per-node top-k lists (CNP). Empty otherwise.
+    lists: Vec<Vec<u32>>,
+    /// The materialised weighted edge list (WEP/CEP). Empty otherwise.
+    edges: Vec<(u32, u32, f64)>,
+    retained: RetainedPairs,
+    /// CNP's default k of the previous pass (a move forces a full pass).
+    prev_cnp_budget: Option<usize>,
+    initialised: bool,
+}
+
+impl IncrementalMetaBlocker {
+    /// A blocker maintaining the given pruning variant.
+    pub fn new(pruning: IncrementalPruning) -> Self {
+        Self {
+            pruning,
+            thresholds: Vec::new(),
+            lists: Vec::new(),
+            edges: Vec::new(),
+            retained: RetainedPairs::default(),
+            prev_cnp_budget: None,
+            initialised: false,
+        }
+    }
+
+    /// The pruning variant.
+    pub fn pruning(&self) -> IncrementalPruning {
+        self.pruning
+    }
+
+    /// The current candidate set.
+    pub fn retained(&self) -> &RetainedPairs {
+        &self.retained
+    }
+
+    /// Repairs the candidate set after a micro-batch. `ctx` is the graph
+    /// context over the *cleaned* snapshot (degrees ensured when the
+    /// weigher requires them); `scope` is the cleaning stage's dirty
+    /// report.
+    pub fn refresh(
+        &mut self,
+        ctx: &GraphContext<'_>,
+        weigher: &dyn EdgeWeigher,
+        scope: &DirtyScope,
+    ) -> (PairDelta, RepairStats) {
+        let n = ctx.total_profiles() as usize;
+        let deps = weigher.global_deps();
+
+        let cnp_budget = match self.pruning {
+            IncrementalPruning::Traditional(PruningAlgorithm::Cnp1)
+            | IncrementalPruning::Traditional(PruningAlgorithm::Cnp2) => {
+                Some(Cnp::redefined().budget(ctx))
+            }
+            _ => None,
+        };
+        let full = !self.initialised
+            || weigher.requires_degrees()
+            || (deps.total_blocks && scope.total_blocks_changed)
+            || (cnp_budget.is_some() && cnp_budget != self.prev_cnp_budget);
+        self.prev_cnp_budget = cnp_budget;
+        self.initialised = true;
+
+        // The dirty mask. Schemes reading |B_u| also dirty the co-members
+        // of every node whose cleaned block list changed.
+        let mut mask = vec![false; n];
+        let dirty: Vec<u32> = if full {
+            mask.iter_mut().for_each(|m| *m = true);
+            (0..n as u32).collect()
+        } else {
+            for &u in &scope.nodes {
+                mask[u as usize] = true;
+            }
+            if deps.node_blocks {
+                for &u in &scope.lists_changed {
+                    for &bid in ctx.index().blocks_of(u) {
+                        for p in &ctx.blocks().blocks()[bid as usize].profiles {
+                            mask[p.index()] = true;
+                        }
+                    }
+                }
+            }
+            (0..n as u32).filter(|&u| mask[u as usize]).collect()
+        };
+
+        let old = std::mem::take(&mut self.retained);
+        let region = RepairRegion {
+            full,
+            dirty: &dirty,
+            mask: &mask,
+            cnp_budget,
+        };
+        let new = self.repair(ctx, weigher, &old, &region);
+        let delta = diff_pairs(&old, &new);
+        self.retained = new;
+        (
+            delta,
+            RepairStats {
+                dirty_nodes: dirty.len(),
+                full,
+            },
+        )
+    }
+
+    fn repair(
+        &mut self,
+        ctx: &GraphContext<'_>,
+        weigher: &dyn EdgeWeigher,
+        old: &RetainedPairs,
+        region: &RepairRegion<'_>,
+    ) -> RetainedPairs {
+        let RepairRegion {
+            full,
+            dirty,
+            mask,
+            cnp_budget,
+        } = *region;
+        let n = ctx.total_profiles() as usize;
+        match self.pruning {
+            IncrementalPruning::Traditional(
+                algorithm @ (PruningAlgorithm::Wep | PruningAlgorithm::Cep),
+            ) => {
+                // Patch the materialised edge list: edges with a clean pair
+                // of endpoints kept verbatim, edges touching dirty nodes
+                // regenerated. The decision stage then runs globally over
+                // the in-memory list, exactly like batch.
+                if full {
+                    self.edges = collect_weighted_edges(ctx, weigher);
+                } else {
+                    let touching = collect_edges_touching(ctx, weigher, dirty, mask);
+                    self.edges = merge_edges(&self.edges, touching, mask);
+                }
+                if algorithm == PruningAlgorithm::Wep {
+                    Wep::prune_edges(&self.edges)
+                } else {
+                    Cep::prune_edges(Cep::new().budget(ctx), &self.edges)
+                }
+            }
+            IncrementalPruning::Traditional(PruningAlgorithm::Wnp1)
+            | IncrementalPruning::Traditional(PruningAlgorithm::Wnp2) => {
+                let mode =
+                    if self.pruning == IncrementalPruning::Traditional(PruningAlgorithm::Wnp1) {
+                        NodeCentricMode::Redefined
+                    } else {
+                        NodeCentricMode::Reciprocal
+                    };
+                self.thresholds.resize(n, f64::INFINITY);
+                let theta = node_pass_subset(ctx, weigher, dirty, |_, adj| {
+                    if adj.is_empty() {
+                        f64::INFINITY
+                    } else {
+                        adj.iter().map(|(_, w)| *w).sum::<f64>() / adj.len() as f64
+                    }
+                });
+                for (&u, &t) in dirty.iter().zip(&theta) {
+                    self.thresholds[u as usize] = t;
+                }
+                let touching = collect_edges_touching(ctx, weigher, dirty, mask);
+                let wnp = Wnp { mode };
+                let fresh = wnp.prune_edges(&self.thresholds, &touching);
+                merge_retained(old, fresh, mask)
+            }
+            IncrementalPruning::Blast { c, d } => {
+                self.thresholds.resize(n, f64::INFINITY);
+                let theta = node_pass_subset(ctx, weigher, dirty, |_, adj| {
+                    let max = adj
+                        .iter()
+                        .map(|(_, w)| *w)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    if max.is_finite() {
+                        max / c
+                    } else {
+                        f64::INFINITY
+                    }
+                });
+                for (&u, &t) in dirty.iter().zip(&theta) {
+                    self.thresholds[u as usize] = t;
+                }
+                let touching = collect_edges_touching(ctx, weigher, dirty, mask);
+                let thresholds = &self.thresholds;
+                let pairs: Vec<(ProfileId, ProfileId)> = touching
+                    .iter()
+                    .filter(|&&(u, v, w)| {
+                        let theta = (thresholds[u as usize] + thresholds[v as usize]) / d;
+                        w > 0.0 && w >= theta
+                    })
+                    .map(|&(u, v, _)| (ProfileId(u), ProfileId(v)))
+                    .collect();
+                merge_retained(old, RetainedPairs::new(pairs), mask)
+            }
+            IncrementalPruning::Traditional(PruningAlgorithm::Cnp1)
+            | IncrementalPruning::Traditional(PruningAlgorithm::Cnp2) => {
+                let mode =
+                    if self.pruning == IncrementalPruning::Traditional(PruningAlgorithm::Cnp1) {
+                        NodeCentricMode::Redefined
+                    } else {
+                        NodeCentricMode::Reciprocal
+                    };
+                let k = cnp_budget.expect("cnp budget computed");
+                self.lists.resize_with(n, Vec::new);
+                let fresh =
+                    node_pass_subset(ctx, weigher, dirty, |_, adj| cnp::top_k_neighbours(adj, k));
+                for (&u, list) in dirty.iter().zip(fresh) {
+                    self.lists[u as usize] = list;
+                }
+                let cnp = Cnp { mode, k: Some(k) };
+                cnp.retained_from_lists(&self.lists)
+            }
+        }
+    }
+}
+
+/// Clean-pair survivors of the previous retained set plus the freshly
+/// decided pairs touching dirty nodes. Both inputs are sorted and —
+/// because every fresh pair has a dirty endpoint while every survivor has
+/// none — disjoint, so a linear two-way merge suffices: no re-sort of the
+/// whole candidate set on the per-commit hot path.
+fn merge_retained(old: &RetainedPairs, fresh: RetainedPairs, mask: &[bool]) -> RetainedPairs {
+    let a = old.pairs();
+    let b = fresh.pairs();
+    let keep = |p: &(ProfileId, ProfileId)| !mask[p.0.index()] && !mask[p.1.index()];
+    let mut pairs: Vec<(ProfileId, ProfileId)> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if !keep(&a[i]) {
+            i += 1;
+        } else if a[i] < b[j] {
+            pairs.push(a[i]);
+            i += 1;
+        } else {
+            pairs.push(b[j]);
+            j += 1;
+        }
+    }
+    for p in &a[i..] {
+        if keep(p) {
+            pairs.push(*p);
+        }
+    }
+    pairs.extend_from_slice(&b[j..]);
+    RetainedPairs::from_sorted(pairs)
+}
+
+/// The region one repair pass recomputes: the dirty node set (as list +
+/// bitmap), whether the pass degraded to a full recompute, and CNP's
+/// resolved per-node budget.
+#[derive(Clone, Copy)]
+struct RepairRegion<'a> {
+    full: bool,
+    dirty: &'a [u32],
+    mask: &'a [bool],
+    cnp_budget: Option<usize>,
+}
+
+/// Replaces every edge with a dirty endpoint in `old` by the freshly
+/// regenerated `touching` list (both sorted by `(u, v)`; disjoint by
+/// construction).
+fn merge_edges(
+    old: &[(u32, u32, f64)],
+    touching: Vec<(u32, u32, f64)>,
+    mask: &[bool],
+) -> Vec<(u32, u32, f64)> {
+    let mut out = Vec::with_capacity(old.len() + touching.len());
+    let mut t = touching.into_iter().peekable();
+    for &(u, v, w) in old {
+        if mask[u as usize] || mask[v as usize] {
+            continue; // superseded (or gone) — regenerated below if alive
+        }
+        while let Some(&(tu, tv, _)) = t.peek() {
+            if (tu, tv) < (u, v) {
+                out.push(t.next().unwrap());
+            } else {
+                break;
+            }
+        }
+        out.push((u, v, w));
+    }
+    out.extend(t);
+    out
+}
+
+/// Sorted-merge diff of two retained sets.
+fn diff_pairs(old: &RetainedPairs, new: &RetainedPairs) -> PairDelta {
+    let (a, b) = (old.pairs(), new.pairs());
+    let mut added = Vec::new();
+    let mut retracted = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                retracted.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                added.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                retracted.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                added.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    PairDelta { added, retracted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: u32, b: u32) -> (ProfileId, ProfileId) {
+        (ProfileId(a), ProfileId(b))
+    }
+
+    #[test]
+    fn diff_reports_both_directions() {
+        let old = RetainedPairs::new(vec![p(0, 1), p(2, 3), p(4, 5)]);
+        let new = RetainedPairs::new(vec![p(0, 1), p(2, 4), p(4, 5)]);
+        let d = diff_pairs(&old, &new);
+        assert_eq!(d.added, vec![p(2, 4)]);
+        assert_eq!(d.retracted, vec![p(2, 3)]);
+        assert!(diff_pairs(&new, &new).is_empty());
+    }
+
+    #[test]
+    fn merge_edges_patches_dirty_region() {
+        let old = vec![(0, 1, 1.0), (0, 3, 2.0), (1, 2, 3.0), (2, 3, 4.0)];
+        // Node 2 dirty: edges (1,2) and (2,3) replaced, (2,4) appears.
+        let mask = vec![false, false, true, false, false];
+        let touching = vec![(1, 2, 30.0), (2, 3, 40.0), (2, 4, 50.0)];
+        let merged = merge_edges(&old, touching, &mask);
+        assert_eq!(
+            merged,
+            vec![
+                (0, 1, 1.0),
+                (0, 3, 2.0),
+                (1, 2, 30.0),
+                (2, 3, 40.0),
+                (2, 4, 50.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_edges_drops_vanished_dirty_edges() {
+        // Node 2 dirty and its edge gone: (1,2) disappears, (0,1) survives.
+        let old = vec![(0, 1, 1.0), (1, 2, 3.0)];
+        let mask = vec![false, false, true];
+        let merged = merge_edges(&old, Vec::new(), &mask);
+        assert_eq!(merged, vec![(0, 1, 1.0)]);
+    }
+}

@@ -1,0 +1,377 @@
+//! The incremental inverted block index.
+//!
+//! The batch [`TokenBlocking`](blast_blocking::token_blocking::TokenBlocking)
+//! pass rebuilds every posting list from scratch; this index instead keeps
+//! the `(cluster, token) → sorted posting list` map **mutable**: setting a
+//! profile's key set diffs it against the previous one and touches only the
+//! postings that actually change. Every touched key is recorded as *dirty*
+//! so the downstream cleaning and graph-repair stages can restrict
+//! themselves to the affected blocks.
+//!
+//! Keys live in a slab and are additionally kept in a canonically sorted
+//! list (`(cluster, token)` ascending) — the exact block order batch Token
+//! Blocking emits — so a snapshot of this index is **identical**, block ids
+//! included, to a from-scratch blocking run on the materialised input.
+
+use blast_blocking::block::Block;
+use blast_blocking::collection::BlockCollection;
+use blast_blocking::key::ClusterId;
+use blast_datamodel::entity::ProfileId;
+use blast_datamodel::hash::FastMap;
+
+/// Stable handle of a `(cluster, token)` key in the slab.
+pub type KeyId = u32;
+
+/// One blocking key and its members.
+#[derive(Debug, Clone)]
+pub struct KeyEntry {
+    /// The attribute cluster the key belongs to.
+    pub cluster: ClusterId,
+    /// The token (without the `#c` disambiguation suffix).
+    pub token: Box<str>,
+    /// Sorted global profile ids currently carrying this key.
+    pub postings: Vec<ProfileId>,
+}
+
+/// What changed since the last [`IncrementalBlockIndex::drain_dirty`].
+#[derive(Debug, Default)]
+pub struct DirtyDrain {
+    /// Keys whose posting list changed (sorted, deduplicated).
+    pub keys: Vec<KeyId>,
+    /// Profiles removed from at least one dirty key (old members that the
+    /// current postings no longer show).
+    pub removed_members: Vec<u32>,
+    /// Profiles whose own key list changed (sorted, deduplicated).
+    pub touched_profiles: Vec<u32>,
+}
+
+impl DirtyDrain {
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty() && self.touched_profiles.is_empty()
+    }
+}
+
+/// The mutable `(cluster, token) → postings` index with dirty tracking.
+#[derive(Debug)]
+pub struct IncrementalBlockIndex {
+    keys: Vec<KeyEntry>,
+    /// token → [(cluster, key id)] (usually one entry; looked up by `&str`
+    /// so interning allocates only for genuinely new tokens).
+    by_token: FastMap<Box<str>, Vec<(ClusterId, KeyId)>>,
+    /// Key ids sorted by `(cluster, token)` — the canonical block order.
+    sorted: Vec<KeyId>,
+    /// Per-profile sorted key-id lists (the raw, pre-cleaning memberships).
+    profile_keys: Vec<Vec<KeyId>>,
+    /// Whether labels carry the `#c{n}` suffix (more than one cluster).
+    multi_cluster: bool,
+    // -- dirty state since the last drain --
+    dirty_flags: Vec<bool>,
+    dirty_keys: Vec<KeyId>,
+    removed_members: Vec<u32>,
+    touched_profiles: Vec<u32>,
+}
+
+impl IncrementalBlockIndex {
+    /// An empty index. `multi_cluster` must match the key disambiguator the
+    /// pipeline uses (it controls the `#c{n}` label suffix, exactly like
+    /// batch Token Blocking's `cluster_count() > 1`).
+    pub fn new(multi_cluster: bool) -> Self {
+        Self {
+            keys: Vec::new(),
+            by_token: FastMap::default(),
+            sorted: Vec::new(),
+            profile_keys: Vec::new(),
+            multi_cluster,
+            dirty_flags: Vec::new(),
+            dirty_keys: Vec::new(),
+            removed_members: Vec::new(),
+            touched_profiles: Vec::new(),
+        }
+    }
+
+    /// Number of keys ever created (dead keys with empty postings included).
+    #[inline]
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The slab entry of a key.
+    #[inline]
+    pub fn key(&self, id: KeyId) -> &KeyEntry {
+        &self.keys[id as usize]
+    }
+
+    /// The key ids in canonical `(cluster, token)` order (including keys
+    /// whose postings are currently empty).
+    #[inline]
+    pub fn ordered_keys(&self) -> &[KeyId] {
+        &self.sorted
+    }
+
+    /// The raw (pre-cleaning) key list of a profile, sorted by key id.
+    pub fn profile_keys(&self, pid: u32) -> &[KeyId] {
+        self.profile_keys
+            .get(pid as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The display label of a key (batch Token Blocking's block label).
+    pub fn label(&self, id: KeyId) -> String {
+        let entry = &self.keys[id as usize];
+        if self.multi_cluster {
+            format!("{}#c{}", entry.token, entry.cluster.0)
+        } else {
+            entry.token.to_string()
+        }
+    }
+
+    /// Replaces the key set of `pid` with `new_keys` (cluster, token pairs;
+    /// duplicates allowed — they are deduplicated here, mirroring the
+    /// per-profile dedup of batch Token Blocking). Updates postings and
+    /// dirty state by diffing against the profile's previous key set.
+    pub fn set_profile<'a>(
+        &mut self,
+        pid: u32,
+        new_keys: impl IntoIterator<Item = (ClusterId, &'a str)>,
+    ) {
+        if self.profile_keys.len() <= pid as usize {
+            self.profile_keys.resize_with(pid as usize + 1, Vec::new);
+        }
+        let mut ids: Vec<KeyId> = new_keys
+            .into_iter()
+            .map(|(cluster, token)| self.intern_key(cluster, token))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+
+        let old = std::mem::take(&mut self.profile_keys[pid as usize]);
+        let mut changed = false;
+        // Merge-diff the sorted id lists.
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() || j < ids.len() {
+            match (old.get(i), ids.get(j)) {
+                (Some(&o), Some(&n)) if o == n => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&o), Some(&n)) if o < n => {
+                    self.remove_member(o, pid);
+                    changed = true;
+                    i += 1;
+                }
+                (Some(_), Some(&n)) => {
+                    self.add_member(n, pid);
+                    changed = true;
+                    j += 1;
+                }
+                (Some(&o), None) => {
+                    self.remove_member(o, pid);
+                    changed = true;
+                    i += 1;
+                }
+                (None, Some(&n)) => {
+                    self.add_member(n, pid);
+                    changed = true;
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        if changed {
+            self.touched_profiles.push(pid);
+        }
+        self.profile_keys[pid as usize] = ids;
+    }
+
+    /// Removes all keys of `pid` (profile deletion).
+    pub fn clear_profile(&mut self, pid: u32) {
+        self.set_profile(pid, std::iter::empty());
+    }
+
+    /// Takes the accumulated dirty state, resetting it.
+    pub fn drain_dirty(&mut self) -> DirtyDrain {
+        let mut keys = std::mem::take(&mut self.dirty_keys);
+        for &k in &keys {
+            self.dirty_flags[k as usize] = false;
+        }
+        keys.sort_unstable();
+        let mut removed = std::mem::take(&mut self.removed_members);
+        removed.sort_unstable();
+        removed.dedup();
+        let mut touched = std::mem::take(&mut self.touched_profiles);
+        touched.sort_unstable();
+        touched.dedup();
+        DirtyDrain {
+            keys,
+            removed_members: removed,
+            touched_profiles: touched,
+        }
+    }
+
+    /// A from-scratch [`BlockCollection`] of the **raw** (uncleaned) index:
+    /// bit-identical to batch Token Blocking on the materialised input —
+    /// same blocks, same labels, same canonical order, invalid blocks
+    /// dropped the same way.
+    pub fn snapshot_raw(
+        &self,
+        clean_clean: bool,
+        separator: u32,
+        total_profiles: u32,
+    ) -> BlockCollection {
+        let blocks = self
+            .sorted
+            .iter()
+            .filter_map(|&kid| {
+                let entry = &self.keys[kid as usize];
+                if entry.postings.is_empty() {
+                    return None;
+                }
+                let block = Block::new(
+                    self.label(kid),
+                    entry.cluster,
+                    entry.postings.clone(),
+                    separator,
+                );
+                block.is_valid(clean_clean).then_some(block)
+            })
+            .collect();
+        BlockCollection::new(blocks, clean_clean, separator, total_profiles)
+    }
+
+    fn intern_key(&mut self, cluster: ClusterId, token: &str) -> KeyId {
+        if let Some(ids) = self.by_token.get(token) {
+            if let Some(&(_, id)) = ids.iter().find(|&&(c, _)| c == cluster) {
+                return id;
+            }
+        }
+        let id = self.keys.len() as KeyId;
+        // Keep the canonical order: insert at the sorted position.
+        let pos = self.sorted.partition_point(|&k| {
+            let e = &self.keys[k as usize];
+            (e.cluster, &*e.token) < (cluster, token)
+        });
+        self.keys.push(KeyEntry {
+            cluster,
+            token: Box::from(token),
+            postings: Vec::new(),
+        });
+        match self.by_token.get_mut(token) {
+            Some(ids) => ids.push((cluster, id)),
+            None => {
+                self.by_token.insert(Box::from(token), vec![(cluster, id)]);
+            }
+        }
+        self.dirty_flags.push(false);
+        self.sorted.insert(pos, id);
+        id
+    }
+
+    fn mark_dirty(&mut self, key: KeyId) {
+        if !self.dirty_flags[key as usize] {
+            self.dirty_flags[key as usize] = true;
+            self.dirty_keys.push(key);
+        }
+    }
+
+    fn add_member(&mut self, key: KeyId, pid: u32) {
+        let postings = &mut self.keys[key as usize].postings;
+        let pos = postings.partition_point(|p| p.0 < pid);
+        debug_assert!(
+            postings.get(pos).map(|p| p.0) != Some(pid),
+            "duplicate member"
+        );
+        postings.insert(pos, ProfileId(pid));
+        self.mark_dirty(key);
+    }
+
+    fn remove_member(&mut self, key: KeyId, pid: u32) {
+        let postings = &mut self.keys[key as usize].postings;
+        let pos = postings.partition_point(|p| p.0 < pid);
+        debug_assert_eq!(postings.get(pos).map(|p| p.0), Some(pid), "missing member");
+        postings.remove(pos);
+        self.removed_members.push(pid);
+        self.mark_dirty(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn glue(tokens: &[&'static str]) -> Vec<(ClusterId, &'static str)> {
+        tokens.iter().map(|&t| (ClusterId::GLUE, t)).collect()
+    }
+
+    #[test]
+    fn set_profile_diffs_postings() {
+        let mut idx = IncrementalBlockIndex::new(false);
+        idx.set_profile(0, glue(&["abram", "john"]));
+        idx.set_profile(1, glue(&["abram", "ellen"]));
+        let d = idx.drain_dirty();
+        assert_eq!(d.touched_profiles, vec![0, 1]);
+        assert!(d.removed_members.is_empty());
+
+        // Update profile 0: drops "john", keeps "abram", gains "jr".
+        idx.set_profile(0, glue(&["abram", "jr"]));
+        let d = idx.drain_dirty();
+        assert_eq!(d.touched_profiles, vec![0]);
+        assert_eq!(d.removed_members, vec![0]);
+        // Dirty keys: john (lost 0) and jr (gained 0) — not abram.
+        let labels: Vec<String> = d.keys.iter().map(|&k| idx.label(k)).collect();
+        assert!(labels.contains(&"john".to_string()));
+        assert!(labels.contains(&"jr".to_string()));
+        assert!(!labels.contains(&"abram".to_string()));
+    }
+
+    #[test]
+    fn unchanged_set_is_not_dirty() {
+        let mut idx = IncrementalBlockIndex::new(false);
+        idx.set_profile(0, glue(&["a", "b"]));
+        idx.drain_dirty();
+        idx.set_profile(0, glue(&["b", "a", "a"]));
+        assert!(idx.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn snapshot_drops_invalid_blocks_and_orders_canonically() {
+        let mut idx = IncrementalBlockIndex::new(false);
+        idx.set_profile(0, glue(&["zeta", "shared"]));
+        idx.set_profile(1, glue(&["alpha", "shared"]));
+        let blocks = idx.snapshot_raw(false, 2, 2);
+        // Singletons are invalid for dirty ER; only "shared" survives.
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(&*blocks.blocks()[0].label, "shared");
+        // Make alpha/zeta valid and check the canonical order.
+        idx.set_profile(0, glue(&["zeta", "alpha", "shared"]));
+        idx.set_profile(1, glue(&["zeta", "alpha", "shared"]));
+        let blocks = idx.snapshot_raw(false, 2, 2);
+        let labels: Vec<&str> = blocks.blocks().iter().map(|b| &*b.label).collect();
+        assert_eq!(labels, vec!["alpha", "shared", "zeta"]);
+    }
+
+    #[test]
+    fn clear_profile_empties_its_keys() {
+        let mut idx = IncrementalBlockIndex::new(false);
+        idx.set_profile(0, glue(&["x", "y"]));
+        idx.set_profile(1, glue(&["x"]));
+        idx.drain_dirty();
+        idx.clear_profile(0);
+        let d = idx.drain_dirty();
+        assert_eq!(d.removed_members, vec![0]);
+        assert_eq!(idx.profile_keys(0), &[] as &[KeyId]);
+        let blocks = idx.snapshot_raw(false, 2, 2);
+        assert!(blocks.is_empty(), "x became a singleton, y empty");
+    }
+
+    #[test]
+    fn multi_cluster_labels_match_batch_convention() {
+        let mut idx = IncrementalBlockIndex::new(true);
+        idx.set_profile(0, vec![(ClusterId(1), "abram"), (ClusterId::GLUE, "abram")]);
+        idx.set_profile(1, vec![(ClusterId(1), "abram"), (ClusterId::GLUE, "abram")]);
+        let blocks = idx.snapshot_raw(false, 2, 2);
+        let labels: Vec<&str> = blocks.blocks().iter().map(|b| &*b.label).collect();
+        assert_eq!(labels, vec!["abram#c0", "abram#c1"]);
+    }
+}

@@ -1,0 +1,385 @@
+//! The incremental pipeline: streamed mutations in, candidate-pair deltas
+//! out.
+//!
+//! ```text
+//! insert/update/delete … → commit() → PairDelta { added, retracted }
+//! ```
+//!
+//! Each [`IncrementalPipeline::commit`] absorbs the pending micro-batch:
+//! the index mutates only the touched postings, cleaning is re-applied on
+//! the dirty blocks, and the meta-blocking graph is repaired over the dirty
+//! neighbourhoods. The **batch-equivalence contract**: after any commit,
+//! [`IncrementalPipeline::retained`] is bit-identical to
+//! [`IncrementalPipeline::batch_retained`], a from-scratch batch run
+//! (Token Blocking → purging → filtering → weighting → pruning) on the
+//! materialised input — pinned by the property tests in
+//! `tests/incremental_equivalence.rs` for all prunings × schemes.
+//!
+//! Loose schema information is supported as a *fixed* partitioning (e.g.
+//! extracted from a seed batch): keys are disambiguated per attribute
+//! cluster and blocks carry the cluster's aggregate entropy, exactly like
+//! the batch pipeline's phase 2 + 3 with that same partitioning.
+
+use crate::cleaner::{CleaningConfig, IncrementalCleaner};
+use crate::graph::{
+    DirtyScope, IncrementalMetaBlocker, IncrementalPruning, PairDelta, RepairStats,
+};
+use crate::index::IncrementalBlockIndex;
+use crate::store::MutableProfileStore;
+use blast_blocking::collection::BlockCollection;
+use blast_blocking::filtering::BlockFiltering;
+use blast_blocking::key::{ClusterId, KeyDisambiguator};
+use blast_blocking::purging::BlockPurging;
+use blast_blocking::token_blocking::TokenBlocking;
+use blast_core::schema::partitioning::AttributePartitioning;
+use blast_datamodel::entity::{ProfileId, SourceId};
+use blast_datamodel::input::ErInput;
+use blast_datamodel::tokenizer::Tokenizer;
+use blast_graph::context::GraphContext;
+use blast_graph::retained::RetainedPairs;
+use blast_graph::weights::EdgeWeigher;
+
+/// What one commit produced.
+#[derive(Debug)]
+pub struct CommitOutcome {
+    /// The candidate-pair delta of this micro-batch.
+    pub delta: PairDelta,
+    /// Repair diagnostics.
+    pub stats: RepairStats,
+    /// Size of the candidate set after the commit.
+    pub retained_len: usize,
+    /// Number of cleaned blocks after the commit.
+    pub blocks: usize,
+}
+
+/// The incremental BLAST pipeline.
+pub struct IncrementalPipeline {
+    store: MutableProfileStore,
+    index: IncrementalBlockIndex,
+    cleaner: IncrementalCleaner,
+    blocker: IncrementalMetaBlocker,
+    weigher: Box<dyn EdgeWeigher + Send>,
+    tokenizer: Tokenizer,
+    /// Fixed loose schema information; `None` = schema-agnostic blocking.
+    partitioning: Option<AttributePartitioning>,
+    pending: bool,
+}
+
+impl std::fmt::Debug for IncrementalPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalPipeline")
+            .field("mode", &self.store.mode())
+            .field("weigher", &self.weigher.name())
+            .field("pruning", &self.blocker.pruning().label())
+            .finish()
+    }
+}
+
+impl IncrementalPipeline {
+    /// A dirty-ER pipeline with schema-agnostic blocking.
+    pub fn dirty(
+        weigher: impl EdgeWeigher + Send + 'static,
+        pruning: IncrementalPruning,
+        cleaning: CleaningConfig,
+    ) -> Self {
+        Self::with_store(MutableProfileStore::dirty(), weigher, pruning, cleaning)
+    }
+
+    /// A clean-clean pipeline whose first collection holds at most
+    /// `separator` profiles.
+    pub fn clean_clean(
+        separator: u32,
+        weigher: impl EdgeWeigher + Send + 'static,
+        pruning: IncrementalPruning,
+        cleaning: CleaningConfig,
+    ) -> Self {
+        Self::with_store(
+            MutableProfileStore::clean_clean(separator),
+            weigher,
+            pruning,
+            cleaning,
+        )
+    }
+
+    fn with_store(
+        store: MutableProfileStore,
+        weigher: impl EdgeWeigher + Send + 'static,
+        pruning: IncrementalPruning,
+        cleaning: CleaningConfig,
+    ) -> Self {
+        Self {
+            store,
+            index: IncrementalBlockIndex::new(false),
+            cleaner: IncrementalCleaner::new(cleaning),
+            blocker: IncrementalMetaBlocker::new(pruning),
+            weigher: Box::new(weigher),
+            tokenizer: Tokenizer::new(),
+            partitioning: None,
+            pending: false,
+        }
+    }
+
+    /// Aligns the store's attribute ids with the collection a fixed
+    /// partitioning was extracted from (see
+    /// [`MutableProfileStore::adopt_attributes`]). Call once per source
+    /// before streaming when using [`IncrementalPipeline::with_partitioning`].
+    pub fn adopt_attributes<'a>(
+        &mut self,
+        source: SourceId,
+        names: impl IntoIterator<Item = &'a str>,
+    ) {
+        self.store.adopt_attributes(source, names);
+    }
+
+    /// Attaches a fixed attribute partitioning (loosely schema-aware
+    /// blocking + entropy-weighted graph). Must be called before the first
+    /// insert; the partitioning's attribute ids must align with this
+    /// store's interning (see [`IncrementalPipeline::adopt_attributes`]).
+    pub fn with_partitioning(mut self, partitioning: AttributePartitioning) -> Self {
+        assert_eq!(
+            self.store.total_slots(),
+            if self.store.is_clean_clean() {
+                self.store.separator()
+            } else {
+                0
+            },
+            "attach the partitioning before streaming profiles"
+        );
+        self.index = IncrementalBlockIndex::new(partitioning.cluster_count() > 1);
+        self.partitioning = Some(partitioning);
+        self
+    }
+
+    /// Replaces the tokenizer (before the first insert).
+    pub fn with_tokenizer(mut self, tokenizer: Tokenizer) -> Self {
+        self.tokenizer = tokenizer;
+        self
+    }
+
+    /// The mutable store (read access).
+    pub fn store(&self) -> &MutableProfileStore {
+        &self.store
+    }
+
+    /// The current candidate set.
+    pub fn retained(&self) -> &RetainedPairs {
+        self.blocker.retained()
+    }
+
+    /// Inserts a profile, returning its stable global id.
+    pub fn insert<'a>(
+        &mut self,
+        source: SourceId,
+        external_id: &str,
+        pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> ProfileId {
+        let id = self.store.insert(source, external_id, pairs);
+        self.reindex(id);
+        id
+    }
+
+    /// Replaces a profile's name–value pairs.
+    pub fn update<'a>(
+        &mut self,
+        id: ProfileId,
+        pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) {
+        self.store.update(id, pairs);
+        self.reindex(id);
+    }
+
+    /// Tombstones a profile.
+    pub fn delete(&mut self, id: ProfileId) {
+        self.store.delete(id);
+        self.index.clear_profile(id.0);
+        self.pending = true;
+    }
+
+    fn reindex(&mut self, id: ProfileId) {
+        let source = self.store.source_of(id);
+        // Collect (cluster, token) keys exactly like batch Token Blocking:
+        // excluded attributes produce none, everything else its cluster.
+        let mut keys: Vec<(ClusterId, String)> = Vec::new();
+        for (attr, value) in self.store.values(id) {
+            let cluster = match &self.partitioning {
+                Some(p) => p.cluster_of(source, *attr),
+                None => Some(ClusterId::GLUE),
+            };
+            let Some(cluster) = cluster else { continue };
+            self.tokenizer.for_each_token(value, |tok| {
+                keys.push((cluster, tok.to_string()));
+            });
+        }
+        self.index
+            .set_profile(id.0, keys.iter().map(|(c, t)| (*c, t.as_str())));
+        self.pending = true;
+    }
+
+    /// Absorbs the pending micro-batch, repairing blocks, weights and
+    /// pruning over the affected neighbourhoods, and returns the
+    /// candidate-pair delta.
+    pub fn commit(&mut self) -> CommitOutcome {
+        self.pending = false;
+        let drain = self.index.drain_dirty();
+        let clean_clean = self.store.is_clean_clean();
+        let separator = self.store.separator();
+        let total = self.store.total_slots();
+        let outcome = self
+            .cleaner
+            .apply(&self.index, &drain, clean_clean, separator, total);
+
+        let mut ctx = GraphContext::new(&outcome.blocks);
+        if let Some(p) = &self.partitioning {
+            ctx = ctx.with_block_entropies(p.block_entropies(&outcome.blocks));
+        }
+        if self.weigher.requires_degrees() {
+            ctx.ensure_degrees();
+        }
+        let scope = DirtyScope {
+            nodes: outcome.dirty_nodes,
+            lists_changed: outcome.lists_changed,
+            total_blocks_changed: outcome.total_blocks_changed,
+        };
+        let (delta, stats) = self.blocker.refresh(&ctx, &*self.weigher, &scope);
+        CommitOutcome {
+            delta,
+            stats,
+            retained_len: self.blocker.retained().len(),
+            blocks: outcome.blocks.len(),
+        }
+    }
+
+    /// Whether mutations are waiting for a commit.
+    pub fn has_pending(&self) -> bool {
+        self.pending
+    }
+
+    /// Freezes the store into the batch input (see
+    /// [`MutableProfileStore::materialize`]).
+    pub fn materialize(&self) -> ErInput {
+        self.store.materialize()
+    }
+
+    /// The from-scratch batch counterpart on the materialised input — what
+    /// the equivalence contract compares [`IncrementalPipeline::retained`]
+    /// against.
+    pub fn batch_retained(&self) -> RetainedPairs {
+        let input = self.materialize();
+        let blocks = self.batch_blocks(&input);
+        let mut ctx = GraphContext::new(&blocks);
+        if let Some(p) = &self.partitioning {
+            ctx = ctx.with_block_entropies(p.block_entropies(&blocks));
+        }
+        if self.weigher.requires_degrees() {
+            ctx.ensure_degrees();
+        }
+        self.blocker.pruning().batch_prune(&ctx, &*self.weigher)
+    }
+
+    /// The batch blocking + cleaning counterpart on an input.
+    pub fn batch_blocks(&self, input: &ErInput) -> BlockCollection {
+        let blocking = TokenBlocking::with_tokenizer(self.tokenizer.clone());
+        let blocks = match &self.partitioning {
+            Some(p) => blocking.build_with(input, p),
+            None => blocking.build(input),
+        };
+        let config = self.cleaner.config();
+        let blocks = if config.purging {
+            BlockPurging::new()
+                .max_profile_fraction(config.purge_fraction)
+                .purge(&blocks)
+        } else {
+            blocks
+        };
+        if config.filtering {
+            BlockFiltering::with_ratio(config.filter_ratio).filter(&blocks)
+        } else {
+            blocks
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_graph::meta::PruningAlgorithm;
+    use blast_graph::weights::WeightingScheme;
+
+    fn wnp1() -> IncrementalPruning {
+        IncrementalPruning::Traditional(PruningAlgorithm::Wnp1)
+    }
+
+    #[test]
+    fn stream_inserts_match_batch_at_every_commit() {
+        let mut p =
+            IncrementalPipeline::dirty(WeightingScheme::Cbs, wnp1(), CleaningConfig::default());
+        let rows = [
+            "john abram jr car seller 1985 main street",
+            "ellen smith 85 retail abram st 30 ny",
+            "jon jr abram 85 car retail main st",
+            "ellen smith may 10 1985 retailer abram street ny",
+            "marie curie physics",
+        ];
+        for (i, row) in rows.iter().enumerate() {
+            p.insert(SourceId(0), &format!("p{i}"), [("text", *row)]);
+            let out = p.commit();
+            assert_eq!(p.retained().pairs(), p.batch_retained().pairs(), "step {i}");
+            assert_eq!(out.retained_len, p.retained().len());
+        }
+    }
+
+    #[test]
+    fn update_and_delete_emit_retractions() {
+        let mut p =
+            IncrementalPipeline::dirty(WeightingScheme::Cbs, wnp1(), CleaningConfig::none());
+        let a = p.insert(SourceId(0), "a", [("t", "alpha beta gamma")]);
+        let _b = p.insert(SourceId(0), "b", [("t", "alpha beta gamma")]);
+        let out = p.commit();
+        assert_eq!(out.retained_len, 1, "the twin pair is retained");
+        assert_eq!(out.delta.added.len(), 1);
+
+        // Deleting one endpoint retracts the pair.
+        p.delete(a);
+        let out = p.commit();
+        assert_eq!(out.delta.retracted.len(), 1);
+        assert_eq!(p.retained().len(), 0);
+        assert_eq!(p.retained().pairs(), p.batch_retained().pairs());
+    }
+
+    #[test]
+    fn empty_commit_is_a_noop() {
+        let mut p =
+            IncrementalPipeline::dirty(WeightingScheme::Cbs, wnp1(), CleaningConfig::default());
+        p.insert(SourceId(0), "a", [("t", "x y")]);
+        p.commit();
+        assert!(!p.has_pending());
+        let out = p.commit();
+        assert!(out.delta.is_empty());
+    }
+
+    #[test]
+    fn clean_clean_stream_matches_batch() {
+        let mut p = IncrementalPipeline::clean_clean(
+            3,
+            WeightingScheme::Js,
+            IncrementalPruning::Traditional(PruningAlgorithm::Wnp2),
+            CleaningConfig::default(),
+        );
+        p.insert(
+            SourceId(0),
+            "a0",
+            [("name", "john abram"), ("year", "1985")],
+        );
+        p.insert(SourceId(1), "b0", [("title", "john abram 1985")]);
+        p.commit();
+        assert_eq!(p.retained().pairs(), p.batch_retained().pairs());
+        p.insert(SourceId(0), "a1", [("name", "ellen smith"), ("year", "85")]);
+        p.insert(SourceId(1), "b1", [("title", "ellen smith 85")]);
+        p.commit();
+        assert_eq!(p.retained().pairs(), p.batch_retained().pairs());
+        // Cross-separator pairs only.
+        for (x, y) in p.retained().iter() {
+            assert!(x.0 < 3 && y.0 >= 3);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The mutable profile store: an evolving ER input with a **stable global
+//! id space**.
+//!
+//! The batch pipeline freezes its input up front; the store instead accepts
+//! `insert` / `update` / `delete` at any time while keeping every global
+//! [`ProfileId`] it ever handed out valid. Deletion is a *tombstone*: the
+//! slot stays, its values are dropped, and a blank profile contributes no
+//! blocking keys — exactly how an empty profile behaves in the batch
+//! pipeline. That makes the batch-equivalence contract crisp: at any point,
+//! [`MutableProfileStore::materialize`] produces an [`ErInput`] on which a
+//! from-scratch batch run must yield bit-identical results to the
+//! incremental path.
+//!
+//! Clean-clean stores fix the dataset separator up front (the capacity of
+//! the first collection), because the global numbering `0..|E1|` /
+//! `|E1|..` of the batch model cannot shift once ids are out.
+
+use blast_datamodel::collection::EntityCollection;
+use blast_datamodel::entity::{AttributeId, EntityProfile, ProfileId, SourceId};
+use blast_datamodel::input::ErInput;
+use blast_datamodel::interner::Interner;
+
+/// Which ER setting the store evolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMode {
+    /// One collection with duplicates; ids grow without bound.
+    Dirty,
+    /// Two duplicate-free collections; ids `0..separator` belong to the
+    /// first, `separator..` to the second.
+    CleanClean {
+        /// Capacity of the first collection (the fixed dataset separator).
+        separator: u32,
+    },
+}
+
+/// One global id slot.
+#[derive(Debug, Clone)]
+struct Slot {
+    external_id: Box<str>,
+    values: Vec<(AttributeId, Box<str>)>,
+    live: bool,
+}
+
+impl Slot {
+    fn blank(external_id: impl Into<Box<str>>) -> Self {
+        Self {
+            external_id: external_id.into(),
+            values: Vec::new(),
+            live: false,
+        }
+    }
+}
+
+/// An evolving entity-profile collection with interned attribute names
+/// (one interner per source, mirroring [`EntityCollection`]).
+#[derive(Debug, Clone)]
+pub struct MutableProfileStore {
+    mode: StoreMode,
+    slots: Vec<Slot>,
+    attrs: [Interner; 2],
+    /// Used slots of the first collection (≤ separator in clean-clean mode).
+    len0: u32,
+}
+
+impl MutableProfileStore {
+    /// An empty dirty-ER store.
+    pub fn dirty() -> Self {
+        Self {
+            mode: StoreMode::Dirty,
+            slots: Vec::new(),
+            attrs: [Interner::new(), Interner::new()],
+            len0: 0,
+        }
+    }
+
+    /// An empty clean-clean store whose first collection holds at most
+    /// `separator` profiles. Unused first-collection slots materialise as
+    /// blank profiles so the global numbering never moves.
+    pub fn clean_clean(separator: u32) -> Self {
+        let slots = (0..separator)
+            .map(|i| Slot::blank(format!("__slot{i}")))
+            .collect();
+        Self {
+            mode: StoreMode::CleanClean { separator },
+            slots,
+            attrs: [Interner::new(), Interner::new()],
+            len0: 0,
+        }
+    }
+
+    /// The store's mode.
+    #[inline]
+    pub fn mode(&self) -> StoreMode {
+        self.mode
+    }
+
+    /// Whether this is a clean-clean store.
+    #[inline]
+    pub fn is_clean_clean(&self) -> bool {
+        matches!(self.mode, StoreMode::CleanClean { .. })
+    }
+
+    /// The current dataset separator: fixed for clean-clean stores, the
+    /// slot count for dirty ones (the [`ErInput`] convention).
+    #[inline]
+    pub fn separator(&self) -> u32 {
+        match self.mode {
+            StoreMode::Dirty => self.slots.len() as u32,
+            StoreMode::CleanClean { separator } => separator,
+        }
+    }
+
+    /// Total number of global id slots (live + tombstoned + reserved).
+    #[inline]
+    pub fn total_slots(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Number of live (non-tombstoned, inserted) profiles.
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.live).count()
+    }
+
+    /// The source a global id belongs to.
+    #[inline]
+    pub fn source_of(&self, id: ProfileId) -> SourceId {
+        match self.mode {
+            StoreMode::Dirty => SourceId(0),
+            StoreMode::CleanClean { separator } => {
+                if id.0 < separator {
+                    SourceId(0)
+                } else {
+                    SourceId(1)
+                }
+            }
+        }
+    }
+
+    /// Interns an attribute name of `source`, returning its id — the same
+    /// id the materialised [`EntityCollection`] assigns.
+    pub fn attribute(&mut self, source: SourceId, name: &str) -> AttributeId {
+        self.attrs[source.0 as usize].intern(name)
+    }
+
+    /// Pre-interns attribute names in order, aligning this store's
+    /// [`AttributeId`]s with an existing collection's — required when a
+    /// fixed attribute partitioning extracted from that collection is to be
+    /// resolved against streamed profiles.
+    pub fn adopt_attributes<'a>(
+        &mut self,
+        source: SourceId,
+        names: impl IntoIterator<Item = &'a str>,
+    ) {
+        let interner = &mut self.attrs[source.0 as usize];
+        for name in names {
+            interner.intern(name);
+        }
+    }
+
+    /// The name–value pairs of a profile (empty for tombstones).
+    pub fn values(&self, id: ProfileId) -> &[(AttributeId, Box<str>)] {
+        &self.slots[id.index()].values
+    }
+
+    /// Whether a profile is live.
+    pub fn is_live(&self, id: ProfileId) -> bool {
+        self.slots.get(id.index()).is_some_and(|s| s.live)
+    }
+
+    /// Inserts a new profile into `source`, returning its global id.
+    ///
+    /// # Panics
+    /// Panics when a clean-clean store's first collection is full, or when
+    /// `source` is not valid for the mode.
+    pub fn insert<'a>(
+        &mut self,
+        source: SourceId,
+        external_id: &str,
+        pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> ProfileId {
+        let id = match (self.mode, source.0) {
+            (StoreMode::Dirty, 0) => {
+                self.slots.push(Slot::blank(external_id));
+                ProfileId(self.slots.len() as u32 - 1)
+            }
+            (StoreMode::CleanClean { separator }, 0) => {
+                assert!(
+                    self.len0 < separator,
+                    "first collection is full ({separator} slots)"
+                );
+                let id = ProfileId(self.len0);
+                self.len0 += 1;
+                self.slots[id.index()] = Slot::blank(external_id);
+                id
+            }
+            (StoreMode::CleanClean { .. }, 1) => {
+                self.slots.push(Slot::blank(external_id));
+                ProfileId(self.slots.len() as u32 - 1)
+            }
+            (mode, s) => panic!("source {s} is invalid for {mode:?}"),
+        };
+        self.slots[id.index()].live = true;
+        self.set_values(id, source, pairs);
+        id
+    }
+
+    /// Replaces a live profile's name–value pairs.
+    ///
+    /// # Panics
+    /// Panics when the profile is not live.
+    pub fn update<'a>(
+        &mut self,
+        id: ProfileId,
+        pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) {
+        assert!(self.is_live(id), "update of dead profile {id:?}");
+        let source = self.source_of(id);
+        self.set_values(id, source, pairs);
+    }
+
+    /// Tombstones a profile: its values are dropped, its id stays valid and
+    /// it contributes nothing to blocking from now on.
+    pub fn delete(&mut self, id: ProfileId) {
+        let slot = &mut self.slots[id.index()];
+        slot.values.clear();
+        slot.live = false;
+    }
+
+    fn set_values<'a>(
+        &mut self,
+        id: ProfileId,
+        source: SourceId,
+        pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) {
+        let interner = &mut self.attrs[source.0 as usize];
+        let values: Vec<(AttributeId, Box<str>)> = pairs
+            .into_iter()
+            .map(|(name, value)| (interner.intern(name), Box::from(value)))
+            .collect();
+        self.slots[id.index()].values = values;
+    }
+
+    /// Freezes the store into the [`ErInput`] a batch run would consume.
+    /// Attribute ids are preserved exactly (the collections pre-intern the
+    /// store's attribute tables in order), so a fixed attribute partitioning
+    /// resolves identically against the store and the materialised input.
+    pub fn materialize(&self) -> ErInput {
+        match self.mode {
+            StoreMode::Dirty => {
+                ErInput::dirty(self.materialize_range(SourceId(0), 0..self.slots.len()))
+            }
+            StoreMode::CleanClean { separator } => {
+                let d1 = self.materialize_range(SourceId(0), 0..separator as usize);
+                let d2 = self.materialize_range(SourceId(1), separator as usize..self.slots.len());
+                ErInput::clean_clean(d1, d2)
+            }
+        }
+    }
+
+    fn materialize_range(
+        &self,
+        source: SourceId,
+        range: std::ops::Range<usize>,
+    ) -> EntityCollection {
+        let mut c = EntityCollection::new(source);
+        for (_, name) in self.attrs[source.0 as usize].iter() {
+            c.attribute(name);
+        }
+        for slot in &self.slots[range] {
+            let mut profile = EntityProfile::new(slot.external_id.clone());
+            for (attr, value) in &slot.values {
+                profile.push(*attr, value.clone());
+            }
+            c.push(profile);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_ids_are_stable_across_mutations() {
+        let mut s = MutableProfileStore::dirty();
+        let a = s.insert(SourceId(0), "a", [("name", "john abram")]);
+        let b = s.insert(SourceId(0), "b", [("name", "ellen smith")]);
+        assert_eq!((a, b), (ProfileId(0), ProfileId(1)));
+        s.delete(a);
+        let c = s.insert(SourceId(0), "c", [("name", "mary")]);
+        assert_eq!(c, ProfileId(2), "tombstoned slots are never reused");
+        assert!(!s.is_live(a));
+        assert!(s.values(a).is_empty());
+        assert_eq!(s.live_count(), 2);
+    }
+
+    #[test]
+    fn materialized_input_matches_store_shape() {
+        let mut s = MutableProfileStore::dirty();
+        s.insert(SourceId(0), "a", [("name", "john"), ("year", "1985")]);
+        let b = s.insert(SourceId(0), "b", [("name", "ellen")]);
+        s.delete(b);
+        let input = s.materialize();
+        assert_eq!(input.total_profiles(), 2);
+        assert!(input.profile(ProfileId(1)).is_blank());
+        assert_eq!(input.profile(ProfileId(0)).nvp(), 2);
+        assert_eq!(input.separator(), 2);
+    }
+
+    #[test]
+    fn attribute_ids_survive_materialization() {
+        let mut s = MutableProfileStore::dirty();
+        s.insert(SourceId(0), "a", [("name", "x"), ("year", "1")]);
+        let year_in_store = s.attribute(SourceId(0), "year");
+        let ErInput::Dirty(d) = s.materialize() else {
+            unreachable!()
+        };
+        assert_eq!(d.attribute_id("year"), Some(year_in_store));
+    }
+
+    #[test]
+    fn attributes_of_deleted_profiles_stay_interned() {
+        // The interner never shrinks; materialisation pre-interns the full
+        // table so ids stay aligned even when the only user is tombstoned.
+        let mut s = MutableProfileStore::dirty();
+        let a = s.insert(SourceId(0), "a", [("rare", "x")]);
+        s.insert(SourceId(0), "b", [("name", "y")]);
+        s.delete(a);
+        let name_in_store = s.attribute(SourceId(0), "name");
+        let ErInput::Dirty(d) = s.materialize() else {
+            unreachable!()
+        };
+        assert_eq!(d.attribute_id("name"), Some(name_in_store));
+        assert!(d.attribute_id("rare").is_some());
+    }
+
+    #[test]
+    fn clean_clean_separator_is_fixed() {
+        let mut s = MutableProfileStore::clean_clean(2);
+        let a = s.insert(SourceId(0), "a", [("name", "x")]);
+        let b = s.insert(SourceId(1), "b", [("title", "x")]);
+        assert_eq!(a, ProfileId(0));
+        assert_eq!(b, ProfileId(2), "second collection starts at the separator");
+        assert_eq!(s.separator(), 2);
+        let input = s.materialize();
+        assert!(input.is_clean_clean());
+        assert_eq!(input.total_profiles(), 3);
+        // The unused first-collection slot materialises blank.
+        assert!(input.profile(ProfileId(1)).is_blank());
+        assert_eq!(s.source_of(ProfileId(2)), SourceId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn clean_clean_capacity_is_enforced() {
+        let mut s = MutableProfileStore::clean_clean(1);
+        s.insert(SourceId(0), "a", [("n", "x")]);
+        s.insert(SourceId(0), "b", [("n", "y")]);
+    }
+
+    #[test]
+    fn update_replaces_values() {
+        let mut s = MutableProfileStore::dirty();
+        let a = s.insert(SourceId(0), "a", [("name", "john")]);
+        s.update(a, [("name", "jon"), ("year", "85")]);
+        assert_eq!(s.values(a).len(), 2);
+        let input = s.materialize();
+        assert_eq!(input.profile(a).nvp(), 2);
+    }
+}

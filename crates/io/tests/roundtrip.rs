@@ -1,0 +1,169 @@
+//! End-to-end I/O round trips: CSV → collection → ground truth → pairs and
+//! back, including the quoting, empty-attribute and multi-value edge cases
+//! a real export pipeline produces.
+
+use blast_datamodel::collection::EntityCollection;
+use blast_datamodel::entity::{ProfileId, SourceId};
+use blast_datamodel::input::ErInput;
+use blast_graph::retained::RetainedPairs;
+use blast_io::collection::{read_collection, write_collection, CollectionReadOptions};
+use blast_io::ground_truth::{read_ground_truth, write_ground_truth};
+use blast_io::pairs::write_pairs;
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn read(text: &str, options: &CollectionReadOptions) -> EntityCollection {
+    read_collection(&mut BufReader::new(text.as_bytes()), SourceId(0), options).unwrap()
+}
+
+fn default_options() -> CollectionReadOptions {
+    CollectionReadOptions::default()
+}
+
+fn id_options(name: &str) -> CollectionReadOptions {
+    CollectionReadOptions {
+        id_column: Some(name.to_string()),
+    }
+}
+
+#[test]
+fn quoted_fields_survive_collection_roundtrip() {
+    // Commas, escaped quotes, embedded newlines and unicode in values —
+    // and a quoted comma in an attribute *name*.
+    let csv = "id,\"title, full\",notes\n\
+               p1,\"Entity, Resolution\",\"say \"\"hi\"\"\"\n\
+               p2,\"line1\nline2\",plain\n\
+               p3,Modène,\"émilie, romagne\"\n";
+    let c = read(csv, &default_options());
+    assert_eq!(c.len(), 3);
+    assert_eq!(c.attribute_count(), 3); // id column is interned too
+    let title = c.attribute_id("title, full").unwrap();
+    assert_eq!(
+        c.profiles()[0].values_of(title).next(),
+        Some("Entity, Resolution")
+    );
+    assert_eq!(
+        c.profiles()[1].values_of(title).next(),
+        Some("line1\nline2")
+    );
+
+    // Write → read → identical shape and values.
+    let mut buf = Vec::new();
+    write_collection(&mut buf, &c).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let c2 = read(&text, &id_options("_id"));
+    assert_eq!(c2.len(), c.len());
+    assert_eq!(c2.nvp(), c.nvp());
+    let title2 = c2.attribute_id("title, full").unwrap();
+    assert_eq!(
+        c2.profiles()[0].values_of(title2).next(),
+        Some("Entity, Resolution")
+    );
+    assert_eq!(c2.profiles()[0].external_id, c.profiles()[0].external_id);
+}
+
+#[test]
+fn empty_attributes_are_missing_values_not_empty_strings() {
+    let csv = "id,a,b,c\np1,,x,\np2,,,\np3,1,2,3\n";
+    let c = read(csv, &default_options());
+    // p1 has only b; p2 is entirely blank; p3 has all three.
+    assert_eq!(c.profiles()[0].nvp(), 1);
+    assert_eq!(c.profiles()[1].nvp(), 0);
+    assert!(c.profiles()[1].is_blank());
+    assert_eq!(c.profiles()[2].nvp(), 3);
+
+    // Round trip keeps the blanks blank.
+    let mut buf = Vec::new();
+    write_collection(&mut buf, &c).unwrap();
+    let c2 = read(&String::from_utf8(buf).unwrap(), &id_options("_id"));
+    assert_eq!(c2.profiles()[1].nvp(), 0);
+    assert_eq!(c2.nvp(), c.nvp());
+}
+
+#[test]
+fn short_rows_are_tolerated_missing_id_defaults() {
+    // A row shorter than the header simply misses trailing attributes; an
+    // empty id cell falls back to a row-derived id.
+    let csv = "id,a,b\np1,1\n,2,3\n";
+    let c = read(csv, &default_options());
+    assert_eq!(c.len(), 2);
+    assert_eq!(c.profiles()[0].nvp(), 1);
+    assert_eq!(c.profiles()[1].external_id.as_ref(), "row3");
+    assert_eq!(c.profiles()[1].nvp(), 2);
+}
+
+#[test]
+fn ground_truth_roundtrip_with_quoted_external_ids() {
+    let mut d1 = EntityCollection::new(SourceId(0));
+    d1.push_pairs("plain", [("x", "1")]);
+    d1.push_pairs("with,comma", [("x", "2")]);
+    let mut d2 = EntityCollection::new(SourceId(1));
+    d2.push_pairs("say \"hi\"", [("y", "1")]);
+    d2.push_pairs("other", [("y", "2")]);
+    let input = ErInput::clean_clean(d1, d2);
+
+    let mut gt = blast_datamodel::ground_truth::GroundTruth::new();
+    gt.insert(ProfileId(0), ProfileId(2));
+    gt.insert(ProfileId(1), ProfileId(3));
+
+    let mut buf = Vec::new();
+    write_ground_truth(&mut buf, &gt, &input).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    // The quoted ids must round-trip through the CSV layer.
+    let gt2 = read_ground_truth(&mut BufReader::new(text.as_bytes()), &input).unwrap();
+    assert_eq!(gt2.len(), 2);
+    assert!(gt2.is_match(ProfileId(0), ProfileId(2)));
+    assert!(gt2.is_match(ProfileId(1), ProfileId(3)));
+}
+
+#[test]
+fn pairs_file_reads_back_as_ground_truth() {
+    // The CLI evaluates written pair files by re-reading them with the
+    // ground-truth reader — pin that contract, edge cases included.
+    let mut d1 = EntityCollection::new(SourceId(0));
+    d1.push_pairs("a,1", [("x", "1")]);
+    let mut d2 = EntityCollection::new(SourceId(1));
+    d2.push_pairs("b\n1", [("y", "1")]);
+    let input = ErInput::clean_clean(d1, d2);
+    let retained = RetainedPairs::new(vec![(ProfileId(0), ProfileId(1))]);
+
+    let mut buf = Vec::new();
+    write_pairs(&mut buf, &retained, &input).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let parsed = read_ground_truth(&mut BufReader::new(text.as_bytes()), &input).unwrap();
+    assert_eq!(parsed.len(), 1);
+    assert!(parsed.is_match(ProfileId(0), ProfileId(1)));
+}
+
+proptest! {
+    /// Collection round trip over random single-valued profiles with nasty
+    /// characters: write → read preserves ids, attribute names and values.
+    #[test]
+    fn prop_collection_roundtrip(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[ -~é\n\"]{0,8}", 2..5), 1..8)
+    ) {
+        let width = rows[0].len();
+        let mut c = EntityCollection::new(SourceId(0));
+        let attrs: Vec<String> = (0..width - 1).map(|i| format!("a{i}")).collect();
+        for (i, row) in rows.iter().enumerate() {
+            let pairs: Vec<(&str, &str)> = attrs
+                .iter()
+                .zip(row.iter().skip(1))
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(a, v)| (a.as_str(), v.as_str()))
+                .take(width - 1)
+                .collect();
+            c.push_pairs(&format!("id{i}"), pairs);
+        }
+        let mut buf = Vec::new();
+        write_collection(&mut buf, &c).unwrap();
+        let c2 = read(&String::from_utf8(buf).unwrap(), &id_options("_id"));
+        prop_assert_eq!(c2.len(), c.len());
+        prop_assert_eq!(c2.nvp(), c.nvp());
+        for (p, q) in c.profiles().iter().zip(c2.profiles()) {
+            prop_assert_eq!(&p.external_id, &q.external_id);
+            prop_assert_eq!(p.nvp(), q.nvp());
+        }
+    }
+}

@@ -88,6 +88,13 @@ pub mod io {
     pub use blast_io::*;
 }
 
+/// Incremental meta-blocking: mutable block index + dirty-neighbourhood
+/// repair, batch-equivalent (streamed inserts/updates/deletes with
+/// candidate-pair deltas).
+pub mod incremental {
+    pub use blast_incremental::*;
+}
+
 /// A simple downstream matcher (profile Jaccard + transitive closure) for
 /// end-to-end entity resolution.
 pub mod matcher {

@@ -140,6 +140,68 @@ fn dedup_command_runs_dirty_er() {
 }
 
 #[test]
+fn stream_command_replays_micro_batches() {
+    let dir = temp_dir("stream");
+    let d = dir.to_str().unwrap();
+    run(&s(&[
+        "generate",
+        "--preset",
+        "census",
+        "--scale",
+        "0.15",
+        "--out-dir",
+        d,
+    ]));
+    // Replay the dataset in small micro-batches; --verify pins the
+    // batch-equivalence contract end to end, --gt reports quality.
+    let report = run(&s(&[
+        "stream",
+        "--input",
+        &format!("{d}/data.csv"),
+        "--id-column",
+        "_id",
+        "--batch-size",
+        "7",
+        "--pruning",
+        "wnp1",
+        "--scheme",
+        "cbs",
+        "--gt",
+        &format!("{d}/gt.csv"),
+        "--verify",
+    ]));
+    assert!(report.contains("batch    1:"), "{report}");
+    assert!(report.contains("verify: incremental == batch"), "{report}");
+    assert!(report.contains("PC ="), "{report}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stream_rejects_unknown_pruning() {
+    let dir = temp_dir("stream-bad");
+    let d = dir.to_str().unwrap();
+    run(&s(&[
+        "generate",
+        "--preset",
+        "census",
+        "--scale",
+        "0.05",
+        "--out-dir",
+        d,
+    ]));
+    let err = blast_cli::run(&s(&[
+        "stream",
+        "--input",
+        &format!("{d}/data.csv"),
+        "--pruning",
+        "nope",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("--pruning"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_preset_is_reported() {
     let dir = temp_dir("bad");
     let err = blast_cli::run(&s(&[

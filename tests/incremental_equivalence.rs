@@ -1,0 +1,383 @@
+//! The batch-equivalence contract of the incremental subsystem.
+//!
+//! After **any** sequence of `insert` / `update` / `delete` mutations, the
+//! incremental candidate set must be bit-identical to a from-scratch batch
+//! run (Token Blocking → purging → filtering → weighting → pruning) on the
+//! materialised final collection — for every pruning variant and weighting
+//! scheme. Property tests drive randomly generated mutation sequences with
+//! varying micro-batch sizes; a scripted test sweeps the full
+//! 6 prunings × 5 schemes grid plus BLAST's own pruning with χ².
+//!
+//! The delta stream is checked for internal consistency too: replaying
+//! `added` / `retracted` over the previous candidate set must reproduce the
+//! next one exactly.
+
+use blast_core::weighting::ChiSquaredWeigher;
+use blast_datamodel::entity::{ProfileId, SourceId};
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::weights::{EdgeWeigher, WeightingScheme};
+use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const VOCAB: [&str; 10] = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+];
+
+/// One generated mutation: kind (insert/update/delete), a target selector
+/// for update/delete, and the token indices of the new value.
+type Op = (u8, u8, Vec<u8>);
+
+fn value_of(tokens: &[u8]) -> String {
+    tokens
+        .iter()
+        .map(|&t| VOCAB[t as usize % VOCAB.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// All pruning variants the subsystem maintains.
+fn all_prunings() -> Vec<IncrementalPruning> {
+    let mut v: Vec<IncrementalPruning> = PruningAlgorithm::ALL
+        .iter()
+        .map(|&a| IncrementalPruning::Traditional(a))
+        .collect();
+    v.push(IncrementalPruning::blast());
+    v
+}
+
+/// Applies `ops` to a dirty-ER pipeline, committing every `commit_every`
+/// mutations, and asserts the contract at every commit.
+fn check_dirty_sequence(
+    ops: &[Op],
+    commit_every: usize,
+    weigher: impl EdgeWeigher + Send + Clone + 'static,
+    pruning: IncrementalPruning,
+    cleaning: CleaningConfig,
+    label: &str,
+) {
+    let mut p = IncrementalPipeline::dirty(weigher, pruning, cleaning);
+    let mut ids: Vec<ProfileId> = Vec::new();
+    let mut since = 0usize;
+    let mut mirror: BTreeSet<(ProfileId, ProfileId)> = BTreeSet::new();
+
+    let commit_and_check = |p: &mut IncrementalPipeline,
+                            mirror: &mut BTreeSet<(ProfileId, ProfileId)>,
+                            step: usize| {
+        let out = p.commit();
+        // Contract: bit-identical to the from-scratch batch run.
+        assert_eq!(
+            p.retained().pairs(),
+            p.batch_retained().pairs(),
+            "{label}: batch mismatch after step {step}"
+        );
+        // Delta consistency: old ∪ added ∖ retracted = new.
+        for r in &out.delta.retracted {
+            assert!(mirror.remove(r), "{label}: retracted unknown pair {r:?}");
+        }
+        for a in &out.delta.added {
+            assert!(mirror.insert(*a), "{label}: added duplicate pair {a:?}");
+        }
+        let replayed: Vec<_> = mirror.iter().copied().collect();
+        assert_eq!(
+            replayed,
+            p.retained().pairs().to_vec(),
+            "{label}: delta replay diverged at step {step}"
+        );
+    };
+
+    for (step, (kind, target, tokens)) in ops.iter().enumerate() {
+        let value = value_of(tokens);
+        let live: Vec<ProfileId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| p.store().is_live(id))
+            .collect();
+        match kind % 3 {
+            0 => {
+                let id = p.insert(
+                    SourceId(0),
+                    &format!("p{}", ids.len()),
+                    [("text", value.as_str())],
+                );
+                ids.push(id);
+            }
+            1 if !live.is_empty() => {
+                let id = live[*target as usize % live.len()];
+                p.update(id, [("text", value.as_str())]);
+            }
+            2 if !live.is_empty() => {
+                let id = live[*target as usize % live.len()];
+                p.delete(id);
+            }
+            _ => {
+                // No live target yet: degrade to an insert so the sequence
+                // keeps exercising something.
+                let id = p.insert(
+                    SourceId(0),
+                    &format!("p{}", ids.len()),
+                    [("text", value.as_str())],
+                );
+                ids.push(id);
+            }
+        }
+        since += 1;
+        if since >= commit_every {
+            since = 0;
+            commit_and_check(&mut p, &mut mirror, step);
+        }
+    }
+    if p.has_pending() {
+        commit_and_check(&mut p, &mut mirror, ops.len());
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..6, 0u8..16, proptest::collection::vec(0u8..10, 1..5)),
+        3..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All six traditional prunings + BLAST's own, CBS weighting, default
+    /// cleaning, varying micro-batch sizes.
+    #[test]
+    fn prop_all_prunings_match_batch(ops in op_strategy(), commit_every in 1usize..4) {
+        for pruning in all_prunings() {
+            check_dirty_sequence(
+                &ops,
+                commit_every,
+                WeightingScheme::Cbs,
+                pruning,
+                CleaningConfig::default(),
+                &format!("cbs/{}", pruning.label()),
+            );
+        }
+    }
+
+    /// Every weighting scheme (including degree-dependent EJS and the
+    /// |B|-dependent ECBS) across a weight-, cardinality- and node-centric
+    /// pruning — both with cleaning disabled (raw blocking) and with the
+    /// default purging + filtering. The filtering case is the regression
+    /// guard for |B_u| moving through a post-filter block-validity flip
+    /// while the node's own kept set stays put.
+    #[test]
+    fn prop_all_schemes_match_batch(ops in op_strategy(), commit_every in 1usize..4) {
+        for cleaning in [CleaningConfig::none(), CleaningConfig::default()] {
+            for scheme in WeightingScheme::ALL {
+                for algorithm in [
+                    PruningAlgorithm::Wep,
+                    PruningAlgorithm::Cep,
+                    PruningAlgorithm::Wnp2,
+                    PruningAlgorithm::Cnp1,
+                ] {
+                    check_dirty_sequence(
+                        &ops,
+                        commit_every,
+                        scheme,
+                        IncrementalPruning::Traditional(algorithm),
+                        cleaning.clone(),
+                        &format!("{}/{} cleaning={}", scheme.name(), algorithm.label(), cleaning.filtering),
+                    );
+                }
+            }
+        }
+    }
+
+    /// BLAST's χ² weigher (with its |B|-sensitive contingency table) under
+    /// BLAST pruning and a traditional node-centric one.
+    #[test]
+    fn prop_chi_squared_matches_batch(ops in op_strategy(), commit_every in 1usize..3) {
+        for pruning in [
+            IncrementalPruning::blast(),
+            IncrementalPruning::Traditional(PruningAlgorithm::Cnp2),
+        ] {
+            check_dirty_sequence(
+                &ops,
+                commit_every,
+                ChiSquaredWeigher::without_entropy(),
+                pruning,
+                CleaningConfig::default(),
+                &format!("chi2/{}", pruning.label()),
+            );
+        }
+    }
+
+    /// Clean-clean streams: inserts land on either side of the fixed
+    /// separator, updates/deletes pick any live profile.
+    #[test]
+    fn prop_clean_clean_matches_batch(ops in op_strategy(), commit_every in 1usize..4) {
+        const CAPACITY: u32 = 8;
+        for algorithm in [PruningAlgorithm::Wnp1, PruningAlgorithm::Cep] {
+            let mut p = IncrementalPipeline::clean_clean(
+                CAPACITY,
+                WeightingScheme::Js,
+                IncrementalPruning::Traditional(algorithm),
+                CleaningConfig::default(),
+            );
+            let mut ids: Vec<ProfileId> = Vec::new();
+            let mut inserted0 = 0u32;
+            let mut since = 0usize;
+            for (step, (kind, target, tokens)) in ops.iter().enumerate() {
+                let value = value_of(tokens);
+                let live: Vec<ProfileId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| p.store().is_live(id))
+                    .collect();
+                match kind % 4 {
+                    0 | 3 => {
+                        // Alternate sides; overflow of E1 falls back to E2.
+                        let source = if kind % 4 == 0 && inserted0 < CAPACITY {
+                            inserted0 += 1;
+                            SourceId(0)
+                        } else {
+                            SourceId(1)
+                        };
+                        let id = p.insert(
+                            source,
+                            &format!("s{}p{}", source.0, ids.len()),
+                            [("text", value.as_str())],
+                        );
+                        ids.push(id);
+                    }
+                    1 if !live.is_empty() => {
+                        let id = live[*target as usize % live.len()];
+                        p.update(id, [("text", value.as_str())]);
+                    }
+                    2 if !live.is_empty() => {
+                        let id = live[*target as usize % live.len()];
+                        p.delete(id);
+                    }
+                    _ => {}
+                }
+                since += 1;
+                if since >= commit_every {
+                    since = 0;
+                    p.commit();
+                    prop_assert_eq!(
+                        p.retained().pairs(),
+                        p.batch_retained().pairs(),
+                        "{} step {}",
+                        algorithm.label(),
+                        step
+                    );
+                }
+            }
+            if p.has_pending() {
+                p.commit();
+                prop_assert_eq!(p.retained().pairs(), p.batch_retained().pairs());
+            }
+        }
+    }
+}
+
+/// The full 6 × 5 grid (plus χ² × BLAST pruning) on one scripted sequence
+/// that exercises insert, co-occurrence growth, update and delete — the
+/// acceptance grid, deterministic and exhaustive.
+#[test]
+fn scripted_sequence_full_grid() {
+    let ops: Vec<Op> = vec![
+        (0, 0, vec![0, 1, 2]),    // insert p0: alpha beta gamma
+        (0, 0, vec![0, 1, 3]),    // insert p1: alpha beta delta
+        (0, 0, vec![2, 3, 4]),    // insert p2: gamma delta epsilon
+        (0, 0, vec![0, 1, 2, 3]), // insert p3: alpha beta gamma delta
+        (1, 1, vec![5, 6]),       // update p1: zeta eta (leaves the community)
+        (0, 0, vec![5, 6, 7]),    // insert p4: zeta eta theta
+        (2, 0, vec![0]),          // delete p0
+        (0, 0, vec![0, 2, 8]),    // insert p5: alpha gamma iota
+        (1, 2, vec![0, 1]),       // update some live profile
+        (2, 1, vec![0]),          // delete another
+        (0, 0, vec![1, 2, 9]),    // insert p6: beta gamma kappa
+    ];
+    for commit_every in [1usize, 4] {
+        for scheme in WeightingScheme::ALL {
+            for algorithm in PruningAlgorithm::ALL {
+                check_dirty_sequence(
+                    &ops,
+                    commit_every,
+                    scheme,
+                    IncrementalPruning::Traditional(algorithm),
+                    CleaningConfig::default(),
+                    &format!("grid {}/{}", scheme.name(), algorithm.label()),
+                );
+            }
+        }
+        check_dirty_sequence(
+            &ops,
+            commit_every,
+            ChiSquaredWeigher::without_entropy(),
+            IncrementalPruning::blast(),
+            CleaningConfig::default(),
+            "grid chi2/blast",
+        );
+    }
+}
+
+/// A fixed loose-schema partitioning (as extracted from a seed batch)
+/// drives loosely schema-aware blocking and entropy weighting through the
+/// incremental path; the contract holds against the batch run with the
+/// same partitioning.
+#[test]
+fn fixed_partitioning_stream_matches_batch() {
+    use blast_core::schema::extraction::{LooseSchemaConfig, LooseSchemaExtractor};
+    use blast_datamodel::collection::EntityCollection;
+    use blast_datamodel::input::ErInput;
+
+    // Seed data with two attribute "columns" that share vocabulary so LMI
+    // induces a cluster.
+    let mut seed = EntityCollection::new(SourceId(0));
+    for i in 0..12 {
+        seed.push_pairs(
+            &format!("s{i}"),
+            [
+                ("name", &*format!("person number {i} alpha beta")),
+                ("label", &*format!("person number {i} alpha beta")),
+                ("year", &*format!("{}", 1990 + i % 4)),
+            ],
+        );
+    }
+    let seed_input = ErInput::dirty(seed);
+    let schema = LooseSchemaExtractor::new(LooseSchemaConfig::default()).extract(&seed_input);
+
+    let mut p = IncrementalPipeline::dirty(
+        ChiSquaredWeigher::new(),
+        IncrementalPruning::blast(),
+        CleaningConfig::default(),
+    )
+    .with_partitioning(schema.partitioning.clone());
+    // Align the store's attribute ids with the seed collection the
+    // partitioning was extracted from.
+    let seed_collection = seed_input.collection(SourceId(0));
+    p.adopt_attributes(
+        SourceId(0),
+        seed_collection
+            .attribute_ids()
+            .map(|a| seed_collection.attribute_name(a)),
+    );
+
+    let rows = [
+        vec![("name", "john abram person"), ("year", "1990")],
+        vec![("label", "john abram person"), ("year", "1990")],
+        vec![("name", "ellen smith alpha"), ("year", "1991")],
+        vec![("label", "ellen smith alpha"), ("year", "1991")],
+        vec![("name", "mary jones beta"), ("year", "1992")],
+    ];
+    let mut ids = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        ids.push(p.insert(SourceId(0), &format!("p{i}"), row.iter().copied()));
+        p.commit();
+        assert_eq!(
+            p.retained().pairs(),
+            p.batch_retained().pairs(),
+            "partitioned step {i}"
+        );
+    }
+    p.update(ids[0], [("name", "jon abram person"), ("year", "1990")]);
+    p.delete(ids[2]);
+    p.commit();
+    assert_eq!(p.retained().pairs(), p.batch_retained().pairs());
+}
