@@ -10,7 +10,7 @@ use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
 use blast_graph::meta::PruningAlgorithm;
 use blast_graph::pruning::common::{collect_weighted_edges, node_pass};
 use blast_graph::weights::WeightingScheme;
-use blast_graph::GraphContext;
+use blast_graph::GraphSnapshot;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_graph_engine(c: &mut Criterion) {
@@ -21,7 +21,7 @@ fn bench_graph_engine(c: &mut Criterion) {
         let b = TokenBlocking::new().build(&input);
         BlockFiltering::new().filter(&BlockPurging::new().purge(&b))
     };
-    let ctx = GraphContext::new(&blocks);
+    let ctx = GraphSnapshot::build(&blocks);
 
     let mut g = c.benchmark_group("graph_engine");
     g.sample_size(10);
@@ -33,7 +33,7 @@ fn bench_graph_engine(c: &mut Criterion) {
     });
     // Single-threaded comparison isolates the accumulator swap from the
     // work-stealing scheduling gain.
-    let ctx1 = GraphContext::new(&blocks).with_threads(1);
+    let ctx1 = GraphSnapshot::build(&blocks).with_threads(1);
     g.bench_function("edges_hashmap_baseline_1thread", |b| {
         b.iter(|| baseline_collect_weighted_edges(&ctx1, &WeightingScheme::Arcs).len())
     });

@@ -9,7 +9,7 @@ use blast_core::weighting::ChiSquaredWeigher;
 use blast_datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
 use blast_graph::meta::PruningAlgorithm;
 use blast_graph::weights::WeightingScheme;
-use blast_graph::GraphContext;
+use blast_graph::GraphSnapshot;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_pruning(c: &mut Criterion) {
@@ -19,7 +19,7 @@ fn bench_pruning(c: &mut Criterion) {
         let b = TokenBlocking::new().build(&input);
         BlockFiltering::new().filter(&BlockPurging::new().purge(&b))
     };
-    let mut ctx = GraphContext::new(&blocks);
+    let mut ctx = GraphSnapshot::build(&blocks);
     ctx.ensure_degrees();
 
     let mut g = c.benchmark_group("pruning");

@@ -10,7 +10,7 @@ use blast_core::weighting::ChiSquaredWeigher;
 use blast_datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
 use blast_graph::pruning::common::fold_edges;
 use blast_graph::weights::{EdgeWeigher, WeightingScheme};
-use blast_graph::GraphContext;
+use blast_graph::GraphSnapshot;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_weighting(c: &mut Criterion) {
@@ -22,7 +22,7 @@ fn bench_weighting(c: &mut Criterion) {
         BlockFiltering::new().filter(&BlockPurging::new().purge(&b))
     };
     let entropies = info.partitioning.block_entropies(&blocks);
-    let mut ctx = GraphContext::new(&blocks).with_block_entropies(entropies);
+    let mut ctx = GraphSnapshot::build(&blocks).with_block_entropies(entropies);
     ctx.ensure_degrees();
 
     let mut g = c.benchmark_group("weighting_full_graph_pass");

@@ -22,7 +22,7 @@ use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
 use blast_graph::meta::PruningAlgorithm;
 use blast_graph::pruning::common::collect_weighted_edges;
 use blast_graph::weights::{EdgeWeigher, WeightingScheme};
-use blast_graph::GraphContext;
+use blast_graph::GraphSnapshot;
 use std::fmt::Write as _;
 
 const RUNS: usize = 5;
@@ -37,7 +37,7 @@ fn main() {
         let b = TokenBlocking::new().build(&input);
         BlockFiltering::new().filter(&BlockPurging::new().purge(&b))
     };
-    let mut ctx = GraphContext::new(&blocks);
+    let mut ctx = GraphSnapshot::build(&blocks);
     ctx.ensure_degrees();
     let edges = ctx.total_edges();
     let threads = ctx.threads();
@@ -102,7 +102,7 @@ fn main() {
     );
     let mut matrix = Vec::new();
     for scheme in WeightingScheme::ALL {
-        let mut ctx = GraphContext::new(&blocks);
+        let mut ctx = GraphSnapshot::build(&blocks);
         if scheme.requires_degrees() {
             ctx.ensure_degrees();
         }

@@ -20,8 +20,8 @@ use blast_datamodel::entity::SourceId;
 use blast_datamodel::input::ErInput;
 use blast_graph::meta::PruningAlgorithm;
 use blast_graph::weights::{EdgeWeigher, WeightingScheme};
-use blast_graph::GraphContext;
-use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+use blast_graph::GraphSnapshot;
+use blast_incremental::{CleaningConfig, CommitTimings, IncrementalPipeline, IncrementalPruning};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -37,6 +37,17 @@ struct RunResult {
     full_secs: f64,
     speedup: f64,
     final_candidates: usize,
+    /// Per-phase split of the incremental path (index maintenance /
+    /// cleaning / snapshot patch / graph repair), summed over all commits.
+    phases: CommitTimings,
+    /// Mean per-commit phase split over the first and second half of the
+    /// streamed window — flat halves make the removed linear term (the
+    /// per-commit CSR rebuild) visibly gone: maintenance cost tracks the
+    /// dirty neighbourhood, not the collection size.
+    phases_first_half: CommitTimings,
+    phases_second_half: CommitTimings,
+    /// Total CSR rows patched across the run (snapshot delta volume).
+    patched_rows: usize,
 }
 
 fn run_config(
@@ -58,8 +69,16 @@ fn run_config(
     }
     pipeline.commit();
 
-    // Incremental path: insert + repair per micro-batch.
+    // Incremental path: insert + repair per micro-batch, with the
+    // per-phase split the commit reports.
     let mut commits = 0usize;
+    let mut phases = CommitTimings::default();
+    let mut half_phases = [CommitTimings::default(), CommitTimings::default()];
+    let mut half_commits = [0usize; 2];
+    let mut patched_rows = 0usize;
+    let total_batches = rows[seed_len..seed_len + streamed]
+        .chunks(batch_size)
+        .count();
     let t0 = Instant::now();
     for chunk in rows[seed_len..seed_len + streamed].chunks(batch_size) {
         for (id, pairs) in chunk {
@@ -69,16 +88,32 @@ fn run_config(
                 pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
             );
         }
-        pipeline.commit();
+        let out = pipeline.commit();
+        phases.accumulate(&out.timings);
+        let half = usize::from(commits * 2 >= total_batches);
+        half_phases[half].accumulate(&out.timings);
+        half_commits[half] += 1;
+        patched_rows += out.stats.patched_rows;
         commits += 1;
     }
     let incremental_secs = t0.elapsed().as_secs_f64();
+    let mean = |t: &CommitTimings, n: usize| {
+        let n = n.max(1) as f64;
+        CommitTimings {
+            index_secs: t.index_secs / n,
+            cleaning_secs: t.cleaning_secs / n,
+            snapshot_secs: t.snapshot_secs / n,
+            repair_secs: t.repair_secs / n,
+        }
+    };
+    let phases_first_half = mean(&half_phases[0], half_commits[0]);
+    let phases_second_half = mean(&half_phases[1], half_commits[1]);
 
     // Full-recompute path: the same commit schedule, each commit a batch
     // re-run over the whole collection so far.
     let full_prune = |input: &ErInput, pipeline: &IncrementalPipeline| {
         let blocks = pipeline.batch_blocks(input);
-        let mut ctx = GraphContext::new(&blocks);
+        let mut ctx = GraphSnapshot::build(&blocks);
         if scheme.requires_degrees() {
             ctx.ensure_degrees();
         }
@@ -125,7 +160,18 @@ fn run_config(
         full_secs,
         speedup: full_secs / incremental_secs.max(1e-12),
         final_candidates: pipeline.retained().len(),
+        phases,
+        phases_first_half,
+        phases_second_half,
+        patched_rows,
     }
+}
+
+fn phase_json(t: &CommitTimings) -> String {
+    format!(
+        "{{\"index_maintenance_secs\": {:.6}, \"cleaning_secs\": {:.6}, \"snapshot_patch_secs\": {:.6}, \"graph_repair_secs\": {:.6}}}",
+        t.index_secs, t.cleaning_secs, t.snapshot_secs, t.repair_secs,
+    )
 }
 
 fn main() {
@@ -195,6 +241,23 @@ fn main() {
         }
     }
 
+    // The removed linear term, made visible: at micro-batch 1 the mean
+    // per-commit maintenance cost (index + cleaning + snapshot patch) of
+    // the second half of the stream should track the first half's, even
+    // though the collection has grown — the per-commit CSR rebuild is gone.
+    println!();
+    println!("per-commit maintenance (index+cleaning+snapshot) at batch size 1:");
+    for r in results.iter().filter(|r| r.batch_size == 1) {
+        let m = |t: &CommitTimings| t.index_secs + t.cleaning_secs + t.snapshot_secs;
+        println!(
+            "  {:<6} {:<6} first half {:>9.1}us  second half {:>9.1}us",
+            r.scheme,
+            r.pruning,
+            m(&r.phases_first_half) * 1e6,
+            m(&r.phases_second_half) * 1e6,
+        );
+    }
+
     // BENCH_incremental.json — hand-rolled (the workspace has no serde).
     let mut json = String::new();
     json.push_str("{\n");
@@ -212,7 +275,7 @@ fn main() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"scheme\": \"{}\", \"pruning\": \"{}\", \"batch_size\": {}, \"commits\": {}, \"incremental_secs\": {:.6}, \"full_recompute_secs\": {:.6}, \"speedup\": {:.3}, \"final_candidates\": {}}}{comma}",
+            "    {{\"scheme\": \"{}\", \"pruning\": \"{}\", \"batch_size\": {}, \"commits\": {}, \"incremental_secs\": {:.6}, \"full_recompute_secs\": {:.6}, \"speedup\": {:.3}, \"final_candidates\": {}, \"patched_csr_rows\": {}, \"phases\": {}, \"per_commit_first_half\": {}, \"per_commit_second_half\": {}}}{comma}",
             r.scheme,
             r.pruning,
             r.batch_size,
@@ -221,6 +284,10 @@ fn main() {
             r.full_secs,
             r.speedup,
             r.final_candidates,
+            r.patched_rows,
+            phase_json(&r.phases),
+            phase_json(&r.phases_first_half),
+            phase_json(&r.phases_second_half),
         );
     }
     json.push_str("  ]\n}\n");

@@ -20,7 +20,7 @@ use blast_datagen::{
 use blast_datamodel::tokenizer::Tokenizer;
 use blast_graph::meta::PruningAlgorithm;
 use blast_graph::weights::{EdgeWeigher, WeightingScheme};
-use blast_graph::GraphContext;
+use blast_graph::GraphSnapshot;
 use blast_metrics::quality::{evaluate_blocks, evaluate_pairs};
 use blast_metrics::report::fmt_card;
 use std::fmt::Write as _;
@@ -342,7 +342,7 @@ pub fn fig8(scale: f64) -> String {
         let prepared = prepare_preset(preset, scale);
         let blocks = &prepared.blocks_l;
         let entropies = prepared.schema.partitioning.block_entropies(blocks);
-        let ctx = GraphContext::new(blocks).with_block_entropies(entropies);
+        let ctx = GraphSnapshot::build(blocks).with_block_entropies(entropies);
 
         // wnp: average of wnp1 and wnp2 over the 5 traditional schemes.
         let mut wnp_pc = 0.0;
@@ -361,7 +361,7 @@ pub fn fig8(scale: f64) -> String {
         let mut wsh_pc = 0.0;
         let mut wsh_pq = 0.0;
         for scheme in WeightingScheme::ALL {
-            let mut ctx_ws = GraphContext::new(blocks)
+            let mut ctx_ws = GraphSnapshot::build(blocks)
                 .with_block_entropies(prepared.schema.partitioning.block_entropies(blocks));
             if scheme.requires_degrees() {
                 ctx_ws.ensure_degrees();

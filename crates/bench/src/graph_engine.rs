@@ -4,30 +4,30 @@
 //!
 //! The baseline reproduces the pre-engine code path exactly: per-node
 //! `FastMap<u32, EdgeAccum>` accumulation (via the reference
-//! [`GraphContext::accumulate_neighbors`]), a sort of the materialised
+//! [`GraphSnapshot::accumulate_neighbors`]), a sort of the materialised
 //! adjacency, and contiguous one-chunk-per-thread scheduling
 //! ([`parallel_ranges`]). Comparing it against
-//! [`blast_graph::traversal::collect_weighted_edges`] isolates what the
+//! [`blast_graph::pruning::common::collect_weighted_edges`] isolates what the
 //! dense scratch-array engine and work-stealing scheduling buy.
 
 use blast_datamodel::hash::FastMap;
 use blast_datamodel::parallel::parallel_ranges;
 use blast_graph::context::EdgeAccum;
 use blast_graph::weights::EdgeWeigher;
-use blast_graph::GraphContext;
+use blast_graph::GraphSnapshot;
 use std::time::{Duration, Instant};
 
 /// The pre-engine edge materialisation: hashmap adjacency + sort per node,
 /// contiguous chunk scheduling. Output is identical to
-/// [`blast_graph::traversal::collect_weighted_edges`].
+/// [`blast_graph::pruning::common::collect_weighted_edges`].
 pub fn baseline_collect_weighted_edges(
-    ctx: &GraphContext<'_>,
+    ctx: &GraphSnapshot,
     weigher: &dyn EdgeWeigher,
 ) -> Vec<(u32, u32, f64)> {
     let owners = ctx.edge_owner_range();
     let n = (owners.end - owners.start) as usize;
     let base = owners.start;
-    let clean = ctx.blocks().is_clean_clean();
+    let clean = ctx.is_clean_clean();
     let chunks = parallel_ranges(n, ctx.threads(), |range| {
         let mut scratch: FastMap<u32, EdgeAccum> = FastMap::default();
         let mut adj: Vec<(u32, EdgeAccum)> = Vec::new();
@@ -58,13 +58,13 @@ pub fn baseline_collect_weighted_edges(
 /// global mean weight, then a second full hashmap traversal to collect the
 /// retained pairs — exactly the `fold_edges` + `collect_edges` structure the
 /// fused single-traversal [`blast_graph::pruning::Wep`] replaced.
-pub fn baseline_wep_prune(ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> Vec<(u32, u32)> {
+pub fn baseline_wep_prune(ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> Vec<(u32, u32)> {
     // Pass 1: fold (count, sum) — materialises nothing, like the old
     // `fold_edges`.
     let owners = ctx.edge_owner_range();
     let n = (owners.end - owners.start) as usize;
     let base = owners.start;
-    let clean = ctx.blocks().is_clean_clean();
+    let clean = ctx.is_clean_clean();
     let folds = parallel_ranges(n, ctx.threads(), |range| {
         let mut scratch: FastMap<u32, EdgeAccum> = FastMap::default();
         let mut adj: Vec<(u32, EdgeAccum)> = Vec::new();
@@ -130,7 +130,7 @@ mod tests {
         let spec = dirty_preset(DirtyPreset::Census).scaled(0.05);
         let (input, _) = generate_dirty(&spec);
         let blocks = BlockFiltering::new().filter(&TokenBlocking::new().build(&input));
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let baseline = baseline_collect_weighted_edges(&ctx, &WeightingScheme::Arcs);
         let engine = collect_weighted_edges(&ctx, &WeightingScheme::Arcs);
         assert_eq!(baseline.len(), engine.len());

@@ -9,7 +9,7 @@ use blast_datamodel::ground_truth::GroundTruth;
 use blast_datamodel::input::ErInput;
 use blast_graph::meta::{MetaBlocker, PruningAlgorithm};
 use blast_graph::weights::WeightingScheme;
-use blast_graph::GraphContext;
+use blast_graph::GraphSnapshot;
 use blast_metrics::quality::{evaluate_pairs, BlockQuality};
 use blast_ml::SupervisedMetaBlocking;
 use std::time::Instant;
@@ -137,7 +137,7 @@ pub fn run_traditional_sweep(
     let share = algorithms.len() as f64;
 
     let t0 = Instant::now();
-    let mut ctx = GraphContext::new(blocks);
+    let mut ctx = GraphSnapshot::build(blocks);
     // Degrees once for the whole sweep (EJS is among the schemes).
     ctx.ensure_degrees();
     let shared_setup = t0.elapsed().as_secs_f64() / share;
@@ -205,7 +205,7 @@ pub fn run_blast_weighted_cnp(
         .schema
         .partitioning
         .block_entropies(&prepared.blocks_l);
-    let ctx = GraphContext::new(&prepared.blocks_l).with_block_entropies(entropies);
+    let ctx = GraphSnapshot::build(&prepared.blocks_l).with_block_entropies(entropies);
     let retained = MetaBlocker::prune_context(&ctx, &ChiSquaredWeigher::new(), algorithm);
     let seconds = t0.elapsed().as_secs_f64() + prepared.l_seconds;
     let quality = evaluate_pairs(retained.pairs(), &prepared.gt);

@@ -1,23 +1,62 @@
-//! CSR profile → block index.
+//! Mutable CSR profile → block index.
 //!
 //! Several components need "which blocks contain profile p": Block
 //! Filtering, blocking-graph construction (node-centric edge enumeration),
 //! and PC evaluation (a ground-truth pair is detected iff the block lists of
-//! its profiles intersect). The index is a compressed-sparse-row layout:
-//! one offsets vector and one flat block-id vector.
+//! its profiles intersect). The index is a compressed-sparse-row layout —
+//! one row descriptor per profile into a shared id arena — that supports
+//! **row-level splicing**: [`ProfileBlockIndex::splice_row`] replaces one
+//! profile's block list in place, relocating the row through a tombstoned
+//! free-list when it outgrows its extent, so the incremental graph snapshot
+//! can patch exactly the dirty rows instead of rebuilding the whole index
+//! per commit.
+//!
+//! Row ids are whatever the caller stores — batch construction stores block
+//! positions (ascending, so each row is numerically sorted), the
+//! incremental snapshot stores stable block *slots* in canonical
+//! `(cluster, token)` order. [`ProfileBlockIndex::common_blocks`] /
+//! [`ProfileBlockIndex::co_occur`] require rows in **ascending numeric id
+//! order** (their merge walks both rows by `<`), so they are only
+//! meaningful on batch-built indexes — an incremental snapshot's
+//! canonical-order rows are *not* numerically sorted once interning order
+//! diverges from token order.
 
 use crate::collection::BlockCollection;
 
-/// CSR index from global profile id to the (sorted) ids of the blocks
-/// containing it.
+/// One row's extent in the arena: `data[start .. start + len]` holds the
+/// row, `cap` slots are reserved (the slack is tombstoned capacity).
+#[derive(Debug, Clone, Copy, Default)]
+struct RowRef {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// CSR index from global profile id to the ids of the blocks containing it,
+/// mutable at row granularity.
 #[derive(Debug, Clone)]
 pub struct ProfileBlockIndex {
-    offsets: Vec<u32>,
-    block_ids: Vec<u32>,
+    rows: Vec<RowRef>,
+    data: Vec<u32>,
+    /// Tombstoned extents of relocated/deleted rows: `(start, cap)`.
+    free: Vec<(u32, u32)>,
+    /// Σ row lengths (live assignments).
+    assignments: u64,
 }
 
 impl ProfileBlockIndex {
-    /// Builds the index for `blocks`.
+    /// An empty index with no profiles (rows are added by
+    /// [`ProfileBlockIndex::ensure_profiles`]).
+    pub fn new() -> Self {
+        Self {
+            rows: Vec::new(),
+            data: Vec::new(),
+            free: Vec::new(),
+            assignments: 0,
+        }
+    }
+
+    /// Builds the index for `blocks` (packed, no free extents).
     pub fn build(blocks: &BlockCollection) -> Self {
         let n = blocks.total_profiles() as usize;
         let mut counts = vec![0u32; n + 1];
@@ -31,49 +70,154 @@ impl ProfileBlockIndex {
         }
         let offsets = counts;
         let mut cursor = offsets.clone();
-        let mut block_ids = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        let total = *offsets.last().unwrap_or(&0);
+        let mut data = vec![0u32; total as usize];
         for (bid, b) in blocks.blocks().iter().enumerate() {
             for p in &b.profiles {
                 let slot = cursor[p.index()];
-                block_ids[slot as usize] = bid as u32;
+                data[slot as usize] = bid as u32;
                 cursor[p.index()] += 1;
             }
         }
         // Block ids are appended in increasing bid order, so each profile's
-        // slice is already sorted.
-        Self { offsets, block_ids }
+        // row is already sorted.
+        let rows = (0..n)
+            .map(|p| {
+                let start = offsets[p];
+                let len = offsets[p + 1] - start;
+                RowRef {
+                    start,
+                    len,
+                    cap: len,
+                }
+            })
+            .collect();
+        Self {
+            rows,
+            data,
+            free: Vec::new(),
+            assignments: total as u64,
+        }
     }
 
-    /// The sorted block ids containing profile `p`.
+    /// The block ids of profile `p`'s row, in the index's row order.
     #[inline]
     pub fn blocks_of(&self, p: u32) -> &[u32] {
-        let start = self.offsets[p as usize] as usize;
-        let end = self.offsets[p as usize + 1] as usize;
-        &self.block_ids[start..end]
+        let r = self.rows[p as usize];
+        &self.data[r.start as usize..(r.start + r.len) as usize]
     }
 
     /// Number of blocks containing `p` (the |Bᵢ| of §3.3.1's contingency
     /// table).
     #[inline]
     pub fn block_count(&self, p: u32) -> u32 {
-        self.offsets[p as usize + 1] - self.offsets[p as usize]
+        self.rows[p as usize].len
     }
 
     /// Number of profiles covered by the index.
     #[inline]
     pub fn profile_count(&self) -> usize {
-        self.offsets.len() - 1
+        self.rows.len()
     }
 
     /// Total number of block assignments (Σ_b |b|; the quantity the CNP/CEP
     /// cardinality thresholds are derived from).
     #[inline]
     pub fn total_assignments(&self) -> u64 {
-        self.block_ids.len() as u64
+        self.assignments
+    }
+
+    /// Capacity currently tombstoned in the free-list plus row slack
+    /// (diagnostics for the compaction heuristic).
+    pub fn dead_capacity(&self) -> u64 {
+        self.data.len() as u64 - self.assignments
+    }
+
+    /// Grows the index to cover at least `n` profiles (new rows empty).
+    pub fn ensure_profiles(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize(n, RowRef::default());
+        }
+    }
+
+    /// Replaces profile `p`'s row with `ids` (already in the caller's row
+    /// order). Reuses the row's extent when it fits; otherwise tombstones it
+    /// onto the free-list and relocates the row (best-fit over the free
+    /// extents, else the arena tail). An empty `ids` deletes the row,
+    /// freeing its extent.
+    pub fn splice_row(&mut self, p: u32, ids: &[u32]) {
+        self.ensure_profiles(p as usize + 1);
+        let row = self.rows[p as usize];
+        self.assignments = self.assignments - row.len as u64 + ids.len() as u64;
+        if ids.is_empty() {
+            if row.cap > 0 {
+                self.free.push((row.start, row.cap));
+            }
+            self.rows[p as usize] = RowRef::default();
+            return;
+        }
+        if ids.len() as u32 <= row.cap {
+            let start = row.start as usize;
+            self.data[start..start + ids.len()].copy_from_slice(ids);
+            self.rows[p as usize].len = ids.len() as u32;
+            return;
+        }
+        // Relocate: free the old extent, then best-fit from the free-list.
+        if row.cap > 0 {
+            self.free.push((row.start, row.cap));
+        }
+        let need = ids.len() as u32;
+        let best = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, cap))| cap >= need)
+            .min_by_key(|(_, &(_, cap))| cap)
+            .map(|(i, _)| i);
+        let (start, cap) = match best {
+            Some(i) => self.free.swap_remove(i),
+            None => {
+                // Append with headroom so rows growing by one token do not
+                // relocate (and tombstone) on every micro-batch.
+                let cap = need.next_power_of_two();
+                let start = self.data.len() as u32;
+                self.data.resize(self.data.len() + cap as usize, 0);
+                (start, cap)
+            }
+        };
+        self.data[start as usize..start as usize + ids.len()].copy_from_slice(ids);
+        self.rows[p as usize] = RowRef {
+            start,
+            len: need,
+            cap,
+        };
+        self.maybe_compact();
+    }
+
+    /// Repacks the arena when tombstoned capacity dominates, bounding memory
+    /// at ~2× the live assignments.
+    fn maybe_compact(&mut self) {
+        if (self.data.len() as u64) <= self.assignments * 2 + 1024 {
+            return;
+        }
+        let mut data = Vec::with_capacity(self.assignments as usize);
+        for row in &mut self.rows {
+            let start = data.len() as u32;
+            data.extend_from_slice(&self.data[row.start as usize..(row.start + row.len) as usize]);
+            *row = RowRef {
+                start,
+                len: row.len,
+                cap: row.len,
+            };
+        }
+        self.data = data;
+        self.free.clear();
     }
 
     /// Size of the intersection of the block lists of `a` and `b`
-    /// (the contingency-table n₁₁ = |Bᵢ ∩ Bⱼ|).
+    /// (the contingency-table n₁₁ = |Bᵢ ∩ Bⱼ|). Requires both rows to be in
+    /// ascending numeric id order — batch-built indexes always are; spliced
+    /// canonical-order rows generally are **not** (see the module docs).
     pub fn common_blocks(&self, a: u32, b: u32) -> u32 {
         let (mut x, mut y) = (self.blocks_of(a), self.blocks_of(b));
         if x.len() > y.len() {
@@ -100,6 +244,12 @@ impl ProfileBlockIndex {
     /// pair is *detected* by the block collection).
     pub fn co_occur(&self, a: u32, b: u32) -> bool {
         self.common_blocks(a, b) > 0
+    }
+}
+
+impl Default for ProfileBlockIndex {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -154,6 +304,61 @@ mod tests {
         assert!(idx.co_occur(0, 2));
     }
 
+    #[test]
+    fn splice_grows_shrinks_and_deletes_rows() {
+        let mut idx = ProfileBlockIndex::new();
+        idx.splice_row(0, &[2, 5, 7]);
+        idx.splice_row(1, &[5]);
+        assert_eq!(idx.blocks_of(0), &[2, 5, 7]);
+        assert_eq!(idx.blocks_of(1), &[5]);
+        assert_eq!(idx.total_assignments(), 4);
+        // In-place shrink.
+        idx.splice_row(0, &[2, 7]);
+        assert_eq!(idx.blocks_of(0), &[2, 7]);
+        assert_eq!(idx.total_assignments(), 3);
+        // Growth beyond the extent relocates and tombstones.
+        idx.splice_row(1, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(idx.blocks_of(1), &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(idx.blocks_of(0), &[2, 7], "other rows untouched");
+        // Deletion frees the extent for reuse.
+        idx.splice_row(1, &[]);
+        assert_eq!(idx.blocks_of(1), &[] as &[u32]);
+        assert_eq!(idx.block_count(1), 0);
+        let dead_before = idx.dead_capacity();
+        idx.splice_row(2, &[9, 10, 11]);
+        assert!(
+            idx.dead_capacity() < dead_before + 3,
+            "freed extent reused for the new row"
+        );
+        assert_eq!(idx.blocks_of(2), &[9, 10, 11]);
+    }
+
+    #[test]
+    fn compaction_bounds_dead_capacity() {
+        let mut idx = ProfileBlockIndex::new();
+        // Repeatedly rewrite a handful of rows with growing lists to force
+        // relocations, then shrink them, leaving holes.
+        for round in 1u32..40 {
+            for p in 0..4u32 {
+                let ids: Vec<u32> = (0..round + p).collect();
+                idx.splice_row(p, &ids);
+            }
+        }
+        for p in 0..4u32 {
+            idx.splice_row(p, &[1, 2]);
+        }
+        idx.splice_row(9, &(0..2048).collect::<Vec<u32>>());
+        assert!(
+            idx.dead_capacity() <= idx.total_assignments() * 2 + 1024,
+            "dead {} vs assignments {}",
+            idx.dead_capacity(),
+            idx.total_assignments()
+        );
+        for p in 0..4u32 {
+            assert_eq!(idx.blocks_of(p), &[1, 2], "row {p} survives compaction");
+        }
+    }
+
     proptest! {
         /// common_blocks must agree with a naive set intersection.
         #[test]
@@ -182,6 +387,26 @@ mod tests {
                         .count() as u32;
                     prop_assert_eq!(idx.common_blocks(a, b), naive);
                 }
+            }
+        }
+
+        /// A row spliced through arbitrary rewrite sequences always reads
+        /// back the latest content, and the assignment count stays exact.
+        #[test]
+        fn prop_splice_reads_back(
+            writes in proptest::collection::vec(
+                (0u32..6, proptest::collection::vec(0u32..50, 0..12)), 1..40)
+        ) {
+            let mut idx = ProfileBlockIndex::new();
+            let mut mirror: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+            for (p, ids) in &writes {
+                idx.splice_row(*p, ids);
+                mirror.insert(*p, ids.clone());
+            }
+            let expect_total: u64 = mirror.values().map(|v| v.len() as u64).sum();
+            prop_assert_eq!(idx.total_assignments(), expect_total);
+            for (p, ids) in &mirror {
+                prop_assert_eq!(idx.blocks_of(*p), ids.as_slice());
             }
         }
     }

@@ -266,6 +266,7 @@ pub fn stream(args: &Args) -> Result<String, String> {
         (None, p) => IncrementalPipeline::dirty(WeightingScheme::Cbs, p, cleaning),
     };
 
+    let show_stats = args.flag("stats");
     let mut report = String::new();
     let _ = writeln!(
         report,
@@ -276,6 +277,9 @@ pub fn stream(args: &Args) -> Result<String, String> {
     let mut added_total = 0usize;
     let mut retracted_total = 0usize;
     let mut batch_no = 0usize;
+    let mut dirty_total = 0usize;
+    let mut patched_rows_total = 0usize;
+    let mut full_rebuilds = 0usize;
     for chunk in d.profiles().chunks(batch_size) {
         for profile in chunk {
             let pairs: Vec<(&str, &str)> = profile
@@ -289,6 +293,9 @@ pub fn stream(args: &Args) -> Result<String, String> {
         batch_no += 1;
         added_total += out.delta.added.len();
         retracted_total += out.delta.retracted.len();
+        dirty_total += out.stats.dirty_nodes;
+        patched_rows_total += out.stats.patched_rows;
+        full_rebuilds += usize::from(out.stats.full);
         let _ = writeln!(
             report,
             "batch {batch_no:>4}: +{:<6} -{:<6} candidates = {:<8} blocks = {:<7} dirty nodes = {}{}",
@@ -299,12 +306,35 @@ pub fn stream(args: &Args) -> Result<String, String> {
             out.stats.dirty_nodes,
             if out.stats.full { " (full)" } else { "" },
         );
+        if show_stats {
+            let _ = writeln!(
+                report,
+                "    repair: dirty nodes = {}, patched CSR rows = {}, patched slots = {}, full rebuild = {}, \
+                 phases = {:.1}us index / {:.1}us clean / {:.1}us snapshot / {:.1}us repair",
+                out.stats.dirty_nodes,
+                out.stats.patched_rows,
+                out.stats.patched_slots,
+                if out.stats.full { "yes" } else { "no" },
+                out.timings.index_secs * 1e6,
+                out.timings.cleaning_secs * 1e6,
+                out.timings.snapshot_secs * 1e6,
+                out.timings.repair_secs * 1e6,
+            );
+        }
     }
     let _ = writeln!(
         report,
         "total: {added_total} added, {retracted_total} retracted, {} final candidates",
         pipeline.retained().len()
     );
+    if show_stats {
+        let _ = writeln!(
+            report,
+            "repair totals: {dirty_total} dirty nodes, {patched_rows_total} patched CSR rows, \
+             {full_rebuilds}/{batch_no} full-rebuild fallbacks, snapshot version = {}",
+            pipeline.snapshot().version(),
+        );
+    }
 
     if args.flag("verify") {
         let batch = pipeline.batch_retained();

@@ -5,7 +5,7 @@
 //! ```text
 //! blast block    --d1 a.csv --d2 b.csv --out pairs.csv [--gt gt.csv] [options]
 //! blast dedup    --input data.csv --out pairs.csv [--gt gt.csv] [options]
-//! blast stream   --input data.csv --batch-size 64 [--pruning wnp1] [--verify]
+//! blast stream   --input data.csv --batch-size 64 [--pruning wnp1] [--verify] [--stats]
 //! blast schema   --d1 a.csv --d2 b.csv
 //! blast evaluate --d1 a.csv --d2 b.csv --pairs pairs.csv --gt gt.csv
 //! blast generate --preset ar1 --scale 0.1 --out-dir bench-data/
@@ -52,6 +52,8 @@ USAGE:
   blast stream   --input DATA.csv [--batch-size 64] [--gt gt.csv]
                  [--pruning blast|wep|cep|wnp1|wnp2|cnp1|cnp2]
                  [--scheme arcs|cbs|ecbs|js|ejs] [--no-cleaning] [--verify]
+                 [--stats]  (per-commit RepairStats: dirty nodes, patched
+                 CSR rows, full-rebuild fallbacks, phase timings)
   blast schema   --d1 A.csv --d2 B.csv [--algorithm lmi|ac] [--lsh-threshold T]
   blast evaluate --d1 A.csv --d2 B.csv --pairs pairs.csv --gt gt.csv
   blast generate --preset ar1|ar2|prd|mov|dbp|census|cora|cddb

@@ -12,7 +12,7 @@ use blast_blocking::filtering::BlockFiltering;
 use blast_blocking::purging::BlockPurging;
 use blast_blocking::token_blocking::TokenBlocking;
 use blast_datamodel::input::ErInput;
-use blast_graph::context::GraphContext;
+use blast_graph::context::GraphSnapshot;
 use blast_graph::retained::RetainedPairs;
 use blast_metrics::timing::Stopwatch;
 
@@ -68,7 +68,7 @@ impl BlastPipeline {
         // Phase 3: loosely schema-aware meta-blocking.
         let pairs = timings.time("meta-blocking", || {
             let entropies = schema.partitioning.block_entropies(&blocks);
-            let ctx = GraphContext::new(&blocks).with_block_entropies(entropies);
+            let ctx = GraphSnapshot::build(&blocks).with_block_entropies(entropies);
             let weigher = if self.config.use_entropy {
                 ChiSquaredWeigher::new()
             } else {

@@ -7,7 +7,7 @@
 //! the two-threshold ambiguity of Fig. 7 with a single per-edge threshold
 //! θᵢⱼ = (θᵢ + θⱼ)/d. The paper uses c = d = 2.
 
-use blast_graph::context::GraphContext;
+use blast_graph::context::GraphSnapshot;
 use blast_graph::pruning::common::{collect_edges, node_pass, pair};
 use blast_graph::retained::RetainedPairs;
 use blast_graph::weights::EdgeWeigher;
@@ -40,7 +40,7 @@ impl BlastPruning {
     }
 
     /// The per-node thresholds θᵢ = Mᵢ/c (+∞ for isolated nodes).
-    pub fn thresholds(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> Vec<f64> {
+    pub fn thresholds(&self, ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> Vec<f64> {
         let c = self.c;
         node_pass(ctx, weigher, move |_, adj| {
             let max = adj
@@ -57,7 +57,7 @@ impl BlastPruning {
 
     /// Prunes the graph: edge (u,v) survives iff w > 0 and
     /// w ≥ (θᵤ + θᵥ)/d.
-    pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+    pub fn prune(&self, ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> RetainedPairs {
         let thresholds = self.thresholds(ctx, weigher);
         let d = self.d;
         let pairs = collect_edges(ctx, weigher, |u, v, w| {
@@ -73,7 +73,7 @@ impl BlastPruning {
     /// descending weight, ties by id.
     pub fn prune_scored(
         &self,
-        ctx: &GraphContext<'_>,
+        ctx: &GraphSnapshot,
         weigher: &dyn EdgeWeigher,
     ) -> Vec<(
         blast_datamodel::entity::ProfileId,
@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn thresholds_are_local_max_over_c() {
         let blocks = star(2);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let t = BlastPruning::new().thresholds(&ctx, &WeightingScheme::Cbs);
         // node 0: max weight 4 → θ = 2; node 1: max 4 → 2; nodes 2,3: max 1.
         assert!((t[0] - 2.0).abs() < 1e-12);
@@ -155,8 +155,8 @@ mod tests {
     fn threshold_independent_of_degree() {
         let few = star(1);
         let many = star(40);
-        let ctx_few = GraphContext::new(&few);
-        let ctx_many = GraphContext::new(&many);
+        let ctx_few = GraphSnapshot::build(&few);
+        let ctx_many = GraphSnapshot::build(&many);
         let t_few = BlastPruning::new().thresholds(&ctx_few, &WeightingScheme::Cbs);
         let t_many = BlastPruning::new().thresholds(&ctx_many, &WeightingScheme::Cbs);
         assert_eq!(t_few[0], t_many[0], "θ₀ = M/c is degree-independent");
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn prunes_low_weight_edges() {
         let blocks = star(3);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let retained = BlastPruning::new().prune(&ctx, &WeightingScheme::Cbs);
         // Edge (0,1): w=4 ≥ (2+2)/2 → kept. Edges (0,k): w=1 < (2+0.5)/2 →
         // pruned.
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn higher_c_retains_more() {
         let blocks = star(3);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let strict = BlastPruning::with_constants(1.0, 2.0).prune(&ctx, &WeightingScheme::Cbs);
         let loose = BlastPruning::with_constants(8.0, 2.0).prune(&ctx, &WeightingScheme::Cbs);
         assert!(loose.len() >= strict.len());
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn scored_pruning_ranks_by_weight() {
         let blocks = star(3);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         // Loose constants so several edges survive with distinct weights.
         let scored =
             BlastPruning::with_constants(8.0, 2.0).prune_scored(&ctx, &WeightingScheme::Cbs);
@@ -212,12 +212,12 @@ mod tests {
     fn zero_weight_edges_never_survive() {
         // Two nodes co-occurring exactly as independence predicts → χ² = 0.
         let blocks = star(1);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         struct ZeroWeigher;
         impl EdgeWeigher for ZeroWeigher {
             fn weight(
                 &self,
-                _: &GraphContext<'_>,
+                _: &GraphSnapshot,
                 _: u32,
                 _: u32,
                 _: &blast_graph::context::EdgeAccum,
@@ -273,7 +273,7 @@ mod tests {
             ],
         );
         let blocks = TokenBlocking::new().build(&ErInput::dirty(d));
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let retained = BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::without_entropy());
         assert!(retained.contains(ProfileId(0), ProfileId(2)), "p1–p3 kept");
         assert!(retained.contains(ProfileId(1), ProfileId(3)), "p2–p4 kept");

@@ -14,7 +14,7 @@
 //! by h(B_uv), the mean aggregate entropy of the shared blocking keys, so
 //! co-occurrences in informative blocks weigh more.
 
-use blast_graph::context::{EdgeAccum, GraphContext};
+use blast_graph::context::{EdgeAccum, GraphSnapshot};
 use blast_graph::weights::{EdgeWeigher, WeightDeps, WeightingScheme};
 
 /// Computes Pearson's χ² for the contingency table with n₁₁ = `common`,
@@ -48,7 +48,7 @@ pub fn chi_squared(common: f64, bu: f64, bv: f64, n: f64) -> f64 {
 /// BLAST's edge weigher: w_uv = χ²_uv · h(B_uv).
 ///
 /// The entropy factor requires the graph context to carry per-block
-/// entropies ([`GraphContext::with_block_entropies`]); without them every
+/// entropies ([`GraphSnapshot::with_block_entropies`]); without them every
 /// block's factor is 1 and the weigher reduces to plain χ² (the "chi"
 /// ablation of Fig. 8).
 #[derive(Debug, Clone, Copy)]
@@ -76,7 +76,7 @@ impl ChiSquaredWeigher {
 }
 
 impl EdgeWeigher for ChiSquaredWeigher {
-    fn weight(&self, ctx: &GraphContext<'_>, u: u32, v: u32, acc: &EdgeAccum) -> f64 {
+    fn weight(&self, ctx: &GraphSnapshot, u: u32, v: u32, acc: &EdgeAccum) -> f64 {
         let common = acc.common_blocks as f64;
         let bu = ctx.node_blocks(u) as f64;
         let bv = ctx.node_blocks(v) as f64;
@@ -129,7 +129,7 @@ impl WsEntropyWeigher {
 }
 
 impl EdgeWeigher for WsEntropyWeigher {
-    fn weight(&self, ctx: &GraphContext<'_>, u: u32, v: u32, acc: &EdgeAccum) -> f64 {
+    fn weight(&self, ctx: &GraphSnapshot, u: u32, v: u32, acc: &EdgeAccum) -> f64 {
         let base = self.scheme.weight(ctx, u, v, acc);
         let h = acc.entropy_sum / acc.common_blocks as f64;
         base * h
@@ -217,7 +217,7 @@ mod tests {
             ],
         );
         let blocks = TokenBlocking::new().build(&ErInput::dirty(d));
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let acc = ctx.edge(0, 2).unwrap();
         let w = ChiSquaredWeigher::without_entropy().weight(&ctx, 0, 2, &acc);
         assert!((w - chi_squared(4.0, 6.0, 7.0, 12.0)).abs() < 1e-12);
@@ -268,7 +268,7 @@ mod tests {
         // Per-block entropies from the cluster aggregates of Fig. 3a:
         // names = 3.5, other = 2.0.
         let ents = vec![3.5, 2.0, 3.5, 2.0];
-        let ctx = GraphContext::new(&blocks).with_block_entropies(ents);
+        let ctx = GraphSnapshot::build(&blocks).with_block_entropies(ents);
         let full = ChiSquaredWeigher::new();
         let plain = ChiSquaredWeigher::without_entropy();
         let acc02 = ctx.edge(0, 2).unwrap();
@@ -304,7 +304,7 @@ mod tests {
             4,
             4,
         );
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let acc = ctx.edge(0, 1).unwrap();
         assert_eq!(
             ChiSquaredWeigher::without_entropy().weight(&ctx, 0, 1, &acc),
@@ -325,7 +325,7 @@ mod tests {
             1,
             2,
         );
-        let ctx = GraphContext::new(&blocks).with_block_entropies(vec![2.5]);
+        let ctx = GraphSnapshot::build(&blocks).with_block_entropies(vec![2.5]);
         let acc = ctx.edge(0, 1).unwrap();
         let plain = WeightingScheme::Cbs.weight(&ctx, 0, 1, &acc);
         let scaled = WsEntropyWeigher::new(WeightingScheme::Cbs).weight(&ctx, 0, 1, &acc);

@@ -1,12 +1,31 @@
-//! The implicit blocking graph.
+//! The implicit blocking graph, as an **owned, versioned, delta-maintained
+//! snapshot**.
+//!
+//! [`GraphSnapshot`] holds everything a graph pass reads — the CSR
+//! profile→block rows, per-block membership, cardinality and entropy, the
+//! live block count and (lazily) node degrees — in *stable block slots*:
+//! a slot keeps its id for the lifetime of the snapshot even as blocks
+//! around it appear and disappear, so an incremental delta can patch the
+//! dirty slots and rows in place ([`GraphSnapshot::apply`]) instead of
+//! rebuilding the index per commit. Batch pipelines build a snapshot once
+//! from a cleaned [`BlockCollection`] ([`GraphSnapshot::build`], slot i =
+//! block i); the incremental pipeline starts from
+//! [`GraphSnapshot::empty`] and applies one [`SnapshotDelta`] per commit.
+//!
+//! The two construction paths are field-for-field equivalent: a snapshot
+//! patched through any mutation history exposes the same rows (same block
+//! sequence per profile, in canonical `(cluster, token)` order), the same
+//! cardinalities/entropies and the same aggregate statistics as
+//! `GraphSnapshot::build` on the materialised collection — which is what
+//! keeps incremental repair bit-identical to batch (pinned by
+//! `tests/snapshot_maintenance.rs`).
 
-use crate::traversal::NodeScratch;
+use crate::traversal::with_diag_scratch;
 use blast_blocking::collection::BlockCollection;
 use blast_blocking::index::ProfileBlockIndex;
 use blast_datamodel::entity::ProfileId;
 use blast_datamodel::hash::FastMap;
 use blast_datamodel::parallel::default_threads;
-use std::sync::Mutex;
 
 /// Per-edge accumulator gathered while scanning a node's blocks: everything
 /// any weighting scheme needs about the pair.
@@ -21,78 +40,250 @@ pub struct EdgeAccum {
     pub entropy_sum: f64,
 }
 
-/// The blocking graph of a block collection, kept implicit: adjacency is
-/// enumerated on demand from the profile→block index.
+/// One patched block slot of a [`SnapshotDelta`]: the slot's new cleaned
+/// membership (sorted; empty = the slot no longer emits a block) and its
+/// entropy factor (ignored unless the snapshot carries entropies).
+#[derive(Debug, Clone)]
+pub struct SlotPatch {
+    /// The stable slot id.
+    pub slot: u32,
+    /// New sorted membership; empty tombstones the slot.
+    pub members: Vec<ProfileId>,
+    /// The block's entropy factor (its attribute cluster's aggregate
+    /// entropy; 1.0 for schema-agnostic pipelines).
+    pub entropy: f64,
+}
+
+/// One patched CSR row of a [`SnapshotDelta`]: a profile's new block-slot
+/// list, already in the canonical block order the batch index would use.
+#[derive(Debug, Clone)]
+pub struct RowPatch {
+    /// The profile whose row changed.
+    pub profile: u32,
+    /// The live slots containing the profile, canonically ordered.
+    pub slots: Vec<u32>,
+}
+
+/// What one commit changed about the graph: produced by the incremental
+/// cleaner, consumed by [`GraphSnapshot::apply`].
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotDelta {
+    /// The profile-id space after the commit (monotonically grows).
+    pub total_profiles: u32,
+    /// Block slots whose cleaned membership (or liveness) changed.
+    pub slots: Vec<SlotPatch>,
+    /// Profiles whose block list changed.
+    pub rows: Vec<RowPatch>,
+}
+
+impl SnapshotDelta {
+    /// Whether the delta patches nothing (the profile-id space may still
+    /// grow).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty() && self.rows.is_empty()
+    }
+}
+
+/// Diagnostics of one [`GraphSnapshot::apply`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApplyStats {
+    /// Block slots patched (membership or liveness changed).
+    pub patched_slots: usize,
+    /// CSR rows spliced.
+    pub patched_rows: usize,
+}
+
+/// The owned blocking-graph snapshot (see the module docs).
 #[derive(Debug)]
-pub struct GraphContext<'a> {
-    blocks: &'a BlockCollection,
-    index: ProfileBlockIndex,
-    /// ‖b‖ per block, as f64 for the ARCS reciprocal.
+pub struct GraphSnapshot {
+    clean_clean: bool,
+    separator: u32,
+    total_profiles: u32,
+    /// Per-slot cleaned membership (sorted global ids; empty = dead slot).
+    members: Vec<Vec<ProfileId>>,
+    /// Per-slot split point (first member of the second collection).
+    splits: Vec<u32>,
+    /// ‖b‖ per slot, as f64 for the ARCS reciprocal.
     cardinalities: Vec<f64>,
-    /// Optional per-block entropy factor (aggregate entropy of the block
+    /// Optional per-slot entropy factor (aggregate entropy of the block
     /// key's attribute cluster — attached by `blast-core`).
     entropies: Option<Vec<f64>>,
+    /// Number of live slots (|B|, the batch collection's block count).
+    live_blocks: u64,
+    /// Mutable CSR: profile → live slots, in canonical block order.
+    index: ProfileBlockIndex,
     /// Node degrees (distinct neighbours), computed by
-    /// [`GraphContext::ensure_degrees`]; needed by EJS.
+    /// [`GraphSnapshot::ensure_degrees`]; needed by EJS. Invalidated by
+    /// [`GraphSnapshot::apply`].
     degrees: Option<Vec<u32>>,
     /// Total number of edges, computed together with `degrees`.
     total_edges: Option<u64>,
     threads: usize,
-    /// Scratch reused by the [`GraphContext::edge`] diagnostics helper, so
-    /// repeated calls don't re-allocate a profile-sized array each time.
-    diag_scratch: Mutex<Option<NodeScratch>>,
+    threads_override: Option<usize>,
+    /// Bumped on every applied delta.
+    version: u64,
 }
 
-impl<'a> GraphContext<'a> {
-    /// Builds the context (CSR index + block cardinalities).
-    pub fn new(blocks: &'a BlockCollection) -> Self {
-        let index = ProfileBlockIndex::build(blocks);
+impl GraphSnapshot {
+    /// Builds a snapshot of a cleaned block collection (slot i = block i;
+    /// the batch construction path).
+    pub fn build(blocks: &BlockCollection) -> Self {
         let clean = blocks.is_clean_clean();
-        let cardinalities = blocks
-            .blocks()
-            .iter()
-            .map(|b| b.cardinality(clean) as f64)
-            .collect();
+        let index = ProfileBlockIndex::build(blocks);
+        let mut members = Vec::with_capacity(blocks.len());
+        let mut splits = Vec::with_capacity(blocks.len());
+        let mut cardinalities = Vec::with_capacity(blocks.len());
+        for b in blocks.blocks() {
+            members.push(b.profiles.clone());
+            splits.push(b.split);
+            cardinalities.push(b.cardinality(clean) as f64);
+        }
         // Graph passes do quadratic-ish work per node; the block-assignment
         // count is a far better workload proxy than the profile count.
         let threads = default_threads(index.total_assignments() as usize);
         Self {
-            blocks,
-            index,
+            clean_clean: clean,
+            separator: blocks.separator(),
+            total_profiles: blocks.total_profiles(),
+            members,
+            splits,
             cardinalities,
             entropies: None,
+            live_blocks: blocks.len() as u64,
+            index,
             degrees: None,
             total_edges: None,
             threads,
-            diag_scratch: Mutex::new(None),
+            threads_override: None,
+            version: 0,
         }
     }
 
-    /// Attaches a per-block entropy factor (one value per block, aligned
-    /// with `blocks.blocks()`).
+    /// An empty snapshot for an incremental pipeline: no blocks, no rows;
+    /// state arrives through [`GraphSnapshot::apply`]. Clean-clean snapshots
+    /// fix the dataset separator up front (ids `0..separator` belong to the
+    /// first collection).
+    pub fn empty(clean_clean: bool, separator: u32) -> Self {
+        let total_profiles = if clean_clean { separator } else { 0 };
+        let mut index = ProfileBlockIndex::new();
+        index.ensure_profiles(total_profiles as usize);
+        Self {
+            clean_clean,
+            separator: if clean_clean { separator } else { u32::MAX },
+            total_profiles,
+            members: Vec::new(),
+            splits: Vec::new(),
+            cardinalities: Vec::new(),
+            entropies: None,
+            live_blocks: 0,
+            index,
+            degrees: None,
+            total_edges: None,
+            threads: 1,
+            threads_override: None,
+            version: 0,
+        }
+    }
+
+    /// Attaches a per-block entropy factor (one value per slot, aligned with
+    /// the collection the snapshot was built from).
     pub fn with_block_entropies(mut self, entropies: Vec<f64>) -> Self {
         assert_eq!(
             entropies.len(),
-            self.blocks.len(),
+            self.members.len(),
             "one entropy per block required"
         );
         self.entropies = Some(entropies);
         self
     }
 
+    /// Enables per-block entropies on an (empty) incremental snapshot: every
+    /// subsequent [`SlotPatch`]'s `entropy` field is recorded instead of
+    /// defaulting to 1.
+    pub fn with_entropies_enabled(mut self) -> Self {
+        self.entropies = Some(vec![1.0; self.members.len()]);
+        self
+    }
+
     /// Overrides the number of worker threads (1 = sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads_override = Some(threads.max(1));
         self.threads = threads.max(1);
         self
     }
 
-    /// The underlying block collection.
-    #[inline]
-    pub fn blocks(&self) -> &BlockCollection {
-        self.blocks
+    /// Patches the snapshot in place from a commit's delta (consumed —
+    /// slot memberships are moved in, not copied): dirty block slots get
+    /// their new membership, cardinality and entropy; dirty CSR rows are
+    /// spliced; aggregate statistics (|B|, Σ|b|, the profile-id space) are
+    /// adjusted incrementally. Degrees are invalidated (EJS recomputes
+    /// them), the version is bumped, and the cost is proportional to the
+    /// delta — the collection size never enters.
+    pub fn apply(&mut self, delta: SnapshotDelta) -> ApplyStats {
+        let stats = ApplyStats {
+            patched_slots: delta.slots.len(),
+            patched_rows: delta.rows.len(),
+        };
+        if delta.total_profiles > self.total_profiles {
+            self.total_profiles = delta.total_profiles;
+        }
+        self.index.ensure_profiles(self.total_profiles as usize);
+        for patch in delta.slots {
+            let slot = patch.slot as usize;
+            if self.members.len() <= slot {
+                self.members.resize_with(slot + 1, Vec::new);
+                self.splits.resize(slot + 1, 0);
+                self.cardinalities.resize(slot + 1, 0.0);
+                if let Some(e) = &mut self.entropies {
+                    e.resize(slot + 1, 1.0);
+                }
+            }
+            let was_live = !self.members[slot].is_empty();
+            let split = patch.members.partition_point(|p| p.0 < self.separator) as u32;
+            let card = if self.clean_clean {
+                split as u64 * (patch.members.len() as u64 - split as u64)
+            } else {
+                let n = patch.members.len() as u64;
+                n * n.saturating_sub(1) / 2
+            };
+            self.members[slot] = patch.members;
+            self.splits[slot] = split;
+            self.cardinalities[slot] = card as f64;
+            if let Some(e) = &mut self.entropies {
+                e[slot] = patch.entropy;
+            }
+            let is_live = !self.members[slot].is_empty();
+            match (was_live, is_live) {
+                (false, true) => self.live_blocks += 1,
+                (true, false) => self.live_blocks -= 1,
+                _ => {}
+            }
+        }
+        for row in &delta.rows {
+            self.index.splice_row(row.profile, &row.slots);
+        }
+        self.degrees = None;
+        self.total_edges = None;
+        self.threads = self
+            .threads_override
+            .unwrap_or_else(|| default_threads(self.index.total_assignments() as usize));
+        self.version += 1;
+        stats
     }
 
-    /// The profile→block index.
+    /// Whether the snapshot covers a clean-clean input.
+    #[inline]
+    pub fn is_clean_clean(&self) -> bool {
+        self.clean_clean
+    }
+
+    /// The global id where the second collection starts (clean-clean).
+    #[inline]
+    pub fn separator(&self) -> u32 {
+        self.separator
+    }
+
+    /// The profile→block CSR rows.
     #[inline]
     pub fn index(&self) -> &ProfileBlockIndex {
         &self.index
@@ -104,16 +295,22 @@ impl<'a> GraphContext<'a> {
         self.threads
     }
 
-    /// Total number of blocks |B|.
+    /// How many deltas have been applied.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Total number of (live) blocks |B|.
     #[inline]
     pub fn total_blocks(&self) -> u64 {
-        self.blocks.len() as u64
+        self.live_blocks
     }
 
     /// Total number of profiles (nodes, including isolated ones).
     #[inline]
     pub fn total_profiles(&self) -> u32 {
-        self.blocks.total_profiles()
+        self.total_profiles
     }
 
     /// |Bᵢ|: number of blocks containing node `p`.
@@ -122,13 +319,13 @@ impl<'a> GraphContext<'a> {
         self.index.block_count(p)
     }
 
-    /// Node degree (requires [`GraphContext::ensure_degrees`]).
+    /// Node degree (requires [`GraphSnapshot::ensure_degrees`]).
     #[inline]
     pub fn degree(&self, p: u32) -> u32 {
         self.degrees.as_ref().expect("call ensure_degrees() first")[p as usize]
     }
 
-    /// Total edge count (requires [`GraphContext::ensure_degrees`]).
+    /// Total edge count (requires [`GraphSnapshot::ensure_degrees`]).
     #[inline]
     pub fn total_edges(&self) -> u64 {
         self.total_edges.expect("call ensure_degrees() first")
@@ -140,25 +337,62 @@ impl<'a> GraphContext<'a> {
         self.degrees.is_some()
     }
 
+    /// The cleaned membership of one block slot (empty for dead slots).
+    #[inline]
+    pub fn slot_members(&self, slot: u32) -> &[ProfileId] {
+        &self.members[slot as usize]
+    }
+
+    /// ‖b‖ of one block slot (0 for dead slots).
+    #[inline]
+    pub fn slot_cardinality(&self, slot: u32) -> f64 {
+        self.cardinalities[slot as usize]
+    }
+
+    /// The entropy factor of one block slot (1.0 when entropies are not
+    /// attached).
+    #[inline]
+    pub fn slot_entropy(&self, slot: u32) -> f64 {
+        self.entropies.as_ref().map_or(1.0, |e| e[slot as usize])
+    }
+
+    /// The co-occurring profiles `node` sees in `slot`: the opposite side
+    /// for clean-clean snapshots, the whole membership (minus the node
+    /// itself, filtered by the caller) for dirty ones.
+    #[inline]
+    pub fn slot_neighbours(&self, slot: u32, node: u32) -> &[ProfileId] {
+        let members = &self.members[slot as usize];
+        if self.clean_clean {
+            let split = self.splits[slot as usize] as usize;
+            if node < self.separator {
+                &members[split..]
+            } else {
+                &members[..split]
+            }
+        } else {
+            members
+        }
+    }
+
     /// The nodes that *own* edge enumeration: for clean-clean graphs every
     /// edge has exactly one endpoint in the first collection, so enumerating
     /// from `0..separator` visits each edge once; dirty graphs enumerate all
     /// nodes and keep `v > u`.
     pub fn edge_owner_range(&self) -> std::ops::Range<u32> {
-        if self.blocks.is_clean_clean() {
-            0..self.blocks.separator()
+        if self.clean_clean {
+            0..self.separator
         } else {
-            0..self.total_profiles()
+            0..self.total_profiles
         }
     }
 
-    /// ‖b‖ per block as f64 (for the ARCS reciprocal).
+    /// ‖b‖ per slot as f64 (for the ARCS reciprocal).
     #[inline]
     pub(crate) fn cardinalities(&self) -> &[f64] {
         &self.cardinalities
     }
 
-    /// The per-block entropy factors, if attached.
+    /// The per-slot entropy factors, if attached.
     #[inline]
     pub(crate) fn entropies_opt(&self) -> Option<&[f64]> {
         self.entropies.as_deref()
@@ -173,22 +407,10 @@ impl<'a> GraphContext<'a> {
     /// property tests in [`crate::traversal`] compare the two).
     pub fn accumulate_neighbors(&self, node: u32, map: &mut FastMap<u32, EdgeAccum>) {
         map.clear();
-        let clean = self.blocks.is_clean_clean();
-        let sep = self.blocks.separator();
-        for &bid in self.index.blocks_of(node) {
-            let block = &self.blocks.blocks()[bid as usize];
-            let inv = 1.0 / self.cardinalities[bid as usize];
-            let ent = self.entropies.as_ref().map_or(1.0, |e| e[bid as usize]);
-            let neighbours: &[ProfileId] = if clean {
-                if node < sep {
-                    block.inner2()
-                } else {
-                    block.inner1()
-                }
-            } else {
-                &block.profiles
-            };
-            for &p in neighbours {
+        for &slot in self.index.blocks_of(node) {
+            let inv = 1.0 / self.cardinalities[slot as usize];
+            let ent = self.entropies.as_ref().map_or(1.0, |e| e[slot as usize]);
+            for &p in self.slot_neighbours(slot, node) {
                 if p.0 == node {
                     continue;
                 }
@@ -215,13 +437,14 @@ impl<'a> GraphContext<'a> {
     }
 
     /// Convenience (tests/diagnostics): the accumulator of one edge, if it
-    /// exists. Runs on the dense scratch engine; the scratch is cached so
-    /// repeated probes don't re-allocate.
+    /// exists. Runs on the dense scratch engine with a **lock-free
+    /// thread-local scratch** — repeated probes neither re-allocate a
+    /// profile-sized array nor serialise concurrent callers on a mutex.
     pub fn edge(&self, u: u32, v: u32) -> Option<EdgeAccum> {
-        let mut slot = self.diag_scratch.lock().expect("diag scratch poisoned");
-        let scratch = slot.get_or_insert_with(|| NodeScratch::new(self));
-        scratch.load(self, u);
-        scratch.get(v)
+        with_diag_scratch(self.total_profiles as usize, |scratch| {
+            scratch.load(self, u);
+            scratch.get(v)
+        })
     }
 }
 
@@ -288,7 +511,7 @@ mod tests {
     #[test]
     fn figure1_contingency_counts() {
         let blocks = figure1_blocks();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         assert_eq!(ctx.total_blocks(), 12);
         let acc = ctx.edge(0, 2).expect("p1–p3 edge exists");
         assert_eq!(acc.common_blocks, 4); // car, main, abram, jr
@@ -301,7 +524,7 @@ mod tests {
     #[test]
     fn figure1_graph_weights() {
         let blocks = figure1_blocks();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         assert_eq!(ctx.edge(0, 2).unwrap().common_blocks, 4); // p1-p3: car, main, abram, jr
         assert_eq!(ctx.edge(1, 3).unwrap().common_blocks, 4); // p2-p4: ellen, smith, ny, abram
         assert_eq!(ctx.edge(1, 2).unwrap().common_blocks, 4); // p2-p3: abram, 85, st, retail
@@ -313,7 +536,7 @@ mod tests {
     #[test]
     fn degrees_and_edge_count() {
         let blocks = figure1_blocks();
-        let mut ctx = GraphContext::new(&blocks);
+        let mut ctx = GraphSnapshot::build(&blocks);
         ctx.ensure_degrees();
         // Figure 1c is a complete graph over 4 nodes: 6 edges, degree 3.
         assert_eq!(ctx.total_edges(), 6);
@@ -329,7 +552,7 @@ mod tests {
             Block::new("k2", ClusterId::GLUE, ids(&[0, 2]), 2),
         ];
         let blocks = BlockCollection::new(b, true, 2, 4);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let mut map = FastMap::default();
         ctx.accumulate_neighbors(0, &mut map);
         // Node 0 (E1) only sees nodes 2, 3 (E2) — never node 1.
@@ -348,7 +571,7 @@ mod tests {
             Block::new("k2", ClusterId::GLUE, ids(&[0, 2]), 2),
         ];
         let blocks = BlockCollection::new(b, true, 2, 3);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let acc = ctx.edge(0, 2).unwrap();
         assert!((acc.arcs - (0.5 + 1.0)).abs() < 1e-12);
     }
@@ -360,12 +583,89 @@ mod tests {
             Block::new("k2", ClusterId::GLUE, ids(&[0, 1]), 1),
         ];
         let blocks = BlockCollection::new(b, true, 1, 2);
-        let ctx = GraphContext::new(&blocks).with_block_entropies(vec![3.5, 2.0]);
+        let ctx = GraphSnapshot::build(&blocks).with_block_entropies(vec![3.5, 2.0]);
         let acc = ctx.edge(0, 1).unwrap();
         assert_eq!(acc.common_blocks, 2);
         assert!((acc.entropy_sum - 5.5).abs() < 1e-12);
         // Without entropies the factor defaults to 1 per block.
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         assert!((ctx.edge(0, 1).unwrap().entropy_sum - 2.0).abs() < 1e-12);
+    }
+
+    /// A snapshot patched through a delta equals a snapshot built from the
+    /// corresponding collection (slot ids aside).
+    #[test]
+    fn apply_matches_build() {
+        let mut snap = GraphSnapshot::empty(false, 0);
+        snap.apply(SnapshotDelta {
+            total_profiles: 3,
+            slots: vec![
+                SlotPatch {
+                    slot: 0,
+                    members: ids(&[0, 1, 2]),
+                    entropy: 1.0,
+                },
+                SlotPatch {
+                    slot: 1,
+                    members: ids(&[0, 2]),
+                    entropy: 1.0,
+                },
+            ],
+            rows: vec![
+                RowPatch {
+                    profile: 0,
+                    slots: vec![0, 1],
+                },
+                RowPatch {
+                    profile: 1,
+                    slots: vec![0],
+                },
+                RowPatch {
+                    profile: 2,
+                    slots: vec![0, 1],
+                },
+            ],
+        });
+        let b = vec![
+            Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 2]), u32::MAX),
+            Block::new("b1", ClusterId::GLUE, ids(&[0, 2]), u32::MAX),
+        ];
+        let batch = GraphSnapshot::build(&BlockCollection::new(b, false, 3, 3));
+        assert_eq!(snap.total_blocks(), batch.total_blocks());
+        assert_eq!(snap.total_profiles(), batch.total_profiles());
+        assert_eq!(
+            snap.index().total_assignments(),
+            batch.index().total_assignments()
+        );
+        for p in 0..3 {
+            assert_eq!(snap.node_blocks(p), batch.node_blocks(p));
+            for v in 0..3 {
+                assert_eq!(snap.edge(p, v), batch.edge(p, v), "edge ({p},{v})");
+            }
+        }
+        assert_eq!(snap.version(), 1);
+
+        // Tombstoning a slot brings the graph back to one block.
+        snap.apply(SnapshotDelta {
+            total_profiles: 3,
+            slots: vec![SlotPatch {
+                slot: 1,
+                members: Vec::new(),
+                entropy: 1.0,
+            }],
+            rows: vec![
+                RowPatch {
+                    profile: 0,
+                    slots: vec![0],
+                },
+                RowPatch {
+                    profile: 2,
+                    slots: vec![0],
+                },
+            ],
+        });
+        assert_eq!(snap.total_blocks(), 1);
+        assert_eq!(snap.edge(0, 2).unwrap().common_blocks, 1);
+        assert_eq!(snap.version(), 2);
     }
 }

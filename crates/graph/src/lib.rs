@@ -3,17 +3,52 @@
 //! A block collection induces a *blocking graph* G_B (§2.2): profiles are
 //! nodes, an edge connects two profiles co-occurring in ≥1 block, and edge
 //! weights capture match likelihood. The graph is never materialised — it is
-//! enumerated node-centrically from the CSR profile→block index, which is
+//! enumerated node-centrically from the CSR profile→block rows, which is
 //! how the reference implementations scale.
 //!
-//! * [`context`] — [`context::GraphContext`]: the implicit graph (index,
-//!   block cardinalities, per-block entropy hooks, node degrees).
+//! ## The snapshot/delta design
+//!
+//! The central abstraction is the **owned, versioned**
+//! [`context::GraphSnapshot`]: it owns the CSR rows, per-block membership,
+//! cardinalities, entropies, the live block count and (lazily) node
+//! degrees, keyed by *stable block slots* so state survives across
+//! commits. Two construction paths share it:
+//!
+//! * **Batch** — [`context::GraphSnapshot::build`] materialises everything
+//!   once from a cleaned `BlockCollection` (slot i = block i) and the
+//!   pruning passes run over it; nothing is ever rebuilt.
+//! * **Incremental** — the pipeline starts from
+//!   [`context::GraphSnapshot::empty`] and, per commit, **applies a
+//!   [`context::SnapshotDelta`]** produced by the incremental cleaner:
+//!   dirty block slots are re-stated, dirty CSR rows are spliced in place
+//!   (`blast_blocking::ProfileBlockIndex::splice_row`, tombstoned
+//!   free-list included), and the aggregate statistics are adjusted — cost
+//!   proportional to the dirty neighbourhood, never the collection. The
+//!   patched snapshot is field-for-field identical to a fresh `build` on
+//!   the materialised collection (pinned by `tests/snapshot_maintenance.rs`),
+//!   which is what keeps incremental repair bit-identical to batch.
+//!
+//! A **full graph re-pass** (not an index rebuild — the snapshot is still
+//! patched, only the weighting/pruning pass widens to every node) is still
+//! triggered when a *global* statistic a scheme reads moves in a way the
+//! dirty set cannot bound: a [`weights::WeightDeps`] `total_blocks` scheme
+//! (ECBS, χ²) sees |B| change, EJS needs degrees (recomputed per commit),
+//! or CNP's derived budget k shifts. Those fallbacks run the identical
+//! code path over the identical snapshot, preserving bit-equivalence.
+//!
+//! ## Modules
+//!
+//! * [`context`] — [`context::GraphSnapshot`] + [`context::SnapshotDelta`]:
+//!   the owned graph state and its patch protocol.
 //! * [`traversal`] — the dense scratch-array engine every pass runs on:
 //!   per-worker [`traversal::NodeScratch`] adjacency accumulation with
-//!   work-stealing scheduling, bit-exact across thread counts.
+//!   work-stealing scheduling, bit-exact across thread counts; diagnostics
+//!   reuse a lock-free thread-local scratch.
 //! * [`weights`] — the five traditional weighting schemes of \[20\]
 //!   (ARCS, CBS, ECBS, JS, EJS) behind the [`weights::EdgeWeigher`] trait,
-//!   which `blast-core` also implements for its χ²·entropy weighting.
+//!   which `blast-core` also implements for its χ²·entropy weighting, plus
+//!   [`weights::WeightDeps`] — the global-statistic dependencies that drive
+//!   the incremental fallback decision.
 //! * [`pruning`] — WEP, CEP, redefined/reciprocal WNP and CNP.
 //! * [`meta`] — [`meta::MetaBlocker`]: scheme × pruning in one call.
 //! * [`retained`] — the retained comparisons (the restructured block
@@ -26,7 +61,7 @@ pub mod retained;
 pub mod traversal;
 pub mod weights;
 
-pub use context::{EdgeAccum, GraphContext};
+pub use context::{ApplyStats, EdgeAccum, GraphSnapshot, RowPatch, SlotPatch, SnapshotDelta};
 pub use meta::{MetaBlocker, PruningAlgorithm};
 pub use retained::RetainedPairs;
 pub use traversal::NodeScratch;

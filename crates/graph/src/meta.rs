@@ -2,7 +2,7 @@
 //! meta-blocking: pick a weighting scheme and a pruning algorithm, get the
 //! restructured comparisons.
 
-use crate::context::GraphContext;
+use crate::context::GraphSnapshot;
 use crate::pruning::{Cep, Cnp, Wep, Wnp};
 use crate::retained::RetainedPairs;
 use crate::weights::{EdgeWeigher, WeightingScheme};
@@ -49,7 +49,7 @@ impl PruningAlgorithm {
     }
 
     /// Runs this pruning on an already-built graph context.
-    pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+    pub fn prune(&self, ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> RetainedPairs {
         match self {
             PruningAlgorithm::Wep => Wep.prune(ctx, weigher),
             PruningAlgorithm::Cep => Cep::new().prune(ctx, weigher),
@@ -68,7 +68,7 @@ impl PruningAlgorithm {
     /// sweeps over several prunings of the same weighted graph pay the
     /// materialisation once. Results are identical to
     /// [`PruningAlgorithm::prune`].
-    pub fn prune_edges(&self, ctx: &GraphContext<'_>, edges: &[(u32, u32, f64)]) -> RetainedPairs {
+    pub fn prune_edges(&self, ctx: &GraphSnapshot, edges: &[(u32, u32, f64)]) -> RetainedPairs {
         let n = ctx.total_profiles() as usize;
         match self {
             PruningAlgorithm::Wep => Wep::prune_edges(edges),
@@ -111,7 +111,7 @@ impl MetaBlocker {
 
     /// Restructures `blocks`, returning the retained comparisons.
     pub fn run(&self, blocks: &BlockCollection) -> RetainedPairs {
-        let mut ctx = GraphContext::new(blocks);
+        let mut ctx = GraphSnapshot::build(blocks);
         if self.scheme.requires_degrees() {
             ctx.ensure_degrees();
         }
@@ -126,7 +126,7 @@ impl MetaBlocker {
         weigher: &dyn EdgeWeigher,
         algorithm: PruningAlgorithm,
     ) -> RetainedPairs {
-        let mut ctx = GraphContext::new(blocks);
+        let mut ctx = GraphSnapshot::build(blocks);
         if weigher.requires_degrees() {
             ctx.ensure_degrees();
         }
@@ -136,7 +136,7 @@ impl MetaBlocker {
     /// Like [`MetaBlocker::run_with_weigher`] but on a prepared context
     /// (lets callers attach block entropies first).
     pub fn prune_context(
-        ctx: &GraphContext<'_>,
+        ctx: &GraphSnapshot,
         weigher: &dyn EdgeWeigher,
         algorithm: PruningAlgorithm,
     ) -> RetainedPairs {
@@ -214,7 +214,7 @@ mod tests {
         use crate::pruning::common::collect_weighted_edges;
         let blocks = blocks();
         for scheme in WeightingScheme::ALL {
-            let mut ctx = GraphContext::new(&blocks);
+            let mut ctx = GraphSnapshot::build(&blocks);
             if scheme.requires_degrees() {
                 ctx.ensure_degrees();
             }

@@ -8,7 +8,7 @@
 //! re-ran the full quadratic traversal up to four times (weights, all
 //! pairs, above-cutoff, at-cutoff).
 
-use crate::context::GraphContext;
+use crate::context::GraphSnapshot;
 use crate::pruning::common::{collect_weighted_edges, pair};
 use crate::retained::RetainedPairs;
 use crate::weights::EdgeWeigher;
@@ -33,7 +33,7 @@ impl Cep {
     }
 
     /// The comparison budget for this graph.
-    pub fn budget(&self, ctx: &GraphContext<'_>) -> u64 {
+    pub fn budget(&self, ctx: &GraphSnapshot) -> u64 {
         self.k
             .unwrap_or_else(|| ctx.index().total_assignments() / 2)
     }
@@ -41,7 +41,7 @@ impl Cep {
     /// Prunes the graph, keeping the K heaviest edges (ties broken by
     /// ascending (u, v) so results are deterministic). Single traversal:
     /// everything after the edge materialisation is in-memory.
-    pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+    pub fn prune(&self, ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> RetainedPairs {
         Self::prune_edges(self.budget(ctx), &collect_weighted_edges(ctx, weigher))
     }
 
@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn explicit_k_keeps_heaviest() {
         let blocks = blocks();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let retained = Cep::with_k(1).prune(&ctx, &WeightingScheme::Cbs);
         assert_eq!(retained.len(), 1);
         assert!(retained.contains(ProfileId(0), ProfileId(1)));
@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn ties_broken_deterministically() {
         let blocks = blocks();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         // k=2: edge (0,1) then the first weight-1 edge in (u,v) order: (0,2).
         let retained = Cep::with_k(2).prune(&ctx, &WeightingScheme::Cbs);
         assert_eq!(retained.len(), 2);
@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn default_budget_is_half_assignments() {
         let blocks = blocks();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         // assignments = 3 + 2 + 3 = 8 → K = 4 ≥ edge count → all retained.
         let cep = Cep::new();
         assert_eq!(cep.budget(&ctx), 4);
@@ -139,14 +139,14 @@ mod tests {
     #[test]
     fn k_zero_retains_nothing() {
         let blocks = blocks();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         assert!(Cep::with_k(0).prune(&ctx, &WeightingScheme::Cbs).is_empty());
     }
 
     #[test]
     fn k_larger_than_edges_retains_all() {
         let blocks = blocks();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let retained = Cep::with_k(100).prune(&ctx, &WeightingScheme::Cbs);
         // Graph edges: (0,1),(0,2),(1,2),(0,3),(1,3).
         assert_eq!(retained.len(), 5);

@@ -5,7 +5,7 @@
 //! implementation. cnp₁ (redefined) keeps an edge in the top-k of either
 //! endpoint; cnp₂ (reciprocal) requires both.
 
-use crate::context::GraphContext;
+use crate::context::GraphSnapshot;
 use crate::pruning::common::node_pass;
 use crate::pruning::NodeCentricMode;
 use crate::retained::RetainedPairs;
@@ -91,7 +91,7 @@ impl Cnp {
     }
 
     /// The per-node retention budget for this graph.
-    pub fn budget(&self, ctx: &GraphContext<'_>) -> usize {
+    pub fn budget(&self, ctx: &GraphSnapshot) -> usize {
         self.k.unwrap_or_else(|| {
             let profiles = ctx.total_profiles().max(1) as u64;
             ((ctx.index().total_assignments() / profiles) as usize).max(1)
@@ -101,7 +101,7 @@ impl Cnp {
     /// The top-k neighbour list of every node (weight desc, id asc).
     fn top_k_lists(
         &self,
-        ctx: &GraphContext<'_>,
+        ctx: &GraphSnapshot,
         weigher: &dyn EdgeWeigher,
         k: usize,
     ) -> Vec<Vec<u32>> {
@@ -152,7 +152,7 @@ impl Cnp {
     }
 
     /// Prunes the graph.
-    pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+    pub fn prune(&self, ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> RetainedPairs {
         let k = self.budget(ctx);
         let lists = self.top_k_lists(ctx, weigher, k);
         self.retained_from_lists(&lists)
@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn redefined_k1_keeps_best_edge_per_node() {
         let b = blocks();
-        let ctx = GraphContext::new(&b);
+        let ctx = GraphSnapshot::build(&b);
         let retained = Cnp::redefined()
             .with_k(1)
             .prune(&ctx, &WeightingScheme::Cbs);
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn reciprocal_k1_requires_mutual_top() {
         let b = blocks();
-        let ctx = GraphContext::new(&b);
+        let ctx = GraphSnapshot::build(&b);
         let retained = Cnp::reciprocal()
             .with_k(1)
             .prune(&ctx, &WeightingScheme::Cbs);
@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn reciprocal_subset_of_redefined() {
         let b = blocks();
-        let ctx = GraphContext::new(&b);
+        let ctx = GraphSnapshot::build(&b);
         for k in 1..4 {
             let r1 = Cnp::redefined()
                 .with_k(k)
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn default_budget_is_mean_assignments() {
         let b = blocks();
-        let ctx = GraphContext::new(&b);
+        let ctx = GraphSnapshot::build(&b);
         // assignments = 4 + 2 + 2 + 2 = 10, profiles = 4 → k = 2.
         assert_eq!(Cnp::redefined().budget(&ctx), 2);
     }
@@ -315,7 +315,7 @@ mod tests {
     fn prune_edges_matches_prune() {
         use crate::pruning::common::collect_weighted_edges;
         let b = blocks();
-        let ctx = GraphContext::new(&b);
+        let ctx = GraphSnapshot::build(&b);
         let edges = collect_weighted_edges(&ctx, &WeightingScheme::Cbs);
         for cnp in [Cnp::redefined(), Cnp::reciprocal()] {
             for k in 1..4 {
@@ -330,7 +330,7 @@ mod tests {
     #[test]
     fn large_k_keeps_whole_graph() {
         let b = blocks();
-        let ctx = GraphContext::new(&b);
+        let ctx = GraphSnapshot::build(&b);
         let retained = Cnp::redefined()
             .with_k(10)
             .prune(&ctx, &WeightingScheme::Cbs);

@@ -8,7 +8,7 @@
 //! thread count, so results — including float folds — are bit-identical
 //! across thread counts.
 
-use crate::context::GraphContext;
+use crate::context::GraphSnapshot;
 use crate::traversal::{chunk_len, node_chunks, owner_chunks, NodeScratch};
 use crate::weights::EdgeWeigher;
 use blast_datamodel::entity::ProfileId;
@@ -22,7 +22,7 @@ use blast_datamodel::parallel::parallel_work_steal;
 /// materialised vector, so the quadratic adjacency build is paid **once**
 /// per pruning call instead of once per sub-pass.
 pub fn collect_weighted_edges(
-    ctx: &GraphContext<'_>,
+    ctx: &GraphSnapshot,
     weigher: &dyn EdgeWeigher,
 ) -> Vec<(u32, u32, f64)> {
     collect_edges(ctx, weigher, |u, v, w| Some((u, v, w)))
@@ -31,7 +31,7 @@ pub fn collect_weighted_edges(
 /// Runs `per_node(node, adjacency)` for every node (including isolated ones,
 /// which get an empty adjacency), returning the results indexed by node id.
 /// The adjacency is sorted by neighbour id and carries the computed weights.
-pub fn node_pass<R, F>(ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher, per_node: F) -> Vec<R>
+pub fn node_pass<R, F>(ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher, per_node: F) -> Vec<R>
 where
     R: Send,
     F: Fn(u32, &[(u32, f64)]) -> R + Sync,
@@ -66,7 +66,7 @@ where
 /// full pass, so results are bit-identical to the corresponding slots of
 /// [`node_pass`].
 pub fn node_pass_subset<R, F>(
-    ctx: &GraphContext<'_>,
+    ctx: &GraphSnapshot,
     weigher: &dyn EdgeWeigher,
     nodes: &[u32],
     per_node: F,
@@ -113,13 +113,13 @@ where
 /// `nodes` lists the marked node ids and `mask` is the corresponding
 /// membership bitmap over all profiles (`mask[n] == nodes.contains(&n)`).
 pub fn collect_edges_touching(
-    ctx: &GraphContext<'_>,
+    ctx: &GraphSnapshot,
     weigher: &dyn EdgeWeigher,
     nodes: &[u32],
     mask: &[bool],
 ) -> Vec<(u32, u32, f64)> {
-    let clean = ctx.blocks().is_clean_clean();
-    let sep = ctx.blocks().separator();
+    let clean = ctx.is_clean_clean();
+    let sep = ctx.separator();
     let len = nodes.len();
     let chunks = parallel_work_steal(
         len,
@@ -167,12 +167,12 @@ pub fn collect_edges_touching(
 /// Enumerates every edge exactly once (u < v), calling `f(u, v, w)` and
 /// collecting the `Some` results. Output order is deterministic: ascending
 /// `u`, then ascending `v`.
-pub fn collect_edges<T, F>(ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher, f: F) -> Vec<T>
+pub fn collect_edges<T, F>(ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u32, u32, f64) -> Option<T> + Sync,
 {
-    let clean = ctx.blocks().is_clean_clean();
+    let clean = ctx.is_clean_clean();
     let chunks = owner_chunks(ctx, |scratch, range| {
         let mut out = Vec::new();
         for u in range {
@@ -199,12 +199,12 @@ where
 /// Like [`collect_edges`] but hands the closure the raw [`crate::context::EdgeAccum`] so
 /// callers can derive several statistics per edge without re-scanning the
 /// adjacency (used by supervised meta-blocking's feature extraction).
-pub fn collect_edge_accums<T, F>(ctx: &GraphContext<'_>, f: F) -> Vec<T>
+pub fn collect_edge_accums<T, F>(ctx: &GraphSnapshot, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u32, u32, &crate::context::EdgeAccum) -> Option<T> + Sync,
 {
-    let clean = ctx.blocks().is_clean_clean();
+    let clean = ctx.is_clean_clean();
     let chunks = owner_chunks(ctx, |scratch, range| {
         let mut out = Vec::new();
         for u in range {
@@ -232,7 +232,7 @@ where
 /// of the thread count, so even floating-point folds are bit-identical for
 /// any parallelism.
 pub fn fold_edges<A, I, F, M>(
-    ctx: &GraphContext<'_>,
+    ctx: &GraphSnapshot,
     weigher: &dyn EdgeWeigher,
     init: I,
     fold: F,
@@ -244,7 +244,7 @@ where
     F: Fn(&mut A, u32, u32, f64) + Sync,
     M: Fn(A, A) -> A,
 {
-    let clean = ctx.blocks().is_clean_clean();
+    let clean = ctx.is_clean_clean();
     let chunks = owner_chunks(ctx, |scratch, range| {
         let mut acc = init();
         for u in range {
@@ -290,7 +290,7 @@ mod tests {
     #[test]
     fn collect_edges_visits_each_edge_once() {
         let blocks = dirty_triangle();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let edges = collect_edges(&ctx, &WeightingScheme::Cbs, |u, v, w| Some((u, v, w)));
         assert_eq!(
             edges,
@@ -307,7 +307,7 @@ mod tests {
             4,
             4,
         );
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let sizes = node_pass(&ctx, &WeightingScheme::Cbs, |_, adj| adj.len());
         assert_eq!(sizes, vec![1, 0, 1, 0]);
     }
@@ -315,7 +315,7 @@ mod tests {
     #[test]
     fn fold_edges_totals_match_collect() {
         let blocks = dirty_triangle();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let (count, sum) = fold_edges(
             &ctx,
             &WeightingScheme::Cbs,
@@ -333,8 +333,8 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let blocks = dirty_triangle();
-        let ctx1 = GraphContext::new(&blocks).with_threads(1);
-        let ctx4 = GraphContext::new(&blocks).with_threads(4);
+        let ctx1 = GraphSnapshot::build(&blocks).with_threads(1);
+        let ctx4 = GraphSnapshot::build(&blocks).with_threads(4);
         let e1 = collect_edges(&ctx1, &WeightingScheme::Arcs, |u, v, w| {
             Some((u, v, w.to_bits()))
         });
@@ -347,7 +347,7 @@ mod tests {
     #[test]
     fn subset_pass_matches_full_pass_slots() {
         let blocks = dirty_triangle();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let full = node_pass(&ctx, &WeightingScheme::Arcs, |n, adj| {
             (
                 n,
@@ -371,7 +371,7 @@ mod tests {
     #[test]
     fn touching_with_full_mask_is_collect() {
         let blocks = dirty_triangle();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let all: Vec<u32> = (0..3).collect();
         let mask = vec![true; 3];
         let touching = collect_edges_touching(&ctx, &WeightingScheme::Arcs, &all, &mask);
@@ -386,7 +386,7 @@ mod tests {
     #[test]
     fn touching_with_partial_mask_is_incident_subset() {
         let blocks = dirty_triangle();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let mask = vec![false, false, true];
         let touching = collect_edges_touching(&ctx, &WeightingScheme::Cbs, &[2], &mask);
         let expect: Vec<(u32, u32)> = collect_weighted_edges(&ctx, &WeightingScheme::Cbs)
@@ -401,7 +401,7 @@ mod tests {
     #[test]
     fn weighted_edges_match_collect() {
         let blocks = dirty_triangle();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let direct = collect_weighted_edges(&ctx, &WeightingScheme::Cbs);
         let via_collect = collect_edges(&ctx, &WeightingScheme::Cbs, |u, v, w| Some((u, v, w)));
         assert_eq!(direct, via_collect);

@@ -8,7 +8,7 @@
 //! `collect_edges`). The mean is summed sequentially in deterministic edge
 //! order, so Θ is bit-identical for every thread count.
 
-use crate::context::GraphContext;
+use crate::context::GraphSnapshot;
 use crate::pruning::common::{collect_weighted_edges, pair};
 use crate::retained::RetainedPairs;
 use crate::weights::EdgeWeigher;
@@ -30,7 +30,7 @@ impl Wep {
     }
 
     /// Prunes the graph, retaining edges with weight ≥ Θ (mean weight).
-    pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+    pub fn prune(&self, ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> RetainedPairs {
         Self::prune_edges(&collect_weighted_edges(ctx, weigher))
     }
 
@@ -53,7 +53,7 @@ impl Wep {
     }
 
     /// The global threshold this scheme would use (diagnostics).
-    pub fn threshold(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> Option<f64> {
+    pub fn threshold(&self, ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> Option<f64> {
         Self::mean_weight(&collect_weighted_edges(ctx, weigher))
     }
 }
@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn retains_edges_at_or_above_mean() {
         let blocks = blocks();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let retained = Wep.prune(&ctx, &WeightingScheme::Cbs);
         assert_eq!(retained.len(), 1);
         assert!(retained.contains(ProfileId(0), ProfileId(1)));
@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn threshold_is_mean() {
         let blocks = blocks();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let theta = Wep.threshold(&ctx, &WeightingScheme::Cbs).unwrap();
         assert!((theta - 5.0 / 3.0).abs() < 1e-12);
     }
@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn empty_graph_yields_nothing() {
         let blocks = BlockCollection::new(vec![], false, 3, 3);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         assert!(Wep.prune(&ctx, &WeightingScheme::Cbs).is_empty());
         assert!(Wep.threshold(&ctx, &WeightingScheme::Cbs).is_none());
     }
@@ -110,7 +110,7 @@ mod tests {
     fn uniform_weights_retain_everything() {
         let b = vec![Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 2]), u32::MAX)];
         let blocks = BlockCollection::new(b, false, 3, 3);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let retained = Wep.prune(&ctx, &WeightingScheme::Cbs);
         assert_eq!(retained.len(), 3); // all weights equal the mean
     }

@@ -6,7 +6,7 @@
 //! dependence of the mean on the number of low-weight edges is exactly the
 //! pathology BLAST's pruning fixes (Fig. 6) — a test below pins it.
 
-use crate::context::GraphContext;
+use crate::context::GraphSnapshot;
 use crate::pruning::common::{collect_edges, node_pass, pair};
 use crate::pruning::NodeCentricMode;
 use crate::retained::RetainedPairs;
@@ -36,7 +36,7 @@ impl Wnp {
 
     /// The per-node thresholds (mean adjacent weight; +∞ for isolated nodes
     /// so they can never accept an edge).
-    pub fn thresholds(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> Vec<f64> {
+    pub fn thresholds(&self, ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> Vec<f64> {
         node_pass(ctx, weigher, |_, adj| {
             if adj.is_empty() {
                 f64::INFINITY
@@ -47,7 +47,7 @@ impl Wnp {
     }
 
     /// Prunes the graph.
-    pub fn prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+    pub fn prune(&self, ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> RetainedPairs {
         let thresholds = self.thresholds(ctx, weigher);
         let mode = self.mode;
         let pairs = collect_edges(ctx, weigher, |u, v, w| {
@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn thresholds_are_node_means() {
         let blocks = star();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let t = Wnp::redefined().thresholds(&ctx, &WeightingScheme::Cbs);
         // node 0: edges 4,1,1 → 2; node 1: 4,1,1 → 2; node 2: 1,1,1 → 1.
         assert!((t[0] - 2.0).abs() < 1e-12);
@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn reciprocal_stricter_than_redefined() {
         let blocks = star();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let r1 = Wnp::redefined().prune(&ctx, &WeightingScheme::Cbs);
         let r2 = Wnp::reciprocal().prune(&ctx, &WeightingScheme::Cbs);
         assert!(r2.len() <= r1.len());
@@ -193,13 +193,13 @@ mod tests {
 
         // Without extras: θ₀ = (4+2+1)/3 = 2.33 → edge (0,2) pruned at node 0.
         let b = base_blocks(0);
-        let ctx = GraphContext::new(&b);
+        let ctx = GraphSnapshot::build(&b);
         let t = Wnp::redefined().thresholds(&ctx, &WeightingScheme::Cbs);
         assert!(t[0] > 2.0);
 
         // With two extras: θ₀ = (4+2+1+1+1)/5 = 1.8 → edge (0,2) now passes.
         let b = base_blocks(2);
-        let ctx = GraphContext::new(&b);
+        let ctx = GraphSnapshot::build(&b);
         let t = Wnp::redefined().thresholds(&ctx, &WeightingScheme::Cbs);
         assert!(
             t[0] < 2.0,
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn empty_graph() {
         let blocks = BlockCollection::new(vec![], false, 2, 2);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         assert!(Wnp::redefined()
             .prune(&ctx, &WeightingScheme::Cbs)
             .is_empty());

@@ -34,7 +34,7 @@
 //!
 //! ## Scheduling
 //!
-//! The pass drivers ([`node_chunks`], [`owner_chunks`]) split the node range
+//! The pass drivers (`node_chunks`, `owner_chunks`) split the node range
 //! into fine-grained chunks claimed off an atomic counter
 //! ([`blast_datamodel::parallel::parallel_work_steal`]): Zipf-skewed
 //! collections concentrate the heavy hub nodes, and the contiguous
@@ -43,9 +43,9 @@
 //! length — never the thread count — and chunk results are merged in chunk
 //! order, so every pass is bit-exact across thread counts.
 
-use crate::context::{EdgeAccum, GraphContext};
-use blast_datamodel::entity::ProfileId;
+use crate::context::{EdgeAccum, GraphSnapshot};
 use blast_datamodel::parallel::parallel_work_steal;
+use std::cell::RefCell;
 
 /// A worker-local dense adjacency accumulator (see the module docs).
 #[derive(Debug)]
@@ -59,42 +59,41 @@ pub struct NodeScratch {
 
 impl NodeScratch {
     /// A scratch able to hold the adjacency of any node of `ctx`.
-    pub fn new(ctx: &GraphContext<'_>) -> Self {
+    pub fn new(ctx: &GraphSnapshot) -> Self {
+        Self::with_capacity(ctx.total_profiles() as usize)
+    }
+
+    /// A scratch covering `n` profiles.
+    pub fn with_capacity(n: usize) -> Self {
         Self {
-            accum: vec![EdgeAccum::default(); ctx.total_profiles() as usize],
+            accum: vec![EdgeAccum::default(); n],
             touched: Vec::new(),
+        }
+    }
+
+    /// Grows the scratch to cover at least `n` profiles (new slots default,
+    /// preserving the reset invariant).
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.accum.len() < n {
+            self.accum.resize(n, EdgeAccum::default());
         }
     }
 
     /// Loads the adjacency of `node`, resetting the previously loaded one.
     /// Afterwards [`NodeScratch::iter`] yields `(neighbour, accum)` in
     /// ascending neighbour order.
-    pub fn load(&mut self, ctx: &GraphContext<'_>, node: u32) {
+    pub fn load(&mut self, ctx: &GraphSnapshot, node: u32) {
         for &v in &self.touched {
             self.accum[v as usize] = EdgeAccum::default();
         }
         self.touched.clear();
 
-        let blocks = ctx.blocks();
-        let clean = blocks.is_clean_clean();
-        let sep = blocks.separator();
-        let all = blocks.blocks();
         let cardinalities = ctx.cardinalities();
         let entropies = ctx.entropies_opt();
-        for &bid in ctx.index().blocks_of(node) {
-            let block = &all[bid as usize];
-            let inv = 1.0 / cardinalities[bid as usize];
-            let ent = entropies.map_or(1.0, |e| e[bid as usize]);
-            let neighbours: &[ProfileId] = if clean {
-                if node < sep {
-                    block.inner2()
-                } else {
-                    block.inner1()
-                }
-            } else {
-                &block.profiles
-            };
-            for &p in neighbours {
+        for &slot in ctx.index().blocks_of(node) {
+            let inv = 1.0 / cardinalities[slot as usize];
+            let ent = entropies.map_or(1.0, |e| e[slot as usize]);
+            for &p in ctx.slot_neighbours(slot, node) {
                 if p.0 == node {
                     continue;
                 }
@@ -139,6 +138,33 @@ impl NodeScratch {
     }
 }
 
+thread_local! {
+    /// Per-thread scratch behind [`GraphSnapshot::edge`] diagnostics — a
+    /// lock-free replacement for the former `Mutex<Option<NodeScratch>>`:
+    /// concurrent diagnostic probes no longer serialise, and the
+    /// profile-sized array is still allocated once per thread, not per call.
+    static DIAG_SCRATCH: RefCell<Option<NodeScratch>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's diagnostic scratch, grown to cover `n`
+/// profiles. The scratch-reset invariant makes reuse across snapshots safe:
+/// every `load` resets exactly the slots the previous load touched. A
+/// scratch left over from a much larger snapshot is reallocated down (with
+/// a generous floor) so a one-off probe of a huge collection does not pin
+/// its profile-sized buffer for the rest of the thread's life.
+pub(crate) fn with_diag_scratch<R>(n: usize, f: impl FnOnce(&mut NodeScratch) -> R) -> R {
+    const SHRINK_FLOOR: usize = 1 << 20;
+    DIAG_SCRATCH.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let scratch = slot.get_or_insert_with(|| NodeScratch::with_capacity(n));
+        if scratch.accum.len() > SHRINK_FLOOR && scratch.accum.len() / 4 > n {
+            *scratch = NodeScratch::with_capacity(n);
+        }
+        scratch.ensure_capacity(n);
+        f(scratch)
+    })
+}
+
 /// Work-stealing chunk length for an `len`-node pass. A function of the
 /// range length only — **never** the thread count — so chunk-ordered merges
 /// (including floating-point folds) are bit-identical whatever the
@@ -151,7 +177,7 @@ pub(crate) fn chunk_len(len: usize) -> usize {
 /// Runs `per_chunk(scratch, weighted_buf, chunk_range)` over `0..len` nodes
 /// with work-stealing scheduling and a per-worker [`NodeScratch`], returning
 /// per-chunk results in chunk order.
-pub(crate) fn node_chunks<R, F>(ctx: &GraphContext<'_>, len: usize, per_chunk: F) -> Vec<R>
+pub(crate) fn node_chunks<R, F>(ctx: &GraphSnapshot, len: usize, per_chunk: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&mut NodeScratch, &mut Vec<(u32, f64)>, std::ops::Range<usize>) -> R + Sync,
@@ -168,7 +194,7 @@ where
 /// Like [`node_chunks`] but over the edge-owner range (the nodes that
 /// enumerate each edge exactly once); the chunk callback receives absolute
 /// node ids.
-pub(crate) fn owner_chunks<R, F>(ctx: &GraphContext<'_>, per_chunk: F) -> Vec<R>
+pub(crate) fn owner_chunks<R, F>(ctx: &GraphSnapshot, per_chunk: F) -> Vec<R>
 where
     R: Send,
     F: Fn(&mut NodeScratch, std::ops::Range<u32>) -> R + Sync,
@@ -191,7 +217,7 @@ where
 }
 
 /// One full adjacency pass computing node degrees and the total edge count.
-pub(crate) fn degrees_pass(ctx: &GraphContext<'_>) -> (Vec<u32>, u64) {
+pub(crate) fn degrees_pass(ctx: &GraphSnapshot) -> (Vec<u32>, u64) {
     let n = ctx.total_profiles() as usize;
     let chunks = node_chunks(ctx, n, |scratch, _, range| {
         let mut degrees = Vec::with_capacity(range.len());
@@ -217,6 +243,7 @@ mod tests {
     use blast_blocking::block::Block;
     use blast_blocking::collection::BlockCollection;
     use blast_blocking::key::ClusterId;
+    use blast_datamodel::entity::ProfileId;
     use blast_datamodel::hash::FastMap;
     use proptest::prelude::*;
 
@@ -226,7 +253,7 @@ mod tests {
 
     /// The naive hashmap reference adjacency, identical to the pre-engine
     /// implementation.
-    fn reference_adjacency(ctx: &GraphContext<'_>, node: u32) -> Vec<(u32, EdgeAccum)> {
+    fn reference_adjacency(ctx: &GraphSnapshot, node: u32) -> Vec<(u32, EdgeAccum)> {
         let mut map: FastMap<u32, EdgeAccum> = FastMap::default();
         ctx.accumulate_neighbors(node, &mut map);
         let mut adj: Vec<(u32, EdgeAccum)> = map.into_iter().collect();
@@ -235,7 +262,7 @@ mod tests {
     }
 
     fn assert_scratch_matches_reference(blocks: &BlockCollection, entropies: Option<Vec<f64>>) {
-        let mut ctx = GraphContext::new(blocks);
+        let mut ctx = GraphSnapshot::build(blocks);
         if let Some(e) = entropies {
             ctx = ctx.with_block_entropies(e);
         }
@@ -274,7 +301,7 @@ mod tests {
             Block::new("b1", ClusterId::GLUE, ids(&[2, 3]), u32::MAX),
         ];
         let blocks = BlockCollection::new(b, false, 4, 4);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let mut scratch = NodeScratch::new(&ctx);
         scratch.load(&ctx, 0);
         assert_eq!(
@@ -295,7 +322,7 @@ mod tests {
     fn get_handles_out_of_range_ids() {
         let b = vec![Block::new("b0", ClusterId::GLUE, ids(&[0, 1]), u32::MAX)];
         let blocks = BlockCollection::new(b, false, 2, 2);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let mut scratch = NodeScratch::new(&ctx);
         scratch.load(&ctx, 0);
         assert_eq!(scratch.get(1).unwrap().common_blocks, 1);
@@ -311,7 +338,7 @@ mod tests {
             Block::new("b1", ClusterId::GLUE, ids(&[1, 3]), u32::MAX),
         ];
         let blocks = BlockCollection::new(b, false, 4, 4);
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let edges = collect_weighted_edges(&ctx, &WeightingScheme::Cbs);
         let keys: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
         let mut sorted = keys.clone();

@@ -11,7 +11,7 @@
 //! `|B_x|` is the number of blocks containing x, `|B|` the total block
 //! count, `|E_G|` the number of graph edges and `deg(x)` the node degree.
 
-use crate::context::{EdgeAccum, GraphContext};
+use crate::context::{EdgeAccum, GraphSnapshot};
 
 /// The *global* graph statistics a weighting formula reads besides the
 /// per-edge accumulator. Incremental repair uses this to decide how far a
@@ -51,9 +51,9 @@ impl WeightDeps {
 /// `blast-core`'s χ²·entropy weigher.
 pub trait EdgeWeigher: Sync {
     /// The weight of edge (u, v).
-    fn weight(&self, ctx: &GraphContext<'_>, u: u32, v: u32, acc: &EdgeAccum) -> f64;
+    fn weight(&self, ctx: &GraphSnapshot, u: u32, v: u32, acc: &EdgeAccum) -> f64;
 
-    /// Whether [`GraphContext::ensure_degrees`] must run before weighting.
+    /// Whether [`GraphSnapshot::ensure_degrees`] must run before weighting.
     fn requires_degrees(&self) -> bool {
         false
     }
@@ -99,7 +99,7 @@ impl WeightingScheme {
 
     /// Jaccard similarity of the block lists of `u` and `v`.
     #[inline]
-    fn js(ctx: &GraphContext<'_>, u: u32, v: u32, acc: &EdgeAccum) -> f64 {
+    fn js(ctx: &GraphSnapshot, u: u32, v: u32, acc: &EdgeAccum) -> f64 {
         let bu = ctx.node_blocks(u) as f64;
         let bv = ctx.node_blocks(v) as f64;
         let common = acc.common_blocks as f64;
@@ -113,7 +113,7 @@ impl WeightingScheme {
 }
 
 impl EdgeWeigher for WeightingScheme {
-    fn weight(&self, ctx: &GraphContext<'_>, u: u32, v: u32, acc: &EdgeAccum) -> f64 {
+    fn weight(&self, ctx: &GraphSnapshot, u: u32, v: u32, acc: &EdgeAccum) -> f64 {
         match self {
             WeightingScheme::Arcs => acc.arcs,
             WeightingScheme::Cbs => acc.common_blocks as f64,
@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn cbs_counts_common_blocks() {
         let blocks = sample();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         let acc = ctx.edge(0, 2).unwrap();
         assert_eq!(WeightingScheme::Cbs.weight(&ctx, 0, 2, &acc), 3.0);
         let acc = ctx.edge(0, 3).unwrap();
@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn js_matches_hand_computation() {
         let blocks = sample();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         // |B_0| = 3 (b0,b1,b3), |B_2| = 4 (b0..b3), common = 3
         // JS = 3 / (3 + 4 − 3) = 0.75
         let acc = ctx.edge(0, 2).unwrap();
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn ecbs_matches_hand_computation() {
         let blocks = sample();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         // |B| = 4; w = 3 · ln(4/3) · ln(4/4) = 0 (node 2 is in every block).
         let acc = ctx.edge(0, 2).unwrap();
         let w = WeightingScheme::Ecbs.weight(&ctx, 0, 2, &acc);
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn arcs_matches_hand_computation() {
         let blocks = sample();
-        let ctx = GraphContext::new(&blocks);
+        let ctx = GraphSnapshot::build(&blocks);
         // Edge (0,2) shares b0 (‖·‖=4), b1 (1), b3 (1): 1/4 + 1 + 1 = 2.25
         let acc = ctx.edge(0, 2).unwrap();
         assert!((WeightingScheme::Arcs.weight(&ctx, 0, 2, &acc) - 2.25).abs() < 1e-12);
@@ -236,7 +236,7 @@ mod tests {
     #[test]
     fn ejs_matches_hand_computation() {
         let blocks = sample();
-        let mut ctx = GraphContext::new(&blocks);
+        let mut ctx = GraphSnapshot::build(&blocks);
         ctx.ensure_degrees();
         // Graph: edges (0,2),(0,3),(1,2),(1,3) → 4 edges.
         // deg(0) = 2, deg(2) = 2; JS(0,2) = 0.75.
@@ -270,7 +270,7 @@ mod tests {
         // Custom weighers default to the conservative ALL.
         struct Custom;
         impl EdgeWeigher for Custom {
-            fn weight(&self, _: &GraphContext<'_>, _: u32, _: u32, _: &EdgeAccum) -> f64 {
+            fn weight(&self, _: &GraphSnapshot, _: u32, _: u32, _: &EdgeAccum) -> f64 {
                 1.0
             }
         }

@@ -1,13 +1,15 @@
 //! Incremental block cleaning: purging + filtering re-applied only where a
-//! micro-batch touched the index.
+//! micro-batch touched the index, emitting a [`SnapshotDelta`] instead of a
+//! materialised collection.
 //!
 //! Both batch cleaners are *locally decidable* given a handful of cached
 //! statistics, which is what makes incremental re-application sound:
 //!
 //! * **Purging** keeps a block iff `|b| ≤ max` — a per-block test. It must
 //!   be re-evaluated for blocks whose membership changed and, when the
-//!   threshold itself moved (the profile count grew), for every block — an
-//!   O(|keys|) length scan, not a rebuild.
+//!   threshold itself moved (the profile count grew), for the blocks whose
+//!   length lies in the crossed interval — found through the index's lazy
+//!   length buckets, not a full key scan.
 //! * **Filtering** keeps profile `p` in the `ratio` smallest of its
 //!   surviving blocks, ranked by (cardinality, canonical position). The
 //!   kept set of `p` depends only on `p`'s own block list and those blocks'
@@ -15,15 +17,20 @@
 //!   list or whose blocks changed — everyone else's cached kept set remains
 //!   bit-identical to what a batch run would compute.
 //!
-//! The outcome is the cleaned [`BlockCollection`] (identical to batch
-//! purge→filter on the materialised input, block order included) plus the
+//! The outcome is a [`SnapshotDelta`] — the patched block slots (stable
+//! key ids) and CSR rows the graph snapshot applies in place — plus the
 //! *graph-dirty* node set: every profile whose cleaned co-occurrence
-//! changed, which is what the downstream meta-blocking repair needs.
+//! changed, which is what the downstream meta-blocking repair needs. The
+//! cleaner's cached state stays field-for-field equivalent to batch
+//! purge→filter on the materialised input ([`IncrementalCleaner::materialize`]
+//! rebuilds that collection for verification paths; the commit hot path
+//! never does).
 
 use crate::index::{DirtyDrain, IncrementalBlockIndex, KeyId};
 use blast_blocking::block::Block;
 use blast_blocking::collection::BlockCollection;
 use blast_datamodel::entity::ProfileId;
+use blast_graph::context::{RowPatch, SlotPatch, SnapshotDelta};
 
 /// Purging/filtering configuration (defaults match `BlastConfig`).
 #[derive(Debug, Clone)]
@@ -60,12 +67,15 @@ impl CleaningConfig {
     }
 }
 
-/// What one cleaning pass changed, for the graph-repair stage.
+/// What one cleaning pass changed, for the snapshot and graph-repair stages.
 #[derive(Debug)]
 pub struct CleanOutcome {
-    /// The cleaned collection — bit-identical to batch purge→filter on the
-    /// materialised input.
-    pub blocks: BlockCollection,
+    /// The slot/row patches bringing the graph snapshot up to date with the
+    /// cleaned state of this commit.
+    pub delta: SnapshotDelta,
+    /// Number of cleaned (emitted) blocks after the commit — the batch
+    /// collection's |B|.
+    pub blocks: u64,
     /// Profiles whose cleaned co-occurrence changed (members added to or
     /// removed from some cleaned block, or members of blocks whose
     /// cardinality changed). Sorted, deduplicated.
@@ -93,6 +103,8 @@ pub struct IncrementalCleaner {
     /// changes the block count |B_u| of every *surviving* member — nodes
     /// whose own kept set did not move — so flips feed `lists_changed`.
     emitted: Vec<bool>,
+    /// Running emitted-block count (the cleaned |B|).
+    live_blocks: u64,
     prev_max_profiles: Option<usize>,
     prev_block_count: Option<u64>,
 }
@@ -107,6 +119,7 @@ impl IncrementalCleaner {
             kept: Vec::new(),
             cleaned: Vec::new(),
             emitted: Vec::new(),
+            live_blocks: 0,
             prev_max_profiles: None,
             prev_block_count: None,
         }
@@ -118,6 +131,9 @@ impl IncrementalCleaner {
     }
 
     /// Re-applies cleaning after the index absorbed a micro-batch.
+    /// `cluster_entropies` carries the fixed partitioning's aggregate
+    /// entropies (indexed by cluster id) for the slot patches; `None` for
+    /// schema-agnostic pipelines.
     pub fn apply(
         &mut self,
         index: &IncrementalBlockIndex,
@@ -125,6 +141,7 @@ impl IncrementalCleaner {
         clean_clean: bool,
         separator: u32,
         total_profiles: u32,
+        cluster_entropies: Option<&[f64]>,
     ) -> CleanOutcome {
         let n_keys = index.key_count();
         self.present.resize(n_keys, false);
@@ -141,8 +158,9 @@ impl IncrementalCleaner {
                 raw_cardinality(&index.key(k).postings, clean_clean, separator);
         }
 
-        // 2. Purging: per-key length test. A threshold move re-evaluates
-        //    every key (cheap length scan); otherwise only the dirty ones.
+        // 2. Purging: per-key length test. A threshold move re-evaluates the
+        //    keys whose length lies in the crossed interval (via the index's
+        //    lazy length buckets); otherwise only the dirty ones.
         let max_profiles = if self.config.purging {
             (total_profiles as f64 * self.config.purge_fraction) as usize
         } else {
@@ -157,24 +175,54 @@ impl IncrementalCleaner {
                 flipped.push(k);
             }
         };
-        if self.prev_max_profiles != Some(max_profiles) {
-            for k in 0..n_keys as KeyId {
-                present_of(self, k);
+        match self.prev_max_profiles {
+            Some(prev) if prev == max_profiles => {
+                for &k in &drain.keys {
+                    present_of(self, k);
+                }
             }
-        } else {
-            for &k in &drain.keys {
-                present_of(self, k);
+            // The profile count only grows, so the threshold only rises:
+            // exactly the keys with prev < |postings| ≤ max can resurface.
+            // Their ids sit in the crossed length buckets (lazy entries are
+            // deduplicated by the length re-check inside `present_of` being
+            // idempotent). A falling threshold (config change) or the first
+            // pass falls back to the full scan.
+            Some(prev) if prev < max_profiles => {
+                let hi = max_profiles.min(total_profiles as usize);
+                for len in (prev + 1)..=hi {
+                    for &k in index.keys_of_len(len) {
+                        if index.key(k).postings.len() == len {
+                            present_of(self, k);
+                        }
+                    }
+                }
+                for &k in &drain.keys {
+                    present_of(self, k);
+                }
+            }
+            _ => {
+                for k in 0..n_keys as KeyId {
+                    present_of(self, k);
+                }
             }
         }
         self.prev_max_profiles = Some(max_profiles);
-        // Threshold-driven flips were not necessarily in `drain.keys`.
-        flipped.retain(|k| drain.keys.binary_search(k).is_err());
+        // Emission must be re-examined for every present-flip, drained or
+        // not; the *filtering* stage additionally needs the flips that were
+        // not already drained (whose members it would otherwise miss).
+        flipped.sort_unstable();
+        flipped.dedup();
+        let threshold_flipped: Vec<KeyId> = flipped
+            .iter()
+            .copied()
+            .filter(|k| drain.keys.binary_search(k).is_err())
+            .collect();
 
         // 3. The profiles whose kept set must be recomputed.
         let mut filter_dirty: Vec<u32> = Vec::new();
         filter_dirty.extend_from_slice(&drain.touched_profiles);
         filter_dirty.extend_from_slice(&drain.removed_members);
-        for &k in drain.keys.iter().chain(&flipped) {
+        for &k in drain.keys.iter().chain(&threshold_flipped) {
             filter_dirty.extend(index.key(k).postings.iter().map(|p| p.0));
         }
         filter_dirty.sort_unstable();
@@ -278,47 +326,123 @@ impl IncrementalCleaner {
         dirty_nodes.sort_unstable();
         dirty_nodes.dedup();
 
-        // 6. Materialise the cleaned collection in canonical order, exactly
-        //    like batch purge→filter (invalid blocks dropped the same way).
-        //    A key whose emitted status flips changes |B_u| for every
-        //    member that *stayed* in it — record them as list-changed.
-        let mut blocks: Vec<Block> = Vec::new();
-        for &k in index.ordered_keys() {
+        // 6. Resolve emission and build the snapshot's slot patches. Only
+        //    keys whose cleaned membership or purge status moved can flip
+        //    or change as blocks — the former O(|keys|) materialisation
+        //    loop is gone from the commit path. A key whose emitted status
+        //    flips changes |B_u| for every member that *stayed* in it —
+        //    record them as list-changed.
+        let mut candidates: Vec<KeyId> = changed_keys;
+        candidates.extend_from_slice(&flipped);
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut slots: Vec<SlotPatch> = Vec::new();
+        for &k in &candidates {
             let members = &self.cleaned[k as usize];
-            let emitted_now = self.present[k as usize] && !members.is_empty() && {
-                let block = Block::new(
-                    index.label(k),
-                    index.key(k).cluster,
-                    members.iter().map(|&p| ProfileId(p)).collect(),
-                    separator,
-                );
-                if block.is_valid(clean_clean) {
-                    blocks.push(block);
-                    true
-                } else {
-                    false
-                }
-            };
-            if emitted_now != self.emitted[k as usize] {
+            let emitted_now =
+                self.present[k as usize] && members_valid(members, clean_clean, separator);
+            let was = self.emitted[k as usize];
+            if emitted_now != was {
                 self.emitted[k as usize] = emitted_now;
+                self.live_blocks = if emitted_now {
+                    self.live_blocks + 1
+                } else {
+                    self.live_blocks - 1
+                };
                 lists_changed.extend_from_slice(members);
                 dirty_nodes.extend_from_slice(members);
+            }
+            if emitted_now {
+                slots.push(SlotPatch {
+                    slot: k,
+                    members: members.iter().map(|&p| ProfileId(p)).collect(),
+                    entropy: cluster_entropies.map_or(1.0, |e| e[index.key(k).cluster.index()]),
+                });
+            } else if was {
+                slots.push(SlotPatch {
+                    slot: k,
+                    members: Vec::new(),
+                    entropy: 1.0,
+                });
             }
         }
         lists_changed.sort_unstable();
         lists_changed.dedup();
         dirty_nodes.sort_unstable();
         dirty_nodes.dedup();
-        let block_count = blocks.len() as u64;
-        let total_blocks_changed = self.prev_block_count != Some(block_count);
-        self.prev_block_count = Some(block_count);
+        let total_blocks_changed = self.prev_block_count != Some(self.live_blocks);
+        self.prev_block_count = Some(self.live_blocks);
+
+        // 7. Row patches: every profile whose cleaned block list moved gets
+        //    its new row — the emitted subset of its kept keys, in the
+        //    canonical (cluster, token) order batch block ids follow.
+        let rows: Vec<RowPatch> = lists_changed
+            .iter()
+            .map(|&p| {
+                let mut row: Vec<KeyId> = self.kept[p as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&k| self.emitted[k as usize])
+                    .collect();
+                row.sort_unstable_by(|&a, &b| {
+                    let (ea, eb) = (index.key(a), index.key(b));
+                    (ea.cluster, &*ea.token).cmp(&(eb.cluster, &*eb.token))
+                });
+                RowPatch {
+                    profile: p,
+                    slots: row,
+                }
+            })
+            .collect();
 
         CleanOutcome {
-            blocks: BlockCollection::new(blocks, clean_clean, separator, total_profiles),
+            delta: SnapshotDelta {
+                total_profiles,
+                slots,
+                rows,
+            },
+            blocks: self.live_blocks,
             dirty_nodes,
             lists_changed,
             total_blocks_changed,
         }
+    }
+
+    /// Materialises the cleaned collection in canonical order, exactly like
+    /// batch purge→filter on the materialised input (invalid blocks dropped
+    /// the same way). Verification/diagnostics only — O(|keys|), never on
+    /// the commit path.
+    pub fn materialize(
+        &self,
+        index: &IncrementalBlockIndex,
+        clean_clean: bool,
+        separator: u32,
+        total_profiles: u32,
+    ) -> BlockCollection {
+        let mut blocks: Vec<Block> = Vec::new();
+        for &k in index.ordered_keys() {
+            if !self.emitted[k as usize] {
+                continue;
+            }
+            let members = &self.cleaned[k as usize];
+            blocks.push(Block::new(
+                index.label(k),
+                index.key(k).cluster,
+                members.iter().map(|&p| ProfileId(p)).collect(),
+                separator,
+            ));
+        }
+        BlockCollection::new(blocks, clean_clean, separator, total_profiles)
+    }
+}
+
+/// Whether a cleaned membership list emits a valid block (≥1 comparison).
+fn members_valid(members: &[u32], clean_clean: bool, separator: u32) -> bool {
+    if clean_clean {
+        let split = members.partition_point(|&m| m < separator);
+        split > 0 && split < members.len()
+    } else {
+        members.len() >= 2
     }
 }
 
@@ -375,7 +499,8 @@ mod tests {
     }
 
     /// Streams profiles through index+cleaner and checks the cleaned
-    /// collection equals batch purge→filter at every step.
+    /// collection equals batch purge→filter at every step, and that the
+    /// emitted-block count tracks it.
     #[test]
     fn incremental_cleaning_tracks_batch() {
         let tokenizer = Tokenizer::new();
@@ -402,9 +527,11 @@ mod tests {
 
             let drain = index.drain_dirty();
             let total = (step + 1) as u32;
-            let outcome = cleaner.apply(&index, &drain, false, total, total);
+            let outcome = cleaner.apply(&index, &drain, false, total, total, None);
+            let materialised = cleaner.materialize(&index, false, total, total);
             let batch = batch_cleaned(&ErInput::dirty(d.clone()), &config);
-            assert_same_collection(&outcome.blocks, &batch);
+            assert_same_collection(&materialised, &batch);
+            assert_eq!(outcome.blocks, batch.len() as u64, "live-block count");
         }
     }
 
@@ -419,11 +546,11 @@ mod tests {
         index.set_profile(2, [(ClusterId::GLUE, "x")]);
         index.set_profile(3, [(ClusterId::GLUE, "x")]);
         let drain = index.drain_dirty();
-        cleaner.apply(&index, &drain, false, 4, 4);
+        cleaner.apply(&index, &drain, false, 4, 4, None);
         // Touch only the x community: profile 2 leaves the x block.
         index.set_profile(2, [(ClusterId::GLUE, "y")]);
         let drain = index.drain_dirty();
-        let outcome = cleaner.apply(&index, &drain, false, 4, 4);
+        let outcome = cleaner.apply(&index, &drain, false, 4, 4, None);
         assert!(
             !outcome.dirty_nodes.contains(&0) && !outcome.dirty_nodes.contains(&1),
             "disjoint community must stay clean, got {:?}",
@@ -432,10 +559,16 @@ mod tests {
         // Both x members are dirty: 2 left, 3 lost its only co-member.
         assert!(outcome.dirty_nodes.contains(&2));
         assert!(outcome.dirty_nodes.contains(&3));
+        // And the delta only patches the affected slots/rows.
+        assert!(outcome
+            .delta
+            .rows
+            .iter()
+            .all(|r| r.profile == 2 || r.profile == 3));
     }
 
     #[test]
-    fn purge_threshold_move_revisits_all_blocks() {
+    fn purge_threshold_move_revisits_crossed_lengths() {
         // With fraction 0.5, a 2-member block is purged at total=3
         // (max = 1) but kept at total=4 (max = 2).
         let config = CleaningConfig {
@@ -450,15 +583,17 @@ mod tests {
         index.set_profile(1, [(ClusterId::GLUE, "t")]);
         index.set_profile(2, [(ClusterId::GLUE, "z")]);
         let drain = index.drain_dirty();
-        let outcome = cleaner.apply(&index, &drain, false, 3, 3);
-        assert!(outcome.blocks.is_empty(), "t purged at max=1");
+        let outcome = cleaner.apply(&index, &drain, false, 3, 3, None);
+        assert_eq!(outcome.blocks, 0, "t purged at max=1");
         // A fourth, unrelated profile raises the threshold; the untouched
         // "t" block must resurface.
         index.set_profile(3, [(ClusterId::GLUE, "z")]);
         let drain = index.drain_dirty();
-        let outcome = cleaner.apply(&index, &drain, false, 4, 4);
-        let labels: Vec<&str> = outcome.blocks.blocks().iter().map(|b| &*b.label).collect();
+        let outcome = cleaner.apply(&index, &drain, false, 4, 4, None);
+        let materialised = cleaner.materialize(&index, false, 4, 4);
+        let labels: Vec<&str> = materialised.blocks().iter().map(|b| &*b.label).collect();
         assert_eq!(labels, vec!["t", "z"]);
+        assert_eq!(outcome.blocks, 2);
         assert!(outcome.dirty_nodes.contains(&0));
         assert!(outcome.dirty_nodes.contains(&1));
     }

@@ -25,7 +25,7 @@
 
 use blast_core::pruning::BlastPruning;
 use blast_datamodel::entity::ProfileId;
-use blast_graph::context::GraphContext;
+use blast_graph::context::GraphSnapshot;
 use blast_graph::meta::PruningAlgorithm;
 use blast_graph::pruning::common::{
     collect_edges_touching, collect_weighted_edges, node_pass_subset,
@@ -63,7 +63,7 @@ impl IncrementalPruning {
     }
 
     /// The batch counterpart this variant must stay bit-identical to.
-    pub fn batch_prune(&self, ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> RetainedPairs {
+    pub fn batch_prune(&self, ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> RetainedPairs {
         match self {
             IncrementalPruning::Traditional(a) => a.prune(ctx, weigher),
             IncrementalPruning::Blast { c, d } => {
@@ -89,12 +89,19 @@ impl PairDelta {
     }
 }
 
-/// Diagnostics of one repair pass.
+/// Diagnostics of one repair pass (surfaced per commit by
+/// `blast stream --stats`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RepairStats {
     /// Nodes whose neighbourhood was recomputed.
     pub dirty_nodes: usize,
-    /// Whether the pass degraded to a full recompute.
+    /// CSR rows the snapshot patched this commit (filled by the pipeline
+    /// from [`blast_graph::context::ApplyStats`]).
+    pub patched_rows: usize,
+    /// Block slots the snapshot patched this commit.
+    pub patched_slots: usize,
+    /// Whether the pass degraded to a full recompute (`WeightDeps` global
+    /// moves, a CNP budget shift, or an EJS-style degree dependency).
     pub full: bool,
 }
 
@@ -155,7 +162,7 @@ impl IncrementalMetaBlocker {
     /// report.
     pub fn refresh(
         &mut self,
-        ctx: &GraphContext<'_>,
+        ctx: &GraphSnapshot,
         weigher: &dyn EdgeWeigher,
         scope: &DirtyScope,
     ) -> (PairDelta, RepairStats) {
@@ -188,8 +195,8 @@ impl IncrementalMetaBlocker {
             }
             if deps.node_blocks {
                 for &u in &scope.lists_changed {
-                    for &bid in ctx.index().blocks_of(u) {
-                        for p in &ctx.blocks().blocks()[bid as usize].profiles {
+                    for &slot in ctx.index().blocks_of(u) {
+                        for p in ctx.slot_members(slot) {
                             mask[p.index()] = true;
                         }
                     }
@@ -213,13 +220,14 @@ impl IncrementalMetaBlocker {
             RepairStats {
                 dirty_nodes: dirty.len(),
                 full,
+                ..RepairStats::default()
             },
         )
     }
 
     fn repair(
         &mut self,
-        ctx: &GraphContext<'_>,
+        ctx: &GraphSnapshot,
         weigher: &dyn EdgeWeigher,
         old: &RetainedPairs,
         region: &RepairRegion<'_>,

@@ -65,6 +65,12 @@ pub struct IncrementalBlockIndex {
     profile_keys: Vec<Vec<KeyId>>,
     /// Whether labels carry the `#c{n}` suffix (more than one cluster).
     multi_cluster: bool,
+    /// Lazily-maintained length buckets: every posting mutation pushes the
+    /// key onto the bucket of its *new* length (stale entries are filtered
+    /// by the reader). Lets the cleaner re-evaluate purging after a
+    /// threshold move by visiting only the lengths that crossed the
+    /// boundary instead of scanning every key.
+    by_len: Vec<Vec<KeyId>>,
     // -- dirty state since the last drain --
     dirty_flags: Vec<bool>,
     dirty_keys: Vec<KeyId>,
@@ -83,6 +89,7 @@ impl IncrementalBlockIndex {
             sorted: Vec::new(),
             profile_keys: Vec::new(),
             multi_cluster,
+            by_len: Vec::new(),
             dirty_flags: Vec::new(),
             dirty_keys: Vec::new(),
             removed_members: Vec::new(),
@@ -283,6 +290,8 @@ impl IncrementalBlockIndex {
             "duplicate member"
         );
         postings.insert(pos, ProfileId(pid));
+        let len = postings.len();
+        self.push_len_bucket(key, len);
         self.mark_dirty(key);
     }
 
@@ -291,8 +300,35 @@ impl IncrementalBlockIndex {
         let pos = postings.partition_point(|p| p.0 < pid);
         debug_assert_eq!(postings.get(pos).map(|p| p.0), Some(pid), "missing member");
         postings.remove(pos);
+        let len = postings.len();
+        self.push_len_bucket(key, len);
         self.removed_members.push(pid);
         self.mark_dirty(key);
+    }
+
+    fn push_len_bucket(&mut self, key: KeyId, len: usize) {
+        if self.by_len.len() <= len {
+            self.by_len.resize_with(len + 1, Vec::new);
+        }
+        let bucket = &mut self.by_len[len];
+        bucket.push(key);
+        // Lazy entries accumulate one per mutation; compact when the bucket
+        // doubles past a floor so memory stays proportional to the keys
+        // *currently* at this length (amortised O(1) per push) instead of
+        // growing with the whole mutation history.
+        if bucket.len() >= 32 && bucket.len().is_power_of_two() {
+            let keys = &self.keys;
+            bucket.sort_unstable();
+            bucket.dedup();
+            bucket.retain(|&k| keys[k as usize].postings.len() == len);
+        }
+    }
+
+    /// The keys that at some point held exactly `len` postings (lazy
+    /// bucket: entries may be stale — callers must re-check
+    /// `key(k).postings.len()` — and may repeat).
+    pub fn keys_of_len(&self, len: usize) -> &[KeyId] {
+        self.by_len.get(len).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 

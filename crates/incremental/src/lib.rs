@@ -34,5 +34,5 @@ pub mod store;
 pub use cleaner::{CleaningConfig, IncrementalCleaner};
 pub use graph::{IncrementalMetaBlocker, IncrementalPruning, PairDelta, RepairStats};
 pub use index::IncrementalBlockIndex;
-pub use pipeline::{CommitOutcome, IncrementalPipeline};
+pub use pipeline::{CommitOutcome, CommitTimings, IncrementalPipeline};
 pub use store::{MutableProfileStore, StoreMode};

@@ -7,13 +7,18 @@
 //!
 //! Each [`IncrementalPipeline::commit`] absorbs the pending micro-batch:
 //! the index mutates only the touched postings, cleaning is re-applied on
-//! the dirty blocks, and the meta-blocking graph is repaired over the dirty
-//! neighbourhoods. The **batch-equivalence contract**: after any commit,
+//! the dirty blocks, the **owned graph snapshot is patched in place** from
+//! the cleaner's delta ([`GraphSnapshot::apply`] — no per-commit CSR
+//! rebuild; `GraphSnapshot::build` never runs on the commit path), and the
+//! meta-blocking graph is repaired over the dirty neighbourhoods. The
+//! **batch-equivalence contract**: after any commit,
 //! [`IncrementalPipeline::retained`] is bit-identical to
 //! [`IncrementalPipeline::batch_retained`], a from-scratch batch run
 //! (Token Blocking → purging → filtering → weighting → pruning) on the
 //! materialised input — pinned by the property tests in
-//! `tests/incremental_equivalence.rs` for all prunings × schemes.
+//! `tests/incremental_equivalence.rs` for all prunings × schemes, and the
+//! patched snapshot itself is pinned field-for-field against
+//! `GraphSnapshot::build` by `tests/snapshot_maintenance.rs`.
 //!
 //! Loose schema information is supported as a *fixed* partitioning (e.g.
 //! extracted from a seed batch): keys are disambiguated per attribute
@@ -35,9 +40,41 @@ use blast_core::schema::partitioning::AttributePartitioning;
 use blast_datamodel::entity::{ProfileId, SourceId};
 use blast_datamodel::input::ErInput;
 use blast_datamodel::tokenizer::Tokenizer;
-use blast_graph::context::GraphContext;
+use blast_graph::context::GraphSnapshot;
 use blast_graph::retained::RetainedPairs;
 use blast_graph::weights::EdgeWeigher;
+use std::time::Instant;
+
+/// Wall-clock split of one commit across the pipeline stages (the phase
+/// columns of `BENCH_incremental.json`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitTimings {
+    /// Blocking-index maintenance: token re-keying + posting diffs of the
+    /// micro-batch's mutations (accrued during `insert`/`update`/`delete`)
+    /// plus the dirty-state drain.
+    pub index_secs: f64,
+    /// Incremental purging + filtering over the dirty blocks.
+    pub cleaning_secs: f64,
+    /// Patching the owned graph snapshot (CSR row splices + slot stats).
+    pub snapshot_secs: f64,
+    /// Dirty-neighbourhood weighting + pruning repair.
+    pub repair_secs: f64,
+}
+
+impl CommitTimings {
+    /// Total commit wall-clock.
+    pub fn total_secs(&self) -> f64 {
+        self.index_secs + self.cleaning_secs + self.snapshot_secs + self.repair_secs
+    }
+
+    /// Element-wise accumulation (for aggregating over a run).
+    pub fn accumulate(&mut self, other: &CommitTimings) {
+        self.index_secs += other.index_secs;
+        self.cleaning_secs += other.cleaning_secs;
+        self.snapshot_secs += other.snapshot_secs;
+        self.repair_secs += other.repair_secs;
+    }
+}
 
 /// What one commit produced.
 #[derive(Debug)]
@@ -50,6 +87,8 @@ pub struct CommitOutcome {
     pub retained_len: usize,
     /// Number of cleaned blocks after the commit.
     pub blocks: usize,
+    /// Per-phase wall-clock split of this commit.
+    pub timings: CommitTimings,
 }
 
 /// The incremental BLAST pipeline.
@@ -62,7 +101,12 @@ pub struct IncrementalPipeline {
     tokenizer: Tokenizer,
     /// Fixed loose schema information; `None` = schema-agnostic blocking.
     partitioning: Option<AttributePartitioning>,
+    /// The owned, delta-maintained graph snapshot (one per pipeline, patched
+    /// per commit).
+    snapshot: GraphSnapshot,
     pending: bool,
+    /// Index-maintenance time accrued since the last commit.
+    pending_index_secs: f64,
 }
 
 impl std::fmt::Debug for IncrementalPipeline {
@@ -107,6 +151,7 @@ impl IncrementalPipeline {
         pruning: IncrementalPruning,
         cleaning: CleaningConfig,
     ) -> Self {
+        let snapshot = GraphSnapshot::empty(store.is_clean_clean(), store.separator());
         Self {
             store,
             index: IncrementalBlockIndex::new(false),
@@ -115,7 +160,9 @@ impl IncrementalPipeline {
             weigher: Box::new(weigher),
             tokenizer: Tokenizer::new(),
             partitioning: None,
+            snapshot,
             pending: false,
+            pending_index_secs: 0.0,
         }
     }
 
@@ -146,6 +193,8 @@ impl IncrementalPipeline {
             "attach the partitioning before streaming profiles"
         );
         self.index = IncrementalBlockIndex::new(partitioning.cluster_count() > 1);
+        self.snapshot = GraphSnapshot::empty(self.store.is_clean_clean(), self.store.separator())
+            .with_entropies_enabled();
         self.partitioning = Some(partitioning);
         self
     }
@@ -164,6 +213,11 @@ impl IncrementalPipeline {
     /// The current candidate set.
     pub fn retained(&self) -> &RetainedPairs {
         self.blocker.retained()
+    }
+
+    /// The owned graph snapshot (read access; patched per commit).
+    pub fn snapshot(&self) -> &GraphSnapshot {
+        &self.snapshot
     }
 
     /// Inserts a profile, returning its stable global id.
@@ -190,12 +244,15 @@ impl IncrementalPipeline {
 
     /// Tombstones a profile.
     pub fn delete(&mut self, id: ProfileId) {
+        let t0 = Instant::now();
         self.store.delete(id);
         self.index.clear_profile(id.0);
+        self.pending_index_secs += t0.elapsed().as_secs_f64();
         self.pending = true;
     }
 
     fn reindex(&mut self, id: ProfileId) {
+        let t0 = Instant::now();
         let source = self.store.source_of(id);
         // Collect (cluster, token) keys exactly like batch Token Blocking:
         // excluded attributes produce none, everything else its cluster.
@@ -212,40 +269,63 @@ impl IncrementalPipeline {
         }
         self.index
             .set_profile(id.0, keys.iter().map(|(c, t)| (*c, t.as_str())));
+        self.pending_index_secs += t0.elapsed().as_secs_f64();
         self.pending = true;
     }
 
-    /// Absorbs the pending micro-batch, repairing blocks, weights and
-    /// pruning over the affected neighbourhoods, and returns the
-    /// candidate-pair delta.
+    /// Absorbs the pending micro-batch, repairing blocks, the owned graph
+    /// snapshot, weights and pruning over the affected neighbourhoods, and
+    /// returns the candidate-pair delta.
     pub fn commit(&mut self) -> CommitOutcome {
         self.pending = false;
+        let mut timings = CommitTimings {
+            index_secs: std::mem::take(&mut self.pending_index_secs),
+            ..CommitTimings::default()
+        };
+
+        let t0 = Instant::now();
         let drain = self.index.drain_dirty();
+        timings.index_secs += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
         let clean_clean = self.store.is_clean_clean();
         let separator = self.store.separator();
         let total = self.store.total_slots();
-        let outcome = self
-            .cleaner
-            .apply(&self.index, &drain, clean_clean, separator, total);
+        let outcome = self.cleaner.apply(
+            &self.index,
+            &drain,
+            clean_clean,
+            separator,
+            total,
+            self.partitioning.as_ref().map(|p| p.entropies()),
+        );
+        timings.cleaning_secs = t0.elapsed().as_secs_f64();
 
-        let mut ctx = GraphContext::new(&outcome.blocks);
-        if let Some(p) = &self.partitioning {
-            ctx = ctx.with_block_entropies(p.block_entropies(&outcome.blocks));
-        }
+        let t0 = Instant::now();
+        let applied = self.snapshot.apply(outcome.delta);
+        timings.snapshot_secs = t0.elapsed().as_secs_f64();
+
+        // Degree recomputation is a full graph pass (EJS's forced-full
+        // path), so it counts as repair, not snapshot maintenance.
+        let t0 = Instant::now();
         if self.weigher.requires_degrees() {
-            ctx.ensure_degrees();
+            self.snapshot.ensure_degrees();
         }
         let scope = DirtyScope {
             nodes: outcome.dirty_nodes,
             lists_changed: outcome.lists_changed,
             total_blocks_changed: outcome.total_blocks_changed,
         };
-        let (delta, stats) = self.blocker.refresh(&ctx, &*self.weigher, &scope);
+        let (delta, mut stats) = self.blocker.refresh(&self.snapshot, &*self.weigher, &scope);
+        timings.repair_secs = t0.elapsed().as_secs_f64();
+        stats.patched_rows = applied.patched_rows;
+        stats.patched_slots = applied.patched_slots;
         CommitOutcome {
             delta,
             stats,
             retained_len: self.blocker.retained().len(),
-            blocks: outcome.blocks.len(),
+            blocks: outcome.blocks as usize,
+            timings,
         }
     }
 
@@ -262,11 +342,11 @@ impl IncrementalPipeline {
 
     /// The from-scratch batch counterpart on the materialised input — what
     /// the equivalence contract compares [`IncrementalPipeline::retained`]
-    /// against.
+    /// against. (Off the commit path, so it *does* build a fresh snapshot.)
     pub fn batch_retained(&self) -> RetainedPairs {
         let input = self.materialize();
         let blocks = self.batch_blocks(&input);
-        let mut ctx = GraphContext::new(&blocks);
+        let mut ctx = GraphSnapshot::build(&blocks);
         if let Some(p) = &self.partitioning {
             ctx = ctx.with_block_entropies(p.block_entropies(&blocks));
         }
@@ -325,6 +405,11 @@ mod tests {
             let out = p.commit();
             assert_eq!(p.retained().pairs(), p.batch_retained().pairs(), "step {i}");
             assert_eq!(out.retained_len, p.retained().len());
+            assert_eq!(
+                p.snapshot().version(),
+                (i + 1) as u64,
+                "one apply per commit"
+            );
         }
     }
 
@@ -355,6 +440,7 @@ mod tests {
         assert!(!p.has_pending());
         let out = p.commit();
         assert!(out.delta.is_empty());
+        assert_eq!(out.stats.patched_rows, 0, "nothing to patch");
     }
 
     #[test]
@@ -381,5 +467,16 @@ mod tests {
         for (x, y) in p.retained().iter() {
             assert!(x.0 < 3 && y.0 >= 3);
         }
+    }
+
+    #[test]
+    fn commit_records_phase_timings() {
+        let mut p =
+            IncrementalPipeline::dirty(WeightingScheme::Cbs, wnp1(), CleaningConfig::default());
+        p.insert(SourceId(0), "a", [("t", "x y z")]);
+        p.insert(SourceId(0), "b", [("t", "x y w")]);
+        let out = p.commit();
+        assert!(out.timings.index_secs > 0.0, "insert time accrued");
+        assert!(out.timings.total_secs() >= out.timings.repair_secs);
     }
 }

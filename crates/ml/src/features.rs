@@ -4,7 +4,7 @@
 //! graph-derived features only — no schema knowledge: the five traditional
 //! edge weights and the block counts of the two endpoints.
 
-use blast_graph::context::{EdgeAccum, GraphContext};
+use blast_graph::context::{EdgeAccum, GraphSnapshot};
 use blast_graph::weights::{EdgeWeigher, WeightingScheme};
 
 /// Number of features per edge.
@@ -13,13 +13,8 @@ pub const FEATURE_COUNT: usize = 7;
 /// Computes the feature vector of edge (u, v):
 /// `[ARCS, JS, EJS, CBS, ECBS, |B_u|, |B_v|]`.
 ///
-/// Requires [`GraphContext::ensure_degrees`] (EJS).
-pub fn edge_features(
-    ctx: &GraphContext<'_>,
-    u: u32,
-    v: u32,
-    acc: &EdgeAccum,
-) -> [f64; FEATURE_COUNT] {
+/// Requires [`GraphSnapshot::ensure_degrees`] (EJS).
+pub fn edge_features(ctx: &GraphSnapshot, u: u32, v: u32, acc: &EdgeAccum) -> [f64; FEATURE_COUNT] {
     let mut out = [0.0; FEATURE_COUNT];
     for (slot, scheme) in out.iter_mut().zip(WeightingScheme::ALL) {
         *slot = scheme.weight(ctx, u, v, acc);
@@ -56,7 +51,7 @@ mod tests {
     #[test]
     fn features_match_schemes() {
         let blocks = ctx_blocks();
-        let mut ctx = GraphContext::new(&blocks);
+        let mut ctx = GraphSnapshot::build(&blocks);
         ctx.ensure_degrees();
         let acc = ctx.edge(0, 1).unwrap();
         let f = edge_features(&ctx, 0, 1, &acc);
@@ -70,7 +65,7 @@ mod tests {
     #[test]
     fn features_symmetric_in_endpoints() {
         let blocks = ctx_blocks();
-        let mut ctx = GraphContext::new(&blocks);
+        let mut ctx = GraphSnapshot::build(&blocks);
         ctx.ensure_degrees();
         let a01 = ctx.edge(0, 1).unwrap();
         let a10 = ctx.edge(1, 0).unwrap();

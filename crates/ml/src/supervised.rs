@@ -14,7 +14,7 @@ use blast_blocking::collection::BlockCollection;
 use blast_datamodel::entity::ProfileId;
 use blast_datamodel::ground_truth::GroundTruth;
 use blast_datamodel::hash::fx_hash_one;
-use blast_graph::context::GraphContext;
+use blast_graph::context::GraphSnapshot;
 use blast_graph::pruning::common::collect_edge_accums;
 use blast_graph::retained::RetainedPairs;
 
@@ -58,7 +58,7 @@ impl SupervisedMetaBlocking {
     /// evaluates on the full ground truth; we return it for flexibility).
     pub fn run(&self, blocks: &BlockCollection, gt: &GroundTruth) -> (RetainedPairs, GroundTruth) {
         let (train, _) = gt.split_train(self.config.train_fraction);
-        let mut ctx = GraphContext::new(blocks);
+        let mut ctx = GraphSnapshot::build(blocks);
         ctx.ensure_degrees();
 
         // Pass 1: features of positives; deterministic hash-sampled

@@ -13,7 +13,7 @@ use blast::core::schema::attribute_profile::AttributeProfiles;
 use blast::core::schema::extraction::{LooseSchemaConfig, LooseSchemaExtractor};
 use blast::core::weighting::ChiSquaredWeigher;
 use blast::datamodel::{EntityCollection, ErInput, SourceId, Tokenizer};
-use blast::graph::GraphContext;
+use blast::graph::GraphSnapshot;
 
 fn figure1_input() -> ErInput {
     let mut d = EntityCollection::new(SourceId(0));
@@ -73,7 +73,7 @@ fn main() {
     }
 
     // ---- Figure 1c: the blocking graph ----------------------------------
-    let ctx = GraphContext::new(&blocks);
+    let ctx = GraphSnapshot::build(&blocks);
     println!("\nFigure 1c — co-occurrence weights (|B_ij|):");
     for (u, v) in [(0, 2), (1, 3), (0, 3), (1, 2), (0, 1), (2, 3)] {
         if let Some(acc) = ctx.edge(u, v) {
@@ -110,7 +110,7 @@ fn main() {
     // ---- Figure 3: χ²·entropy weighting + BLAST pruning ------------------
     let blocks_l = BlockPurging::new().purge(&blocks_l);
     let entropies = info.partitioning.block_entropies(&blocks_l);
-    let ctx = GraphContext::new(&blocks_l).with_block_entropies(entropies);
+    let ctx = GraphSnapshot::build(&blocks_l).with_block_entropies(entropies);
     let retained = BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::new());
     println!(
         "\nBLAST meta-blocking retained {} comparison(s):",

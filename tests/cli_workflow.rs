@@ -169,10 +169,14 @@ fn stream_command_replays_micro_batches() {
         "--gt",
         &format!("{d}/gt.csv"),
         "--verify",
+        "--stats",
     ]));
     assert!(report.contains("batch    1:"), "{report}");
     assert!(report.contains("verify: incremental == batch"), "{report}");
     assert!(report.contains("PC ="), "{report}");
+    // --stats surfaces per-commit RepairStats and the run totals.
+    assert!(report.contains("patched CSR rows"), "{report}");
+    assert!(report.contains("full-rebuild fallbacks"), "{report}");
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -103,11 +103,11 @@ fn figure3_final_graph() {
 fn schema_agnostic_comparison_point() {
     use blast::core::pruning::BlastPruning;
     use blast::core::weighting::ChiSquaredWeigher;
-    use blast::graph::GraphContext;
+    use blast::graph::GraphSnapshot;
 
     let input = figure1_input();
     let blocks = TokenBlocking::new().build(&input);
-    let ctx = GraphContext::new(&blocks);
+    let ctx = GraphSnapshot::build(&blocks);
     let retained = BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::without_entropy());
     assert!(retained.contains(ProfileId(0), ProfileId(2)));
     assert!(retained.contains(ProfileId(1), ProfileId(3)));

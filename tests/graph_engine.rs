@@ -15,7 +15,7 @@ use blast::datagen::{clean_clean_preset, dirty_preset, CleanCleanPreset, DirtyPr
 use blast::datamodel::hash::FastMap;
 use blast::datamodel::ProfileId;
 use blast::graph::context::EdgeAccum;
-use blast::graph::{EdgeWeigher, GraphContext, PruningAlgorithm, WeightingScheme};
+use blast::graph::{EdgeWeigher, GraphSnapshot, PruningAlgorithm, WeightingScheme};
 use blast_blocking::collection::BlockCollection;
 
 /// Token blocking + cleaning on a small Zipf-skewed dirty collection.
@@ -36,7 +36,7 @@ fn clean_blocks() -> BlockCollection {
 
 /// The naive reference adjacency of one node, sorted by neighbour id —
 /// exactly what the pre-engine hashmap accumulation produced.
-fn naive_adjacency(ctx: &GraphContext<'_>, node: u32) -> Vec<(u32, EdgeAccum)> {
+fn naive_adjacency(ctx: &GraphSnapshot, node: u32) -> Vec<(u32, EdgeAccum)> {
     let mut map: FastMap<u32, EdgeAccum> = FastMap::default();
     ctx.accumulate_neighbors(node, &mut map);
     let mut adj: Vec<(u32, EdgeAccum)> = map.into_iter().collect();
@@ -45,8 +45,8 @@ fn naive_adjacency(ctx: &GraphContext<'_>, node: u32) -> Vec<(u32, EdgeAccum)> {
 }
 
 /// Naive sequential edge enumeration (ascending u then v), weighted.
-fn naive_edges(ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> Vec<(u32, u32, f64)> {
-    let clean = ctx.blocks().is_clean_clean();
+fn naive_edges(ctx: &GraphSnapshot, weigher: &dyn EdgeWeigher) -> Vec<(u32, u32, f64)> {
+    let clean = ctx.is_clean_clean();
     let mut out = Vec::new();
     for u in ctx.edge_owner_range() {
         for (v, acc) in naive_adjacency(ctx, u) {
@@ -63,7 +63,7 @@ fn naive_edges(ctx: &GraphContext<'_>, weigher: &dyn EdgeWeigher) -> Vec<(u32, u
 /// the hashmap reference path, mirroring the reference semantics
 /// (thresholds, budgets, tie-breaking).
 fn naive_prune(
-    ctx: &GraphContext<'_>,
+    ctx: &GraphSnapshot,
     weigher: &dyn EdgeWeigher,
     algorithm: PruningAlgorithm,
 ) -> Vec<(ProfileId, ProfileId)> {
@@ -180,7 +180,7 @@ fn normalize(pairs: &mut Vec<(ProfileId, ProfileId)>) {
 }
 
 fn engine_prune(
-    ctx: &GraphContext<'_>,
+    ctx: &GraphSnapshot,
     weigher: &dyn EdgeWeigher,
     algorithm: PruningAlgorithm,
 ) -> Vec<(ProfileId, ProfileId)> {
@@ -191,7 +191,7 @@ fn engine_prune(
 
 fn assert_engine_matches_naive(blocks: &BlockCollection) {
     for scheme in WeightingScheme::ALL {
-        let mut ctx = GraphContext::new(blocks);
+        let mut ctx = GraphSnapshot::build(blocks);
         if scheme.requires_degrees() {
             ctx.ensure_degrees();
         }
@@ -222,7 +222,7 @@ fn engine_matches_hashmap_reference_on_clean_clean_collection() {
 #[test]
 fn degrees_match_naive_reference() {
     for blocks in [dirty_blocks(), clean_blocks()] {
-        let mut ctx = GraphContext::new(&blocks);
+        let mut ctx = GraphSnapshot::build(&blocks);
         ctx.ensure_degrees();
         let mut total = 0u64;
         for node in 0..ctx.total_profiles() {
@@ -249,7 +249,7 @@ fn pruning_deterministic_across_thread_counts() {
                 let results: Vec<Vec<(ProfileId, ProfileId)>> = [1usize, 2, 8]
                     .iter()
                     .map(|&t| {
-                        let mut ctx = GraphContext::new(&blocks).with_threads(t);
+                        let mut ctx = GraphSnapshot::build(&blocks).with_threads(t);
                         if scheme.requires_degrees() {
                             ctx.ensure_degrees();
                         }
@@ -284,7 +284,7 @@ fn blast_pruning_deterministic_across_thread_counts() {
     let results: Vec<Vec<(ProfileId, ProfileId)>> = [1usize, 2, 8]
         .iter()
         .map(|&t| {
-            let ctx = GraphContext::new(&blocks).with_threads(t);
+            let ctx = GraphSnapshot::build(&blocks).with_threads(t);
             BlastPruning::new().prune(&ctx, &weigher).iter().collect()
         })
         .collect();

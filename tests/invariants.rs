@@ -137,13 +137,13 @@ fn graph_results_independent_of_thread_count() {
     use blast::core::pruning::BlastPruning;
     use blast::core::weighting::ChiSquaredWeigher;
     use blast::datagen::{clean_clean_preset, generate_clean_clean, CleanCleanPreset};
-    use blast::graph::GraphContext;
+    use blast::graph::GraphSnapshot;
 
     let spec = clean_clean_preset(CleanCleanPreset::Ar1).scaled(0.05);
     let (input, _) = generate_clean_clean(&spec);
     let blocks = TokenBlocking::new().build(&input);
     let run = |threads: usize| {
-        let ctx = GraphContext::new(&blocks).with_threads(threads);
+        let ctx = GraphSnapshot::build(&blocks).with_threads(threads);
         BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::without_entropy())
     };
     let single = run(1);

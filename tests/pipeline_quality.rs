@@ -68,7 +68,7 @@ fn blast_pq_gain_is_substantial() {
 #[test]
 fn chi_squared_weighting_lifts_cnp_recall() {
     use blast::core::weighting::ChiSquaredWeigher;
-    use blast::graph::GraphContext;
+    use blast::graph::GraphSnapshot;
 
     let spec = clean_clean_preset(CleanCleanPreset::Prd).scaled(0.3);
     let (input, gt) = generate_clean_clean(&spec);
@@ -84,7 +84,7 @@ fn chi_squared_weighting_lifts_cnp_recall() {
 
     // cnp2 with BLAST's χ²·h weighting.
     let entropies = schema.partitioning.block_entropies(&blocks);
-    let ctx = GraphContext::new(&blocks).with_block_entropies(entropies);
+    let ctx = GraphSnapshot::build(&blocks).with_block_entropies(entropies);
     let retained =
         MetaBlocker::prune_context(&ctx, &ChiSquaredWeigher::new(), PruningAlgorithm::Cnp2);
     let chi_pc = evaluate_pairs(retained.pairs(), &gt).pc;

@@ -44,11 +44,11 @@ fn token_blocking_misses_typos_qgrams_recover_them() {
 fn qgram_blocks_compose_with_meta_blocking() {
     use blast::core::pruning::BlastPruning;
     use blast::core::weighting::ChiSquaredWeigher;
-    use blast::graph::GraphContext;
+    use blast::graph::GraphSnapshot;
 
     let (input, gt) = typo_input();
     let blocks = TokenBlocking::with_tokenizer(Tokenizer::new().with_qgrams(3)).build(&input);
-    let ctx = GraphContext::new(&blocks);
+    let ctx = GraphSnapshot::build(&blocks);
     let retained = BlastPruning::new().prune(&ctx, &ChiSquaredWeigher::without_entropy());
     let detected = retained.iter().filter(|&(a, b)| gt.is_match(a, b)).count();
     assert_eq!(detected, gt.len(), "meta-blocking keeps the q-gram matches");
