@@ -1,0 +1,99 @@
+//! Criterion: the decision stage in isolation — flip-heavy vs flip-light
+//! micro-batches through the incremental pipeline, so a regression in the
+//! delta-aware decision structures (ordered weight index, retained index,
+//! containment counters) is catchable without the noise of blocking or
+//! snapshot maintenance.
+//!
+//! * **flip-light**: each inserted profile carries mostly fresh vocabulary
+//!   — a tiny dirty neighbourhood, a near-still frontier, few flips. This
+//!   is the regime where the decision stage must cost O(dirty), not O(|E|).
+//! * **flip-heavy**: each inserted profile is built from hub tokens shared
+//!   with many residents — a broad dirty neighbourhood and, for the
+//!   edge-centric prunings, real threshold/cutoff drift with crosser
+//!   enumeration.
+
+use blast_datamodel::entity::SourceId;
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::weights::WeightingScheme;
+use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const HUBS: [&str; 6] = ["smith", "main", "street", "1985", "retail", "county"];
+
+/// A pipeline pre-seeded with `n` census-ish residents sharing the hub
+/// vocabulary, committed once.
+fn seeded(pruning: IncrementalPruning, n: usize) -> IncrementalPipeline {
+    let mut p =
+        IncrementalPipeline::dirty(WeightingScheme::Cbs, pruning, CleaningConfig::default());
+    for i in 0..n {
+        let text = format!(
+            "{} person{} {} no{} {}",
+            HUBS[i % HUBS.len()],
+            i,
+            HUBS[(i / 3) % HUBS.len()],
+            i % 97,
+            HUBS[(i / 7) % HUBS.len()],
+        );
+        p.insert(SourceId(0), &format!("seed{i}"), [("text", text.as_str())]);
+    }
+    p.commit();
+    p
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decision");
+    g.sample_size(10);
+    for (label, pruning) in [
+        (
+            "wep",
+            IncrementalPruning::Traditional(PruningAlgorithm::Wep),
+        ),
+        (
+            "cep",
+            IncrementalPruning::Traditional(PruningAlgorithm::Cep),
+        ),
+        (
+            "wnp1",
+            IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        ),
+        (
+            "cnp1",
+            IncrementalPruning::Traditional(PruningAlgorithm::Cnp1),
+        ),
+    ] {
+        // Flip-light: unique vocabulary, single-insert micro-batches.
+        let mut p = seeded(pruning, 400);
+        let mut i = 0usize;
+        g.bench_function(format!("{label}/flip_light"), |b| {
+            b.iter(|| {
+                let text = format!("unique{i}a unique{i}b unique{i}c");
+                p.insert(SourceId(0), &format!("l{i}"), [("text", text.as_str())]);
+                i += 1;
+                p.commit().stats.retention_flips
+            })
+        });
+
+        // Flip-heavy: hub vocabulary, single-insert micro-batches that
+        // touch a large neighbourhood and drag the global frontier.
+        let mut p = seeded(pruning, 400);
+        let mut i = 0usize;
+        g.bench_function(format!("{label}/flip_heavy"), |b| {
+            b.iter(|| {
+                let text = format!(
+                    "{} {} {} extra{}",
+                    HUBS[i % HUBS.len()],
+                    HUBS[(i + 1) % HUBS.len()],
+                    HUBS[(i + 2) % HUBS.len()],
+                    i % 11,
+                );
+                p.insert(SourceId(0), &format!("h{i}"), [("text", text.as_str())]);
+                i += 1;
+                p.commit().stats.retention_flips
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

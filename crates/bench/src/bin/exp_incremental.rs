@@ -38,16 +38,25 @@ struct RunResult {
     speedup: f64,
     final_candidates: usize,
     /// Per-phase split of the incremental path (index maintenance /
-    /// cleaning / snapshot patch / graph repair), summed over all commits.
+    /// cleaning / snapshot patch / graph repair / decision), summed over
+    /// all commits.
     phases: CommitTimings,
     /// Mean per-commit phase split over the first and second half of the
-    /// streamed window — flat halves make the removed linear term (the
-    /// per-commit CSR rebuild) visibly gone: maintenance cost tracks the
-    /// dirty neighbourhood, not the collection size.
+    /// streamed window — flat halves make the removed linear terms (the
+    /// per-commit CSR rebuild, and since PR 4 the full-edge-list decision
+    /// re-merge) visibly gone: per-commit cost tracks the dirty
+    /// neighbourhood, not the collection size.
     phases_first_half: CommitTimings,
     phases_second_half: CommitTimings,
     /// Total CSR rows patched across the run (snapshot delta volume).
     patched_rows: usize,
+    /// Total retention flips / frontier crossers across the run.
+    retention_flips: usize,
+    threshold_crossers: usize,
+    /// The batch-equivalence contract: incremental candidate set ==
+    /// from-scratch batch run on the final collection (asserted by CI off
+    /// the JSON as well as by this process).
+    equivalent: bool,
 }
 
 fn run_config(
@@ -76,6 +85,8 @@ fn run_config(
     let mut half_phases = [CommitTimings::default(), CommitTimings::default()];
     let mut half_commits = [0usize; 2];
     let mut patched_rows = 0usize;
+    let mut retention_flips = 0usize;
+    let mut threshold_crossers = 0usize;
     let total_batches = rows[seed_len..seed_len + streamed]
         .chunks(batch_size)
         .count();
@@ -94,6 +105,8 @@ fn run_config(
         half_phases[half].accumulate(&out.timings);
         half_commits[half] += 1;
         patched_rows += out.stats.patched_rows;
+        retention_flips += out.stats.retention_flips;
+        threshold_crossers += out.stats.threshold_crossers;
         commits += 1;
     }
     let incremental_secs = t0.elapsed().as_secs_f64();
@@ -104,6 +117,7 @@ fn run_config(
             cleaning_secs: t.cleaning_secs / n,
             snapshot_secs: t.snapshot_secs / n,
             repair_secs: t.repair_secs / n,
+            decision_secs: t.decision_secs / n,
         }
     };
     let phases_first_half = mean(&half_phases[0], half_commits[0]);
@@ -142,14 +156,10 @@ fn run_config(
     let full_secs = t0.elapsed().as_secs_f64();
 
     // Contract check: the incremental candidate set equals a batch run on
-    // the final collection.
-    assert_eq!(
-        pipeline.retained().pairs(),
-        pipeline.batch_retained().pairs(),
-        "batch-equivalence violated for {} / {}",
-        scheme.name(),
-        pruning.label()
-    );
+    // the final collection. Recorded as a flag (CI asserts it off the
+    // JSON) and asserted after the JSON is written so a violation still
+    // leaves the evidence on disk.
+    let equivalent = pipeline.retained().pairs() == pipeline.batch_retained().pairs();
 
     RunResult {
         scheme: scheme.name(),
@@ -164,13 +174,16 @@ fn run_config(
         phases_first_half,
         phases_second_half,
         patched_rows,
+        retention_flips,
+        threshold_crossers,
+        equivalent,
     }
 }
 
 fn phase_json(t: &CommitTimings) -> String {
     format!(
-        "{{\"index_maintenance_secs\": {:.6}, \"cleaning_secs\": {:.6}, \"snapshot_patch_secs\": {:.6}, \"graph_repair_secs\": {:.6}}}",
-        t.index_secs, t.cleaning_secs, t.snapshot_secs, t.repair_secs,
+        "{{\"index_maintenance_secs\": {:.6}, \"cleaning_secs\": {:.6}, \"snapshot_patch_secs\": {:.6}, \"graph_repair_secs\": {:.6}, \"decision_secs\": {:.6}}}",
+        t.index_secs, t.cleaning_secs, t.snapshot_secs, t.repair_secs, t.decision_secs,
     )
 }
 
@@ -241,20 +254,24 @@ fn main() {
         }
     }
 
-    // The removed linear term, made visible: at micro-batch 1 the mean
-    // per-commit maintenance cost (index + cleaning + snapshot patch) of
-    // the second half of the stream should track the first half's, even
-    // though the collection has grown — the per-commit CSR rebuild is gone.
+    // The removed linear terms, made visible: at micro-batch 1 the mean
+    // per-commit maintenance cost (index + cleaning + snapshot patch) AND
+    // the decision cost of the second half of the stream should track the
+    // first half's, even though the collection has grown — the per-commit
+    // CSR rebuild (PR 3) and the full edge-list/top-k-union decision
+    // re-merge (PR 4) are gone.
     println!();
-    println!("per-commit maintenance (index+cleaning+snapshot) at batch size 1:");
+    println!("per-commit cost at batch size 1 (first half vs second half of the stream):");
     for r in results.iter().filter(|r| r.batch_size == 1) {
         let m = |t: &CommitTimings| t.index_secs + t.cleaning_secs + t.snapshot_secs;
         println!(
-            "  {:<6} {:<6} first half {:>9.1}us  second half {:>9.1}us",
+            "  {:<6} {:<6} maintenance {:>8.1}us → {:>8.1}us   decision {:>8.1}us → {:>8.1}us",
             r.scheme,
             r.pruning,
             m(&r.phases_first_half) * 1e6,
             m(&r.phases_second_half) * 1e6,
+            r.phases_first_half.decision_secs * 1e6,
+            r.phases_second_half.decision_secs * 1e6,
         );
     }
 
@@ -275,7 +292,7 @@ fn main() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"scheme\": \"{}\", \"pruning\": \"{}\", \"batch_size\": {}, \"commits\": {}, \"incremental_secs\": {:.6}, \"full_recompute_secs\": {:.6}, \"speedup\": {:.3}, \"final_candidates\": {}, \"patched_csr_rows\": {}, \"phases\": {}, \"per_commit_first_half\": {}, \"per_commit_second_half\": {}}}{comma}",
+            "    {{\"scheme\": \"{}\", \"pruning\": \"{}\", \"batch_size\": {}, \"commits\": {}, \"incremental_secs\": {:.6}, \"full_recompute_secs\": {:.6}, \"speedup\": {:.3}, \"final_candidates\": {}, \"patched_csr_rows\": {}, \"retention_flips\": {}, \"threshold_crossers\": {}, \"equivalent\": {}, \"phases\": {}, \"per_commit_first_half\": {}, \"per_commit_second_half\": {}}}{comma}",
             r.scheme,
             r.pruning,
             r.batch_size,
@@ -285,6 +302,9 @@ fn main() {
             r.speedup,
             r.final_candidates,
             r.patched_rows,
+            r.retention_flips,
+            r.threshold_crossers,
+            r.equivalent,
             phase_json(&r.phases),
             phase_json(&r.phases_first_half),
             phase_json(&r.phases_second_half),
@@ -294,4 +314,11 @@ fn main() {
     std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
     println!();
     println!("wrote BENCH_incremental.json");
+    for r in &results {
+        assert!(
+            r.equivalent,
+            "batch-equivalence violated for {} / {} at batch size {}",
+            r.scheme, r.pruning, r.batch_size
+        );
+    }
 }

@@ -279,6 +279,8 @@ pub fn stream(args: &Args) -> Result<String, String> {
     let mut batch_no = 0usize;
     let mut dirty_total = 0usize;
     let mut patched_rows_total = 0usize;
+    let mut flips_total = 0usize;
+    let mut crossers_total = 0usize;
     let mut full_rebuilds = 0usize;
     for chunk in d.profiles().chunks(batch_size) {
         for profile in chunk {
@@ -295,6 +297,8 @@ pub fn stream(args: &Args) -> Result<String, String> {
         retracted_total += out.delta.retracted.len();
         dirty_total += out.stats.dirty_nodes;
         patched_rows_total += out.stats.patched_rows;
+        flips_total += out.stats.retention_flips;
+        crossers_total += out.stats.threshold_crossers;
         full_rebuilds += usize::from(out.stats.full);
         let _ = writeln!(
             report,
@@ -310,15 +314,20 @@ pub fn stream(args: &Args) -> Result<String, String> {
             let _ = writeln!(
                 report,
                 "    repair: dirty nodes = {}, patched CSR rows = {}, patched slots = {}, full rebuild = {}, \
-                 phases = {:.1}us index / {:.1}us clean / {:.1}us snapshot / {:.1}us repair",
+                 edges re-weighed = {}, retention flips = {}, threshold crossers = {}, \
+                 phases = {:.1}us index / {:.1}us clean / {:.1}us snapshot / {:.1}us repair / {:.1}us decision",
                 out.stats.dirty_nodes,
                 out.stats.patched_rows,
                 out.stats.patched_slots,
                 if out.stats.full { "yes" } else { "no" },
+                out.stats.edges_reweighed,
+                out.stats.retention_flips,
+                out.stats.threshold_crossers,
                 out.timings.index_secs * 1e6,
                 out.timings.cleaning_secs * 1e6,
                 out.timings.snapshot_secs * 1e6,
                 out.timings.repair_secs * 1e6,
+                out.timings.decision_secs * 1e6,
             );
         }
     }
@@ -331,6 +340,7 @@ pub fn stream(args: &Args) -> Result<String, String> {
         let _ = writeln!(
             report,
             "repair totals: {dirty_total} dirty nodes, {patched_rows_total} patched CSR rows, \
+             {flips_total} retention flips ({crossers_total} threshold crossers), \
              {full_rebuilds}/{batch_no} full-rebuild fallbacks, snapshot version = {}",
             pipeline.snapshot().version(),
         );

@@ -55,6 +55,7 @@
 //!   collection: one block per surviving pair).
 
 pub mod context;
+pub mod exact_sum;
 pub mod meta;
 pub mod pruning;
 pub mod retained;
@@ -62,7 +63,9 @@ pub mod traversal;
 pub mod weights;
 
 pub use context::{ApplyStats, EdgeAccum, GraphSnapshot, RowPatch, SlotPatch, SnapshotDelta};
+pub use exact_sum::ExactSum;
 pub use meta::{MetaBlocker, PruningAlgorithm};
-pub use retained::RetainedPairs;
+pub use pruning::common::EpochMask;
+pub use retained::{RetainedIndex, RetainedPairs};
 pub use traversal::NodeScratch;
 pub use weights::{EdgeWeigher, WeightingScheme};

@@ -14,6 +14,85 @@ use crate::weights::EdgeWeigher;
 use blast_datamodel::entity::ProfileId;
 use blast_datamodel::parallel::parallel_work_steal;
 
+/// A reusable node mask with O(1) clearing: membership is "stamp equals the
+/// current epoch", so starting a fresh mask is an epoch bump instead of the
+/// per-commit `vec![false; n]` allocation-and-refill the incremental repair
+/// used to pay. [`EpochMask::begin`] grows the stamp array monotonically
+/// (amortised — never per commit) and handles epoch wrap-around by one full
+/// refill every 2³² commits.
+#[derive(Debug, Default)]
+pub struct EpochMask {
+    stamps: Vec<u32>,
+    epoch: u32,
+    all: bool,
+}
+
+impl EpochMask {
+    /// An empty mask (everything unmarked until the first [`EpochMask::begin`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a fresh mask over `n` nodes: everything unmarked, O(1) except
+    /// for amortised growth and the 2³²-commit wrap refill.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.all = false;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `u`, returning whether it was newly marked.
+    #[inline]
+    pub fn mark(&mut self, u: u32) -> bool {
+        let s = &mut self.stamps[u as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+
+    /// Marks every node (the degraded-full path) without touching stamps.
+    pub fn mark_all(&mut self) {
+        self.all = true;
+    }
+
+    /// Whether `u` is marked in the current epoch.
+    #[inline]
+    pub fn contains(&self, u: u32) -> bool {
+        self.all
+            || self
+                .stamps
+                .get(u as usize)
+                .is_some_and(|&s| s == self.epoch)
+    }
+}
+
+/// Maps a finite edge weight onto `u64` *rank bits*: `rank_bits(a) <
+/// rank_bits(b) ⟺ a > b` (ascending rank = descending weight), with `-0.0`
+/// normalised onto `+0.0` so bitwise rank ties coincide exactly with `f64`
+/// equality of the batch deciders. Composed with an ascending `(u, v)`
+/// tie-break this is the total retention order shared by CEP's top-K (rank
+/// prefix of length K) and WEP's threshold (rank prefix up to the mean) —
+/// the key order of the incremental ordered weight index.
+#[inline]
+pub fn weight_rank_bits(w: f64) -> u64 {
+    debug_assert!(!w.is_nan(), "no NaN weights");
+    let w = if w == 0.0 { 0.0 } else { w };
+    let b = w.to_bits();
+    // Standard total-order map (sign-magnitude → monotone unsigned)…
+    let ascending = if b >> 63 == 1 { !b } else { b | (1 << 63) };
+    // …inverted so heavier edges rank first.
+    !ascending
+}
+
 /// Materialises every edge exactly once as `(u, v, weight)` in one
 /// traversal, in deterministic order (ascending `u`, then ascending `v`).
 ///
@@ -111,12 +190,12 @@ where
 /// from the same accumulation path as the full pass (bit-identical).
 ///
 /// `nodes` lists the marked node ids and `mask` is the corresponding
-/// membership bitmap over all profiles (`mask[n] == nodes.contains(&n)`).
+/// epoch-stamped membership mask (`mask.contains(n) == nodes.contains(&n)`).
 pub fn collect_edges_touching(
     ctx: &GraphSnapshot,
     weigher: &dyn EdgeWeigher,
     nodes: &[u32],
-    mask: &[bool],
+    mask: &EpochMask,
 ) -> Vec<(u32, u32, f64)> {
     let clean = ctx.is_clean_clean();
     let sep = ctx.separator();
@@ -147,7 +226,7 @@ pub fn collect_edges_touching(
                     };
                     // Emit from the owner endpoint when it is marked;
                     // otherwise from the marked non-owner (exactly once).
-                    if owner != d && mask[owner as usize] {
+                    if owner != d && mask.contains(owner) {
                         continue;
                     }
                     out.push((owner, other, weigher.weight(ctx, owner, other, &acc)));
@@ -373,7 +452,9 @@ mod tests {
         let blocks = dirty_triangle();
         let ctx = GraphSnapshot::build(&blocks);
         let all: Vec<u32> = (0..3).collect();
-        let mask = vec![true; 3];
+        let mut mask = EpochMask::new();
+        mask.begin(3);
+        mask.mark_all();
         let touching = collect_edges_touching(&ctx, &WeightingScheme::Arcs, &all, &mask);
         let full = collect_weighted_edges(&ctx, &WeightingScheme::Arcs);
         assert_eq!(touching.len(), full.len());
@@ -387,15 +468,53 @@ mod tests {
     fn touching_with_partial_mask_is_incident_subset() {
         let blocks = dirty_triangle();
         let ctx = GraphSnapshot::build(&blocks);
-        let mask = vec![false, false, true];
+        let mut mask = EpochMask::new();
+        mask.begin(3);
+        mask.mark(2);
         let touching = collect_edges_touching(&ctx, &WeightingScheme::Cbs, &[2], &mask);
         let expect: Vec<(u32, u32)> = collect_weighted_edges(&ctx, &WeightingScheme::Cbs)
             .into_iter()
-            .filter(|&(u, v, _)| mask[u as usize] || mask[v as usize])
+            .filter(|&(u, v, _)| mask.contains(u) || mask.contains(v))
             .map(|(u, v, _)| (u, v))
             .collect();
         let got: Vec<(u32, u32)> = touching.iter().map(|&(u, v, _)| (u, v)).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn epoch_mask_clears_in_constant_time() {
+        let mut mask = EpochMask::new();
+        mask.begin(4);
+        assert!(mask.mark(2));
+        assert!(!mask.mark(2), "already marked this epoch");
+        assert!(mask.contains(2) && !mask.contains(1));
+        mask.begin(4);
+        assert!(!mask.contains(2), "epoch bump unmarks everything");
+        mask.mark_all();
+        assert!(mask.contains(0) && mask.contains(3));
+        mask.begin(6);
+        assert!(!mask.contains(0), "mark_all does not leak across epochs");
+        assert!(mask.mark(5), "mask grows with the node count");
+    }
+
+    #[test]
+    fn rank_bits_order_matches_descending_weight() {
+        let weights = [-1.5, -0.0, 0.0, 1e-300, 1.0, 1.0000000000000002, 3e7];
+        for pair in weights.windows(2) {
+            if pair[0] == pair[1] {
+                assert_eq!(weight_rank_bits(pair[0]), weight_rank_bits(pair[1]));
+            } else {
+                assert!(
+                    weight_rank_bits(pair[0]) > weight_rank_bits(pair[1]),
+                    "lighter edge must rank later: {pair:?}"
+                );
+            }
+        }
+        assert_eq!(
+            weight_rank_bits(-0.0),
+            weight_rank_bits(0.0),
+            "batch deciders compare f64s, where -0.0 == 0.0"
+        );
     }
 
     #[test]

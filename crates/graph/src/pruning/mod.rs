@@ -35,3 +35,16 @@ pub enum NodeCentricMode {
     /// Retain the edge only if it passes *both* endpoints (wnp₂ / cnp₂).
     Reciprocal,
 }
+
+impl NodeCentricMode {
+    /// How many of the two per-endpoint acceptances an edge needs: the
+    /// retention threshold of the incremental CNP containment counters
+    /// (pair retained ⟺ listings ≥ this).
+    #[inline]
+    pub fn required_listings(&self) -> u8 {
+        match self {
+            NodeCentricMode::Redefined => 1,
+            NodeCentricMode::Reciprocal => 2,
+        }
+    }
+}

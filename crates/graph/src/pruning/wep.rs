@@ -5,10 +5,14 @@
 //! adjacency traversal via [`collect_weighted_edges`]); the global mean and
 //! the retention filter both run over that in-memory list. The old engine
 //! re-ran the full quadratic traversal twice (`fold_edges` then
-//! `collect_edges`). The mean is summed sequentially in deterministic edge
-//! order, so Θ is bit-identical for every thread count.
+//! `collect_edges`). The mean's numerator is accumulated **exactly**
+//! ([`ExactSum`]), so Θ depends only on the edge *multiset* — bit-identical
+//! for every thread count, every traversal order, and (the point) for a
+//! running sum maintained by the incremental decision stage via
+//! add/remove deltas instead of a per-commit re-scan.
 
 use crate::context::GraphSnapshot;
+use crate::exact_sum::ExactSum;
 use crate::pruning::common::{collect_weighted_edges, pair};
 use crate::retained::RetainedPairs;
 use crate::weights::EdgeWeigher;
@@ -18,15 +22,29 @@ use crate::weights::EdgeWeigher;
 pub struct Wep;
 
 impl Wep {
-    /// The mean weight of a materialised edge list (`None` when empty) —
-    /// the single source of Θ for both [`Wep::prune`] and
-    /// [`Wep::threshold`].
-    fn mean_weight(edges: &[(u32, u32, f64)]) -> Option<f64> {
-        if edges.is_empty() {
+    /// Θ from an exactly accumulated weight total and the live edge count
+    /// (`None` when the graph has no edges) — the **single source of the
+    /// threshold** for the batch passes here and for the incremental
+    /// decision stage's delta-maintained running sum: both feed the same
+    /// exact accumulator, so they agree bitwise by construction.
+    pub fn mean_from_sum(sum: &ExactSum, edges: usize) -> Option<f64> {
+        if edges == 0 {
             return None;
         }
-        let sum: f64 = edges.iter().map(|&(_, _, w)| w).sum();
-        Some(sum / edges.len() as f64)
+        Some(sum.round() / edges as f64)
+    }
+
+    /// The mean weight of a materialised edge list (`None` when empty).
+    fn mean_weight(edges: &[(u32, u32, f64)]) -> Option<f64> {
+        let sum = ExactSum::of(edges.iter().map(|&(_, _, w)| w));
+        Self::mean_from_sum(&sum, edges.len())
+    }
+
+    /// Whether an edge of weight `w` survives against threshold Θ — the
+    /// flip-emitting decision primitive shared with incremental repair.
+    #[inline]
+    pub fn retains(w: f64, theta: f64) -> bool {
+        w >= theta
     }
 
     /// Prunes the graph, retaining edges with weight ≥ Θ (mean weight).
@@ -38,15 +56,15 @@ impl Wep {
     /// list in canonical `(u, v)` ascending order. Callers that keep the
     /// edge list around — scheme × pruning sweeps, incremental repair —
     /// reuse it here instead of paying the adjacency traversal again; the
-    /// mean is summed in list order, so Θ is bit-identical to
-    /// [`Wep::prune`].
+    /// mean's numerator is accumulated exactly, so Θ is bit-identical to
+    /// [`Wep::prune`] — and to the incremental path's running sum.
     pub fn prune_edges(edges: &[(u32, u32, f64)]) -> RetainedPairs {
         let Some(theta) = Self::mean_weight(edges) else {
             return RetainedPairs::default();
         };
         let pairs = edges
             .iter()
-            .filter(|&&(_, _, w)| w >= theta)
+            .filter(|&&(_, _, w)| Self::retains(w, theta))
             .map(|&(u, v, _)| pair(u, v))
             .collect();
         RetainedPairs::new(pairs)

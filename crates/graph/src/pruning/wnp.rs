@@ -83,6 +83,19 @@ impl Wnp {
             .collect()
     }
 
+    /// Whether edge `(u, v, w)` survives against the per-node thresholds —
+    /// the flip-emitting decision primitive shared by [`Wnp::prune_edges`]
+    /// and incremental repair.
+    #[inline]
+    pub fn decide(&self, thresholds: &[f64], u: u32, v: u32, w: f64) -> bool {
+        let pass_u = w >= thresholds[u as usize];
+        let pass_v = w >= thresholds[v as usize];
+        match self.mode {
+            NodeCentricMode::Redefined => pass_u || pass_v,
+            NodeCentricMode::Reciprocal => pass_u && pass_v,
+        }
+    }
+
     /// The retention stage alone, over a materialised edge list and
     /// per-node thresholds (from [`Wnp::thresholds`] or
     /// [`Wnp::thresholds_from_edges`]). Shared by sweeps and incremental
@@ -90,14 +103,7 @@ impl Wnp {
     pub fn prune_edges(&self, thresholds: &[f64], edges: &[(u32, u32, f64)]) -> RetainedPairs {
         let pairs = edges
             .iter()
-            .filter(|&&(u, v, w)| {
-                let pass_u = w >= thresholds[u as usize];
-                let pass_v = w >= thresholds[v as usize];
-                match self.mode {
-                    NodeCentricMode::Redefined => pass_u || pass_v,
-                    NodeCentricMode::Reciprocal => pass_u && pass_v,
-                }
-            })
+            .filter(|&&(u, v, w)| self.decide(thresholds, u, v, w))
             .map(|&(u, v, _)| pair(u, v))
             .collect();
         RetainedPairs::new(pairs)

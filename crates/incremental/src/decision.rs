@@ -1,0 +1,657 @@
+//! Delta-aware decision structures: the per-commit state that lets the
+//! pruning *decisions* — not just the artefact maintenance — run in time
+//! proportional to the dirty neighbourhood plus the retention flips.
+//!
+//! Meta-blocking's pruning decisions are simple functionals over edge
+//! weights (a global mean for WEP, a global top-K for CEP, per-node top-k
+//! containment for CNP), so they admit incremental maintenance through
+//! order-statistic and threshold-crossing structures:
+//!
+//! * [`OrderedWeightIndex`] — the live edge list as an order-statistic
+//!   treap keyed by `(weight rank bits, u, v)` (descending weight,
+//!   ascending `(u, v)` among bit-exact ties — precisely the batch
+//!   tie-break order), with a running exact Σw. WEP's threshold falls out
+//!   of [`blast_graph::pruning::Wep::mean_from_sum`] over the maintained
+//!   sum; CEP's cutoff is the rank-K order statistic ([`OrderedWeightIndex::select`]).
+//!   Both retention rules are **prefixes** of the key order, captured as a
+//!   [`Frontier`]; when a commit moves the frontier, the clean edges whose
+//!   retention flips are exactly the keys *between* the old and new
+//!   frontier — enumerated by [`OrderedWeightIndex::for_each_between`] in
+//!   O(log |E| + flips), never by re-scanning the edge list.
+//! * [`EdgeAdjacency`] — per-node rows of `(neighbour, weight)` for every
+//!   live edge, so a commit can enumerate the *old* dirty-incident edges
+//!   (and their old weights, needed to unkey them from the treap) without
+//!   touching clean rows.
+//! * [`ContainmentIndex`] — CNP's per-pair containment counter (how many
+//!   of the two endpoints list the other in their top-k, 0/1/2), updated
+//!   only from dirty nodes' list diffs; redefined CNP retains count ≥ 1,
+//!   reciprocal count = 2, so retention flips are counter threshold
+//!   crossings.
+//!
+//! Everything here is deterministic: treap priorities are a pure hash of
+//! the key, so the tree shape — and every traversal order — is a function
+//! of the key *set*, independent of insertion history.
+
+use blast_datamodel::entity::ProfileId;
+use blast_graph::exact_sum::ExactSum;
+use blast_graph::pruning::common::{weight_rank_bits, EpochMask};
+use blast_graph::retained::RetainedPairs;
+
+/// The total retention order of the decision stage: ascending `rank` is
+/// descending weight (see [`weight_rank_bits`]), ties broken by ascending
+/// `(u, v)` — bit-for-bit the order batch CEP keeps its top-K in and batch
+/// WEP resolves `w ≥ Θ` in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EdgeKey {
+    /// Monotone-inverted weight bits (primary, ascending = heavier first).
+    pub rank: u64,
+    /// Canonical owner endpoint (smaller id).
+    pub u: u32,
+    /// The other endpoint.
+    pub v: u32,
+}
+
+impl EdgeKey {
+    /// The key of edge `(u, v)` at weight `w`.
+    #[inline]
+    pub fn new(u: u32, v: u32, w: f64) -> Self {
+        EdgeKey {
+            rank: weight_rank_bits(w),
+            u,
+            v,
+        }
+    }
+
+    /// The largest key still retained by a mean threshold θ: every edge
+    /// with `w ≥ θ` (any `(u, v)`) keys at or before this bound.
+    #[inline]
+    pub fn mean_bound(theta: f64) -> Self {
+        EdgeKey {
+            rank: weight_rank_bits(theta),
+            u: u32::MAX,
+            v: u32::MAX,
+        }
+    }
+}
+
+/// The inclusive retention prefix of the key order: an edge is retained
+/// iff its key is ≤ the frontier. `None` retains nothing (empty graph,
+/// K = 0, or an uninitialised pass).
+pub type Frontier = Option<EdgeKey>;
+
+/// Whether a key is retained under a frontier.
+#[inline]
+pub fn retained_under(frontier: Frontier, key: EdgeKey) -> bool {
+    frontier.is_some_and(|f| key <= f)
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct TreapNode {
+    key: EdgeKey,
+    w: f64,
+    prio: u64,
+    left: u32,
+    right: u32,
+    size: u32,
+}
+
+/// Deterministic treap priority: a splitmix64-style hash of the key, so
+/// the tree shape is canonical in the key set.
+fn priority(key: &EdgeKey) -> u64 {
+    let mut z = key
+        .rank
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(((key.u as u64) << 32) | key.v as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The live edge list as an order-statistic treap over [`EdgeKey`] with a
+/// running exact weight sum (see module docs).
+#[derive(Debug, Default)]
+pub struct OrderedWeightIndex {
+    nodes: Vec<TreapNode>,
+    free: Vec<u32>,
+    root: u32,
+    sum: ExactSum,
+    len: usize,
+}
+
+impl OrderedWeightIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            sum: ExactSum::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The exactly accumulated Σw over the live edges.
+    #[inline]
+    pub fn sum(&self) -> &ExactSum {
+        &self.sum
+    }
+
+    /// Drops every edge (the degraded-full rebuild path).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.sum.clear();
+        self.len = 0;
+    }
+
+    fn size(&self, t: u32) -> u32 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].size
+        }
+    }
+
+    fn update(&mut self, t: u32) {
+        let (l, r) = (self.nodes[t as usize].left, self.nodes[t as usize].right);
+        self.nodes[t as usize].size = 1 + self.size(l) + self.size(r);
+    }
+
+    /// Splits `t` into (< key, ≥ key).
+    fn split(&mut self, t: u32, key: &EdgeKey) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t as usize].key < *key {
+            let right = self.nodes[t as usize].right;
+            let (a, b) = self.split(right, key);
+            self.nodes[t as usize].right = a;
+            self.update(t);
+            (t, b)
+        } else {
+            let left = self.nodes[t as usize].left;
+            let (a, b) = self.split(left, key);
+            self.nodes[t as usize].left = b;
+            self.update(t);
+            (a, t)
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio >= self.nodes[b as usize].prio {
+            let ar = self.nodes[a as usize].right;
+            let m = self.merge(ar, b);
+            self.nodes[a as usize].right = m;
+            self.update(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let m = self.merge(a, bl);
+            self.nodes[b as usize].left = m;
+            self.update(b);
+            b
+        }
+    }
+
+    fn alloc(&mut self, key: EdgeKey, w: f64) -> u32 {
+        let node = TreapNode {
+            key,
+            w,
+            prio: priority(&key),
+            left: NIL,
+            right: NIL,
+            size: 1,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Inserts the edge `(u, v)` at weight `w`. The key must not be
+    /// present (each live edge appears once).
+    pub fn insert(&mut self, u: u32, v: u32, w: f64) {
+        let key = EdgeKey::new(u, v, w);
+        let node = self.alloc(key, w);
+        let (a, b) = self.split(self.root, &key);
+        #[cfg(debug_assertions)]
+        if b != NIL {
+            let mut t = b;
+            while self.nodes[t as usize].left != NIL {
+                t = self.nodes[t as usize].left;
+            }
+            debug_assert_ne!(self.nodes[t as usize].key, key, "duplicate edge key");
+        }
+        let ab = self.merge(a, node);
+        self.root = self.merge(ab, b);
+        self.sum.add(w);
+        self.len += 1;
+    }
+
+    /// Removes the edge `(u, v)` that was inserted at weight `w` (the old
+    /// weight keys it). Panics in debug builds when absent.
+    pub fn remove(&mut self, u: u32, v: u32, w: f64) {
+        let key = EdgeKey::new(u, v, w);
+        let (removed, root) = self.erase(self.root, &key);
+        debug_assert!(removed, "removing an edge that is not indexed");
+        if removed {
+            self.root = root;
+            self.sum.sub(w);
+            self.len -= 1;
+        }
+    }
+
+    fn erase(&mut self, t: u32, key: &EdgeKey) -> (bool, u32) {
+        if t == NIL {
+            return (false, NIL);
+        }
+        let tk = self.nodes[t as usize].key;
+        if tk == *key {
+            let (l, r) = (self.nodes[t as usize].left, self.nodes[t as usize].right);
+            self.free.push(t);
+            return (true, self.merge(l, r));
+        }
+        if *key < tk {
+            let left = self.nodes[t as usize].left;
+            let (removed, nl) = self.erase(left, key);
+            if removed {
+                self.nodes[t as usize].left = nl;
+                self.update(t);
+            }
+            (removed, t)
+        } else {
+            let right = self.nodes[t as usize].right;
+            let (removed, nr) = self.erase(right, key);
+            if removed {
+                self.nodes[t as usize].right = nr;
+                self.update(t);
+            }
+            (removed, t)
+        }
+    }
+
+    /// The key at 0-based `rank` in the retention order (rank 0 = heaviest
+    /// edge, best `(u, v)`), or `None` past the end — CEP's cutoff cursor.
+    pub fn select(&self, rank: usize) -> Option<EdgeKey> {
+        if rank >= self.len {
+            return None;
+        }
+        let mut t = self.root;
+        let mut rank = rank as u32;
+        loop {
+            let node = &self.nodes[t as usize];
+            let ls = self.size(node.left);
+            if rank < ls {
+                t = node.left;
+            } else if rank == ls {
+                return Some(node.key);
+            } else {
+                rank -= ls + 1;
+                t = node.right;
+            }
+        }
+    }
+
+    /// Number of keys ≤ `bound` (the size of a retention prefix).
+    pub fn prefix_len(&self, bound: EdgeKey) -> usize {
+        let mut t = self.root;
+        let mut count = 0usize;
+        while t != NIL {
+            let node = &self.nodes[t as usize];
+            if node.key <= bound {
+                count += self.size(node.left) as usize + 1;
+                t = node.right;
+            } else {
+                t = node.left;
+            }
+        }
+        count
+    }
+
+    /// Visits every edge with `lo < key ≤ hi` in key order — the frontier
+    /// band. `lo = None` means unbounded below (visit the whole prefix of
+    /// `hi`). O(log |E| + visited).
+    pub fn for_each_between(&self, lo: Frontier, hi: EdgeKey, f: &mut impl FnMut(EdgeKey, f64)) {
+        self.band_visit(self.root, lo, hi, f);
+    }
+
+    fn band_visit(&self, t: u32, lo: Frontier, hi: EdgeKey, f: &mut impl FnMut(EdgeKey, f64)) {
+        if t == NIL {
+            return;
+        }
+        let node = &self.nodes[t as usize];
+        let above_lo = lo.is_none_or(|l| node.key > l);
+        if above_lo {
+            self.band_visit(node.left, lo, hi, f);
+            if node.key <= hi {
+                f(node.key, node.w);
+            }
+        }
+        if node.key <= hi || !above_lo {
+            self.band_visit(node.right, lo, hi, f);
+        }
+    }
+
+    /// Materialises the retained pairs of a frontier — the lazy read path
+    /// (O(prefix log prefix) for the final sort by `(u, v)`).
+    pub fn prefix_pairs(&self, frontier: Frontier) -> RetainedPairs {
+        let Some(bound) = frontier else {
+            return RetainedPairs::default();
+        };
+        let mut pairs: Vec<(ProfileId, ProfileId)> = Vec::new();
+        self.for_each_between(None, bound, &mut |key, _| {
+            pairs.push((ProfileId(key.u), ProfileId(key.v)));
+        });
+        pairs.sort_unstable();
+        RetainedPairs::from_sorted(pairs)
+    }
+}
+
+/// Per-node rows of `(neighbour, weight)` covering every live edge (each
+/// edge stored at both endpoints, rows ascending by neighbour id): the
+/// commit-path source of the *old* dirty-incident edges and their old
+/// weights. Clean rows are patched by binary-search surgery proportional
+/// to the dirty neighbourhood; clean survivors are never scanned.
+#[derive(Debug, Default)]
+pub struct EdgeAdjacency {
+    rows: Vec<Vec<(u32, f64)>>,
+}
+
+impl EdgeAdjacency {
+    /// An empty adjacency.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the row table to cover `n` nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize_with(n, Vec::new);
+        }
+    }
+
+    /// The live edges with at least one endpoint in the mask, canonical
+    /// `(min, max, old weight)`, each exactly once, sorted — the old-side
+    /// counterpart of `collect_edges_touching`.
+    pub fn collect_touching(&self, dirty: &[u32], mask: &EpochMask) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::new();
+        for &u in dirty {
+            for &(v, w) in &self.rows[u as usize] {
+                // Emit once: from the smaller endpoint when both are
+                // dirty, from the dirty endpoint otherwise.
+                if u < v || !mask.contains(v) {
+                    out.push((u.min(v), u.max(v), w));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        out
+    }
+
+    /// Drops every edge, keeping row allocations (the degraded-full
+    /// rebuild path; O(rows), allowed there and only there).
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.clear();
+        }
+    }
+
+    /// Bulk-loads a full canonical edge list into cleared rows (the
+    /// degraded-full rebuild path). Scanning `fresh` in `(a, b)` order
+    /// pushes each row's partners ascending (all `y < u` arrive before all
+    /// `x > u`), so rows come out sorted without a sort.
+    pub fn load(&mut self, fresh: &[(u32, u32, f64)]) {
+        for &(a, b, w) in fresh {
+            self.rows[a as usize].push((b, w));
+            self.rows[b as usize].push((a, w));
+        }
+        debug_assert!(self
+            .rows
+            .iter()
+            .all(|row| row.windows(2).all(|w| w[0].0 < w[1].0)));
+    }
+
+    /// Adds one edge (both mirror rows, binary-search insertion).
+    pub fn insert_edge(&mut self, a: u32, b: u32, w: f64) {
+        for (x, y) in [(a, b), (b, a)] {
+            let row = &mut self.rows[x as usize];
+            let i = row
+                .binary_search_by_key(&y, |&(v, _)| v)
+                .expect_err("inserting a duplicate edge");
+            row.insert(i, (y, w));
+        }
+    }
+
+    /// Removes one edge (both mirror rows).
+    pub fn remove_edge(&mut self, a: u32, b: u32) {
+        for (x, y) in [(a, b), (b, a)] {
+            let row = &mut self.rows[x as usize];
+            let i = row
+                .binary_search_by_key(&y, |&(v, _)| v)
+                .expect("removing an absent edge");
+            row.remove(i);
+        }
+    }
+
+    /// Re-weights one edge in place — no row shifting.
+    pub fn set_weight(&mut self, a: u32, b: u32, w: f64) {
+        for (x, y) in [(a, b), (b, a)] {
+            let row = &mut self.rows[x as usize];
+            let i = row
+                .binary_search_by_key(&y, |&(v, _)| v)
+                .expect("re-weighting an absent edge");
+            row[i].1 = w;
+        }
+    }
+}
+
+/// CNP's per-pair containment counter: for each candidate pair, how many
+/// of its two endpoints currently list the other in their top-k (0, 1 or
+/// 2). Stored once per pair at the smaller endpoint, rows ascending.
+/// Retention is `count ≥ NodeCentricMode::required_listings()`, so a list
+/// diff's increments/decrements surface retention flips as threshold
+/// crossings — no global union over all n lists.
+#[derive(Debug, Default)]
+pub struct ContainmentIndex {
+    rows: Vec<Vec<(u32, u8)>>,
+}
+
+impl ContainmentIndex {
+    /// An empty counter table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the row table to cover `n` nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize_with(n, Vec::new);
+        }
+    }
+
+    /// The current containment count of the pair `{a, b}`.
+    pub fn count(&self, a: u32, b: u32) -> u8 {
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.rows
+            .get(lo as usize)
+            .and_then(|row| {
+                row.binary_search_by_key(&hi, |&(v, _)| v)
+                    .ok()
+                    .map(|i| row[i].1)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Applies one directed listing change (+1: `a` now lists `b`; -1: it
+    /// no longer does), returning the count before the change. Entries
+    /// vanish at zero.
+    pub fn bump(&mut self, a: u32, b: u32, delta: i8) -> u8 {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let row = &mut self.rows[lo as usize];
+        match row.binary_search_by_key(&hi, |&(v, _)| v) {
+            Ok(i) => {
+                let before = row[i].1;
+                let after = before as i8 + delta;
+                debug_assert!((0..=2).contains(&after), "containment count in 0..=2");
+                if after == 0 {
+                    row.remove(i);
+                } else {
+                    row[i].1 = after as u8;
+                }
+                before
+            }
+            Err(i) => {
+                debug_assert!(delta > 0, "decrementing an absent pair");
+                row.insert(i, (hi, 1));
+                0
+            }
+        }
+    }
+
+    /// Materialises the retained pairs (count ≥ `need`) — the lazy read
+    /// path. Rows are sorted, owners ascend, so the output is born sorted.
+    pub fn to_pairs(&self, need: u8) -> RetainedPairs {
+        let mut pairs: Vec<(ProfileId, ProfileId)> = Vec::new();
+        for (u, row) in self.rows.iter().enumerate() {
+            for &(v, c) in row {
+                if c >= need {
+                    pairs.push((ProfileId(u as u32), ProfileId(v)));
+                }
+            }
+        }
+        RetainedPairs::from_sorted(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_of(n: usize, marked: &[u32]) -> EpochMask {
+        let mut m = EpochMask::new();
+        m.begin(n);
+        for &u in marked {
+            m.mark(u);
+        }
+        m
+    }
+
+    #[test]
+    fn treap_orders_by_weight_then_pair() {
+        let mut idx = OrderedWeightIndex::new();
+        idx.insert(0, 1, 2.0);
+        idx.insert(2, 3, 5.0);
+        idx.insert(0, 2, 2.0);
+        idx.insert(1, 3, 1.0);
+        assert_eq!(idx.len(), 4);
+        // Retention order: (2,3)@5, (0,1)@2, (0,2)@2 (tie → (u,v) asc), (1,3)@1.
+        assert_eq!(idx.select(0).map(|k| (k.u, k.v)), Some((2, 3)));
+        assert_eq!(idx.select(1).map(|k| (k.u, k.v)), Some((0, 1)));
+        assert_eq!(idx.select(2).map(|k| (k.u, k.v)), Some((0, 2)));
+        assert_eq!(idx.select(3).map(|k| (k.u, k.v)), Some((1, 3)));
+        assert_eq!(idx.select(4), None);
+
+        idx.remove(0, 1, 2.0);
+        assert_eq!(idx.select(1).map(|k| (k.u, k.v)), Some((0, 2)));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.sum().round(), 8.0);
+    }
+
+    #[test]
+    fn band_visits_between_frontiers_only() {
+        let mut idx = OrderedWeightIndex::new();
+        for (u, v, w) in [
+            (0, 1, 5.0),
+            (0, 2, 4.0),
+            (1, 2, 3.0),
+            (1, 3, 2.0),
+            (2, 3, 1.0),
+        ] {
+            idx.insert(u, v, w);
+        }
+        let lo = idx.select(0); // (0,1)@5
+        let hi = idx.select(3).unwrap(); // (1,3)@2
+        let mut seen = Vec::new();
+        idx.for_each_between(lo, hi, &mut |k, w| seen.push(((k.u, k.v), w)));
+        assert_eq!(
+            seen,
+            vec![((0, 2), 4.0), ((1, 2), 3.0), ((1, 3), 2.0)],
+            "strictly after lo, up to and including hi, in key order"
+        );
+        assert_eq!(idx.prefix_len(hi), 4);
+        let all = idx.prefix_pairs(idx.select(4));
+        assert_eq!(all.len(), 5);
+        assert!(idx.prefix_pairs(None).is_empty());
+    }
+
+    #[test]
+    fn adjacency_patches_dirty_region() {
+        let mut adj = EdgeAdjacency::new();
+        adj.ensure_nodes(5);
+        let full = mask_of(5, &[0, 1, 2, 3, 4]);
+        adj.load(&[(0, 1, 1.0), (0, 3, 2.0), (1, 2, 3.0), (2, 3, 4.0)]);
+
+        // Node 2 dirty: (2,3) vanishes, (1,2) reweighted, (2,4) appears.
+        let mask = mask_of(5, &[2]);
+        let old = adj.collect_touching(&[2], &mask);
+        assert_eq!(old, vec![(1, 2, 3.0), (2, 3, 4.0)]);
+        adj.remove_edge(2, 3);
+        adj.set_weight(1, 2, 30.0);
+        adj.insert_edge(2, 4, 50.0);
+        let now = adj.collect_touching(&[0, 1, 2, 3, 4], &full);
+        assert_eq!(
+            now,
+            vec![(0, 1, 1.0), (0, 3, 2.0), (1, 2, 30.0), (2, 4, 50.0)]
+        );
+        adj.clear();
+        assert!(adj.collect_touching(&[0, 1, 2, 3, 4], &full).is_empty());
+    }
+
+    #[test]
+    fn containment_counts_cross_thresholds() {
+        let mut c = ContainmentIndex::new();
+        c.ensure_nodes(4);
+        assert_eq!(c.bump(0, 1, 1), 0); // 0 lists 1
+        assert_eq!(c.bump(1, 0, 1), 1); // 1 lists 0 → mutual
+        assert_eq!(c.count(1, 0), 2);
+        assert_eq!(c.bump(0, 1, -1), 2);
+        assert_eq!(c.count(0, 1), 1);
+        assert_eq!(c.bump(1, 0, -1), 1);
+        assert_eq!(c.count(0, 1), 0);
+        c.bump(2, 3, 1);
+        c.bump(0, 2, 1);
+        c.bump(2, 0, 1);
+        let redefined = c.to_pairs(1);
+        let reciprocal = c.to_pairs(2);
+        assert_eq!(redefined.len(), 2);
+        assert_eq!(reciprocal.len(), 1);
+        assert!(reciprocal.contains(ProfileId(0), ProfileId(2)));
+    }
+}

@@ -4,18 +4,45 @@
 //! accumulator changes only through a block that contains *both* endpoints,
 //! and such blocks make both endpoints graph-dirty. The repair therefore
 //! recomputes per-node pruning artefacts (thresholds, top-k lists) and edge
-//! weights **only** for the dirty nodes on the dense scratch engine, reuses
-//! the cached artefacts of everyone else, and re-runs the cheap in-memory
-//! decision stage globally. The result is bit-identical to a from-scratch
-//! batch run on the final collection:
+//! weights **only** for the dirty nodes on the dense scratch engine — and,
+//! since PR 4, takes the pruning *decisions* incrementally too: no stage of
+//! a non-degraded commit iterates all edges, all nodes, or all retained
+//! pairs. The decision stage runs on the structures of [`crate::decision`]:
+//!
+//! * **WEP / CEP** — the live edge list sits in an
+//!   [`crate::decision::OrderedWeightIndex`] (order-statistic treap keyed
+//!   by `(weight rank bits, u, v)` with a running exact Σw). Re-weighted
+//!   edges are re-keyed individually; the new threshold (mean via
+//!   [`Wep::mean_from_sum`]) or cutoff (rank-K order statistic) becomes a
+//!   retention [`Frontier`], and the clean edges whose retention flips are
+//!   exactly the keys between the old and new frontier — enumerated in
+//!   O(log |E| + flips) instead of re-scanning and re-merging the
+//!   materialised edge list.
+//! * **WNP / BLAST** — per-node thresholds as before, but the survivors
+//!   live in a [`blast_graph::retained::RetainedIndex`], so the old side
+//!   of the flip diff is read off the dirty rows alone — the clean
+//!   survivors are never merged through.
+//! * **CNP** — per-node top-k lists as before, but the global union is
+//!   maintained as a [`crate::decision::ContainmentIndex`] (per-pair 0/1/2
+//!   listing counters) updated only from dirty nodes' list *diffs*;
+//!   retention flips are counter threshold crossings.
+//!
+//! The [`PairDelta`] is emitted directly from the flips — there is no
+//! full-set diff — and the flat [`RetainedPairs`] view is materialised
+//! lazily on read, never on the commit path. The result remains
+//! bit-identical to a from-scratch batch run on the final collection:
 //!
 //! * weights of edges between two clean nodes are unchanged bitwise (same
 //!   accumulator, same per-node statistics, same summation order);
 //! * recomputed weights use the exact accumulation path of the batch pass;
+//! * WEP's Θ is a function of the edge-weight *multiset* only (the exact
+//!   accumulator of [`blast_graph::exact_sum::ExactSum`], shared with the
+//!   batch pass), so the delta-maintained sum reproduces it bitwise;
 //! * whenever a *global* statistic a scheme reads moved in a way that the
 //!   dirty set cannot bound — |B| for χ²/ECBS, degrees for EJS, a changed
 //!   default k for CNP — the repair soundly degrades to a full recompute
-//!   (`dirty = all`), which is still the identical code path.
+//!   (`dirty = all`), which runs the **identical flip-emitting code path**
+//!   with every node marked.
 //!
 //! Dirtiness propagation is scheme-aware via
 //! [`EdgeWeigher::global_deps`]: schemes reading per-node block counts
@@ -23,16 +50,21 @@
 //! block list changed, because all of that node's incident edge weights
 //! moved even where the accumulators did not.
 
+use crate::decision::{
+    retained_under, ContainmentIndex, EdgeAdjacency, EdgeKey, Frontier, OrderedWeightIndex,
+};
 use blast_core::pruning::BlastPruning;
 use blast_datamodel::entity::ProfileId;
 use blast_graph::context::GraphSnapshot;
 use blast_graph::meta::PruningAlgorithm;
-use blast_graph::pruning::common::{
-    collect_edges_touching, collect_weighted_edges, node_pass_subset,
-};
+use blast_graph::pruning::common::{collect_edges_touching, node_pass_subset, EpochMask};
 use blast_graph::pruning::{cnp, Cep, Cnp, NodeCentricMode, Wep, Wnp};
-use blast_graph::retained::RetainedPairs;
+use blast_graph::retained::{RetainedIndex, RetainedPairs};
 use blast_graph::weights::EdgeWeigher;
+use std::cell::OnceCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The pruning variant an incremental pipeline maintains.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,6 +132,19 @@ pub struct RepairStats {
     pub patched_rows: usize,
     /// Block slots the snapshot patched this commit.
     pub patched_slots: usize,
+    /// Edge weights recomputed this commit (the dirty-incident edges the
+    /// artefact stage re-materialised).
+    pub edges_reweighed: usize,
+    /// Candidate pairs whose retention flipped (|added| + |retracted|).
+    pub retention_flips: usize,
+    /// Clean edges whose retention flipped purely because the global
+    /// threshold/cutoff frontier moved (WEP mean drift, CEP budget or
+    /// rank shift) — enumerated from the ordered weight index, never by
+    /// re-scanning the edge list.
+    pub threshold_crossers: usize,
+    /// Wall-clock of the decision stage alone (frontier maintenance, flip
+    /// emission, retained-set surgery) — the `decision` phase column.
+    pub decision_secs: f64,
     /// Whether the pass degraded to a full recompute (`WeightDeps` global
     /// moves, a CNP budget shift, or an EJS-style degree dependency).
     pub full: bool,
@@ -116,7 +161,29 @@ pub struct DirtyScope {
     pub total_blocks_changed: bool,
 }
 
-/// The incremental meta-blocker: cached per-node artefacts + retained set.
+/// WEP/CEP decision state: ordered weight index + live adjacency +
+/// retention frontier. Boxed in [`DecisionState`] — the inline exact
+/// accumulator makes it much larger than the other variants.
+#[derive(Debug)]
+struct EdgeState {
+    index: OrderedWeightIndex,
+    adj: EdgeAdjacency,
+    frontier: Frontier,
+}
+
+/// Variant-specific decision-stage state (see module docs).
+#[derive(Debug)]
+enum DecisionState {
+    /// WEP/CEP (see [`EdgeState`]).
+    Edge(Box<EdgeState>),
+    /// WNP/BLAST: indexed survivors.
+    Node { retained: RetainedIndex },
+    /// CNP: per-pair containment counters.
+    Lists { counts: ContainmentIndex },
+}
+
+/// The incremental meta-blocker: cached per-node artefacts + delta-run
+/// decision state.
 #[derive(Debug)]
 pub struct IncrementalMetaBlocker {
     pruning: IncrementalPruning,
@@ -124,9 +191,13 @@ pub struct IncrementalMetaBlocker {
     thresholds: Vec<f64>,
     /// Per-node top-k lists (CNP). Empty otherwise.
     lists: Vec<Vec<u32>>,
-    /// The materialised weighted edge list (WEP/CEP). Empty otherwise.
-    edges: Vec<(u32, u32, f64)>,
-    retained: RetainedPairs,
+    decision: DecisionState,
+    /// |retained|, maintained from the flips (no full-set scan).
+    retained_len: usize,
+    /// The flat sorted view, materialised lazily on read.
+    cache: OnceCell<RetainedPairs>,
+    /// Reusable epoch-stamped dirty mask (no per-commit `vec![false; n]`).
+    mask: EpochMask,
     /// CNP's default k of the previous pass (a move forces a full pass).
     prev_cnp_budget: Option<usize>,
     initialised: bool,
@@ -135,12 +206,31 @@ pub struct IncrementalMetaBlocker {
 impl IncrementalMetaBlocker {
     /// A blocker maintaining the given pruning variant.
     pub fn new(pruning: IncrementalPruning) -> Self {
+        let decision = match pruning {
+            IncrementalPruning::Traditional(PruningAlgorithm::Wep)
+            | IncrementalPruning::Traditional(PruningAlgorithm::Cep) => {
+                DecisionState::Edge(Box::new(EdgeState {
+                    index: OrderedWeightIndex::new(),
+                    adj: EdgeAdjacency::new(),
+                    frontier: None,
+                }))
+            }
+            IncrementalPruning::Traditional(PruningAlgorithm::Cnp1)
+            | IncrementalPruning::Traditional(PruningAlgorithm::Cnp2) => DecisionState::Lists {
+                counts: ContainmentIndex::new(),
+            },
+            _ => DecisionState::Node {
+                retained: RetainedIndex::new(),
+            },
+        };
         Self {
             pruning,
             thresholds: Vec::new(),
             lists: Vec::new(),
-            edges: Vec::new(),
-            retained: RetainedPairs::default(),
+            decision,
+            retained_len: 0,
+            cache: OnceCell::new(),
+            mask: EpochMask::new(),
             prev_cnp_budget: None,
             initialised: false,
         }
@@ -151,9 +241,29 @@ impl IncrementalMetaBlocker {
         self.pruning
     }
 
-    /// The current candidate set.
+    /// Number of retained comparisons — O(1), maintained from the flips.
+    pub fn retained_len(&self) -> usize {
+        self.retained_len
+    }
+
+    /// The current candidate set as a flat sorted list, materialised
+    /// lazily from the decision state (cached until the next commit).
     pub fn retained(&self) -> &RetainedPairs {
-        &self.retained
+        self.cache.get_or_init(|| match &self.decision {
+            DecisionState::Edge(state) => state.index.prefix_pairs(state.frontier),
+            DecisionState::Node { retained } => retained.to_pairs(),
+            DecisionState::Lists { counts } => {
+                counts.to_pairs(self.node_centric_mode().required_listings())
+            }
+        })
+    }
+
+    fn node_centric_mode(&self) -> NodeCentricMode {
+        match self.pruning {
+            IncrementalPruning::Traditional(PruningAlgorithm::Wnp1)
+            | IncrementalPruning::Traditional(PruningAlgorithm::Cnp1) => NodeCentricMode::Redefined,
+            _ => NodeCentricMode::Reciprocal,
+        }
     }
 
     /// Repairs the candidate set after a micro-batch. `ctx` is the graph
@@ -166,6 +276,7 @@ impl IncrementalMetaBlocker {
         weigher: &dyn EdgeWeigher,
         scope: &DirtyScope,
     ) -> (PairDelta, RepairStats) {
+        self.cache.take();
         let n = ctx.total_profiles() as usize;
         let deps = weigher.global_deps();
 
@@ -183,90 +294,194 @@ impl IncrementalMetaBlocker {
         self.prev_cnp_budget = cnp_budget;
         self.initialised = true;
 
-        // The dirty mask. Schemes reading |B_u| also dirty the co-members
-        // of every node whose cleaned block list changed.
-        let mut mask = vec![false; n];
+        // The dirty set, under the reusable epoch mask: collected from the
+        // cleaning scope (plus co-members of |B_u|-changed nodes for
+        // schemes reading per-node block counts) — never by scanning all n
+        // nodes, except on the degraded-full path where dirty *is* all.
+        self.mask.begin(n);
         let dirty: Vec<u32> = if full {
-            mask.iter_mut().for_each(|m| *m = true);
+            self.mask.mark_all();
             (0..n as u32).collect()
         } else {
+            let mut d = Vec::with_capacity(scope.nodes.len());
             for &u in &scope.nodes {
-                mask[u as usize] = true;
+                if self.mask.mark(u) {
+                    d.push(u);
+                }
             }
             if deps.node_blocks {
+                let direct = d.len();
                 for &u in &scope.lists_changed {
                     for &slot in ctx.index().blocks_of(u) {
                         for p in ctx.slot_members(slot) {
-                            mask[p.index()] = true;
+                            if self.mask.mark(p.0) {
+                                d.push(p.0);
+                            }
                         }
                     }
                 }
+                if d.len() > direct {
+                    d.sort_unstable();
+                }
             }
-            (0..n as u32).filter(|&u| mask[u as usize]).collect()
+            d
         };
 
-        let old = std::mem::take(&mut self.retained);
-        let region = RepairRegion {
+        let mut stats = RepairStats {
+            dirty_nodes: dirty.len(),
             full,
-            dirty: &dirty,
-            mask: &mask,
-            cnp_budget,
+            ..RepairStats::default()
         };
-        let new = self.repair(ctx, weigher, &old, &region);
-        let delta = diff_pairs(&old, &new);
-        self.retained = new;
-        (
-            delta,
-            RepairStats {
-                dirty_nodes: dirty.len(),
-                full,
-                ..RepairStats::default()
-            },
-        )
+        let (added, retracted) = self.repair(ctx, weigher, &dirty, cnp_budget, &mut stats);
+        stats.retention_flips = added.len() + retracted.len();
+        self.retained_len += added.len();
+        self.retained_len -= retracted.len();
+        let delta = PairDelta {
+            added: added
+                .into_iter()
+                .map(|(a, b)| (ProfileId(a), ProfileId(b)))
+                .collect(),
+            retracted: retracted
+                .into_iter()
+                .map(|(a, b)| (ProfileId(a), ProfileId(b)))
+                .collect(),
+        };
+        (delta, stats)
     }
 
+    /// The per-variant artefact + decision pass. Returns the (sorted)
+    /// added/retracted flips; updates `stats` with the decision-stage
+    /// counters and wall-clock.
+    #[allow(clippy::type_complexity)]
     fn repair(
         &mut self,
         ctx: &GraphSnapshot,
         weigher: &dyn EdgeWeigher,
-        old: &RetainedPairs,
-        region: &RepairRegion<'_>,
-    ) -> RetainedPairs {
-        let RepairRegion {
-            full,
-            dirty,
-            mask,
-            cnp_budget,
-        } = *region;
+        dirty: &[u32],
+        cnp_budget: Option<usize>,
+        stats: &mut RepairStats,
+    ) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
         let n = ctx.total_profiles() as usize;
+        let mask = &self.mask;
+        let full = stats.full;
+        let mut added: Vec<(u32, u32)> = Vec::new();
+        let mut retracted: Vec<(u32, u32)> = Vec::new();
         match self.pruning {
             IncrementalPruning::Traditional(
                 algorithm @ (PruningAlgorithm::Wep | PruningAlgorithm::Cep),
             ) => {
-                // Patch the materialised edge list: edges with a clean pair
-                // of endpoints kept verbatim, edges touching dirty nodes
-                // regenerated. The decision stage then runs globally over
-                // the in-memory list, exactly like batch.
+                let DecisionState::Edge(state) = &mut self.decision else {
+                    unreachable!("edge-centric pruning carries edge state")
+                };
+                let EdgeState {
+                    index,
+                    adj,
+                    frontier,
+                } = state.as_mut();
+                // Artefact stage: re-weigh exactly the dirty-incident edges.
+                let fresh = collect_edges_touching(ctx, weigher, dirty, mask);
+                stats.edges_reweighed = fresh.len();
+
+                let t0 = Instant::now();
+                adj.ensure_nodes(n);
+                let old = adj.collect_touching(dirty, mask);
+                // Re-key only the edges whose weight bits actually moved:
+                // dirtiness is conservative (a new profile dirties every
+                // co-member, but most mutual weights are untouched), so
+                // the true edge delta is usually far smaller than the
+                // dirty-incident set.
                 if full {
-                    self.edges = collect_weighted_edges(ctx, weigher);
+                    index.clear();
+                    adj.clear();
+                    for &(a, b, w) in &fresh {
+                        index.insert(a, b, w);
+                    }
+                    adj.load(&fresh);
                 } else {
-                    let touching = collect_edges_touching(ctx, weigher, dirty, mask);
-                    self.edges = merge_edges(&self.edges, touching, mask);
+                    merge_join(&old, &fresh, edge_pair, edge_pair, |step| match step {
+                        Joined::Both(&(a, b, ow), &(_, _, nw)) => {
+                            if ow.to_bits() != nw.to_bits() {
+                                index.remove(a, b, ow);
+                                index.insert(a, b, nw);
+                                adj.set_weight(a, b, nw);
+                            }
+                        }
+                        Joined::Left(&(a, b, w)) => {
+                            index.remove(a, b, w);
+                            adj.remove_edge(a, b);
+                        }
+                        Joined::Right(&(a, b, w)) => {
+                            index.insert(a, b, w);
+                            adj.insert_edge(a, b, w);
+                        }
+                    });
                 }
-                if algorithm == PruningAlgorithm::Wep {
-                    Wep::prune_edges(&self.edges)
-                } else {
-                    Cep::prune_edges(Cep::new().budget(ctx), &self.edges)
+
+                // The new retention frontier: WEP's mean over the running
+                // exact Σw, or CEP's rank-K order statistic.
+                let old_frontier = *frontier;
+                let new_frontier = match algorithm {
+                    PruningAlgorithm::Wep => {
+                        Wep::mean_from_sum(index.sum(), index.len()).map(EdgeKey::mean_bound)
+                    }
+                    _ => {
+                        let k = Cep::new().budget(ctx) as usize;
+                        if k == 0 {
+                            None
+                        } else {
+                            index.select(k.min(index.len()).wrapping_sub(1))
+                        }
+                    }
+                };
+                *frontier = new_frontier;
+
+                // Dirty flips: merge-walk the old vs fresh dirty-incident
+                // edges, deciding each against its era's frontier.
+                edge_flips(
+                    &old,
+                    &fresh,
+                    old_frontier,
+                    new_frontier,
+                    &mut added,
+                    &mut retracted,
+                );
+                // Clean flips: exactly the keys between the two frontiers
+                // (skipped on a full pass — every edge was dirty-decided).
+                if !full && old_frontier != new_frontier {
+                    let lo = old_frontier.min(new_frontier);
+                    if let Some(hi) = old_frontier.max(new_frontier) {
+                        index.for_each_between(lo, hi, &mut |key, _| {
+                            if mask.contains(key.u) || mask.contains(key.v) {
+                                return;
+                            }
+                            let was = retained_under(old_frontier, key);
+                            let now = retained_under(new_frontier, key);
+                            if was != now {
+                                stats.threshold_crossers += 1;
+                                if now {
+                                    added.push((key.u, key.v));
+                                } else {
+                                    retracted.push((key.u, key.v));
+                                }
+                            }
+                        });
+                    }
+                    added.sort_unstable();
+                    retracted.sort_unstable();
                 }
+                stats.decision_secs = t0.elapsed().as_secs_f64();
+                debug_assert_eq!(
+                    new_frontier.map_or(0, |f| index.prefix_len(f)),
+                    self.retained_len + added.len() - retracted.len(),
+                    "frontier prefix must equal the flip-maintained count"
+                );
             }
             IncrementalPruning::Traditional(PruningAlgorithm::Wnp1)
             | IncrementalPruning::Traditional(PruningAlgorithm::Wnp2) => {
-                let mode =
-                    if self.pruning == IncrementalPruning::Traditional(PruningAlgorithm::Wnp1) {
-                        NodeCentricMode::Redefined
-                    } else {
-                        NodeCentricMode::Reciprocal
-                    };
+                let mode = self.node_centric_mode();
+                let DecisionState::Node { retained } = &mut self.decision else {
+                    unreachable!("node-centric pruning carries a retained index")
+                };
                 self.thresholds.resize(n, f64::INFINITY);
                 let theta = node_pass_subset(ctx, weigher, dirty, |_, adj| {
                     if adj.is_empty() {
@@ -279,11 +494,29 @@ impl IncrementalMetaBlocker {
                     self.thresholds[u as usize] = t;
                 }
                 let touching = collect_edges_touching(ctx, weigher, dirty, mask);
+                stats.edges_reweighed = touching.len();
+
+                let t0 = Instant::now();
                 let wnp = Wnp { mode };
-                let fresh = wnp.prune_edges(&self.thresholds, &touching);
-                merge_retained(old, fresh, mask)
+                let thresholds = &self.thresholds;
+                node_flips(
+                    retained,
+                    dirty,
+                    mask,
+                    n,
+                    touching
+                        .iter()
+                        .filter(|&&(u, v, w)| wnp.decide(thresholds, u, v, w))
+                        .map(|&(u, v, _)| (u, v)),
+                    &mut added,
+                    &mut retracted,
+                );
+                stats.decision_secs = t0.elapsed().as_secs_f64();
             }
             IncrementalPruning::Blast { c, d } => {
+                let DecisionState::Node { retained } = &mut self.decision else {
+                    unreachable!("blast pruning carries a retained index")
+                };
                 self.thresholds.resize(n, f64::INFINITY);
                 let theta = node_pass_subset(ctx, weigher, dirty, |_, adj| {
                     let max = adj
@@ -300,185 +533,300 @@ impl IncrementalMetaBlocker {
                     self.thresholds[u as usize] = t;
                 }
                 let touching = collect_edges_touching(ctx, weigher, dirty, mask);
+                stats.edges_reweighed = touching.len();
+
+                let t0 = Instant::now();
                 let thresholds = &self.thresholds;
-                let pairs: Vec<(ProfileId, ProfileId)> = touching
-                    .iter()
-                    .filter(|&&(u, v, w)| {
-                        let theta = (thresholds[u as usize] + thresholds[v as usize]) / d;
-                        w > 0.0 && w >= theta
-                    })
-                    .map(|&(u, v, _)| (ProfileId(u), ProfileId(v)))
-                    .collect();
-                merge_retained(old, RetainedPairs::new(pairs), mask)
+                node_flips(
+                    retained,
+                    dirty,
+                    mask,
+                    n,
+                    touching
+                        .iter()
+                        .filter(|&&(u, v, w)| {
+                            let theta = (thresholds[u as usize] + thresholds[v as usize]) / d;
+                            w > 0.0 && w >= theta
+                        })
+                        .map(|&(u, v, _)| (u, v)),
+                    &mut added,
+                    &mut retracted,
+                );
+                stats.decision_secs = t0.elapsed().as_secs_f64();
             }
             IncrementalPruning::Traditional(PruningAlgorithm::Cnp1)
             | IncrementalPruning::Traditional(PruningAlgorithm::Cnp2) => {
-                let mode =
-                    if self.pruning == IncrementalPruning::Traditional(PruningAlgorithm::Cnp1) {
-                        NodeCentricMode::Redefined
-                    } else {
-                        NodeCentricMode::Reciprocal
-                    };
+                let need = self.node_centric_mode().required_listings();
+                let DecisionState::Lists { counts } = &mut self.decision else {
+                    unreachable!("cnp carries containment counters")
+                };
                 let k = cnp_budget.expect("cnp budget computed");
                 self.lists.resize_with(n, Vec::new);
-                let fresh =
-                    node_pass_subset(ctx, weigher, dirty, |_, adj| cnp::top_k_neighbours(adj, k));
-                for (&u, list) in dirty.iter().zip(fresh) {
-                    self.lists[u as usize] = list;
+                let weighed = AtomicUsize::new(0);
+                let fresh = node_pass_subset(ctx, weigher, dirty, |_, adj| {
+                    weighed.fetch_add(adj.len(), Ordering::Relaxed);
+                    cnp::top_k_neighbours(adj, k)
+                });
+                stats.edges_reweighed = weighed.into_inner();
+
+                let t0 = Instant::now();
+                counts.ensure_nodes(n);
+                // First-touch original counts: flips are judged initial vs
+                // final so a pair bumped from both endpoints in one commit
+                // cannot oscillate into a spurious add+retract.
+                let mut touched: BTreeMap<(u32, u32), u8> = BTreeMap::new();
+                let mut old_sorted: Vec<u32> = Vec::new();
+                let mut new_sorted: Vec<u32> = Vec::new();
+                for (&u, new_list) in dirty.iter().zip(fresh) {
+                    let old_list = std::mem::replace(&mut self.lists[u as usize], new_list);
+                    old_sorted.clear();
+                    old_sorted.extend_from_slice(&old_list);
+                    old_sorted.sort_unstable();
+                    new_sorted.clear();
+                    new_sorted.extend_from_slice(&self.lists[u as usize]);
+                    new_sorted.sort_unstable();
+                    diff_sorted_ids(&old_sorted, &new_sorted, |v, delta| {
+                        let pair = (u.min(v), u.max(v));
+                        let before = counts.bump(u, v, delta);
+                        touched.entry(pair).or_insert(before);
+                    });
                 }
-                let cnp = Cnp { mode, k: Some(k) };
-                cnp.retained_from_lists(&self.lists)
+                for (&(a, b), &orig) in &touched {
+                    let was = orig >= need;
+                    let now = counts.count(a, b) >= need;
+                    if was != now {
+                        if now {
+                            added.push((a, b));
+                        } else {
+                            retracted.push((a, b));
+                        }
+                    }
+                }
+                stats.decision_secs = t0.elapsed().as_secs_f64();
+            }
+        }
+        (added, retracted)
+    }
+}
+
+/// The `(u, v)` join key of a weighted edge.
+#[inline]
+fn edge_pair(e: &(u32, u32, f64)) -> (u32, u32) {
+    (e.0, e.1)
+}
+
+/// One step of a [`merge_join`]: the key was on both sides, departed
+/// (left only), or arrived (right only).
+enum Joined<'a, L, R> {
+    Both(&'a L, &'a R),
+    Left(&'a L),
+    Right(&'a R),
+}
+
+/// Merge-joins two key-sorted sequences through a single event handler —
+/// the one sorted-merge loop behind every flip diff in this module.
+fn merge_join<L, R, K: Ord>(
+    left: &[L],
+    right: &[R],
+    key_l: impl Fn(&L) -> K,
+    key_r: impl Fn(&R) -> K,
+    mut f: impl FnMut(Joined<'_, L, R>),
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        match key_l(&left[i]).cmp(&key_r(&right[j])) {
+            std::cmp::Ordering::Equal => {
+                f(Joined::Both(&left[i], &right[j]));
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                f(Joined::Left(&left[i]));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                f(Joined::Right(&right[j]));
+                j += 1;
             }
         }
     }
-}
-
-/// Clean-pair survivors of the previous retained set plus the freshly
-/// decided pairs touching dirty nodes. Both inputs are sorted and —
-/// because every fresh pair has a dirty endpoint while every survivor has
-/// none — disjoint, so a linear two-way merge suffices: no re-sort of the
-/// whole candidate set on the per-commit hot path.
-fn merge_retained(old: &RetainedPairs, fresh: RetainedPairs, mask: &[bool]) -> RetainedPairs {
-    let a = old.pairs();
-    let b = fresh.pairs();
-    let keep = |p: &(ProfileId, ProfileId)| !mask[p.0.index()] && !mask[p.1.index()];
-    let mut pairs: Vec<(ProfileId, ProfileId)> = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        if !keep(&a[i]) {
-            i += 1;
-        } else if a[i] < b[j] {
-            pairs.push(a[i]);
-            i += 1;
-        } else {
-            pairs.push(b[j]);
-            j += 1;
-        }
+    for l in &left[i..] {
+        f(Joined::Left(l));
     }
-    for p in &a[i..] {
-        if keep(p) {
-            pairs.push(*p);
-        }
+    for r in &right[j..] {
+        f(Joined::Right(r));
     }
-    pairs.extend_from_slice(&b[j..]);
-    RetainedPairs::from_sorted(pairs)
 }
 
-/// The region one repair pass recomputes: the dirty node set (as list +
-/// bitmap), whether the pass degraded to a full recompute, and CNP's
-/// resolved per-node budget.
-#[derive(Clone, Copy)]
-struct RepairRegion<'a> {
-    full: bool,
-    dirty: &'a [u32],
-    mask: &'a [bool],
-    cnp_budget: Option<usize>,
-}
-
-/// Replaces every edge with a dirty endpoint in `old` by the freshly
-/// regenerated `touching` list (both sorted by `(u, v)`; disjoint by
-/// construction).
-fn merge_edges(
+/// Merge-walks the sorted old and fresh dirty-incident edge lists, deciding
+/// each edge against its era's frontier and emitting the flips (sorted,
+/// since both inputs are).
+fn edge_flips(
     old: &[(u32, u32, f64)],
-    touching: Vec<(u32, u32, f64)>,
-    mask: &[bool],
-) -> Vec<(u32, u32, f64)> {
-    let mut out = Vec::with_capacity(old.len() + touching.len());
-    let mut t = touching.into_iter().peekable();
-    for &(u, v, w) in old {
-        if mask[u as usize] || mask[v as usize] {
-            continue; // superseded (or gone) — regenerated below if alive
-        }
-        while let Some(&(tu, tv, _)) = t.peek() {
-            if (tu, tv) < (u, v) {
-                out.push(t.next().unwrap());
-            } else {
-                break;
+    fresh: &[(u32, u32, f64)],
+    f_old: Frontier,
+    f_new: Frontier,
+    added: &mut Vec<(u32, u32)>,
+    retracted: &mut Vec<(u32, u32)>,
+) {
+    merge_join(old, fresh, edge_pair, edge_pair, |step| match step {
+        Joined::Both(&(u, v, ow), &(_, _, nw)) => {
+            let was = retained_under(f_old, EdgeKey::new(u, v, ow));
+            let now = retained_under(f_new, EdgeKey::new(u, v, nw));
+            if was != now {
+                if now {
+                    added.push((u, v));
+                } else {
+                    retracted.push((u, v));
+                }
             }
         }
-        out.push((u, v, w));
-    }
-    out.extend(t);
-    out
+        // Edge vanished.
+        Joined::Left(&(u, v, w)) => {
+            if retained_under(f_old, EdgeKey::new(u, v, w)) {
+                retracted.push((u, v));
+            }
+        }
+        // Edge appeared.
+        Joined::Right(&(u, v, w)) => {
+            if retained_under(f_new, EdgeKey::new(u, v, w)) {
+                added.push((u, v));
+            }
+        }
+    });
 }
 
-/// Sorted-merge diff of two retained sets.
-fn diff_pairs(old: &RetainedPairs, new: &RetainedPairs) -> PairDelta {
-    let (a, b) = (old.pairs(), new.pairs());
-    let mut added = Vec::new();
-    let mut retracted = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() || j < b.len() {
-        match (a.get(i), b.get(j)) {
-            (Some(&x), Some(&y)) if x == y => {
-                i += 1;
-                j += 1;
+/// Node-centric flip emission: diffs the retained pairs incident to the
+/// dirty nodes (read off the [`RetainedIndex`] rows — clean survivors are
+/// never visited) against the freshly decided pairs, applies the flips to
+/// the index and pushes them (sorted) onto `added` / `retracted`.
+fn node_flips(
+    retained: &mut RetainedIndex,
+    dirty: &[u32],
+    mask: &EpochMask,
+    n: usize,
+    fresh: impl Iterator<Item = (u32, u32)>,
+    added: &mut Vec<(u32, u32)>,
+    retracted: &mut Vec<(u32, u32)>,
+) {
+    retained.ensure_nodes(n);
+    let mut old: Vec<(u32, u32)> = Vec::new();
+    for &u in dirty {
+        for &v in retained.neighbours(u) {
+            // Emit once: from the smaller endpoint when both are dirty,
+            // from the dirty endpoint otherwise.
+            if u < v || !mask.contains(v) {
+                old.push((u.min(v), u.max(v)));
             }
-            (Some(&x), Some(&y)) if x < y => {
-                retracted.push(x);
-                i += 1;
-            }
-            (Some(_), Some(&y)) => {
-                added.push(y);
-                j += 1;
-            }
-            (Some(&x), None) => {
-                retracted.push(x);
-                i += 1;
-            }
-            (None, Some(&y)) => {
-                added.push(y);
-                j += 1;
-            }
-            (None, None) => unreachable!(),
         }
     }
-    PairDelta { added, retracted }
+    old.sort_unstable();
+    let fresh: Vec<(u32, u32)> = fresh.collect();
+    debug_assert!(fresh.windows(2).all(|w| w[0] < w[1]));
+    merge_join(
+        &old,
+        &fresh,
+        |&p| p,
+        |&p| p,
+        |step| match step {
+            Joined::Both(..) => {}
+            Joined::Left(&p) => retracted.push(p),
+            Joined::Right(&p) => added.push(p),
+        },
+    );
+    for &(a, b) in retracted.iter() {
+        let removed = retained.remove(a, b);
+        debug_assert!(removed);
+    }
+    for &(a, b) in added.iter() {
+        let inserted = retained.insert(a, b);
+        debug_assert!(inserted);
+    }
+}
+
+/// Diffs two sorted id lists, calling `f(id, -1)` for departures and
+/// `f(id, +1)` for arrivals.
+fn diff_sorted_ids(old: &[u32], new: &[u32], mut f: impl FnMut(u32, i8)) {
+    merge_join(
+        old,
+        new,
+        |&v| v,
+        |&v| v,
+        |step| match step {
+            Joined::Both(..) => {}
+            Joined::Left(&v) => f(v, -1),
+            Joined::Right(&v) => f(v, 1),
+        },
+    );
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn p(a: u32, b: u32) -> (ProfileId, ProfileId) {
-        (ProfileId(a), ProfileId(b))
+    #[test]
+    fn edge_flips_cover_all_transitions() {
+        // Frontier = everything with w ≥ 2 retained, in both eras.
+        let f = Some(EdgeKey::mean_bound(2.0));
+        let old = vec![(0, 1, 3.0), (0, 2, 1.0), (1, 2, 5.0), (2, 3, 2.0)];
+        // (0,1) drops below; (0,2) rises above; (1,2) vanishes; (2,4) appears
+        // retained; (2,3) keeps its weight.
+        let fresh = vec![(0, 1, 1.0), (0, 2, 4.0), (2, 3, 2.0), (2, 4, 9.0)];
+        let (mut added, mut retracted) = (Vec::new(), Vec::new());
+        edge_flips(&old, &fresh, f, f, &mut added, &mut retracted);
+        assert_eq!(added, vec![(0, 2), (2, 4)]);
+        assert_eq!(retracted, vec![(0, 1), (1, 2)]);
     }
 
     #[test]
-    fn diff_reports_both_directions() {
-        let old = RetainedPairs::new(vec![p(0, 1), p(2, 3), p(4, 5)]);
-        let new = RetainedPairs::new(vec![p(0, 1), p(2, 4), p(4, 5)]);
-        let d = diff_pairs(&old, &new);
-        assert_eq!(d.added, vec![p(2, 4)]);
-        assert_eq!(d.retracted, vec![p(2, 3)]);
-        assert!(diff_pairs(&new, &new).is_empty());
-    }
-
-    #[test]
-    fn merge_edges_patches_dirty_region() {
-        let old = vec![(0, 1, 1.0), (0, 3, 2.0), (1, 2, 3.0), (2, 3, 4.0)];
-        // Node 2 dirty: edges (1,2) and (2,3) replaced, (2,4) appears.
-        let mask = vec![false, false, true, false, false];
-        let touching = vec![(1, 2, 30.0), (2, 3, 40.0), (2, 4, 50.0)];
-        let merged = merge_edges(&old, touching, &mask);
-        assert_eq!(
-            merged,
-            vec![
-                (0, 1, 1.0),
-                (0, 3, 2.0),
-                (1, 2, 30.0),
-                (2, 3, 40.0),
-                (2, 4, 50.0)
-            ]
+    fn edge_flips_track_frontier_movement() {
+        // Same edge, same weight — retention flips because Θ moved.
+        let old = vec![(0, 1, 3.0)];
+        let fresh = vec![(0, 1, 3.0)];
+        let (mut added, mut retracted) = (Vec::new(), Vec::new());
+        edge_flips(
+            &old,
+            &fresh,
+            Some(EdgeKey::mean_bound(2.0)),
+            Some(EdgeKey::mean_bound(4.0)),
+            &mut added,
+            &mut retracted,
         );
+        assert!(added.is_empty());
+        assert_eq!(retracted, vec![(0, 1)]);
     }
 
     #[test]
-    fn merge_edges_drops_vanished_dirty_edges() {
-        // Node 2 dirty and its edge gone: (1,2) disappears, (0,1) survives.
-        let old = vec![(0, 1, 1.0), (1, 2, 3.0)];
-        let mask = vec![false, false, true];
-        let merged = merge_edges(&old, Vec::new(), &mask);
-        assert_eq!(merged, vec![(0, 1, 1.0)]);
+    fn node_flips_diff_only_dirty_rows() {
+        let mut retained = RetainedIndex::new();
+        retained.ensure_nodes(5);
+        retained.insert(0, 1); // clean–clean: must survive untouched
+        retained.insert(1, 2);
+        retained.insert(2, 3);
+        let mut mask = EpochMask::new();
+        mask.begin(5);
+        mask.mark(2);
+        let (mut added, mut retracted) = (Vec::new(), Vec::new());
+        // Node 2 freshly retains (2,3) and (2,4); (1,2) is gone.
+        node_flips(
+            &mut retained,
+            &[2],
+            &mask,
+            5,
+            [(2, 3), (2, 4)].into_iter(),
+            &mut added,
+            &mut retracted,
+        );
+        assert_eq!(added, vec![(2, 4)]);
+        assert_eq!(retracted, vec![(1, 2)]);
+        assert_eq!(retained.len(), 3);
+        assert!(retained.contains(0, 1), "clean survivor untouched");
+    }
+
+    #[test]
+    fn sorted_id_diff_reports_both_directions() {
+        let mut events = Vec::new();
+        diff_sorted_ids(&[1, 3, 5], &[2, 3, 6], |v, d| events.push((v, d)));
+        assert_eq!(events, vec![(1, -1), (2, 1), (5, -1), (6, 1)]);
     }
 }

@@ -15,7 +15,30 @@
 //!   traditional variants plus BLAST's own) repaired over the dirty
 //!   neighbourhoods on the dense scratch-array engine, emitting
 //!   candidate-pair deltas;
+//! * [`decision`] — the delta-aware decision structures (ordered weight
+//!   index with running exact Σw, per-node retained adjacency, CNP
+//!   containment counters) that keep the pruning *decisions* — not just
+//!   the artefact maintenance — off the full edge list;
 //! * [`pipeline::IncrementalPipeline`] — the end-to-end streaming pipeline.
+//!
+//! ## Per-stage commit complexity
+//!
+//! With D = dirty nodes, E_D = their incident edges, F = retention flips
+//! and ‖B′‖ = retained comparisons, a non-degraded commit costs:
+//!
+//! | stage | work | cost |
+//! |-------|------|------|
+//! | index | token re-keying + posting diffs | O(batch tokens) |
+//! | cleaning | purging/filtering on dirty blocks | O(dirty blocks) |
+//! | snapshot | CSR row splices + slot patches | O(delta) |
+//! | artefacts | re-weigh E_D, dirty thresholds / top-k lists | O(E_D log) |
+//! | decision | frontier move + flip emission + retained surgery | O((E_D + F) log \|E\|) |
+//!
+//! No per-commit stage iterates all edges, all nodes, or all retained
+//! pairs; the flat [`blast_graph::retained::RetainedPairs`] view is
+//! materialised lazily on read and the [`graph::PairDelta`] is emitted
+//! from the flips directly. Degraded-full passes (see below) run the same
+//! flip-emitting code with every node dirty.
 //!
 //! **The contract:** after any sequence of mutations, the incremental
 //! candidate set is **bit-identical** to a from-scratch batch run on the
@@ -23,15 +46,20 @@
 //! propagation ([`blast_graph::weights::WeightDeps`]): when a mutation
 //! moves a global statistic that the weighting scheme reads and that the
 //! dirty set cannot bound, the repair degrades to a full recompute over the
-//! identical code path — never to a different answer.
+//! identical code path — never to a different answer. WEP's global mean —
+//! a function of *every* edge weight — stays maintainable because both the
+//! batch and the incremental path compute it through the exact,
+//! order-independent [`blast_graph::exact_sum::ExactSum`] accumulator.
 
 pub mod cleaner;
+pub mod decision;
 pub mod graph;
 pub mod index;
 pub mod pipeline;
 pub mod store;
 
 pub use cleaner::{CleaningConfig, IncrementalCleaner};
+pub use decision::{ContainmentIndex, EdgeAdjacency, EdgeKey, Frontier, OrderedWeightIndex};
 pub use graph::{IncrementalMetaBlocker, IncrementalPruning, PairDelta, RepairStats};
 pub use index::IncrementalBlockIndex;
 pub use pipeline::{CommitOutcome, CommitTimings, IncrementalPipeline};

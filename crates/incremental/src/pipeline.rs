@@ -57,14 +57,25 @@ pub struct CommitTimings {
     pub cleaning_secs: f64,
     /// Patching the owned graph snapshot (CSR row splices + slot stats).
     pub snapshot_secs: f64,
-    /// Dirty-neighbourhood weighting + pruning repair.
+    /// Dirty-neighbourhood artefact repair: re-weighting the dirty-incident
+    /// edges and recomputing per-node thresholds / top-k lists on the
+    /// dense scratch engine.
     pub repair_secs: f64,
+    /// The decision stage: frontier maintenance on the ordered weight
+    /// index, containment-counter updates, flip emission and retained-set
+    /// surgery — proportional to the dirty neighbourhood plus the flips,
+    /// never to |E| or n (see [`crate::decision`]).
+    pub decision_secs: f64,
 }
 
 impl CommitTimings {
     /// Total commit wall-clock.
     pub fn total_secs(&self) -> f64 {
-        self.index_secs + self.cleaning_secs + self.snapshot_secs + self.repair_secs
+        self.index_secs
+            + self.cleaning_secs
+            + self.snapshot_secs
+            + self.repair_secs
+            + self.decision_secs
     }
 
     /// Element-wise accumulation (for aggregating over a run).
@@ -73,6 +84,7 @@ impl CommitTimings {
         self.cleaning_secs += other.cleaning_secs;
         self.snapshot_secs += other.snapshot_secs;
         self.repair_secs += other.repair_secs;
+        self.decision_secs += other.decision_secs;
     }
 }
 
@@ -317,13 +329,14 @@ impl IncrementalPipeline {
             total_blocks_changed: outcome.total_blocks_changed,
         };
         let (delta, mut stats) = self.blocker.refresh(&self.snapshot, &*self.weigher, &scope);
-        timings.repair_secs = t0.elapsed().as_secs_f64();
+        timings.decision_secs = stats.decision_secs;
+        timings.repair_secs = (t0.elapsed().as_secs_f64() - stats.decision_secs).max(0.0);
         stats.patched_rows = applied.patched_rows;
         stats.patched_slots = applied.patched_slots;
         CommitOutcome {
             delta,
             stats,
-            retained_len: self.blocker.retained().len(),
+            retained_len: self.blocker.retained_len(),
             blocks: outcome.blocks as usize,
             timings,
         }
@@ -467,6 +480,39 @@ mod tests {
         for (x, y) in p.retained().iter() {
             assert!(x.0 < 3 && y.0 >= 3);
         }
+    }
+
+    /// A WEP mean drift must flip *clean* edges — nodes the micro-batch
+    /// never touched — via the ordered weight index's frontier band, and
+    /// report them as threshold crossers.
+    #[test]
+    fn wep_mean_drift_flips_clean_edges() {
+        let mut p = IncrementalPipeline::dirty(
+            WeightingScheme::Cbs,
+            IncrementalPruning::Traditional(PruningAlgorithm::Wep),
+            CleaningConfig::none(),
+        );
+        p.insert(SourceId(0), "a", [("t", "x y")]);
+        p.insert(SourceId(0), "b", [("t", "x y")]);
+        let out = p.commit();
+        // Single edge (0,1) at CBS weight 2; Θ = 2 → retained.
+        assert_eq!(out.retained_len, 1);
+
+        // A disjoint, heavier twin pair: edge (2,3) at weight 4. Θ moves to
+        // 3, so the untouched edge (0,1) drops — nodes 0 and 1 are clean,
+        // the flip must come from the frontier band.
+        p.insert(SourceId(0), "c", [("t", "p q r s")]);
+        p.insert(SourceId(0), "d", [("t", "p q r s")]);
+        let out = p.commit();
+        assert!(!out.stats.full, "disjoint insert must not degrade to full");
+        assert_eq!(out.stats.threshold_crossers, 1, "clean edge crossed Θ");
+        assert_eq!(
+            out.delta.retracted,
+            vec![(ProfileId(0), ProfileId(1))],
+            "the clean survivor is retracted by mean drift"
+        );
+        assert_eq!(out.delta.added, vec![(ProfileId(2), ProfileId(3))]);
+        assert_eq!(p.retained().pairs(), p.batch_retained().pairs());
     }
 
     #[test]
