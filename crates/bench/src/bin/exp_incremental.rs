@@ -4,29 +4,70 @@
 //! collection, then streams the rest in micro-batches of varying size. For
 //! every configuration it measures
 //!
-//! * **incremental**: `insert` + `commit` (dirty-neighbourhood repair) per
-//!   micro-batch, and
+//! * **incremental**: `insert` + `commit` (the repair ladder — dirty
+//!   neighbourhood, cache reweigh, or degraded full) per micro-batch, and
 //! * **full recompute**: what a batch deployment must do at the same
 //!   commit points — re-run Token Blocking, purging, filtering and pruning
 //!   on the whole collection.
 //!
 //! Both paths produce bit-identical candidate sets (asserted at the end of
-//! every run — the subsystem's contract). Writes `BENCH_incremental.json`
-//! and prints a human summary. `BLAST_SCALE` scales the collection like the
-//! other `exp_*` runners.
+//! every run — the subsystem's contract). The global-statistic schemes
+//! (EJS, ECBS, χ²) additionally record **per-tier commit counts**: with
+//! delta-maintained degrees and the cache-driven reweigh tier they must
+//! never land on the degraded-full tier over the streamed window (CI
+//! asserts `commits_full == 0` for them off the JSON). Writes
+//! `BENCH_incremental.json` and prints a human summary. `BLAST_SCALE`
+//! scales the collection like the other `exp_*` runners.
 
+use blast_core::weighting::ChiSquaredWeigher;
 use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
 use blast_datamodel::entity::SourceId;
 use blast_datamodel::input::ErInput;
+use blast_graph::context::{EdgeAccum, GraphSnapshot};
 use blast_graph::meta::PruningAlgorithm;
-use blast_graph::weights::{EdgeWeigher, WeightingScheme};
-use blast_graph::GraphSnapshot;
+use blast_graph::weights::{EdgeWeigher, WeightDeps, WeightingScheme};
 use blast_incremental::{CleaningConfig, CommitTimings, IncrementalPipeline, IncrementalPruning};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// The streamed tail is capped so size-1 micro-batches stay tractable.
 const MAX_STREAMED: usize = 192;
+
+/// The weighers the bench sweeps: the traditional schemes plus BLAST's χ²
+/// (the incremental pipeline is generic over `EdgeWeigher`; the bench
+/// needs one `Copy` type covering both).
+#[derive(Debug, Clone, Copy)]
+enum BenchWeigher {
+    Scheme(WeightingScheme),
+    Chi2,
+}
+
+impl EdgeWeigher for BenchWeigher {
+    fn weight(&self, ctx: &GraphSnapshot, u: u32, v: u32, acc: &EdgeAccum) -> f64 {
+        match self {
+            BenchWeigher::Scheme(s) => s.weight(ctx, u, v, acc),
+            BenchWeigher::Chi2 => ChiSquaredWeigher::without_entropy().weight(ctx, u, v, acc),
+        }
+    }
+
+    fn requires_degrees(&self) -> bool {
+        matches!(self, BenchWeigher::Scheme(s) if s.requires_degrees())
+    }
+
+    fn global_deps(&self) -> WeightDeps {
+        match self {
+            BenchWeigher::Scheme(s) => s.global_deps(),
+            BenchWeigher::Chi2 => WeightDeps::ALL,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            BenchWeigher::Scheme(s) => s.name(),
+            BenchWeigher::Chi2 => "chi2",
+        }
+    }
+}
 
 struct RunResult {
     scheme: &'static str,
@@ -38,14 +79,15 @@ struct RunResult {
     speedup: f64,
     final_candidates: usize,
     /// Per-phase split of the incremental path (index maintenance /
-    /// cleaning / snapshot patch / graph repair / decision), summed over
-    /// all commits.
+    /// cleaning / snapshot patch / graph repair / reweigh / decision),
+    /// summed over all commits.
     phases: CommitTimings,
     /// Mean per-commit phase split over the first and second half of the
     /// streamed window — flat halves make the removed linear terms (the
-    /// per-commit CSR rebuild, and since PR 4 the full-edge-list decision
-    /// re-merge) visibly gone: per-commit cost tracks the dirty
-    /// neighbourhood, not the collection size.
+    /// per-commit CSR rebuild, the full-edge-list decision re-merge, and
+    /// now EJS's per-commit degree pass) visibly gone: per-commit cost
+    /// tracks the dirty neighbourhood (plus, for drifting global schemes,
+    /// the cache reweigh), not a from-scratch re-accumulation.
     phases_first_half: CommitTimings,
     phases_second_half: CommitTimings,
     /// Total CSR rows patched across the run (snapshot delta volume).
@@ -53,6 +95,13 @@ struct RunResult {
     /// Total retention flips / frontier crossers across the run.
     retention_flips: usize,
     threshold_crossers: usize,
+    /// Repair-ladder tier counts over the streamed commits
+    /// (dirty / reweigh / full). CI asserts `full == 0` for the
+    /// global-statistic schemes.
+    tier_commits: [usize; 3],
+    /// Clean edges swept / re-keyed by the reweigh tier across the run.
+    edges_swept: usize,
+    edges_rekeyed: usize,
     /// The batch-equivalence contract: incremental candidate set ==
     /// from-scratch batch run on the final collection (asserted by CI off
     /// the JSON as well as by this process).
@@ -61,14 +110,14 @@ struct RunResult {
 
 fn run_config(
     rows: &[(String, Vec<(String, String)>)],
-    scheme: WeightingScheme,
+    weigher: BenchWeigher,
     pruning: IncrementalPruning,
     batch_size: usize,
 ) -> RunResult {
     let seed_len = rows.len() / 2;
     let streamed = (rows.len() - seed_len).min(MAX_STREAMED);
 
-    let mut pipeline = IncrementalPipeline::dirty(scheme, pruning, CleaningConfig::default());
+    let mut pipeline = IncrementalPipeline::dirty(weigher, pruning, CleaningConfig::default());
     for (id, pairs) in &rows[..seed_len] {
         pipeline.insert(
             SourceId(0),
@@ -87,6 +136,9 @@ fn run_config(
     let mut patched_rows = 0usize;
     let mut retention_flips = 0usize;
     let mut threshold_crossers = 0usize;
+    let mut tier_commits = [0usize; 3];
+    let mut edges_swept = 0usize;
+    let mut edges_rekeyed = 0usize;
     let total_batches = rows[seed_len..seed_len + streamed]
         .chunks(batch_size)
         .count();
@@ -107,6 +159,9 @@ fn run_config(
         patched_rows += out.stats.patched_rows;
         retention_flips += out.stats.retention_flips;
         threshold_crossers += out.stats.threshold_crossers;
+        tier_commits[out.stats.tier.index()] += 1;
+        edges_swept += out.stats.edges_swept;
+        edges_rekeyed += out.stats.edges_rekeyed;
         commits += 1;
     }
     let incremental_secs = t0.elapsed().as_secs_f64();
@@ -117,6 +172,7 @@ fn run_config(
             cleaning_secs: t.cleaning_secs / n,
             snapshot_secs: t.snapshot_secs / n,
             repair_secs: t.repair_secs / n,
+            reweigh_secs: t.reweigh_secs / n,
             decision_secs: t.decision_secs / n,
         }
     };
@@ -128,12 +184,12 @@ fn run_config(
     let full_prune = |input: &ErInput, pipeline: &IncrementalPipeline| {
         let blocks = pipeline.batch_blocks(input);
         let mut ctx = GraphSnapshot::build(&blocks);
-        if scheme.requires_degrees() {
+        if weigher.requires_degrees() {
             ctx.ensure_degrees();
         }
-        pruning.batch_prune(&ctx, &scheme).len()
+        pruning.batch_prune(&ctx, &weigher).len()
     };
-    let mut store = IncrementalPipeline::dirty(scheme, pruning, CleaningConfig::default());
+    let mut store = IncrementalPipeline::dirty(weigher, pruning, CleaningConfig::default());
     for (id, pairs) in &rows[..seed_len] {
         store.insert(
             SourceId(0),
@@ -162,7 +218,7 @@ fn run_config(
     let equivalent = pipeline.retained().pairs() == pipeline.batch_retained().pairs();
 
     RunResult {
-        scheme: scheme.name(),
+        scheme: weigher.name(),
         pruning: pruning.label(),
         batch_size,
         commits,
@@ -176,14 +232,17 @@ fn run_config(
         patched_rows,
         retention_flips,
         threshold_crossers,
+        tier_commits,
+        edges_swept,
+        edges_rekeyed,
         equivalent,
     }
 }
 
 fn phase_json(t: &CommitTimings) -> String {
     format!(
-        "{{\"index_maintenance_secs\": {:.6}, \"cleaning_secs\": {:.6}, \"snapshot_patch_secs\": {:.6}, \"graph_repair_secs\": {:.6}, \"decision_secs\": {:.6}}}",
-        t.index_secs, t.cleaning_secs, t.snapshot_secs, t.repair_secs, t.decision_secs,
+        "{{\"index_maintenance_secs\": {:.6}, \"cleaning_secs\": {:.6}, \"snapshot_patch_secs\": {:.6}, \"graph_repair_secs\": {:.6}, \"reweigh_secs\": {:.6}, \"decision_secs\": {:.6}}}",
+        t.index_secs, t.cleaning_secs, t.snapshot_secs, t.repair_secs, t.reweigh_secs, t.decision_secs,
     )
 }
 
@@ -216,39 +275,54 @@ fn main() {
         (rows.len() - rows.len() / 2).min(MAX_STREAMED),
     );
     println!(
-        "{:<6} {:<6} {:>6} {:>8} {:>12} {:>12} {:>9}",
-        "scheme", "prune", "batch", "commits", "incr(s)", "full(s)", "speedup"
+        "{:<6} {:<6} {:>6} {:>8} {:>12} {:>12} {:>9} {:>14}",
+        "scheme", "prune", "batch", "commits", "incr(s)", "full(s)", "speedup", "tiers d/r/f"
     );
 
-    let configs: [(WeightingScheme, IncrementalPruning); 3] = [
+    // The classic configs plus one per global-statistic scheme: EJS
+    // (degrees), ECBS (|B|) and χ² (|B| + per-node counts) must stay off
+    // the degraded-full tier for the whole stream.
+    let configs: [(BenchWeigher, IncrementalPruning); 6] = [
         (
-            WeightingScheme::Cbs,
+            BenchWeigher::Scheme(WeightingScheme::Cbs),
             IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
         ),
         (
-            WeightingScheme::Cbs,
+            BenchWeigher::Scheme(WeightingScheme::Cbs),
             IncrementalPruning::Traditional(PruningAlgorithm::Wep),
         ),
         (
-            WeightingScheme::Js,
+            BenchWeigher::Scheme(WeightingScheme::Js),
             IncrementalPruning::Traditional(PruningAlgorithm::Wnp2),
         ),
+        (
+            BenchWeigher::Scheme(WeightingScheme::Ejs),
+            IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        ),
+        (
+            BenchWeigher::Scheme(WeightingScheme::Ecbs),
+            IncrementalPruning::Traditional(PruningAlgorithm::Wep),
+        ),
+        (BenchWeigher::Chi2, IncrementalPruning::blast()),
     ];
     let batch_sizes = [1usize, 8, 64];
 
     let mut results: Vec<RunResult> = Vec::new();
-    for &(scheme, pruning) in &configs {
+    for &(weigher, pruning) in &configs {
         for &batch_size in &batch_sizes {
-            let r = run_config(&rows, scheme, pruning, batch_size);
+            let r = run_config(&rows, weigher, pruning, batch_size);
             println!(
-                "{:<6} {:<6} {:>6} {:>8} {:>12.4} {:>12.4} {:>8.2}x",
+                "{:<6} {:<6} {:>6} {:>8} {:>12.4} {:>12.4} {:>8.2}x {:>6}/{}/{}",
                 r.scheme,
                 r.pruning,
                 r.batch_size,
                 r.commits,
                 r.incremental_secs,
                 r.full_secs,
-                r.speedup
+                r.speedup,
+                r.tier_commits[0],
+                r.tier_commits[1],
+                r.tier_commits[2],
             );
             results.push(r);
         }
@@ -256,20 +330,23 @@ fn main() {
 
     // The removed linear terms, made visible: at micro-batch 1 the mean
     // per-commit maintenance cost (index + cleaning + snapshot patch) AND
-    // the decision cost of the second half of the stream should track the
-    // first half's, even though the collection has grown — the per-commit
-    // CSR rebuild (PR 3) and the full edge-list/top-k-union decision
-    // re-merge (PR 4) are gone.
+    // the repair/decision cost of the second half of the stream should
+    // track the first half's, even though the collection has grown — the
+    // per-commit CSR rebuild (PR 3), the full edge-list/top-k-union
+    // decision re-merge (PR 4) and the EJS per-commit degree pass (PR 5)
+    // are gone.
     println!();
     println!("per-commit cost at batch size 1 (first half vs second half of the stream):");
     for r in results.iter().filter(|r| r.batch_size == 1) {
         let m = |t: &CommitTimings| t.index_secs + t.cleaning_secs + t.snapshot_secs;
         println!(
-            "  {:<6} {:<6} maintenance {:>8.1}us → {:>8.1}us   decision {:>8.1}us → {:>8.1}us",
+            "  {:<6} {:<6} maintenance {:>8.1}us → {:>8.1}us   reweigh {:>8.1}us → {:>8.1}us   decision {:>8.1}us → {:>8.1}us",
             r.scheme,
             r.pruning,
             m(&r.phases_first_half) * 1e6,
             m(&r.phases_second_half) * 1e6,
+            r.phases_first_half.reweigh_secs * 1e6,
+            r.phases_second_half.reweigh_secs * 1e6,
             r.phases_first_half.decision_secs * 1e6,
             r.phases_second_half.decision_secs * 1e6,
         );
@@ -292,7 +369,7 @@ fn main() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"scheme\": \"{}\", \"pruning\": \"{}\", \"batch_size\": {}, \"commits\": {}, \"incremental_secs\": {:.6}, \"full_recompute_secs\": {:.6}, \"speedup\": {:.3}, \"final_candidates\": {}, \"patched_csr_rows\": {}, \"retention_flips\": {}, \"threshold_crossers\": {}, \"equivalent\": {}, \"phases\": {}, \"per_commit_first_half\": {}, \"per_commit_second_half\": {}}}{comma}",
+            "    {{\"scheme\": \"{}\", \"pruning\": \"{}\", \"batch_size\": {}, \"commits\": {}, \"incremental_secs\": {:.6}, \"full_recompute_secs\": {:.6}, \"speedup\": {:.3}, \"final_candidates\": {}, \"patched_csr_rows\": {}, \"retention_flips\": {}, \"threshold_crossers\": {}, \"commits_dirty\": {}, \"commits_reweigh\": {}, \"commits_full\": {}, \"edges_swept\": {}, \"edges_rekeyed\": {}, \"equivalent\": {}, \"phases\": {}, \"per_commit_first_half\": {}, \"per_commit_second_half\": {}}}{comma}",
             r.scheme,
             r.pruning,
             r.batch_size,
@@ -304,6 +381,11 @@ fn main() {
             r.patched_rows,
             r.retention_flips,
             r.threshold_crossers,
+            r.tier_commits[0],
+            r.tier_commits[1],
+            r.tier_commits[2],
+            r.edges_swept,
+            r.edges_rekeyed,
             r.equivalent,
             phase_json(&r.phases),
             phase_json(&r.phases_first_half),
@@ -320,5 +402,14 @@ fn main() {
             "batch-equivalence violated for {} / {} at batch size {}",
             r.scheme, r.pruning, r.batch_size
         );
+        // The repair-ladder acceptance: global-statistic schemes never
+        // degrade to the full tier over the streamed window.
+        if matches!(r.scheme, "EJS" | "ECBS" | "chi2") {
+            assert_eq!(
+                r.tier_commits[2], 0,
+                "{} / {} at batch size {} degraded to the full tier",
+                r.scheme, r.pruning, r.batch_size
+            );
+        }
     }
 }

@@ -281,7 +281,8 @@ pub fn stream(args: &Args) -> Result<String, String> {
     let mut patched_rows_total = 0usize;
     let mut flips_total = 0usize;
     let mut crossers_total = 0usize;
-    let mut full_rebuilds = 0usize;
+    // Per-tier commit counts of the repair ladder (dirty / reweigh / full).
+    let mut tier_counts = [0usize; 3];
     for chunk in d.profiles().chunks(batch_size) {
         for profile in chunk {
             let pairs: Vec<(&str, &str)> = profile
@@ -299,34 +300,37 @@ pub fn stream(args: &Args) -> Result<String, String> {
         patched_rows_total += out.stats.patched_rows;
         flips_total += out.stats.retention_flips;
         crossers_total += out.stats.threshold_crossers;
-        full_rebuilds += usize::from(out.stats.full);
+        tier_counts[out.stats.tier.index()] += 1;
         let _ = writeln!(
             report,
-            "batch {batch_no:>4}: +{:<6} -{:<6} candidates = {:<8} blocks = {:<7} dirty nodes = {}{}",
+            "batch {batch_no:>4}: +{:<6} -{:<6} candidates = {:<8} blocks = {:<7} dirty nodes = {:<6} tier = {}",
             out.delta.added.len(),
             out.delta.retracted.len(),
             out.retained_len,
             out.blocks,
             out.stats.dirty_nodes,
-            if out.stats.full { " (full)" } else { "" },
+            out.stats.tier.label(),
         );
         if show_stats {
             let _ = writeln!(
                 report,
-                "    repair: dirty nodes = {}, patched CSR rows = {}, patched slots = {}, full rebuild = {}, \
-                 edges re-weighed = {}, retention flips = {}, threshold crossers = {}, \
-                 phases = {:.1}us index / {:.1}us clean / {:.1}us snapshot / {:.1}us repair / {:.1}us decision",
+                "    repair: dirty nodes = {}, patched CSR rows = {}, patched slots = {}, tier = {}, \
+                 edges re-weighed = {}, swept = {} ({} re-keyed), retention flips = {}, threshold crossers = {}, \
+                 phases = {:.1}us index / {:.1}us clean / {:.1}us snapshot / {:.1}us repair / {:.1}us reweigh / {:.1}us decision",
                 out.stats.dirty_nodes,
                 out.stats.patched_rows,
                 out.stats.patched_slots,
-                if out.stats.full { "yes" } else { "no" },
+                out.stats.tier.label(),
                 out.stats.edges_reweighed,
+                out.stats.edges_swept,
+                out.stats.edges_rekeyed,
                 out.stats.retention_flips,
                 out.stats.threshold_crossers,
                 out.timings.index_secs * 1e6,
                 out.timings.cleaning_secs * 1e6,
                 out.timings.snapshot_secs * 1e6,
                 out.timings.repair_secs * 1e6,
+                out.timings.reweigh_secs * 1e6,
                 out.timings.decision_secs * 1e6,
             );
         }
@@ -341,7 +345,10 @@ pub fn stream(args: &Args) -> Result<String, String> {
             report,
             "repair totals: {dirty_total} dirty nodes, {patched_rows_total} patched CSR rows, \
              {flips_total} retention flips ({crossers_total} threshold crossers), \
-             {full_rebuilds}/{batch_no} full-rebuild fallbacks, snapshot version = {}",
+             tiers = {}/{}/{} dirty/reweigh/full of {batch_no}, snapshot version = {}",
+            tier_counts[0],
+            tier_counts[1],
+            tier_counts[2],
             pipeline.snapshot().version(),
         );
     }

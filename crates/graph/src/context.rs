@@ -114,10 +114,16 @@ pub struct GraphSnapshot {
     index: ProfileBlockIndex,
     /// Node degrees (distinct neighbours), computed by
     /// [`GraphSnapshot::ensure_degrees`]; needed by EJS. Invalidated by
-    /// [`GraphSnapshot::apply`].
+    /// [`GraphSnapshot::apply`] unless degree maintenance is on
+    /// ([`GraphSnapshot::begin_degree_maintenance`]), in which case the
+    /// maintainer patches them through
+    /// [`GraphSnapshot::apply_degree_deltas`].
     degrees: Option<Vec<u32>>,
     /// Total number of edges, computed together with `degrees`.
     total_edges: Option<u64>,
+    /// Whether degrees are delta-maintained across [`GraphSnapshot::apply`]
+    /// (the incremental pipeline's EJS path) instead of invalidated.
+    maintain_degrees: bool,
     threads: usize,
     threads_override: Option<usize>,
     /// Bumped on every applied delta.
@@ -153,6 +159,7 @@ impl GraphSnapshot {
             index,
             degrees: None,
             total_edges: None,
+            maintain_degrees: false,
             threads,
             threads_override: None,
             version: 0,
@@ -179,6 +186,7 @@ impl GraphSnapshot {
             index,
             degrees: None,
             total_edges: None,
+            maintain_degrees: false,
             threads: 1,
             threads_override: None,
             version: 0,
@@ -262,8 +270,16 @@ impl GraphSnapshot {
         for row in &delta.rows {
             self.index.splice_row(row.profile, &row.slots);
         }
-        self.degrees = None;
-        self.total_edges = None;
+        if self.maintain_degrees {
+            // The maintainer patches degrees through `apply_degree_deltas`
+            // before anything reads them; new profiles start isolated.
+            if let Some(d) = &mut self.degrees {
+                d.resize(self.total_profiles as usize, 0);
+            }
+        } else {
+            self.degrees = None;
+            self.total_edges = None;
+        }
         self.threads = self
             .threads_override
             .unwrap_or_else(|| default_threads(self.index.total_assignments() as usize));
@@ -434,6 +450,55 @@ impl GraphSnapshot {
         let (degrees, total_edges) = crate::traversal::degrees_pass(self);
         self.total_edges = Some(total_edges);
         self.degrees = Some(degrees);
+    }
+
+    /// Switches the snapshot to **delta-maintained degrees**: computes them
+    /// from scratch once (if absent) and stops [`GraphSnapshot::apply`]
+    /// from invalidating them. From then on the caller owns their
+    /// correctness: every commit must push the edge births/deaths of its
+    /// delta through [`GraphSnapshot::apply_degree_deltas`] *before*
+    /// anything reads [`GraphSnapshot::degree`] — the incremental repair
+    /// ladder does this from its cached edge adjacency, which is what lets
+    /// EJS commits stay off the degraded-full tier.
+    pub fn begin_degree_maintenance(&mut self) {
+        self.ensure_degrees();
+        self.maintain_degrees = true;
+    }
+
+    /// Whether degrees are delta-maintained across applies.
+    #[inline]
+    pub fn degrees_maintained(&self) -> bool {
+        self.maintain_degrees && self.degrees.is_some()
+    }
+
+    /// Applies per-node degree deltas and the edge-count delta of one
+    /// commit (only meaningful under
+    /// [`GraphSnapshot::begin_degree_maintenance`]). Degrees are integers,
+    /// so removal is exact — the delta-maintained values stay bit-equal to
+    /// a from-scratch [`GraphSnapshot::ensure_degrees`] pass (pinned by
+    /// `tests/degree_maintenance.rs`).
+    pub fn apply_degree_deltas(
+        &mut self,
+        deltas: impl IntoIterator<Item = (u32, i32)>,
+        edge_delta: i64,
+    ) {
+        let degrees = self
+            .degrees
+            .as_mut()
+            .expect("begin_degree_maintenance() first");
+        if degrees.len() < self.total_profiles as usize {
+            degrees.resize(self.total_profiles as usize, 0);
+        }
+        for (node, delta) in deltas {
+            let d = &mut degrees[node as usize];
+            let next = *d as i64 + delta as i64;
+            debug_assert!(next >= 0, "degree of node {node} went negative");
+            *d = next as u32;
+        }
+        let edges = self.total_edges.expect("degrees and edge count co-exist");
+        let next = edges as i64 + edge_delta;
+        debug_assert!(next >= 0, "total edge count went negative");
+        self.total_edges = Some(next as u64);
     }
 
     /// Convenience (tests/diagnostics): the accumulator of one edge, if it
@@ -667,5 +732,52 @@ mod tests {
         assert_eq!(snap.total_blocks(), 1);
         assert_eq!(snap.edge(0, 2).unwrap().common_blocks, 1);
         assert_eq!(snap.version(), 2);
+    }
+
+    /// Maintained degrees survive `apply` and track deltas exactly; without
+    /// maintenance, `apply` invalidates them as before.
+    #[test]
+    fn degree_maintenance_tracks_deltas() {
+        let b = vec![Block::new("b0", ClusterId::GLUE, ids(&[0, 1, 2]), u32::MAX)];
+        let blocks = BlockCollection::new(b, false, 3, 3);
+        let mut snap = GraphSnapshot::build(&blocks);
+        assert!(!snap.degrees_maintained());
+        snap.begin_degree_maintenance();
+        assert!(snap.degrees_maintained());
+        assert_eq!((snap.degree(0), snap.total_edges()), (2, 3));
+
+        // Grow the profile space and the block: node 3 joins b0.
+        snap.apply(SnapshotDelta {
+            total_profiles: 4,
+            slots: vec![SlotPatch {
+                slot: 0,
+                members: ids(&[0, 1, 2, 3]),
+                entropy: 1.0,
+            }],
+            rows: vec![RowPatch {
+                profile: 3,
+                slots: vec![0],
+            }],
+        });
+        // Degrees survived the apply (new node isolated until patched)...
+        assert!(snap.degrees_maintained());
+        assert_eq!(snap.degree(3), 0);
+        // ...and the maintainer pushes the births: (0,3), (1,3), (2,3).
+        snap.apply_degree_deltas([(0, 1), (1, 1), (2, 1), (3, 3)], 3);
+        let rebuilt = {
+            let b = vec![Block::new(
+                "b0",
+                ClusterId::GLUE,
+                ids(&[0, 1, 2, 3]),
+                u32::MAX,
+            )];
+            let mut s = GraphSnapshot::build(&BlockCollection::new(b, false, 4, 4));
+            s.ensure_degrees();
+            s
+        };
+        assert_eq!(snap.total_edges(), rebuilt.total_edges());
+        for p in 0..4 {
+            assert_eq!(snap.degree(p), rebuilt.degree(p), "degree of {p}");
+        }
     }
 }

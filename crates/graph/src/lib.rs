@@ -28,13 +28,29 @@
 //!   the materialised collection (pinned by `tests/snapshot_maintenance.rs`),
 //!   which is what keeps incremental repair bit-identical to batch.
 //!
-//! A **full graph re-pass** (not an index rebuild — the snapshot is still
-//! patched, only the weighting/pruning pass widens to every node) is still
-//! triggered when a *global* statistic a scheme reads moves in a way the
-//! dirty set cannot bound: a [`weights::WeightDeps`] `total_blocks` scheme
-//! (ECBS, χ²) sees |B| change, EJS needs degrees (recomputed per commit),
-//! or CNP's derived budget k shifts. Those fallbacks run the identical
-//! code path over the identical snapshot, preserving bit-equivalence.
+//! ## The factored-weight representation
+//!
+//! Every edge weight is **factored** into *(local components, global
+//! scalars)*: the per-edge [`context::EdgeAccum`] — shared-block count,
+//! ARCS reciprocal sum, entropy tally, gathered once per accumulation —
+//! plus the O(1) statistics the snapshot serves (|B|, |B_u|, degrees,
+//! |E_G|). [`weights::EdgeWeigher::weight`] must be a pure function of the
+//! two (the contract is spelled out on the trait), which is what the
+//! incremental repair ladder's *reweigh tier* exploits: when only a global
+//! scalar drifts — |B| for a [`weights::WeightDeps`] `total_blocks` scheme
+//! (ECBS, χ²), |E_G| for EJS — every clean edge's weight is re-derived
+//! from its **cached** accumulator and the patched snapshot, with no block
+//! traversal and no re-accumulation, bit-identical to a batch pass because
+//! the inputs are. Node degrees themselves are **delta-maintainable**
+//! ([`context::GraphSnapshot::begin_degree_maintenance`] /
+//! [`context::GraphSnapshot::apply_degree_deltas`]): integers patched by
+//! exact ±1 deltas from edge births/deaths, so EJS no longer needs a
+//! per-commit full degree pass. A **full graph re-pass** (not an index
+//! rebuild — the snapshot is still patched, only the weighting/pruning
+//! pass widens to every node) remains only for genuinely structural
+//! invalidation: the first pass, or a shift of CNP's derived budget k. It
+//! runs the identical code path over the identical snapshot, preserving
+//! bit-equivalence.
 //!
 //! ## Modules
 //!

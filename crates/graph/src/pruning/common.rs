@@ -8,7 +8,7 @@
 //! thread count, so results — including float folds — are bit-identical
 //! across thread counts.
 
-use crate::context::GraphSnapshot;
+use crate::context::{EdgeAccum, GraphSnapshot};
 use crate::traversal::{chunk_len, node_chunks, owner_chunks, NodeScratch};
 use crate::weights::EdgeWeigher;
 use blast_datamodel::entity::ProfileId;
@@ -189,6 +189,10 @@ where
 /// owner orientation, sorted ascending by `(u, v)`, with the weight computed
 /// from the same accumulation path as the full pass (bit-identical).
 ///
+/// A convenience wrapper for tests and diagnostics — the incremental repair
+/// ladder runs on [`collect_accums_touching`] directly (it must patch
+/// degrees between accumulation and weighting, and weighs in parallel).
+///
 /// `nodes` lists the marked node ids and `mask` is the corresponding
 /// epoch-stamped membership mask (`mask.contains(n) == nodes.contains(&n)`).
 pub fn collect_edges_touching(
@@ -197,6 +201,25 @@ pub fn collect_edges_touching(
     nodes: &[u32],
     mask: &EpochMask,
 ) -> Vec<(u32, u32, f64)> {
+    collect_accums_touching(ctx, nodes, mask)
+        .into_iter()
+        .map(|(u, v, acc)| (u, v, weigher.weight(ctx, u, v, &acc)))
+        .collect()
+}
+
+/// Like [`collect_edges_touching`] but returns the raw accumulators instead
+/// of weights: each marked-incident edge once, canonical owner orientation,
+/// sorted ascending by `(u, v)`. This is the artefact-stage primitive of
+/// the incremental repair ladder — the accumulators are cached per edge so
+/// a later global-statistic drift can re-derive the weight (weight =
+/// f(accumulator, O(1) snapshot statistics)) without re-traversing any
+/// block, and so degree maintenance can diff edge existence *before* any
+/// weight is computed.
+pub fn collect_accums_touching(
+    ctx: &GraphSnapshot,
+    nodes: &[u32],
+    mask: &EpochMask,
+) -> Vec<(u32, u32, EdgeAccum)> {
     let clean = ctx.is_clean_clean();
     let sep = ctx.separator();
     let len = nodes.len();
@@ -229,13 +252,13 @@ pub fn collect_edges_touching(
                     if owner != d && mask.contains(owner) {
                         continue;
                     }
-                    out.push((owner, other, weigher.weight(ctx, owner, other, &acc)));
+                    out.push((owner, other, acc));
                 }
             }
             out
         },
     );
-    let mut out: Vec<(u32, u32, f64)> = Vec::new();
+    let mut out: Vec<(u32, u32, EdgeAccum)> = Vec::new();
     for c in chunks {
         out.extend(c);
     }

@@ -19,7 +19,10 @@ use crate::context::{EdgeAccum, GraphSnapshot};
 /// (CBS, ARCS) is repaired from the mutated blocks alone, one reading
 /// per-node block counts (JS) additionally dirties the neighbourhoods of
 /// nodes whose block list changed, and one reading the total block count
-/// (ECBS, χ²) forces a full re-weighting whenever |B| moves.
+/// (ECBS, χ²) promotes any commit that moved |B| to the repair ladder's
+/// *reweigh* tier: every live edge's weight is re-derived from its cached
+/// accumulator and the new |B| (see the factored-weight contract on
+/// [`EdgeWeigher`]), without re-traversing a single block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WeightDeps {
     /// Reads |B_u| / |B_v| (the per-node block counts).
@@ -49,6 +52,18 @@ impl WeightDeps {
 /// Computes the weight of one edge from its accumulator and the graph
 /// context. Implemented by the five traditional schemes here and by
 /// `blast-core`'s χ²·entropy weigher.
+///
+/// ## The factored-weight contract
+///
+/// A weight must be a **pure function of the per-edge accumulator plus
+/// O(1) snapshot statistics** — the globals (|B|, |E_G|) and the per-node
+/// values (|B_u|, deg(u)) read through `ctx`. This factoring into
+/// *(local components, global scalars)* is what the incremental repair
+/// ladder's reweigh tier relies on: when only a global scalar drifts, every
+/// clean edge's weight is re-derived from its **cached** accumulator and
+/// the patched snapshot through this very method — no block is traversed,
+/// and the result is bit-identical to a batch pass because the inputs are.
+/// Implementations must not read anything commit-order-dependent.
 pub trait EdgeWeigher: Sync {
     /// The weight of edge (u, v).
     fn weight(&self, ctx: &GraphSnapshot, u: u32, v: u32, acc: &EdgeAccum) -> f64;
@@ -144,8 +159,9 @@ impl EdgeWeigher for WeightingScheme {
         match self {
             WeightingScheme::Arcs | WeightingScheme::Cbs => WeightDeps::NONE,
             WeightingScheme::Js => WeightDeps::NODE_BLOCKS,
-            // EJS additionally requires degrees, which forces a full
-            // recompute on any adjacency change regardless of these flags.
+            // EJS additionally requires degrees; those are delta-maintained
+            // by the incremental pipeline, so a degree/|E_G| move promotes a
+            // commit to the reweigh tier instead of a degraded-full pass.
             WeightingScheme::Ecbs | WeightingScheme::Ejs => WeightDeps::ALL,
         }
     }

@@ -33,9 +33,11 @@
 //! of the key *set*, independent of insertion history.
 
 use blast_datamodel::entity::ProfileId;
+use blast_graph::context::{EdgeAccum, GraphSnapshot};
 use blast_graph::exact_sum::ExactSum;
 use blast_graph::pruning::common::{weight_rank_bits, EpochMask};
 use blast_graph::retained::RetainedPairs;
+use blast_graph::weights::EdgeWeigher;
 
 /// The total retention order of the decision stage: ascending `rank` is
 /// descending weight (see [`weight_rank_bits`]), ties broken by ascending
@@ -374,14 +376,47 @@ impl OrderedWeightIndex {
     }
 }
 
-/// Per-node rows of `(neighbour, weight)` covering every live edge (each
-/// edge stored at both endpoints, rows ascending by neighbour id): the
-/// commit-path source of the *old* dirty-incident edges and their old
-/// weights. Clean rows are patched by binary-search surgery proportional
-/// to the dirty neighbourhood; clean survivors are never scanned.
+/// One freshly accumulated-and-weighted edge of a repair pass: the
+/// canonical pair, the weight, and the raw local accumulator the weight was
+/// derived from (cached so a later global-statistic drift can re-derive the
+/// weight without any block traversal).
+#[derive(Debug, Clone, Copy)]
+pub struct FreshEdge {
+    /// Canonical owner endpoint (smaller id).
+    pub u: u32,
+    /// The other endpoint.
+    pub v: u32,
+    /// The weight under the snapshot statistics at collection time.
+    pub w: f64,
+    /// The edge's local co-occurrence components.
+    pub acc: EdgeAccum,
+}
+
+/// One cached edge entry of an [`EdgeAdjacency`] row.
+#[derive(Debug, Clone, Copy)]
+struct CachedEdge {
+    /// The neighbour on this row.
+    v: u32,
+    /// The last weight pushed through the decision stage.
+    w: f64,
+    /// The edge's local factors — shared-block count, ARCS reciprocal sum,
+    /// entropy tally — exactly the per-edge half of the factored-weight
+    /// contract ([`blast_graph::weights::EdgeWeigher`]).
+    acc: EdgeAccum,
+}
+
+/// Per-node rows of `(neighbour, weight, accumulator)` covering every live
+/// edge (each edge stored at both endpoints, rows ascending by neighbour
+/// id): the commit-path source of the *old* dirty-incident edges and their
+/// old weights, and — through the cached accumulators — the reweigh tier's
+/// input: when a global scalar (|B|, degrees, |E_G|) drifts, every clean
+/// edge's weight is re-derived from its cached local factors and the
+/// patched snapshot ([`EdgeAdjacency::reweigh_clean`]) instead of
+/// re-accumulated from the blocks. Clean rows are patched by binary-search
+/// surgery proportional to the dirty neighbourhood.
 #[derive(Debug, Default)]
 pub struct EdgeAdjacency {
-    rows: Vec<Vec<(u32, f64)>>,
+    rows: Vec<Vec<CachedEdge>>,
 }
 
 impl EdgeAdjacency {
@@ -403,15 +438,32 @@ impl EdgeAdjacency {
     pub fn collect_touching(&self, dirty: &[u32], mask: &EpochMask) -> Vec<(u32, u32, f64)> {
         let mut out = Vec::new();
         for &u in dirty {
-            for &(v, w) in &self.rows[u as usize] {
+            for e in &self.rows[u as usize] {
                 // Emit once: from the smaller endpoint when both are
                 // dirty, from the dirty endpoint otherwise.
-                if u < v || !mask.contains(v) {
-                    out.push((u.min(v), u.max(v), w));
+                if u < e.v || !mask.contains(e.v) {
+                    out.push((u.min(e.v), u.max(e.v), e.w));
                 }
             }
         }
         out.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        out
+    }
+
+    /// Every live edge once, canonical `(u, v, weight)`, sorted ascending.
+    /// A diagnostics/verification view (the repair ladder builds its
+    /// decision input from the sweep + dirty merge instead); O(|E|), never
+    /// on the dirty-neighbourhood tier.
+    pub fn all_edges(&self) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::new();
+        for (u, row) in self.rows.iter().enumerate() {
+            let u = u as u32;
+            for e in row {
+                if e.v > u {
+                    out.push((u, e.v, e.w));
+                }
+            }
+        }
         out
     }
 
@@ -423,29 +475,37 @@ impl EdgeAdjacency {
         }
     }
 
-    /// Bulk-loads a full canonical edge list into cleared rows (the
-    /// degraded-full rebuild path). Scanning `fresh` in `(a, b)` order
+    /// Bulk-loads a full canonical fresh-edge list into cleared rows (the
+    /// degraded-full rebuild path). Scanning `fresh` in `(u, v)` order
     /// pushes each row's partners ascending (all `y < u` arrive before all
     /// `x > u`), so rows come out sorted without a sort.
-    pub fn load(&mut self, fresh: &[(u32, u32, f64)]) {
-        for &(a, b, w) in fresh {
-            self.rows[a as usize].push((b, w));
-            self.rows[b as usize].push((a, w));
+    pub fn load(&mut self, fresh: &[FreshEdge]) {
+        for e in fresh {
+            self.rows[e.u as usize].push(CachedEdge {
+                v: e.v,
+                w: e.w,
+                acc: e.acc,
+            });
+            self.rows[e.v as usize].push(CachedEdge {
+                v: e.u,
+                w: e.w,
+                acc: e.acc,
+            });
         }
         debug_assert!(self
             .rows
             .iter()
-            .all(|row| row.windows(2).all(|w| w[0].0 < w[1].0)));
+            .all(|row| row.windows(2).all(|w| w[0].v < w[1].v)));
     }
 
     /// Adds one edge (both mirror rows, binary-search insertion).
-    pub fn insert_edge(&mut self, a: u32, b: u32, w: f64) {
+    pub fn insert_edge(&mut self, a: u32, b: u32, w: f64, acc: EdgeAccum) {
         for (x, y) in [(a, b), (b, a)] {
             let row = &mut self.rows[x as usize];
             let i = row
-                .binary_search_by_key(&y, |&(v, _)| v)
+                .binary_search_by_key(&y, |e| e.v)
                 .expect_err("inserting a duplicate edge");
-            row.insert(i, (y, w));
+            row.insert(i, CachedEdge { v: y, w, acc });
         }
     }
 
@@ -454,21 +514,82 @@ impl EdgeAdjacency {
         for (x, y) in [(a, b), (b, a)] {
             let row = &mut self.rows[x as usize];
             let i = row
-                .binary_search_by_key(&y, |&(v, _)| v)
+                .binary_search_by_key(&y, |e| e.v)
                 .expect("removing an absent edge");
             row.remove(i);
         }
     }
 
-    /// Re-weights one edge in place — no row shifting.
-    pub fn set_weight(&mut self, a: u32, b: u32, w: f64) {
+    /// Re-weights one edge in place (fresh accumulator included) — no row
+    /// shifting.
+    pub fn set_edge(&mut self, a: u32, b: u32, w: f64, acc: EdgeAccum) {
         for (x, y) in [(a, b), (b, a)] {
             let row = &mut self.rows[x as usize];
             let i = row
-                .binary_search_by_key(&y, |&(v, _)| v)
+                .binary_search_by_key(&y, |e| e.v)
                 .expect("re-weighting an absent edge");
-            row[i].1 = w;
+            row[i].w = w;
+            row[i].acc = acc;
         }
+    }
+
+    /// Streams node `u`'s cached adjacency in **row orientation** —
+    /// `f(v, weigher.weight(ctx, u, v, acc))`, ascending neighbours. Batch
+    /// node passes weigh each edge from the row owner's side, and weights
+    /// are *not* bitwise orientation-symmetric (float rounding of the EJS
+    /// /χ² factor products), so the reweigh tier re-derives per-node
+    /// artefacts the same way. The cached accumulator itself *is*
+    /// orientation-symmetric (same shared blocks, ascending slot order
+    /// from either endpoint), which is what makes this bit-identical to a
+    /// scratch pass.
+    pub fn for_each_node_weight(
+        &self,
+        u: u32,
+        ctx: &GraphSnapshot,
+        weigher: &dyn EdgeWeigher,
+        mut f: impl FnMut(u32, f64),
+    ) {
+        if let Some(row) = self.rows.get(u as usize) {
+            for e in row {
+                f(e.v, weigher.weight(ctx, u, e.v, &e.acc));
+            }
+        }
+    }
+
+    /// The **reweigh tier's** sweep: re-derives the weight of every edge
+    /// with *no* marked endpoint from its cached accumulator and the
+    /// current snapshot statistics (the marked edges' fresh weights arrive
+    /// through the dirty merge instead), updates the cached weights in
+    /// place, and returns every clean edge as `(u, v, old w, new w)` in
+    /// canonical ascending order. No block is traversed; bit-identity to a
+    /// batch re-weighting follows from the factored-weight contract.
+    pub fn reweigh_clean(
+        &mut self,
+        ctx: &GraphSnapshot,
+        weigher: &dyn EdgeWeigher,
+        mask: &EpochMask,
+    ) -> Vec<(u32, u32, f64, f64)> {
+        let mut swept: Vec<(u32, u32, f64, f64)> = Vec::new();
+        for u in 0..self.rows.len() as u32 {
+            let u_marked = mask.contains(u);
+            for i in 0..self.rows[u as usize].len() {
+                let e = self.rows[u as usize][i];
+                if e.v <= u || u_marked || mask.contains(e.v) {
+                    continue;
+                }
+                let nw = weigher.weight(ctx, u, e.v, &e.acc);
+                swept.push((u, e.v, e.w, nw));
+                if nw.to_bits() != e.w.to_bits() {
+                    self.rows[u as usize][i].w = nw;
+                    let row = &mut self.rows[e.v as usize];
+                    let j = row
+                        .binary_search_by_key(&u, |m| m.v)
+                        .expect("rows must mirror");
+                    row[j].w = nw;
+                }
+            }
+        }
+        swept
     }
 }
 
@@ -611,27 +732,109 @@ mod tests {
         assert!(idx.prefix_pairs(None).is_empty());
     }
 
+    fn edges(list: &[(u32, u32, f64)]) -> Vec<FreshEdge> {
+        list.iter()
+            .map(|&(u, v, w)| FreshEdge {
+                u,
+                v,
+                w,
+                acc: EdgeAccum::default(),
+            })
+            .collect()
+    }
+
     #[test]
     fn adjacency_patches_dirty_region() {
         let mut adj = EdgeAdjacency::new();
         adj.ensure_nodes(5);
         let full = mask_of(5, &[0, 1, 2, 3, 4]);
-        adj.load(&[(0, 1, 1.0), (0, 3, 2.0), (1, 2, 3.0), (2, 3, 4.0)]);
+        adj.load(&edges(&[
+            (0, 1, 1.0),
+            (0, 3, 2.0),
+            (1, 2, 3.0),
+            (2, 3, 4.0),
+        ]));
 
         // Node 2 dirty: (2,3) vanishes, (1,2) reweighted, (2,4) appears.
         let mask = mask_of(5, &[2]);
         let old = adj.collect_touching(&[2], &mask);
         assert_eq!(old, vec![(1, 2, 3.0), (2, 3, 4.0)]);
         adj.remove_edge(2, 3);
-        adj.set_weight(1, 2, 30.0);
-        adj.insert_edge(2, 4, 50.0);
+        adj.set_edge(1, 2, 30.0, EdgeAccum::default());
+        adj.insert_edge(2, 4, 50.0, EdgeAccum::default());
         let now = adj.collect_touching(&[0, 1, 2, 3, 4], &full);
         assert_eq!(
             now,
             vec![(0, 1, 1.0), (0, 3, 2.0), (1, 2, 30.0), (2, 4, 50.0)]
         );
+        assert_eq!(adj.all_edges(), now, "all_edges ≡ full-mask collect");
         adj.clear();
         assert!(adj.collect_touching(&[0, 1, 2, 3, 4], &full).is_empty());
+    }
+
+    /// The reweigh sweep re-derives clean weights from cached accumulators
+    /// and the *current* snapshot globals, skipping masked edges.
+    #[test]
+    fn reweigh_clean_rederives_from_cache() {
+        use blast_blocking::block::Block;
+        use blast_blocking::collection::BlockCollection;
+        use blast_blocking::key::ClusterId;
+
+        // Weight = |B| · common_blocks: a pure (global × local) factoring.
+        struct TimesTotalBlocks;
+        impl EdgeWeigher for TimesTotalBlocks {
+            fn weight(&self, ctx: &GraphSnapshot, _: u32, _: u32, acc: &EdgeAccum) -> f64 {
+                ctx.total_blocks() as f64 * acc.common_blocks as f64
+            }
+        }
+        let snap = |blocks: usize| {
+            let b = (0..blocks)
+                .map(|i| {
+                    Block::new(
+                        format!("b{i}"),
+                        ClusterId::GLUE,
+                        vec![ProfileId(0), ProfileId(1)],
+                        u32::MAX,
+                    )
+                })
+                .collect();
+            GraphSnapshot::build(&BlockCollection::new(b, false, 4, 4))
+        };
+
+        let mut adj = EdgeAdjacency::new();
+        adj.ensure_nodes(4);
+        let acc = EdgeAccum {
+            common_blocks: 3,
+            ..EdgeAccum::default()
+        };
+        adj.load(&[
+            FreshEdge {
+                u: 0,
+                v: 1,
+                w: 3.0,
+                acc,
+            },
+            FreshEdge {
+                u: 2,
+                v: 3,
+                w: 3.0,
+                acc,
+            },
+        ]);
+        // |B| drifts 1 → 2: the clean edge re-derives to 6; the masked
+        // edge (2,3) is left for the dirty merge.
+        let mask = mask_of(4, &[2]);
+        let swept = adj.reweigh_clean(&snap(2), &TimesTotalBlocks, &mask);
+        assert_eq!(swept, vec![(0, 1, 3.0, 6.0)]);
+        assert_eq!(
+            adj.all_edges(),
+            vec![(0, 1, 6.0), (2, 3, 3.0)],
+            "cache weight updated in place; masked edge untouched"
+        );
+        // Node-orientation artefact read: same weigher, row side first.
+        let mut seen = Vec::new();
+        adj.for_each_node_weight(1, &snap(2), &TimesTotalBlocks, |v, w| seen.push((v, w)));
+        assert_eq!(seen, vec![(0, 6.0)]);
     }
 
     #[test]

@@ -1,13 +1,36 @@
-//! Dirty-neighbourhood meta-blocking repair.
+//! Dirty-neighbourhood meta-blocking repair, organised as a **three-tier
+//! repair ladder**.
 //!
 //! After a micro-batch, most of the blocking graph is untouched: an edge's
 //! accumulator changes only through a block that contains *both* endpoints,
 //! and such blocks make both endpoints graph-dirty. The repair therefore
 //! recomputes per-node pruning artefacts (thresholds, top-k lists) and edge
-//! weights **only** for the dirty nodes on the dense scratch engine — and,
-//! since PR 4, takes the pruning *decisions* incrementally too: no stage of
-//! a non-degraded commit iterates all edges, all nodes, or all retained
-//! pairs. The decision stage runs on the structures of [`crate::decision`]:
+//! weights **only** for the dirty nodes on the dense scratch engine — and
+//! takes the pruning *decisions* incrementally too. A commit lands on one
+//! of three tiers ([`RepairTier`]), chosen by what actually moved:
+//!
+//! 1. **Dirty** — no global statistic any weight reads moved: the classic
+//!    dirty-neighbourhood pass. No stage iterates all edges, all nodes, or
+//!    all retained pairs.
+//! 2. **Reweigh** — a *global scalar* drifted (|B| for χ²/ECBS; degrees /
+//!    |E_G| for EJS — any edge birth or death) but nothing structural
+//!    happened outside the dirty neighbourhood. Every weight is a pure function of its cached
+//!    per-edge accumulator plus O(1) snapshot statistics (the
+//!    factored-weight contract of [`EdgeWeigher`]), so the clean edges are
+//!    **re-derived from the cache** ([`EdgeAdjacency::reweigh_clean`]) —
+//!    no block traversal, no quadratic re-accumulation — and only the
+//!    bit-changed keys are pushed through the ordered-index/retained-index
+//!    /containment-counter flip machinery. EJS never forces a full pass
+//!    any more: node degrees are a delta-maintained field of
+//!    [`GraphSnapshot`], patched from this module's edge-existence diffs
+//!    (exact integer removal) before any weight is computed.
+//! 3. **Full** — genuinely structural invalidation only: the first pass
+//!    (nothing cached yet), a CNP budget move (every top-k list changes
+//!    length), or an explicit [`IncrementalMetaBlocker::force_full_next`].
+//!    Runs the **identical flip-emitting code path** with every node
+//!    marked.
+//!
+//! The decision stage runs on the structures of [`crate::decision`]:
 //!
 //! * **WEP / CEP** — the live edge list sits in an
 //!   [`crate::decision::OrderedWeightIndex`] (order-statistic treap keyed
@@ -16,33 +39,32 @@
 //!   [`Wep::mean_from_sum`]) or cutoff (rank-K order statistic) becomes a
 //!   retention [`Frontier`], and the clean edges whose retention flips are
 //!   exactly the keys between the old and new frontier — enumerated in
-//!   O(log |E| + flips) instead of re-scanning and re-merging the
-//!   materialised edge list.
-//! * **WNP / BLAST** — per-node thresholds as before, but the survivors
-//!   live in a [`blast_graph::retained::RetainedIndex`], so the old side
-//!   of the flip diff is read off the dirty rows alone — the clean
-//!   survivors are never merged through.
-//! * **CNP** — per-node top-k lists as before, but the global union is
-//!   maintained as a [`crate::decision::ContainmentIndex`] (per-pair 0/1/2
-//!   listing counters) updated only from dirty nodes' list *diffs*;
-//!   retention flips are counter threshold crossings.
+//!   O(log |E| + flips) on the dirty tier (the reweigh tier decides its
+//!   swept edges explicitly instead).
+//! * **WNP / BLAST** — per-node thresholds; the survivors live in a
+//!   [`blast_graph::retained::RetainedIndex`], so the old side of the flip
+//!   diff is read off the recomputed rows alone.
+//! * **CNP** — per-node top-k lists; the global union is maintained as a
+//!   [`crate::decision::ContainmentIndex`] (per-pair 0/1/2 listing
+//!   counters) updated only from recomputed nodes' list *diffs*; retention
+//!   flips are counter threshold crossings.
 //!
 //! The [`PairDelta`] is emitted directly from the flips — there is no
 //! full-set diff — and the flat [`RetainedPairs`] view is materialised
 //! lazily on read, never on the commit path. The result remains
 //! bit-identical to a from-scratch batch run on the final collection:
 //!
-//! * weights of edges between two clean nodes are unchanged bitwise (same
-//!   accumulator, same per-node statistics, same summation order);
+//! * weights of edges between two clean nodes are unchanged bitwise on the
+//!   dirty tier (same accumulator, same per-node statistics, same
+//!   summation order), and re-derived through the *same* `weight()` method
+//!   from bit-identical inputs on the reweigh tier;
 //! * recomputed weights use the exact accumulation path of the batch pass;
 //! * WEP's Θ is a function of the edge-weight *multiset* only (the exact
 //!   accumulator of [`blast_graph::exact_sum::ExactSum`], shared with the
 //!   batch pass), so the delta-maintained sum reproduces it bitwise;
-//! * whenever a *global* statistic a scheme reads moved in a way that the
-//!   dirty set cannot bound — |B| for χ²/ECBS, degrees for EJS, a changed
-//!   default k for CNP — the repair soundly degrades to a full recompute
-//!   (`dirty = all`), which runs the **identical flip-emitting code path**
-//!   with every node marked.
+//! * EJS degrees and |E_G| are integers maintained by exact ±1 deltas, so
+//!   they equal a from-scratch [`GraphSnapshot::ensure_degrees`] pass
+//!   bit-for-bit (pinned by `tests/degree_maintenance.rs`).
 //!
 //! Dirtiness propagation is scheme-aware via
 //! [`EdgeWeigher::global_deps`]: schemes reading per-node block counts
@@ -51,19 +73,20 @@
 //! moved even where the accumulators did not.
 
 use crate::decision::{
-    retained_under, ContainmentIndex, EdgeAdjacency, EdgeKey, Frontier, OrderedWeightIndex,
+    retained_under, ContainmentIndex, EdgeAdjacency, EdgeKey, FreshEdge, Frontier,
+    OrderedWeightIndex,
 };
 use blast_core::pruning::BlastPruning;
 use blast_datamodel::entity::ProfileId;
-use blast_graph::context::GraphSnapshot;
+use blast_datamodel::parallel::parallel_work_steal;
+use blast_graph::context::{EdgeAccum, GraphSnapshot};
 use blast_graph::meta::PruningAlgorithm;
-use blast_graph::pruning::common::{collect_edges_touching, node_pass_subset, EpochMask};
+use blast_graph::pruning::common::{collect_accums_touching, node_pass_subset, EpochMask};
 use blast_graph::pruning::{cnp, Cep, Cnp, NodeCentricMode, Wep, Wnp};
 use blast_graph::retained::{RetainedIndex, RetainedPairs};
 use blast_graph::weights::EdgeWeigher;
 use std::cell::OnceCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// The pruning variant an incremental pipeline maintains.
@@ -121,6 +144,44 @@ impl PairDelta {
     }
 }
 
+/// Which rung of the repair ladder a commit landed on (see module docs):
+/// what promotes a commit from tier 1 to 2 is a *global-scalar* drift
+/// (|B|; degrees/|E_G|); from 2 to 3 a *structural* invalidation (first
+/// pass, CNP budget move, forced degradation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RepairTier {
+    /// Tier 1 — dirty-neighbourhood repair only.
+    #[default]
+    Dirty,
+    /// Tier 2 — dirty neighbourhood plus a cache-driven reweigh of every
+    /// clean edge (no block traversal).
+    Reweigh,
+    /// Tier 3 — the degraded-full pass: every node marked, everything
+    /// re-accumulated from the blocks.
+    Full,
+}
+
+impl RepairTier {
+    /// Stable label for reports (`blast stream --stats`, the bench JSON).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RepairTier::Dirty => "dirty",
+            RepairTier::Reweigh => "reweigh",
+            RepairTier::Full => "full",
+        }
+    }
+
+    /// Zero-based rung index (dirty = 0, reweigh = 1, full = 2) — the
+    /// per-tier counter slot used by the CLI and bench reports.
+    pub fn index(&self) -> usize {
+        match self {
+            RepairTier::Dirty => 0,
+            RepairTier::Reweigh => 1,
+            RepairTier::Full => 2,
+        }
+    }
+}
+
 /// Diagnostics of one repair pass (surfaced per commit by
 /// `blast stream --stats`).
 #[derive(Debug, Clone, Copy, Default)]
@@ -132,22 +193,40 @@ pub struct RepairStats {
     pub patched_rows: usize,
     /// Block slots the snapshot patched this commit.
     pub patched_slots: usize,
-    /// Edge weights recomputed this commit (the dirty-incident edges the
-    /// artefact stage re-materialised).
+    /// Edge weights re-accumulated from the blocks this commit (the
+    /// dirty-incident edges the artefact stage re-materialised).
     pub edges_reweighed: usize,
+    /// Clean edges whose weight was re-derived from the cached
+    /// accumulators by the reweigh tier (zero on tiers 1 and 3).
+    pub edges_swept: usize,
+    /// Swept clean edges whose weight bits actually moved (re-keyed
+    /// through the decision indexes).
+    pub edges_rekeyed: usize,
     /// Candidate pairs whose retention flipped (|added| + |retracted|).
     pub retention_flips: usize,
     /// Clean edges whose retention flipped purely because the global
     /// threshold/cutoff frontier moved (WEP mean drift, CEP budget or
-    /// rank shift) — enumerated from the ordered weight index, never by
+    /// rank shift) — enumerated from the ordered weight index on the
+    /// dirty tier, decided explicitly on the reweigh tier; never by
     /// re-scanning the edge list.
     pub threshold_crossers: usize,
+    /// Wall-clock of the reweigh-machinery phase: degree-delta
+    /// maintenance (any tier, degree-reading weighers only) plus the
+    /// clean-edge cache sweep (reweigh tier only) — the `reweigh` phase
+    /// column. Effectively zero for weighers with no global scalars.
+    pub reweigh_secs: f64,
     /// Wall-clock of the decision stage alone (frontier maintenance, flip
     /// emission, retained-set surgery) — the `decision` phase column.
     pub decision_secs: f64,
-    /// Whether the pass degraded to a full recompute (`WeightDeps` global
-    /// moves, a CNP budget shift, or an EJS-style degree dependency).
-    pub full: bool,
+    /// The repair-ladder tier this commit landed on.
+    pub tier: RepairTier,
+}
+
+impl RepairStats {
+    /// Whether the pass degraded to the full tier.
+    pub fn is_full(&self) -> bool {
+        self.tier == RepairTier::Full
+    }
 }
 
 /// What the cleaning stage reports into the repair.
@@ -161,13 +240,12 @@ pub struct DirtyScope {
     pub total_blocks_changed: bool,
 }
 
-/// WEP/CEP decision state: ordered weight index + live adjacency +
-/// retention frontier. Boxed in [`DecisionState`] — the inline exact
-/// accumulator makes it much larger than the other variants.
+/// WEP/CEP decision state: ordered weight index + retention frontier.
+/// Boxed in [`DecisionState`] — the inline exact accumulator makes it much
+/// larger than the other variants.
 #[derive(Debug)]
 struct EdgeState {
     index: OrderedWeightIndex,
-    adj: EdgeAdjacency,
     frontier: Frontier,
 }
 
@@ -192,6 +270,11 @@ pub struct IncrementalMetaBlocker {
     /// Per-node top-k lists (CNP). Empty otherwise.
     lists: Vec<Vec<u32>>,
     decision: DecisionState,
+    /// The live-edge adjacency with cached accumulators: always present
+    /// for WEP/CEP (old-side flip enumeration), created on the first pass
+    /// for every other variant whose weigher can drift a global scalar
+    /// (the reweigh tier's cache and the degree maintainer's edge diff).
+    adj: Option<EdgeAdjacency>,
     /// |retained|, maintained from the flips (no full-set scan).
     retained_len: usize,
     /// The flat sorted view, materialised lazily on read.
@@ -200,6 +283,8 @@ pub struct IncrementalMetaBlocker {
     mask: EpochMask,
     /// CNP's default k of the previous pass (a move forces a full pass).
     prev_cnp_budget: Option<usize>,
+    /// One-shot forced degradation (testing/operational escape hatch).
+    force_full: bool,
     initialised: bool,
 }
 
@@ -211,7 +296,6 @@ impl IncrementalMetaBlocker {
             | IncrementalPruning::Traditional(PruningAlgorithm::Cep) => {
                 DecisionState::Edge(Box::new(EdgeState {
                     index: OrderedWeightIndex::new(),
-                    adj: EdgeAdjacency::new(),
                     frontier: None,
                 }))
             }
@@ -223,15 +307,18 @@ impl IncrementalMetaBlocker {
                 retained: RetainedIndex::new(),
             },
         };
+        let edge_variant = matches!(decision, DecisionState::Edge(_));
         Self {
             pruning,
             thresholds: Vec::new(),
             lists: Vec::new(),
             decision,
+            adj: edge_variant.then(EdgeAdjacency::new),
             retained_len: 0,
             cache: OnceCell::new(),
             mask: EpochMask::new(),
             prev_cnp_budget: None,
+            force_full: false,
             initialised: false,
         }
     }
@@ -244,6 +331,14 @@ impl IncrementalMetaBlocker {
     /// Number of retained comparisons — O(1), maintained from the flips.
     pub fn retained_len(&self) -> usize {
         self.retained_len
+    }
+
+    /// Forces the next [`IncrementalMetaBlocker::refresh`] onto the
+    /// degraded-full tier regardless of what moved — the escape hatch that
+    /// keeps the rarely-exercised tier-3 path testable (and recoverable in
+    /// production, should cached state ever be suspected).
+    pub fn force_full_next(&mut self) {
+        self.force_full = true;
     }
 
     /// The current candidate set as a flat sorted list, materialised
@@ -267,18 +362,24 @@ impl IncrementalMetaBlocker {
     }
 
     /// Repairs the candidate set after a micro-batch. `ctx` is the graph
-    /// context over the *cleaned* snapshot (degrees ensured when the
-    /// weigher requires them); `scope` is the cleaning stage's dirty
-    /// report.
+    /// context over the *cleaned* snapshot (mutable: the repair patches
+    /// the delta-maintained degrees before weighting); `scope` is the
+    /// cleaning stage's dirty report.
     pub fn refresh(
         &mut self,
-        ctx: &GraphSnapshot,
+        ctx: &mut GraphSnapshot,
         weigher: &dyn EdgeWeigher,
         scope: &DirtyScope,
     ) -> (PairDelta, RepairStats) {
         self.cache.take();
         let n = ctx.total_profiles() as usize;
         let deps = weigher.global_deps();
+        let needs_degrees = weigher.requires_degrees();
+        let edge_variant = matches!(self.decision, DecisionState::Edge(_));
+        // The edge cache is maintained whenever a global scalar the
+        // weigher reads can drift (the reweigh tier's input) — and always
+        // for WEP/CEP, whose decision state needs the old-side rows.
+        let cache_edges = edge_variant || needs_degrees || deps.total_blocks;
 
         let cnp_budget = match self.pruning {
             IncrementalPruning::Traditional(PruningAlgorithm::Cnp1)
@@ -287,10 +388,12 @@ impl IncrementalMetaBlocker {
             }
             _ => None,
         };
-        let full = !self.initialised
-            || weigher.requires_degrees()
-            || (deps.total_blocks && scope.total_blocks_changed)
-            || (cnp_budget.is_some() && cnp_budget != self.prev_cnp_budget);
+        // Tier 3 is reserved for *structural* invalidation: nothing cached
+        // can be trusted (first pass, forced degradation) or every per-node
+        // artefact's shape changed (the CNP budget moved).
+        let structural = !self.initialised
+            || (cnp_budget.is_some() && cnp_budget != self.prev_cnp_budget)
+            || std::mem::take(&mut self.force_full);
         self.prev_cnp_budget = cnp_budget;
         self.initialised = true;
 
@@ -299,7 +402,7 @@ impl IncrementalMetaBlocker {
         // schemes reading per-node block counts) — never by scanning all n
         // nodes, except on the degraded-full path where dirty *is* all.
         self.mask.begin(n);
-        let dirty: Vec<u32> = if full {
+        let dirty: Vec<u32> = if structural {
             self.mask.mark_all();
             (0..n as u32).collect()
         } else {
@@ -327,12 +430,150 @@ impl IncrementalMetaBlocker {
             d
         };
 
+        // ---- artefact stage: re-accumulate the dirty-incident edges ----
+        let fresh_accs = collect_accums_touching(ctx, &dirty, &self.mask);
+
+        // The old dirty-incident edges (old weights), read off the cached
+        // adjacency rows: the old side of every flip diff, the treap
+        // un-keying source, and the degree maintainer's edge-existence
+        // baseline. Collected before any cache mutation.
+        if cache_edges && self.adj.is_none() {
+            // First pass of a cached non-edge variant: create the cache;
+            // the structural tier below bulk-loads it.
+            debug_assert!(structural, "the edge cache starts on the structural pass");
+            self.adj = Some(EdgeAdjacency::new());
+        }
+        let old: Vec<(u32, u32, f64)> = match &mut self.adj {
+            // On a structural pass the cache is bulk-reloaded and the
+            // non-edge variants' flip diffs read the retained state, so
+            // the old side is only worth materialising when something
+            // consumes it: the edge variants' flips, the degree
+            // maintainer, or the non-full adjacency patch.
+            Some(adj) if edge_variant || needs_degrees || !structural => {
+                adj.ensure_nodes(n);
+                adj.collect_touching(&dirty, &self.mask)
+            }
+            Some(adj) => {
+                adj.ensure_nodes(n);
+                Vec::new()
+            }
+            None => Vec::new(),
+        };
+
+        // ---- degree maintenance (EJS): the edge-existence diff patches
+        // the snapshot's delta-maintained degrees *before* any weight is
+        // computed, so EJS never needs a full degree pass again. ----
+        let t_degrees = Instant::now();
+        let mut degrees_moved = false;
+        if needs_degrees {
+            if ctx.degrees_maintained() {
+                degrees_moved = patch_degrees(ctx, &old, &fresh_accs);
+            } else {
+                debug_assert!(
+                    structural,
+                    "degree maintenance starts on the structural pass"
+                );
+                ctx.begin_degree_maintenance();
+            }
+        }
+        let degree_secs = t_degrees.elapsed().as_secs_f64();
+
+        // ---- weights of the fresh edges (globals now current) ----
+        // Work-stealing parallel like the accumulation itself: on the full
+        // tier this is every edge, and per-edge weights are independent, so
+        // chunk-ordered merging keeps the output bit-identical.
+        let fresh: Vec<FreshEdge> = {
+            let len = fresh_accs.len();
+            let chunks = parallel_work_steal(
+                len,
+                ctx.threads(),
+                (len / 128).clamp(32, 4096),
+                || (),
+                |_, range| {
+                    fresh_accs[range]
+                        .iter()
+                        .map(|&(u, v, acc)| FreshEdge {
+                            u,
+                            v,
+                            w: weigher.weight(ctx, u, v, &acc),
+                            acc,
+                        })
+                        .collect::<Vec<_>>()
+                },
+            );
+            let mut out = Vec::with_capacity(len);
+            for c in chunks {
+                out.extend(c);
+            }
+            out
+        };
+
+        // ---- tier selection ----
+        // Any degree event promotes a degree-reading weigher: a dirty
+        // node's degree change moves the weight of *every* edge it has,
+        // including edges into clean nodes, and those clean nodes'
+        // node-centric artefacts (thresholds, top-k lists) average over
+        // that weight — so the artefacts of nodes outside the dirty set go
+        // stale even when |E_G| itself is unchanged (balanced birth +
+        // death in one commit).
+        let drifted =
+            (deps.total_blocks && scope.total_blocks_changed) || (needs_degrees && degrees_moved);
+        let tier = if structural {
+            RepairTier::Full
+        } else if drifted {
+            RepairTier::Reweigh
+        } else {
+            RepairTier::Dirty
+        };
+
         let mut stats = RepairStats {
             dirty_nodes: dirty.len(),
-            full,
+            edges_reweighed: fresh.len(),
+            tier,
             ..RepairStats::default()
         };
-        let (added, retracted) = self.repair(ctx, weigher, &dirty, cnp_budget, &mut stats);
+
+        // ---- reweigh tier: re-derive every clean edge from its cached
+        // accumulator (no block traversal), then hand the decision stage
+        // the full recompute set. ----
+        let mut swept: Vec<(u32, u32, f64, f64)> = Vec::new();
+        let recompute: Vec<u32>;
+        let decide: Vec<(u32, u32, f64)>;
+        match tier {
+            RepairTier::Reweigh => {
+                let t_sweep = Instant::now();
+                let adj = self.adj.as_mut().expect("reweigh tier runs on the cache");
+                swept = adj.reweigh_clean(ctx, weigher, &self.mask);
+                stats.edges_swept = swept.len();
+                stats.edges_rekeyed = swept
+                    .iter()
+                    .filter(|&&(_, _, ow, nw)| ow.to_bits() != nw.to_bits())
+                    .count();
+                // From here on the decision stage recomputes everything:
+                // the mask covers all nodes and the decide list every live
+                // edge at its new weight.
+                self.mask.mark_all();
+                recompute = (0..n as u32).collect();
+                decide = merge_decide_edges(&swept, &fresh);
+                stats.reweigh_secs = degree_secs + t_sweep.elapsed().as_secs_f64();
+            }
+            _ => {
+                recompute = dirty;
+                // The edge variants never read the decide list outside the
+                // reweigh tier (their flips walk old/fresh directly) — skip
+                // the copy there.
+                decide = if edge_variant {
+                    Vec::new()
+                } else {
+                    fresh.iter().map(|e| (e.u, e.v, e.w)).collect()
+                };
+                stats.reweigh_secs = degree_secs;
+            }
+        }
+
+        let (added, retracted) = self.repair(
+            ctx, weigher, &recompute, &old, &fresh, &swept, &decide, cnp_budget, &mut stats,
+        );
         stats.retention_flips = added.len() + retracted.len();
         self.retained_len += added.len();
         self.retained_len -= retracted.len();
@@ -349,23 +590,50 @@ impl IncrementalMetaBlocker {
         (delta, stats)
     }
 
-    /// The per-variant artefact + decision pass. Returns the (sorted)
-    /// added/retracted flips; updates `stats` with the decision-stage
-    /// counters and wall-clock.
-    #[allow(clippy::type_complexity)]
+    /// The per-variant decision pass. `recompute` is the node set whose
+    /// artefacts are recomputed (the dirty set on tier 1, every node on
+    /// tiers 2–3), `decide` the corresponding fresh edge list (ascending
+    /// `(u, v)`, new weights), `old`/`fresh`/`swept` the flip-diff inputs
+    /// described in [`IncrementalMetaBlocker::refresh`]. Returns the
+    /// (sorted) added/retracted flips; updates `stats` with the
+    /// decision-stage counters and wall-clock.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     fn repair(
         &mut self,
         ctx: &GraphSnapshot,
         weigher: &dyn EdgeWeigher,
-        dirty: &[u32],
+        recompute: &[u32],
+        old: &[(u32, u32, f64)],
+        fresh: &[FreshEdge],
+        swept: &[(u32, u32, f64, f64)],
+        decide: &[(u32, u32, f64)],
         cnp_budget: Option<usize>,
         stats: &mut RepairStats,
     ) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
         let n = ctx.total_profiles() as usize;
         let mask = &self.mask;
-        let full = stats.full;
+        let tier = stats.tier;
         let mut added: Vec<(u32, u32)> = Vec::new();
         let mut retracted: Vec<(u32, u32)> = Vec::new();
+
+        // Keep the cached adjacency rows current (weights + accumulators)
+        // for the non-edge variants that maintain them. The reweigh sweep
+        // already refreshed the clean rows; this merge patches the dirty
+        // ones — except for tier 3, which bulk-reloads. (The edge variants
+        // fold the same surgery into their index merge below — one walk,
+        // not two.)
+        let edge_variant = matches!(self.decision, DecisionState::Edge(_));
+        if let Some(adj) = &mut self.adj {
+            if !edge_variant {
+                if tier == RepairTier::Full {
+                    adj.clear();
+                    adj.load(fresh);
+                } else {
+                    patch_adjacency(adj, old, fresh);
+                }
+            }
+        }
+
         match self.pruning {
             IncrementalPruning::Traditional(
                 algorithm @ (PruningAlgorithm::Wep | PruningAlgorithm::Cep),
@@ -373,48 +641,72 @@ impl IncrementalMetaBlocker {
                 let DecisionState::Edge(state) = &mut self.decision else {
                     unreachable!("edge-centric pruning carries edge state")
                 };
-                let EdgeState {
-                    index,
-                    adj,
-                    frontier,
-                } = state.as_mut();
-                // Artefact stage: re-weigh exactly the dirty-incident edges.
-                let fresh = collect_edges_touching(ctx, weigher, dirty, mask);
-                stats.edges_reweighed = fresh.len();
+                let EdgeState { index, frontier } = state.as_mut();
+                let adj = self.adj.as_mut().expect("edge variant carries the cache");
 
                 let t0 = Instant::now();
-                adj.ensure_nodes(n);
-                let old = adj.collect_touching(dirty, mask);
-                // Re-key only the edges whose weight bits actually moved:
-                // dirtiness is conservative (a new profile dirties every
-                // co-member, but most mutual weights are untouched), so
-                // the true edge delta is usually far smaller than the
-                // dirty-incident set.
-                if full {
-                    index.clear();
-                    adj.clear();
-                    for &(a, b, w) in &fresh {
-                        index.insert(a, b, w);
+                match tier {
+                    RepairTier::Full => {
+                        index.clear();
+                        adj.clear();
+                        for e in fresh {
+                            index.insert(e.u, e.v, e.w);
+                        }
+                        adj.load(fresh);
                     }
-                    adj.load(&fresh);
-                } else {
-                    merge_join(&old, &fresh, edge_pair, edge_pair, |step| match step {
-                        Joined::Both(&(a, b, ow), &(_, _, nw)) => {
+                    // A heavy drift (most keys moved — the WEP/ECBS case,
+                    // where a |B| shift re-ranks essentially every edge)
+                    // rebuilds the index from the decide list outright:
+                    // |E| inserts beat 2·rekeys treap churn once rekeys
+                    // approach |E|, and the canonical treap shape + exact
+                    // Σw make the two constructions indistinguishable. The
+                    // adjacency still takes the dirty merge.
+                    RepairTier::Reweigh
+                        if (stats.edges_rekeyed + fresh.len()) * 4 >= index.len().max(1) * 3 =>
+                    {
+                        index.clear();
+                        for &(u, v, w) in decide {
+                            index.insert(u, v, w);
+                        }
+                        patch_adjacency(adj, old, fresh);
+                    }
+                    _ => {
+                        // One merge walk patches both structures: the
+                        // adjacency cache takes every dirty edge's fresh
+                        // weight + accumulator; the ordered index re-keys
+                        // only the edges whose weight bits actually moved —
+                        // dirtiness is conservative (a new profile dirties
+                        // every co-member, but most mutual weights are
+                        // untouched), so the true key delta is usually far
+                        // smaller than the dirty-incident set.
+                        merge_join(old, fresh, edge_pair, fresh_pair, |step| match step {
+                            Joined::Both(&(a, b, ow), e) => {
+                                adj.set_edge(a, b, e.w, e.acc);
+                                if ow.to_bits() != e.w.to_bits() {
+                                    index.remove(a, b, ow);
+                                    index.insert(a, b, e.w);
+                                }
+                            }
+                            Joined::Left(&(a, b, w)) => {
+                                adj.remove_edge(a, b);
+                                index.remove(a, b, w);
+                            }
+                            Joined::Right(e) => {
+                                adj.insert_edge(e.u, e.v, e.w, e.acc);
+                                index.insert(e.u, e.v, e.w);
+                            }
+                        });
+                        // The reweigh tier's swept clean edges re-key the
+                        // same way — only the bit-changed ones (their
+                        // adjacency rows were already updated in place by
+                        // the sweep).
+                        for &(u, v, ow, nw) in swept {
                             if ow.to_bits() != nw.to_bits() {
-                                index.remove(a, b, ow);
-                                index.insert(a, b, nw);
-                                adj.set_weight(a, b, nw);
+                                index.remove(u, v, ow);
+                                index.insert(u, v, nw);
                             }
                         }
-                        Joined::Left(&(a, b, w)) => {
-                            index.remove(a, b, w);
-                            adj.remove_edge(a, b);
-                        }
-                        Joined::Right(&(a, b, w)) => {
-                            index.insert(a, b, w);
-                            adj.insert_edge(a, b, w);
-                        }
-                    });
+                    }
                 }
 
                 // The new retention frontier: WEP's mean over the running
@@ -438,36 +730,63 @@ impl IncrementalMetaBlocker {
                 // Dirty flips: merge-walk the old vs fresh dirty-incident
                 // edges, deciding each against its era's frontier.
                 edge_flips(
-                    &old,
-                    &fresh,
+                    old,
+                    fresh,
                     old_frontier,
                     new_frontier,
                     &mut added,
                     &mut retracted,
                 );
-                // Clean flips: exactly the keys between the two frontiers
-                // (skipped on a full pass — every edge was dirty-decided).
-                if !full && old_frontier != new_frontier {
-                    let lo = old_frontier.min(new_frontier);
-                    if let Some(hi) = old_frontier.max(new_frontier) {
-                        index.for_each_between(lo, hi, &mut |key, _| {
-                            if mask.contains(key.u) || mask.contains(key.v) {
-                                return;
+                match tier {
+                    RepairTier::Dirty => {
+                        // Clean flips: exactly the keys between the two
+                        // frontiers (skipped on the other tiers — every
+                        // edge is decided explicitly there).
+                        if old_frontier != new_frontier {
+                            let lo = old_frontier.min(new_frontier);
+                            if let Some(hi) = old_frontier.max(new_frontier) {
+                                index.for_each_between(lo, hi, &mut |key, _| {
+                                    if mask.contains(key.u) || mask.contains(key.v) {
+                                        return;
+                                    }
+                                    let was = retained_under(old_frontier, key);
+                                    let now = retained_under(new_frontier, key);
+                                    if was != now {
+                                        stats.threshold_crossers += 1;
+                                        if now {
+                                            added.push((key.u, key.v));
+                                        } else {
+                                            retracted.push((key.u, key.v));
+                                        }
+                                    }
+                                });
                             }
-                            let was = retained_under(old_frontier, key);
-                            let now = retained_under(new_frontier, key);
+                            added.sort_unstable();
+                            retracted.sort_unstable();
+                        }
+                    }
+                    RepairTier::Reweigh => {
+                        // Swept clean edges: decided explicitly, old key
+                        // against the old frontier, new key against the
+                        // new one.
+                        for &(u, v, ow, nw) in swept {
+                            let was = retained_under(old_frontier, EdgeKey::new(u, v, ow));
+                            let now = retained_under(new_frontier, EdgeKey::new(u, v, nw));
                             if was != now {
-                                stats.threshold_crossers += 1;
+                                if ow.to_bits() == nw.to_bits() {
+                                    stats.threshold_crossers += 1;
+                                }
                                 if now {
-                                    added.push((key.u, key.v));
+                                    added.push((u, v));
                                 } else {
-                                    retracted.push((key.u, key.v));
+                                    retracted.push((u, v));
                                 }
                             }
-                        });
+                        }
+                        added.sort_unstable();
+                        retracted.sort_unstable();
                     }
-                    added.sort_unstable();
-                    retracted.sort_unstable();
+                    RepairTier::Full => {}
                 }
                 stats.decision_secs = t0.elapsed().as_secs_f64();
                 debug_assert_eq!(
@@ -483,28 +802,33 @@ impl IncrementalMetaBlocker {
                     unreachable!("node-centric pruning carries a retained index")
                 };
                 self.thresholds.resize(n, f64::INFINITY);
-                let theta = node_pass_subset(ctx, weigher, dirty, |_, adj| {
-                    if adj.is_empty() {
-                        f64::INFINITY
-                    } else {
-                        adj.iter().map(|(_, w)| *w).sum::<f64>() / adj.len() as f64
-                    }
-                });
-                for (&u, &t) in dirty.iter().zip(&theta) {
+                let theta = node_artefacts(
+                    self.adj.as_ref(),
+                    tier,
+                    ctx,
+                    weigher,
+                    recompute,
+                    |_, adj| {
+                        if adj.is_empty() {
+                            f64::INFINITY
+                        } else {
+                            adj.iter().map(|(_, w)| *w).sum::<f64>() / adj.len() as f64
+                        }
+                    },
+                );
+                for (&u, &t) in recompute.iter().zip(&theta) {
                     self.thresholds[u as usize] = t;
                 }
-                let touching = collect_edges_touching(ctx, weigher, dirty, mask);
-                stats.edges_reweighed = touching.len();
 
                 let t0 = Instant::now();
                 let wnp = Wnp { mode };
                 let thresholds = &self.thresholds;
                 node_flips(
                     retained,
-                    dirty,
+                    recompute,
                     mask,
                     n,
-                    touching
+                    decide
                         .iter()
                         .filter(|&&(u, v, w)| wnp.decide(thresholds, u, v, w))
                         .map(|&(u, v, _)| (u, v)),
@@ -518,31 +842,36 @@ impl IncrementalMetaBlocker {
                     unreachable!("blast pruning carries a retained index")
                 };
                 self.thresholds.resize(n, f64::INFINITY);
-                let theta = node_pass_subset(ctx, weigher, dirty, |_, adj| {
-                    let max = adj
-                        .iter()
-                        .map(|(_, w)| *w)
-                        .fold(f64::NEG_INFINITY, f64::max);
-                    if max.is_finite() {
-                        max / c
-                    } else {
-                        f64::INFINITY
-                    }
-                });
-                for (&u, &t) in dirty.iter().zip(&theta) {
+                let theta = node_artefacts(
+                    self.adj.as_ref(),
+                    tier,
+                    ctx,
+                    weigher,
+                    recompute,
+                    |_, adj| {
+                        let max = adj
+                            .iter()
+                            .map(|(_, w)| *w)
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        if max.is_finite() {
+                            max / c
+                        } else {
+                            f64::INFINITY
+                        }
+                    },
+                );
+                for (&u, &t) in recompute.iter().zip(&theta) {
                     self.thresholds[u as usize] = t;
                 }
-                let touching = collect_edges_touching(ctx, weigher, dirty, mask);
-                stats.edges_reweighed = touching.len();
 
                 let t0 = Instant::now();
                 let thresholds = &self.thresholds;
                 node_flips(
                     retained,
-                    dirty,
+                    recompute,
                     mask,
                     n,
-                    touching
+                    decide
                         .iter()
                         .filter(|&&(u, v, w)| {
                             let theta = (thresholds[u as usize] + thresholds[v as usize]) / d;
@@ -562,12 +891,14 @@ impl IncrementalMetaBlocker {
                 };
                 let k = cnp_budget.expect("cnp budget computed");
                 self.lists.resize_with(n, Vec::new);
-                let weighed = AtomicUsize::new(0);
-                let fresh = node_pass_subset(ctx, weigher, dirty, |_, adj| {
-                    weighed.fetch_add(adj.len(), Ordering::Relaxed);
-                    cnp::top_k_neighbours(adj, k)
-                });
-                stats.edges_reweighed = weighed.into_inner();
+                let fresh_lists = node_artefacts(
+                    self.adj.as_ref(),
+                    tier,
+                    ctx,
+                    weigher,
+                    recompute,
+                    |_, adj| cnp::top_k_neighbours(adj, k),
+                );
 
                 let t0 = Instant::now();
                 counts.ensure_nodes(n);
@@ -577,7 +908,7 @@ impl IncrementalMetaBlocker {
                 let mut touched: BTreeMap<(u32, u32), u8> = BTreeMap::new();
                 let mut old_sorted: Vec<u32> = Vec::new();
                 let mut new_sorted: Vec<u32> = Vec::new();
-                for (&u, new_list) in dirty.iter().zip(fresh) {
+                for (&u, new_list) in recompute.iter().zip(fresh_lists) {
                     let old_list = std::mem::replace(&mut self.lists[u as usize], new_list);
                     old_sorted.clear();
                     old_sorted.extend_from_slice(&old_list);
@@ -613,6 +944,147 @@ impl IncrementalMetaBlocker {
 #[inline]
 fn edge_pair(e: &(u32, u32, f64)) -> (u32, u32) {
     (e.0, e.1)
+}
+
+/// Merge-patches the cached adjacency rows from the old vs fresh
+/// dirty-incident edge lists. The `Both` arm is unconditional: the
+/// accumulator can move even when the weight bits tie, and a later
+/// reweigh must read current local factors.
+fn patch_adjacency(adj: &mut EdgeAdjacency, old: &[(u32, u32, f64)], fresh: &[FreshEdge]) {
+    merge_join(old, fresh, edge_pair, fresh_pair, |step| match step {
+        Joined::Both(&(a, b, _), e) => adj.set_edge(a, b, e.w, e.acc),
+        Joined::Left(&(a, b, _)) => adj.remove_edge(a, b),
+        Joined::Right(e) => adj.insert_edge(e.u, e.v, e.w, e.acc),
+    });
+}
+
+/// The `(u, v)` join key of a fresh edge.
+#[inline]
+fn fresh_pair(e: &FreshEdge) -> (u32, u32) {
+    (e.u, e.v)
+}
+
+/// Diffs the old edge set against the freshly accumulated one and patches
+/// the snapshot's delta-maintained degrees: every edge death decrements
+/// both endpoints, every birth increments them, and |E_G| follows. Returns
+/// whether *any* degree event occurred — the EJS drift signal. (The
+/// degree-changed nodes themselves are always dirty, but their edges reach
+/// clean nodes whose node-centric artefacts average over the moved
+/// weights, so even an |E_G|-preserving birth + death must promote the
+/// commit to the reweigh tier.)
+fn patch_degrees(
+    ctx: &mut GraphSnapshot,
+    old: &[(u32, u32, f64)],
+    fresh: &[(u32, u32, EdgeAccum)],
+) -> bool {
+    let mut events: Vec<(u32, i32)> = Vec::new();
+    let mut edge_delta: i64 = 0;
+    merge_join(
+        old,
+        fresh,
+        edge_pair,
+        |e: &(u32, u32, EdgeAccum)| (e.0, e.1),
+        |step| match step {
+            Joined::Both(..) => {}
+            Joined::Left(&(u, v, _)) => {
+                events.push((u, -1));
+                events.push((v, -1));
+                edge_delta -= 1;
+            }
+            Joined::Right(&(u, v, _)) => {
+                events.push((u, 1));
+                events.push((v, 1));
+                edge_delta += 1;
+            }
+        },
+    );
+    if events.is_empty() {
+        return false;
+    }
+    // Fold the ±1 events per node before applying.
+    events.sort_unstable_by_key(|&(u, _)| u);
+    let mut folded: Vec<(u32, i32)> = Vec::with_capacity(events.len());
+    for (u, d) in events {
+        match folded.last_mut() {
+            Some((lu, ld)) if *lu == u => *ld += d,
+            _ => folded.push((u, d)),
+        }
+    }
+    ctx.apply_degree_deltas(folded.into_iter().filter(|&(_, d)| d != 0), edge_delta);
+    true
+}
+
+/// Merges the reweigh sweep's clean edges (at their new weights) with the
+/// fresh dirty-incident edges into the full decision list, ascending
+/// `(u, v)` — the two inputs are disjoint and each sorted.
+fn merge_decide_edges(swept: &[(u32, u32, f64, f64)], fresh: &[FreshEdge]) -> Vec<(u32, u32, f64)> {
+    let mut out = Vec::with_capacity(swept.len() + fresh.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < swept.len() && j < fresh.len() {
+        let s = &swept[i];
+        let f = &fresh[j];
+        if (s.0, s.1) < (f.u, f.v) {
+            out.push((s.0, s.1, s.3));
+            i += 1;
+        } else {
+            debug_assert_ne!((s.0, s.1), (f.u, f.v), "swept and fresh are disjoint");
+            out.push((f.u, f.v, f.w));
+            j += 1;
+        }
+    }
+    out.extend(swept[i..].iter().map(|&(u, v, _, nw)| (u, v, nw)));
+    out.extend(fresh[j..].iter().map(|e| (e.u, e.v, e.w)));
+    out
+}
+
+/// Runs `per_node(node, &[(v, w)])` over the recompute set with the
+/// **node-orientation** weighted adjacency — the artefact primitive of the
+/// node-centric variants. On the accumulate tiers (1 and 3) it is the
+/// scratch-engine pass ([`node_pass_subset`]), exactly as batch computes
+/// per-node thresholds and top-k lists. On the reweigh tier the same
+/// adjacency is re-derived from the cached accumulators
+/// ([`EdgeAdjacency::for_each_node_weight`]): the accumulator is
+/// orientation-symmetric bitwise, and the weight is re-computed from the
+/// row owner's side — the batch orientation — so the artefacts stay
+/// bit-identical without touching a single block.
+fn node_artefacts<R: Send>(
+    adj: Option<&EdgeAdjacency>,
+    tier: RepairTier,
+    ctx: &GraphSnapshot,
+    weigher: &dyn EdgeWeigher,
+    recompute: &[u32],
+    per_node: impl Fn(u32, &[(u32, f64)]) -> R + Sync,
+) -> Vec<R> {
+    if tier == RepairTier::Reweigh {
+        let adj = adj.expect("reweigh tier runs on the cache");
+        // Same work-stealing shape as the scratch pass: chunk geometry
+        // depends only on the length, results merge in chunk order, so
+        // the output is bit-identical across thread counts.
+        let len = recompute.len();
+        let chunks = parallel_work_steal(
+            len,
+            ctx.threads(),
+            (len / 128).clamp(32, 4096),
+            Vec::new,
+            |buf: &mut Vec<(u32, f64)>, range| {
+                let mut out = Vec::with_capacity(range.len());
+                for i in range {
+                    let u = recompute[i];
+                    buf.clear();
+                    adj.for_each_node_weight(u, ctx, weigher, |v, w| buf.push((v, w)));
+                    out.push(per_node(u, buf));
+                }
+                out
+            },
+        );
+        let mut out = Vec::with_capacity(len);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    } else {
+        node_pass_subset(ctx, weigher, recompute, per_node)
+    }
 }
 
 /// One step of a [`merge_join`]: the key was on both sides, departed
@@ -663,16 +1135,16 @@ fn merge_join<L, R, K: Ord>(
 /// since both inputs are).
 fn edge_flips(
     old: &[(u32, u32, f64)],
-    fresh: &[(u32, u32, f64)],
+    fresh: &[FreshEdge],
     f_old: Frontier,
     f_new: Frontier,
     added: &mut Vec<(u32, u32)>,
     retracted: &mut Vec<(u32, u32)>,
 ) {
-    merge_join(old, fresh, edge_pair, edge_pair, |step| match step {
-        Joined::Both(&(u, v, ow), &(_, _, nw)) => {
+    merge_join(old, fresh, edge_pair, fresh_pair, |step| match step {
+        Joined::Both(&(u, v, ow), e) => {
             let was = retained_under(f_old, EdgeKey::new(u, v, ow));
-            let now = retained_under(f_new, EdgeKey::new(u, v, nw));
+            let now = retained_under(f_new, EdgeKey::new(u, v, e.w));
             if was != now {
                 if now {
                     added.push((u, v));
@@ -688,18 +1160,19 @@ fn edge_flips(
             }
         }
         // Edge appeared.
-        Joined::Right(&(u, v, w)) => {
-            if retained_under(f_new, EdgeKey::new(u, v, w)) {
-                added.push((u, v));
+        Joined::Right(e) => {
+            if retained_under(f_new, EdgeKey::new(e.u, e.v, e.w)) {
+                added.push((e.u, e.v));
             }
         }
     });
 }
 
 /// Node-centric flip emission: diffs the retained pairs incident to the
-/// dirty nodes (read off the [`RetainedIndex`] rows — clean survivors are
-/// never visited) against the freshly decided pairs, applies the flips to
-/// the index and pushes them (sorted) onto `added` / `retracted`.
+/// recomputed nodes (read off the [`RetainedIndex`] rows — clean survivors
+/// are never visited on the dirty tier) against the freshly decided pairs,
+/// applies the flips to the index and pushes them (sorted) onto `added` /
+/// `retracted`.
 fn node_flips(
     retained: &mut RetainedIndex,
     dirty: &[u32],
@@ -764,6 +1237,18 @@ fn diff_sorted_ids(old: &[u32], new: &[u32], mut f: impl FnMut(u32, i8)) {
 mod tests {
     use super::*;
 
+    fn fresh(edges: &[(u32, u32, f64)]) -> Vec<FreshEdge> {
+        edges
+            .iter()
+            .map(|&(u, v, w)| FreshEdge {
+                u,
+                v,
+                w,
+                acc: EdgeAccum::default(),
+            })
+            .collect()
+    }
+
     #[test]
     fn edge_flips_cover_all_transitions() {
         // Frontier = everything with w ≥ 2 retained, in both eras.
@@ -771,9 +1256,9 @@ mod tests {
         let old = vec![(0, 1, 3.0), (0, 2, 1.0), (1, 2, 5.0), (2, 3, 2.0)];
         // (0,1) drops below; (0,2) rises above; (1,2) vanishes; (2,4) appears
         // retained; (2,3) keeps its weight.
-        let fresh = vec![(0, 1, 1.0), (0, 2, 4.0), (2, 3, 2.0), (2, 4, 9.0)];
+        let new = fresh(&[(0, 1, 1.0), (0, 2, 4.0), (2, 3, 2.0), (2, 4, 9.0)]);
         let (mut added, mut retracted) = (Vec::new(), Vec::new());
-        edge_flips(&old, &fresh, f, f, &mut added, &mut retracted);
+        edge_flips(&old, &new, f, f, &mut added, &mut retracted);
         assert_eq!(added, vec![(0, 2), (2, 4)]);
         assert_eq!(retracted, vec![(0, 1), (1, 2)]);
     }
@@ -782,11 +1267,11 @@ mod tests {
     fn edge_flips_track_frontier_movement() {
         // Same edge, same weight — retention flips because Θ moved.
         let old = vec![(0, 1, 3.0)];
-        let fresh = vec![(0, 1, 3.0)];
+        let new = fresh(&[(0, 1, 3.0)]);
         let (mut added, mut retracted) = (Vec::new(), Vec::new());
         edge_flips(
             &old,
-            &fresh,
+            &new,
             Some(EdgeKey::mean_bound(2.0)),
             Some(EdgeKey::mean_bound(4.0)),
             &mut added,
@@ -828,5 +1313,17 @@ mod tests {
         let mut events = Vec::new();
         diff_sorted_ids(&[1, 3, 5], &[2, 3, 6], |v, d| events.push((v, d)));
         assert_eq!(events, vec![(1, -1), (2, 1), (5, -1), (6, 1)]);
+    }
+
+    #[test]
+    fn merged_decide_edges_interleave_sorted() {
+        let swept = vec![(0, 3, 1.0, 1.5), (2, 4, 2.0, 2.5)];
+        let dirty = fresh(&[(0, 1, 9.0), (2, 3, 8.0)]);
+        let merged = merge_decide_edges(&swept, &dirty);
+        assert_eq!(
+            merged,
+            vec![(0, 1, 9.0), (0, 3, 1.5), (2, 3, 8.0), (2, 4, 2.5)],
+            "new weights, ascending (u, v)"
+        );
     }
 }

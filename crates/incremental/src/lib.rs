@@ -43,13 +43,19 @@
 //! **The contract:** after any sequence of mutations, the incremental
 //! candidate set is **bit-identical** to a from-scratch batch run on the
 //! final collection. Soundness comes from scheme-aware dirtiness
-//! propagation ([`blast_graph::weights::WeightDeps`]): when a mutation
-//! moves a global statistic that the weighting scheme reads and that the
-//! dirty set cannot bound, the repair degrades to a full recompute over the
-//! identical code path — never to a different answer. WEP's global mean —
-//! a function of *every* edge weight — stays maintainable because both the
-//! batch and the incremental path compute it through the exact,
-//! order-independent [`blast_graph::exact_sum::ExactSum`] accumulator.
+//! propagation ([`blast_graph::weights::WeightDeps`]) and the three-tier
+//! **repair ladder** ([`graph::RepairTier`]): a commit that moved no
+//! global statistic repairs the dirty neighbourhood alone (tier 1); a
+//! commit that only drifted a global *scalar* (|B| for χ²/ECBS; degrees /
+//! |E_G| for EJS — delta-maintained [`blast_graph::GraphSnapshot`]
+//! fields now) re-derives every clean edge's weight from its cached
+//! accumulator (tier 2, no block traversal); only genuinely structural
+//! invalidation (first pass, CNP budget move, forced degradation) runs
+//! the full recompute over the identical flip-emitting code path (tier 3)
+//! — never a different answer. WEP's global mean — a function of *every*
+//! edge weight — stays maintainable because both the batch and the
+//! incremental path compute it through the exact, order-independent
+//! [`blast_graph::exact_sum::ExactSum`] accumulator.
 
 pub mod cleaner;
 pub mod decision;
@@ -60,7 +66,7 @@ pub mod store;
 
 pub use cleaner::{CleaningConfig, IncrementalCleaner};
 pub use decision::{ContainmentIndex, EdgeAdjacency, EdgeKey, Frontier, OrderedWeightIndex};
-pub use graph::{IncrementalMetaBlocker, IncrementalPruning, PairDelta, RepairStats};
+pub use graph::{IncrementalMetaBlocker, IncrementalPruning, PairDelta, RepairStats, RepairTier};
 pub use index::IncrementalBlockIndex;
 pub use pipeline::{CommitOutcome, CommitTimings, IncrementalPipeline};
 pub use store::{MutableProfileStore, StoreMode};

@@ -61,10 +61,16 @@ pub struct CommitTimings {
     /// edges and recomputing per-node thresholds / top-k lists on the
     /// dense scratch engine.
     pub repair_secs: f64,
+    /// The repair ladder's reweigh machinery: degree-delta maintenance
+    /// (every tier, degree-reading weighers only) plus the cache-driven
+    /// re-derivation of every clean edge's weight when a global scalar
+    /// drifted (tier 2 only). Effectively zero for local schemes.
+    pub reweigh_secs: f64,
     /// The decision stage: frontier maintenance on the ordered weight
     /// index, containment-counter updates, flip emission and retained-set
-    /// surgery — proportional to the dirty neighbourhood plus the flips,
-    /// never to |E| or n (see [`crate::decision`]).
+    /// surgery — proportional to the dirty neighbourhood plus the flips
+    /// on tier 1, to the live edge count on tiers 2–3 (see
+    /// [`crate::decision`]).
     pub decision_secs: f64,
 }
 
@@ -75,6 +81,7 @@ impl CommitTimings {
             + self.cleaning_secs
             + self.snapshot_secs
             + self.repair_secs
+            + self.reweigh_secs
             + self.decision_secs
     }
 
@@ -84,6 +91,7 @@ impl CommitTimings {
         self.cleaning_secs += other.cleaning_secs;
         self.snapshot_secs += other.snapshot_secs;
         self.repair_secs += other.repair_secs;
+        self.reweigh_secs += other.reweigh_secs;
         self.decision_secs += other.decision_secs;
     }
 }
@@ -317,20 +325,22 @@ impl IncrementalPipeline {
         let applied = self.snapshot.apply(outcome.delta);
         timings.snapshot_secs = t0.elapsed().as_secs_f64();
 
-        // Degree recomputation is a full graph pass (EJS's forced-full
-        // path), so it counts as repair, not snapshot maintenance.
+        // Degrees are delta-maintained inside the repair ladder (EJS's
+        // former forced-full path is gone): `refresh` patches them from
+        // its edge-existence diff before any weight is computed.
         let t0 = Instant::now();
-        if self.weigher.requires_degrees() {
-            self.snapshot.ensure_degrees();
-        }
         let scope = DirtyScope {
             nodes: outcome.dirty_nodes,
             lists_changed: outcome.lists_changed,
             total_blocks_changed: outcome.total_blocks_changed,
         };
-        let (delta, mut stats) = self.blocker.refresh(&self.snapshot, &*self.weigher, &scope);
+        let (delta, mut stats) = self
+            .blocker
+            .refresh(&mut self.snapshot, &*self.weigher, &scope);
         timings.decision_secs = stats.decision_secs;
-        timings.repair_secs = (t0.elapsed().as_secs_f64() - stats.decision_secs).max(0.0);
+        timings.reweigh_secs = stats.reweigh_secs;
+        timings.repair_secs =
+            (t0.elapsed().as_secs_f64() - stats.decision_secs - stats.reweigh_secs).max(0.0);
         stats.patched_rows = applied.patched_rows;
         stats.patched_slots = applied.patched_slots;
         CommitOutcome {
@@ -340,6 +350,14 @@ impl IncrementalPipeline {
             blocks: outcome.blocks as usize,
             timings,
         }
+    }
+
+    /// Forces the next commit onto the degraded-full repair tier (tier 3)
+    /// regardless of what moved — the testing/operational escape hatch
+    /// that keeps the rarely-exercised fallback exercised (see
+    /// [`crate::IncrementalMetaBlocker::force_full_next`]).
+    pub fn force_full_repair(&mut self) {
+        self.blocker.force_full_next();
     }
 
     /// Whether mutations are waiting for a commit.
@@ -504,7 +522,7 @@ mod tests {
         p.insert(SourceId(0), "c", [("t", "p q r s")]);
         p.insert(SourceId(0), "d", [("t", "p q r s")]);
         let out = p.commit();
-        assert!(!out.stats.full, "disjoint insert must not degrade to full");
+        assert!(!out.stats.is_full(), "disjoint insert must not degrade");
         assert_eq!(out.stats.threshold_crossers, 1, "clean edge crossed Θ");
         assert_eq!(
             out.delta.retracted,

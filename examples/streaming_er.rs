@@ -122,14 +122,10 @@ fn report(outcome: &blast::incremental::CommitOutcome) {
         println!("  - candidate ({}, {})", a.0, b.0);
     }
     println!(
-        "  [{} candidates over {} blocks; {} dirty nodes{}]",
+        "  [{} candidates over {} blocks; {} dirty nodes; {} tier]",
         outcome.retained_len,
         outcome.blocks,
         outcome.stats.dirty_nodes,
-        if outcome.stats.full {
-            ", full pass"
-        } else {
-            ""
-        },
+        outcome.stats.tier.label(),
     );
 }

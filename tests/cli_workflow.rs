@@ -174,9 +174,11 @@ fn stream_command_replays_micro_batches() {
     assert!(report.contains("batch    1:"), "{report}");
     assert!(report.contains("verify: incremental == batch"), "{report}");
     assert!(report.contains("PC ="), "{report}");
-    // --stats surfaces per-commit RepairStats and the run totals.
+    // --stats surfaces per-commit RepairStats (including the repair-ladder
+    // tier) and the run totals.
     assert!(report.contains("patched CSR rows"), "{report}");
-    assert!(report.contains("full-rebuild fallbacks"), "{report}");
+    assert!(report.contains("tier = "), "{report}");
+    assert!(report.contains("dirty/reweigh/full"), "{report}");
     let _ = fs::remove_dir_all(&dir);
 }
 

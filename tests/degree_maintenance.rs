@@ -1,0 +1,239 @@
+//! Delta-maintained degrees ≡ from-scratch `ensure_degrees`.
+//!
+//! EJS reads node degrees and the total edge count; since the repair
+//! ladder, the incremental pipeline maintains both as exact-integer deltas
+//! on the owned [`blast_graph::GraphSnapshot`] (patched from the cached
+//! edge adjacency's existence diffs) instead of re-running the full degree
+//! pass per commit. This suite pins the maintained values **bit-equal** to
+//! a from-scratch [`GraphSnapshot::ensure_degrees`] over the materialised
+//! collection after every commit — across random mutation histories
+//! (property tests, dirty + clean-clean, cleaning on/off) and the scripted
+//! edge cases the diff machinery must not fumble: tombstone deletes and
+//! same-commit oscillation (a profile mutated twice inside one
+//! micro-batch).
+
+use blast_datamodel::entity::{ProfileId, SourceId};
+use blast_graph::context::GraphSnapshot;
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::weights::WeightingScheme;
+use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+use proptest::prelude::*;
+
+const VOCAB: [&str; 10] = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+];
+
+type Op = (u8, u8, Vec<u8>);
+
+fn value_of(tokens: &[u8]) -> String {
+    tokens
+        .iter()
+        .map(|&t| VOCAB[t as usize % VOCAB.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The maintained degrees/edge count of the pipeline's snapshot must equal
+/// a snapshot built from scratch on the materialised collection.
+fn assert_degrees_match_batch(p: &IncrementalPipeline, label: &str) {
+    let input = p.materialize();
+    let blocks = p.batch_blocks(&input);
+    let mut batch = GraphSnapshot::build(&blocks);
+    batch.ensure_degrees();
+    let snap = p.snapshot();
+    assert!(
+        snap.has_degrees(),
+        "{label}: EJS pipeline must maintain degrees"
+    );
+    assert_eq!(
+        snap.total_edges(),
+        batch.total_edges(),
+        "{label}: total edge count"
+    );
+    assert_eq!(snap.total_profiles(), batch.total_profiles(), "{label}");
+    for u in 0..snap.total_profiles() {
+        assert_eq!(
+            snap.degree(u),
+            batch.degree(u),
+            "{label}: degree of node {u}"
+        );
+    }
+}
+
+fn drive(ops: &[Op], commit_every: usize, cleaning: CleaningConfig, label: &str) {
+    let mut p = IncrementalPipeline::dirty(
+        WeightingScheme::Ejs,
+        IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        cleaning,
+    );
+    let mut ids: Vec<ProfileId> = Vec::new();
+    let mut since = 0usize;
+    for (step, (kind, target, tokens)) in ops.iter().enumerate() {
+        let value = value_of(tokens);
+        let live: Vec<ProfileId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| p.store().is_live(id))
+            .collect();
+        match kind % 3 {
+            1 if !live.is_empty() => {
+                let id = live[*target as usize % live.len()];
+                p.update(id, [("text", value.as_str())]);
+            }
+            2 if !live.is_empty() => {
+                let id = live[*target as usize % live.len()];
+                p.delete(id);
+            }
+            _ => {
+                let id = p.insert(
+                    SourceId(0),
+                    &format!("p{}", ids.len()),
+                    [("text", value.as_str())],
+                );
+                ids.push(id);
+            }
+        }
+        since += 1;
+        if since >= commit_every {
+            since = 0;
+            p.commit();
+            assert_degrees_match_batch(&p, &format!("{label} step {step}"));
+        }
+    }
+    if p.has_pending() {
+        p.commit();
+        assert_degrees_match_batch(&p, &format!("{label} final"));
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..6, 0u8..16, proptest::collection::vec(0u8..10, 1..5)),
+        3..14,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random dirty-ER mutation histories, cleaning on and off, micro-batch
+    /// sizes 1–3: maintained degrees bit-equal to a from-scratch pass at
+    /// every commit.
+    #[test]
+    fn prop_degrees_track_batch_dirty(ops in op_strategy(), commit_every in 1usize..4) {
+        drive(&ops, commit_every, CleaningConfig::default(), "cleaned");
+        drive(&ops, commit_every, CleaningConfig::none(), "raw");
+    }
+
+    /// Clean-clean streams: inserts land on either side of the fixed
+    /// separator; bipartite degree maintenance must agree with batch too.
+    #[test]
+    fn prop_degrees_track_batch_clean_clean(ops in op_strategy(), commit_every in 1usize..4) {
+        const CAPACITY: u32 = 8;
+        let mut p = IncrementalPipeline::clean_clean(
+            CAPACITY,
+            WeightingScheme::Ejs,
+            IncrementalPruning::Traditional(PruningAlgorithm::Wnp2),
+            CleaningConfig::default(),
+        );
+        let mut ids: Vec<ProfileId> = Vec::new();
+        let mut inserted0 = 0u32;
+        let mut since = 0usize;
+        for (step, (kind, target, tokens)) in ops.iter().enumerate() {
+            let value = value_of(tokens);
+            let live: Vec<ProfileId> = ids
+                .iter()
+                .copied()
+                .filter(|&id| p.store().is_live(id))
+                .collect();
+            match kind % 4 {
+                0 | 3 => {
+                    let source = if kind % 4 == 0 && inserted0 < CAPACITY {
+                        inserted0 += 1;
+                        SourceId(0)
+                    } else {
+                        SourceId(1)
+                    };
+                    let id = p.insert(
+                        source,
+                        &format!("s{}p{}", source.0, ids.len()),
+                        [("text", value.as_str())],
+                    );
+                    ids.push(id);
+                }
+                1 if !live.is_empty() => {
+                    let id = live[*target as usize % live.len()];
+                    p.update(id, [("text", value.as_str())]);
+                }
+                2 if !live.is_empty() => {
+                    let id = live[*target as usize % live.len()];
+                    p.delete(id);
+                }
+                _ => {}
+            }
+            since += 1;
+            if since >= commit_every {
+                since = 0;
+                p.commit();
+                assert_degrees_match_batch(&p, &format!("clean-clean step {step}"));
+            }
+        }
+        if p.has_pending() {
+            p.commit();
+            assert_degrees_match_batch(&p, "clean-clean final");
+        }
+    }
+}
+
+/// A tombstone delete must subtract exactly the dead node's edges — its
+/// own degree drops to zero and every former neighbour loses one.
+#[test]
+fn tombstone_delete_subtracts_degrees() {
+    let mut p = IncrementalPipeline::dirty(
+        WeightingScheme::Ejs,
+        IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        CleaningConfig::none(),
+    );
+    let a = p.insert(SourceId(0), "a", [("t", "alpha beta")]);
+    let _b = p.insert(SourceId(0), "b", [("t", "alpha beta gamma")]);
+    let _c = p.insert(SourceId(0), "c", [("t", "gamma delta")]);
+    p.commit();
+    assert_degrees_match_batch(&p, "seeded triangle-ish");
+    assert_eq!(p.snapshot().degree(a.0), 1);
+
+    p.delete(a);
+    p.commit();
+    assert_degrees_match_batch(&p, "after tombstone");
+    assert_eq!(p.snapshot().degree(a.0), 0, "dead node isolated");
+    assert_eq!(p.snapshot().total_edges(), 1, "only (b, c) survives");
+}
+
+/// Same-commit oscillation: a profile updated twice (ending where it
+/// started) inside one micro-batch, plus an insert+delete pair, must leave
+/// the maintained degrees exactly where a from-scratch pass lands.
+#[test]
+fn same_commit_oscillation_keeps_degrees_exact() {
+    let mut p = IncrementalPipeline::dirty(
+        WeightingScheme::Ejs,
+        IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        CleaningConfig::default(),
+    );
+    let a = p.insert(SourceId(0), "a", [("t", "alpha beta gamma")]);
+    let _b = p.insert(SourceId(0), "b", [("t", "alpha beta")]);
+    let _c = p.insert(SourceId(0), "c", [("t", "gamma delta")]);
+    p.commit();
+    assert_degrees_match_batch(&p, "seed");
+
+    // Oscillate a away and back, and churn a transient profile, all in
+    // one micro-batch: the commit-level diff must see no net change from
+    // the oscillation and exactly the transient's (empty) contribution.
+    p.update(a, [("t", "zeta eta")]);
+    let d = p.insert(SourceId(0), "d", [("t", "alpha zeta")]);
+    p.update(a, [("t", "alpha beta gamma")]);
+    p.delete(d);
+    p.commit();
+    assert_degrees_match_batch(&p, "after oscillation");
+
+    // And the candidate set stayed batch-identical throughout.
+    assert_eq!(p.retained().pairs(), p.batch_retained().pairs());
+}

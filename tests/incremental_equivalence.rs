@@ -16,7 +16,7 @@ use blast_core::weighting::ChiSquaredWeigher;
 use blast_datamodel::entity::{ProfileId, SourceId};
 use blast_graph::meta::PruningAlgorithm;
 use blast_graph::weights::{EdgeWeigher, WeightingScheme};
-use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning, RepairTier};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -314,6 +314,303 @@ fn scripted_sequence_full_grid() {
             CleaningConfig::default(),
             "grid chi2/blast",
         );
+    }
+}
+
+/// Drives a **drift-heavy** insert history — bursts whose hub token and
+/// chained pair tokens move |B| and Σ|b| monotonically for many commits —
+/// asserting batch parity at every commit and returning the repair-ladder
+/// tier counts over the post-initialisation commits
+/// `(dirty, reweigh, full)`.
+fn drift_tier_counts(
+    weigher: impl EdgeWeigher + Send + Clone + 'static,
+    pruning: IncrementalPruning,
+    burst: usize,
+    label: &str,
+) -> (usize, usize, usize) {
+    let mut p = IncrementalPipeline::dirty(weigher, pruning, CleaningConfig::default());
+    let mut tiers = (0usize, 0usize, 0usize);
+    let mut commits = 0usize;
+    let mut i = 0usize;
+    while i < 24 {
+        for _ in 0..burst.max(1) {
+            // p_i shares a hub token with everyone and chains c_{i-1}–c_i
+            // with its predecessor: every burst emits new blocks, so |B|
+            // and Σ|b| grow monotonically while the dirty neighbourhood
+            // stays local.
+            let text = format!("alpha c{} c{}", i.saturating_sub(1), i);
+            p.insert(SourceId(0), &format!("p{i}"), [("text", text.as_str())]);
+            i += 1;
+        }
+        let out = p.commit();
+        commits += 1;
+        if commits > 1 {
+            match out.stats.tier {
+                RepairTier::Dirty => tiers.0 += 1,
+                RepairTier::Reweigh => tiers.1 += 1,
+                RepairTier::Full => tiers.2 += 1,
+            }
+        }
+        assert_eq!(
+            p.retained().pairs(),
+            p.batch_retained().pairs(),
+            "{label}: drift parity at commit {commits}"
+        );
+    }
+    tiers
+}
+
+/// The scheme-equivalence stress suite over drifting histories: all 5
+/// traditional schemes plus χ², across all 6 traditional prunings plus
+/// BLAST's own — batch parity at every commit, and the repair-ladder
+/// guarantee that the global-statistic schemes (EJS, ECBS, χ²) land on
+/// tiers 1–2 only. CNP is exempt from the tier assertion (its per-node
+/// budget k is a *structural* statistic: a k move legitimately forces the
+/// full tier), but not from parity.
+#[test]
+fn drifting_statistics_stay_off_the_full_tier() {
+    let prunings = {
+        let mut v: Vec<IncrementalPruning> = PruningAlgorithm::ALL
+            .iter()
+            .map(|&a| IncrementalPruning::Traditional(a))
+            .collect();
+        v.push(IncrementalPruning::blast());
+        v
+    };
+    for &burst in &[1usize, 3] {
+        for pruning in &prunings {
+            let cnp = matches!(
+                pruning,
+                IncrementalPruning::Traditional(PruningAlgorithm::Cnp1)
+                    | IncrementalPruning::Traditional(PruningAlgorithm::Cnp2)
+            );
+            // Local schemes must never leave the dirty tier.
+            for scheme in [
+                WeightingScheme::Cbs,
+                WeightingScheme::Arcs,
+                WeightingScheme::Js,
+            ] {
+                let label = format!("{}/{} burst={burst}", scheme.name(), pruning.label());
+                let (_, reweigh, full) = drift_tier_counts(scheme, *pruning, burst, &label);
+                assert_eq!(reweigh, 0, "{label}: local scheme on the reweigh tier");
+                if !cnp {
+                    assert_eq!(full, 0, "{label}: local scheme degraded");
+                }
+            }
+            // Global-statistic schemes: tier 2 engages, tier 3 never
+            // (except CNP's legitimate budget moves).
+            for scheme in [WeightingScheme::Ejs, WeightingScheme::Ecbs] {
+                let label = format!("{}/{} burst={burst}", scheme.name(), pruning.label());
+                let (_, reweigh, full) = drift_tier_counts(scheme, *pruning, burst, &label);
+                assert!(reweigh > 0, "{label}: drift never hit the reweigh tier");
+                if !cnp {
+                    assert_eq!(full, 0, "{label}: global scheme degraded under drift");
+                }
+            }
+            let label = format!("chi2/{} burst={burst}", pruning.label());
+            let (_, reweigh, full) = drift_tier_counts(
+                ChiSquaredWeigher::without_entropy(),
+                *pruning,
+                burst,
+                &label,
+            );
+            assert!(reweigh > 0, "{label}: drift never hit the reweigh tier");
+            if !cnp {
+                assert_eq!(full, 0, "{label}: χ² degraded under drift");
+            }
+        }
+    }
+}
+
+/// Regression: an EJS commit whose edge **births and deaths balance**
+/// (|E_G| unchanged) still changes the degrees of dirty nodes — and those
+/// nodes' edges reach *clean* neighbours whose node-centric thresholds /
+/// top-k lists average over the moved weights. Such a commit must promote
+/// to the reweigh tier (an early ladder draft promoted only on |E_G|
+/// movement and broke parity here, caught by review fuzzing).
+#[test]
+fn balanced_degree_churn_promotes_ejs_to_reweigh() {
+    for pruning in [
+        IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        IncrementalPruning::Traditional(PruningAlgorithm::Wnp2),
+        IncrementalPruning::Traditional(PruningAlgorithm::Cnp1),
+        IncrementalPruning::blast(),
+    ] {
+        let mut p =
+            IncrementalPipeline::dirty(WeightingScheme::Ejs, pruning, CleaningConfig::none());
+        // Topology: blocks p = {b, u, a, c}, m = {b, u}, r = {a, v},
+        // s = {v, w}, x = {t0, t1} — |B| = 5, |E_G| = 9.
+        let rows = [
+            ("b", "p m z1"),
+            ("u", "p m q"),
+            ("a", "p r"),
+            ("c", "p z4"),
+            ("v", "r s"),
+            ("w", "s z2"),
+            ("t0", "x y1"),
+            ("t1", "x y2"),
+        ];
+        let mut ids = Vec::new();
+        for (id, text) in rows {
+            ids.push(p.insert(SourceId(0), id, [("text", text)]));
+        }
+        p.commit();
+        let edges_before = p.snapshot().total_edges();
+        let blocks_before = p.snapshot().total_blocks();
+        assert_eq!(
+            p.retained().pairs(),
+            p.batch_retained().pairs(),
+            "{}: seed parity",
+            pruning.label()
+        );
+
+        // u leaves block p (which stays valid as {b, a, c}) and joins the
+        // existing block x: edges (u,a), (u,c) die, edges (u,t0), (u,t1)
+        // are born — |B| and |E_G| both unchanged, but deg(a) and deg(c)
+        // dropped while their own block lists stayed put. Node v (sharing
+        // only the untouched block r with a) stays outside the dirty set,
+        // yet weight(v,a) moved through deg(a): tier 1 would leave θ_v
+        // stale.
+        p.update(ids[1], [("text", "m q x")]);
+        let out = p.commit();
+        assert_eq!(
+            p.snapshot().total_edges(),
+            edges_before,
+            "{}: births and deaths balance",
+            pruning.label()
+        );
+        assert_eq!(
+            p.snapshot().total_blocks(),
+            blocks_before,
+            "{}: |B| untouched",
+            pruning.label()
+        );
+        assert_eq!(
+            out.stats.tier,
+            RepairTier::Reweigh,
+            "{}: balanced degree churn must reweigh",
+            pruning.label()
+        );
+        assert_eq!(
+            p.retained().pairs(),
+            p.batch_retained().pairs(),
+            "{}: parity after balanced churn",
+            pruning.label()
+        );
+    }
+}
+
+/// The degraded-full tier itself, exercised on demand: now that EJS/χ²
+/// drift no longer reaches it, [`IncrementalPipeline::force_full_repair`]
+/// pins the flip-emitting fallback against batch so it cannot rot —
+/// with pending mutations (flips must replay consistently) and without
+/// (a forced re-pass over unchanged state must emit nothing).
+#[test]
+fn forced_degradation_pins_full_tier_against_batch() {
+    type MakePipeline = Box<dyn Fn() -> IncrementalPipeline>;
+    let configs: Vec<(MakePipeline, &str)> = vec![
+        (
+            Box::new(|| {
+                IncrementalPipeline::dirty(
+                    WeightingScheme::Cbs,
+                    IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+                    CleaningConfig::default(),
+                )
+            }),
+            "cbs/wnp1",
+        ),
+        (
+            Box::new(|| {
+                IncrementalPipeline::dirty(
+                    WeightingScheme::Ejs,
+                    IncrementalPruning::Traditional(PruningAlgorithm::Wep),
+                    CleaningConfig::default(),
+                )
+            }),
+            "ejs/wep",
+        ),
+        (
+            Box::new(|| {
+                IncrementalPipeline::dirty(
+                    WeightingScheme::Ecbs,
+                    IncrementalPruning::Traditional(PruningAlgorithm::Cnp1),
+                    CleaningConfig::default(),
+                )
+            }),
+            "ecbs/cnp1",
+        ),
+        (
+            Box::new(|| {
+                IncrementalPipeline::dirty(
+                    ChiSquaredWeigher::without_entropy(),
+                    IncrementalPruning::blast(),
+                    CleaningConfig::default(),
+                )
+            }),
+            "chi2/blast",
+        ),
+    ];
+    for (make, label) in configs {
+        let mut p = make();
+        let mut mirror: BTreeSet<(ProfileId, ProfileId)> = BTreeSet::new();
+        let replay = |out: &blast_incremental::CommitOutcome,
+                      mirror: &mut BTreeSet<(ProfileId, ProfileId)>| {
+            for r in &out.delta.retracted {
+                assert!(mirror.remove(r), "{label}: retracted unknown pair");
+            }
+            for a in &out.delta.added {
+                assert!(mirror.insert(*a), "{label}: added duplicate pair");
+            }
+        };
+        for (i, text) in [
+            "alpha beta gamma",
+            "alpha beta delta",
+            "gamma delta epsilon",
+            "alpha gamma zeta",
+        ]
+        .iter()
+        .enumerate()
+        {
+            p.insert(SourceId(0), &format!("p{i}"), [("text", *text)]);
+            let out = p.commit();
+            replay(&out, &mut mirror);
+        }
+
+        // Forced degradation *with* pending work: every node is marked,
+        // the whole graph re-accumulated, and the emitted flips must still
+        // replay the previous candidate set into the batch one.
+        p.insert(SourceId(0), "p4", [("text", "beta epsilon eta")]);
+        p.force_full_repair();
+        let out = p.commit();
+        assert_eq!(out.stats.tier, RepairTier::Full, "{label}: tier forced");
+        assert_eq!(
+            out.stats.dirty_nodes,
+            p.snapshot().total_profiles() as usize,
+            "{label}: every node marked on the full tier"
+        );
+        replay(&out, &mut mirror);
+        let replayed: Vec<_> = mirror.iter().copied().collect();
+        assert_eq!(
+            replayed,
+            p.retained().pairs().to_vec(),
+            "{label}: forced-full flips diverged from the candidate set"
+        );
+        assert_eq!(
+            p.retained().pairs(),
+            p.batch_retained().pairs(),
+            "{label}: forced-full parity"
+        );
+
+        // Forced degradation *without* pending work: the identical
+        // flip-emitting path over unchanged state must emit nothing.
+        p.force_full_repair();
+        let out = p.commit();
+        assert_eq!(out.stats.tier, RepairTier::Full, "{label}: tier forced");
+        assert!(
+            out.delta.is_empty(),
+            "{label}: idempotent full pass emitted flips"
+        );
+        assert_eq!(p.retained().pairs(), p.batch_retained().pairs());
     }
 }
 
