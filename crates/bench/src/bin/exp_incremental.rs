@@ -15,12 +15,21 @@
 //! (EJS, ECBS, χ²) additionally record **per-tier commit counts**: with
 //! delta-maintained degrees and the cache-driven reweigh tier they must
 //! never land on the degraded-full tier over the streamed window (CI
-//! asserts `commits_full == 0` for them off the JSON). Writes
+//! asserts `commits_full == 0` for them off the JSON), and so must CNP,
+//! whose per-node budget drifts with the collection. Writes
 //! `BENCH_incremental.json` and prints a human summary. `BLAST_SCALE`
 //! scales the collection like the other `exp_*` runners.
+//!
+//! A second, memory-diet phase bulk-streams the scaled census presets
+//! (`BLAST_MEMORY_PRESETS`, default `census,census100k`; `census1m` is the
+//! 10⁶-profile run) with commits at the quarter points and writes
+//! `BENCH_memory.json`: kernel peak/current RSS plus the pipeline's
+//! structure-level footprint (bytes per profile, bytes per edge, interned
+//! tokens, cached accumulators).
 
 use blast_core::weighting::ChiSquaredWeigher;
 use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
+use blast_datamodel::collection::EntityCollection;
 use blast_datamodel::entity::SourceId;
 use blast_datamodel::input::ErInput;
 use blast_graph::context::{EdgeAccum, GraphSnapshot};
@@ -239,6 +248,210 @@ fn run_config(
     }
 }
 
+/// One memory-diet run: bulk-stream a preset with commits at the quarter
+/// points, recording the pipeline's structure footprint and the kernel's
+/// RSS accounting (see `BENCH_memory.json`).
+struct MemoryRun {
+    preset: &'static str,
+    scheme: &'static str,
+    pruning: String,
+    profiles: usize,
+    commits: usize,
+    elapsed_secs: f64,
+    /// Kernel VmHWM / VmRSS (None off Linux).
+    peak_rss_bytes: Option<u64>,
+    current_rss_bytes: Option<u64>,
+    fp: blast_incremental::MemoryFootprint,
+    retained: usize,
+    bytes_per_profile: f64,
+    bytes_per_edge: f64,
+    /// Checked against a from-scratch batch run when the collection is
+    /// small enough that the second full copy cannot distort the RSS
+    /// figures (None = skipped at scale; the contract is pinned by the
+    /// main phase and the test suites).
+    equivalent: Option<bool>,
+    /// (profiles inserted, estimated structure bytes, current RSS) at each
+    /// commit point.
+    trajectory: Vec<(usize, usize, Option<u64>)>,
+}
+
+/// Memory presets come from `BLAST_MEMORY_PRESETS` (comma-separated
+/// labels; `census1m` is the full 10⁶-profile run — minutes, so the
+/// default sticks to census + census100k).
+fn memory_presets() -> Vec<DirtyPreset> {
+    let labels =
+        std::env::var("BLAST_MEMORY_PRESETS").unwrap_or_else(|_| "census,census100k".into());
+    labels
+        .split(',')
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| {
+            let found = DirtyPreset::ALL
+                .iter()
+                .chain(DirtyPreset::SCALED.iter())
+                .copied()
+                .find(|p| p.label() == l);
+            if found.is_none() {
+                eprintln!("warning: unknown memory preset {l:?} (skipped)");
+            }
+            found
+        })
+        .collect()
+}
+
+fn run_memory(
+    d: &EntityCollection,
+    preset: &'static str,
+    weigher: BenchWeigher,
+    pruning: IncrementalPruning,
+) -> MemoryRun {
+    // Bound block sizes at ~64 members regardless of the profile count, so
+    // the footprint scales with the structures rather than with one
+    // stop-word block, and per-commit work stays bounded.
+    let cleaning = CleaningConfig {
+        purging: true,
+        purge_fraction: 64.0 / d.len() as f64,
+        filtering: true,
+        filter_ratio: 0.8,
+    };
+    let mut pipeline = IncrementalPipeline::dirty(weigher, pruning, cleaning);
+    let quarter = (d.len() / 4).max(1);
+    let mut commits = 0usize;
+    let mut trajectory: Vec<(usize, usize, Option<u64>)> = Vec::new();
+    let t0 = Instant::now();
+    for (i, p) in d.profiles().iter().enumerate() {
+        pipeline.insert(
+            SourceId(0),
+            &p.external_id,
+            p.values.iter().map(|(a, v)| (d.attribute_name(*a), &**v)),
+        );
+        if (i + 1) % quarter == 0 || i + 1 == d.len() {
+            pipeline.commit();
+            commits += 1;
+            trajectory.push((
+                i + 1,
+                pipeline.footprint().total_bytes(),
+                blast_metrics::current_rss_bytes(),
+            ));
+        }
+    }
+    let elapsed_secs = t0.elapsed().as_secs_f64();
+    let fp = pipeline.footprint();
+    let peak_rss_bytes = blast_metrics::peak_rss_bytes();
+    let current_rss_bytes = blast_metrics::current_rss_bytes();
+    let retained = pipeline.retained().len();
+    // The batch counterpart materialises a second full collection — only
+    // run it where that cannot dominate the memory story.
+    let equivalent = (d.len() <= 150_000)
+        .then(|| pipeline.retained().pairs() == pipeline.batch_retained().pairs());
+    MemoryRun {
+        preset,
+        scheme: weigher.name(),
+        pruning: pruning.label(),
+        profiles: d.len(),
+        commits,
+        elapsed_secs,
+        peak_rss_bytes,
+        current_rss_bytes,
+        fp,
+        retained,
+        bytes_per_profile: fp.total_bytes() as f64 / d.len().max(1) as f64,
+        bytes_per_edge: fp.blocker_bytes as f64 / fp.live_edges.max(retained).max(1) as f64,
+        equivalent,
+        trajectory,
+    }
+}
+
+fn memory_phase() -> Vec<MemoryRun> {
+    let mut runs = Vec::new();
+    for preset in memory_presets() {
+        let spec = dirty_preset(preset);
+        let (input, _) = generate_dirty(&spec);
+        let ErInput::Dirty(d) = &input else {
+            unreachable!()
+        };
+        // CBS/WNP1 everywhere (the node-centric diet path); CBS/WEP where
+        // the edge-cached treap + adjacency fit a smoke run.
+        let mut configs = vec![(
+            BenchWeigher::Scheme(WeightingScheme::Cbs),
+            IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        )];
+        if d.len() <= 200_000 {
+            configs.push((
+                BenchWeigher::Scheme(WeightingScheme::Cbs),
+                IncrementalPruning::Traditional(PruningAlgorithm::Wep),
+            ));
+        }
+        for (weigher, pruning) in configs {
+            let r = run_memory(d, preset.label(), weigher, pruning);
+            println!(
+                "{:<10} {:<6} {:<6} {:>9} {:>9.2}s  est {:>7.1} B/profile  peak rss {}",
+                r.preset,
+                r.scheme,
+                r.pruning,
+                r.profiles,
+                r.elapsed_secs,
+                r.bytes_per_profile,
+                r.peak_rss_bytes.map_or("n/a".to_string(), |b| format!(
+                    "{:.1} MiB",
+                    b as f64 / (1 << 20) as f64
+                )),
+            );
+            runs.push(r);
+        }
+    }
+    runs
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".to_string(), |b| b.to_string())
+}
+
+fn memory_json(runs: &[MemoryRun]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        let trajectory: Vec<String> = r
+            .trajectory
+            .iter()
+            .map(|&(profiles, est, rss)| {
+                format!(
+                    "{{\"profiles\": {profiles}, \"estimated_bytes\": {est}, \"current_rss_bytes\": {}}}",
+                    opt_u64(rss)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            json,
+            "    {{\"preset\": \"{}\", \"scheme\": \"{}\", \"pruning\": \"{}\", \"profiles\": {}, \"commits\": {}, \"elapsed_secs\": {:.3}, \"peak_rss_bytes\": {}, \"current_rss_bytes\": {}, \"live_edges\": {}, \"cached_accumulators\": {}, \"interned_tokens\": {}, \"store_bytes\": {}, \"index_bytes\": {}, \"snapshot_bytes\": {}, \"blocker_bytes\": {}, \"estimated_bytes\": {}, \"bytes_per_profile\": {:.2}, \"bytes_per_edge\": {:.2}, \"retained\": {}, \"equivalent\": {}, \"trajectory\": [{}]}}{comma}",
+            r.preset,
+            r.scheme,
+            r.pruning,
+            r.profiles,
+            r.commits,
+            r.elapsed_secs,
+            opt_u64(r.peak_rss_bytes),
+            opt_u64(r.current_rss_bytes),
+            r.fp.live_edges,
+            r.fp.cached_accumulators,
+            r.fp.interned_tokens,
+            r.fp.store_bytes,
+            r.fp.index_bytes,
+            r.fp.snapshot_bytes,
+            r.fp.blocker_bytes,
+            r.fp.total_bytes(),
+            r.bytes_per_profile,
+            r.bytes_per_edge,
+            r.retained,
+            r.equivalent.map_or("null".to_string(), |e| e.to_string()),
+            trajectory.join(", "),
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
 fn phase_json(t: &CommitTimings) -> String {
     format!(
         "{{\"index_maintenance_secs\": {:.6}, \"cleaning_secs\": {:.6}, \"snapshot_patch_secs\": {:.6}, \"graph_repair_secs\": {:.6}, \"reweigh_secs\": {:.6}, \"decision_secs\": {:.6}}}",
@@ -281,8 +494,14 @@ fn main() {
 
     // The classic configs plus one per global-statistic scheme: EJS
     // (degrees), ECBS (|B|) and χ² (|B| + per-node counts) must stay off
-    // the degraded-full tier for the whole stream.
-    let configs: [(BenchWeigher, IncrementalPruning); 6] = [
+    // the degraded-full tier for the whole stream — and CNP, whose top-k
+    // budget drifts with the collection, must repair budget moves as
+    // bounded containment adjustments (reweigh tier), never tier 3.
+    let configs: [(BenchWeigher, IncrementalPruning); 7] = [
+        (
+            BenchWeigher::Scheme(WeightingScheme::Cbs),
+            IncrementalPruning::Traditional(PruningAlgorithm::Cnp1),
+        ),
         (
             BenchWeigher::Scheme(WeightingScheme::Cbs),
             IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
@@ -403,13 +622,34 @@ fn main() {
             r.scheme, r.pruning, r.batch_size
         );
         // The repair-ladder acceptance: global-statistic schemes never
-        // degrade to the full tier over the streamed window.
-        if matches!(r.scheme, "EJS" | "ECBS" | "chi2") {
+        // degrade to the full tier over the streamed window, and neither
+        // do CNP budget moves (bounded containment adjustments instead).
+        if matches!(r.scheme, "EJS" | "ECBS" | "chi2") || r.pruning.starts_with("cnp") {
             assert_eq!(
                 r.tier_commits[2], 0,
                 "{} / {} at batch size {} degraded to the full tier",
                 r.scheme, r.pruning, r.batch_size
             );
         }
+    }
+
+    // Memory-diet phase: bulk-stream the scaled census presets, recording
+    // structure footprints and kernel RSS (BENCH_memory.json).
+    println!();
+    let preset_env = std::env::var("BLAST_MEMORY_PRESETS")
+        .unwrap_or_else(|_| "census,census100k (default)".into());
+    println!("## Memory diet (BLAST_MEMORY_PRESETS: {preset_env})");
+    let memory_runs = memory_phase();
+    std::fs::write("BENCH_memory.json", memory_json(&memory_runs))
+        .expect("write BENCH_memory.json");
+    println!("wrote BENCH_memory.json");
+    for r in &memory_runs {
+        assert_ne!(
+            r.equivalent,
+            Some(false),
+            "{} / {} memory run diverged from batch",
+            r.scheme,
+            r.preset
+        );
     }
 }

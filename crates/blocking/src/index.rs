@@ -127,6 +127,15 @@ impl ProfileBlockIndex {
         self.assignments
     }
 
+    /// Estimated resident heap footprint in bytes (row refs, the packed
+    /// data arena including tombstoned extents, and the free-list).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.rows.capacity() * size_of::<RowRef>()
+            + self.data.capacity() * size_of::<u32>()
+            + self.free.capacity() * size_of::<(u32, u32)>()
+    }
+
     /// Capacity currently tombstoned in the free-list plus row slack
     /// (diagnostics for the compaction heuristic).
     pub fn dead_capacity(&self) -> u64 {

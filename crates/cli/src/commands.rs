@@ -351,6 +351,17 @@ pub fn stream(args: &Args) -> Result<String, String> {
             tier_counts[2],
             pipeline.snapshot().version(),
         );
+        let fp = pipeline.footprint();
+        let _ = writeln!(
+            report,
+            "footprint: {} live edges, {} cached accumulators, {} interned tokens, \
+             ~{:.1} KiB resident ({:.1} B/profile)",
+            fp.live_edges,
+            fp.cached_accumulators,
+            fp.interned_tokens,
+            fp.total_bytes() as f64 / 1024.0,
+            fp.total_bytes() as f64 / d.len().max(1) as f64,
+        );
     }
 
     if args.flag("verify") {
@@ -406,7 +417,10 @@ pub fn generate(args: &Args) -> Result<String, String> {
     };
 
     let clean = CleanCleanPreset::ALL.iter().find(|p| p.label() == preset);
-    let dirty = DirtyPreset::ALL.iter().find(|p| p.label() == preset);
+    let dirty = DirtyPreset::ALL
+        .iter()
+        .chain(DirtyPreset::SCALED.iter())
+        .find(|p| p.label() == preset);
     match (clean, dirty) {
         (Some(&p), _) => {
             let spec = clean_clean_preset(p).scaled(scale);
@@ -439,7 +453,7 @@ pub fn generate(args: &Args) -> Result<String, String> {
             ))
         }
         _ => Err(format!(
-            "unknown preset {preset:?} (expected ar1|ar2|prd|mov|dbp|census|cora|cddb)"
+            "unknown preset {preset:?} (expected ar1|ar2|prd|mov|dbp|census|cora|cddb|census100k|census1m)"
         )),
     }
 }

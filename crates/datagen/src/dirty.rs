@@ -32,6 +32,10 @@ pub struct DirtySpec {
     pub source: SourceSpec,
     /// Master seed.
     pub seed: u64,
+    /// Vocabulary pool multiplier (≥ 1; see [`Vocabularies::scaled`]).
+    /// The paper-scale presets use 1.0; the 10⁵/10⁶-profile memory presets
+    /// grow the pools so block structure stays realistic.
+    pub vocab_scale: f64,
 }
 
 impl DirtySpec {
@@ -51,7 +55,7 @@ pub fn generate_dirty(spec: &DirtySpec) -> (ErInput, GroundTruth) {
         spec.profiles >= spec.entities,
         "need at least one profile per entity"
     );
-    let vocab = Vocabularies::new(spec.seed);
+    let vocab = Vocabularies::scaled(spec.seed, spec.vocab_scale);
     let zipf = Zipf::new(vocab.words.len(), 1.05);
 
     // Cluster sizes: distribute the surplus round-robin.
@@ -123,6 +127,7 @@ mod tests {
                 noise: NoiseModel::medium(),
             },
             seed: 5,
+            vocab_scale: 1.0,
         }
     }
 

@@ -221,11 +221,21 @@ pub enum DirtyPreset {
     Cora,
     /// cddb: 10k album records, 600 matches, ~106 attributes (tracks).
     Cddb,
+    /// census100k: census-style person records at 10⁵ profiles with a
+    /// 100× vocabulary (the memory-diet smoke preset).
+    Census100k,
+    /// census1m: census-style person records at 10⁶ profiles with a
+    /// 1000× vocabulary (the million-profile memory preset).
+    Census1m,
 }
 
 impl DirtyPreset {
-    /// All three presets.
+    /// The paper's three presets (Table 7) — the quality/benchmark matrix.
     pub const ALL: [DirtyPreset; 3] = [DirtyPreset::Census, DirtyPreset::Cora, DirtyPreset::Cddb];
+
+    /// The synthetic scale-up presets of the memory benchmark (not part of
+    /// [`DirtyPreset::ALL`]: generating them is minutes, not seconds).
+    pub const SCALED: [DirtyPreset; 2] = [DirtyPreset::Census100k, DirtyPreset::Census1m];
 
     /// The paper's label.
     pub fn label(&self) -> &'static str {
@@ -233,6 +243,8 @@ impl DirtyPreset {
             DirtyPreset::Census => "census",
             DirtyPreset::Cora => "cora",
             DirtyPreset::Cddb => "cddb",
+            DirtyPreset::Census100k => "census100k",
+            DirtyPreset::Census1m => "census1m",
         }
     }
 }
@@ -256,6 +268,7 @@ pub fn dirty_preset(preset: DirtyPreset) -> DirtySpec {
                 noise: NoiseModel::medium(),
             },
             seed: 0xD01,
+            vocab_scale: 1.0,
         },
         DirtyPreset::Cora => DirtySpec {
             name: "cora",
@@ -271,6 +284,7 @@ pub fn dirty_preset(preset: DirtyPreset) -> DirtySpec {
                 noise: NoiseModel::heavy(),
             },
             seed: 0xD02,
+            vocab_scale: 1.0,
         },
         DirtyPreset::Cddb => DirtySpec {
             name: "cddb",
@@ -288,7 +302,35 @@ pub fn dirty_preset(preset: DirtyPreset) -> DirtySpec {
                 noise: NoiseModel::medium(),
             },
             seed: 0xD03,
+            vocab_scale: 1.0,
         },
+        DirtyPreset::Census100k => census_scaled("census100k", 100, 0xD05),
+        DirtyPreset::Census1m => census_scaled("census1m", 1000, 0xD06),
+    }
+}
+
+/// A census-shaped person dataset at `factor`× the paper's 1k-profile
+/// scale, with the vocabulary pools grown by the same factor so token
+/// selectivity (and hence block structure) stays realistic instead of
+/// degenerating into a handful of giant posting lists.
+fn census_scaled(name: &'static str, factor: usize, seed: u64) -> DirtySpec {
+    DirtySpec {
+        name,
+        domain: Domain::Person,
+        entities: 700 * factor,
+        profiles: 1000 * factor,
+        source: SourceSpec {
+            mappings: vec![
+                FieldMapping::Rename("first"),
+                FieldMapping::Rename("last"),
+                FieldMapping::Rename("street"),
+                FieldMapping::Rename("city"),
+                FieldMapping::Rename("zip"),
+            ],
+            noise: NoiseModel::medium(),
+        },
+        seed,
+        vocab_scale: factor as f64,
     }
 }
 
@@ -364,5 +406,30 @@ mod tests {
         assert_eq!(CleanCleanPreset::Ar1.label(), "ar1");
         assert_eq!(DirtyPreset::Cddb.label(), "cddb");
         assert_eq!(CleanCleanPreset::ALL.len(), 5);
+        assert_eq!(DirtyPreset::Census100k.label(), "census100k");
+        assert!(!DirtyPreset::ALL.contains(&DirtyPreset::Census1m));
+    }
+
+    /// The scaled census presets must keep the paper preset's shape (same
+    /// fields, same duplication ratio) while growing profiles and vocab
+    /// together. Generating at a small scale factor keeps the test fast —
+    /// `scaled` only shrinks entity counts, never the vocab multiplier.
+    #[test]
+    fn census_scaled_presets_keep_census_shape() {
+        let spec = dirty_preset(DirtyPreset::Census100k);
+        assert_eq!(spec.profiles, 100_000);
+        assert_eq!(spec.entities, 70_000);
+        assert_eq!(spec.vocab_scale, 100.0);
+        let spec = dirty_preset(DirtyPreset::Census1m);
+        assert_eq!(spec.profiles, 1_000_000);
+        assert_eq!(spec.vocab_scale, 1000.0);
+
+        let (input, gt) = generate_dirty(&dirty_preset(DirtyPreset::Census100k).scaled(0.01));
+        let ErInput::Dirty(d) = &input else {
+            unreachable!()
+        };
+        assert_eq!(d.len(), 1000);
+        assert_eq!(d.attribute_count(), 5);
+        assert!(gt.len() > 100, "census-like duplication, got {}", gt.len());
     }
 }

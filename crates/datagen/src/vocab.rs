@@ -58,14 +58,43 @@ fn words(n: usize, max_syllables: usize, prefix: &str, rng: &mut StdRng) -> Vec<
 impl Vocabularies {
     /// Builds all pools deterministically from a seed.
     pub fn new(seed: u64) -> Self {
+        Self::scaled(seed, 1.0)
+    }
+
+    /// Builds the pools with their sizes multiplied by `scale` (≥ 1), so
+    /// token diversity grows with the corpus instead of every word block
+    /// collapsing into a giant stop-word-like posting list at 10⁵–10⁶
+    /// profiles. `scaled(seed, 1.0)` is bit-identical to `new(seed)`.
+    ///
+    /// Pools are capped (the content-word pool at 1.5M entries) and the
+    /// syllable budget widens automatically once a pool outgrows its
+    /// combinatorial space, keeping the dedup loop fast.
+    pub fn scaled(seed: u64, scale: f64) -> Self {
+        assert!(scale >= 1.0, "vocab_scale must be ≥ 1");
         let mut rng = StdRng::seed_from_u64(seed);
+        let n = |base: usize, cap: usize| (((base as f64) * scale) as usize).min(cap);
+        // Smallest max-syllable count whose space comfortably holds `count`
+        // distinct words (space ≈ 60^max; keep ≥ 4× headroom).
+        let syl = |count: usize, base: usize| {
+            let mut max = base;
+            while (SYLLABLES.len() as f64).powi(max as i32) < (count as f64) * 4.0 {
+                max += 1;
+            }
+            max
+        };
+        let wn = n(6000, 1_500_000);
+        let fst = n(220, 120_000);
+        let lst = n(400, 160_000);
+        let ven = n(80, 20_000);
+        let brd = n(70, 20_000);
+        let cty = n(120, 30_000);
         Self {
-            words: words(6000, 4, "", &mut rng),
-            first_names: words(220, 3, "", &mut rng),
-            last_names: words(400, 3, "", &mut rng),
-            venues: words(80, 3, "v", &mut rng),
-            brands: words(70, 3, "b", &mut rng),
-            cities: words(120, 3, "c", &mut rng),
+            words: words(wn, syl(wn, 4), "", &mut rng),
+            first_names: words(fst, syl(fst, 3), "", &mut rng),
+            last_names: words(lst, syl(lst, 3), "", &mut rng),
+            venues: words(ven, syl(ven, 3), "v", &mut rng),
+            brands: words(brd, syl(brd, 3), "b", &mut rng),
+            cities: words(cty, syl(cty, 3), "c", &mut rng),
             genres: words(16, 2, "g", &mut rng),
         }
     }
@@ -101,6 +130,19 @@ mod tests {
         assert_eq!(v.words.len(), 6000);
         assert!(v.first_names.len() >= 200);
         assert!(v.venues.len() >= 50);
+    }
+
+    #[test]
+    fn scaled_pools_grow_and_unit_scale_is_identity() {
+        let base = Vocabularies::new(5);
+        let unit = Vocabularies::scaled(5, 1.0);
+        assert_eq!(base.words, unit.words, "scale 1.0 must be bit-identical");
+        assert_eq!(base.first_names, unit.first_names);
+        let big = Vocabularies::scaled(5, 10.0);
+        assert_eq!(big.words.len(), 60_000);
+        assert_eq!(big.first_names.len(), 2_200);
+        let distinct: std::collections::HashSet<_> = big.words.iter().collect();
+        assert_eq!(distinct.len(), big.words.len());
     }
 
     #[test]

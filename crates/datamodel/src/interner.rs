@@ -93,6 +93,22 @@ impl Interner {
         self.strings.is_empty()
     }
 
+    /// Estimated resident heap footprint in bytes: the string payloads,
+    /// their `Box<str>` slots, and an approximation of the hash-index
+    /// buckets (capacities where available, lengths otherwise).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let payload: usize = self.strings.iter().map(|s| s.len()).sum();
+        let slots = self.strings.capacity() * size_of::<Box<str>>();
+        let buckets = self.by_hash.capacity() * (size_of::<u64>() + size_of::<Vec<u32>>())
+            + self
+                .by_hash
+                .values()
+                .map(|v| v.capacity() * size_of::<u32>())
+                .sum::<usize>();
+        payload + slots + buckets
+    }
+
     /// Iterates over `(Symbol, &str)` in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
         self.strings

@@ -317,6 +317,29 @@ impl GraphSnapshot {
         self.version
     }
 
+    /// Estimated resident heap footprint in bytes: slot memberships, slot
+    /// statistics, the CSR index, and the optional per-node arrays
+    /// (capacities, not lengths).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.members
+            .iter()
+            .map(|m| m.capacity() * size_of::<ProfileId>())
+            .sum::<usize>()
+            + self.members.len() * size_of::<Vec<ProfileId>>()
+            + self.splits.capacity() * size_of::<u32>()
+            + self.cardinalities.capacity() * size_of::<f64>()
+            + self
+                .entropies
+                .as_ref()
+                .map_or(0, |e| e.capacity() * size_of::<f64>())
+            + self
+                .degrees
+                .as_ref()
+                .map_or(0, |d| d.capacity() * size_of::<u32>())
+            + self.index.resident_bytes()
+    }
+
     /// Total number of (live) blocks |B|.
     #[inline]
     pub fn total_blocks(&self) -> u64 {

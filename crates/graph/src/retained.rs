@@ -121,6 +121,16 @@ impl RetainedIndex {
         Self::default()
     }
 
+    /// Estimated resident heap footprint in bytes (row capacities).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.rows
+            .iter()
+            .map(|r| r.capacity() * size_of::<u32>())
+            .sum::<usize>()
+            + self.rows.len() * size_of::<Vec<u32>>()
+    }
+
     /// Grows the row table to cover `n` nodes (never shrinks).
     pub fn ensure_nodes(&mut self, n: usize) {
         if self.rows.len() < n {

@@ -218,11 +218,22 @@ impl IncrementalCleaner {
             .filter(|k| drain.keys.binary_search(k).is_err())
             .collect();
 
-        // 3. The profiles whose kept set must be recomputed.
+        // 3. The profiles whose kept set must be recomputed. A dirty key
+        //    that is purged now and was purged before is skipped: it sits
+        //    in no kept ranking (not present), it cannot enter one without
+        //    flipping, and its cardinality only ranks keys while present —
+        //    so its (possibly huge) raw posting list cannot move any
+        //    member's kept set. This keeps stop-word-block mutations from
+        //    costing O(|collection|) per commit at 10⁵–10⁶ profiles.
         let mut filter_dirty: Vec<u32> = Vec::new();
         filter_dirty.extend_from_slice(&drain.touched_profiles);
         filter_dirty.extend_from_slice(&drain.removed_members);
-        for &k in drain.keys.iter().chain(&threshold_flipped) {
+        for &k in drain.keys.iter() {
+            if self.present[k as usize] || flipped.binary_search(&k).is_ok() {
+                filter_dirty.extend(index.key(k).postings.iter().map(|p| p.0));
+            }
+        }
+        for &k in &threshold_flipped {
             filter_dirty.extend(index.key(k).postings.iter().map(|p| p.0));
         }
         filter_dirty.sort_unstable();
@@ -250,10 +261,9 @@ impl IncrementalCleaner {
                     // canonical (cluster, token) order *is* the block-id
                     // order of the purged collection.
                     ranked.sort_unstable_by(|&a, &b| {
-                        let (ea, eb) = (index.key(a), index.key(b));
                         self.cardinality[a as usize]
                             .cmp(&self.cardinality[b as usize])
-                            .then_with(|| (ea.cluster, &*ea.token).cmp(&(eb.cluster, &*eb.token)))
+                            .then_with(|| index.canon_key(a).cmp(&index.canon_key(b)))
                     });
                     ranked.truncate(keep);
                     ranked.sort_unstable();
@@ -384,10 +394,7 @@ impl IncrementalCleaner {
                     .copied()
                     .filter(|&k| self.emitted[k as usize])
                     .collect();
-                row.sort_unstable_by(|&a, &b| {
-                    let (ea, eb) = (index.key(a), index.key(b));
-                    (ea.cluster, &*ea.token).cmp(&(eb.cluster, &*eb.token))
-                });
+                row.sort_unstable_by(|&a, &b| index.canon_key(a).cmp(&index.canon_key(b)));
                 RowPatch {
                     profile: p,
                     slots: row,

@@ -146,6 +146,12 @@ impl OrderedWeightIndex {
         self.len == 0
     }
 
+    /// Estimated resident heap footprint in bytes (node-slab capacity).
+    pub fn resident_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<TreapNode>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// The exactly accumulated Σw over the live edges.
     #[inline]
     pub fn sum(&self) -> &ExactSum {
@@ -159,6 +165,101 @@ impl OrderedWeightIndex {
         self.root = NIL;
         self.sum.clear();
         self.len = 0;
+    }
+
+    /// Rebuilds the whole index from an edge list in one pass — the bulk
+    /// path of the degraded-full and heavy-drift rebuilds. One flat key
+    /// sort plus an O(n) right-spine construction replaces n split/merge
+    /// inserts (~6× a flat sort in treap pointer churn), and the result is
+    /// **bit-identical** to inserting the same edges one by one: with the
+    /// deterministic tie order "higher priority wins, equal priorities go
+    /// to the smaller key" — exactly what `OrderedWeightIndex::merge`'s
+    /// `>=` implements, since its left tree always holds the smaller keys
+    /// — the treap over a key set is unique, whatever built it.
+    pub fn rebuild(&mut self, edges: impl IntoIterator<Item = (u32, u32, f64)>) {
+        self.clear();
+        for (u, v, w) in edges {
+            let key = EdgeKey::new(u, v, w);
+            self.nodes.push(TreapNode {
+                key,
+                w,
+                prio: priority(&key),
+                left: NIL,
+                right: NIL,
+                size: 1,
+            });
+            self.sum.add(w);
+        }
+        self.len = self.nodes.len();
+        let n = self.nodes.len() as u32;
+        if n == 0 {
+            return;
+        }
+        self.nodes.sort_unstable_by_key(|n| n.key);
+        debug_assert!(
+            self.nodes.windows(2).all(|w| w[0].key < w[1].key),
+            "duplicate edge key"
+        );
+        // Right-spine construction over the in-order layout: each new key
+        // is the largest so far, so it lands on the right spine; everything
+        // on the spine with *strictly* lower priority becomes its left
+        // subtree (a spine node with equal priority stays its ancestor —
+        // the smaller key wins the tie, matching `merge`).
+        let mut spine: Vec<u32> = Vec::new();
+        for i in 0..n {
+            let prio = self.nodes[i as usize].prio;
+            let mut left = NIL;
+            while let Some(&top) = spine.last() {
+                if self.nodes[top as usize].prio < prio {
+                    left = top;
+                    spine.pop();
+                } else {
+                    break;
+                }
+            }
+            self.nodes[i as usize].left = left;
+            if let Some(&top) = spine.last() {
+                self.nodes[top as usize].right = i;
+            }
+            spine.push(i);
+        }
+        self.root = spine[0];
+        // Subtree sizes, children before parents: a pre-order walk reversed.
+        let mut order = Vec::with_capacity(n as usize);
+        let mut stack = vec![self.root];
+        while let Some(t) = stack.pop() {
+            order.push(t);
+            let node = &self.nodes[t as usize];
+            if node.left != NIL {
+                stack.push(node.left);
+            }
+            if node.right != NIL {
+                stack.push(node.right);
+            }
+        }
+        for &t in order.iter().rev() {
+            self.update(t);
+        }
+    }
+
+    /// Pre-order walk of `(key, weight)` — the canonical-shape fingerprint
+    /// (a BST's pre-order determines its structure): diagnostics and the
+    /// bulk-vs-incremental construction property tests.
+    pub fn for_each_preorder(&self, f: &mut impl FnMut(EdgeKey, f64)) {
+        let mut stack = Vec::new();
+        if self.root != NIL {
+            stack.push(self.root);
+        }
+        while let Some(t) = stack.pop() {
+            let node = &self.nodes[t as usize];
+            f(node.key, node.w);
+            if node.right != NIL {
+                stack.push(node.right);
+            }
+            if node.left != NIL {
+                stack.push(node.left);
+            }
+        }
     }
 
     fn size(&self, t: u32) -> u32 {
@@ -392,17 +493,29 @@ pub struct FreshEdge {
     pub acc: EdgeAccum,
 }
 
-/// One cached edge entry of an [`EdgeAdjacency`] row.
+/// One cached edge entry of an [`EdgeAdjacency`] row — the packed,
+/// padding-free layout (24 bytes, vs 40 for a naive
+/// `(v, w, EdgeAccum)`): the neighbour, the last decided weight, and the
+/// accumulator's shared-block count and ARCS reciprocal sum. The
+/// accumulator's entropy tally is *not* stored per entry: a snapshot with
+/// no entropies attached accumulates exactly 1.0 per shared block
+/// ([`GraphSnapshot::slot_entropy`]), so `entropy_sum` is bit-exactly
+/// `common_blocks as f64` (integer sums of 1.0 are exact far beyond any
+/// feasible block count) and is re-derived on read. Pipelines that attach
+/// real entropies promote the adjacency to carry index-aligned entropy
+/// side rows on first contact ([`EdgeAdjacency::promote_entropy`]) —
+/// losslessly, because every entry stored before the first non-derived
+/// tally must itself hold the derived value.
 #[derive(Debug, Clone, Copy)]
 struct CachedEdge {
-    /// The neighbour on this row.
-    v: u32,
     /// The last weight pushed through the decision stage.
     w: f64,
-    /// The edge's local factors — shared-block count, ARCS reciprocal sum,
-    /// entropy tally — exactly the per-edge half of the factored-weight
-    /// contract ([`blast_graph::weights::EdgeWeigher`]).
-    acc: EdgeAccum,
+    /// Σ over shared blocks of 1/‖b‖ (the ARCS component).
+    arcs: f64,
+    /// The neighbour on this row.
+    v: u32,
+    /// Number of shared blocks |B_ij|.
+    common_blocks: u32,
 }
 
 /// Per-node rows of `(neighbour, weight, accumulator)` covering every live
@@ -413,10 +526,18 @@ struct CachedEdge {
 /// edge's weight is re-derived from its cached local factors and the
 /// patched snapshot ([`EdgeAdjacency::reweigh_clean`]) instead of
 /// re-accumulated from the blocks. Clean rows are patched by binary-search
-/// surgery proportional to the dirty neighbourhood.
+/// surgery proportional to the dirty neighbourhood. Entries are stored
+/// packed (`CachedEdge`, 24 bytes) with the entropy tally elided until
+/// a pipeline actually attaches entropies — the dominant memory cost of
+/// the reweigh tier at scale.
 #[derive(Debug, Default)]
 pub struct EdgeAdjacency {
     rows: Vec<Vec<CachedEdge>>,
+    /// Index-aligned entropy tallies (`EdgeAccum::entropy_sum`), one row
+    /// per node mirroring `rows`, present only once an inserted
+    /// accumulator's tally differs bitwise from the derived
+    /// `common_blocks as f64` value (see `CachedEdge`).
+    ent: Option<Vec<Vec<f64>>>,
 }
 
 impl EdgeAdjacency {
@@ -430,6 +551,82 @@ impl EdgeAdjacency {
         if self.rows.len() < n {
             self.rows.resize_with(n, Vec::new);
         }
+        if let Some(ent) = &mut self.ent {
+            if ent.len() < n {
+                ent.resize_with(n, Vec::new);
+            }
+        }
+    }
+
+    /// The entropy tally a no-entropy snapshot would have accumulated for
+    /// this entry — 1.0 per shared block, summed exactly.
+    #[inline]
+    fn derived_entropy(e: &CachedEdge) -> f64 {
+        e.common_blocks as f64
+    }
+
+    /// Whether storing `acc` requires the entropy side rows.
+    #[inline]
+    fn needs_entropy(acc: &EdgeAccum) -> bool {
+        acc.entropy_sum.to_bits() != (acc.common_blocks as f64).to_bits()
+    }
+
+    /// Materialises the entropy side rows from the packed entries. Every
+    /// entry cached so far held the derived tally (otherwise this
+    /// promotion would already have run), so the materialised values are
+    /// bit-identical to the tallies the entries were inserted with.
+    fn promote_entropy(&mut self) {
+        debug_assert!(self.ent.is_none());
+        self.ent = Some(
+            self.rows
+                .iter()
+                .map(|row| row.iter().map(Self::derived_entropy).collect())
+                .collect(),
+        );
+    }
+
+    /// Reconstructs the full accumulator of entry `i` on row `u` —
+    /// bit-identical to the one it was cached with.
+    #[inline]
+    fn acc_at(&self, u: usize, i: usize) -> EdgeAccum {
+        let e = &self.rows[u][i];
+        EdgeAccum {
+            common_blocks: e.common_blocks,
+            arcs: e.arcs,
+            entropy_sum: match &self.ent {
+                Some(ent) => ent[u][i],
+                None => Self::derived_entropy(e),
+            },
+        }
+    }
+
+    /// Number of live edges in the cache (each mirrored entry pair counts
+    /// once) — the `--stats` footprint counter. O(rows).
+    pub fn live_edges(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Number of cached accumulator entries (two mirrors per live edge).
+    pub fn cached_accumulators(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Estimated resident heap footprint in bytes: packed entry capacity,
+    /// entropy side rows when promoted, and the row headers themselves.
+    pub fn resident_bytes(&self) -> usize {
+        let entries: usize = self
+            .rows
+            .iter()
+            .map(|row| row.capacity() * std::mem::size_of::<CachedEdge>())
+            .sum();
+        let ent: usize = self.ent.as_ref().map_or(0, |ent| {
+            ent.iter()
+                .map(|row| row.capacity() * std::mem::size_of::<f64>())
+                .sum()
+        });
+        let headers = (self.rows.capacity() + self.ent.as_ref().map_or(0, Vec::capacity))
+            * std::mem::size_of::<Vec<f64>>();
+        entries + ent + headers
     }
 
     /// The live edges with at least one endpoint in the mask, canonical
@@ -473,6 +670,11 @@ impl EdgeAdjacency {
         for row in &mut self.rows {
             row.clear();
         }
+        if let Some(ent) = &mut self.ent {
+            for row in ent {
+                row.clear();
+            }
+        }
     }
 
     /// Bulk-loads a full canonical fresh-edge list into cleared rows (the
@@ -480,17 +682,22 @@ impl EdgeAdjacency {
     /// pushes each row's partners ascending (all `y < u` arrive before all
     /// `x > u`), so rows come out sorted without a sort.
     pub fn load(&mut self, fresh: &[FreshEdge]) {
+        if self.ent.is_none() && fresh.iter().any(|e| Self::needs_entropy(&e.acc)) {
+            self.promote_entropy();
+        }
         for e in fresh {
-            self.rows[e.u as usize].push(CachedEdge {
+            let packed = CachedEdge {
+                w: e.w,
+                arcs: e.acc.arcs,
                 v: e.v,
-                w: e.w,
-                acc: e.acc,
-            });
-            self.rows[e.v as usize].push(CachedEdge {
-                v: e.u,
-                w: e.w,
-                acc: e.acc,
-            });
+                common_blocks: e.acc.common_blocks,
+            };
+            self.rows[e.u as usize].push(CachedEdge { v: e.v, ..packed });
+            self.rows[e.v as usize].push(CachedEdge { v: e.u, ..packed });
+            if let Some(ent) = &mut self.ent {
+                ent[e.u as usize].push(e.acc.entropy_sum);
+                ent[e.v as usize].push(e.acc.entropy_sum);
+            }
         }
         debug_assert!(self
             .rows
@@ -500,12 +707,26 @@ impl EdgeAdjacency {
 
     /// Adds one edge (both mirror rows, binary-search insertion).
     pub fn insert_edge(&mut self, a: u32, b: u32, w: f64, acc: EdgeAccum) {
+        if self.ent.is_none() && Self::needs_entropy(&acc) {
+            self.promote_entropy();
+        }
         for (x, y) in [(a, b), (b, a)] {
             let row = &mut self.rows[x as usize];
             let i = row
                 .binary_search_by_key(&y, |e| e.v)
                 .expect_err("inserting a duplicate edge");
-            row.insert(i, CachedEdge { v: y, w, acc });
+            row.insert(
+                i,
+                CachedEdge {
+                    w,
+                    arcs: acc.arcs,
+                    v: y,
+                    common_blocks: acc.common_blocks,
+                },
+            );
+            if let Some(ent) = &mut self.ent {
+                ent[x as usize].insert(i, acc.entropy_sum);
+            }
         }
     }
 
@@ -517,19 +738,29 @@ impl EdgeAdjacency {
                 .binary_search_by_key(&y, |e| e.v)
                 .expect("removing an absent edge");
             row.remove(i);
+            if let Some(ent) = &mut self.ent {
+                ent[x as usize].remove(i);
+            }
         }
     }
 
     /// Re-weights one edge in place (fresh accumulator included) — no row
     /// shifting.
     pub fn set_edge(&mut self, a: u32, b: u32, w: f64, acc: EdgeAccum) {
+        if self.ent.is_none() && Self::needs_entropy(&acc) {
+            self.promote_entropy();
+        }
         for (x, y) in [(a, b), (b, a)] {
             let row = &mut self.rows[x as usize];
             let i = row
                 .binary_search_by_key(&y, |e| e.v)
                 .expect("re-weighting an absent edge");
             row[i].w = w;
-            row[i].acc = acc;
+            row[i].arcs = acc.arcs;
+            row[i].common_blocks = acc.common_blocks;
+            if let Some(ent) = &mut self.ent {
+                ent[x as usize][i] = acc.entropy_sum;
+            }
         }
     }
 
@@ -550,8 +781,10 @@ impl EdgeAdjacency {
         mut f: impl FnMut(u32, f64),
     ) {
         if let Some(row) = self.rows.get(u as usize) {
-            for e in row {
-                f(e.v, weigher.weight(ctx, u, e.v, &e.acc));
+            for (i, entry) in row.iter().enumerate() {
+                let v = entry.v;
+                let acc = self.acc_at(u as usize, i);
+                f(v, weigher.weight(ctx, u, v, &acc));
             }
         }
     }
@@ -577,7 +810,8 @@ impl EdgeAdjacency {
                 if e.v <= u || u_marked || mask.contains(e.v) {
                     continue;
                 }
-                let nw = weigher.weight(ctx, u, e.v, &e.acc);
+                let acc = self.acc_at(u as usize, i);
+                let nw = weigher.weight(ctx, u, e.v, &acc);
                 swept.push((u, e.v, e.w, nw));
                 if nw.to_bits() != e.w.to_bits() {
                     self.rows[u as usize][i].w = nw;
@@ -615,6 +849,16 @@ impl ContainmentIndex {
         if self.rows.len() < n {
             self.rows.resize_with(n, Vec::new);
         }
+    }
+
+    /// Estimated resident heap footprint in bytes (row capacities).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.rows
+            .iter()
+            .map(|r| r.capacity() * size_of::<(u32, u8)>())
+            .sum::<usize>()
+            + self.rows.len() * size_of::<Vec<(u32, u8)>>()
     }
 
     /// The current containment count of the pair `{a, b}`.
@@ -835,6 +1079,53 @@ mod tests {
         let mut seen = Vec::new();
         adj.for_each_node_weight(1, &snap(2), &TimesTotalBlocks, |v, w| seen.push((v, w)));
         assert_eq!(seen, vec![(0, 6.0)]);
+    }
+
+    /// The packed layout is 24 bytes and the entropy side rows appear
+    /// only when an accumulator actually carries a non-derived tally —
+    /// and the promotion is lossless: accumulators cached before the
+    /// promotion read back bit-identical afterwards.
+    #[test]
+    fn packed_entries_promote_entropy_losslessly() {
+        assert_eq!(std::mem::size_of::<CachedEdge>(), 24);
+        let mut adj = EdgeAdjacency::new();
+        adj.ensure_nodes(4);
+        // Derived tally: entropy_sum ≡ common_blocks as f64 → no side rows.
+        let plain = EdgeAccum {
+            common_blocks: 3,
+            arcs: 0.75,
+            entropy_sum: 3.0,
+        };
+        adj.insert_edge(0, 1, 1.5, plain);
+        assert!(adj.ent.is_none(), "derived tallies stay packed");
+        assert_eq!(adj.acc_at(0, 0), plain, "reconstructed bit-identical");
+        assert_eq!(adj.live_edges(), 1);
+        assert_eq!(adj.cached_accumulators(), 2);
+        assert!(adj.resident_bytes() > 0);
+
+        // A real entropy tally promotes — and the pre-promotion entry
+        // still reads back exactly as inserted.
+        let entropic = EdgeAccum {
+            common_blocks: 2,
+            arcs: 0.5,
+            entropy_sum: 1.375,
+        };
+        adj.insert_edge(2, 3, 2.0, entropic);
+        assert!(adj.ent.is_some(), "non-derived tally promotes");
+        assert_eq!(adj.acc_at(0, 0), plain);
+        assert_eq!(adj.acc_at(2, 0), entropic);
+        // In-place re-weight with a fresh tally round-trips too.
+        let moved = EdgeAccum {
+            common_blocks: 4,
+            arcs: 1.25,
+            entropy_sum: 2.5,
+        };
+        adj.set_edge(0, 1, 9.0, moved);
+        assert_eq!(adj.acc_at(1, 0), moved);
+        adj.remove_edge(2, 3);
+        assert_eq!(adj.live_edges(), 1);
+        adj.clear();
+        assert_eq!(adj.cached_accumulators(), 0);
     }
 
     #[test]

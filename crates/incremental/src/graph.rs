@@ -13,7 +13,8 @@
 //!    dirty-neighbourhood pass. No stage iterates all edges, all nodes, or
 //!    all retained pairs.
 //! 2. **Reweigh** — a *global scalar* drifted (|B| for χ²/ECBS; degrees /
-//!    |E_G| for EJS — any edge birth or death) but nothing structural
+//!    |E_G| for EJS — any edge birth or death; the per-node top-k budget
+//!    for CNP) but nothing structural
 //!    happened outside the dirty neighbourhood. Every weight is a pure function of its cached
 //!    per-edge accumulator plus O(1) snapshot statistics (the
 //!    factored-weight contract of [`EdgeWeigher`]), so the clean edges are
@@ -23,10 +24,14 @@
 //!    /containment-counter flip machinery. EJS never forces a full pass
 //!    any more: node degrees are a delta-maintained field of
 //!    [`GraphSnapshot`], patched from this module's edge-existence diffs
-//!    (exact integer removal) before any weight is computed.
+//!    (exact integer removal) before any weight is computed. Neither does
+//!    CNP: a budget move re-derives every top-k list from the cached
+//!    adjacency rows and adjusts the containment counters through the
+//!    ordinary list-diff machinery — bounded counter surgery, no block
+//!    traversal.
 //! 3. **Full** — genuinely structural invalidation only: the first pass
-//!    (nothing cached yet), a CNP budget move (every top-k list changes
-//!    length), or an explicit [`IncrementalMetaBlocker::force_full_next`].
+//!    (nothing cached yet) or an explicit
+//!    [`IncrementalMetaBlocker::force_full_next`].
 //!    Runs the **identical flip-emitting code path** with every node
 //!    marked.
 //!
@@ -146,8 +151,8 @@ impl PairDelta {
 
 /// Which rung of the repair ladder a commit landed on (see module docs):
 /// what promotes a commit from tier 1 to 2 is a *global-scalar* drift
-/// (|B|; degrees/|E_G|); from 2 to 3 a *structural* invalidation (first
-/// pass, CNP budget move, forced degradation).
+/// (|B|; degrees/|E_G|; the CNP budget); from 2 to 3 a *structural*
+/// invalidation (first pass, forced degradation).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RepairTier {
     /// Tier 1 — dirty-neighbourhood repair only.
@@ -272,6 +277,7 @@ pub struct IncrementalMetaBlocker {
     decision: DecisionState,
     /// The live-edge adjacency with cached accumulators: always present
     /// for WEP/CEP (old-side flip enumeration), created on the first pass
+    /// for CNP (whose top-k lists re-derive from it on a budget move) and
     /// for every other variant whose weigher can drift a global scalar
     /// (the reweigh tier's cache and the degree maintainer's edge diff).
     adj: Option<EdgeAdjacency>,
@@ -281,7 +287,8 @@ pub struct IncrementalMetaBlocker {
     cache: OnceCell<RetainedPairs>,
     /// Reusable epoch-stamped dirty mask (no per-commit `vec![false; n]`).
     mask: EpochMask,
-    /// CNP's default k of the previous pass (a move forces a full pass).
+    /// CNP's default k of the previous pass (a move promotes the commit
+    /// to the reweigh tier: every top-k list re-derives from the cache).
     prev_cnp_budget: Option<usize>,
     /// One-shot forced degradation (testing/operational escape hatch).
     force_full: bool,
@@ -353,6 +360,49 @@ impl IncrementalMetaBlocker {
         })
     }
 
+    /// Number of live edges held by the decision state: the adjacency's
+    /// count when edge caching is on, the ordered index's otherwise.
+    pub fn live_edges(&self) -> usize {
+        match (&self.adj, &self.decision) {
+            (Some(adj), _) => adj.live_edges(),
+            (None, DecisionState::Edge(state)) => state.index.len(),
+            (None, _) => 0,
+        }
+    }
+
+    /// Number of packed accumulator entries cached in the adjacency
+    /// (2 per undirected live edge when caching is on).
+    pub fn cached_accumulators(&self) -> usize {
+        self.adj
+            .as_ref()
+            .map_or(0, EdgeAdjacency::cached_accumulators)
+    }
+
+    /// Estimated resident heap footprint of the blocker in bytes: the
+    /// edge-accumulator adjacency, the variant's decision structure, the
+    /// per-node artefacts and the lazily cached flat retained view.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let decision = match &self.decision {
+            DecisionState::Edge(state) => state.index.resident_bytes(),
+            DecisionState::Node { retained } => retained.resident_bytes(),
+            DecisionState::Lists { counts } => counts.resident_bytes(),
+        };
+        self.adj.as_ref().map_or(0, EdgeAdjacency::resident_bytes)
+            + decision
+            + self.thresholds.capacity() * size_of::<f64>()
+            + self
+                .lists
+                .iter()
+                .map(|l| l.capacity() * size_of::<u32>())
+                .sum::<usize>()
+            + self.lists.len() * size_of::<Vec<u32>>()
+            + self
+                .cache
+                .get()
+                .map_or(0, |c| c.pairs().len() * size_of::<(u32, u32)>())
+    }
+
     fn node_centric_mode(&self) -> NodeCentricMode {
         match self.pruning {
             IncrementalPruning::Traditional(PruningAlgorithm::Wnp1)
@@ -376,10 +426,13 @@ impl IncrementalMetaBlocker {
         let deps = weigher.global_deps();
         let needs_degrees = weigher.requires_degrees();
         let edge_variant = matches!(self.decision, DecisionState::Edge(_));
+        let lists_variant = matches!(self.decision, DecisionState::Lists { .. });
         // The edge cache is maintained whenever a global scalar the
-        // weigher reads can drift (the reweigh tier's input) — and always
-        // for WEP/CEP, whose decision state needs the old-side rows.
-        let cache_edges = edge_variant || needs_degrees || deps.total_blocks;
+        // weigher reads can drift (the reweigh tier's input) — always for
+        // WEP/CEP, whose decision state needs the old-side rows, and
+        // always for CNP, whose budget is itself a drifting global (every
+        // top-k list is a pure function of the cached adjacency plus k).
+        let cache_edges = edge_variant || lists_variant || needs_degrees || deps.total_blocks;
 
         let cnp_budget = match self.pruning {
             IncrementalPruning::Traditional(PruningAlgorithm::Cnp1)
@@ -389,11 +442,13 @@ impl IncrementalMetaBlocker {
             _ => None,
         };
         // Tier 3 is reserved for *structural* invalidation: nothing cached
-        // can be trusted (first pass, forced degradation) or every per-node
-        // artefact's shape changed (the CNP budget moved).
-        let structural = !self.initialised
-            || (cnp_budget.is_some() && cnp_budget != self.prev_cnp_budget)
-            || std::mem::take(&mut self.force_full);
+        // can be trusted (first pass, forced degradation).
+        let structural = !self.initialised || std::mem::take(&mut self.force_full);
+        // A CNP budget move re-shapes every top-k list — but each list is
+        // re-derived from the cached adjacency rows without touching a
+        // block, so it promotes to the reweigh tier, not to a degraded
+        // full pass.
+        let budget_moved = !structural && cnp_budget != self.prev_cnp_budget;
         self.prev_cnp_budget = cnp_budget;
         self.initialised = true;
 
@@ -516,8 +571,9 @@ impl IncrementalMetaBlocker {
         // that weight — so the artefacts of nodes outside the dirty set go
         // stale even when |E_G| itself is unchanged (balanced birth +
         // death in one commit).
-        let drifted =
-            (deps.total_blocks && scope.total_blocks_changed) || (needs_degrees && degrees_moved);
+        let drifted = (deps.total_blocks && scope.total_blocks_changed)
+            || (needs_degrees && degrees_moved)
+            || budget_moved;
         let tier = if structural {
             RepairTier::Full
         } else if drifted {
@@ -647,27 +703,23 @@ impl IncrementalMetaBlocker {
                 let t0 = Instant::now();
                 match tier {
                     RepairTier::Full => {
-                        index.clear();
                         adj.clear();
-                        for e in fresh {
-                            index.insert(e.u, e.v, e.w);
-                        }
+                        index.rebuild(fresh.iter().map(|e| (e.u, e.v, e.w)));
                         adj.load(fresh);
                     }
-                    // A heavy drift (most keys moved — the WEP/ECBS case,
+                    // A heavy drift (many keys moved — the WEP/ECBS case,
                     // where a |B| shift re-ranks essentially every edge)
-                    // rebuilds the index from the decide list outright:
-                    // |E| inserts beat 2·rekeys treap churn once rekeys
-                    // approach |E|, and the canonical treap shape + exact
-                    // Σw make the two constructions indistinguishable. The
-                    // adjacency still takes the dirty merge.
+                    // rebuilds the index from the decide list outright: the
+                    // bulk from-sorted-array construction (one flat sort +
+                    // an O(|E|) spine build) beats 2·rekeys split/merge
+                    // churn well before rekeys approach |E|, and the
+                    // canonical treap shape + exact Σw make the two
+                    // constructions indistinguishable. The adjacency still
+                    // takes the dirty merge.
                     RepairTier::Reweigh
-                        if (stats.edges_rekeyed + fresh.len()) * 4 >= index.len().max(1) * 3 =>
+                        if (stats.edges_rekeyed + fresh.len()) * 4 >= index.len().max(1) =>
                     {
-                        index.clear();
-                        for &(u, v, w) in decide {
-                            index.insert(u, v, w);
-                        }
+                        index.rebuild(decide.iter().copied());
                         patch_adjacency(adj, old, fresh);
                     }
                     _ => {

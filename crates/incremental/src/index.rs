@@ -12,23 +12,34 @@
 //! list (`(cluster, token)` ascending) — the exact block order batch Token
 //! Blocking emits — so a snapshot of this index is **identical**, block ids
 //! included, to a from-scratch blocking run on the materialised input.
+//!
+//! Token strings are interned: each distinct token is allocated once in a
+//! [`blast_datamodel::interner::Interner`] and keys carry its dense `u32`
+//! [`Symbol`], shrinking the slab entries to a fixed size and turning the
+//! former `token → keys` hash map into a symbol-indexed vector.
 
 use blast_blocking::block::Block;
 use blast_blocking::collection::BlockCollection;
 use blast_blocking::key::ClusterId;
 use blast_datamodel::entity::ProfileId;
-use blast_datamodel::hash::FastMap;
+use blast_datamodel::interner::{Interner, Symbol};
 
 /// Stable handle of a `(cluster, token)` key in the slab.
 pub type KeyId = u32;
 
 /// One blocking key and its members.
+///
+/// The token is an interned [`Symbol`] — each distinct token string is
+/// stored once in the index's interner no matter how many clusters carry
+/// it, so the slab entry is a fixed 32 bytes and posting maintenance never
+/// touches string storage.
 #[derive(Debug, Clone)]
 pub struct KeyEntry {
     /// The attribute cluster the key belongs to.
     pub cluster: ClusterId,
-    /// The token (without the `#c` disambiguation suffix).
-    pub token: Box<str>,
+    /// Interned token (without the `#c` disambiguation suffix); resolve via
+    /// [`IncrementalBlockIndex::token_str`] / [`IncrementalBlockIndex::canon_key`].
+    pub token: Symbol,
     /// Sorted global profile ids currently carrying this key.
     pub postings: Vec<ProfileId>,
 }
@@ -56,9 +67,11 @@ impl DirtyDrain {
 #[derive(Debug)]
 pub struct IncrementalBlockIndex {
     keys: Vec<KeyEntry>,
-    /// token → [(cluster, key id)] (usually one entry; looked up by `&str`
-    /// so interning allocates only for genuinely new tokens).
-    by_token: FastMap<Box<str>, Vec<(ClusterId, KeyId)>>,
+    /// Token string ↔ symbol store (each distinct token allocated once).
+    tokens: Interner,
+    /// symbol → [(cluster, key id)] (usually one entry) — the dense
+    /// replacement of the former `token → keys` hash map.
+    token_keys: Vec<Vec<(ClusterId, KeyId)>>,
     /// Key ids sorted by `(cluster, token)` — the canonical block order.
     sorted: Vec<KeyId>,
     /// Per-profile sorted key-id lists (the raw, pre-cleaning memberships).
@@ -85,7 +98,8 @@ impl IncrementalBlockIndex {
     pub fn new(multi_cluster: bool) -> Self {
         Self {
             keys: Vec::new(),
-            by_token: FastMap::default(),
+            tokens: Interner::new(),
+            token_keys: Vec::new(),
             sorted: Vec::new(),
             profile_keys: Vec::new(),
             multi_cluster,
@@ -124,13 +138,65 @@ impl IncrementalBlockIndex {
             .unwrap_or(&[])
     }
 
+    /// The token string of a key (interner-resolved).
+    #[inline]
+    pub fn token_str(&self, id: KeyId) -> &str {
+        self.tokens.resolve(self.keys[id as usize].token)
+    }
+
+    /// The canonical `(cluster, token)` identity of a key — the sort key of
+    /// the batch block order. Tuples compare exactly like the former
+    /// string-owning entries did.
+    #[inline]
+    pub fn canon_key(&self, id: KeyId) -> (ClusterId, &str) {
+        let entry = &self.keys[id as usize];
+        (entry.cluster, self.tokens.resolve(entry.token))
+    }
+
+    /// Number of distinct token strings interned by this index.
+    #[inline]
+    pub fn interned_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Estimated resident heap footprint of the index in bytes (capacities,
+    /// not lengths; the hash-map overhead of the interner is approximated).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let vec_of_vecs = |rows: &[Vec<KeyId>]| {
+            rows.iter()
+                .map(|r| r.capacity() * size_of::<KeyId>())
+                .sum::<usize>()
+                + std::mem::size_of_val(rows)
+        };
+        self.keys.capacity() * size_of::<KeyEntry>()
+            + self
+                .keys
+                .iter()
+                .map(|e| e.postings.capacity() * size_of::<ProfileId>())
+                .sum::<usize>()
+            + self.tokens.resident_bytes()
+            + self
+                .token_keys
+                .iter()
+                .map(|r| r.capacity() * size_of::<(ClusterId, KeyId)>())
+                .sum::<usize>()
+            + self.token_keys.len() * size_of::<Vec<(ClusterId, KeyId)>>()
+            + self.sorted.capacity() * size_of::<KeyId>()
+            + vec_of_vecs(&self.profile_keys)
+            + vec_of_vecs(&self.by_len)
+            + self.dirty_flags.capacity()
+            + self.dirty_keys.capacity() * size_of::<KeyId>()
+    }
+
     /// The display label of a key (batch Token Blocking's block label).
     pub fn label(&self, id: KeyId) -> String {
         let entry = &self.keys[id as usize];
+        let token = self.tokens.resolve(entry.token);
         if self.multi_cluster {
-            format!("{}#c{}", entry.token, entry.cluster.0)
+            format!("{}#c{}", token, entry.cluster.0)
         } else {
-            entry.token.to_string()
+            token.to_string()
         }
     }
 
@@ -142,6 +208,28 @@ impl IncrementalBlockIndex {
         &mut self,
         pid: u32,
         new_keys: impl IntoIterator<Item = (ClusterId, &'a str)>,
+    ) {
+        let ids: Vec<(ClusterId, Symbol)> = new_keys
+            .into_iter()
+            .map(|(cluster, token)| (cluster, self.tokens.intern(token)))
+            .collect();
+        self.set_profile_symbols(pid, ids);
+    }
+
+    /// Interns a token string, returning its dense symbol. Lets callers that
+    /// tokenize on the fly feed [`IncrementalBlockIndex::set_profile_symbols`]
+    /// without materialising any per-token `String`.
+    #[inline]
+    pub fn intern_token(&mut self, token: &str) -> Symbol {
+        self.tokens.intern(token)
+    }
+
+    /// [`IncrementalBlockIndex::set_profile`] with pre-interned tokens — the
+    /// allocation-free hot path of the streaming pipeline.
+    pub fn set_profile_symbols(
+        &mut self,
+        pid: u32,
+        new_keys: impl IntoIterator<Item = (ClusterId, Symbol)>,
     ) {
         if self.profile_keys.len() <= pid as usize {
             self.profile_keys.resize_with(pid as usize + 1, Vec::new);
@@ -247,29 +335,32 @@ impl IncrementalBlockIndex {
         BlockCollection::new(blocks, clean_clean, separator, total_profiles)
     }
 
-    fn intern_key(&mut self, cluster: ClusterId, token: &str) -> KeyId {
-        if let Some(ids) = self.by_token.get(token) {
-            if let Some(&(_, id)) = ids.iter().find(|&&(c, _)| c == cluster) {
-                return id;
-            }
+    fn intern_key(&mut self, cluster: ClusterId, token: Symbol) -> KeyId {
+        if self.token_keys.len() <= token.index() {
+            self.token_keys.resize_with(token.index() + 1, Vec::new);
+        }
+        if let Some(&(_, id)) = self.token_keys[token.index()]
+            .iter()
+            .find(|&&(c, _)| c == cluster)
+        {
+            return id;
         }
         let id = self.keys.len() as KeyId;
-        // Keep the canonical order: insert at the sorted position.
+        // Keep the canonical order: insert at the sorted position. Symbols
+        // are assigned in first-seen order, so the comparison resolves
+        // through the interner.
+        let (keys, tokens) = (&self.keys, &self.tokens);
+        let text = tokens.resolve(token);
         let pos = self.sorted.partition_point(|&k| {
-            let e = &self.keys[k as usize];
-            (e.cluster, &*e.token) < (cluster, token)
+            let e = &keys[k as usize];
+            (e.cluster, tokens.resolve(e.token)) < (cluster, text)
         });
         self.keys.push(KeyEntry {
             cluster,
-            token: Box::from(token),
+            token,
             postings: Vec::new(),
         });
-        match self.by_token.get_mut(token) {
-            Some(ids) => ids.push((cluster, id)),
-            None => {
-                self.by_token.insert(Box::from(token), vec![(cluster, id)]);
-            }
-        }
+        self.token_keys[token.index()].push((cluster, id));
         self.dirty_flags.push(false);
         self.sorted.insert(pos, id);
         id
@@ -399,6 +490,24 @@ mod tests {
         assert_eq!(idx.profile_keys(0), &[] as &[KeyId]);
         let blocks = idx.snapshot_raw(false, 2, 2);
         assert!(blocks.is_empty(), "x became a singleton, y empty");
+    }
+
+    #[test]
+    fn tokens_are_interned_once_across_clusters_and_profiles() {
+        let mut idx = IncrementalBlockIndex::new(true);
+        idx.set_profile(0, vec![(ClusterId(1), "abram"), (ClusterId::GLUE, "abram")]);
+        idx.set_profile(1, vec![(ClusterId(1), "abram"), (ClusterId::GLUE, "smith")]);
+        // Two distinct token strings back three (cluster, token) keys.
+        assert_eq!(idx.interned_tokens(), 2);
+        assert_eq!(idx.key_count(), 3);
+        assert_eq!(idx.token_str(0), "abram");
+        assert_eq!(idx.canon_key(0), (ClusterId(1), "abram"));
+        // The symbol route produces the same key ids as the string route.
+        let sym = idx.intern_token("abram");
+        assert_eq!(idx.interned_tokens(), 2, "intern is idempotent");
+        idx.set_profile_symbols(2, vec![(ClusterId(1), sym)]);
+        assert_eq!(idx.profile_keys(2), &[0]);
+        assert!(idx.resident_bytes() > 0);
     }
 
     #[test]

@@ -48,9 +48,10 @@
 //! global statistic repairs the dirty neighbourhood alone (tier 1); a
 //! commit that only drifted a global *scalar* (|B| for χ²/ECBS; degrees /
 //! |E_G| for EJS — delta-maintained [`blast_graph::GraphSnapshot`]
-//! fields now) re-derives every clean edge's weight from its cached
+//! fields now; the per-node top-k budget for CNP) re-derives every clean
+//! edge's weight from its cached
 //! accumulator (tier 2, no block traversal); only genuinely structural
-//! invalidation (first pass, CNP budget move, forced degradation) runs
+//! invalidation (first pass, forced degradation) runs
 //! the full recompute over the identical flip-emitting code path (tier 3)
 //! — never a different answer. WEP's global mean — a function of *every*
 //! edge weight — stays maintainable because both the batch and the
@@ -68,5 +69,5 @@ pub use cleaner::{CleaningConfig, IncrementalCleaner};
 pub use decision::{ContainmentIndex, EdgeAdjacency, EdgeKey, Frontier, OrderedWeightIndex};
 pub use graph::{IncrementalMetaBlocker, IncrementalPruning, PairDelta, RepairStats, RepairTier};
 pub use index::IncrementalBlockIndex;
-pub use pipeline::{CommitOutcome, CommitTimings, IncrementalPipeline};
+pub use pipeline::{CommitOutcome, CommitTimings, IncrementalPipeline, MemoryFootprint};
 pub use store::{MutableProfileStore, StoreMode};

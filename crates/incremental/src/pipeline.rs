@@ -39,6 +39,7 @@ use blast_blocking::token_blocking::TokenBlocking;
 use blast_core::schema::partitioning::AttributePartitioning;
 use blast_datamodel::entity::{ProfileId, SourceId};
 use blast_datamodel::input::ErInput;
+use blast_datamodel::interner::Symbol;
 use blast_datamodel::tokenizer::Tokenizer;
 use blast_graph::context::GraphSnapshot;
 use blast_graph::retained::RetainedPairs;
@@ -93,6 +94,37 @@ impl CommitTimings {
         self.repair_secs += other.repair_secs;
         self.reweigh_secs += other.reweigh_secs;
         self.decision_secs += other.decision_secs;
+    }
+}
+
+/// Resident-footprint counters of a streaming pipeline — the structure
+/// sizes behind the bytes-per-profile budget of the memory benchmark, and
+/// the counters `blast stream --stats` prints. Byte figures are estimates
+/// from container capacities (what the structures asked the allocator
+/// for), not allocator-measured; the benchmark reports kernel RSS
+/// alongside them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoryFootprint {
+    /// Live (retention-relevant) edges in the decision state.
+    pub live_edges: usize,
+    /// Packed accumulator entries cached in the edge adjacency.
+    pub cached_accumulators: usize,
+    /// Distinct token strings interned by the block index.
+    pub interned_tokens: usize,
+    /// Profile store (slot payloads + attribute interners).
+    pub store_bytes: usize,
+    /// Inverted block index (postings, canonical order, token interner).
+    pub index_bytes: usize,
+    /// Owned graph snapshot (memberships, slot stats, CSR rows).
+    pub snapshot_bytes: usize,
+    /// Meta-blocker: adjacency, decision structure, per-node artefacts.
+    pub blocker_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Sum of the per-structure byte estimates.
+    pub fn total_bytes(&self) -> usize {
+        self.store_bytes + self.index_bytes + self.snapshot_bytes + self.blocker_bytes
     }
 }
 
@@ -240,6 +272,19 @@ impl IncrementalPipeline {
         &self.snapshot
     }
 
+    /// The pipeline's resident-footprint counters (see [`MemoryFootprint`]).
+    pub fn footprint(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            live_edges: self.blocker.live_edges(),
+            cached_accumulators: self.blocker.cached_accumulators(),
+            interned_tokens: self.index.interned_tokens(),
+            store_bytes: self.store.resident_bytes(),
+            index_bytes: self.index.resident_bytes(),
+            snapshot_bytes: self.snapshot.resident_bytes(),
+            blocker_bytes: self.blocker.resident_bytes(),
+        }
+    }
+
     /// Inserts a profile, returning its stable global id.
     pub fn insert<'a>(
         &mut self,
@@ -276,7 +321,10 @@ impl IncrementalPipeline {
         let source = self.store.source_of(id);
         // Collect (cluster, token) keys exactly like batch Token Blocking:
         // excluded attributes produce none, everything else its cluster.
-        let mut keys: Vec<(ClusterId, String)> = Vec::new();
+        // Tokens are interned straight out of the tokenizer callback, so no
+        // per-token string is ever materialised on the streaming path.
+        let mut keys: Vec<(ClusterId, Symbol)> = Vec::new();
+        let index = &mut self.index;
         for (attr, value) in self.store.values(id) {
             let cluster = match &self.partitioning {
                 Some(p) => p.cluster_of(source, *attr),
@@ -284,11 +332,10 @@ impl IncrementalPipeline {
             };
             let Some(cluster) = cluster else { continue };
             self.tokenizer.for_each_token(value, |tok| {
-                keys.push((cluster, tok.to_string()));
+                keys.push((cluster, index.intern_token(tok)));
             });
         }
-        self.index
-            .set_profile(id.0, keys.iter().map(|(c, t)| (*c, t.as_str())));
+        self.index.set_profile_symbols(id.0, keys);
         self.pending_index_secs += t0.elapsed().as_secs_f64();
         self.pending = true;
     }
@@ -531,6 +578,50 @@ mod tests {
         );
         assert_eq!(out.delta.added, vec![(ProfileId(2), ProfileId(3))]);
         assert_eq!(p.retained().pairs(), p.batch_retained().pairs());
+    }
+
+    #[test]
+    fn footprint_counters_track_the_structures() {
+        let mut p = IncrementalPipeline::dirty(
+            WeightingScheme::Cbs,
+            IncrementalPruning::Traditional(PruningAlgorithm::Wep),
+            CleaningConfig::none(),
+        );
+        let empty = p.footprint();
+        assert_eq!(empty.live_edges, 0);
+        assert_eq!(empty.interned_tokens, 0);
+
+        p.insert(SourceId(0), "a", [("t", "alpha beta")]);
+        p.insert(SourceId(0), "b", [("t", "alpha beta")]);
+        p.insert(SourceId(0), "c", [("t", "alpha gamma")]);
+        p.commit();
+        let fp = p.footprint();
+        // Edges: (a,b), (a,c), (b,c) share blocks alpha/beta/gamma.
+        assert_eq!(fp.live_edges, 3);
+        assert_eq!(
+            fp.cached_accumulators,
+            2 * fp.live_edges,
+            "one packed entry per direction"
+        );
+        assert_eq!(fp.interned_tokens, 3, "alpha, beta, gamma");
+        assert!(fp.store_bytes > 0);
+        assert!(fp.index_bytes > 0);
+        assert!(fp.snapshot_bytes > 0);
+        assert!(fp.blocker_bytes > 0);
+        assert_eq!(
+            fp.total_bytes(),
+            fp.store_bytes + fp.index_bytes + fp.snapshot_bytes + fp.blocker_bytes
+        );
+
+        // Deleting everything drains the live counters.
+        for pid in 0..3 {
+            p.delete(ProfileId(pid));
+        }
+        p.commit();
+        let fp = p.footprint();
+        assert_eq!(fp.live_edges, 0);
+        assert_eq!(fp.cached_accumulators, 0);
+        assert_eq!(fp.interned_tokens, 3, "interned strings are permanent");
     }
 
     #[test]

@@ -121,6 +121,27 @@ impl MutableProfileStore {
         self.slots.iter().filter(|s| s.live).count()
     }
 
+    /// Estimated resident heap footprint in bytes: slot payloads (external
+    /// ids and attribute values) plus the attribute interners.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.slots.capacity() * size_of::<Slot>()
+            + self
+                .slots
+                .iter()
+                .map(|s| {
+                    s.external_id.len()
+                        + s.values.capacity() * size_of::<(AttributeId, Box<str>)>()
+                        + s.values.iter().map(|(_, v)| v.len()).sum::<usize>()
+                })
+                .sum::<usize>()
+            + self
+                .attrs
+                .iter()
+                .map(Interner::resident_bytes)
+                .sum::<usize>()
+    }
+
     /// The source a global id belongs to.
     #[inline]
     pub fn source_of(&self, id: ProfileId) -> SourceId {

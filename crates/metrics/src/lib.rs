@@ -8,11 +8,13 @@
 //! of each ground-truth pair (CSR index), ‖B‖ is arithmetic.
 
 pub mod delta;
+pub mod memory;
 pub mod quality;
 pub mod report;
 pub mod timing;
 
 pub use delta::{delta_pc, delta_pq};
+pub use memory::{current_rss_bytes, peak_rss_bytes};
 pub use quality::{evaluate_blocks, evaluate_pairs, BlockQuality};
 pub use report::{fmt_card, fmt_pct};
 pub use timing::Stopwatch;

@@ -1,0 +1,60 @@
+//! Process-memory probes for the memory-diet benchmarks.
+//!
+//! Reads the kernel's accounting from `/proc/self/status` (Linux): `VmRSS`
+//! is the current resident set, `VmHWM` its high-water mark — the peak the
+//! process ever held, which is what a "does 10⁶ profiles fit" budget
+//! actually constrains. On platforms without procfs the probes return
+//! `None` and the benchmark reports only the structure-level estimates.
+
+/// Current resident set size in bytes, if the platform exposes it.
+pub fn current_rss_bytes() -> Option<u64> {
+    read_status_kb("VmRSS:").map(|kb| kb * 1024)
+}
+
+/// Peak resident set size (high-water mark) in bytes, if available.
+pub fn peak_rss_bytes() -> Option<u64> {
+    read_status_kb("VmHWM:").map(|kb| kb * 1024)
+}
+
+fn read_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_kb(&status, field)
+}
+
+/// Extracts a `kB`-denominated field from `/proc/self/status` content.
+/// Lines look like `VmHWM:     123456 kB`.
+fn parse_status_kb(status: &str, field: &str) -> Option<u64> {
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix(field))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|num| num.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_fields() {
+        let status = "Name:\tblast\nVmPeak:\t  999 kB\nVmRSS:\t  2048 kB\nVmHWM:\t 4096 kB\n";
+        assert_eq!(parse_status_kb(status, "VmRSS:"), Some(2048));
+        assert_eq!(parse_status_kb(status, "VmHWM:"), Some(4096));
+        assert_eq!(parse_status_kb(status, "VmSwap:"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        assert_eq!(parse_status_kb("VmRSS:\tnot-a-number kB\n", "VmRSS:"), None);
+        assert_eq!(parse_status_kb("", "VmRSS:"), None);
+    }
+
+    #[test]
+    fn live_probe_is_sane_on_linux() {
+        if let Some(rss) = current_rss_bytes() {
+            let peak = peak_rss_bytes().expect("VmHWM accompanies VmRSS");
+            assert!(rss > 0);
+            assert!(peak >= rss / 2, "HWM should be near or above current RSS");
+        }
+    }
+}

@@ -179,6 +179,9 @@ fn stream_command_replays_micro_batches() {
     assert!(report.contains("patched CSR rows"), "{report}");
     assert!(report.contains("tier = "), "{report}");
     assert!(report.contains("dirty/reweigh/full"), "{report}");
+    // ... and the resident-footprint counters of the memory diet.
+    assert!(report.contains("interned tokens"), "{report}");
+    assert!(report.contains("B/profile"), "{report}");
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -58,6 +58,61 @@ fn drive(ops: &[Op], idx: &mut OrderedWeightIndex) -> Vec<(u32, u32, f64)> {
     live
 }
 
+/// Signed quarter-step weights with an explicit `-0.0` (w = 1), so
+/// duplicate-weight and signed-zero ties are routine, not rare.
+fn signed_quarter(w: u8) -> f64 {
+    if w == 1 {
+        -0.0
+    } else {
+        (w as f64 - 8.0) / 4.0
+    }
+}
+
+/// [`drive`] with [`signed_quarter`] weights, mutating `live` in place —
+/// the driver of the bulk-vs-incremental construction property.
+fn apply_signed(ops: &[Op], idx: &mut OrderedWeightIndex, live: &mut Vec<(u32, u32, f64)>) {
+    for &(kind, a, b, w) in ops {
+        let (a, b) = (a as u32 % 12, b as u32 % 12);
+        if a == b {
+            continue;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let w = signed_quarter(w);
+        let pos = live.iter().position(|&(x, y, _)| (x, y) == (a, b));
+        match (kind % 3, pos) {
+            (0, None) => {
+                idx.insert(a, b, w);
+                live.push((a, b, w));
+            }
+            (1, Some(i)) => {
+                let (_, _, old) = live.swap_remove(i);
+                idx.remove(a, b, old);
+            }
+            (2, Some(i)) => {
+                let old = live[i].2;
+                idx.remove(a, b, old);
+                idx.insert(a, b, w);
+                live[i].2 = w;
+            }
+            _ => {}
+        }
+    }
+}
+
+fn drive_signed(ops: &[Op], idx: &mut OrderedWeightIndex) -> Vec<(u32, u32, f64)> {
+    let mut live = Vec::new();
+    apply_signed(ops, idx, &mut live);
+    live
+}
+
+/// The pre-order `(key, weight bits)` fingerprint: a BST's pre-order
+/// determines its structure, so equal fingerprints mean equal trees.
+fn shape(idx: &OrderedWeightIndex) -> Vec<(EdgeKey, u64)> {
+    let mut v = Vec::new();
+    idx.for_each_preorder(&mut |k, w| v.push((k, w.to_bits())));
+    v
+}
+
 /// The naive reference ranking: weight descending (bit-exact through the
 /// rank map), then ascending `(u, v)` — a full re-sort per query, the cost
 /// the index exists to avoid.
@@ -130,6 +185,45 @@ proptest! {
         }
     }
 
+    /// The bulk from-sorted-array construction ([`OrderedWeightIndex::rebuild`])
+    /// is **bit-identical** to insert-by-insert construction: same shape
+    /// (pre-order fingerprint), same traversal order, same exact Σw —
+    /// across random mutation histories with duplicate weights (quarter
+    /// steps), negative weights and `-0.0` ties, and whatever the live
+    /// list's arrival order. The two indexes also stay interchangeable
+    /// under further mutation (the rebuild leaves no stale free-list or
+    /// size state behind).
+    #[test]
+    fn prop_bulk_rebuild_matches_incremental_construction(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u8..255, 0u8..255, 0u8..16), 0..60),
+        extra in proptest::collection::vec(
+            (0u8..3, 0u8..255, 0u8..255, 0u8..16), 0..12),
+    ) {
+        let mut inc = OrderedWeightIndex::new();
+        let live = drive_signed(&ops, &mut inc);
+        let mut bulk = OrderedWeightIndex::new();
+        // The live list arrives in mutation order, not key order — the
+        // rebuild owns the sort.
+        bulk.rebuild(live.iter().copied());
+
+        prop_assert_eq!(bulk.len(), inc.len());
+        prop_assert_eq!(shape(&bulk), shape(&inc), "pre-order fingerprint");
+        prop_assert_eq!(
+            bulk.sum().round().to_bits(),
+            inc.sum().round().to_bits(),
+            "exact Σw"
+        );
+
+        // Further mutations on top of both constructions converge too.
+        let mut live_inc = live.clone();
+        apply_signed(&extra, &mut inc, &mut live_inc);
+        let mut live_bulk = live;
+        apply_signed(&extra, &mut bulk, &mut live_bulk);
+        prop_assert_eq!(shape(&bulk), shape(&inc), "post-rebuild mutation");
+        prop_assert_eq!(bulk.sum().round().to_bits(), inc.sum().round().to_bits());
+    }
+
     /// Mean-threshold crossing enumeration: when Θ moves from θ_old to
     /// θ_new, `for_each_between` yields exactly the edges whose `w ≥ Θ`
     /// retention flips — no clean survivor, no non-crosser.
@@ -169,6 +263,38 @@ proptest! {
         naive.sort_unstable();
         prop_assert_eq!(band, naive);
     }
+}
+
+/// The bulk construction's tie handling pinned deterministically:
+/// duplicate weights and `-0.0`/`+0.0` ties produce the exact tree the
+/// insert path produces, and the rebuilt index answers order-statistic
+/// queries identically.
+#[test]
+fn bulk_rebuild_pins_duplicate_and_signed_zero_ties() {
+    let edges = [
+        (5, 6, 0.0),
+        (0, 1, -0.0),
+        (2, 3, 0.0),
+        (7, 8, -1.0),
+        (4, 9, 1.0),
+        (1, 2, 1.0),
+        (3, 7, -0.0),
+    ];
+    let mut inc = OrderedWeightIndex::new();
+    for &(u, v, w) in &edges {
+        inc.insert(u, v, w);
+    }
+    let mut bulk = OrderedWeightIndex::new();
+    bulk.rebuild(edges.iter().copied());
+    assert_eq!(shape(&bulk), shape(&inc), "tie-ridden shapes agree");
+    for rank in 0..=edges.len() {
+        assert_eq!(bulk.select(rank), inc.select(rank), "rank {rank}");
+    }
+    assert_eq!(bulk.sum().round().to_bits(), inc.sum().round().to_bits());
+    let mut empty = OrderedWeightIndex::new();
+    empty.rebuild(std::iter::empty());
+    assert_eq!(empty.len(), 0);
+    assert_eq!(empty.select(0), None);
 }
 
 /// f64-bit ordering corner cases pinned deterministically: duplicate

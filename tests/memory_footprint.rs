@@ -1,0 +1,105 @@
+//! Memory-footprint regression tests at the census preset.
+//!
+//! The million-profile memory diet (compact u32 ids, interned postings,
+//! packed edge accumulators) pins the per-profile resident footprint of a
+//! streamed census run. The estimates come from
+//! `IncrementalPipeline::footprint()` — capacity-based byte counts per
+//! structure — so they are deterministic and immune to allocator noise,
+//! unlike RSS. A regression that reintroduces owned strings in postings or
+//! fattens the per-edge cache shows up here as a bytes-per-profile blowout.
+
+use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
+use blast_datamodel::entity::SourceId;
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::weights::WeightingScheme;
+use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+
+/// Streams the full census preset (1000 profiles) and returns the pipeline
+/// after the final commit.
+fn stream_census(pruning: IncrementalPruning) -> (IncrementalPipeline, usize) {
+    let (input, _) = generate_dirty(&dirty_preset(DirtyPreset::Census));
+    let d = input.collection(SourceId(0));
+    // Same cleaning shape as the memory phase of `exp_incremental`: bound
+    // block sizes at ~64 members so the footprint tracks the structures.
+    let cleaning = CleaningConfig {
+        purging: true,
+        purge_fraction: 64.0 / d.len() as f64,
+        filtering: true,
+        filter_ratio: 0.8,
+    };
+    let mut p = IncrementalPipeline::dirty(WeightingScheme::Cbs, pruning, cleaning);
+    let quarter = (d.len() / 4).max(1);
+    for (i, profile) in d.profiles().iter().enumerate() {
+        p.insert(
+            SourceId(0),
+            &profile.external_id,
+            profile
+                .values
+                .iter()
+                .map(|(a, v)| (d.attribute_name(*a), &**v)),
+        );
+        if (i + 1) % quarter == 0 || i + 1 == d.len() {
+            p.commit();
+        }
+    }
+    let n = d.len();
+    (p, n)
+}
+
+/// Node-centric census run stays under the bytes-per-profile ceiling.
+///
+/// Measured ~1.12 KiB/profile after the diet; the ceiling leaves ~40%
+/// headroom for incidental capacity growth while still catching a
+/// return of per-posting owned strings (estimated +0.5 KiB/profile).
+#[test]
+fn census_bytes_per_profile_stays_under_ceiling_node_centric() {
+    let (p, n) = stream_census(IncrementalPruning::Traditional(PruningAlgorithm::Wnp1));
+    let fp = p.footprint();
+    let per_profile = fp.total_bytes() as f64 / n as f64;
+    assert!(
+        per_profile < 1600.0,
+        "census WNP1 footprint regressed: {per_profile:.1} B/profile (ceiling 1600)"
+    );
+    assert!(fp.interned_tokens > 0, "tokens must be interned");
+}
+
+/// Edge-centric census run (live edge cache + treap) has its own ceiling:
+/// measured ~1.87 KiB/profile with ~6k live edges at 24 packed bytes of
+/// accumulator each plus the ordered-weight index.
+#[test]
+fn census_bytes_per_profile_stays_under_ceiling_edge_centric() {
+    let (p, n) = stream_census(IncrementalPruning::Traditional(PruningAlgorithm::Wep));
+    let fp = p.footprint();
+    let per_profile = fp.total_bytes() as f64 / n as f64;
+    assert!(
+        per_profile < 2600.0,
+        "census WEP footprint regressed: {per_profile:.1} B/profile (ceiling 2600)"
+    );
+    assert!(fp.live_edges > 0, "WEP must keep a live edge set");
+    // Packed accumulator layout: the blocker's bytes per live edge stay
+    // bounded (cache entry + treap node + retained view « 160 B).
+    let per_edge = fp.blocker_bytes as f64 / fp.live_edges as f64;
+    assert!(
+        per_edge < 160.0,
+        "per-edge cache regressed: {per_edge:.1} B/edge (ceiling 160)"
+    );
+}
+
+/// The footprint estimate moves with the data: an empty pipeline's
+/// structures are a small fraction of the loaded one.
+#[test]
+fn footprint_grows_from_empty_to_loaded() {
+    let empty = IncrementalPipeline::dirty(
+        WeightingScheme::Cbs,
+        IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        CleaningConfig::default(),
+    )
+    .footprint();
+    let (p, _) = stream_census(IncrementalPruning::Traditional(PruningAlgorithm::Wnp1));
+    let loaded = p.footprint();
+    assert!(loaded.total_bytes() > 10 * empty.total_bytes().max(1));
+    assert!(loaded.store_bytes > 0);
+    assert!(loaded.index_bytes > 0);
+    assert!(loaded.snapshot_bytes > 0);
+    assert!(loaded.blocker_bytes > 0);
+}
