@@ -1,0 +1,107 @@
+//! Criterion: recording overhead of the observability core, pinned so the
+//! "a couple of relaxed atomic adds" claim stays honest.
+//!
+//! * **counter/gauge/histogram record** — the hot-path primitives in
+//!   isolation (per-op cost is these numbers divided by the batch size).
+//! * **commit record** — one full [`blast_obs::CommitMetrics::record`]
+//!   call, i.e. everything the incremental pipeline adds per commit.
+//! * **snapshot** — aggregating a populated registry (the cold read path;
+//!   never on the commit path).
+//! * **disabled counter** — the `set_enabled(false)` early-out that
+//!   `exp_obs` uses as its uninstrumented baseline.
+
+use blast_obs::{CommitMetrics, CommitPhases, CommitRecord, Registry};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+/// Amortises the measurement-loop overhead over this many record calls.
+const BATCH: u64 = 1000;
+
+fn bench_obs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("bench.counter");
+    let gauge = registry.gauge("bench.gauge");
+    let hist = registry.histogram_with_unit("bench.hist_secs", 1e-9);
+
+    g.bench_function(format!("counter_add_x{BATCH}"), |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                counter.add(i & 3);
+            }
+            counter.value()
+        })
+    });
+
+    g.bench_function(format!("gauge_set_x{BATCH}"), |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                gauge.set(i as i64);
+            }
+            gauge.value()
+        })
+    });
+
+    g.bench_function(format!("histogram_record_x{BATCH}"), |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                hist.record(1 + i * 997);
+            }
+            hist.count()
+        })
+    });
+
+    let metrics = CommitMetrics::new();
+    let phases = CommitPhases {
+        index_secs: 1.1e-4,
+        cleaning_secs: 2.3e-4,
+        snapshot_secs: 0.4e-4,
+        repair_secs: 1.9e-4,
+        reweigh_secs: 0.2e-4,
+        decision_secs: 0.6e-4,
+    };
+    g.bench_function("commit_record", |b| {
+        b.iter(|| {
+            metrics.record(&CommitRecord {
+                phases: Some(&phases),
+                tier: 1,
+                dirty_nodes: 17,
+                patched_rows: 9,
+                patched_slots: 14,
+                edges_reweighed: 120,
+                retention_flips: 3,
+                pairs_added: 2,
+                pairs_retracted: 1,
+                cleaner_dirty_keys: 21,
+                cleaner_touched_profiles: 8,
+                retained: 4096,
+                blocks: 900,
+                live_edges: 12_000,
+                cached_accumulators: 24_000,
+                interned_symbols: 7_000,
+                ..CommitRecord::default()
+            })
+        })
+    });
+
+    g.bench_function("snapshot", |b| {
+        b.iter(|| metrics.snapshot().samples().len())
+    });
+
+    g.bench_function(format!("disabled_counter_add_x{BATCH}"), |b| {
+        blast_obs::set_enabled(false);
+        b.iter(|| {
+            for i in 0..BATCH {
+                counter.add(i & 3);
+            }
+            counter.value()
+        });
+        blast_obs::set_enabled(true);
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

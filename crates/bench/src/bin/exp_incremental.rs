@@ -36,6 +36,7 @@ use blast_graph::context::{EdgeAccum, GraphSnapshot};
 use blast_graph::meta::PruningAlgorithm;
 use blast_graph::weights::{EdgeWeigher, WeightDeps, WeightingScheme};
 use blast_incremental::{CleaningConfig, CommitTimings, IncrementalPipeline, IncrementalPruning};
+use blast_obs::CommitTotals;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -136,23 +137,22 @@ fn run_config(
     }
     pipeline.commit();
 
-    // Incremental path: insert + repair per micro-batch, with the
-    // per-phase split the commit reports.
+    // Incremental path: insert + repair per micro-batch. Aggregation reads
+    // the pipeline's metrics registry back (snapshot deltas scoped to the
+    // streamed window and to each half of it) instead of re-accumulating
+    // per-commit outcomes by hand — the same path `blast stream --stats`
+    // reports from.
+    let base = pipeline.metrics().snapshot();
     let mut commits = 0usize;
-    let mut phases = CommitTimings::default();
-    let mut half_phases = [CommitTimings::default(), CommitTimings::default()];
-    let mut half_commits = [0usize; 2];
-    let mut patched_rows = 0usize;
-    let mut retention_flips = 0usize;
-    let mut threshold_crossers = 0usize;
-    let mut tier_commits = [0usize; 3];
-    let mut edges_swept = 0usize;
-    let mut edges_rekeyed = 0usize;
+    let mut half_snap: Option<blast_obs::MetricsSnapshot> = None;
     let total_batches = rows[seed_len..seed_len + streamed]
         .chunks(batch_size)
         .count();
     let t0 = Instant::now();
     for chunk in rows[seed_len..seed_len + streamed].chunks(batch_size) {
+        if commits * 2 >= total_batches && half_snap.is_none() {
+            half_snap = Some(pipeline.metrics().snapshot());
+        }
         for (id, pairs) in chunk {
             pipeline.insert(
                 SourceId(0),
@@ -160,33 +160,17 @@ fn run_config(
                 pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
             );
         }
-        let out = pipeline.commit();
-        phases.accumulate(&out.timings);
-        let half = usize::from(commits * 2 >= total_batches);
-        half_phases[half].accumulate(&out.timings);
-        half_commits[half] += 1;
-        patched_rows += out.stats.patched_rows;
-        retention_flips += out.stats.retention_flips;
-        threshold_crossers += out.stats.threshold_crossers;
-        tier_commits[out.stats.tier.index()] += 1;
-        edges_swept += out.stats.edges_swept;
-        edges_rekeyed += out.stats.edges_rekeyed;
+        pipeline.commit();
         commits += 1;
     }
     let incremental_secs = t0.elapsed().as_secs_f64();
-    let mean = |t: &CommitTimings, n: usize| {
-        let n = n.max(1) as f64;
-        CommitTimings {
-            index_secs: t.index_secs / n,
-            cleaning_secs: t.cleaning_secs / n,
-            snapshot_secs: t.snapshot_secs / n,
-            repair_secs: t.repair_secs / n,
-            reweigh_secs: t.reweigh_secs / n,
-            decision_secs: t.decision_secs / n,
-        }
-    };
-    let phases_first_half = mean(&half_phases[0], half_commits[0]);
-    let phases_second_half = mean(&half_phases[1], half_commits[1]);
+    let end = pipeline.metrics().snapshot();
+    let half_snap = half_snap.unwrap_or_else(|| end.clone());
+    let totals = CommitTotals::from_snapshot(&end.delta_since(&base));
+    let first = CommitTotals::from_snapshot(&half_snap.delta_since(&base));
+    let second = CommitTotals::from_snapshot(&end.delta_since(&half_snap));
+    let phases_first_half = first.phases.mean(first.commits as usize);
+    let phases_second_half = second.phases.mean(second.commits as usize);
 
     // Full-recompute path: the same commit schedule, each commit a batch
     // re-run over the whole collection so far.
@@ -226,6 +210,10 @@ fn run_config(
     // leaves the evidence on disk.
     let equivalent = pipeline.retained().pairs() == pipeline.batch_retained().pairs();
 
+    debug_assert_eq!(
+        totals.commits as usize, commits,
+        "registry window covers the stream"
+    );
     RunResult {
         scheme: weigher.name(),
         pruning: pruning.label(),
@@ -235,15 +223,15 @@ fn run_config(
         full_secs,
         speedup: full_secs / incremental_secs.max(1e-12),
         final_candidates: pipeline.retained().len(),
-        phases,
+        phases: totals.phases,
         phases_first_half,
         phases_second_half,
-        patched_rows,
-        retention_flips,
-        threshold_crossers,
-        tier_commits,
-        edges_swept,
-        edges_rekeyed,
+        patched_rows: totals.patched_rows as usize,
+        retention_flips: totals.retention_flips as usize,
+        threshold_crossers: totals.threshold_crossers as usize,
+        tier_commits: totals.tier_commits.map(|c| c as usize),
+        edges_swept: totals.edges_swept as usize,
+        edges_rekeyed: totals.edges_rekeyed as usize,
         equivalent,
     }
 }
@@ -452,12 +440,9 @@ fn memory_json(runs: &[MemoryRun]) -> String {
     json
 }
 
-fn phase_json(t: &CommitTimings) -> String {
-    format!(
-        "{{\"index_maintenance_secs\": {:.6}, \"cleaning_secs\": {:.6}, \"snapshot_patch_secs\": {:.6}, \"graph_repair_secs\": {:.6}, \"reweigh_secs\": {:.6}, \"decision_secs\": {:.6}}}",
-        t.index_secs, t.cleaning_secs, t.snapshot_secs, t.repair_secs, t.reweigh_secs, t.decision_secs,
-    )
-}
+// The phase JSON schema lives in one place now: `CommitTimings` is
+// `blast_obs::CommitPhases`, and `bench_json()` carries the exact
+// `BENCH_incremental.json` keys.
 
 fn main() {
     let scale = blast_bench::scale();
@@ -606,9 +591,9 @@ fn main() {
             r.edges_swept,
             r.edges_rekeyed,
             r.equivalent,
-            phase_json(&r.phases),
-            phase_json(&r.phases_first_half),
-            phase_json(&r.phases_second_half),
+            r.phases.bench_json(),
+            r.phases_first_half.bench_json(),
+            r.phases_second_half.bench_json(),
         );
     }
     json.push_str("  ]\n}\n");

@@ -1,0 +1,196 @@
+//! Observability overhead: the instrumented commit path vs the
+//! `blast_obs::set_enabled(false)` early-out baseline.
+//!
+//! Streams a scaled census collection through the incremental pipeline in
+//! micro-batches, measuring the whole stream's wall clock with metric
+//! recording **on** (the default — per-pipeline commit telemetry plus the
+//! process-wide scheduler/CSR/treap instruments) and **off** (every record
+//! call reduced to one relaxed atomic load-and-branch). Reps are
+//! interleaved on/off and the **minimum** per mode is compared, so the
+//! recorded ratio reflects the floor cost of the instrumentation rather
+//! than scheduler noise; CI asserts `overhead_ratio <= ceiling` off the
+//! JSON.
+//!
+//! A micro section times the raw primitives (counter add, histogram
+//! record, full `CommitMetrics::record`, registry snapshot) in ns/op —
+//! the same quantities `benches/bench_obs.rs` tracks under criterion.
+//!
+//! Writes `BENCH_obs.json`.
+
+use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
+use blast_datamodel::entity::SourceId;
+use blast_datamodel::input::ErInput;
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::weights::WeightingScheme;
+use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+use blast_obs::{CommitMetrics, CommitPhases, CommitRecord};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// On/off rep pairs; the minimum of each side is compared.
+const REPS: usize = 5;
+/// Accepted instrumented/baseline wall-clock ratio (asserted by CI).
+const CEILING: f64 = 1.05;
+
+/// One full stream through a fresh pipeline; returns (wall secs, commits).
+fn stream_once(rows: &[(String, Vec<(String, String)>)], batch_size: usize) -> (f64, usize) {
+    let mut pipeline = IncrementalPipeline::dirty(
+        WeightingScheme::Cbs,
+        IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        CleaningConfig::default(),
+    );
+    let mut commits = 0usize;
+    let t0 = Instant::now();
+    for chunk in rows.chunks(batch_size) {
+        for (id, pairs) in chunk {
+            pipeline.insert(
+                SourceId(0),
+                id,
+                pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
+            );
+        }
+        pipeline.commit();
+        commits += 1;
+    }
+    (t0.elapsed().as_secs_f64(), commits)
+}
+
+/// ns/op of `f` amortised over `iters` calls.
+fn ns_per_op(iters: u64, mut f: impl FnMut(u64)) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn main() {
+    let scale = blast_bench::scale();
+    let spec = dirty_preset(DirtyPreset::Census).scaled(scale);
+    let (input, _) = generate_dirty(&spec);
+    let ErInput::Dirty(d) = &input else {
+        unreachable!()
+    };
+    let base: Vec<(String, Vec<(String, String)>)> = d
+        .profiles()
+        .iter()
+        .map(|p| {
+            (
+                p.external_id.to_string(),
+                p.values
+                    .iter()
+                    .map(|(a, v)| (d.attribute_name(*a).to_string(), v.to_string()))
+                    .collect(),
+            )
+        })
+        .collect();
+    // Replicate the collection (distinct external ids) until one stream is
+    // long enough to time: with sub-millisecond streams the on/off ratio
+    // measures scheduler jitter, not instrumentation cost.
+    let mut rows = base.clone();
+    let mut copy = 1usize;
+    while rows.len() < 4_000 {
+        copy += 1;
+        rows.extend(
+            base.iter()
+                .map(|(id, pairs)| (format!("{id}#c{copy}"), pairs.clone())),
+        );
+    }
+    let batch_size = 32usize;
+
+    println!(
+        "## Observability overhead (census preset, scale {scale}, {} profiles, batch {batch_size})",
+        rows.len()
+    );
+
+    // Warm-up rep (page cache, allocator, lazy registrations), then
+    // interleaved on/off reps.
+    stream_once(&rows, batch_size);
+    let mut on_secs = Vec::with_capacity(REPS);
+    let mut off_secs = Vec::with_capacity(REPS);
+    let mut commits = 0usize;
+    for rep in 0..REPS {
+        blast_obs::set_enabled(true);
+        let (s, c) = stream_once(&rows, batch_size);
+        on_secs.push(s);
+        commits = c;
+        blast_obs::set_enabled(false);
+        let (s, _) = stream_once(&rows, batch_size);
+        off_secs.push(s);
+        blast_obs::set_enabled(true);
+        println!(
+            "rep {}: instrumented {:.4}s  baseline {:.4}s",
+            rep + 1,
+            on_secs[rep],
+            off_secs[rep]
+        );
+    }
+    let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let instrumented_secs = min(&on_secs);
+    let baseline_secs = min(&off_secs);
+    let overhead_ratio = instrumented_secs / baseline_secs.max(1e-12);
+    println!(
+        "min instrumented {instrumented_secs:.4}s  min baseline {baseline_secs:.4}s  ratio {overhead_ratio:.4} (ceiling {CEILING})"
+    );
+
+    // Micro primitives, ns/op.
+    let metrics = CommitMetrics::new();
+    let counter = metrics.registry().counter("micro.counter");
+    let hist = metrics
+        .registry()
+        .histogram_with_unit("micro.hist_secs", 1e-9);
+    let phases = CommitPhases {
+        index_secs: 1.1e-4,
+        cleaning_secs: 2.3e-4,
+        snapshot_secs: 0.4e-4,
+        repair_secs: 1.9e-4,
+        reweigh_secs: 0.2e-4,
+        decision_secs: 0.6e-4,
+    };
+    let counter_add_ns = ns_per_op(4_000_000, |i| counter.add(i & 3));
+    let histogram_record_ns = ns_per_op(4_000_000, |i| hist.record(1 + i * 997));
+    let commit_record_ns = ns_per_op(400_000, |_| {
+        metrics.record(&CommitRecord {
+            phases: Some(&phases),
+            tier: 1,
+            dirty_nodes: 17,
+            patched_rows: 9,
+            retention_flips: 3,
+            retained: 4096,
+            live_edges: 12_000,
+            ..CommitRecord::default()
+        })
+    });
+    let snapshot_ns = ns_per_op(2_000, |_| {
+        std::hint::black_box(metrics.snapshot().samples().len());
+    });
+    println!(
+        "micro: counter add {counter_add_ns:.1} ns/op, histogram record {histogram_record_ns:.1} ns/op, \
+         commit record {commit_record_ns:.1} ns/op, snapshot {snapshot_ns:.0} ns"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"preset\": \"census\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"profiles\": {},", rows.len());
+    let _ = writeln!(json, "  \"batch_size\": {batch_size},");
+    let _ = writeln!(json, "  \"commits\": {commits},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"instrumented_secs\": {instrumented_secs:.6},");
+    let _ = writeln!(json, "  \"baseline_secs\": {baseline_secs:.6},");
+    let _ = writeln!(json, "  \"overhead_ratio\": {overhead_ratio:.4},");
+    let _ = writeln!(json, "  \"ceiling\": {CEILING},");
+    let _ = writeln!(
+        json,
+        "  \"micro\": {{\"counter_add_ns\": {counter_add_ns:.2}, \"histogram_record_ns\": {histogram_record_ns:.2}, \"commit_record_ns\": {commit_record_ns:.2}, \"snapshot_ns\": {snapshot_ns:.0}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+
+    assert!(
+        overhead_ratio <= CEILING,
+        "instrumentation overhead {overhead_ratio:.4} exceeds ceiling {CEILING}"
+    );
+}

@@ -213,12 +213,44 @@ pub fn evaluate(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// One `--trace` journal line: the commit's telemetry as a flat-ish JSON
+/// object (nested `phases` object reusing the bench-JSON phase schema).
+fn trace_event(
+    seq: usize,
+    batch_profiles: usize,
+    pipeline: &blast_incremental::IncrementalPipeline,
+    out: &blast_incremental::CommitOutcome,
+) -> String {
+    use blast_obs::trace::JsonObject;
+    let fp = pipeline.footprint();
+    JsonObject::new()
+        .field_u64("seq", seq as u64)
+        .field_u64("batch_profiles", batch_profiles as u64)
+        .field_str("tier", out.stats.tier.label())
+        .field_u64("added", out.delta.added.len() as u64)
+        .field_u64("retracted", out.delta.retracted.len() as u64)
+        .field_u64("retained", out.retained_len as u64)
+        .field_u64("blocks", out.blocks as u64)
+        .field_u64("dirty_nodes", out.stats.dirty_nodes as u64)
+        .field_u64("patched_rows", out.stats.patched_rows as u64)
+        .field_u64("retention_flips", out.stats.retention_flips as u64)
+        .field_u64("threshold_crossers", out.stats.threshold_crossers as u64)
+        .field_f64("total_secs", out.timings.total_secs())
+        .field_raw("phases", &out.timings.bench_json())
+        .field_u64("live_edges", fp.live_edges as u64)
+        .field_u64("cached_accumulators", fp.cached_accumulators as u64)
+        .field_u64("interned_tokens", fp.interned_tokens as u64)
+        .field_u64("resident_bytes", fp.total_bytes() as u64)
+        .finish()
+}
+
 /// `blast stream`: replay a dirty CSV as micro-batches through the
 /// incremental pipeline, reporting the candidate-pair delta per batch.
 pub fn stream(args: &Args) -> Result<String, String> {
     use blast_graph::meta::PruningAlgorithm;
     use blast_graph::weights::{EdgeWeigher as _, WeightingScheme};
     use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+    use blast_obs::CommitTotals;
 
     let options = read_options(args);
     let d = read_collection(&mut open(args.required("input")?)?, SourceId(0), &options)
@@ -267,6 +299,13 @@ pub fn stream(args: &Args) -> Result<String, String> {
     };
 
     let show_stats = args.flag("stats");
+    // Opt-in structured trace journal: one JSON object per commit. Trace
+    // events include the memory footprint, whose byte estimates walk the
+    // structures (O(n)) — acceptable on the opt-in path only.
+    let mut trace = match args.get("trace") {
+        Some(path) => Some(create(path)?),
+        None => None,
+    };
     let mut report = String::new();
     let _ = writeln!(
         report,
@@ -274,15 +313,7 @@ pub fn stream(args: &Args) -> Result<String, String> {
         d.len(),
         pipeline
     );
-    let mut added_total = 0usize;
-    let mut retracted_total = 0usize;
     let mut batch_no = 0usize;
-    let mut dirty_total = 0usize;
-    let mut patched_rows_total = 0usize;
-    let mut flips_total = 0usize;
-    let mut crossers_total = 0usize;
-    // Per-tier commit counts of the repair ladder (dirty / reweigh / full).
-    let mut tier_counts = [0usize; 3];
     for chunk in d.profiles().chunks(batch_size) {
         for profile in chunk {
             let pairs: Vec<(&str, &str)> = profile
@@ -294,13 +325,6 @@ pub fn stream(args: &Args) -> Result<String, String> {
         }
         let out = pipeline.commit();
         batch_no += 1;
-        added_total += out.delta.added.len();
-        retracted_total += out.delta.retracted.len();
-        dirty_total += out.stats.dirty_nodes;
-        patched_rows_total += out.stats.patched_rows;
-        flips_total += out.stats.retention_flips;
-        crossers_total += out.stats.threshold_crossers;
-        tier_counts[out.stats.tier.index()] += 1;
         let _ = writeln!(
             report,
             "batch {batch_no:>4}: +{:<6} -{:<6} candidates = {:<8} blocks = {:<7} dirty nodes = {:<6} tier = {}",
@@ -316,7 +340,7 @@ pub fn stream(args: &Args) -> Result<String, String> {
                 report,
                 "    repair: dirty nodes = {}, patched CSR rows = {}, patched slots = {}, tier = {}, \
                  edges re-weighed = {}, swept = {} ({} re-keyed), retention flips = {}, threshold crossers = {}, \
-                 phases = {:.1}us index / {:.1}us clean / {:.1}us snapshot / {:.1}us repair / {:.1}us reweigh / {:.1}us decision",
+                 phases = {}",
                 out.stats.dirty_nodes,
                 out.stats.patched_rows,
                 out.stats.patched_slots,
@@ -326,29 +350,30 @@ pub fn stream(args: &Args) -> Result<String, String> {
                 out.stats.edges_rekeyed,
                 out.stats.retention_flips,
                 out.stats.threshold_crossers,
-                out.timings.index_secs * 1e6,
-                out.timings.cleaning_secs * 1e6,
-                out.timings.snapshot_secs * 1e6,
-                out.timings.repair_secs * 1e6,
-                out.timings.reweigh_secs * 1e6,
-                out.timings.decision_secs * 1e6,
+                out.timings.human_micros(),
             );
         }
+        if let Some(w) = trace.as_mut() {
+            let line = trace_event(batch_no, chunk.len(), &pipeline, &out);
+            writeln!(w, "{line}").map_err(|e| format!("writing --trace: {e}"))?;
+        }
     }
+    // Aggregate reporting reads the pipeline's metrics registry back — one
+    // aggregation path shared with `exp_incremental` — instead of
+    // re-accumulating per-commit outcomes by hand.
+    let totals = CommitTotals::from_snapshot(&pipeline.metrics().snapshot());
     let _ = writeln!(
         report,
-        "total: {added_total} added, {retracted_total} retracted, {} final candidates",
+        "total: {} added, {} retracted, {} final candidates",
+        totals.pairs_added,
+        totals.pairs_retracted,
         pipeline.retained().len()
     );
     if show_stats {
         let _ = writeln!(
             report,
-            "repair totals: {dirty_total} dirty nodes, {patched_rows_total} patched CSR rows, \
-             {flips_total} retention flips ({crossers_total} threshold crossers), \
-             tiers = {}/{}/{} dirty/reweigh/full of {batch_no}, snapshot version = {}",
-            tier_counts[0],
-            tier_counts[1],
-            tier_counts[2],
+            "{}, snapshot version = {}",
+            totals.repair_summary(),
             pipeline.snapshot().version(),
         );
         let fp = pipeline.footprint();
@@ -362,6 +387,17 @@ pub fn stream(args: &Args) -> Result<String, String> {
             fp.total_bytes() as f64 / 1024.0,
             fp.total_bytes() as f64 / d.len().max(1) as f64,
         );
+    }
+    if let Some(mut w) = trace.take() {
+        w.flush().map_err(|e| e.to_string())?;
+        let _ = writeln!(report, "trace journal: {batch_no} events");
+    }
+    if let Some(path) = args.get("metrics") {
+        let mut w = create(path)?;
+        w.write_all(pipeline.metrics().snapshot().encode_text().as_bytes())
+            .and_then(|()| w.flush())
+            .map_err(|e| format!("writing --metrics: {e}"))?;
+        let _ = writeln!(report, "metrics exposition written to {path}");
     }
 
     if args.flag("verify") {

@@ -6,6 +6,7 @@
 //! blast block    --d1 a.csv --d2 b.csv --out pairs.csv [--gt gt.csv] [options]
 //! blast dedup    --input data.csv --out pairs.csv [--gt gt.csv] [options]
 //! blast stream   --input data.csv --batch-size 64 [--pruning wnp1] [--verify] [--stats]
+//!                [--trace out.jsonl] [--metrics out.prom]
 //! blast schema   --d1 a.csv --d2 b.csv
 //! blast evaluate --d1 a.csv --d2 b.csv --pairs pairs.csv --gt gt.csv
 //! blast generate --preset ar1 --scale 0.1 --out-dir bench-data/
@@ -54,6 +55,10 @@ USAGE:
                  [--scheme arcs|cbs|ecbs|js|ejs] [--no-cleaning] [--verify]
                  [--stats]  (per-commit RepairStats: dirty nodes, patched
                  CSR rows, full-rebuild fallbacks, phase timings)
+                 [--trace OUT.jsonl]  (structured trace journal: one JSON
+                 event per commit — tier, phase secs, flips, footprint)
+                 [--metrics OUT.prom]  (Prometheus text exposition of the
+                 pipeline's metrics registry after the run)
   blast schema   --d1 A.csv --d2 B.csv [--algorithm lmi|ac] [--lsh-threshold T]
   blast evaluate --d1 A.csv --d2 B.csv --pairs pairs.csv --gt gt.csv
   blast generate --preset ar1|ar2|prd|mov|dbp|census|cora|cddb

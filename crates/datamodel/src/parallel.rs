@@ -18,7 +18,18 @@
 //! `chunk` — never on the thread count — so even order-sensitive merges
 //! (floating-point folds) are bit-identical across thread counts.
 
+use blast_obs::{names, LazyCounter, LazyHistogram};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Work-stealing invocations, recorded into the process-wide registry (the
+/// scheduler is called from deep inside the weighting loops — a handle
+/// can't reasonably be plumbed through).
+static STEAL_INVOCATIONS: LazyCounter = LazyCounter::new(names::SCHEDULER_INVOCATIONS);
+/// Chunks processed across all work-stealing invocations.
+static STEAL_CHUNKS: LazyCounter = LazyCounter::new(names::SCHEDULER_CHUNKS);
+/// Chunks claimed per worker activation — the steal-balance distribution.
+static STEAL_CHUNKS_PER_WORKER: LazyHistogram =
+    LazyHistogram::new(names::SCHEDULER_CHUNKS_PER_WORKER);
 
 /// Number of worker threads to use: the available parallelism, capped so
 /// tiny inputs don't pay thread-spawn overhead.
@@ -88,14 +99,17 @@ where
 {
     let chunk = chunk.max(1);
     let threads = threads.max(1);
+    STEAL_INVOCATIONS.inc();
     if len == 0 {
         let mut state = init();
         return vec![work(&mut state, 0..0)];
     }
     let n_chunks = len.div_ceil(chunk);
     let range_of = |i: usize| (i * chunk)..((i + 1) * chunk).min(len);
+    STEAL_CHUNKS.add(n_chunks as u64);
     if threads == 1 || n_chunks == 1 {
         let mut state = init();
+        STEAL_CHUNKS_PER_WORKER.record(n_chunks as u64);
         return (0..n_chunks)
             .map(|i| work(&mut state, range_of(i)))
             .collect();
@@ -120,6 +134,10 @@ where
                         }
                         local.push((i, work(&mut state, range_of(i))));
                     }
+                    // Recorded from the worker's own thread — each records
+                    // into its own histogram shard, so the steal-balance
+                    // distribution costs no synchronisation.
+                    STEAL_CHUNKS_PER_WORKER.record(local.len() as u64);
                     local
                 })
             })

@@ -38,6 +38,12 @@ use blast_graph::exact_sum::ExactSum;
 use blast_graph::pruning::common::{weight_rank_bits, EpochMask};
 use blast_graph::retained::RetainedPairs;
 use blast_graph::weights::EdgeWeigher;
+use blast_obs::{names, LazyCounter};
+
+/// Bulk treap rebuilds (degraded-full and heavy-drift paths), recorded
+/// into the process-wide registry — a healthy incremental stream should
+/// show this staying near zero while commits climb.
+static TREAP_BULK_REBUILDS: LazyCounter = LazyCounter::new(names::TREAP_BULK_REBUILDS);
 
 /// The total retention order of the decision stage: ascending `rank` is
 /// descending weight (see [`weight_rank_bits`]), ties broken by ascending
@@ -177,6 +183,7 @@ impl OrderedWeightIndex {
     /// `>=` implements, since its left tree always holds the smaller keys
     /// — the treap over a key set is unique, whatever built it.
     pub fn rebuild(&mut self, edges: impl IntoIterator<Item = (u32, u32, f64)>) {
+        TREAP_BULK_REBUILDS.inc();
         self.clear();
         for (u, v, w) in edges {
             let key = EdgeKey::new(u, v, w);

@@ -44,58 +44,15 @@ use blast_datamodel::tokenizer::Tokenizer;
 use blast_graph::context::GraphSnapshot;
 use blast_graph::retained::RetainedPairs;
 use blast_graph::weights::EdgeWeigher;
+use blast_obs::{CommitMetrics, CommitRecord};
 use std::time::Instant;
 
 /// Wall-clock split of one commit across the pipeline stages (the phase
-/// columns of `BENCH_incremental.json`).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CommitTimings {
-    /// Blocking-index maintenance: token re-keying + posting diffs of the
-    /// micro-batch's mutations (accrued during `insert`/`update`/`delete`)
-    /// plus the dirty-state drain.
-    pub index_secs: f64,
-    /// Incremental purging + filtering over the dirty blocks.
-    pub cleaning_secs: f64,
-    /// Patching the owned graph snapshot (CSR row splices + slot stats).
-    pub snapshot_secs: f64,
-    /// Dirty-neighbourhood artefact repair: re-weighting the dirty-incident
-    /// edges and recomputing per-node thresholds / top-k lists on the
-    /// dense scratch engine.
-    pub repair_secs: f64,
-    /// The repair ladder's reweigh machinery: degree-delta maintenance
-    /// (every tier, degree-reading weighers only) plus the cache-driven
-    /// re-derivation of every clean edge's weight when a global scalar
-    /// drifted (tier 2 only). Effectively zero for local schemes.
-    pub reweigh_secs: f64,
-    /// The decision stage: frontier maintenance on the ordered weight
-    /// index, containment-counter updates, flip emission and retained-set
-    /// surgery — proportional to the dirty neighbourhood plus the flips
-    /// on tier 1, to the live edge count on tiers 2–3 (see
-    /// [`crate::decision`]).
-    pub decision_secs: f64,
-}
-
-impl CommitTimings {
-    /// Total commit wall-clock.
-    pub fn total_secs(&self) -> f64 {
-        self.index_secs
-            + self.cleaning_secs
-            + self.snapshot_secs
-            + self.repair_secs
-            + self.reweigh_secs
-            + self.decision_secs
-    }
-
-    /// Element-wise accumulation (for aggregating over a run).
-    pub fn accumulate(&mut self, other: &CommitTimings) {
-        self.index_secs += other.index_secs;
-        self.cleaning_secs += other.cleaning_secs;
-        self.snapshot_secs += other.snapshot_secs;
-        self.repair_secs += other.repair_secs;
-        self.reweigh_secs += other.reweigh_secs;
-        self.decision_secs += other.decision_secs;
-    }
-}
+/// columns of `BENCH_incremental.json`). The type lives in `blast-obs`
+/// ([`blast_obs::CommitPhases`]) so the `--stats` phase line and the bench
+/// JSON phase schema are formatted by one implementation; the historical
+/// `CommitTimings` name is kept for the pipeline's callers.
+pub use blast_obs::CommitPhases as CommitTimings;
 
 /// Resident-footprint counters of a streaming pipeline — the structure
 /// sizes behind the bytes-per-profile budget of the memory benchmark, and
@@ -159,6 +116,9 @@ pub struct IncrementalPipeline {
     pending: bool,
     /// Index-maintenance time accrued since the last commit.
     pending_index_secs: f64,
+    /// The pipeline's metrics registry (one per pipeline, so concurrent
+    /// pipelines in one process never bleed into each other's counters).
+    metrics: CommitMetrics,
 }
 
 impl std::fmt::Debug for IncrementalPipeline {
@@ -215,6 +175,7 @@ impl IncrementalPipeline {
             snapshot,
             pending: false,
             pending_index_secs: 0.0,
+            metrics: CommitMetrics::new(),
         }
     }
 
@@ -270,6 +231,15 @@ impl IncrementalPipeline {
     /// The owned graph snapshot (read access; patched per commit).
     pub fn snapshot(&self) -> &GraphSnapshot {
         &self.snapshot
+    }
+
+    /// The pipeline's metrics registry: everything `commit` has recorded
+    /// (phase histograms, repair-tier counters, cleaner drains, structure
+    /// gauges). Snapshot it for aggregate reporting
+    /// ([`blast_obs::CommitTotals::from_snapshot`]) or Prometheus export
+    /// ([`blast_obs::MetricsSnapshot::encode_text`]).
+    pub fn metrics(&self) -> &CommitMetrics {
+        &self.metrics
     }
 
     /// The pipeline's resident-footprint counters (see [`MemoryFootprint`]).
@@ -353,6 +323,9 @@ impl IncrementalPipeline {
         let t0 = Instant::now();
         let drain = self.index.drain_dirty();
         timings.index_secs += t0.elapsed().as_secs_f64();
+        let drained_keys = drain.keys.len();
+        let drained_members = drain.removed_members.len();
+        let drained_profiles = drain.touched_profiles.len();
 
         let t0 = Instant::now();
         let clean_clean = self.store.is_clean_clean();
@@ -390,10 +363,36 @@ impl IncrementalPipeline {
             (t0.elapsed().as_secs_f64() - stats.decision_secs - stats.reweigh_secs).max(0.0);
         stats.patched_rows = applied.patched_rows;
         stats.patched_slots = applied.patched_slots;
+        let retained_len = self.blocker.retained_len();
+        // Record the commit into the pipeline's registry. Gauge sources are
+        // all O(1) reads — `footprint()`'s byte estimates are O(n) and stay
+        // off the commit path.
+        self.metrics.record(&CommitRecord {
+            phases: Some(&timings),
+            tier: stats.tier.index(),
+            dirty_nodes: stats.dirty_nodes as u64,
+            patched_rows: stats.patched_rows as u64,
+            patched_slots: stats.patched_slots as u64,
+            edges_reweighed: stats.edges_reweighed as u64,
+            edges_swept: stats.edges_swept as u64,
+            edges_rekeyed: stats.edges_rekeyed as u64,
+            retention_flips: stats.retention_flips as u64,
+            threshold_crossers: stats.threshold_crossers as u64,
+            pairs_added: delta.added.len() as u64,
+            pairs_retracted: delta.retracted.len() as u64,
+            cleaner_dirty_keys: drained_keys as u64,
+            cleaner_removed_members: drained_members as u64,
+            cleaner_touched_profiles: drained_profiles as u64,
+            retained: retained_len as i64,
+            blocks: outcome.blocks as i64,
+            live_edges: self.blocker.live_edges() as i64,
+            cached_accumulators: self.blocker.cached_accumulators() as i64,
+            interned_symbols: self.index.interned_tokens() as i64,
+        });
         CommitOutcome {
             delta,
             stats,
-            retained_len: self.blocker.retained_len(),
+            retained_len,
             blocks: outcome.blocks as usize,
             timings,
         }

@@ -22,13 +22,19 @@ fn read_status_kb(field: &str) -> Option<u64> {
 }
 
 /// Extracts a `kB`-denominated field from `/proc/self/status` content.
-/// Lines look like `VmHWM:     123456 kB`.
+/// Lines look like `VmHWM:     123456 kB`. Degrades to `None` — never a
+/// wrong number — on anything unexpected: a missing line, a non-numeric
+/// value, or a unit other than the `kB` the kernel has always printed (if
+/// that ever changes, silently treating the value as kB would mis-scale
+/// every RSS figure the memory benchmark records).
 fn parse_status_kb(status: &str, field: &str) -> Option<u64> {
-    status
-        .lines()
-        .find_map(|line| line.strip_prefix(field))
-        .and_then(|rest| rest.split_whitespace().next())
-        .and_then(|num| num.parse().ok())
+    let rest = status.lines().find_map(|line| line.strip_prefix(field))?;
+    let mut tokens = rest.split_whitespace();
+    let value: u64 = tokens.next()?.parse().ok()?;
+    match tokens.next() {
+        Some("kB") => Some(value),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -47,6 +53,28 @@ mod tests {
     fn rejects_malformed_values() {
         assert_eq!(parse_status_kb("VmRSS:\tnot-a-number kB\n", "VmRSS:"), None);
         assert_eq!(parse_status_kb("", "VmRSS:"), None);
+    }
+
+    #[test]
+    fn missing_lines_degrade_to_none() {
+        // A kernel/status format without the field at all.
+        let status = "Name:\tblast\nState:\tR (running)\nThreads:\t4\n";
+        assert_eq!(parse_status_kb(status, "VmRSS:"), None);
+        assert_eq!(parse_status_kb(status, "VmHWM:"), None);
+    }
+
+    #[test]
+    fn unexpected_units_degrade_to_none() {
+        // A unit change must not be silently mis-scaled as kB.
+        assert_eq!(parse_status_kb("VmRSS:\t  2048 mB\n", "VmRSS:"), None);
+        assert_eq!(parse_status_kb("VmRSS:\t  2048 KB\n", "VmRSS:"), None);
+        // ... and a missing unit token likewise.
+        assert_eq!(parse_status_kb("VmRSS:\t  2048\n", "VmRSS:"), None);
+        // Trailing tokens beyond the unit are tolerated.
+        assert_eq!(
+            parse_status_kb("VmRSS:\t 2048 kB extra\n", "VmRSS:"),
+            Some(2048)
+        );
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! The `set_enabled(false)` kill switch, exercised in its own test binary
+//! (one test function) so the global toggle cannot race the crate's
+//! parallel unit tests.
+
+use blast_obs::{set_enabled, CommitMetrics, CommitRecord, Registry};
+
+#[test]
+fn disabled_recording_is_dropped_and_reenabling_resumes() {
+    let registry = Registry::new();
+    let c = registry.counter("kill.counter");
+    let g = registry.gauge("kill.gauge");
+    let h = registry.histogram("kill.hist");
+    c.add(2);
+    g.set(5);
+    h.record(10);
+
+    set_enabled(false);
+    c.add(100);
+    g.set(-1);
+    h.record(999);
+    let off = registry.snapshot();
+
+    // The typed commit view goes quiet too.
+    let metrics = CommitMetrics::new();
+    metrics.record(&CommitRecord {
+        tier: 2,
+        dirty_nodes: 40,
+        retained: 123,
+        ..CommitRecord::default()
+    });
+    let commit_snap = metrics.snapshot();
+    set_enabled(true);
+
+    // Nothing moved while disabled.
+    assert_eq!(off.counter("kill.counter"), 2);
+    assert_eq!(off.gauge("kill.gauge"), Some(5));
+    assert_eq!(off.histogram("kill.hist").unwrap().count, 1);
+    assert_eq!(commit_snap.counter("commit.count"), 0);
+    assert_eq!(commit_snap.counter("repair.tier.full"), 0);
+    assert_eq!(commit_snap.gauge("pipeline.retained"), Some(0));
+
+    // Re-enabling resumes exactly where the totals left off.
+    c.add(3);
+    h.record(20);
+    let on = registry.snapshot();
+    assert_eq!(on.counter("kill.counter"), 5);
+    assert_eq!(on.histogram("kill.hist").unwrap().count, 2);
+    assert_eq!(on.histogram("kill.hist").unwrap().raw_sum, 30);
+}

@@ -88,6 +88,12 @@ pub mod io {
     pub use blast_io::*;
 }
 
+/// Observability: lock-free metric registry, commit telemetry views,
+/// Prometheus text export and the JSONL trace journal.
+pub mod obs {
+    pub use blast_obs::*;
+}
+
 /// Incremental meta-blocking: mutable block index + dirty-neighbourhood
 /// repair, batch-equivalent (streamed inserts/updates/deletes with
 /// candidate-pair deltas).
