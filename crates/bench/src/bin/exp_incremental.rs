@@ -236,6 +236,92 @@ fn run_config(
     }
 }
 
+/// One multi-core run: the sharded commit path at a pinned thread count.
+struct MulticoreRun {
+    threads: usize,
+    shards: usize,
+    commits: usize,
+    secs: f64,
+    /// Wall-clock speedup vs the single-thread run of the same sweep
+    /// (recorded as measured; CI gates on the equivalence flags, not on
+    /// magnitudes, so oversubscribed runners stay green).
+    speedup: f64,
+    /// Merge-frontier (cross-shard) pairs processed across the run.
+    frontier_pairs: u64,
+    /// Tier split (dirty / reweigh / full) — the sweep is configured to be
+    /// reweigh-heavy so the sharded sweep actually runs.
+    tier_commits: [usize; 3],
+    final_candidates: usize,
+    /// The tentpole contract: retained set bit-identical to the
+    /// single-thread run AND to a from-scratch batch run.
+    equivalent: bool,
+}
+
+/// Multi-core phase: stream one reweigh-heavy configuration (EJS / WEP —
+/// every commit that drifts a degree re-derives all clean edges, the
+/// sharded sweep's hot path) at 1/2/4/8 worker threads over 4 owner
+/// shards, asserting bit-identical outcomes against the single-thread run
+/// and the batch pipeline.
+fn multicore_phase(rows: &[(String, Vec<(String, String)>)]) -> Vec<MulticoreRun> {
+    let weigher = BenchWeigher::Scheme(WeightingScheme::Ejs);
+    let pruning = IncrementalPruning::Traditional(PruningAlgorithm::Wep);
+    let batch_size = 8usize;
+    let shards = 4usize;
+    let seed_len = rows.len() / 2;
+    let streamed = (rows.len() - seed_len).min(MAX_STREAMED);
+
+    let mut runs: Vec<MulticoreRun> = Vec::new();
+    let mut reference: Option<blast_graph::retained::RetainedPairs> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut pipeline = IncrementalPipeline::dirty(weigher, pruning, CleaningConfig::default())
+            .with_threads(threads)
+            .with_shards(shards);
+        for (id, pairs) in &rows[..seed_len] {
+            pipeline.insert(
+                SourceId(0),
+                id,
+                pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
+            );
+        }
+        pipeline.commit();
+        let base = pipeline.metrics().snapshot();
+        let mut commits = 0usize;
+        let t0 = Instant::now();
+        for chunk in rows[seed_len..seed_len + streamed].chunks(batch_size) {
+            for (id, pairs) in chunk {
+                pipeline.insert(
+                    SourceId(0),
+                    id,
+                    pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
+                );
+            }
+            pipeline.commit();
+            commits += 1;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let totals = CommitTotals::from_snapshot(&pipeline.metrics().snapshot().delta_since(&base));
+        let retained = pipeline.retained().clone();
+        let equivalent = reference
+            .as_ref()
+            .is_none_or(|r| r.pairs() == retained.pairs())
+            && retained.pairs() == pipeline.batch_retained().pairs();
+        let baseline = runs.first().map_or(secs, |r| r.secs);
+        runs.push(MulticoreRun {
+            threads,
+            shards,
+            commits,
+            secs,
+            speedup: baseline / secs.max(1e-12),
+            frontier_pairs: totals.frontier_pairs,
+            tier_commits: totals.tier_commits.map(|c| c as usize),
+            final_candidates: retained.len(),
+            equivalent,
+        });
+        reference.get_or_insert(retained);
+    }
+    runs
+}
+
 /// One memory-diet run: bulk-stream a preset with commits at the quarter
 /// points, recording the pipeline's structure footprint and the kernel's
 /// RSS accounting (see `BENCH_memory.json`).
@@ -556,6 +642,29 @@ fn main() {
         );
     }
 
+    // Multi-core phase: the sharded commit path at 1/2/4/8 worker threads.
+    println!();
+    println!("## Sharded multi-core commit path (EJS / wep, 4 owner shards)");
+    println!(
+        "{:<8} {:>8} {:>10} {:>9} {:>15} {:>12} {:>11}",
+        "threads", "commits", "secs", "speedup", "frontier pairs", "tiers d/r/f", "equivalent"
+    );
+    let multicore = multicore_phase(&rows);
+    for r in &multicore {
+        println!(
+            "{:<8} {:>8} {:>10.4} {:>8.2}x {:>15} {:>8}/{}/{} {:>11}",
+            r.threads,
+            r.commits,
+            r.secs,
+            r.speedup,
+            r.frontier_pairs,
+            r.tier_commits[0],
+            r.tier_commits[1],
+            r.tier_commits[2],
+            r.equivalent,
+        );
+    }
+
     // BENCH_incremental.json — hand-rolled (the workspace has no serde).
     let mut json = String::new();
     json.push_str("{\n");
@@ -596,10 +705,40 @@ fn main() {
             r.phases_second_half.bench_json(),
         );
     }
+    json.push_str("  ],\n");
+    // The multi-core section: per-thread-count sharded runs. Each line
+    // carries the same `"scheme"`/`"equivalent"`/`"commits_full"` keys the
+    // run lines do, so CI's count-matching greps cover these runs too.
+    let _ = writeln!(json, "  \"multicore\": [");
+    for (i, r) in multicore.iter().enumerate() {
+        let comma = if i + 1 == multicore.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"scheme\": \"EJS\", \"pruning\": \"wep\", \"threads\": {}, \"shards\": {}, \"commits\": {}, \"secs\": {:.6}, \"speedup\": {:.3}, \"frontier_pairs\": {}, \"commits_dirty\": {}, \"commits_reweigh\": {}, \"commits_full\": {}, \"final_candidates\": {}, \"equivalent\": {}}}{comma}",
+            r.threads,
+            r.shards,
+            r.commits,
+            r.secs,
+            r.speedup,
+            r.frontier_pairs,
+            r.tier_commits[0],
+            r.tier_commits[1],
+            r.tier_commits[2],
+            r.final_candidates,
+            r.equivalent,
+        );
+    }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
     println!();
     println!("wrote BENCH_incremental.json");
+    for r in &multicore {
+        assert!(
+            r.equivalent,
+            "sharded multi-core run at {} threads diverged from the single-thread run or batch",
+            r.threads
+        );
+    }
     for r in &results {
         assert!(
             r.equivalent,

@@ -60,6 +60,17 @@ impl Args {
             .transpose()
     }
 
+    /// An optional positive-integer option (≥ 1).
+    pub fn get_usize(&self, key: &str) -> Result<Option<usize>, String> {
+        self.values
+            .get(key)
+            .map(|s| match s.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("--{key} expects an integer ≥ 1, got {s:?}")),
+            })
+            .transpose()
+    }
+
     /// Whether a bare flag was passed.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
@@ -81,6 +92,15 @@ mod tests {
         assert!(a.flag("no-glue"));
         assert_eq!(a.get_f64("c").unwrap(), Some(2.5));
         assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn usize_requires_positive_integer() {
+        let a = Args::parse(&s(&["--threads", "4", "--shards", "0", "--b", "x"])).unwrap();
+        assert_eq!(a.get_usize("threads").unwrap(), Some(4));
+        assert_eq!(a.get_usize("missing").unwrap(), None);
+        assert!(a.get_usize("shards").is_err(), "zero rejected");
+        assert!(a.get_usize("b").is_err());
     }
 
     #[test]

@@ -235,6 +235,12 @@ fn trace_event(
         .field_u64("patched_rows", out.stats.patched_rows as u64)
         .field_u64("retention_flips", out.stats.retention_flips as u64)
         .field_u64("threshold_crossers", out.stats.threshold_crossers as u64)
+        .field_u64("shards", out.stats.shards as u64)
+        .field_u64("frontier_pairs", out.stats.frontier_pairs as u64)
+        .field_u64(
+            "shard_imbalance_permille",
+            out.stats.shard_imbalance_permille,
+        )
         .field_f64("total_secs", out.timings.total_secs())
         .field_raw("phases", &out.timings.bench_json())
         .field_u64("live_edges", fp.live_edges as u64)
@@ -244,24 +250,14 @@ fn trace_event(
         .finish()
 }
 
-/// `blast stream`: replay a dirty CSV as micro-batches through the
-/// incremental pipeline, reporting the candidate-pair delta per batch.
-pub fn stream(args: &Args) -> Result<String, String> {
+/// Builds the incremental pipeline `blast stream`/`blast bench` share from
+/// the common options: `--pruning`, `--scheme`, `--no-cleaning`,
+/// `--threads`, `--shards`.
+fn incremental_pipeline(args: &Args) -> Result<blast_incremental::IncrementalPipeline, String> {
     use blast_graph::meta::PruningAlgorithm;
     use blast_graph::weights::{EdgeWeigher as _, WeightingScheme};
     use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
-    use blast_obs::CommitTotals;
 
-    let options = read_options(args);
-    let d = read_collection(&mut open(args.required("input")?)?, SourceId(0), &options)
-        .map_err(|e| format!("reading --input: {e}"))?;
-    let batch_size = match args.get("batch-size") {
-        None => 64usize,
-        Some(raw) => match raw.parse::<usize>() {
-            Ok(b) if b >= 1 => b,
-            _ => return Err(format!("--batch-size must be an integer ≥ 1, got {raw:?}")),
-        },
-    };
     let pruning = match args.get("pruning") {
         None | Some("blast") => IncrementalPruning::blast(),
         Some(label) => PruningAlgorithm::ALL
@@ -297,6 +293,25 @@ pub fn stream(args: &Args) -> Result<String, String> {
         ),
         (None, p) => IncrementalPipeline::dirty(WeightingScheme::Cbs, p, cleaning),
     };
+    if let Some(t) = args.get_usize("threads")? {
+        pipeline = pipeline.with_threads(t);
+    }
+    if let Some(s) = args.get_usize("shards")? {
+        pipeline = pipeline.with_shards(s);
+    }
+    Ok(pipeline)
+}
+
+/// `blast stream`: replay a dirty CSV as micro-batches through the
+/// incremental pipeline, reporting the candidate-pair delta per batch.
+pub fn stream(args: &Args) -> Result<String, String> {
+    use blast_obs::CommitTotals;
+
+    let options = read_options(args);
+    let d = read_collection(&mut open(args.required("input")?)?, SourceId(0), &options)
+        .map_err(|e| format!("reading --input: {e}"))?;
+    let batch_size = args.get_usize("batch-size")?.unwrap_or(64);
+    let mut pipeline = incremental_pipeline(args)?;
 
     let show_stats = args.flag("stats");
     // Opt-in structured trace journal: one JSON object per commit. Trace
@@ -352,6 +367,13 @@ pub fn stream(args: &Args) -> Result<String, String> {
                 out.stats.threshold_crossers,
                 out.timings.human_micros(),
             );
+            if out.stats.shards > 1 {
+                let _ = writeln!(
+                    report,
+                    "    shards: {} owner shards, frontier pairs = {}, imbalance = {}‰",
+                    out.stats.shards, out.stats.frontier_pairs, out.stats.shard_imbalance_permille,
+                );
+            }
         }
         if let Some(w) = trace.as_mut() {
             let line = trace_event(batch_no, chunk.len(), &pipeline, &out);
@@ -376,6 +398,13 @@ pub fn stream(args: &Args) -> Result<String, String> {
             totals.repair_summary(),
             pipeline.snapshot().version(),
         );
+        if totals.sharded_commits > 0 {
+            let _ = writeln!(
+                report,
+                "sharded: {} of {} commits multi-shard, {} merge-frontier pairs",
+                totals.sharded_commits, totals.commits, totals.frontier_pairs,
+            );
+        }
         let fp = pipeline.footprint();
         let _ = writeln!(
             report,
@@ -492,6 +521,92 @@ pub fn generate(args: &Args) -> Result<String, String> {
             "unknown preset {preset:?} (expected ar1|ar2|prd|mov|dbp|census|cora|cddb|census100k|census1m)"
         )),
     }
+}
+
+/// `blast bench`: generate a dirty preset in memory and stream it through
+/// the incremental pipeline, reporting commit throughput — the quick
+/// harness for the multi-core knobs (`--threads`, `--shards`; both also
+/// honoured by `blast stream`, and `BLAST_THREADS` overrides the default
+/// when `--threads` is absent).
+pub fn bench(args: &Args) -> Result<String, String> {
+    use blast_obs::CommitTotals;
+    use std::time::Instant;
+
+    let preset = args.get("preset").unwrap_or("census");
+    let scale = args.get_f64("scale")?.unwrap_or(0.05);
+    let batch_size = args.get_usize("batch-size")?.unwrap_or(64);
+    let p = DirtyPreset::ALL
+        .iter()
+        .chain(DirtyPreset::SCALED.iter())
+        .find(|p| p.label() == preset)
+        .ok_or_else(|| {
+            format!("--preset must be a dirty preset (census|cora|cddb|census100k|census1m), got {preset:?}")
+        })?;
+    let spec = dirty_preset(*p).scaled(scale);
+    let (input, _gt) = generate_dirty(&spec);
+    let ErInput::Dirty(d) = &input else {
+        unreachable!("dirty presets generate dirty input")
+    };
+    let mut pipeline = incremental_pipeline(args)?;
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "bench: {preset} × {scale} — {} profiles in micro-batches of {batch_size} ({:?})",
+        d.len(),
+        pipeline
+    );
+    let t0 = Instant::now();
+    let mut commits = 0usize;
+    for chunk in d.profiles().chunks(batch_size) {
+        for profile in chunk {
+            let pairs: Vec<(&str, &str)> = profile
+                .values
+                .iter()
+                .map(|(a, v)| (d.attribute_name(*a), &**v))
+                .collect();
+            pipeline.insert(SourceId(0), &profile.external_id, pairs);
+        }
+        pipeline.commit();
+        commits += 1;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+
+    let totals = CommitTotals::from_snapshot(&pipeline.metrics().snapshot());
+    let _ = writeln!(
+        report,
+        "{} commits in {secs:.3}s — {:.1} commits/s, {:.0} profiles/s, {} final candidates",
+        commits,
+        commits as f64 / secs.max(1e-9),
+        d.len() as f64 / secs.max(1e-9),
+        pipeline.retained().len(),
+    );
+    let _ = writeln!(report, "{}", totals.repair_summary());
+    if totals.sharded_commits > 0 {
+        let _ = writeln!(
+            report,
+            "sharded: {} of {} commits multi-shard, {} merge-frontier pairs",
+            totals.sharded_commits, totals.commits, totals.frontier_pairs,
+        );
+    }
+
+    if args.flag("verify") {
+        let batch = pipeline.batch_retained();
+        if batch.pairs() == pipeline.retained().pairs() {
+            let _ = writeln!(
+                report,
+                "verify: incremental == batch ({} pairs)",
+                batch.len()
+            );
+        } else {
+            return Err(format!(
+                "verify FAILED: incremental {} pairs vs batch {} pairs",
+                pipeline.retained().len(),
+                batch.len()
+            ));
+        }
+    }
+    Ok(report)
 }
 
 /// `GroundTruth` needs to be nameable above.

@@ -6,7 +6,8 @@
 //! blast block    --d1 a.csv --d2 b.csv --out pairs.csv [--gt gt.csv] [options]
 //! blast dedup    --input data.csv --out pairs.csv [--gt gt.csv] [options]
 //! blast stream   --input data.csv --batch-size 64 [--pruning wnp1] [--verify] [--stats]
-//!                [--trace out.jsonl] [--metrics out.prom]
+//!                [--threads 4] [--shards 4] [--trace out.jsonl] [--metrics out.prom]
+//! blast bench    --preset census --scale 0.05 [--threads 4] [--shards 4] [--verify]
 //! blast schema   --d1 a.csv --d2 b.csv
 //! blast evaluate --d1 a.csv --d2 b.csv --pairs pairs.csv --gt gt.csv
 //! blast generate --preset ar1 --scale 0.1 --out-dir bench-data/
@@ -35,6 +36,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "schema" => commands::schema(&args),
         "evaluate" => commands::evaluate(&args),
         "generate" => commands::generate(&args),
+        "bench" => commands::bench(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -53,12 +55,20 @@ USAGE:
   blast stream   --input DATA.csv [--batch-size 64] [--gt gt.csv]
                  [--pruning blast|wep|cep|wnp1|wnp2|cnp1|cnp2]
                  [--scheme arcs|cbs|ecbs|js|ejs] [--no-cleaning] [--verify]
+                 [--threads N]  (worker threads for the parallel phases;
+                 defaults to auto-scaling, or the BLAST_THREADS env var)
+                 [--shards S]  (owner shards of the sharded commit path —
+                 bit-identical output at any S; see README)
                  [--stats]  (per-commit RepairStats: dirty nodes, patched
                  CSR rows, full-rebuild fallbacks, phase timings)
                  [--trace OUT.jsonl]  (structured trace journal: one JSON
                  event per commit — tier, phase secs, flips, footprint)
                  [--metrics OUT.prom]  (Prometheus text exposition of the
                  pipeline's metrics registry after the run)
+  blast bench    [--preset census] [--scale 0.05] [--batch-size 64]
+                 [--threads N] [--shards S] [--pruning ...] [--scheme ...]
+                 [--no-cleaning] [--verify]  (generate a dirty preset in
+                 memory, stream it, report commit throughput)
   blast schema   --d1 A.csv --d2 B.csv [--algorithm lmi|ac] [--lsh-threshold T]
   blast evaluate --d1 A.csv --d2 B.csv --pairs pairs.csv --gt gt.csv
   blast generate --preset ar1|ar2|prd|mov|dbp|census|cora|cddb

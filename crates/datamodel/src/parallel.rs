@@ -20,6 +20,7 @@
 
 use blast_obs::{names, LazyCounter, LazyHistogram};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Work-stealing invocations, recorded into the process-wide registry (the
 /// scheduler is called from deep inside the weighting loops — a handle
@@ -27,13 +28,57 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 static STEAL_INVOCATIONS: LazyCounter = LazyCounter::new(names::SCHEDULER_INVOCATIONS);
 /// Chunks processed across all work-stealing invocations.
 static STEAL_CHUNKS: LazyCounter = LazyCounter::new(names::SCHEDULER_CHUNKS);
-/// Chunks claimed per worker activation — the steal-balance distribution.
+/// Chunks claimed per worker activation — the steal-balance distribution,
+/// aggregated over all pool sizes (kept for dashboard continuity).
 static STEAL_CHUNKS_PER_WORKER: LazyHistogram =
     LazyHistogram::new(names::SCHEDULER_CHUNKS_PER_WORKER);
+/// The same distribution labelled by worker-pool size, so multi-core runs
+/// are distinguishable on the Prometheus page: one histogram per pool size
+/// 1/2/4/8, everything else under `.other`.
+static STEAL_CHUNKS_BY_POOL: [LazyHistogram; 5] = [
+    LazyHistogram::new(names::SCHEDULER_CHUNKS_PER_WORKER_T1),
+    LazyHistogram::new(names::SCHEDULER_CHUNKS_PER_WORKER_T2),
+    LazyHistogram::new(names::SCHEDULER_CHUNKS_PER_WORKER_T4),
+    LazyHistogram::new(names::SCHEDULER_CHUNKS_PER_WORKER_T8),
+    LazyHistogram::new(names::SCHEDULER_CHUNKS_PER_WORKER_OTHER),
+];
+
+/// The pool-size-labelled lane of the chunks-per-worker distribution.
+fn chunks_by_pool(workers: usize) -> &'static LazyHistogram {
+    match workers {
+        1 => &STEAL_CHUNKS_BY_POOL[0],
+        2 => &STEAL_CHUNKS_BY_POOL[1],
+        4 => &STEAL_CHUNKS_BY_POOL[2],
+        8 => &STEAL_CHUNKS_BY_POOL[3],
+        _ => &STEAL_CHUNKS_BY_POOL[4],
+    }
+}
+
+/// The `BLAST_THREADS` override, read once per process (the scheduler runs
+/// deep inside hot loops; an env lookup per invocation would be felt).
+fn env_threads() -> Option<usize> {
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("BLAST_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.max(1))
+    })
+}
 
 /// Number of worker threads to use: the available parallelism, capped so
-/// tiny inputs don't pay thread-spawn overhead.
+/// tiny inputs don't pay thread-spawn overhead. A `BLAST_THREADS`
+/// environment override pins the count unconditionally for any non-empty
+/// input (the knob CI's multi-core tier-1 run and operators turn; explicit
+/// per-structure overrides like `GraphSnapshot::with_threads` still win
+/// over both). Zero items is always one thread — there is nothing to pin.
 pub fn default_threads(items: usize) -> usize {
+    if items == 0 {
+        return 1;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -110,6 +155,7 @@ where
     if threads == 1 || n_chunks == 1 {
         let mut state = init();
         STEAL_CHUNKS_PER_WORKER.record(n_chunks as u64);
+        chunks_by_pool(1).record(n_chunks as u64);
         return (0..n_chunks)
             .map(|i| work(&mut state, range_of(i)))
             .collect();
@@ -138,6 +184,7 @@ where
                     // into its own histogram shard, so the steal-balance
                     // distribution costs no synchronisation.
                     STEAL_CHUNKS_PER_WORKER.record(local.len() as u64);
+                    chunks_by_pool(workers).record(local.len() as u64);
                     local
                 })
             })

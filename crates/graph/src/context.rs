@@ -215,9 +215,17 @@ impl GraphSnapshot {
 
     /// Overrides the number of worker threads (1 = sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// In-place worker-thread override — the mutable counterpart of
+    /// [`GraphSnapshot::with_threads`] for snapshots already owned by a
+    /// pipeline (`blast stream --threads`). Survives every subsequent
+    /// [`GraphSnapshot::apply`].
+    pub fn set_threads(&mut self, threads: usize) {
         self.threads_override = Some(threads.max(1));
         self.threads = threads.max(1);
-        self
     }
 
     /// Patches the snapshot in place from a commit's delta (consumed —
@@ -309,6 +317,13 @@ impl GraphSnapshot {
     #[inline]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The snapshot's CSR slice sizes under round-robin profile ownership
+    /// (see [`ProfileBlockIndex::shard_assignment_counts`]): how much of
+    /// the blocking state each shard of the sharded commit path owns.
+    pub fn shard_loads(&self, shards: usize) -> Vec<u64> {
+        self.index.shard_assignment_counts(shards)
     }
 
     /// How many deltas have been applied.

@@ -32,7 +32,9 @@
 //! the key, so the tree shape — and every traversal order — is a function
 //! of the key *set*, independent of insertion history.
 
+use crate::shard::{merge_shard_runs, ShardPlan, ShardStats};
 use blast_datamodel::entity::ProfileId;
+use blast_datamodel::parallel::parallel_work_steal;
 use blast_graph::context::{EdgeAccum, GraphSnapshot};
 use blast_graph::exact_sum::ExactSum;
 use blast_graph::pruning::common::{weight_rank_bits, EpochMask};
@@ -195,7 +197,26 @@ impl OrderedWeightIndex {
                 right: NIL,
                 size: 1,
             });
-            self.sum.add(w);
+        }
+        // Σw via shard-parallel exact partial sums: the integer
+        // superaccumulator merge is order-independent bit-for-bit
+        // (`ExactSum::merge`), so chunked reduction equals the serial fold.
+        let nodes = &self.nodes;
+        let partials = parallel_work_steal(
+            nodes.len(),
+            blast_datamodel::parallel::default_threads(nodes.len()),
+            1 << 16,
+            || (),
+            |_, range| {
+                let mut local = ExactSum::new();
+                for node in &nodes[range] {
+                    local.add(node.w);
+                }
+                local
+            },
+        );
+        for part in &partials {
+            self.sum.merge(part);
         }
         self.len = self.nodes.len();
         let n = self.nodes.len() as u32;
@@ -803,6 +824,11 @@ impl EdgeAdjacency {
     /// place, and returns every clean edge as `(u, v, old w, new w)` in
     /// canonical ascending order. No block is traversed; bit-identity to a
     /// batch re-weighting follows from the factored-weight contract.
+    ///
+    /// The serial reference implementation; the commit path runs
+    /// [`EdgeAdjacency::reweigh_clean_sharded`], which must reproduce this
+    /// output bit-for-bit (pinned by the unit test below and the sharded
+    /// equivalence property tests).
     pub fn reweigh_clean(
         &mut self,
         ctx: &GraphSnapshot,
@@ -831,6 +857,89 @@ impl EdgeAdjacency {
             }
         }
         swept
+    }
+
+    /// The shard-parallel reweigh sweep — what the commit path runs.
+    ///
+    /// Each owner shard scans its own adjacency rows ascending and
+    /// re-derives its clean edges' weights in parallel on the
+    /// work-stealing scheduler (the compute is read-only: weights are pure
+    /// functions of the cached accumulator plus O(1) snapshot statistics).
+    /// The per-shard runs — each already in canonical `(u, v)` order — are
+    /// then reduced at the **merge frontier**
+    /// ([`crate::shard::merge_shard_runs`]) into the single canonical
+    /// sequence the serial sweep produces, and the re-keyed weights are
+    /// applied to the mirrored rows in that canonical order. Cross-shard
+    /// edges are accounted to `ShardStats::frontier_pairs` along the way.
+    ///
+    /// Bit-identical to [`EdgeAdjacency::reweigh_clean`] at every shard
+    /// and thread count: the chunk geometry of the compute pass cannot
+    /// affect per-edge bits, and the merge restores the exact serial
+    /// order before anything stateful happens.
+    pub fn reweigh_clean_sharded(
+        &mut self,
+        ctx: &GraphSnapshot,
+        weigher: &dyn EdgeWeigher,
+        mask: &EpochMask,
+        plan: &ShardPlan,
+        threads: usize,
+    ) -> (Vec<(u32, u32, f64, f64)>, ShardStats) {
+        let n = self.rows.len();
+        let owned = plan.owned_nodes(n);
+        // Shard-major scan order: chunk-ordered concatenation of the
+        // work-stolen results is then exactly "each shard's run, in shard
+        // order", each run sorted by (u, v).
+        let order: Vec<u32> = owned.iter().flatten().copied().collect();
+        let chunk = (n / 128).clamp(32, 4096);
+        let this = &*self;
+        let chunks = parallel_work_steal(
+            order.len(),
+            threads,
+            chunk,
+            || (),
+            |_, range| {
+                let mut out: Vec<(u32, u32, f64, f64)> = Vec::new();
+                for &u in &order[range] {
+                    if mask.contains(u) {
+                        continue;
+                    }
+                    let row = &this.rows[u as usize];
+                    for (i, e) in row.iter().enumerate() {
+                        if e.v <= u || mask.contains(e.v) {
+                            continue;
+                        }
+                        let acc = this.acc_at(u as usize, i);
+                        out.push((u, e.v, e.w, weigher.weight(ctx, u, e.v, &acc)));
+                    }
+                }
+                out
+            },
+        );
+        // Split the shard-major stream back into one run per shard.
+        let mut runs: Vec<Vec<(u32, u32, f64, f64)>> =
+            (0..plan.shards()).map(|_| Vec::new()).collect();
+        let mut stats = ShardStats::new(plan);
+        for (u, v, ow, nw) in chunks.into_iter().flatten() {
+            stats.record_edge(plan, u, v);
+            runs[plan.shard_of(u)].push((u, v, ow, nw));
+        }
+        debug_assert!(runs
+            .iter()
+            .all(|r| r.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1))));
+        let swept = merge_shard_runs(runs, |&(u, v, _, _)| (u, v));
+        // Apply the re-keyed weights in canonical order (mirrored rows).
+        for &(u, v, ow, nw) in &swept {
+            if nw.to_bits() != ow.to_bits() {
+                for (x, y) in [(u, v), (v, u)] {
+                    let row = &mut self.rows[x as usize];
+                    let i = row
+                        .binary_search_by_key(&y, |m| m.v)
+                        .expect("rows must mirror");
+                    row[i].w = nw;
+                }
+            }
+        }
+        (swept, stats)
     }
 }
 
@@ -1086,6 +1195,93 @@ mod tests {
         let mut seen = Vec::new();
         adj.for_each_node_weight(1, &snap(2), &TimesTotalBlocks, |v, w| seen.push((v, w)));
         assert_eq!(seen, vec![(0, 6.0)]);
+    }
+
+    /// The shard-parallel sweep is bit-identical to the serial reference —
+    /// same swept sequence (order included), same patched rows, correct
+    /// frontier accounting — at every shard × thread combination.
+    #[test]
+    fn reweigh_clean_sharded_matches_serial_bitwise() {
+        use blast_blocking::block::Block;
+        use blast_blocking::collection::BlockCollection;
+        use blast_blocking::key::ClusterId;
+
+        struct TimesTotalBlocks;
+        impl EdgeWeigher for TimesTotalBlocks {
+            fn weight(&self, ctx: &GraphSnapshot, u: u32, v: u32, acc: &EdgeAccum) -> f64 {
+                ctx.total_blocks() as f64 * acc.common_blocks as f64 / (1.0 + (u + v) as f64)
+            }
+        }
+        let snap = |blocks: usize| {
+            let b = (0..blocks)
+                .map(|i| {
+                    Block::new(
+                        format!("b{i}"),
+                        ClusterId::GLUE,
+                        vec![ProfileId(0), ProfileId(1)],
+                        u32::MAX,
+                    )
+                })
+                .collect();
+            GraphSnapshot::build(&BlockCollection::new(b, false, 64, 64))
+        };
+
+        // A deterministic pseudo-random graph over 61 nodes.
+        let n = 61u32;
+        let mut edges = Vec::new();
+        let mut x = 0x9e37u64;
+        for u in 0..n {
+            for step in 1..6u32 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = u + 1 + (x >> 33) as u32 % (step * 7 + 1);
+                if v < n {
+                    edges.push(FreshEdge {
+                        u,
+                        v,
+                        w: 1.0,
+                        acc: EdgeAccum {
+                            common_blocks: 1 + (x % 5) as u32,
+                            ..EdgeAccum::default()
+                        },
+                    });
+                }
+            }
+        }
+        edges.sort_unstable_by_key(|e| (e.u, e.v));
+        edges.dedup_by_key(|e| (e.u, e.v));
+        let mask = mask_of(n as usize, &[7, 20, 33]);
+        let ctx = snap(3);
+
+        let mut reference = EdgeAdjacency::new();
+        reference.ensure_nodes(n as usize);
+        reference.load(&edges);
+        let expected = reference.reweigh_clean(&ctx, &TimesTotalBlocks, &mask);
+        let expected_rows = reference.all_edges();
+        assert!(!expected.is_empty());
+
+        for shards in [1usize, 2, 3, 4, 8] {
+            for threads in [1usize, 2, 8] {
+                let mut adj = EdgeAdjacency::new();
+                adj.ensure_nodes(n as usize);
+                adj.load(&edges);
+                let plan = ShardPlan::new(shards);
+                let (swept, stats) =
+                    adj.reweigh_clean_sharded(&ctx, &TimesTotalBlocks, &mask, &plan, threads);
+                assert_eq!(swept, expected, "shards={shards} threads={threads}");
+                assert_eq!(adj.all_edges(), expected_rows);
+                assert_eq!(stats.total(), expected.len());
+                let frontier = expected
+                    .iter()
+                    .filter(|&&(u, v, _, _)| plan.is_frontier(u, v))
+                    .count();
+                assert_eq!(stats.frontier_pairs, frontier);
+                if shards == 1 {
+                    assert_eq!(stats.frontier_pairs, 0);
+                }
+            }
+        }
     }
 
     /// The packed layout is 24 bytes and the entropy side rows appear

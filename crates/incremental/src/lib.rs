@@ -63,6 +63,7 @@ pub mod decision;
 pub mod graph;
 pub mod index;
 pub mod pipeline;
+pub mod shard;
 pub mod store;
 
 pub use cleaner::{CleaningConfig, IncrementalCleaner};
@@ -70,4 +71,5 @@ pub use decision::{ContainmentIndex, EdgeAdjacency, EdgeKey, Frontier, OrderedWe
 pub use graph::{IncrementalMetaBlocker, IncrementalPruning, PairDelta, RepairStats, RepairTier};
 pub use index::IncrementalBlockIndex;
 pub use pipeline::{CommitOutcome, CommitTimings, IncrementalPipeline, MemoryFootprint};
+pub use shard::{ShardPlan, ShardStats};
 pub use store::{MutableProfileStore, StoreMode};

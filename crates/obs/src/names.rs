@@ -90,5 +90,26 @@ pub const SCHEDULER_INVOCATIONS: &str = "scheduler.invocations";
 pub const SCHEDULER_CHUNKS: &str = "scheduler.chunks";
 /// Chunks claimed per worker activation (histogram, process-wide) — the
 /// steal balance: a flat distribution means the dynamic claiming kept
-/// every worker busy.
+/// every worker busy. Aggregated over every pool size; the `.tN` variants
+/// below split the same observations by worker-pool size so multi-core
+/// runs are distinguishable on the Prometheus page.
 pub const SCHEDULER_CHUNKS_PER_WORKER: &str = "scheduler.chunks_per_worker";
+/// Chunks per worker on single-worker activations (histogram).
+pub const SCHEDULER_CHUNKS_PER_WORKER_T1: &str = "scheduler.chunks_per_worker.t1";
+/// Chunks per worker on 2-worker pools (histogram).
+pub const SCHEDULER_CHUNKS_PER_WORKER_T2: &str = "scheduler.chunks_per_worker.t2";
+/// Chunks per worker on 4-worker pools (histogram).
+pub const SCHEDULER_CHUNKS_PER_WORKER_T4: &str = "scheduler.chunks_per_worker.t4";
+/// Chunks per worker on 8-worker pools (histogram).
+pub const SCHEDULER_CHUNKS_PER_WORKER_T8: &str = "scheduler.chunks_per_worker.t8";
+/// Chunks per worker on any other pool size (histogram).
+pub const SCHEDULER_CHUNKS_PER_WORKER_OTHER: &str = "scheduler.chunks_per_worker.other";
+
+/// Commits that ran the shard-partitioned commit path (counter).
+pub const SHARD_COMMITS: &str = "shard.commits";
+/// Cross-shard candidate pairs resolved at the merge frontier (counter).
+pub const SHARD_FRONTIER_PAIRS: &str = "shard.frontier_pairs";
+/// Owner-shard load imbalance of the last commit, permille of the mean
+/// (gauge: 1000 = perfectly balanced, 2000 = the heaviest shard carried
+/// twice the mean shard load).
+pub const SHARD_IMBALANCE: &str = "shard.imbalance";

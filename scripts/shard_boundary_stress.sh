@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Shard-boundary stress: a collection where EVERY comparison edge crosses
+# the merge frontier.
+#
+# Profiles are built in even/odd pairs — token group g appears in exactly
+# profiles 2g and 2g+1 — so under round-robin ownership with --shards 2
+# each edge has one even and one odd endpoint, i.e. 100% of edges are
+# frontier pairs. The stream runs with --verify, which asserts the
+# incremental retained set is bit-identical to the from-scratch batch run
+# after every commit window; a divergence exits non-zero.
+#
+# Usage: scripts/shard_boundary_stress.sh [NGROUPS] [BATCH]
+set -euo pipefail
+
+NGROUPS="${1:-512}"
+BATCH="${2:-32}"
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+awk -v groups="$NGROUPS" 'BEGIN {
+    print "id,text";
+    for (g = 0; g < groups; g++) {
+        # Two shared tokens per pair so size-2 blocks survive purging,
+        # plus a unique token so the profiles are not literal duplicates.
+        printf "p%d,tok%d grp%d even%d\n", 2 * g, g, g, g;
+        printf "p%d,tok%d grp%d odd%d\n", 2 * g + 1, g, g, g;
+    }
+}' > "$tmp/frontier.csv"
+
+echo "== shard boundary stress: $NGROUPS groups, batch $BATCH, shards 2, threads 8 =="
+cargo run --release -q -p blast-cli --bin blast -- stream \
+    --input "$tmp/frontier.csv" \
+    --batch-size "$BATCH" \
+    --pruning wep --scheme cbs \
+    --shards 2 --threads 8 \
+    --verify --stats
+
+echo "== ok: every edge crossed the frontier and the stream matched batch =="

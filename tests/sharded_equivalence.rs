@@ -1,0 +1,323 @@
+//! The sharded commit path's bit-identity contract.
+//!
+//! The sharded engine (see `blast_incremental::shard`) partitions the
+//! profile space over S owner shards and runs the repair machinery
+//! shard-parallel, resolving cross-shard edges at a deterministic merge
+//! frontier. The contract is absolute: **every commit outcome —
+//! candidate set, delta stream, repair tier — is bit-identical to the
+//! single-shard pipeline at any shard count and any thread count.**
+//!
+//! Property tests drive random mutation sequences through a reference
+//! single-shard pipeline and re-run the identical stream under shard ×
+//! thread grids, comparing the retained pairs, the per-commit deltas and
+//! the tier at *every* commit (not just the end state). A scripted test
+//! constructs a worst-case collection where every edge crosses the shard
+//! frontier and checks the accounting says so.
+
+use blast_datamodel::entity::{ProfileId, SourceId};
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::weights::{EdgeWeigher, WeightingScheme};
+use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+use proptest::prelude::*;
+
+const VOCAB: [&str; 10] = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+];
+
+/// One generated mutation: kind (insert/update/delete), a target selector
+/// for update/delete, and the token indices of the new value.
+type Op = (u8, u8, Vec<u8>);
+
+fn value_of(tokens: &[u8]) -> String {
+    tokens
+        .iter()
+        .map(|&t| VOCAB[t as usize % VOCAB.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..6, 0u8..16, proptest::collection::vec(0u8..10, 1..5)),
+        4..14,
+    )
+}
+
+/// The per-commit observations a run produces — everything that must be
+/// bit-identical across shard/thread counts.
+#[derive(Debug, PartialEq)]
+struct CommitTrace {
+    retained: Vec<(ProfileId, ProfileId)>,
+    added: Vec<(ProfileId, ProfileId)>,
+    retracted: Vec<(ProfileId, ProfileId)>,
+    tier: &'static str,
+}
+
+/// Streams `ops` through a pipeline configured with (`shards`, `threads`),
+/// committing every `commit_every` mutations, and returns the trace.
+fn run_traced(
+    ops: &[Op],
+    commit_every: usize,
+    weigher: impl EdgeWeigher + Send + Clone + 'static,
+    pruning: IncrementalPruning,
+    cleaning: CleaningConfig,
+    shards: usize,
+    threads: usize,
+) -> (Vec<CommitTrace>, IncrementalPipeline) {
+    let mut p = IncrementalPipeline::dirty(weigher, pruning, cleaning)
+        .with_shards(shards)
+        .with_threads(threads);
+    let mut ids: Vec<ProfileId> = Vec::new();
+    let mut since = 0usize;
+    let mut trace = Vec::new();
+    let commit = |p: &mut IncrementalPipeline, trace: &mut Vec<CommitTrace>| {
+        let out = p.commit();
+        trace.push(CommitTrace {
+            retained: p.retained().pairs().to_vec(),
+            added: out.delta.added,
+            retracted: out.delta.retracted,
+            tier: out.stats.tier.label(),
+        });
+    };
+    for (kind, target, tokens) in ops {
+        let value = value_of(tokens);
+        let live: Vec<ProfileId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| p.store().is_live(id))
+            .collect();
+        match kind % 3 {
+            1 if !live.is_empty() => {
+                let id = live[*target as usize % live.len()];
+                p.update(id, [("text", value.as_str())]);
+            }
+            2 if !live.is_empty() => {
+                let id = live[*target as usize % live.len()];
+                p.delete(id);
+            }
+            _ => {
+                let id = p.insert(
+                    SourceId(0),
+                    &format!("p{}", ids.len()),
+                    [("text", value.as_str())],
+                );
+                ids.push(id);
+            }
+        }
+        since += 1;
+        if since >= commit_every {
+            since = 0;
+            commit(&mut p, &mut trace);
+        }
+    }
+    if p.has_pending() {
+        commit(&mut p, &mut trace);
+    }
+    (trace, p)
+}
+
+/// Runs the single-shard reference and a (shards × threads) grid over the
+/// same stream, asserting every commit's trace is identical and the final
+/// state matches a from-scratch batch run.
+fn check_grid(
+    ops: &[Op],
+    commit_every: usize,
+    weigher: impl EdgeWeigher + Send + Clone + 'static,
+    pruning: IncrementalPruning,
+    cleaning: CleaningConfig,
+    grid: &[(usize, usize)],
+    label: &str,
+) {
+    let (reference, ref_pipeline) = run_traced(
+        ops,
+        commit_every,
+        weigher.clone(),
+        pruning,
+        cleaning.clone(),
+        1,
+        1,
+    );
+    assert_eq!(
+        ref_pipeline.retained().pairs(),
+        ref_pipeline.batch_retained().pairs(),
+        "{label}: single-shard reference diverged from batch"
+    );
+    for &(shards, threads) in grid {
+        let (trace, _) = run_traced(
+            ops,
+            commit_every,
+            weigher.clone(),
+            pruning,
+            cleaning.clone(),
+            shards,
+            threads,
+        );
+        assert_eq!(
+            trace, reference,
+            "{label}: shards={shards} threads={threads} diverged from single-shard"
+        );
+    }
+}
+
+/// The full shard × thread grid.
+const FULL_GRID: [(usize, usize); 9] = [
+    (1, 1),
+    (1, 2),
+    (1, 8),
+    (2, 1),
+    (2, 2),
+    (2, 8),
+    (4, 1),
+    (4, 2),
+    (4, 8),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full shard × thread grid on the edge-decision variants (WEP's
+    /// exact-sum threshold and CEP's rank-K cutoff are where ordering
+    /// bugs would surface), CBS weighting.
+    #[test]
+    fn prop_full_grid_edge_variants(ops in op_strategy(), commit_every in 1usize..4) {
+        for algorithm in [PruningAlgorithm::Wep, PruningAlgorithm::Cep] {
+            check_grid(
+                &ops,
+                commit_every,
+                WeightingScheme::Cbs,
+                IncrementalPruning::Traditional(algorithm),
+                CleaningConfig::default(),
+                &FULL_GRID,
+                &format!("cbs/{}", algorithm.label()),
+            );
+        }
+    }
+
+    /// Every pruning variant (all six traditional + BLAST's own) and every
+    /// weighting scheme, cleaning on and off, with the shard/thread
+    /// assignment cycled through the grid to bound runtime — over the
+    /// whole sweep each (shards, threads) cell is exercised against many
+    /// configurations.
+    #[test]
+    fn prop_all_configs_sharded(ops in op_strategy(), commit_every in 1usize..4) {
+        let mut prunings: Vec<IncrementalPruning> = PruningAlgorithm::ALL
+            .iter()
+            .map(|&a| IncrementalPruning::Traditional(a))
+            .collect();
+        prunings.push(IncrementalPruning::blast());
+        let mut cell = 0usize;
+        for cleaning in [CleaningConfig::none(), CleaningConfig::default()] {
+            for pruning in &prunings {
+                for scheme in WeightingScheme::ALL {
+                    // Skip (1, 1): that's the reference itself.
+                    let (shards, threads) = FULL_GRID[1 + cell % (FULL_GRID.len() - 1)];
+                    cell += 1;
+                    check_grid(
+                        &ops,
+                        commit_every,
+                        scheme,
+                        *pruning,
+                        cleaning.clone(),
+                        &[(shards, threads)],
+                        &format!(
+                            "{}/{} cleaning={}",
+                            scheme.name(),
+                            pruning.label(),
+                            cleaning.filtering
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Worst case for the merge frontier: a collection where **every** edge
+/// crosses shards. Token group g is shared by exactly profiles 2g and
+/// 2g + 1 — one even, one odd — so under 2 round-robin shards every edge
+/// has one endpoint per shard. The outcome must still be bit-identical,
+/// and the accounting must report every processed edge as a frontier pair.
+#[test]
+fn all_edges_cross_the_frontier() {
+    let build = |shards: usize, threads: usize| {
+        let mut p = IncrementalPipeline::dirty(
+            WeightingScheme::Cbs,
+            IncrementalPruning::Traditional(PruningAlgorithm::Wep),
+            CleaningConfig::none(),
+        )
+        .with_shards(shards)
+        .with_threads(threads);
+        let mut frontier_pairs = 0usize;
+        let mut processed = 0usize;
+        for g in 0..12u32 {
+            for half in 0..2u32 {
+                let u = 2 * g + half;
+                // Two tokens per profile so blocks of size two exist:
+                // group g pairs 2g with 2g+1 and nothing else.
+                p.insert(
+                    SourceId(0),
+                    &format!("p{u}"),
+                    [("text", format!("tok{g} grp{g}").as_str())],
+                );
+            }
+            let out = p.commit();
+            frontier_pairs += out.stats.frontier_pairs;
+            processed += out.stats.edges_reweighed + out.stats.edges_swept;
+        }
+        (p, frontier_pairs, processed)
+    };
+
+    let (reference, zero_frontier, _) = build(1, 1);
+    assert_eq!(zero_frontier, 0, "single shard has no frontier");
+    assert!(!reference.retained().is_empty());
+
+    let (sharded, frontier, processed) = build(2, 4);
+    assert_eq!(
+        sharded.retained().pairs(),
+        reference.retained().pairs(),
+        "all-frontier stream must stay bit-identical"
+    );
+    assert!(processed > 0);
+    assert_eq!(
+        frontier, processed,
+        "every processed edge pairs an even with an odd profile — all frontier"
+    );
+    assert_eq!(
+        sharded.retained().pairs(),
+        sharded.batch_retained().pairs(),
+        "sharded all-frontier stream must equal batch"
+    );
+}
+
+/// `BLAST_THREADS`-style explicit thread pinning mid-stream: turning the
+/// thread and shard knobs *between commits* never changes an outcome.
+#[test]
+fn knobs_can_turn_mid_stream() {
+    let stream = |knobs: &[(usize, usize)]| {
+        let mut p = IncrementalPipeline::dirty(
+            WeightingScheme::Ejs,
+            IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+            CleaningConfig::default(),
+        );
+        for (i, &(shards, threads)) in knobs.iter().enumerate() {
+            p.set_shards(shards);
+            p.set_threads(threads);
+            for j in 0..4u32 {
+                let u = 4 * i as u32 + j;
+                p.insert(
+                    SourceId(0),
+                    &format!("p{u}"),
+                    [("text", VOCAB[(u as usize * 3 + j as usize) % VOCAB.len()])],
+                );
+            }
+            p.commit();
+        }
+        p.retained().pairs().to_vec()
+    };
+    let steady = stream(&[(1, 1); 6]);
+    let wandering = stream(&[(1, 1), (4, 2), (2, 8), (3, 1), (8, 4), (2, 2)]);
+    assert_eq!(
+        steady, wandering,
+        "mid-stream knob turns changed the outcome"
+    );
+}
