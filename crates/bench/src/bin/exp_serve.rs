@@ -1,0 +1,302 @@
+//! Concurrent candidate reads under live ingest.
+//!
+//! Seeds a [`ServePipeline`] with half of a Zipf-skewed dirty collection,
+//! then streams the rest on the writer thread (one epoch-published
+//! snapshot per micro-batch commit) while N reader threads hammer the
+//! published view with a `candidates` / `top-k` query mix. For each
+//! reader-pool size (0 = interference baseline, then 1/2/4/8) it records
+//!
+//! * read-latency quantiles (p50 / p99 / p999, off the real
+//!   `serve.read_latency` histogram the HTTP layer uses),
+//! * sustained read throughput over the ingest window,
+//! * writer commit latency (mean / p99 / max) — the interference story:
+//!   how much the reader pool costs the writer, and
+//! * the read-your-writes gate: after the stream drains, the published
+//!   view must equal the engine's retained set *and* a from-scratch batch
+//!   run (`"equivalent"` per run, asserted by CI off the JSON).
+//!
+//! Writes `BENCH_serve.json` and prints a human summary. `BLAST_SCALE`
+//! scales the collection like the other `exp_*` runners. Thread counts
+//! above the machine's core count timeshare; the JSON records the core
+//! count so readers can judge the throughput curve honestly.
+
+use blast_datagen::{dirty_preset, generate_dirty, DirtyPreset};
+use blast_datamodel::entity::SourceId;
+use blast_datamodel::input::ErInput;
+use blast_graph::meta::PruningAlgorithm;
+use blast_graph::weights::WeightingScheme;
+use blast_incremental::{CleaningConfig, IncrementalPipeline, IncrementalPruning};
+use blast_serve::{ServePipeline, ServeTotals};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// The streamed tail is capped so the per-commit publish path dominates
+/// the window rather than collection growth.
+const MAX_STREAMED: usize = 128;
+const BATCH_SIZE: usize = 8;
+/// After the insert tail, the streamed rows are re-updated this many times
+/// (engine repair + republish per batch) so the measurement window is long
+/// enough for stable read-latency quantiles.
+const UPDATE_ROUNDS: usize = 4;
+
+struct ServeRun {
+    readers: usize,
+    commits: usize,
+    ingest_secs: f64,
+    /// Writer commit+publish latency over the window (the interference
+    /// figure — compare against the 0-reader baseline).
+    commit_mean_secs: f64,
+    commit_p99_secs: f64,
+    commit_max_secs: f64,
+    /// Reader-side totals off the serve metrics registry.
+    queries: u64,
+    queries_per_sec: f64,
+    totals: ServeTotals,
+    final_candidates: usize,
+    final_seq: u64,
+    /// Published == retained == batch after the stream drains.
+    equivalent: bool,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_serve(rows: &[(String, Vec<(String, String)>)], readers: usize) -> ServeRun {
+    let seed_len = rows.len() / 2;
+    let streamed = (rows.len() - seed_len).min(MAX_STREAMED);
+
+    let mut p = ServePipeline::new(IncrementalPipeline::dirty(
+        WeightingScheme::Cbs,
+        IncrementalPruning::Traditional(PruningAlgorithm::Wnp1),
+        CleaningConfig::default(),
+    ));
+    for (id, pairs) in &rows[..seed_len] {
+        p.insert(
+            SourceId(0),
+            id,
+            pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
+        );
+    }
+    p.commit_and_publish();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let metrics = p.metrics().clone();
+    let handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let mut reader = p.epoch().register().expect("a free epoch slot");
+            let done = Arc::clone(&done);
+            let metrics = metrics.clone();
+            thread::spawn(move || {
+                // A cheap per-thread LCG picks the queried node so the
+                // readers don't stampede one row.
+                let mut x = 0x9e37_79b9_u64.wrapping_mul(r as u64 + 1) | 1;
+                let mut queries = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let t0 = Instant::now();
+                    {
+                        let guard = reader.pin();
+                        let nodes = guard.nodes().max(1);
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let id = (x >> 33) as u32 % nodes;
+                        // The same mix the HTTP layer serves: a full
+                        // candidate list, then a top-k cut.
+                        std::hint::black_box(guard.candidates(id));
+                        std::hint::black_box(guard.top_k(id, 10));
+                    }
+                    metrics.record_query(t0.elapsed().as_secs_f64());
+                    queries += 1;
+                }
+                queries
+            })
+        })
+        .collect();
+
+    // The writer: stream the tail, publishing per micro-batch, timing each
+    // commit+publish individually for the interference quantiles.
+    let base = p.metrics().snapshot();
+    let mut commit_secs: Vec<f64> = Vec::new();
+    let mut streamed_ids = Vec::with_capacity(streamed);
+    let t0 = Instant::now();
+    for chunk in rows[seed_len..seed_len + streamed].chunks(BATCH_SIZE) {
+        for (id, pairs) in chunk {
+            streamed_ids.push(p.insert(
+                SourceId(0),
+                id,
+                pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())),
+            ));
+        }
+        let c0 = Instant::now();
+        p.commit_and_publish();
+        commit_secs.push(c0.elapsed().as_secs_f64());
+    }
+    // Update rounds: rotate each streamed row onto a neighbour's values so
+    // blocks genuinely move and every commit republishes real deltas.
+    for round in 1..=UPDATE_ROUNDS {
+        for (chunk_start, chunk) in streamed_ids
+            .chunks(BATCH_SIZE)
+            .enumerate()
+            .map(|(c, ch)| (c * BATCH_SIZE, ch))
+        {
+            for (off, &id) in chunk.iter().enumerate() {
+                let (_, pairs) = &rows[seed_len + (chunk_start + off + round) % streamed];
+                p.update(id, pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())));
+            }
+            let c0 = Instant::now();
+            p.commit_and_publish();
+            commit_secs.push(c0.elapsed().as_secs_f64());
+        }
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    done.store(true, Ordering::Release);
+    let queries: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("reader thread panicked"))
+        .sum();
+
+    let totals = ServeTotals::from_snapshot(&p.metrics().snapshot().delta_since(&base));
+    commit_secs.sort_by(f64::total_cmp);
+    let equivalent = p.verify_equivalence();
+    ServeRun {
+        readers,
+        commits: commit_secs.len(),
+        ingest_secs,
+        commit_mean_secs: commit_secs.iter().sum::<f64>() / commit_secs.len().max(1) as f64,
+        commit_p99_secs: percentile(&commit_secs, 0.99),
+        commit_max_secs: commit_secs.last().copied().unwrap_or(0.0),
+        queries,
+        queries_per_sec: queries as f64 / ingest_secs.max(1e-12),
+        totals,
+        final_candidates: p.latest().pairs() as usize,
+        final_seq: p.seq(),
+        equivalent,
+    }
+}
+
+fn main() {
+    let scale = blast_bench::scale();
+    let spec = dirty_preset(DirtyPreset::Census).scaled(scale * 2.0);
+    let (input, _) = generate_dirty(&spec);
+    let ErInput::Dirty(d) = &input else {
+        unreachable!()
+    };
+    let rows: Vec<(String, Vec<(String, String)>)> = d
+        .profiles()
+        .iter()
+        .map(|p| {
+            (
+                p.external_id.to_string(),
+                p.values
+                    .iter()
+                    .map(|(a, v)| (d.attribute_name(*a).to_string(), v.to_string()))
+                    .collect(),
+            )
+        })
+        .collect();
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "## Concurrent reads under live ingest (census preset, scale {scale}, {} profiles, {} streamed, {} cores)",
+        rows.len(),
+        (rows.len() - rows.len() / 2).min(MAX_STREAMED),
+        cores,
+    );
+    println!(
+        "{:<8} {:>8} {:>10} {:>12} {:>11} {:>11} {:>11} {:>12} {:>11}",
+        "readers",
+        "commits",
+        "ingest(s)",
+        "commit µ(us)",
+        "p99(us)",
+        "queries",
+        "reads/s",
+        "read p50(us)",
+        "p99(us)"
+    );
+
+    // 0 readers first: the writer-only baseline the interference numbers
+    // are read against.
+    let mut runs: Vec<ServeRun> = Vec::new();
+    for readers in [0usize, 1, 2, 4, 8] {
+        let r = run_serve(&rows, readers);
+        println!(
+            "{:<8} {:>8} {:>10.4} {:>12.1} {:>11.1} {:>11} {:>11.0} {:>12.1} {:>11.1}",
+            r.readers,
+            r.commits,
+            r.ingest_secs,
+            r.commit_mean_secs * 1e6,
+            r.commit_p99_secs * 1e6,
+            r.queries,
+            r.queries_per_sec,
+            r.totals.read_p50_secs * 1e6,
+            r.totals.read_p99_secs * 1e6,
+        );
+        runs.push(r);
+    }
+
+    // BENCH_serve.json — hand-rolled (the workspace has no serde).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"preset\": \"census\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"profiles\": {},", rows.len());
+    let _ = writeln!(json, "  \"seeded\": {},", rows.len() / 2);
+    let _ = writeln!(
+        json,
+        "  \"streamed\": {},",
+        (rows.len() - rows.len() / 2).min(MAX_STREAMED)
+    );
+    let _ = writeln!(json, "  \"batch_size\": {BATCH_SIZE},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"readers\": {}, \"commits\": {}, \"ingest_secs\": {:.6}, \"commit_mean_secs\": {:.9}, \"commit_p99_secs\": {:.9}, \"commit_max_secs\": {:.9}, \"queries\": {}, \"queries_per_sec\": {:.1}, \"read_p50_secs\": {:.9}, \"read_p99_secs\": {:.9}, \"read_p999_secs\": {:.9}, \"read_mean_secs\": {:.9}, \"snapshot_swaps\": {}, \"stale_epochs\": {}, \"final_candidates\": {}, \"final_seq\": {}, \"equivalent\": {}}}{comma}",
+            r.readers,
+            r.commits,
+            r.ingest_secs,
+            r.commit_mean_secs,
+            r.commit_p99_secs,
+            r.commit_max_secs,
+            r.queries,
+            r.queries_per_sec,
+            r.totals.read_p50_secs,
+            r.totals.read_p99_secs,
+            r.totals.read_p999_secs,
+            r.totals.read_mean_secs,
+            r.totals.snapshot_swaps,
+            r.totals.stale_epochs,
+            r.final_candidates,
+            r.final_seq,
+            r.equivalent,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!();
+    println!("wrote BENCH_serve.json");
+
+    for r in &runs {
+        assert!(
+            r.equivalent,
+            "published view diverged from the engine/batch run at {} readers",
+            r.readers
+        );
+        if r.readers > 0 {
+            assert!(
+                r.queries > 0,
+                "reader pool of {} issued no queries",
+                r.readers
+            );
+        }
+    }
+}

@@ -75,6 +75,54 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// Rejects options/flags outside a sub-command's vocabulary, so typos
+    /// fail with that sub-command's usage instead of silently parsing. A
+    /// value option that swallowed no value (it was last, or followed by
+    /// another option) and a flag that swallowed one are reported with a
+    /// targeted hint.
+    pub fn validate(&self, options: &[&str], flags: &[&str]) -> Result<(), String> {
+        for key in self.values.keys() {
+            if !options.contains(&key.as_str()) {
+                return Err(if flags.contains(&key.as_str()) {
+                    format!("--{key} does not take a value")
+                } else {
+                    format!("unknown option --{key}")
+                });
+            }
+        }
+        for key in &self.flags {
+            if !flags.contains(&key.as_str()) {
+                return Err(if options.contains(&key.as_str()) {
+                    format!("--{key} expects a value")
+                } else {
+                    format!("unknown flag --{key}")
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared `--threads` / `--shards` pair of the incremental
+    /// sub-commands (`stream`, `bench`, `serve`) — parsed in one place so
+    /// the three commands cannot drift.
+    pub fn parallel_opts(&self) -> Result<ParallelOpts, String> {
+        Ok(ParallelOpts {
+            threads: self.get_usize("threads")?,
+            shards: self.get_usize("shards")?,
+        })
+    }
+}
+
+/// The parallelism knobs shared by `blast stream`/`bench`/`serve`. `None`
+/// means auto-scale (which honours the `BLAST_THREADS` environment
+/// override via `blast_datamodel::parallel::default_threads`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelOpts {
+    /// Worker threads for the parallel phases (and the serve reader pool).
+    pub threads: Option<usize>,
+    /// Owner shards of the sharded commit path.
+    pub shards: Option<usize>,
 }
 
 #[cfg(test)]
@@ -119,5 +167,45 @@ mod tests {
     fn bad_number_reports_value() {
         let a = Args::parse(&s(&["--c", "abc"])).unwrap();
         assert!(a.get_f64("c").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_the_vocabulary() {
+        let a = Args::parse(&s(&["--input", "x.csv", "--verify"])).unwrap();
+        assert!(a.validate(&["input", "batch-size"], &["verify"]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_and_misused_options() {
+        let a = Args::parse(&s(&["--inptu", "x.csv"])).unwrap();
+        let err = a.validate(&["input"], &["verify"]).unwrap_err();
+        assert!(err.contains("unknown option --inptu"), "{err}");
+
+        // A value option with no value parses as a flag; the error says
+        // what is missing rather than calling it unknown.
+        let a = Args::parse(&s(&["--input"])).unwrap();
+        let err = a.validate(&["input"], &[]).unwrap_err();
+        assert!(err.contains("--input expects a value"), "{err}");
+
+        // A flag that swallowed a value gets the inverse hint.
+        let a = Args::parse(&s(&["--verify", "yes"])).unwrap();
+        let err = a.validate(&["input"], &["verify"]).unwrap_err();
+        assert!(err.contains("--verify does not take a value"), "{err}");
+    }
+
+    #[test]
+    fn parallel_opts_parse_together() {
+        let a = Args::parse(&s(&["--threads", "4", "--shards", "2"])).unwrap();
+        assert_eq!(
+            a.parallel_opts().unwrap(),
+            ParallelOpts {
+                threads: Some(4),
+                shards: Some(2)
+            }
+        );
+        let a = Args::parse(&[]).unwrap();
+        assert_eq!(a.parallel_opts().unwrap(), ParallelOpts::default());
+        let a = Args::parse(&s(&["--threads", "0"])).unwrap();
+        assert!(a.parallel_opts().is_err(), "zero threads rejected");
     }
 }

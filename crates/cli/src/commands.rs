@@ -293,13 +293,34 @@ fn incremental_pipeline(args: &Args) -> Result<blast_incremental::IncrementalPip
         ),
         (None, p) => IncrementalPipeline::dirty(WeightingScheme::Cbs, p, cleaning),
     };
-    if let Some(t) = args.get_usize("threads")? {
+    let parallel = args.parallel_opts()?;
+    if let Some(t) = parallel.threads {
         pipeline = pipeline.with_threads(t);
     }
-    if let Some(s) = args.get_usize("shards")? {
+    if let Some(s) = parallel.shards {
         pipeline = pipeline.with_shards(s);
     }
     Ok(pipeline)
+}
+
+/// Generates the dirty preset `blast bench`/`blast serve` stream in
+/// memory, returning `(preset label, scale, collection)`.
+fn dirty_preset_collection(args: &Args) -> Result<(String, f64, EntityCollection), String> {
+    let preset = args.get("preset").unwrap_or("census").to_string();
+    let scale = args.get_f64("scale")?.unwrap_or(0.05);
+    let p = DirtyPreset::ALL
+        .iter()
+        .chain(DirtyPreset::SCALED.iter())
+        .find(|p| p.label() == preset)
+        .ok_or_else(|| {
+            format!("--preset must be a dirty preset (census|cora|cddb|census100k|census1m), got {preset:?}")
+        })?;
+    let spec = dirty_preset(*p).scaled(scale);
+    let (input, _gt) = generate_dirty(&spec);
+    let ErInput::Dirty(d) = input else {
+        unreachable!("dirty presets generate dirty input")
+    };
+    Ok((preset, scale, d))
 }
 
 /// `blast stream`: replay a dirty CSV as micro-batches through the
@@ -532,21 +553,8 @@ pub fn bench(args: &Args) -> Result<String, String> {
     use blast_obs::CommitTotals;
     use std::time::Instant;
 
-    let preset = args.get("preset").unwrap_or("census");
-    let scale = args.get_f64("scale")?.unwrap_or(0.05);
+    let (preset, scale, d) = dirty_preset_collection(args)?;
     let batch_size = args.get_usize("batch-size")?.unwrap_or(64);
-    let p = DirtyPreset::ALL
-        .iter()
-        .chain(DirtyPreset::SCALED.iter())
-        .find(|p| p.label() == preset)
-        .ok_or_else(|| {
-            format!("--preset must be a dirty preset (census|cora|cddb|census100k|census1m), got {preset:?}")
-        })?;
-    let spec = dirty_preset(*p).scaled(scale);
-    let (input, _gt) = generate_dirty(&spec);
-    let ErInput::Dirty(d) = &input else {
-        unreachable!("dirty presets generate dirty input")
-    };
     let mut pipeline = incremental_pipeline(args)?;
 
     let mut report = String::new();
@@ -605,6 +613,120 @@ pub fn bench(args: &Args) -> Result<String, String> {
                 batch.len()
             ));
         }
+    }
+    Ok(report)
+}
+
+/// `blast serve`: generate a dirty preset in memory, stream it through
+/// the serving pipeline on this (writer) thread while a pool of HTTP
+/// reader threads answers `/candidates`, `/topk`, `/stats` and `/metrics`
+/// from epoch-published snapshots — lock-free reads under live ingest.
+///
+/// The bound address is printed to stdout (`serving on http://…`) as soon
+/// as the listener is up, so scripts can scrape it while the command
+/// runs; the returned report summarises the run after shutdown.
+pub fn serve(args: &Args) -> Result<String, String> {
+    use blast_datamodel::parallel::default_threads;
+    use blast_serve::{ServePipeline, ServeState, ServeTotals, Server};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let (preset, scale, d) = dirty_preset_collection(args)?;
+    let batch_size = args.get_usize("batch-size")?.unwrap_or(64);
+    let linger_secs = args.get_usize("linger")?.unwrap_or(0);
+    let addr = args.get("addr").unwrap_or("127.0.0.1");
+    let port: u16 = match args.get("port") {
+        None => 0,
+        Some(p) => p
+            .parse()
+            .map_err(|_| format!("--port expects a port number, got {p:?}"))?,
+    };
+    // Reader-pool sizing follows the same ladder as the pipeline's worker
+    // threads: --threads wins, else default_threads (which honours the
+    // BLAST_THREADS env var), capped by the epoch's reader-slot budget.
+    let readers = args
+        .parallel_opts()?
+        .threads
+        .unwrap_or_else(|| default_threads(d.len()))
+        .min(blast_serve::MAX_READERS);
+
+    let mut pipeline = ServePipeline::new(incremental_pipeline(args)?);
+    let state = ServeState {
+        epoch: Arc::clone(pipeline.epoch()),
+        metrics: pipeline.metrics().clone(),
+        ingest_done: Arc::new(AtomicBool::new(false)),
+    };
+    let ingest_done = Arc::clone(&state.ingest_done);
+    let server = Server::start(state, &format!("{addr}:{port}"), readers)
+        .map_err(|e| format!("cannot bind {addr}:{port}: {e}"))?;
+    // Scripts scrape this line while the server is live — print and flush
+    // immediately rather than waiting for the final report.
+    println!("serving on http://{}", server.addr());
+    let _ = std::io::stdout().flush();
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "serve: {preset} × {scale} — {} profiles in micro-batches of {batch_size}, {readers} readers",
+        d.len(),
+    );
+    let t0 = Instant::now();
+    let mut commits = 0usize;
+    for chunk in d.profiles().chunks(batch_size) {
+        for profile in chunk {
+            let pairs: Vec<(&str, &str)> = profile
+                .values
+                .iter()
+                .map(|(a, v)| (d.attribute_name(*a), &**v))
+                .collect();
+            pipeline.insert(SourceId(0), &profile.external_id, pairs);
+        }
+        pipeline.commit_and_publish();
+        commits += 1;
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    ingest_done.store(true, Ordering::SeqCst);
+
+    if linger_secs > 0 {
+        std::thread::sleep(Duration::from_secs(linger_secs as u64));
+    }
+
+    let _ = writeln!(
+        report,
+        "ingest: {commits} commits in {ingest_secs:.3}s — {:.1} commits/s, {:.0} profiles/s, {} final candidates at seq {}",
+        commits as f64 / ingest_secs.max(1e-9),
+        d.len() as f64 / ingest_secs.max(1e-9),
+        pipeline.inner().retained().len(),
+        pipeline.seq(),
+    );
+    let totals = ServeTotals::from_snapshot(&pipeline.metrics().snapshot());
+    let _ = writeln!(
+        report,
+        "served: {} queries, {} snapshot swaps, stale epochs = {}, read p50 = {:.1}us, p99 = {:.1}us",
+        totals.queries,
+        totals.snapshot_swaps,
+        totals.stale_epochs,
+        totals.read_p50_secs * 1e6,
+        totals.read_p99_secs * 1e6,
+    );
+
+    let verified = args.flag("verify");
+    if verified && !pipeline.verify_equivalence() {
+        server.shutdown();
+        return Err(format!(
+            "verify FAILED: published snapshot at seq {} diverges from the batch candidate set",
+            pipeline.seq()
+        ));
+    }
+    server.shutdown();
+    if verified {
+        let _ = writeln!(
+            report,
+            "verify: serve == incremental == batch ({} pairs at seq {})",
+            pipeline.inner().retained().len(),
+            pipeline.seq()
+        );
     }
     Ok(report)
 }

@@ -1,6 +1,6 @@
 //! The `blast` command-line tool: run the BLAST pipeline on CSV data,
-//! inspect the loose schema information, evaluate pair files, and generate
-//! the synthetic benchmarks.
+//! inspect the loose schema information, evaluate pair files, generate
+//! the synthetic benchmarks, and serve the candidate graph over HTTP.
 //!
 //! ```text
 //! blast block    --d1 a.csv --d2 b.csv --out pairs.csv [--gt gt.csv] [options]
@@ -8,6 +8,7 @@
 //! blast stream   --input data.csv --batch-size 64 [--pruning wnp1] [--verify] [--stats]
 //!                [--threads 4] [--shards 4] [--trace out.jsonl] [--metrics out.prom]
 //! blast bench    --preset census --scale 0.05 [--threads 4] [--shards 4] [--verify]
+//! blast serve    --preset census --scale 0.05 [--port 0] [--threads 4] [--linger 5]
 //! blast schema   --d1 a.csv --d2 b.csv
 //! blast evaluate --d1 a.csv --d2 b.csv --pairs pairs.csv --gt gt.csv
 //! blast generate --preset ar1 --scale 0.1 --out-dir bench-data/
@@ -16,45 +17,42 @@
 //! The library half exposes the commands as functions returning their
 //! textual report, so integration tests drive them without spawning
 //! processes.
+//!
+//! Each sub-command declares its option vocabulary in the `COMMANDS` table;
+//! unknown or misused options fail with that sub-command's usage block
+//! rather than the global one.
 
 pub mod args;
 pub mod commands;
 
 use args::Args;
 
-/// Entry point shared by `main` and the tests: parses `argv` (without the
-/// program name) and runs the sub-command, returning the report to print.
-pub fn run(argv: &[String]) -> Result<String, String> {
-    let (command, rest) = argv
-        .split_first()
-        .ok_or_else(|| format!("no command given\n\n{}", usage()))?;
-    let args = Args::parse(rest)?;
-    match command.as_str() {
-        "block" => commands::block(&args),
-        "dedup" => commands::dedup(&args),
-        "stream" => commands::stream(&args),
-        "schema" => commands::schema(&args),
-        "evaluate" => commands::evaluate(&args),
-        "generate" => commands::generate(&args),
-        "bench" => commands::bench(&args),
-        "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
-    }
+/// One sub-command: its option vocabulary (for validation) and its usage
+/// block (printed on any argument error scoped to this command).
+struct Command {
+    name: &'static str,
+    /// `--key value` options this command accepts.
+    options: &'static [&'static str],
+    /// Bare `--flag`s this command accepts.
+    flags: &'static [&'static str],
+    usage: &'static str,
+    run: fn(&Args) -> Result<String, String>,
 }
 
-/// The usage text.
-pub fn usage() -> String {
-    "\
-blast — loosely schema-aware (meta-)blocking for entity resolution
-
-USAGE:
+const BLOCK_USAGE: &str = "\
   blast block    --d1 A.csv --d2 B.csv [--out pairs.csv] [--gt gt.csv]
                  [--id-column NAME] [--c 2.0] [--d 2.0] [--no-entropy]
-                 [--algorithm lmi|ac] [--lsh-threshold 0.5] [--no-glue]
-  blast dedup    --input DATA.csv [--out pairs.csv] [--gt gt.csv] [options]
+                 [--algorithm lmi|ac] [--lsh-threshold 0.5] [--no-glue]";
+
+const DEDUP_USAGE: &str = "\
+  blast dedup    --input DATA.csv [--out pairs.csv] [--gt gt.csv] [options]";
+
+const STREAM_USAGE: &str = "\
   blast stream   --input DATA.csv [--batch-size 64] [--gt gt.csv]
                  [--pruning blast|wep|cep|wnp1|wnp2|cnp1|cnp2]
-                 [--scheme arcs|cbs|ecbs|js|ejs] [--no-cleaning] [--verify]
+                 [--scheme arcs|cbs|ecbs|js|ejs] [--no-cleaning]
+                 [--verify]  (check the final candidate set against a
+                 from-scratch batch run — the equivalence contract)
                  [--threads N]  (worker threads for the parallel phases;
                  defaults to auto-scaling, or the BLAST_THREADS env var)
                  [--shards S]  (owner shards of the sharded commit path —
@@ -64,20 +62,199 @@ USAGE:
                  [--trace OUT.jsonl]  (structured trace journal: one JSON
                  event per commit — tier, phase secs, flips, footprint)
                  [--metrics OUT.prom]  (Prometheus text exposition of the
-                 pipeline's metrics registry after the run)
+                 pipeline's metrics registry after the run)";
+
+const BENCH_USAGE: &str = "\
   blast bench    [--preset census] [--scale 0.05] [--batch-size 64]
                  [--threads N] [--shards S] [--pruning ...] [--scheme ...]
-                 [--no-cleaning] [--verify]  (generate a dirty preset in
-                 memory, stream it, report commit throughput)
-  blast schema   --d1 A.csv --d2 B.csv [--algorithm lmi|ac] [--lsh-threshold T]
-  blast evaluate --d1 A.csv --d2 B.csv --pairs pairs.csv --gt gt.csv
-  blast generate --preset ar1|ar2|prd|mov|dbp|census|cora|cddb
-                 [--scale 1.0] --out-dir DIR
+                 [--no-cleaning]  (generate a dirty preset in memory,
+                 stream it, report commit throughput)
+                 [--verify]  (check the final candidate set against a
+                 from-scratch batch run)
+                 The BLAST_THREADS env var overrides the default thread
+                 count when --threads is absent.";
 
-Input CSVs are headered: one row per profile, one column per attribute,
+const SERVE_USAGE: &str = "\
+  blast serve    [--preset census] [--scale 0.05] [--batch-size 64]
+                 [--addr 127.0.0.1] [--port 0]  (0 = ephemeral; the bound
+                 address is printed as 'serving on http://...' on stdout)
+                 [--threads N]  (HTTP reader-pool size and pipeline worker
+                 threads; defaults to auto-scaling, or the BLAST_THREADS
+                 env var) [--shards S] [--pruning ...] [--scheme ...]
+                 [--no-cleaning]
+                 [--linger SECS]  (keep serving after the ingest drains)
+                 [--verify]  (gate on published == incremental == batch)
+                 Streams the preset through the incremental pipeline on
+                 the writer thread while serving /candidates, /topk,
+                 /stats and /metrics lock-free from epoch-published
+                 snapshots.";
+
+const SCHEMA_USAGE: &str = "\
+  blast schema   --d1 A.csv --d2 B.csv [--algorithm lmi|ac] [--lsh-threshold T]";
+
+const EVALUATE_USAGE: &str = "\
+  blast evaluate --d1 A.csv --d2 B.csv --pairs pairs.csv --gt gt.csv";
+
+const GENERATE_USAGE: &str = "\
+  blast generate --preset ar1|ar2|prd|mov|dbp|census|cora|cddb
+                 [--scale 1.0] --out-dir DIR";
+
+/// The sub-command table (dispatch, validation, usage).
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "block",
+        options: &[
+            "d1",
+            "d2",
+            "out",
+            "gt",
+            "id-column",
+            "c",
+            "d",
+            "algorithm",
+            "lsh-threshold",
+            "alpha",
+        ],
+        flags: &["no-entropy", "no-glue"],
+        usage: BLOCK_USAGE,
+        run: commands::block,
+    },
+    Command {
+        name: "dedup",
+        options: &[
+            "input",
+            "out",
+            "gt",
+            "id-column",
+            "c",
+            "d",
+            "algorithm",
+            "lsh-threshold",
+            "alpha",
+        ],
+        flags: &["no-entropy", "no-glue"],
+        usage: DEDUP_USAGE,
+        run: commands::dedup,
+    },
+    Command {
+        name: "stream",
+        options: &[
+            "input",
+            "batch-size",
+            "gt",
+            "id-column",
+            "pruning",
+            "scheme",
+            "threads",
+            "shards",
+            "trace",
+            "metrics",
+        ],
+        flags: &["verify", "stats", "no-cleaning"],
+        usage: STREAM_USAGE,
+        run: commands::stream,
+    },
+    Command {
+        name: "bench",
+        options: &[
+            "preset",
+            "scale",
+            "batch-size",
+            "threads",
+            "shards",
+            "pruning",
+            "scheme",
+        ],
+        flags: &["verify", "no-cleaning"],
+        usage: BENCH_USAGE,
+        run: commands::bench,
+    },
+    Command {
+        name: "serve",
+        options: &[
+            "preset",
+            "scale",
+            "batch-size",
+            "addr",
+            "port",
+            "linger",
+            "threads",
+            "shards",
+            "pruning",
+            "scheme",
+        ],
+        flags: &["verify", "no-cleaning"],
+        usage: SERVE_USAGE,
+        run: commands::serve,
+    },
+    Command {
+        name: "schema",
+        options: &[
+            "d1",
+            "d2",
+            "id-column",
+            "algorithm",
+            "lsh-threshold",
+            "alpha",
+        ],
+        flags: &["no-glue"],
+        usage: SCHEMA_USAGE,
+        run: commands::schema,
+    },
+    Command {
+        name: "evaluate",
+        options: &["d1", "d2", "pairs", "gt", "id-column"],
+        flags: &[],
+        usage: EVALUATE_USAGE,
+        run: commands::evaluate,
+    },
+    Command {
+        name: "generate",
+        options: &["preset", "scale", "out-dir"],
+        flags: &[],
+        usage: GENERATE_USAGE,
+        run: commands::generate,
+    },
+];
+
+/// Entry point shared by `main` and the tests: parses `argv` (without the
+/// program name) and runs the sub-command, returning the report to print.
+/// Argument errors carry the offending sub-command's usage block.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let (name, rest) = argv
+        .split_first()
+        .ok_or_else(|| format!("no command given\n\n{}", usage()))?;
+    if matches!(name.as_str(), "help" | "--help" | "-h") {
+        return Ok(usage());
+    }
+    let command = COMMANDS
+        .iter()
+        .find(|c| c.name == name.as_str())
+        .ok_or_else(|| format!("unknown command {name:?}\n\n{}", usage()))?;
+    let with_usage = |e: String| format!("{e}\n\nUSAGE:\n{}", command.usage);
+    let args = Args::parse(rest).map_err(with_usage)?;
+    args.validate(command.options, command.flags)
+        .map_err(with_usage)?;
+    (command.run)(&args)
+}
+
+/// The global usage text (assembled from the per-command blocks).
+pub fn usage() -> String {
+    let mut out = String::from(
+        "blast — loosely schema-aware (meta-)blocking for entity resolution\n\nUSAGE:\n",
+    );
+    for (i, c) in COMMANDS.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(c.usage);
+    }
+    out.push_str(
+        "\n\nInput CSVs are headered: one row per profile, one column per attribute,
 the first column (or --id-column) is the record id. Ground truth is a
-two-column headerless CSV of record ids."
-        .to_string()
+two-column headerless CSV of record ids.",
+    );
+    out
 }
 
 #[cfg(test)]
@@ -104,5 +281,33 @@ mod tests {
     fn help_prints_usage() {
         let out = run(&s(&["help"])).unwrap();
         assert!(out.contains("blast block"));
+        assert!(out.contains("blast serve"));
+        assert!(out.contains("BLAST_THREADS"));
+    }
+
+    #[test]
+    fn unknown_flag_prints_the_subcommand_usage() {
+        let err = run(&s(&["bench", "--warmup"])).unwrap_err();
+        assert!(err.contains("unknown flag --warmup"), "{err}");
+        assert!(err.contains("blast bench"), "scoped usage: {err}");
+        assert!(
+            !err.contains("blast block"),
+            "global usage not dumped: {err}"
+        );
+    }
+
+    #[test]
+    fn value_option_without_a_value_is_hinted() {
+        let err = run(&s(&["stream", "--input"])).unwrap_err();
+        assert!(err.contains("--input expects a value"), "{err}");
+        assert!(err.contains("blast stream"), "{err}");
+    }
+
+    #[test]
+    fn usage_documents_the_threads_override() {
+        for block in [STREAM_USAGE, BENCH_USAGE, SERVE_USAGE] {
+            assert!(block.contains("BLAST_THREADS"), "{block}");
+            assert!(block.contains("--verify"), "{block}");
+        }
     }
 }

@@ -263,6 +263,16 @@ impl IncrementalPipeline {
         &self.snapshot
     }
 
+    /// The pruned weight of edge `(u, v)`, computed on demand from the
+    /// owned snapshot's accumulator and this pipeline's weighing scheme —
+    /// `None` when the profiles share no cleaned block. The serving layer
+    /// stamps candidate weights with this at publish time; it reads only
+    /// immutable-between-commits state, so it is safe between commits.
+    pub fn edge_weight(&self, u: u32, v: u32) -> Option<f64> {
+        let acc = self.snapshot.edge(u, v)?;
+        Some(self.weigher.weight(&self.snapshot, u, v, &acc))
+    }
+
     /// The pipeline's metrics registry: everything `commit` has recorded
     /// (phase histograms, repair-tier counters, cleaner drains, structure
     /// gauges). Snapshot it for aggregate reporting

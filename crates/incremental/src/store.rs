@@ -188,6 +188,13 @@ impl MutableProfileStore {
         self.slots.get(id.index()).is_some_and(|s| s.live)
     }
 
+    /// The external id a global slot was created with (`None` for ids
+    /// never handed out; reserved clean-clean slots report their
+    /// placeholder). Tombstoned slots keep their external id.
+    pub fn external_id_of(&self, id: ProfileId) -> Option<&str> {
+        self.slots.get(id.index()).map(|s| &*s.external_id)
+    }
+
     /// Inserts a new profile into `source`, returning its global id.
     ///
     /// # Panics

@@ -105,6 +105,15 @@ pub const SCHEDULER_CHUNKS_PER_WORKER_T8: &str = "scheduler.chunks_per_worker.t8
 /// Chunks per worker on any other pool size (histogram).
 pub const SCHEDULER_CHUNKS_PER_WORKER_OTHER: &str = "scheduler.chunks_per_worker.other";
 
+/// Queries answered by the serving layer (counter).
+pub const SERVE_QUERIES: &str = "serve.queries";
+/// Snapshot versions published to the serving epoch (counter).
+pub const SERVE_SNAPSHOT_SWAPS: &str = "serve.snapshot_swaps";
+/// Serve-side read latency (nanosecond histogram, exported in seconds).
+pub const SERVE_READ_LATENCY: &str = "serve.read_latency_secs";
+/// Retired snapshot versions awaiting epoch reclamation (gauge).
+pub const SERVE_STALE_EPOCHS: &str = "serve.stale_epochs";
+
 /// Commits that ran the shard-partitioned commit path (counter).
 pub const SHARD_COMMITS: &str = "shard.commits";
 /// Cross-shard candidate pairs resolved at the merge frontier (counter).

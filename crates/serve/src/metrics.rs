@@ -1,0 +1,151 @@
+//! Typed serve-side views over a [`Registry`] — the read-path counterpart
+//! of [`blast_obs::CommitMetrics`].
+//!
+//! [`ServeMetrics`] is the write side: the server owns one and every
+//! reader thread records through shared handles. All four instruments are
+//! `blast-obs` sharded lock-free primitives, so recording a query from the
+//! hot path is a couple of relaxed atomic adds — consistent with the
+//! serving layer's no-locks-on-read contract. [`ServeTotals`] is the read
+//! side, reconstructed from a [`MetricsSnapshot`] (or a
+//! [`MetricsSnapshot::delta_since`] window) for `/stats`, the bench, and
+//! the smoke script.
+
+use blast_obs::registry::{MetricsSnapshot, Registry};
+use blast_obs::{names, Counter, Gauge, Histogram};
+use std::sync::Arc;
+
+/// Pre-registered write handles for the serving layer.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    registry: Arc<Registry>,
+    queries: Arc<Counter>,
+    swaps: Arc<Counter>,
+    read_latency: Arc<Histogram>,
+    stale_epochs: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    /// Registers the serve metrics on a fresh registry.
+    pub fn new() -> Self {
+        Self::on(Arc::new(Registry::new()))
+    }
+
+    /// Registers the serve metrics on `registry` (e.g. the one the
+    /// pipeline's `CommitMetrics` already lives on, so `/metrics` exports
+    /// both families from one page).
+    pub fn on(registry: Arc<Registry>) -> Self {
+        Self {
+            queries: registry.counter(names::SERVE_QUERIES),
+            swaps: registry.counter(names::SERVE_SNAPSHOT_SWAPS),
+            read_latency: registry.histogram_with_unit(names::SERVE_READ_LATENCY, 1e-9),
+            stale_epochs: registry.gauge(names::SERVE_STALE_EPOCHS),
+            registry,
+        }
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Convenience: a snapshot of the backing registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Records one answered query and its wall-clock latency. Hot path:
+    /// lock-free, called from every reader thread.
+    #[inline]
+    pub fn record_query(&self, secs: f64) {
+        self.queries.inc();
+        self.read_latency.record_secs(secs);
+    }
+
+    /// Records one snapshot publication and the epoch's retired backlog
+    /// after it (the stale-epoch gauge). Writer path.
+    pub fn record_swap(&self, stale_epochs: usize) {
+        self.swaps.inc();
+        self.stale_epochs.set(stale_epochs as i64);
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Everything the serving layer recorded, read back out of a snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeTotals {
+    /// Queries answered in the window.
+    pub queries: u64,
+    /// Snapshot versions published.
+    pub snapshot_swaps: u64,
+    /// Retired versions awaiting reclamation (last published value).
+    pub stale_epochs: i64,
+    /// Read-latency quantiles in seconds (p50 / p99 / p999); zero when no
+    /// query was recorded.
+    pub read_p50_secs: f64,
+    /// 99th percentile read latency.
+    pub read_p99_secs: f64,
+    /// 99.9th percentile read latency.
+    pub read_p999_secs: f64,
+    /// Mean read latency.
+    pub read_mean_secs: f64,
+}
+
+impl ServeTotals {
+    /// Reconstructs the totals from a snapshot.
+    pub fn from_snapshot(s: &MetricsSnapshot) -> ServeTotals {
+        let hist = s.histogram(names::SERVE_READ_LATENCY);
+        let q = |p: f64| hist.and_then(|h| h.quantile(p)).unwrap_or(0.0);
+        ServeTotals {
+            queries: s.counter(names::SERVE_QUERIES),
+            snapshot_swaps: s.counter(names::SERVE_SNAPSHOT_SWAPS),
+            stale_epochs: s.gauge(names::SERVE_STALE_EPOCHS).unwrap_or(0),
+            read_p50_secs: q(0.50),
+            read_p99_secs: q(0.99),
+            read_p999_secs: q(0.999),
+            read_mean_secs: hist.and_then(|h| h.mean()).unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_read_back_roundtrips() {
+        let m = ServeMetrics::new();
+        for _ in 0..100 {
+            m.record_query(1e-6);
+        }
+        m.record_swap(3);
+        m.record_swap(1);
+        let t = ServeTotals::from_snapshot(&m.snapshot());
+        assert_eq!(t.queries, 100);
+        assert_eq!(t.snapshot_swaps, 2);
+        assert_eq!(t.stale_epochs, 1, "gauge keeps the last value");
+        assert!(t.read_p50_secs > 0.0);
+        assert!(t.read_p999_secs >= t.read_p50_secs);
+        assert!(t.read_mean_secs > 0.0);
+    }
+
+    #[test]
+    fn empty_registry_reads_back_zeroes() {
+        let t = ServeTotals::from_snapshot(&ServeMetrics::new().snapshot());
+        assert_eq!(t, ServeTotals::default());
+    }
+
+    #[test]
+    fn shares_a_registry_with_commit_metrics() {
+        let commit = blast_obs::CommitMetrics::new();
+        let serve = ServeMetrics::on(Arc::clone(commit.registry()));
+        serve.record_query(1e-6);
+        let text = serve.snapshot().encode_text();
+        assert!(text.contains("blast_serve_queries"), "{text}");
+        assert!(text.contains("blast_commit_count"), "{text}");
+    }
+}

@@ -1,0 +1,443 @@
+//! The immutable, versioned view the serving layer publishes per commit.
+//!
+//! A [`ServeSnapshot`] answers the read-side questions — candidates of a
+//! profile, top-k neighbours by weight, liveness, corpus stats — without
+//! touching the incremental engine's mutable structures. Readers hold it
+//! through an epoch guard ([`crate::epoch`]); everything inside is plain
+//! immutable data, so queries are allocation-light and lock-free.
+//!
+//! Publishing must not cost O(corpus) per commit, and a deep copy of the
+//! adjacency would. The snapshot is therefore **chunked copy-on-write**:
+//! node rows live in fixed-size chunks behind `Arc`s, and the
+//! [`SnapshotBuilder`] clones only the chunks a commit's delta actually
+//! touches (`Arc::make_mut`), re-sharing every untouched chunk with all
+//! previously published versions. A commit touching `d` rows publishes in
+//! O(d + corpus/[`CHUNK_NODES`]) — the second term is the pointer-vector
+//! clone, 8 bytes per chunk.
+//!
+//! Consistency contract: the snapshot's candidate rows mirror
+//! `IncrementalPipeline::retained()` **exactly as of the tagged commit
+//! seq** — the builder replays the engine's own `PairDelta`, so a query at
+//! seq N returns the batch-equivalent candidate set at commit N (the
+//! CI-gated read-your-writes check). Edge *weights* are captured when a
+//! pair enters the set; a later commit that reweighs a surviving pair
+//! without flipping it refreshes the weight only for rows the delta
+//! touches, so ordering inside `top_k` is best-effort between flips while
+//! the candidate *set* is exact.
+
+use std::sync::Arc;
+
+/// Node rows per copy-on-write chunk. Power of two so the row → (chunk,
+/// offset) split is a shift + mask.
+pub const CHUNK_NODES: usize = 512;
+
+/// One retained comparison partner of a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The partner's global profile id.
+    pub id: u32,
+    /// The retained edge's pruned weight when it last entered/changed.
+    pub weight: f64,
+}
+
+/// One node's serve-side row.
+#[derive(Debug, Clone, Default)]
+struct NodeRow {
+    /// The profile's external id (`None` until first seen).
+    external_id: Option<Arc<str>>,
+    /// Whether the profile is live (not tombstoned).
+    live: bool,
+    /// Retained partners, ascending by id.
+    candidates: Vec<Candidate>,
+}
+
+/// A fixed-capacity block of node rows (the copy-on-write unit).
+#[derive(Debug, Clone, Default)]
+struct Chunk {
+    rows: Vec<NodeRow>,
+}
+
+/// An immutable published view at one commit seq. Cheap to clone at the
+/// chunk granularity; never mutated after publication.
+#[derive(Debug, Clone, Default)]
+pub struct ServeSnapshot {
+    /// The commit sequence this view corresponds to (0 = empty pre-ingest
+    /// snapshot; the N-th commit publishes seq N).
+    seq: u64,
+    chunks: Vec<Arc<Chunk>>,
+    /// Total global id slots covered.
+    nodes: u32,
+    /// Live (non-tombstoned) profiles.
+    live: u32,
+    /// Retained comparisons (each pair counted once).
+    pairs: u64,
+    /// Cleaned blocks at this commit (stats surface only).
+    blocks: u64,
+}
+
+impl ServeSnapshot {
+    /// The commit seq this snapshot was published at.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total global id slots (live + tombstoned).
+    #[inline]
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Live profiles.
+    #[inline]
+    pub fn live(&self) -> u32 {
+        self.live
+    }
+
+    /// Retained comparisons (each pair once).
+    #[inline]
+    pub fn pairs(&self) -> u64 {
+        self.pairs
+    }
+
+    /// Cleaned blocks at this commit.
+    #[inline]
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    #[inline]
+    fn row(&self, id: u32) -> Option<&NodeRow> {
+        if id >= self.nodes {
+            return None;
+        }
+        let i = id as usize;
+        self.chunks[i / CHUNK_NODES].rows.get(i % CHUNK_NODES)
+    }
+
+    /// Whether the profile id exists and is live.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.row(id).is_some_and(|r| r.live)
+    }
+
+    /// The profile's external id, if the id is known.
+    pub fn external_id(&self, id: u32) -> Option<&str> {
+        self.row(id)?.external_id.as_deref()
+    }
+
+    /// The retained partners of `id`, ascending by partner id. `None` when
+    /// the id is out of range; an empty slice when it simply has no
+    /// candidates.
+    pub fn candidates(&self, id: u32) -> Option<&[Candidate]> {
+        self.row(id).map(|r| r.candidates.as_slice())
+    }
+
+    /// The `k` heaviest partners of `id`, descending by weight (ties:
+    /// ascending id, so the order is total and deterministic).
+    pub fn top_k(&self, id: u32, k: usize) -> Vec<Candidate> {
+        let Some(row) = self.row(id) else {
+            return Vec::new();
+        };
+        let mut out = row.candidates.clone();
+        out.sort_by(|a, b| b.weight.total_cmp(&a.weight).then_with(|| a.id.cmp(&b.id)));
+        out.truncate(k);
+        out
+    }
+
+    /// Whether the pair `(a, b)` is retained at this seq.
+    pub fn contains(&self, a: u32, b: u32) -> bool {
+        self.row(a)
+            .is_some_and(|r| r.candidates.binary_search_by_key(&b, |c| c.id).is_ok())
+    }
+
+    /// Every retained pair, smaller id first, ascending — the equivalence
+    /// oracle's view (O(pairs); read path only, never the publish path).
+    pub fn all_pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.pairs as usize);
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            for (ri, row) in chunk.rows.iter().enumerate() {
+                let u = (ci * CHUNK_NODES + ri) as u32;
+                for c in &row.candidates {
+                    if c.id > u {
+                        out.push((u, c.id));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One commit's worth of snapshot changes, in engine terms. The writer
+/// translates `CommitOutcome` + store bookkeeping into this.
+#[derive(Debug, Clone, Default)]
+pub struct CommitUpdate {
+    /// The seq to tag the published snapshot with.
+    pub seq: u64,
+    /// Profiles inserted or updated this commit: `(id, external_id)`.
+    /// Marks the row live and (re)sets its external id.
+    pub upserts: Vec<(u32, Arc<str>)>,
+    /// Profiles tombstoned this commit.
+    pub deletes: Vec<u32>,
+    /// Pairs entering the candidate set, with their pruned weights.
+    pub added: Vec<(u32, u32, f64)>,
+    /// Pairs leaving the candidate set.
+    pub retracted: Vec<(u32, u32)>,
+    /// Cleaned-block count after the commit.
+    pub blocks: u64,
+}
+
+/// The writer-side accumulator: owns the working chunk vector and stamps
+/// out one immutable [`ServeSnapshot`] per commit, copying only dirty
+/// chunks.
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder {
+    chunks: Vec<Arc<Chunk>>,
+    nodes: u32,
+    live: u32,
+    pairs: u64,
+}
+
+impl SnapshotBuilder {
+    /// An empty builder (publishes seq-0 views until the first commit).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the chunk table to cover `id`.
+    fn ensure_node(&mut self, id: u32) {
+        if id < self.nodes {
+            return;
+        }
+        self.nodes = id + 1;
+        let needed = (self.nodes as usize).div_ceil(CHUNK_NODES);
+        while self.chunks.len() < needed {
+            self.chunks.push(Arc::new(Chunk::default()));
+        }
+        // Only the last chunk can be short; fill it to cover `id`.
+        let last = self.chunks.len() - 1;
+        let rows_in_last = self.nodes as usize - last * CHUNK_NODES;
+        let chunk = Arc::make_mut(&mut self.chunks[last]);
+        if chunk.rows.len() < rows_in_last {
+            chunk.rows.resize_with(rows_in_last, NodeRow::default);
+        }
+    }
+
+    /// Mutable access to one node row (copy-on-write at chunk granularity).
+    fn row_mut(&mut self, id: u32) -> &mut NodeRow {
+        self.ensure_node(id);
+        let i = id as usize;
+        let chunk = Arc::make_mut(&mut self.chunks[i / CHUNK_NODES]);
+        &mut chunk.rows[i % CHUNK_NODES]
+    }
+
+    /// Applies one commit's changes and stamps the immutable view to
+    /// publish. O(touched rows + chunk count): untouched chunks are shared
+    /// with every previously stamped snapshot.
+    pub fn apply(&mut self, update: &CommitUpdate) -> ServeSnapshot {
+        for (id, ext) in &update.upserts {
+            let row = self.row_mut(*id);
+            let was_live = row.live;
+            row.live = true;
+            row.external_id = Some(Arc::clone(ext));
+            if !was_live {
+                self.live += 1;
+            }
+        }
+        for id in &update.deletes {
+            let row = self.row_mut(*id);
+            if row.live {
+                row.live = false;
+                self.live -= 1;
+            }
+        }
+        for &(a, b) in &update.retracted {
+            if self.remove_candidate(a, b) & self.remove_candidate(b, a) {
+                self.pairs -= 1;
+            }
+        }
+        for &(a, b, w) in &update.added {
+            if self.add_candidate(a, b, w) & self.add_candidate(b, a, w) {
+                self.pairs += 1;
+            }
+        }
+        ServeSnapshot {
+            seq: update.seq,
+            chunks: self.chunks.clone(),
+            nodes: self.nodes,
+            live: self.live,
+            pairs: self.pairs,
+            blocks: update.blocks,
+        }
+    }
+
+    /// Inserts `b` into `a`'s row (sorted by id); true when new.
+    fn add_candidate(&mut self, a: u32, b: u32, weight: f64) -> bool {
+        let row = self.row_mut(a);
+        match row.candidates.binary_search_by_key(&b, |c| c.id) {
+            Ok(i) => {
+                row.candidates[i].weight = weight;
+                false
+            }
+            Err(i) => {
+                row.candidates.insert(i, Candidate { id: b, weight });
+                true
+            }
+        }
+    }
+
+    /// Removes `b` from `a`'s row; true when it was present.
+    fn remove_candidate(&mut self, a: u32, b: u32) -> bool {
+        if a >= self.nodes {
+            return false;
+        }
+        let row = self.row_mut(a);
+        match row.candidates.binary_search_by_key(&b, |c| c.id) {
+            Ok(i) => {
+                row.candidates.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Retained pairs currently accumulated (diagnostics).
+    pub fn pairs(&self) -> u64 {
+        self.pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn empty_snapshot_answers_cleanly() {
+        let snap = ServeSnapshot::default();
+        assert_eq!(snap.seq(), 0);
+        assert_eq!(snap.candidates(0), None);
+        assert!(snap.top_k(5, 3).is_empty());
+        assert!(!snap.is_live(0));
+        assert!(!snap.contains(0, 1));
+        assert!(snap.all_pairs().is_empty());
+    }
+
+    #[test]
+    fn apply_builds_mirrored_rows() {
+        let mut b = SnapshotBuilder::new();
+        let snap = b.apply(&CommitUpdate {
+            seq: 1,
+            upserts: vec![(0, ext("a")), (1, ext("b")), (2, ext("c"))],
+            added: vec![(0, 1, 2.0), (0, 2, 5.0)],
+            blocks: 3,
+            ..CommitUpdate::default()
+        });
+        assert_eq!(snap.seq(), 1);
+        assert_eq!(snap.nodes(), 3);
+        assert_eq!(snap.live(), 3);
+        assert_eq!(snap.pairs(), 2);
+        assert_eq!(snap.blocks(), 3);
+        assert_eq!(snap.external_id(1), Some("b"));
+        let row: Vec<u32> = snap.candidates(0).unwrap().iter().map(|c| c.id).collect();
+        assert_eq!(row, vec![1, 2]);
+        assert!(snap.contains(1, 0) && snap.contains(2, 0));
+        assert_eq!(snap.all_pairs(), vec![(0, 1), (0, 2)]);
+        let top = snap.top_k(0, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].id, 2, "heaviest first");
+    }
+
+    #[test]
+    fn published_snapshots_are_immutable_under_later_commits() {
+        let mut b = SnapshotBuilder::new();
+        let v1 = b.apply(&CommitUpdate {
+            seq: 1,
+            upserts: vec![(0, ext("a")), (1, ext("b"))],
+            added: vec![(0, 1, 1.0)],
+            ..CommitUpdate::default()
+        });
+        let v2 = b.apply(&CommitUpdate {
+            seq: 2,
+            deletes: vec![1],
+            retracted: vec![(0, 1)],
+            ..CommitUpdate::default()
+        });
+        // v1 still sees the pair and the live profile; v2 does not.
+        assert!(v1.contains(0, 1));
+        assert!(v1.is_live(1));
+        assert!(!v2.contains(0, 1));
+        assert!(!v2.is_live(1));
+        assert_eq!(v2.pairs(), 0);
+        assert_eq!(v2.nodes(), 2, "tombstones keep their slot");
+    }
+
+    #[test]
+    fn untouched_chunks_are_shared_not_copied() {
+        let mut b = SnapshotBuilder::new();
+        // Two chunks' worth of nodes, pairs only in chunk 0.
+        let upserts: Vec<_> = (0..(CHUNK_NODES as u32 + 10))
+            .map(|i| (i, ext(&format!("p{i}"))))
+            .collect();
+        let v1 = b.apply(&CommitUpdate {
+            seq: 1,
+            upserts,
+            added: vec![(0, 1, 1.0)],
+            ..CommitUpdate::default()
+        });
+        // A second commit touching only chunk 1 must share chunk 0.
+        let v2 = b.apply(&CommitUpdate {
+            seq: 2,
+            added: vec![(CHUNK_NODES as u32, CHUNK_NODES as u32 + 1, 2.0)],
+            ..CommitUpdate::default()
+        });
+        assert!(
+            Arc::ptr_eq(&v1.chunks[0], &v2.chunks[0]),
+            "clean chunk is shared"
+        );
+        assert!(
+            !Arc::ptr_eq(&v1.chunks[1], &v2.chunks[1]),
+            "dirty chunk is copied"
+        );
+    }
+
+    #[test]
+    fn add_is_idempotent_and_refreshes_weight() {
+        let mut b = SnapshotBuilder::new();
+        b.apply(&CommitUpdate {
+            seq: 1,
+            upserts: vec![(0, ext("a")), (1, ext("b"))],
+            added: vec![(0, 1, 1.0)],
+            ..CommitUpdate::default()
+        });
+        let v2 = b.apply(&CommitUpdate {
+            seq: 2,
+            added: vec![(0, 1, 9.0)],
+            ..CommitUpdate::default()
+        });
+        assert_eq!(v2.pairs(), 1, "re-add does not double count");
+        assert_eq!(v2.candidates(0).unwrap()[0].weight, 9.0);
+        let v3 = b.apply(&CommitUpdate {
+            seq: 3,
+            retracted: vec![(0, 1), (0, 1)],
+            ..CommitUpdate::default()
+        });
+        assert_eq!(v3.pairs(), 0, "double retract does not underflow");
+    }
+
+    #[test]
+    fn top_k_order_is_total() {
+        let mut b = SnapshotBuilder::new();
+        let snap = b.apply(&CommitUpdate {
+            seq: 1,
+            upserts: (0..5).map(|i| (i, ext(&format!("p{i}")))).collect(),
+            added: vec![(0, 1, 3.0), (0, 2, 3.0), (0, 3, 7.0), (0, 4, 1.0)],
+            ..CommitUpdate::default()
+        });
+        let ids: Vec<u32> = snap.top_k(0, 10).iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![3, 1, 2, 4], "weight desc, id asc on ties");
+    }
+}
