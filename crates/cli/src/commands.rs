@@ -223,6 +223,7 @@ fn trace_event(
 ) -> String {
     use blast_obs::trace::JsonObject;
     let fp = pipeline.footprint();
+    let cold = pipeline.cold_stats();
     JsonObject::new()
         .field_u64("seq", seq as u64)
         .field_u64("batch_profiles", batch_profiles as u64)
@@ -247,6 +248,10 @@ fn trace_event(
         .field_u64("cached_accumulators", fp.cached_accumulators as u64)
         .field_u64("interned_tokens", fp.interned_tokens as u64)
         .field_u64("resident_bytes", fp.total_bytes() as u64)
+        .field_u64("cold_evictions", cold.evictions)
+        .field_u64("cold_rehydrations", cold.rehydrations)
+        .field_u64("cold_resident_bytes", cold.cold_bytes as u64)
+        .field_u64("spilled_bytes", cold.spilled_bytes as u64)
         .finish()
 }
 
@@ -299,6 +304,17 @@ fn incremental_pipeline(args: &Args) -> Result<blast_incremental::IncrementalPip
     }
     if let Some(s) = parallel.shards {
         pipeline = pipeline.with_shards(s);
+    }
+    match args.get_bytes("memory-budget")? {
+        Some(budget) => {
+            let mut policy = blast_incremental::ResidencyPolicy::budget(budget);
+            policy.spill = args.flag("spill");
+            pipeline = pipeline.with_residency(policy);
+        }
+        None if args.flag("spill") => {
+            return Err("--spill requires --memory-budget".to_string());
+        }
+        None => {}
     }
     Ok(pipeline)
 }
@@ -437,6 +453,17 @@ pub fn stream(args: &Args) -> Result<String, String> {
             fp.total_bytes() as f64 / 1024.0,
             fp.total_bytes() as f64 / d.len().max(1) as f64,
         );
+        if pipeline.residency().is_some() {
+            let cold = pipeline.cold_stats();
+            let _ = writeln!(
+                report,
+                "cold tier: {} evictions, {} rehydrations, {:.1} KiB cold resident, {:.1} KiB spilled",
+                cold.evictions,
+                cold.rehydrations,
+                cold.cold_bytes as f64 / 1024.0,
+                cold.spilled_bytes as f64 / 1024.0,
+            );
+        }
     }
     if let Some(mut w) = trace.take() {
         w.flush().map_err(|e| e.to_string())?;

@@ -62,7 +62,13 @@ const STREAM_USAGE: &str = "\
                  [--trace OUT.jsonl]  (structured trace journal: one JSON
                  event per commit — tier, phase secs, flips, footprint)
                  [--metrics OUT.prom]  (Prometheus text exposition of the
-                 pipeline's metrics registry after the run)";
+                 pipeline's metrics registry after the run)
+                 [--memory-budget BYTES]  (cold-tier residency: rows idle
+                 for 2 commits demote to delta-encoded cold frames until
+                 the hot structures fit the budget; k/m/g suffixes; the
+                 output is bit-identical at any budget)
+                 [--spill]  (hold cold frames in an unlinked temp file
+                 instead of an in-memory arena; needs --memory-budget)";
 
 const BENCH_USAGE: &str = "\
   blast bench    [--preset census] [--scale 0.05] [--batch-size 64]
@@ -71,6 +77,8 @@ const BENCH_USAGE: &str = "\
                  stream it, report commit throughput)
                  [--verify]  (check the final candidate set against a
                  from-scratch batch run)
+                 [--memory-budget BYTES] [--spill]  (cold-tier residency;
+                 see blast stream)
                  The BLAST_THREADS env var overrides the default thread
                  count when --threads is absent.";
 
@@ -83,6 +91,10 @@ const SERVE_USAGE: &str = "\
                  env var) [--shards S] [--pruning ...] [--scheme ...]
                  [--no-cleaning]
                  [--linger SECS]  (keep serving after the ingest drains)
+                 [--memory-budget BYTES] [--spill]  (cold-tier residency
+                 on the writer; readers never see a cold row — the writer
+                 rehydrates published neighbourhoods before each swap;
+                 see blast stream)
                  [--verify]  (gate on published == incremental == batch)
                  Streams the preset through the incremental pipeline on
                  the writer thread while serving /candidates, /topk,
@@ -149,8 +161,9 @@ const COMMANDS: &[Command] = &[
             "shards",
             "trace",
             "metrics",
+            "memory-budget",
         ],
-        flags: &["verify", "stats", "no-cleaning"],
+        flags: &["verify", "stats", "no-cleaning", "spill"],
         usage: STREAM_USAGE,
         run: commands::stream,
     },
@@ -164,8 +177,9 @@ const COMMANDS: &[Command] = &[
             "shards",
             "pruning",
             "scheme",
+            "memory-budget",
         ],
-        flags: &["verify", "no-cleaning"],
+        flags: &["verify", "no-cleaning", "spill"],
         usage: BENCH_USAGE,
         run: commands::bench,
     },
@@ -182,8 +196,9 @@ const COMMANDS: &[Command] = &[
             "shards",
             "pruning",
             "scheme",
+            "memory-budget",
         ],
-        flags: &["verify", "no-cleaning"],
+        flags: &["verify", "no-cleaning", "spill"],
         usage: SERVE_USAGE,
         run: commands::serve,
     },
@@ -308,6 +323,8 @@ mod tests {
         for block in [STREAM_USAGE, BENCH_USAGE, SERVE_USAGE] {
             assert!(block.contains("BLAST_THREADS"), "{block}");
             assert!(block.contains("--verify"), "{block}");
+            assert!(block.contains("--memory-budget"), "{block}");
+            assert!(block.contains("--spill"), "{block}");
         }
     }
 }

@@ -1,0 +1,160 @@
+//! Temp-file spill backend for the cold tier.
+//!
+//! Implements [`blast_graph::cold::SpillBackend`] over an anonymous temp
+//! file, so a budgeted pipeline can demote cold frames out of memory
+//! entirely. The file is created under the OS temp dir with a
+//! process-unique name and unlinked on drop; [`TempSpillFile::path`] is
+//! exposed so the corruption-recovery tests can truncate or flip bytes in
+//! the backing file and assert the typed [`blast_graph::cold::ColdError`]
+//! surfaces instead of silent divergence.
+
+use blast_graph::cold::SpillBackend;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// An append-only temp file behind the cold tier, deleted on drop.
+#[derive(Debug)]
+pub struct TempSpillFile {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl TempSpillFile {
+    /// Creates a fresh spill file under the OS temp directory.
+    pub fn create() -> Result<Self, String> {
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("blast-spill-{}-{}.cold", std::process::id(), seq));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| format!("create spill file {}: {e}", path.display()))?;
+        Ok(TempSpillFile { file, path, len: 0 })
+    }
+
+    /// The backing file's path (for the corruption tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempSpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl SpillBackend for TempSpillFile {
+    fn append(&mut self, bytes: &[u8]) -> Result<u64, String> {
+        let off = self.len;
+        self.file
+            .seek(SeekFrom::Start(off))
+            .and_then(|_| self.file.write_all(bytes))
+            .map_err(|e| format!("spill append at {off}: {e}"))?;
+        self.len = off + bytes.len() as u64;
+        Ok(off)
+    }
+
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> Result<usize, String> {
+        // Reads go through a cloned handle so `&self` suffices (the cold
+        // tier decodes transiently on shared read paths).
+        let mut handle = self
+            .file
+            .try_clone()
+            .map_err(|e| format!("spill clone: {e}"))?;
+        handle
+            .seek(SeekFrom::Start(off))
+            .map_err(|e| format!("spill seek to {off}: {e}"))?;
+        let mut have = 0usize;
+        while have < buf.len() {
+            match handle.read(&mut buf[have..]) {
+                Ok(0) => break,
+                Ok(n) => have += n,
+                Err(e) => return Err(format!("spill read at {off}: {e}")),
+            }
+        }
+        Ok(have)
+    }
+
+    fn truncate(&mut self) -> Result<(), String> {
+        self.file
+            .set_len(0)
+            .map_err(|e| format!("spill truncate: {e}"))?;
+        self.len = 0;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_graph::cold::{ColdError, ColdStore};
+
+    #[test]
+    fn spilled_frames_round_trip_and_unlink_on_drop() {
+        let backend = TempSpillFile::create().unwrap();
+        let path = backend.path().to_path_buf();
+        let mut store = ColdStore::spilled(Box::new(backend));
+        let a = store.put(b"cold row a");
+        let b = store.put(&vec![7u8; 4096]);
+        assert_eq!(store.get(a).unwrap(), b"cold row a");
+        assert_eq!(store.get(b).unwrap(), vec![7u8; 4096]);
+        let s = store.stats();
+        assert_eq!(s.cold_bytes, 0, "spilled frames are not memory-resident");
+        assert!(s.spilled_bytes > 4096);
+        assert!(path.exists());
+        drop(store);
+        assert!(!path.exists(), "spill file must be unlinked on drop");
+    }
+
+    #[test]
+    fn truncated_spill_file_surfaces_a_clean_error() {
+        let backend = TempSpillFile::create().unwrap();
+        let path = backend.path().to_path_buf();
+        let mut store = ColdStore::spilled(Box::new(backend));
+        let frame = store.put(&vec![3u8; 1024]);
+        // Chop the file mid-frame behind the store's back.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(100).unwrap();
+        match store.get(frame) {
+            Err(ColdError::Truncated { want, have, .. }) => assert!(have < want),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_spill_file_fails_its_checksum() {
+        let backend = TempSpillFile::create().unwrap();
+        let path = backend.path().to_path_buf();
+        let mut store = ColdStore::spilled(Box::new(backend));
+        let frame = store.put(&vec![9u8; 256]);
+        let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(64)).unwrap();
+        f.write_all(&[0xde, 0xad]).unwrap();
+        assert!(matches!(store.get(frame), Err(ColdError::Checksum { .. })));
+    }
+
+    #[test]
+    fn truncate_then_reuse() {
+        let mut backend = TempSpillFile::create().unwrap();
+        backend.append(b"old content").unwrap();
+        backend.truncate().unwrap();
+        assert_eq!(backend.len(), 0);
+        let off = backend.append(b"fresh").unwrap();
+        assert_eq!(off, 0);
+        let mut buf = [0u8; 5];
+        assert_eq!(backend.read_at(0, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"fresh");
+    }
+}

@@ -16,6 +16,16 @@ pub fn peak_rss_bytes() -> Option<u64> {
     read_status_kb("VmHWM:").map(|kb| kb * 1024)
 }
 
+/// Resets the peak-RSS high-water mark (`VmHWM`) to the current RSS by
+/// writing `5` to `/proc/self/clear_refs`, so per-phase peaks can be
+/// measured in one process. Returns whether the reset took: `false` off
+/// Linux or when the kernel rejects the write — callers must then treat a
+/// subsequent [`peak_rss_bytes`] as a process-lifetime peak, not a phase
+/// peak.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
 fn read_status_kb(field: &str) -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     parse_status_kb(&status, field)

@@ -101,7 +101,10 @@ impl<T> Epoch<T> {
                 .compare_exchange(mask, mask | bit, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                debug_assert!(self.slots[index].0.load(Ordering::Relaxed).is_multiple_of(2));
+                debug_assert!(self.slots[index]
+                    .0
+                    .load(Ordering::Relaxed)
+                    .is_multiple_of(2));
                 return Some(Reader {
                     epoch: Arc::clone(self),
                     index,
